@@ -1,0 +1,152 @@
+// Ablations over FIAT's design choices (the paper's §4.1 hyperparameter
+// sweeps plus the knobs DESIGN.md calls out):
+//
+//   A. NCC distance metric (paper picked Chebyshev on its data)
+//   B. kNN k in [3, 15] (paper picked 5)
+//   C. Decision-tree depth 2..12 (paper picked 3)
+//   D. MLP hidden-layer count 1..10 (paper picked 8) — 3 devices for time
+//   E. Event-gap threshold (paper: 5 s, "very limited impact")
+//   F. Classic vs PortLess rules on the testbed (the §5.4 choice)
+//   G. Classification prefix N (proxy classifies after N packets; paper N=5)
+//   H. Bootstrap window (paper: 20 min = 2x the Fig 1c max interval)
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/features.hpp"
+#include "core/rules.hpp"
+#include "ml/cross_val.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/knn.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/nearest_centroid.hpp"
+
+using namespace fiat;
+
+namespace {
+
+double mean_bacc(const ml::Classifier& model,
+                 const std::vector<std::pair<std::string, ml::Dataset>>& datasets) {
+  double sum = 0.0;
+  for (const auto& [name, data] : datasets) {
+    sum += ml::cross_validate(model, data, 5, 11,
+                              static_cast<int>(gen::TrafficClass::kManual))
+               .mean_balanced_accuracy;
+  }
+  return sum / static_cast<double>(datasets.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_ablation", "§4.1 sweeps + design-choice ablations");
+
+  auto traces = bench::ml_device_traces();
+  std::vector<std::pair<std::string, ml::Dataset>> datasets;
+  for (const auto& dt : traces) {
+    datasets.emplace_back(dt.display,
+                          core::event_dataset(bench::events_of(dt), dt.trace.device_ip));
+  }
+  std::vector<std::pair<std::string, ml::Dataset>> small(datasets.begin(),
+                                                         datasets.begin() + 3);
+
+  std::printf("[A] NCC distance metric (mean balanced accuracy)\n");
+  for (auto metric : {ml::Distance::kEuclidean, ml::Distance::kManhattan,
+                      ml::Distance::kChebyshev}) {
+    ml::NearestCentroid ncc(metric);
+    std::printf("    %-10s %.3f\n", ml::distance_name(metric), mean_bacc(ncc, datasets));
+  }
+
+  std::printf("[B] kNN k sweep (Euclidean)\n");
+  for (std::size_t k : {3u, 5u, 7u, 9u, 11u, 13u, 15u}) {
+    ml::Knn knn(k);
+    std::printf("    k=%-2zu %.3f\n", k, mean_bacc(knn, datasets));
+  }
+
+  std::printf("[C] Decision-tree depth sweep\n");
+  for (int depth : {2, 3, 4, 6, 8, 10, 12}) {
+    ml::TreeConfig config;
+    config.max_depth = depth;
+    ml::DecisionTree tree(config);
+    std::printf("    depth=%-2d %.3f\n", depth, mean_bacc(tree, datasets));
+  }
+
+  std::printf("[D] MLP hidden-layer count (width 128; 3 devices)\n");
+  for (std::size_t layers : {1u, 2u, 4u, 8u, 10u}) {
+    ml::MlpConfig config;
+    config.hidden_layers.assign(layers, 128);
+    config.epochs = 30;
+    ml::Mlp mlp(config);
+    std::printf("    layers=%-2zu %.3f\n", layers, mean_bacc(mlp, small));
+  }
+
+  std::printf("[E] Event-gap threshold (EchoDot4-US: events / manual F1, BernoulliNB)\n");
+  for (double gap : {1.0, 2.0, 5.0, 10.0, 30.0}) {
+    auto events = core::extract_labeled_events(traces[0].trace, gap);
+    auto data = core::event_dataset(events, traces[0].trace.device_ip);
+    ml::BernoulliNB nb;
+    auto cv = ml::cross_validate(nb, data, 5, 11,
+                                 static_cast<int>(gen::TrafficClass::kManual));
+    std::printf("    gap=%4.1fs  events=%-4zu manual-F1=%.2f\n", gap, events.size(),
+                cv.mean_prf.f1);
+  }
+
+  std::printf("[F] Classic vs PortLess predictability (testbed mean over devices)\n");
+  for (auto mode : {core::FlowMode::kClassic, core::FlowMode::kPortLess}) {
+    double sum = 0.0;
+    for (const auto& dt : traces) {
+      core::PredictabilityConfig config;
+      config.mode = mode;
+      auto pred = core::class_predictability(dt.trace, config);
+      sum += pred.ratio(gen::TrafficClass::kControl);
+    }
+    std::printf("    %-9s control predictability %.1f%%\n", core::flow_mode_name(mode),
+                100.0 * sum / static_cast<double>(traces.size()));
+  }
+
+  std::printf("[G] Classification prefix N (EchoDot4-US manual F1, BernoulliNB)\n");
+  {
+    auto events = core::extract_labeled_events(traces[0].trace);
+    for (std::size_t prefix : {1u, 2u, 3u, 5u, 8u}) {
+      ml::Dataset data;
+      data.feature_names = core::event_feature_names();
+      for (const auto& le : events) {
+        data.add(core::event_features_prefix(le.event, traces[0].trace.device_ip, prefix),
+                 static_cast<int>(le.label));
+      }
+      ml::BernoulliNB nb;
+      auto cv = ml::cross_validate(nb, data, 5, 11,
+                                   static_cast<int>(gen::TrafficClass::kManual));
+      std::printf("    N=%-2zu manual-F1=%.2f\n", prefix, cv.mean_prf.f1);
+    }
+  }
+
+  std::printf("[H] Bootstrap window vs early post-bootstrap miss rate (EchoDot4-US,\n"
+              "    first 2 h after bootstrap; rules keep learning as deployed)\n");
+  for (double window : {300.0, 600.0, 1200.0, 2400.0}) {
+    const auto& trace = traces[0].trace;
+    core::RuleTableConfig rcfg;
+    rcfg.dns = &trace.dns;
+    core::RuleTable rules(trace.device_ip, rcfg);
+    std::size_t misses = 0, total = 0;
+    double start = trace.packets.front().pkt.ts;
+    for (const auto& lp : trace.packets) {
+      if (lp.pkt.ts - start < window) {
+        rules.learn(lp.pkt);
+        continue;
+      }
+      bool hit = rules.match_and_learn(lp.pkt);
+      if (lp.label == gen::TrafficClass::kControl && lp.event_id < 0 &&
+          lp.pkt.ts - start < window + 7200.0) {
+        // Background control traffic in the first two hours: how much leaks
+        // past the rules while they are still converging?
+        ++total;
+        if (!hit) ++misses;
+      }
+    }
+    std::printf("    window=%5.0fs  early background-control misses: %.2f%% (%zu/%zu)\n",
+                window, 100.0 * static_cast<double>(misses) / static_cast<double>(total),
+                misses, total);
+  }
+  return 0;
+}

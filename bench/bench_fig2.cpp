@@ -1,0 +1,29 @@
+// Figure 2 — per-device predictability of control, automated, and manual
+// traffic on the testbed (PortLess definition).
+//
+// Paper shape: control ~98% everywhere except Nest-E (~91%); automated ~90%
+// but 0 for the 2-packet plugs (SP10/WP3); manual lowest, with the cameras
+// (WyzeCam/Blink) at 60-65% thanks to constant-rate video.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace fiat;
+
+int main() {
+  bench::print_header("bench_fig2", "Figure 2 (per-class predictability)");
+
+  auto traces = bench::all_device_traces();
+  std::printf("%-12s %10s %10s %10s   (packets per class)\n", "Device", "control",
+              "automated", "manual");
+  for (const auto& dt : traces) {
+    auto pred = core::class_predictability(dt.trace);
+    std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%   (%zu / %zu / %zu)\n",
+                dt.device.c_str(),
+                100.0 * pred.ratio(gen::TrafficClass::kControl),
+                100.0 * pred.ratio(gen::TrafficClass::kAutomated),
+                100.0 * pred.ratio(gen::TrafficClass::kManual),
+                pred.total[0], pred.total[1], pred.total[2]);
+  }
+  return 0;
+}

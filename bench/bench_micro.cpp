@@ -1,0 +1,177 @@
+// Microbenchmarks (google-benchmark): throughput/latency of the hot-path
+// primitives a production FIAT proxy cares about — packet codec, pcap I/O,
+// crypto, rule matching, event classification, humanness validation, and a
+// full QuicLite exchange.
+#include <benchmark/benchmark.h>
+
+#include "core/features.hpp"
+#include "core/humanness.hpp"
+#include "core/manual_classifier.hpp"
+#include "core/rules.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "gen/sensors.hpp"
+#include "gen/testbed.hpp"
+#include "net/frame.hpp"
+#include "transport/quic_lite.hpp"
+
+using namespace fiat;
+
+namespace {
+
+gen::LabeledTrace& shared_trace() {
+  static gen::LabeledTrace trace = [] {
+    gen::LocationEnv env("US");
+    gen::TraceConfig config;
+    config.duration_days = 2;
+    config.seed = 5;
+    config.manual_per_day_override = 4;
+    return gen::generate_trace(gen::profile_by_name("EchoDot4"), env, config);
+  }();
+  return trace;
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  std::vector<std::uint8_t> key(32, 1), data(256, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 256);
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_ChaCha20_1KiB(benchmark::State& state) {
+  crypto::ChaChaKey key{};
+  crypto::ChaChaNonce nonce{};
+  std::vector<std::uint8_t> data(1024, 3);
+  for (auto _ : state) {
+    crypto::chacha20_xor(key, nonce, 1, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_ChaCha20_1KiB);
+
+void BM_AeadSealOpen(benchmark::State& state) {
+  std::vector<std::uint8_t> key(32, 9);
+  crypto::Aead aead(key);
+  std::vector<std::uint8_t> payload(480, 4);  // a sensor report
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    auto nonce = crypto::Aead::nonce_from_seq(++seq);
+    auto sealed = aead.seal(nonce, {}, payload);
+    auto opened = aead.open(nonce, {}, sealed);
+    benchmark::DoNotOptimize(opened);
+  }
+}
+BENCHMARK(BM_AeadSealOpen);
+
+void BM_FrameBuildParse(benchmark::State& state) {
+  net::FrameSpec spec;
+  spec.src_ip = net::Ipv4Addr(192, 168, 1, 10);
+  spec.dst_ip = net::Ipv4Addr(52, 4, 8, 15);
+  spec.src_port = 50000;
+  spec.dst_port = 443;
+  spec.payload.assign(400, 0);
+  for (auto _ : state) {
+    auto frame = net::build_frame(spec);
+    auto parsed = net::parse_frame(frame);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_FrameBuildParse);
+
+void BM_RuleTableMatch(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  core::RuleTableConfig config;
+  config.dns = &trace.dns;
+  core::RuleTable rules(trace.device_ip, config);
+  for (const auto& lp : trace.packets) rules.learn(lp.pkt);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rules.match(trace.packets[i % trace.packets.size()].pkt));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RuleTableMatch);
+
+void BM_PredictabilityAnalyzer(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    core::PredictabilityConfig config;
+    config.dns = &trace.dns;
+    core::PredictabilityAnalyzer analyzer(trace.device_ip, config);
+    for (const auto& lp : trace.packets) analyzer.add(lp.pkt);
+    benchmark::DoNotOptimize(analyzer.finish());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.packets.size()));
+}
+BENCHMARK(BM_PredictabilityAnalyzer);
+
+void BM_EventClassify(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  auto events = core::extract_labeled_events(trace);
+  auto classifier = core::ManualEventClassifier::train(events, trace.device_ip);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classifier.classify(events[i % events.size()].event, trace.device_ip));
+    ++i;
+  }
+}
+BENCHMARK(BM_EventClassify);
+
+void BM_HumannessValidate(benchmark::State& state) {
+  auto verifier = core::HumannessVerifier::train_synthetic(1, 200);
+  sim::Rng rng(2);
+  auto features = gen::sensor_features(gen::generate_sensor_trace(rng, true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.is_human(features));
+  }
+}
+BENCHMARK(BM_HumannessValidate);
+
+void BM_QuicLiteZeroRttExchange(benchmark::State& state) {
+  // CPU cost of a full 0-RTT exchange (zero network delay paths).
+  for (auto _ : state) {
+    sim::Rng rng(3);
+    sim::Scheduler scheduler;
+    transport::Network network(scheduler, rng);
+    transport::PathProfile instant;
+    instant.name = "instant";
+    instant.base_owd = 0;
+    instant.jitter_mu = -20;
+    instant.loss_rate = 0;
+    network.set_path("c", "s", instant);
+    network.set_path("s", "c", instant);
+    std::vector<std::uint8_t> psk(32, 5);
+    transport::QuicServer server(network, "s",
+                                 [&psk](const std::string&) { return std::optional(psk); },
+                                 psk);
+    transport::QuicClient client(network, "c", "s", "id", psk, rng);
+    client.connect([](double) {});
+    scheduler.run();
+    bool delivered = false;
+    client.send_zero_rtt({1, 2, 3}, [&delivered](double) { delivered = true; });
+    scheduler.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_QuicLiteZeroRttExchange);
+
+}  // namespace
+
+BENCHMARK_MAIN();

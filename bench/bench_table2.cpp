@@ -1,0 +1,78 @@
+// Table 2 — model selection: mean balanced accuracy of nine ML models on
+// unpredictable-event classification across the 13 complex device-location
+// traces (SP10/WP3/Nest-E excluded; simple rules suffice for them, §4.1).
+// Hyperparameters follow the paper's sweep winners: NCC with Chebyshev
+// distance, kNN k=5 Euclidean, MLP with 8x128 hidden layers, decision tree
+// of depth 3.
+//
+// Paper's column (mean balanced accuracy): NCC 0.931, BernoulliNB 0.906,
+// NN 0.786, GaussianNB 0.779, DecisionTree 0.745, AdaBoost 0.739,
+// SVC 0.713, RandomForest 0.706, kNN 0.621.
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/cross_val.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_svc.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/nearest_centroid.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace fiat;
+
+int main(int argc, char** argv) {
+  bool verbose = argc > 1 && std::string(argv[1]) == "-v";
+  bench::print_header("bench_table2", "Table 2 (model selection)");
+
+  auto traces = bench::ml_device_traces();
+  std::vector<std::pair<std::string, ml::Dataset>> datasets;
+  for (const auto& dt : traces) {
+    datasets.emplace_back(dt.display,
+                          core::event_dataset(bench::events_of(dt), dt.trace.device_ip));
+  }
+
+  std::vector<std::unique_ptr<ml::Classifier>> models;
+  // The paper's metric sweep picked Chebyshev for NCC on its testbed data;
+  // on the synthetic substrate the same sweep (see bench_ablation) picks
+  // Euclidean, so that is the NCC configuration reported here. The
+  // Chebyshev variant is included as an extra row for transparency.
+  models.push_back(std::make_unique<ml::NearestCentroid>(ml::Distance::kEuclidean));
+  models.push_back(std::make_unique<ml::BernoulliNB>());
+  {
+    ml::MlpConfig mlp;
+    mlp.hidden_layers.assign(8, 128);
+    mlp.epochs = 40;
+    models.push_back(std::make_unique<ml::Mlp>(mlp));
+  }
+  models.push_back(std::make_unique<ml::GaussianNB>());
+  {
+    ml::TreeConfig tree;
+    tree.max_depth = 3;
+    models.push_back(std::make_unique<ml::DecisionTree>(tree));
+  }
+  models.push_back(std::make_unique<ml::AdaBoost>());
+  models.push_back(std::make_unique<ml::LinearSvc>());
+  models.push_back(std::make_unique<ml::RandomForest>());
+  models.push_back(std::make_unique<ml::Knn>(5, ml::Distance::kEuclidean));
+  models.push_back(std::make_unique<ml::NearestCentroid>(ml::Distance::kChebyshev));
+
+  std::printf("%-28s %s\n", "Model", "Mean Balanced Accuracy");
+  for (const auto& model : models) {
+    double sum = 0.0;
+    for (const auto& [name, data] : datasets) {
+      auto cv = ml::cross_validate(*model, data, 5, /*seed=*/11,
+                                   static_cast<int>(gen::TrafficClass::kManual));
+      sum += cv.mean_balanced_accuracy;
+      if (verbose) {
+        std::printf("    %-16s %-14s bacc=%.3f manualF1=%.3f\n", model->name().c_str(),
+                    name.c_str(), cv.mean_balanced_accuracy, cv.mean_prf.f1);
+      }
+    }
+    std::printf("%-28s %.3f\n", model->name().c_str(),
+                sum / static_cast<double>(datasets.size()));
+  }
+  return 0;
+}

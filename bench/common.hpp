@@ -1,0 +1,38 @@
+// Shared helpers for the experiment-reproduction benches: the canonical set
+// of device-location traces (mirroring §3.1's data collection) and small
+// table-printing utilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/event_dataset.hpp"
+#include "gen/testbed.hpp"
+
+namespace fiat::bench {
+
+struct DeviceTrace {
+  std::string display;   // e.g. "EchoDot4-US" or "Home" (IL devices, as in Table 3)
+  std::string device;    // profile name
+  std::string location;
+  gen::LabeledTrace trace;
+};
+
+/// The 13 device-location traces of the ML evaluation (§4): the three NJ
+/// devices under US/JP/DE vantage points with scripted interactions, and the
+/// four IL "complex" devices at natural household rates. SP10/WP3/Nest-E are
+/// excluded (simple rules suffice, §4).
+std::vector<DeviceTrace> ml_device_traces(double days = 14.0,
+                                          std::uint64_t seed = 20221206);
+
+/// All ten devices at their home locations (Figure 2 / Table 6 population).
+std::vector<DeviceTrace> all_device_traces(double days = 14.0,
+                                           std::uint64_t seed = 20221206);
+
+/// Labeled events for a trace under the default (PortLess) configuration.
+std::vector<core::LabeledEvent> events_of(const DeviceTrace& dt);
+
+/// Prints a horizontal rule + title, so every bench's output is greppable.
+void print_header(const std::string& bench, const std::string& paper_ref);
+
+}  // namespace fiat::bench

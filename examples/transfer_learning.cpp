@@ -1,0 +1,67 @@
+// Cross-location knowledge transfer (the §4.3 production story): train a
+// manual-event classifier on a WyzeCam observed in one household / vantage
+// point, ship the model, and deploy it against the same device model
+// elsewhere — no retraining, because the classifier leans on transferable
+// features (protocol, direction, TLS) rather than IPs.
+//
+// Run: ./build/examples/transfer_learning
+#include <cstdio>
+
+#include "core/event_dataset.hpp"
+#include "core/manual_classifier.hpp"
+#include "gen/testbed.hpp"
+#include "ml/metrics.hpp"
+
+using namespace fiat;
+
+namespace {
+
+gen::LabeledTrace collect(const char* location, std::uint64_t seed) {
+  gen::LocationEnv env(location);
+  gen::TraceConfig config;
+  config.duration_days = 10;
+  config.seed = seed;
+  config.manual_per_day_override = 5.0;
+  return gen::generate_trace(gen::profile_by_name("WyzeCam"), env, config);
+}
+
+double manual_f1(const core::ManualEventClassifier& classifier,
+                 const gen::LabeledTrace& trace) {
+  auto events = core::extract_labeled_events(trace);
+  std::vector<int> truth, predicted;
+  for (const auto& le : events) {
+    truth.push_back(le.label == gen::TrafficClass::kManual ? 1 : 0);
+    predicted.push_back(
+        classifier.classify(le.event, trace.device_ip) == gen::TrafficClass::kManual
+            ? 1
+            : 0);
+  }
+  return ml::prf_for_class(truth, predicted, 1, 2).f1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Train once, deploy anywhere (WyzeCam, BernoulliNB) ==\n\n");
+
+  auto us = collect("US", 11);
+  std::printf("collected US trace: %zu packets\n", us.packets.size());
+  auto classifier =
+      core::ManualEventClassifier::train(core::extract_labeled_events(us),
+                                         us.device_ip);
+
+  std::printf("\n%-24s manual-event F1\n", "deployment");
+  std::printf("%-24s %.2f  (training household)\n", "US (in-sample)",
+              manual_f1(classifier, us));
+  for (const char* loc : {"US", "JP", "DE"}) {
+    auto target = collect(loc, 400 + static_cast<std::uint64_t>(loc[0]));
+    std::printf("%-24s %.2f\n",
+                (std::string(loc) + " (fresh household)").c_str(),
+                manual_f1(classifier, target));
+  }
+
+  std::printf("\nThe JP/DE deployments resolve entirely different cloud IPs\n"
+              "(google.co.jp-style localization), yet the classifier holds —\n"
+              "the Table 4/5 observation that IP features carry no weight.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "core/appendix_a.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+PipelineErrorRates appendix_a_error_rates(const PipelineRecalls& recalls) {
+  for (double r : {recalls.manual, recalls.non_manual, recalls.human,
+                   recalls.non_human}) {
+    if (r < 0.0 || r > 1.0) throw LogicError("appendix_a: recall outside [0,1]");
+  }
+  PipelineErrorRates rates;
+  // Eq. (3), corrected: misclassified non-manual is only blocked when the
+  // (absent) human is correctly not detected.
+  rates.fp_non_manual = (1.0 - recalls.non_manual) * recalls.non_human;
+  // Eq. (4): correctly classified manual blocked by a humanness miss.
+  rates.fp_manual = recalls.manual * (1.0 - recalls.human);
+  // Eq. (5): attack passes when classified non-manual, or classified manual
+  // but the non-human actor is mistaken for a human.
+  rates.fn = (1.0 - recalls.manual) + recalls.manual * (1.0 - recalls.non_human);
+  return rates;
+}
+
+}  // namespace fiat::core

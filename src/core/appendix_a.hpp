@@ -1,0 +1,38 @@
+// Appendix A — closed-form false-positive / false-negative probabilities of
+// the combined (event classifier x humanness validator) pipeline.
+//
+// With R_manual / R_non_manual the event classifier's per-class recalls and
+// R_human / R_non_human the humanness validator's recalls:
+//
+//   FP-N (blocked control/automated)  = (1 - R_non_manual) * R_non_human
+//   FP-M (blocked legitimate manual)  = R_manual * (1 - R_human)
+//   FN   (synchronized attack passes) = (1 - R_manual)
+//                                       + R_manual * (1 - R_non_human)
+//
+// Note: the paper's Eq. (2) last line and Eq. (3) write R_human where the
+// derivation requires R_non_human; we implement the corrected form. The FN
+// formula with the paper's EchoDot4 inputs (R_manual = 0.98,
+// R_non_human = 0.982) reproduces its printed 3.76% exactly, which is how
+// this module is validated (see tests/test_appendix_a.cpp).
+#pragma once
+
+namespace fiat::core {
+
+struct PipelineRecalls {
+  double manual = 1.0;      // event classifier, manual class
+  double non_manual = 1.0;  // event classifier, control/automated class
+  double human = 1.0;       // humanness validator, human class
+  double non_human = 1.0;   // humanness validator, non-human class
+};
+
+struct PipelineErrorRates {
+  double fp_non_manual = 0.0;  // legit control/automated blocked
+  double fp_manual = 0.0;      // legit manual blocked
+  double fn = 0.0;             // attack traffic passes
+};
+
+/// Evaluates the Appendix A equations. Throws fiat::LogicError if any recall
+/// is outside [0, 1].
+PipelineErrorRates appendix_a_error_rates(const PipelineRecalls& recalls);
+
+}  // namespace fiat::core

@@ -1,0 +1,68 @@
+#include "core/auth_message.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+namespace {
+
+std::uint64_t double_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double bits_double(std::uint64_t v) { return std::bit_cast<double>(v); }
+
+}  // namespace
+
+util::Bytes encode_auth_message(const AuthMessage& msg) {
+  if (msg.app_package.size() > 0xffff) throw LogicError("app package name too long");
+  util::ByteWriter w(32 + msg.app_package.size() + msg.features.size() * 8);
+  w.u16be(static_cast<std::uint16_t>(msg.app_package.size()));
+  w.raw(msg.app_package);
+  w.u64be(double_bits(msg.capture_time));
+  w.u16be(static_cast<std::uint16_t>(msg.features.size()));
+  for (double f : msg.features) w.u64be(double_bits(f));
+  return w.take();
+}
+
+AuthMessage decode_auth_message(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  AuthMessage msg;
+  std::uint16_t name_len = r.u16be();
+  msg.app_package = r.str(name_len);
+  msg.capture_time = bits_double(r.u64be());
+  std::uint16_t n = r.u16be();
+  msg.features.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) msg.features.push_back(bits_double(r.u64be()));
+  if (!r.done()) throw ParseError("auth message has trailing bytes");
+  return msg;
+}
+
+util::Bytes seal_auth_message(crypto::KeyStore& keystore, crypto::KeyHandle key,
+                              std::uint64_t seq, const AuthMessage& msg) {
+  static constexpr char kAad[] = "fiat-auth-v1";
+  util::Bytes plain = encode_auth_message(msg);
+  return keystore.seal(key, seq,
+                       std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(kAad), sizeof(kAad) - 1),
+                       plain);
+}
+
+std::optional<AuthMessage> open_auth_message(crypto::KeyStore& keystore,
+                                             crypto::KeyHandle key, std::uint64_t seq,
+                                             std::span<const std::uint8_t> sealed) {
+  static constexpr char kAad[] = "fiat-auth-v1";
+  auto plain = keystore.open(key, seq,
+                             std::span<const std::uint8_t>(
+                                 reinterpret_cast<const std::uint8_t*>(kAad),
+                                 sizeof(kAad) - 1),
+                             sealed);
+  if (!plain) return std::nullopt;
+  try {
+    return decode_auth_message(*plain);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace fiat::core

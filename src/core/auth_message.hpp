@@ -1,0 +1,41 @@
+// The FIAT authentication message the phone app ships to the proxy (§5.3).
+//
+// Contents: which IoT companion app is in the foreground, a capture
+// timestamp, and the 48 motion features extracted from the sensor window.
+// The message is serialized, then signed/sealed with the pairing key held in
+// the phone's TEE (KeyStore); the proxy verifies and feeds the features to
+// its humanness verifier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keystore.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::core {
+
+struct AuthMessage {
+  std::string app_package;   // e.g. "com.wyze.app"
+  double capture_time = 0.0; // phone-side time of the sensor window
+  std::vector<double> features;  // 48 motion features
+
+  bool operator==(const AuthMessage&) const = default;
+};
+
+util::Bytes encode_auth_message(const AuthMessage& msg);
+/// Throws fiat::ParseError on malformed input.
+AuthMessage decode_auth_message(std::span<const std::uint8_t> data);
+
+/// Seals an auth message with the pairing key (AEAD through the keystore,
+/// sequence-numbered for nonce uniqueness).
+util::Bytes seal_auth_message(crypto::KeyStore& keystore, crypto::KeyHandle key,
+                              std::uint64_t seq, const AuthMessage& msg);
+/// Opens and parses; nullopt when authentication fails.
+std::optional<AuthMessage> open_auth_message(crypto::KeyStore& keystore,
+                                             crypto::KeyHandle key, std::uint64_t seq,
+                                             std::span<const std::uint8_t> sealed);
+
+}  // namespace fiat::core

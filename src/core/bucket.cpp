@@ -1,0 +1,53 @@
+#include "core/bucket.hpp"
+
+namespace fiat::core {
+
+const char* flow_mode_name(FlowMode mode) {
+  return mode == FlowMode::kClassic ? "Classic" : "PortLess";
+}
+
+std::string bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,
+                       FlowMode mode, const net::DnsTable* dns,
+                       const net::ReverseResolver* reverse) {
+  if (mode == FlowMode::kClassic) {
+    // Exact 6-tuple, direction preserved.
+    std::string key;
+    key.reserve(48);
+    key += pkt.src_ip.str();
+    key += '>';
+    key += pkt.dst_ip.str();
+    key += '|';
+    key += std::to_string(pkt.src_port);
+    key += '>';
+    key += std::to_string(pkt.dst_port);
+    key += '|';
+    key += net::transport_name(pkt.proto);
+    key += '|';
+    key += std::to_string(pkt.size);
+    return key;
+  }
+
+  // PortLess: device + direction + remote domain + proto + size.
+  bool outbound = pkt.outbound_from(device);
+  net::Ipv4Addr remote = pkt.remote_of(device);
+  std::string remote_name;
+  if (dns) {
+    if (auto domain = dns->domain_of(remote)) remote_name = *domain;
+  }
+  if (remote_name.empty() && reverse && !remote.is_private()) {
+    remote_name = reverse->resolve(remote);
+  }
+  if (remote_name.empty()) remote_name = remote.str();
+
+  std::string key;
+  key.reserve(remote_name.size() + 24);
+  key += outbound ? "out|" : "in|";
+  key += remote_name;
+  key += '|';
+  key += net::transport_name(pkt.proto);
+  key += '|';
+  key += std::to_string(pkt.size);
+  return key;
+}
+
+}  // namespace fiat::core

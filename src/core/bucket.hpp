@@ -1,0 +1,33 @@
+// Flow bucket keys (§2.1).
+//
+// The predictability heuristic stores packets in buckets keyed by everything
+// except the arrival timestamp. Two definitions:
+//  * Classic: <ip_src, ip_dst, port_src, port_dst, proto, size>
+//  * PortLess: drops the ports and replaces the remote IP with its domain
+//    name (from in-trace DNS when available, reverse lookup otherwise),
+//    keyed from the device's perspective: <device, direction, remote, proto,
+//    size>.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/dns.hpp"
+#include "net/packet.hpp"
+
+namespace fiat::core {
+
+enum class FlowMode { kClassic, kPortLess };
+
+const char* flow_mode_name(FlowMode mode);
+
+/// Builds the bucket key for one packet. `device` identifies which endpoint
+/// is the IoT device (the paper analyzes per-device). For PortLess, `dns`
+/// maps remote IPs to domains and `reverse` fills the gaps; either may be
+/// null, in which case the dotted-quad is used — the same degradation the
+/// paper notes for IPs missing from trace DNS.
+std::string bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,
+                       FlowMode mode, const net::DnsTable* dns,
+                       const net::ReverseResolver* reverse);
+
+}  // namespace fiat::core

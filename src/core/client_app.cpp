@@ -1,0 +1,79 @@
+#include "core/client_app.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+FiatClientApp::FiatClientApp(transport::Network& network,
+                             transport::EndpointId endpoint,
+                             transport::EndpointId proxy_endpoint,
+                             std::string client_id,
+                             std::span<const std::uint8_t> psk, sim::Rng& rng,
+                             ClientTimingModel timing)
+    : network_(network),
+      rng_(rng),
+      timing_(timing),
+      pairing_key_(keystore_.import_key(psk, "fiat-pairing")),
+      quic_(network, std::move(endpoint), std::move(proxy_endpoint),
+            std::move(client_id), psk, rng) {}
+
+void FiatClientApp::warm_up(std::function<void(double)> done) {
+  quic_.connect([done = std::move(done)](double connect_time) {
+    if (done) done(connect_time);
+  });
+}
+
+void FiatClientApp::report_interaction(
+    const std::string& app_package, const gen::SensorTrace& sensors,
+    std::function<void(const ClientLatencyBreakdown&)> done) {
+  auto breakdown = std::make_shared<ClientLatencyBreakdown>();
+  breakdown->app_detection = rng_.uniform(timing_.app_detect_min, timing_.app_detect_max);
+  breakdown->sensor_sampling =
+      std::max(0.2, rng_.normal(timing_.sensor_sampling_mean, timing_.sensor_sampling_sd));
+  breakdown->keystore_access =
+      std::max(0.03, rng_.normal(timing_.keystore_mean, timing_.keystore_sd));
+
+  AuthMessage msg;
+  msg.app_package = app_package;
+  msg.capture_time = network_.scheduler().now();
+  msg.features = gen::sensor_features(sensors);
+
+  std::uint64_t seq = next_seq_++;
+  util::Bytes sealed = seal_auth_message(keystore_, pairing_key_, seq, msg);
+  util::ByteWriter payload(8 + sealed.size());
+  payload.u64be(seq);
+  payload.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
+
+  bool zero_rtt = quic_.has_ticket();
+  breakdown->zero_rtt = zero_rtt;
+  double pre_send = breakdown->app_detection + breakdown->keystore_access;
+  double overhead =
+      zero_rtt ? timing_.stack_overhead_0rtt : timing_.stack_overhead_1rtt;
+
+  // Model the on-phone latency before the datagram leaves, then send.
+  network_.scheduler().after(pre_send, [this, payload = payload.take(), zero_rtt,
+                                        overhead, breakdown,
+                                        done = std::move(done)]() mutable {
+    auto on_ack = [breakdown, overhead, done](double ack_time) {
+      breakdown->quic_round_trip = ack_time + overhead;
+      if (done) done(*breakdown);
+    };
+    if (zero_rtt) {
+      quic_.send_zero_rtt(std::move(payload), on_ack);
+    } else if (quic_.connected()) {
+      quic_.send(std::move(payload), on_ack);
+    } else {
+      // Cold start: handshake first (sensor sampling overlaps it), then
+      // send; the reported exchange time covers handshake + data + ack.
+      double hs_start = network_.scheduler().now();
+      quic_.connect([this, payload = std::move(payload), on_ack,
+                     hs_start](double) mutable {
+        quic_.send(std::move(payload), [this, on_ack, hs_start](double) {
+          on_ack(network_.scheduler().now() - hs_start);
+        });
+      });
+    }
+  });
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,149 @@
+#include "core/device_id.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+std::vector<double> device_id_features(std::span<const net::PacketRecord> window,
+                                       net::Ipv4Addr device) {
+  if (window.empty()) throw LogicError("device_id_features: empty window");
+  double duration =
+      std::max(1.0, window.back().ts - window.front().ts);
+
+  double total_bytes = 0, udp = 0, tls = 0, inbound = 0;
+  double mean_size = 0;
+  std::set<std::uint32_t> remotes;
+  std::set<std::uint16_t> remote_ports;
+  std::map<std::string, std::vector<double>> bucket_times;  // size|proto -> ts
+  for (const auto& pkt : window) {
+    total_bytes += pkt.size;
+    mean_size += pkt.size;
+    if (pkt.proto == net::Transport::kUdp) udp += 1;
+    if (pkt.tls_version != 0) tls += 1;
+    if (!pkt.outbound_from(device)) inbound += 1;
+    remotes.insert(pkt.remote_of(device).value());
+    remote_ports.insert(pkt.remote_port_of(device));
+    bucket_times[std::to_string(pkt.size) + "|" +
+                 net::transport_name(pkt.proto)].push_back(pkt.ts);
+  }
+  auto n = static_cast<double>(window.size());
+  mean_size /= n;
+  double var_size = 0;
+  for (const auto& pkt : window) {
+    var_size += (pkt.size - mean_size) * (pkt.size - mean_size);
+  }
+  var_size /= n;
+
+  // Dominant heartbeat: the median inter-arrival of the busiest bucket.
+  double heartbeat = 0.0;
+  std::size_t busiest = 0;
+  for (auto& [key, times] : bucket_times) {
+    if (times.size() > busiest && times.size() >= 3) {
+      busiest = times.size();
+      std::vector<double> deltas;
+      for (std::size_t i = 1; i < times.size(); ++i) {
+        deltas.push_back(times[i] - times[i - 1]);
+      }
+      std::nth_element(deltas.begin(), deltas.begin() + static_cast<long>(deltas.size() / 2),
+                       deltas.end());
+      heartbeat = deltas[deltas.size() / 2];
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(kDeviceIdFeatureCount);
+  out.push_back(n / duration * 60.0);            // packets per minute
+  out.push_back(total_bytes / duration);         // bytes per second
+  out.push_back(mean_size);
+  out.push_back(std::sqrt(var_size));
+  out.push_back(udp / n);
+  out.push_back(tls / n);
+  out.push_back(inbound / n);
+  out.push_back(static_cast<double>(remotes.size()));
+  out.push_back(static_cast<double>(remote_ports.size()));
+  out.push_back(heartbeat);
+  out.push_back(static_cast<double>(busiest) / n);  // busiest-flow share
+  out.push_back(static_cast<double>(bucket_times.size()));  // distinct buckets
+  // Size quantiles (min/max) round out the fingerprint.
+  auto [min_it, max_it] = std::minmax_element(
+      window.begin(), window.end(),
+      [](const auto& a, const auto& b) { return a.size < b.size; });
+  out.push_back(static_cast<double>(min_it->size));
+  out.push_back(static_cast<double>(max_it->size));
+  if (out.size() != kDeviceIdFeatureCount) throw LogicError("device-id feature drift");
+  return out;
+}
+
+std::vector<std::string> device_id_feature_names() {
+  return {"pkts-per-min", "bytes-per-sec", "mean-size", "std-size",
+          "udp-frac",     "tls-frac",      "in-frac",   "remotes",
+          "remote-ports", "heartbeat",     "top-flow-share", "buckets",
+          "min-size",     "max-size"};
+}
+
+DeviceIdentifier DeviceIdentifier::train(const std::vector<gen::LabeledTrace>& traces,
+                                         double window_seconds, std::uint64_t seed) {
+  if (traces.empty()) throw LogicError("DeviceIdentifier: no training traces");
+  DeviceIdentifier identifier;
+  ml::Dataset data;
+  data.feature_names = device_id_feature_names();
+
+  for (const auto& trace : traces) {
+    auto label_it = std::find(identifier.labels_.begin(), identifier.labels_.end(),
+                              trace.device_name);
+    int label;
+    if (label_it == identifier.labels_.end()) {
+      label = static_cast<int>(identifier.labels_.size());
+      identifier.labels_.push_back(trace.device_name);
+    } else {
+      label = static_cast<int>(label_it - identifier.labels_.begin());
+    }
+
+    std::vector<net::PacketRecord> window;
+    double window_start = trace.packets.empty() ? 0.0 : trace.packets.front().pkt.ts;
+    for (const auto& lp : trace.packets) {
+      if (lp.pkt.ts - window_start >= window_seconds && window.size() >= 20) {
+        data.add(device_id_features(window, trace.device_ip), label);
+        window.clear();
+        window_start = lp.pkt.ts;
+      }
+      window.push_back(lp.pkt);
+    }
+    if (window.size() >= 20) {
+      data.add(device_id_features(window, trace.device_ip), label);
+    }
+  }
+  if (data.size() < identifier.labels_.size() * 2) {
+    throw LogicError("DeviceIdentifier: not enough windows to train");
+  }
+
+  ml::Dataset scaled = identifier.scaler_.fit_transform(data);
+  ml::ForestConfig config;
+  config.n_trees = 60;
+  config.seed = seed;
+  identifier.forest_ = ml::RandomForest(config);
+  identifier.forest_.fit(scaled);
+  return identifier;
+}
+
+std::optional<std::string> DeviceIdentifier::identify(
+    std::span<const net::PacketRecord> window, net::Ipv4Addr device,
+    double* confidence) const {
+  if (window.empty()) return std::nullopt;
+  auto features = scaler_.transform(device_id_features(window, device));
+  auto votes = forest_.vote_fractions(features);
+  int label = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[static_cast<std::size_t>(label)]) label = static_cast<int>(c);
+  }
+  if (static_cast<std::size_t>(label) >= labels_.size()) return std::nullopt;
+  if (confidence) *confidence = votes[static_cast<std::size_t>(label)];
+  return labels_[static_cast<std::size_t>(label)];
+}
+
+}  // namespace fiat::core

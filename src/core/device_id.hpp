@@ -1,0 +1,51 @@
+// Passive device identification — the §7 production dependency ("Device
+// identification is not the focus of this study but solutions from the
+// related work could be applied to FIAT"), in the style of Meidan et al. /
+// IoT Sentinel (§8): classify which device model produced a window of
+// traffic from flow-level statistics, so the proxy can fetch the right
+// classifier from the ModelRegistry when a new device joins the LAN.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/labels.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "net/packet.hpp"
+
+namespace fiat::core {
+
+constexpr std::size_t kDeviceIdFeatureCount = 14;
+
+/// Window-level fingerprint features: traffic rate, size statistics,
+/// protocol/TLS/direction mix, endpoint and port diversity, and the
+/// dominant heartbeat period.
+std::vector<double> device_id_features(std::span<const net::PacketRecord> window,
+                                       net::Ipv4Addr device);
+std::vector<std::string> device_id_feature_names();
+
+class DeviceIdentifier {
+ public:
+  /// Trains on labeled traces, slicing each into `window_seconds` windows.
+  static DeviceIdentifier train(const std::vector<gen::LabeledTrace>& traces,
+                                double window_seconds = 600.0,
+                                std::uint64_t seed = 99);
+
+  /// Identifies the device behind a traffic window; nullopt when the window
+  /// is empty. `confidence` (optional out) is the winning vote fraction.
+  std::optional<std::string> identify(std::span<const net::PacketRecord> window,
+                                      net::Ipv4Addr device,
+                                      double* confidence = nullptr) const;
+
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  DeviceIdentifier() = default;
+  std::vector<std::string> labels_;
+  ml::StandardScaler scaler_;
+  ml::RandomForest forest_;
+};
+
+}  // namespace fiat::core

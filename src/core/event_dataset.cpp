@@ -1,0 +1,79 @@
+#include "core/event_dataset.hpp"
+
+#include "core/features.hpp"
+
+namespace fiat::core {
+
+namespace {
+
+PredictabilityResult analyze_trace(const gen::LabeledTrace& trace,
+                                   PredictabilityConfig& config) {
+  if (!config.dns) config.dns = &trace.dns;
+  PredictabilityAnalyzer analyzer(trace.device_ip, config);
+  for (const auto& lp : trace.packets) analyzer.add(lp.pkt);
+  return analyzer.finish();
+}
+
+}  // namespace
+
+std::vector<LabeledEvent> extract_labeled_events(const gen::LabeledTrace& trace,
+                                                 double gap_threshold,
+                                                 PredictabilityConfig config) {
+  PredictabilityResult result = analyze_trace(trace, config);
+
+  std::vector<LabeledEvent> out;
+  EventGrouper grouper(gap_threshold);
+  std::vector<gen::TrafficClass> open_labels;
+
+  auto close = [&](UnpredictableEvent event) {
+    // Majority label over the member packets.
+    std::size_t counts[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < event.packets.size() && i < open_labels.size(); ++i) {
+      counts[static_cast<std::size_t>(open_labels[i])]++;
+    }
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < 3; ++c) {
+      if (counts[c] > counts[best]) best = c;
+    }
+    LabeledEvent le;
+    le.event = std::move(event);
+    le.label = static_cast<gen::TrafficClass>(best);
+    out.push_back(std::move(le));
+    open_labels.erase(open_labels.begin(),
+                      open_labels.begin() +
+                          static_cast<long>(std::min(open_labels.size(),
+                                                     out.back().event.packets.size())));
+  };
+
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    if (result.predictable[i]) continue;
+    if (auto closed = grouper.add(trace.packets[i].pkt)) close(std::move(*closed));
+    open_labels.push_back(trace.packets[i].label);
+  }
+  if (auto last = grouper.flush()) close(std::move(*last));
+  return out;
+}
+
+ml::Dataset event_dataset(const std::vector<LabeledEvent>& events,
+                          net::Ipv4Addr device) {
+  ml::Dataset data;
+  data.feature_names = event_feature_names();
+  for (const auto& le : events) {
+    data.add(event_features(le.event, device), static_cast<int>(le.label));
+  }
+  return data;
+}
+
+ClassPredictability class_predictability(const gen::LabeledTrace& trace,
+                                         PredictabilityConfig config) {
+  PredictabilityResult result = analyze_trace(trace, config);
+  ClassPredictability out;
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    auto c = static_cast<std::size_t>(trace.packets[i].label);
+    out.total[c]++;
+    if (result.predictable[i]) out.predictable[c]++;
+  }
+  return out;
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,46 @@
+// Bridges a labeled trace to the ML pipeline: runs the predictability
+// heuristic, groups the unpredictable packets into events (§3.2), attaches
+// ground-truth labels (majority label of the member packets, which is how
+// the routine timestamps / user logs labelled events in the paper), and
+// emits a 66-feature ml::Dataset.
+#pragma once
+
+#include "core/events.hpp"
+#include "core/predictability.hpp"
+#include "gen/labels.hpp"
+#include "ml/dataset.hpp"
+
+namespace fiat::core {
+
+struct LabeledEvent {
+  UnpredictableEvent event;
+  gen::TrafficClass label = gen::TrafficClass::kControl;
+};
+
+/// Runs the heuristic over the trace (PortLess by default, using the
+/// trace's own DNS table) and returns the labeled unpredictable events.
+std::vector<LabeledEvent> extract_labeled_events(const gen::LabeledTrace& trace,
+                                                 double gap_threshold = 5.0,
+                                                 PredictabilityConfig config = {});
+
+/// Featurizes labeled events into a dataset with y = int(TrafficClass)
+/// (0 control / 1 automated / 2 manual).
+ml::Dataset event_dataset(const std::vector<LabeledEvent>& events,
+                          net::Ipv4Addr device);
+
+/// Per-class predictability ratios of a labeled trace (Figure 2's bars):
+/// indexed by TrafficClass, {predictable packets, total packets}.
+struct ClassPredictability {
+  std::size_t predictable[3] = {0, 0, 0};
+  std::size_t total[3] = {0, 0, 0};
+  double ratio(gen::TrafficClass c) const {
+    auto i = static_cast<std::size_t>(c);
+    return total[i] == 0 ? 0.0
+                         : static_cast<double>(predictable[i]) /
+                               static_cast<double>(total[i]);
+  }
+};
+ClassPredictability class_predictability(const gen::LabeledTrace& trace,
+                                         PredictabilityConfig config = {});
+
+}  // namespace fiat::core

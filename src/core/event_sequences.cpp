@@ -1,0 +1,51 @@
+#include "core/event_sequences.hpp"
+
+#include "net/tls.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+std::vector<double> packet_step(const net::PacketRecord& pkt, net::Ipv4Addr device,
+                                double iat) {
+  bool outbound = pkt.outbound_from(device);
+  net::Ipv4Addr remote = pkt.remote_of(device);
+  std::vector<double> step;
+  step.reserve(kSequenceStepDim);
+  step.push_back(outbound ? 1.0 : 0.0);
+  for (int o = 0; o < 4; ++o) step.push_back(remote.octet(o) / 255.0);
+  step.push_back(pkt.proto == net::Transport::kTcp ? 0.5
+                 : pkt.proto == net::Transport::kUdp ? 1.0 : 0.0);
+  step.push_back(pkt.tcp_flags / 255.0);
+  step.push_back(pkt.src_port / 65535.0);
+  step.push_back(pkt.dst_port / 65535.0);
+  step.push_back(pkt.tls_version / static_cast<double>(net::kTls13));
+  step.push_back(pkt.size / 1500.0);
+  step.push_back(iat);
+  return step;
+}
+
+ml::Sequence event_sequence(const UnpredictableEvent& event, net::Ipv4Addr device,
+                            int label) {
+  if (event.packets.empty()) throw LogicError("event_sequence: empty event");
+  ml::Sequence seq;
+  seq.label = label;
+  seq.steps.reserve(event.packets.size());
+  for (std::size_t i = 0; i < event.packets.size(); ++i) {
+    double iat = i == 0 ? 0.0 : event.packets[i].ts - event.packets[i - 1].ts;
+    seq.steps.push_back(packet_step(event.packets[i], device, iat));
+  }
+  return seq;
+}
+
+ml::SequenceDataset sequence_dataset(const std::vector<LabeledEvent>& events,
+                                     net::Ipv4Addr device) {
+  ml::SequenceDataset data;
+  data.items.reserve(events.size());
+  for (const auto& le : events) {
+    data.items.push_back(event_sequence(le.event, device, static_cast<int>(le.label)));
+  }
+  return data;
+}
+
+}  // namespace fiat::core

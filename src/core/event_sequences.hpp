@@ -1,0 +1,28 @@
+// Event -> packet-sequence adaptor for the temporal (LSTM) classifier
+// (§7 future work). Each packet becomes a 12-dimensional step vector —
+// the same per-packet signals the 66-feature representation uses, but kept
+// as a variable-length sequence instead of a fixed 5-packet block, and
+// roughly unit-scaled so the recurrent model trains without a fitted scaler.
+#pragma once
+
+#include "core/event_dataset.hpp"
+#include "ml/lstm.hpp"
+
+namespace fiat::core {
+
+constexpr std::size_t kSequenceStepDim = 12;
+
+/// Per-packet step vector (direction, remote octets/255, proto, flags/255,
+/// ports/65535, tls/0x0304, len/1500, iat seconds).
+std::vector<double> packet_step(const net::PacketRecord& pkt, net::Ipv4Addr device,
+                                double iat);
+
+/// Featurizes one event into a sequence (all packets, in order).
+ml::Sequence event_sequence(const UnpredictableEvent& event, net::Ipv4Addr device,
+                            int label = 0);
+
+/// Builds the LSTM dataset from labeled events.
+ml::SequenceDataset sequence_dataset(const std::vector<LabeledEvent>& events,
+                                     net::Ipv4Addr device);
+
+}  // namespace fiat::core

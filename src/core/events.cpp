@@ -1,0 +1,44 @@
+#include "core/events.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+EventGrouper::EventGrouper(double gap_threshold) : gap_(gap_threshold) {
+  if (gap_threshold <= 0) throw LogicError("EventGrouper: gap must be > 0");
+}
+
+std::optional<UnpredictableEvent> EventGrouper::add(const net::PacketRecord& pkt) {
+  std::optional<UnpredictableEvent> closed;
+  if (!current_.empty() && pkt.ts - current_.back().ts > gap_) {
+    closed = UnpredictableEvent{std::move(current_)};
+    current_.clear();
+  }
+  current_.push_back(pkt);
+  return closed;
+}
+
+std::optional<UnpredictableEvent> EventGrouper::flush() {
+  if (current_.empty()) return std::nullopt;
+  UnpredictableEvent event{std::move(current_)};
+  current_.clear();
+  return event;
+}
+
+std::vector<UnpredictableEvent> group_events(
+    std::span<const net::PacketRecord> packets, const std::vector<bool>& predictable,
+    double gap_threshold) {
+  if (packets.size() != predictable.size()) {
+    throw LogicError("group_events: flag vector size mismatch");
+  }
+  EventGrouper grouper(gap_threshold);
+  std::vector<UnpredictableEvent> events;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (predictable[i]) continue;
+    if (auto closed = grouper.add(packets[i])) events.push_back(std::move(*closed));
+  }
+  if (auto last = grouper.flush()) events.push_back(std::move(*last));
+  return events;
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,50 @@
+// Unpredictable-event grouping (§3.2).
+//
+// Given the stream of *unpredictable* packets, consecutive packets less than
+// `gap_threshold` (5 s in the paper; the choice "has very limited impact")
+// apart belong to the same event; a larger gap closes the event and starts
+// the next one.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace fiat::core {
+
+struct UnpredictableEvent {
+  std::vector<net::PacketRecord> packets;
+  double start() const { return packets.front().ts; }
+  double end() const { return packets.back().ts; }
+};
+
+class EventGrouper {
+ public:
+  explicit EventGrouper(double gap_threshold = 5.0);
+
+  /// Feeds one unpredictable packet (in timestamp order). Returns the event
+  /// that just *closed*, if this packet opened a new one.
+  std::optional<UnpredictableEvent> add(const net::PacketRecord& pkt);
+  /// Closes and returns the in-progress event, if any.
+  std::optional<UnpredictableEvent> flush();
+
+  /// Peek at the currently-open event (empty if none).
+  const std::vector<net::PacketRecord>& open_packets() const { return current_; }
+  double gap_threshold() const { return gap_; }
+
+ private:
+  double gap_;
+  std::vector<net::PacketRecord> current_;
+};
+
+/// One-shot: groups a full trace's unpredictable packets. `predictable` is
+/// parallel to `packets` (the PredictabilityResult flag vector); only
+/// packets with predictable[i] == false join events.
+std::vector<UnpredictableEvent> group_events(
+    std::span<const net::PacketRecord> packets, const std::vector<bool>& predictable,
+    double gap_threshold = 5.0);
+
+}  // namespace fiat::core

@@ -1,0 +1,142 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+namespace {
+
+void packet_block(const net::PacketRecord& pkt, net::Ipv4Addr device, double iat,
+                  std::vector<double>& out) {
+  bool outbound = pkt.outbound_from(device);
+  net::Ipv4Addr remote = pkt.remote_of(device);
+  out.push_back(outbound ? 1.0 : 0.0);
+  for (int o = 0; o < 4; ++o) out.push_back(static_cast<double>(remote.octet(o)));
+  out.push_back(pkt.proto == net::Transport::kTcp ? 1.0
+                : pkt.proto == net::Transport::kUdp ? 2.0 : 0.0);
+  out.push_back(static_cast<double>(pkt.tcp_flags));
+  out.push_back(static_cast<double>(pkt.src_port));
+  out.push_back(static_cast<double>(pkt.dst_port));
+  out.push_back(static_cast<double>(pkt.tls_version));
+  out.push_back(static_cast<double>(pkt.size));
+  out.push_back(iat);
+}
+
+}  // namespace
+
+std::vector<double> event_features_prefix(const UnpredictableEvent& event,
+                                          net::Ipv4Addr device, std::size_t prefix) {
+  if (event.packets.empty()) throw LogicError("event_features: empty event");
+  std::size_t n = std::min(prefix, event.packets.size());
+
+  std::vector<double> out;
+  out.reserve(kEventFeatureCount);
+  for (std::size_t i = 0; i < kEventFeaturePackets; ++i) {
+    if (i < n) {
+      double iat = (i == 0) ? 0.0 : event.packets[i].ts - event.packets[i - 1].ts;
+      packet_block(event.packets[i], device, iat, out);
+    } else {
+      for (int j = 0; j < 12; ++j) out.push_back(0.0);
+    }
+  }
+
+  // Aggregate statistics over the visible packets.
+  double mean_len = 0.0, mean_iat = 0.0, total_bytes = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_len += event.packets[i].size;
+    total_bytes += event.packets[i].size;
+    if (i > 0) mean_iat += event.packets[i].ts - event.packets[i - 1].ts;
+  }
+  mean_len /= static_cast<double>(n);
+  if (n > 1) mean_iat /= static_cast<double>(n - 1);
+  double var_len = 0.0, var_iat = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dl = event.packets[i].size - mean_len;
+    var_len += dl * dl;
+    if (i > 0) {
+      double di = (event.packets[i].ts - event.packets[i - 1].ts) - mean_iat;
+      var_iat += di * di;
+    }
+  }
+  var_len /= static_cast<double>(n);
+  if (n > 1) var_iat /= static_cast<double>(n - 1);
+
+  out.push_back(mean_len);
+  out.push_back(std::sqrt(var_len));
+  out.push_back(mean_iat);
+  out.push_back(std::sqrt(var_iat));
+  out.push_back(static_cast<double>(n));
+  out.push_back(total_bytes);
+
+  if (out.size() != kEventFeatureCount) throw LogicError("event feature count drift");
+  return out;
+}
+
+std::vector<double> event_features(const UnpredictableEvent& event,
+                                   net::Ipv4Addr device) {
+  // Per-packet block limited to 5; aggregates over the whole event.
+  auto out = event_features_prefix(event, device, kEventFeaturePackets);
+  std::size_t n = event.packets.size();
+  if (n > kEventFeaturePackets) {
+    // Recompute the aggregate tail over the full event.
+    double mean_len = 0.0, mean_iat = 0.0, total_bytes = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mean_len += event.packets[i].size;
+      total_bytes += event.packets[i].size;
+      if (i > 0) mean_iat += event.packets[i].ts - event.packets[i - 1].ts;
+    }
+    mean_len /= static_cast<double>(n);
+    mean_iat /= static_cast<double>(n - 1);
+    double var_len = 0.0, var_iat = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double dl = event.packets[i].size - mean_len;
+      var_len += dl * dl;
+      if (i > 0) {
+        double di = (event.packets[i].ts - event.packets[i - 1].ts) - mean_iat;
+        var_iat += di * di;
+      }
+    }
+    var_len /= static_cast<double>(n);
+    var_iat /= static_cast<double>(n - 1);
+    std::size_t tail = kEventFeatureCount - 6;
+    out[tail] = mean_len;
+    out[tail + 1] = std::sqrt(var_len);
+    out[tail + 2] = mean_iat;
+    out[tail + 3] = std::sqrt(var_iat);
+    out[tail + 4] = static_cast<double>(n);
+    out[tail + 5] = total_bytes;
+  }
+  return out;
+}
+
+std::vector<std::string> event_feature_names() {
+  std::vector<std::string> names;
+  names.reserve(kEventFeatureCount);
+  for (std::size_t i = 1; i <= kEventFeaturePackets; ++i) {
+    std::string p = "pkt" + std::to_string(i) + "-";
+    names.push_back(p + "direction");
+    names.push_back(p + "dst-ip1");
+    names.push_back(p + "dst-ip2");
+    names.push_back(p + "dst-ip3");
+    names.push_back(p + "dst-ip4");
+    names.push_back(p + "proto");
+    names.push_back(p + "tcp-flags");
+    names.push_back(p + "src-port");
+    names.push_back(p + "dst-port");
+    names.push_back(p + "tls");
+    names.push_back(p + "len");
+    names.push_back(p + "iat");
+  }
+  names.push_back("ev-mean-len");
+  names.push_back("ev-std-len");
+  names.push_back("ev-mean-iat");
+  names.push_back("ev-std-iat");
+  names.push_back("ev-pkt-count");
+  names.push_back("ev-total-bytes");
+  return names;
+}
+
+}  // namespace fiat::core

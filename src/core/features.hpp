@@ -1,0 +1,42 @@
+// The 66-feature event representation for manual-traffic classification
+// (§4.1).
+//
+// Per packet i (i = 1..5, zero-padded when the event is shorter), 12
+// features:
+//   pktI-direction, pktI-dst-ip1..4 (the remote endpoint's four octets),
+//   pktI-proto, pktI-tcp-flags, pktI-src-port, pktI-dst-port, pktI-tls,
+//   pktI-len, pktI-iat   (pkt1-iat is always 0)
+// giving 5 x 12 = 60, plus 6 aggregate statistics:
+//   ev-mean-len, ev-std-len, ev-mean-iat, ev-std-iat, ev-pkt-count,
+//   ev-total-bytes
+// for a total of 66. Feature names match Table 4's (pkt1-proto,
+// pkt1-direction, pkt3-tls, pkt1-dst-ip1, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/events.hpp"
+#include "net/packet.hpp"
+
+namespace fiat::core {
+
+constexpr std::size_t kEventFeaturePackets = 5;
+constexpr std::size_t kEventFeatureCount = 66;
+
+/// Extracts the 66 features for one event, relative to `device` (direction
+/// and remote endpoint are device-relative). Aggregate statistics are over
+/// all unpredictable packets of the event, matching §4.1's "statistics such
+/// as mean of packet sizes and inter-arrival times between unpredictable
+/// packets"; the per-packet block uses only the first 5.
+std::vector<double> event_features(const UnpredictableEvent& event,
+                                   net::Ipv4Addr device);
+
+/// Variant consuming at most the first `prefix` packets for both blocks —
+/// this is what the online proxy has when it must decide after N packets.
+std::vector<double> event_features_prefix(const UnpredictableEvent& event,
+                                          net::Ipv4Addr device, std::size_t prefix);
+
+std::vector<std::string> event_feature_names();
+
+}  // namespace fiat::core

@@ -1,0 +1,47 @@
+#include "core/humanness.hpp"
+
+#include <chrono>
+
+#include "gen/sensors.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+HumannessVerifier HumannessVerifier::train(const ml::Dataset& data, int max_depth) {
+  if (data.size() == 0) throw LogicError("HumannessVerifier: empty training data");
+  HumannessVerifier v;
+  ml::TreeConfig config;
+  config.max_depth = max_depth;
+  config.min_samples_leaf = 2;
+  v.tree_ = ml::DecisionTree(config);
+  v.tree_.fit(data);
+
+  // Measure a representative validation latency on the training data.
+  auto t0 = std::chrono::steady_clock::now();
+  constexpr int kReps = 200;
+  int sink = 0;
+  for (int i = 0; i < kReps; ++i) {
+    sink += v.tree_.predict(data.X[static_cast<std::size_t>(i) % data.size()]);
+  }
+  asm volatile("" : : "r"(sink) : "memory");  // keep the loop from folding away
+  auto t1 = std::chrono::steady_clock::now();
+  v.measured_seconds_ =
+      std::chrono::duration<double>(t1 - t0).count() / kReps;
+  return v;
+}
+
+HumannessVerifier HumannessVerifier::train_synthetic(std::uint64_t seed,
+                                                     std::size_t per_class) {
+  sim::Rng rng(seed);
+  ml::Dataset data = gen::make_humanness_dataset(rng, per_class);
+  return train(data);
+}
+
+bool HumannessVerifier::is_human(std::span<const double> features48) const {
+  if (features48.size() != gen::kSensorFeatureCount) {
+    throw LogicError("HumannessVerifier: expected 48 features");
+  }
+  return tree_.predict(features48) == 1;
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,48 @@
+#include "core/intercept.hpp"
+
+#include "net/dns.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+InterceptPoint::InterceptPoint(FiatProxy& proxy, ForwardFn forward)
+    : proxy_(proxy), forward_(std::move(forward)) {
+  if (!forward_) throw LogicError("InterceptPoint: forward callback required");
+}
+
+void InterceptPoint::snoop_dns(const net::ParsedFrame& parsed) {
+  if (parsed.proto != net::Transport::kUdp || parsed.src_port != net::kDnsPort) {
+    return;
+  }
+  try {
+    auto msg = net::decode_dns(parsed.payload);
+    std::size_t before = proxy_.dns().size();
+    proxy_.dns().observe_message(msg);
+    dns_learned_ += proxy_.dns().size() - before;
+  } catch (const ParseError&) {
+    // Not (parseable) DNS; the packet still goes through the normal pipeline.
+  }
+}
+
+Verdict InterceptPoint::handle_frame(double ts, std::span<const std::uint8_t> frame) {
+  ++frames_;
+  std::optional<net::ParsedFrame> parsed;
+  try {
+    parsed = net::parse_frame(frame);
+  } catch (const ParseError&) {
+    ++malformed_;
+    forward_(frame, Verdict::kDrop);
+    return Verdict::kDrop;
+  }
+  if (!parsed) {
+    // Non-IPv4 (ARP, IPv6, ...): outside FIAT's scope, forward as-is.
+    forward_(frame, Verdict::kAllow);
+    return Verdict::kAllow;
+  }
+  snoop_dns(*parsed);
+  Verdict verdict = proxy_.process(parsed->to_record(ts));
+  forward_(frame, verdict);
+  return verdict;
+}
+
+}  // namespace fiat::core

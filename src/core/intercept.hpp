@@ -1,0 +1,48 @@
+// InterceptPoint — the NFQUEUE/ARP-spoof stand-in (§5.4 "Traffic Intercept").
+//
+// In the paper, iptables redirects every forwarded packet into an NFQUEUE;
+// a userspace process sees the raw frame, runs FIAT's analysis, and returns
+// an ACCEPT/DROP verdict to the kernel. InterceptPoint is that userspace
+// half: it consumes raw Ethernet frames (e.g. straight from a pcap), parses
+// them, snoops DNS responses into the proxy's resolver table (which the
+// PortLess rules depend on), asks the FiatProxy for a verdict, and hands the
+// frame + verdict to a forwarding callback. Swapping this class for a real
+// libnetfilter_queue binding is the only change a Linux deployment needs.
+#pragma once
+
+#include <functional>
+
+#include "core/proxy.hpp"
+#include "net/frame.hpp"
+
+namespace fiat::core {
+
+class InterceptPoint {
+ public:
+  /// `forward` receives every frame with its verdict (kAllow => reinject).
+  using ForwardFn =
+      std::function<void(std::span<const std::uint8_t> frame, Verdict verdict)>;
+
+  InterceptPoint(FiatProxy& proxy, ForwardFn forward);
+
+  /// Handles one captured frame at capture time `ts`. Non-IPv4 frames (ARP
+  /// etc.) are forwarded unconditionally, as the paper's proxy does.
+  /// Malformed IPv4 is dropped (and counted) — a safe-default for a security
+  /// middlebox. Returns the verdict applied.
+  Verdict handle_frame(double ts, std::span<const std::uint8_t> frame);
+
+  std::size_t frames_seen() const { return frames_; }
+  std::size_t malformed_dropped() const { return malformed_; }
+  std::size_t dns_records_learned() const { return dns_learned_; }
+
+ private:
+  void snoop_dns(const net::ParsedFrame& parsed);
+
+  FiatProxy& proxy_;
+  ForwardFn forward_;
+  std::size_t frames_ = 0;
+  std::size_t malformed_ = 0;
+  std::size_t dns_learned_ = 0;
+};
+
+}  // namespace fiat::core

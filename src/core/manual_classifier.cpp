@@ -1,0 +1,87 @@
+#include "core/manual_classifier.hpp"
+
+#include "core/features.hpp"
+#include "ml/naive_bayes.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+ManualEventClassifier ManualEventClassifier::simple_rule(std::uint32_t rule_size) {
+  if (rule_size == 0) throw LogicError("simple_rule: size must be non-zero");
+  ManualEventClassifier c;
+  c.rule_size_ = rule_size;
+  return c;
+}
+
+ManualEventClassifier ManualEventClassifier::train(
+    const std::vector<LabeledEvent>& events, net::Ipv4Addr device,
+    std::unique_ptr<ml::Classifier> model) {
+  ml::Dataset data = event_dataset(events, device);
+  bool has_manual = false;
+  for (int y : data.y) {
+    if (y == static_cast<int>(gen::TrafficClass::kManual)) has_manual = true;
+  }
+  if (!has_manual) {
+    throw LogicError("ManualEventClassifier::train: no manual events in training data");
+  }
+
+  ManualEventClassifier c;
+  data.validate();
+  ml::Dataset scaled = c.scaler_.fit_transform(data);
+  std::unique_ptr<ml::Classifier> m =
+      model ? std::move(model) : std::make_unique<ml::BernoulliNB>();
+  m->fit(scaled);
+  c.model_ = std::shared_ptr<const ml::Classifier>(std::move(m));
+  return c;
+}
+
+util::Bytes ManualEventClassifier::save() const {
+  util::ByteWriter w;
+  if (uses_simple_rule()) {
+    w.u8(1);
+    w.u32be(rule_size_);
+    return w.take();
+  }
+  const auto* nb = dynamic_cast<const ml::BernoulliNB*>(model_.get());
+  if (!nb) {
+    throw LogicError(
+        "ManualEventClassifier::save: only simple-rule and BernoulliNB "
+        "classifiers are serializable");
+  }
+  w.u8(2);
+  scaler_.save(w);
+  nb->save(w);
+  return w.take();
+}
+
+ManualEventClassifier ManualEventClassifier::load(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  std::uint8_t kind = r.u8();
+  if (kind == 1) {
+    return simple_rule(r.u32be());
+  }
+  if (kind != 2) throw ParseError("ManualEventClassifier: unknown model kind");
+  ManualEventClassifier c;
+  c.scaler_ = ml::StandardScaler::load(r);
+  c.model_ = std::make_shared<ml::BernoulliNB>(ml::BernoulliNB::load(r));
+  if (!r.done()) throw ParseError("ManualEventClassifier: trailing bytes");
+  return c;
+}
+
+gen::TrafficClass ManualEventClassifier::classify(const UnpredictableEvent& event,
+                                                  net::Ipv4Addr device) const {
+  if (event.packets.empty()) throw LogicError("classify: empty event");
+  if (uses_simple_rule()) {
+    const auto& first = event.packets.front();
+    bool inbound = !first.outbound_from(device);
+    return (inbound && first.size == rule_size_) ? gen::TrafficClass::kManual
+                                                 : gen::TrafficClass::kControl;
+  }
+  if (!model_) throw LogicError("classify: untrained ML classifier");
+  auto features = event_features(event, device);
+  int label = model_->predict(scaler_.transform(features));
+  if (label < 0 || label > 2) return gen::TrafficClass::kControl;
+  return static_cast<gen::TrafficClass>(label);
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,60 @@
+// Per-device unpredictable-event classifier (§4, §5.4).
+//
+// Two flavours, exactly as deployed in the paper's evaluation (footnote 2):
+//  * simple rule — for SP10, WP3 and Nest-E, whose manual traffic is
+//    identified by a fixed-size notification packet (235 B / 267 B);
+//  * ML — BernoulliNB (default; best transferability) or any fiat::ml
+//    Classifier over the 66 event features, trained on labeled events and
+//    scaled to unit variance. The online proxy classifies from the first
+//    N = 5 packets of an event.
+#pragma once
+
+#include <memory>
+
+#include "core/event_dataset.hpp"
+#include "ml/dataset.hpp"
+#include "ml/scaler.hpp"
+
+namespace fiat::core {
+
+class ManualEventClassifier {
+ public:
+  /// Untrained classifier; classify() throws until one of the factories
+  /// below replaces it. Allows aggregate types (ProxyDevice) to be built
+  /// field by field.
+  ManualEventClassifier() = default;
+
+  /// Simple-rule classifier: an event is manual iff its first packet is
+  /// inbound with exactly `rule_size` bytes.
+  static ManualEventClassifier simple_rule(std::uint32_t rule_size);
+
+  /// Trains an ML classifier on labeled events. `model` defaults to
+  /// BernoulliNB when null. Throws fiat::LogicError if no manual events are
+  /// present (nothing to learn).
+  static ManualEventClassifier train(const std::vector<LabeledEvent>& events,
+                                     net::Ipv4Addr device,
+                                     std::unique_ptr<ml::Classifier> model = nullptr);
+
+  /// Classifies an event (may be a prefix the proxy captured online).
+  gen::TrafficClass classify(const UnpredictableEvent& event,
+                             net::Ipv4Addr device) const;
+  bool is_manual(const UnpredictableEvent& event, net::Ipv4Addr device) const {
+    return classify(event, device) == gen::TrafficClass::kManual;
+  }
+
+  bool uses_simple_rule() const { return rule_size_ != 0; }
+
+  /// Serialization for model distribution (§7 "Road to Production": one
+  /// model per device and software version, downloaded automatically).
+  /// ML-mode classifiers must wrap BernoulliNB (the deployed model);
+  /// save() throws fiat::LogicError for other model types.
+  util::Bytes save() const;
+  static ManualEventClassifier load(std::span<const std::uint8_t> data);
+
+ private:
+  std::uint32_t rule_size_ = 0;  // 0 => ML mode
+  ml::StandardScaler scaler_;
+  std::shared_ptr<const ml::Classifier> model_;  // shared: classifier is copyable
+};
+
+}  // namespace fiat::core

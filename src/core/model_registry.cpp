@@ -1,0 +1,111 @@
+#include "core/model_registry.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+namespace {
+constexpr std::uint32_t kRegistryMagic = 0x464d5231;  // "FMR1"
+
+void put_str(util::ByteWriter& w, const std::string& s) {
+  w.u16be(static_cast<std::uint16_t>(s.size()));
+  w.raw(s);
+}
+
+std::string get_str(util::ByteReader& r) { return r.str(r.u16be()); }
+}  // namespace
+
+void ModelRegistry::put(const std::string& device_model, const std::string& version,
+                        const ManualEventClassifier& classifier) {
+  if (device_model.empty()) throw LogicError("ModelRegistry: empty device model");
+  entries_[device_model][version] = classifier.save();
+}
+
+std::optional<ManualEventClassifier> ModelRegistry::get(
+    const std::string& device_model, const std::string& version) const {
+  auto model_it = entries_.find(device_model);
+  if (model_it == entries_.end()) return std::nullopt;
+  auto version_it = model_it->second.find(version);
+  if (version_it == model_it->second.end()) return std::nullopt;
+  return ManualEventClassifier::load(version_it->second);
+}
+
+std::optional<ManualEventClassifier> ModelRegistry::resolve(
+    const std::string& device_model, const std::string& version) const {
+  if (auto exact = get(device_model, version)) return exact;
+  auto model_it = entries_.find(device_model);
+  if (model_it == entries_.end() || model_it->second.empty()) return std::nullopt;
+  // Newest (lexicographically greatest) version as the fallback.
+  return ManualEventClassifier::load(model_it->second.rbegin()->second);
+}
+
+std::vector<std::pair<std::string, std::string>> ModelRegistry::keys() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [model, versions] : entries_) {
+    for (const auto& [version, blob] : versions) out.emplace_back(model, version);
+  }
+  return out;
+}
+
+util::Bytes ModelRegistry::save() const {
+  util::ByteWriter w;
+  w.u32be(kRegistryMagic);
+  std::uint32_t count = 0;
+  for (const auto& [model, versions] : entries_) {
+    count += static_cast<std::uint32_t>(versions.size());
+  }
+  w.u32be(count);
+  for (const auto& [model, versions] : entries_) {
+    for (const auto& [version, blob] : versions) {
+      put_str(w, model);
+      put_str(w, version);
+      w.u32be(static_cast<std::uint32_t>(blob.size()));
+      w.raw(std::span<const std::uint8_t>(blob.data(), blob.size()));
+    }
+  }
+  return w.take();
+}
+
+ModelRegistry ModelRegistry::load(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  if (r.u32be() != kRegistryMagic) throw ParseError("bad model registry magic");
+  std::uint32_t count = r.u32be();
+  ModelRegistry registry;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string model = get_str(r);
+    std::string version = get_str(r);
+    std::uint32_t len = r.u32be();
+    auto blob = r.raw(len);
+    // Validate the blob parses before accepting it.
+    (void)ManualEventClassifier::load(blob);
+    registry.entries_[model][version].assign(blob.begin(), blob.end());
+  }
+  if (!r.done()) throw ParseError("model registry: trailing bytes");
+  return registry;
+}
+
+void ModelRegistry::save_file(const std::string& path) const {
+  auto blob = save();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw IoError("cannot write model registry: " + path);
+  std::size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (written != blob.size()) throw IoError("short write to " + path);
+}
+
+ModelRegistry ModelRegistry::load_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw IoError("cannot read model registry: " + path);
+  util::Bytes blob;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    blob.insert(blob.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return load(blob);
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,58 @@
+// Model registry — §7 "Road to Production": "we envision one model per IoT
+// device and software version which is downloaded and applied automatically
+// as FIAT identifies a new device."
+//
+// The registry maps (device model, firmware version) to a serialized
+// ManualEventClassifier. A FIAT proxy resolves a newly identified device to
+// its classifier, preferring an exact version match and falling back to the
+// newest model for the device model (version strings compare
+// lexicographically, which works for dotted numeric schemes of equal arity).
+// Registries round-trip to a single binary file for distribution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/manual_classifier.hpp"
+
+namespace fiat::core {
+
+class ModelRegistry {
+ public:
+  /// Registers (replacing any existing entry) a classifier for a device
+  /// model + firmware version.
+  void put(const std::string& device_model, const std::string& version,
+           const ManualEventClassifier& classifier);
+
+  /// Exact (model, version) lookup.
+  std::optional<ManualEventClassifier> get(const std::string& device_model,
+                                           const std::string& version) const;
+  /// Exact match, else the newest version registered for the model.
+  std::optional<ManualEventClassifier> resolve(const std::string& device_model,
+                                               const std::string& version) const;
+
+  /// Number of (model, version) entries.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& [model, versions] : entries_) n += versions.size();
+    return n;
+  }
+  /// All (model, version) keys, sorted.
+  std::vector<std::pair<std::string, std::string>> keys() const;
+
+  /// Whole-registry serialization (the downloadable artifact).
+  util::Bytes save() const;
+  static ModelRegistry load(std::span<const std::uint8_t> data);
+  /// File convenience wrappers; throw fiat::IoError on failure.
+  void save_file(const std::string& path) const;
+  static ModelRegistry load_file(const std::string& path);
+
+ private:
+  // key: device model -> version -> blob
+  std::map<std::string, std::map<std::string, util::Bytes>> entries_;
+};
+
+}  // namespace fiat::core

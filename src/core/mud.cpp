@@ -1,0 +1,107 @@
+#include "core/mud.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+MudProfile derive_mud_profile(std::span<const net::PacketRecord> packets,
+                              net::Ipv4Addr device, const std::string& device_name,
+                              const net::DnsTable* dns, std::size_t min_packets) {
+  struct Key {
+    std::string remote;
+    net::Transport proto;
+    std::uint16_t port;
+    bool outbound;
+    bool operator<(const Key& other) const {
+      return std::tie(remote, proto, port, outbound) <
+             std::tie(other.remote, other.proto, other.port, other.outbound);
+    }
+  };
+  std::map<Key, std::size_t> counts;
+  for (const auto& pkt : packets) {
+    if (pkt.src_ip != device && pkt.dst_ip != device) continue;
+    net::Ipv4Addr remote = pkt.remote_of(device);
+    std::string name = remote.str();
+    if (dns) {
+      if (auto domain = dns->domain_of(remote)) name = *domain;
+    }
+    counts[Key{name, pkt.proto, pkt.remote_port_of(device),
+               pkt.outbound_from(device)}]++;
+  }
+
+  MudProfile profile;
+  profile.device_name = device_name;
+  profile.mud_url = "https://fiat.example/mud/" + device_name + ".json";
+  for (const auto& [key, count] : counts) {
+    if (count < min_packets) continue;
+    profile.entries.push_back(
+        MudAclEntry{key.remote, key.proto, key.port, key.outbound, count});
+  }
+  return profile;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void render_acl(std::string& out, const std::string& acl_name,
+                const std::vector<const MudAclEntry*>& entries) {
+  out += "      {\n        \"name\": \"" + acl_name + "\",\n";
+  out += "        \"type\": \"ipv4-acl-type\",\n        \"aces\": {\n"
+         "          \"ace\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& entry = *entries[i];
+    out += "            {\n";
+    out += "              \"name\": \"" + acl_name + "-" + std::to_string(i) + "\",\n";
+    out += "              \"matches\": {\n";
+    bool is_domain = entry.remote.find_first_not_of("0123456789.") != std::string::npos;
+    out += std::string("                \"ipv4\": { \"") +
+           (is_domain ? "ietf-acldns:dst-dnsname" : "destination-ipv4-network") +
+           "\": \"" + json_escape(entry.remote) + "\" },\n";
+    out += std::string("                \"") +
+           (entry.proto == net::Transport::kTcp ? "tcp" : "udp") +
+           "\": { \"destination-port\": { \"operator\": \"eq\", \"port\": " +
+           std::to_string(entry.remote_port) + " } }\n";
+    out += "              },\n";
+    out += "              \"actions\": { \"forwarding\": \"accept\" }\n";
+    out += i + 1 < entries.size() ? "            },\n" : "            }\n";
+  }
+  out += "          ]\n        }\n      }";
+}
+
+}  // namespace
+
+std::string MudProfile::to_json() const {
+  std::vector<const MudAclEntry*> from_device, to_device;
+  for (const auto& entry : entries) {
+    (entry.outbound ? from_device : to_device).push_back(&entry);
+  }
+
+  std::string out = "{\n  \"ietf-mud:mud\": {\n";
+  out += "    \"mud-version\": 1,\n";
+  out += "    \"mud-url\": \"" + json_escape(mud_url) + "\",\n";
+  out += "    \"systeminfo\": \"" + json_escape(device_name) +
+         " (profile derived by FIAT)\",\n";
+  out += "    \"from-device-policy\": { \"access-lists\": { \"access-list\": "
+         "[ { \"name\": \"from-" + json_escape(device_name) + "\" } ] } },\n";
+  out += "    \"to-device-policy\": { \"access-lists\": { \"access-list\": "
+         "[ { \"name\": \"to-" + json_escape(device_name) + "\" } ] } }\n";
+  out += "  },\n  \"ietf-access-control-list:acls\": {\n    \"acl\": [\n";
+  render_acl(out, "from-" + device_name, from_device);
+  out += ",\n";
+  render_acl(out, "to-" + device_name, to_device);
+  out += "\n    ]\n  }\n}\n";
+  return out;
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,48 @@
+// MUD profile export — §8: "the IETF is proposing the Manufacturer Usage
+// Description (MUD), which formally specifies the purpose of IoT devices"
+// (RFC 8520), and Hamza et al. generate MUD profiles from traffic.
+//
+// FIAT's learned rule state is exactly the raw material for a MUD profile:
+// the endpoints/protocols/ports a device legitimately talks to. This module
+// distills a device's observed traffic into MUD-style ACL entries and
+// renders an RFC 8520-shaped JSON document, so a FIAT deployment can hand
+// its knowledge to MUD-aware network gear.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/dns.hpp"
+#include "net/packet.hpp"
+
+namespace fiat::core {
+
+struct MudAclEntry {
+  std::string remote;           // domain when known, dotted quad otherwise
+  net::Transport proto = net::Transport::kTcp;
+  std::uint16_t remote_port = 0;
+  bool outbound = true;         // from-device (true) / to-device (false)
+  std::size_t packets = 0;      // evidence count behind this entry
+};
+
+struct MudProfile {
+  std::string device_name;
+  std::string mud_url;
+  std::vector<MudAclEntry> entries;  // sorted, deduplicated
+
+  /// RFC 8520-shaped JSON ("ietf-mud:mud" container with from/to
+  /// device-policy ACLs). Deterministic output.
+  std::string to_json() const;
+};
+
+/// Distills a traffic sample into a profile. Entries seen fewer than
+/// `min_packets` times are treated as noise and omitted (the Hamza et al.
+/// generation approach). `dns` maps remotes to domains; LAN peers keep
+/// their addresses.
+MudProfile derive_mud_profile(std::span<const net::PacketRecord> packets,
+                              net::Ipv4Addr device, const std::string& device_name,
+                              const net::DnsTable* dns = nullptr,
+                              std::size_t min_packets = 3);
+
+}  // namespace fiat::core

@@ -1,0 +1,126 @@
+#include "core/predictability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+PredictabilityAnalyzer::PredictabilityAnalyzer(net::Ipv4Addr device,
+                                               PredictabilityConfig config)
+    : device_(device), config_(config) {
+  if (config_.bin <= 0) throw LogicError("PredictabilityAnalyzer: bin must be > 0");
+  if (config_.max_match_interval <= 0) {
+    throw LogicError("PredictabilityAnalyzer: max_match_interval must be > 0");
+  }
+}
+
+std::size_t PredictabilityAnalyzer::add(const net::PacketRecord& pkt) {
+  std::size_t index = predictable_.size();
+  predictable_.push_back(false);
+  std::string key = bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse);
+  bucket_of_.push_back(key);
+
+  BucketState& bucket = buckets_[key];
+  bucket.packets++;
+  if (bucket.last_ts >= 0.0) {
+    double delta = pkt.ts - bucket.last_ts;
+    if (delta < 0) throw LogicError("PredictabilityAnalyzer: packets out of order");
+    if (delta <= config_.max_match_interval) {
+      auto bin = static_cast<std::int64_t>(std::llround(delta / config_.bin));
+      auto matched_it = bucket.matched.find(bin);
+      if (matched_it != bucket.matched.end()) {
+        // Bin already promoted: both endpoints of this delta are predictable.
+        predictable_[bucket.last_index] = true;
+        predictable_[index] = true;
+        matched_it->second = std::max(matched_it->second, delta);
+      } else {
+        auto& pending = bucket.pending[bin];
+        bool first_delta_in_bin = pending.empty();
+        pending.push_back(bucket.last_index);
+        pending.push_back(index);
+        if (!first_delta_in_bin) {
+          // Second delta with this inter-arrival: promote the bin and mark
+          // everything associated with it, past and present.
+          for (std::size_t i : pending) predictable_[i] = true;
+          bucket.matched.emplace(bin, delta);
+          bucket.pending.erase(bin);
+        }
+      }
+    }
+  }
+  bucket.last_ts = pkt.ts;
+  bucket.last_index = index;
+  return index;
+}
+
+PredictabilityResult PredictabilityAnalyzer::finish() const {
+  PredictabilityResult result;
+  result.predictable = predictable_;
+  result.total = predictable_.size();
+  for (bool p : predictable_) {
+    if (p) result.predictable_count++;
+  }
+  for (const auto& [key, state] : buckets_) {
+    BucketStats stats;
+    stats.packets = state.packets;
+    for (const auto& [bin, interval] : state.matched) {
+      stats.max_matched_interval = std::max(stats.max_matched_interval, interval);
+    }
+    result.buckets.emplace(key, stats);
+  }
+  for (std::size_t i = 0; i < predictable_.size(); ++i) {
+    if (predictable_[i]) result.buckets[bucket_of_[i]].predictable++;
+  }
+  return result;
+}
+
+PredictabilityResult analyze_predictability(std::span<const net::PacketRecord> packets,
+                                            net::Ipv4Addr device,
+                                            PredictabilityConfig config) {
+  PredictabilityAnalyzer analyzer(device, config);
+  for (const auto& pkt : packets) analyzer.add(pkt);
+  return analyzer.finish();
+}
+
+std::vector<net::PacketRecord> aggregate_windows(
+    std::span<const net::PacketRecord> packets, net::Ipv4Addr device,
+    double window) {
+  if (window <= 0) throw LogicError("aggregate_windows: window must be > 0");
+  // (flow identity without size, window index) -> aggregate
+  struct Agg {
+    net::PacketRecord proto_pkt;
+    std::uint64_t total_size = 0;
+  };
+  std::map<std::pair<std::string, std::int64_t>, Agg> aggregates;
+  for (const auto& pkt : packets) {
+    bool outbound = pkt.outbound_from(device);
+    std::string flow_id = std::string(outbound ? "out|" : "in|") +
+                          pkt.remote_of(device).str() + '|' +
+                          net::transport_name(pkt.proto);
+    auto win = static_cast<std::int64_t>(pkt.ts / window);
+    auto& agg = aggregates[{flow_id, win}];
+    if (agg.total_size == 0) {
+      agg.proto_pkt = pkt;
+      agg.proto_pkt.ts = static_cast<double>(win) * window;
+    }
+    agg.total_size += pkt.size;
+  }
+  std::vector<net::PacketRecord> out;
+  out.reserve(aggregates.size());
+  for (auto& [key, agg] : aggregates) {
+    net::PacketRecord rec = agg.proto_pkt;
+    // The window's byte total becomes the "size" the heuristic buckets on;
+    // one odd packet shifts the sum and breaks the whole window (§2.2).
+    rec.size = static_cast<std::uint32_t>(std::min<std::uint64_t>(agg.total_size, 0xffffffff));
+    out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.ts < b.ts;
+  });
+  return out;
+}
+
+}  // namespace fiat::core

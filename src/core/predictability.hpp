@@ -1,0 +1,95 @@
+// The predictability heuristic (§2.1) in its offline/measurement form.
+//
+// Packets go into buckets (see bucket.hpp); within a bucket we compute the
+// inter-arrival time between consecutive packets. If an inter-arrival
+// matches a previously observed inter-arrival for that bucket, then *all*
+// packets associated with that inter-arrival — previous or future — are
+// predictable. "Matches" is implemented by quantizing inter-arrivals to
+// `bin`-second buckets, and only inter-arrivals up to `max_match_interval`
+// participate (the paper deliberately refuses to chase daily-scale
+// recurrence, §3.2, and its Figure 1(c) bounds useful intervals at ~10 min).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bucket.hpp"
+
+namespace fiat::core {
+
+struct PredictabilityConfig {
+  FlowMode mode = FlowMode::kPortLess;
+  double bin = 0.5;                  // seconds; inter-arrival quantization
+  double max_match_interval = 1200.0; // 2x the Fig 1(c) max of 10 minutes
+  const net::DnsTable* dns = nullptr;
+  const net::ReverseResolver* reverse = nullptr;
+};
+
+struct BucketStats {
+  std::size_t packets = 0;
+  std::size_t predictable = 0;
+  double max_matched_interval = 0.0;  // seconds; 0 if nothing ever matched
+};
+
+struct PredictabilityResult {
+  std::vector<bool> predictable;  // parallel to the input packets
+  std::size_t total = 0;
+  std::size_t predictable_count = 0;
+  std::unordered_map<std::string, BucketStats> buckets;
+
+  double ratio() const {
+    return total == 0 ? 0.0 : static_cast<double>(predictable_count) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Streaming analyzer; feed packets in timestamp order, then finish().
+class PredictabilityAnalyzer {
+ public:
+  explicit PredictabilityAnalyzer(net::Ipv4Addr device,
+                                  PredictabilityConfig config = {});
+
+  /// Returns the index assigned to this packet.
+  std::size_t add(const net::PacketRecord& pkt);
+  /// Finalizes and returns the result (the analyzer can keep accepting
+  /// packets afterwards; finish() may be called repeatedly).
+  PredictabilityResult finish() const;
+
+  const PredictabilityConfig& config() const { return config_; }
+
+ private:
+  struct BucketState {
+    double last_ts = -1.0;
+    std::size_t last_index = 0;
+    std::size_t packets = 0;
+    /// bin -> indices of packets involved in a delta of this bin, kept until
+    /// the bin matches (then flushed and the bin is promoted).
+    std::unordered_map<std::int64_t, std::vector<std::size_t>> pending;
+    /// bins with >= 2 observed deltas: every associated packet is predictable.
+    std::unordered_map<std::int64_t, double> matched;  // bin -> raw interval
+  };
+
+  net::Ipv4Addr device_;
+  PredictabilityConfig config_;
+  std::unordered_map<std::string, BucketState> buckets_;
+  std::vector<bool> predictable_;
+  std::vector<std::string> bucket_of_;  // per packet, for per-bucket stats
+};
+
+/// One-shot convenience over a full trace.
+PredictabilityResult analyze_predictability(std::span<const net::PacketRecord> packets,
+                                            net::Ipv4Addr device,
+                                            PredictabilityConfig config = {});
+
+/// IoT-Inspector-style degradation (§2.2): collapses the trace into 5-second
+/// per-bucket aggregates (one synthetic packet per bucket per window, size =
+/// sum of sizes) before analysis, showing how coarse aggregation destroys
+/// predictability.
+std::vector<net::PacketRecord> aggregate_windows(
+    std::span<const net::PacketRecord> packets, net::Ipv4Addr device,
+    double window = 5.0);
+
+}  // namespace fiat::core

@@ -1,0 +1,258 @@
+#include "core/proxy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+const char* disposition_name(Disposition d) {
+  switch (d) {
+    case Disposition::kNonIot: return "non-iot";
+    case Disposition::kBootstrap: return "bootstrap";
+    case Disposition::kRuleHit: return "rule-hit";
+    case Disposition::kEventPrefix: return "event-prefix";
+    case Disposition::kNonManual: return "non-manual";
+    case Disposition::kManualValidated: return "manual-validated";
+    case Disposition::kManualUnvalidated: return "manual-unvalidated";
+    case Disposition::kLockout: return "lockout";
+    case Disposition::kDagEdge: return "dag-edge";
+  }
+  return "?";
+}
+
+FiatProxy::FiatProxy(ProxyConfig config, HumannessVerifier humanness)
+    : config_(config), humanness_(std::move(humanness)) {
+  if (!config_.rules.dns) config_.rules.dns = &dns_;
+}
+
+void FiatProxy::add_device(ProxyDevice device) {
+  std::uint32_t key = device.ip.value();
+  if (devices_.contains(key)) throw LogicError("FiatProxy: duplicate device IP");
+  devices_.emplace(key,
+                   DeviceState(std::move(device), config_.rules, config_.event_gap));
+}
+
+void FiatProxy::pair_phone(const std::string& client_id,
+                           std::span<const std::uint8_t> psk) {
+  phone_keys_[client_id] = keystore_.import_key(psk, "phone:" + client_id);
+}
+
+void FiatProxy::add_dag_edge(net::Ipv4Addr src, net::Ipv4Addr dst) {
+  dag_.add_edge(src, dst);
+}
+
+bool FiatProxy::in_bootstrap(double now) const {
+  return first_packet_ts_ >= 0 &&
+         now - first_packet_ts_ < config_.bootstrap_duration;
+}
+
+bool FiatProxy::device_locked(const std::string& name, double now) const {
+  for (const auto& [ip, dev] : devices_) {
+    if (dev.config.name != name) continue;
+    if (!dev.locked) return false;
+    if (config_.auto_unlock && now >= dev.locked_until) return false;
+    return true;
+  }
+  return false;
+}
+
+std::size_t FiatProxy::rule_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, dev] : devices_) n += dev.rules.rule_count();
+  return n;
+}
+
+FiatProxy::DeviceState* FiatProxy::device_of(const net::PacketRecord& pkt) {
+  auto it = devices_.find(pkt.src_ip.value());
+  if (it != devices_.end()) return &it->second;
+  it = devices_.find(pkt.dst_ip.value());
+  if (it != devices_.end()) return &it->second;
+  return nullptr;
+}
+
+Verdict FiatProxy::record(double ts, const std::string& device, Verdict v,
+                          Disposition why, int event_seq) {
+  log_.push_back(Decision{ts, device, v, why, event_seq});
+  return v;
+}
+
+bool FiatProxy::fresh_proof_for(const DeviceState& dev, double now) const {
+  for (auto it = proofs_.rbegin(); it != proofs_.rend(); ++it) {
+    if (now - it->time > config_.human_validity_window) break;  // too old
+    if (it->time - now > config_.human_pre_window) continue;    // from the future
+    if (it->app_package == dev.config.app_package) return true;
+  }
+  return false;
+}
+
+void FiatProxy::close_event(DeviceState& dev) {
+  if (dev.event_seq < 0) return;
+  EventOutcome outcome;
+  outcome.device = dev.config.name;
+  outcome.event_seq = dev.event_seq;
+  outcome.start = dev.event_start;
+  outcome.classified = dev.classified.value_or(gen::TrafficClass::kControl);
+  outcome.treated_as_manual =
+      dev.classified && *dev.classified == gen::TrafficClass::kManual;
+  outcome.human_validated = dev.human_validated;
+  outcome.packets_allowed = dev.allowed;
+  outcome.packets_dropped = dev.dropped;
+  outcomes_.push_back(std::move(outcome));
+
+  dev.event_seq = -1;
+  dev.event_packets = 0;
+  dev.allowed = 0;
+  dev.dropped = 0;
+  dev.classified.reset();
+  dev.human_validated = false;
+}
+
+Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord& pkt) {
+  double now = pkt.ts;
+  if (dev.event_packets == 1) {
+    dev.event_seq = next_event_seq_++;
+    dev.event_start = now;
+  }
+
+  // Phase 1: allowed prefix.
+  if (!dev.classified && dev.event_packets <= dev.config.allowed_prefix) {
+    dev.allowed++;
+    return record(now, dev.config.name, Verdict::kAllow, Disposition::kEventPrefix,
+                  dev.event_seq);
+  }
+
+  // Phase 2: classify once, on the packets seen so far (first N + this one).
+  if (!dev.classified) {
+    UnpredictableEvent seen{dev.grouper.open_packets()};
+    dev.classified = dev.config.classifier.classify(seen, dev.config.ip);
+    if (*dev.classified == gen::TrafficClass::kManual) {
+      // Command-shaped traffic must keep facing the humanness gate forever:
+      // its buckets are barred from online rule promotion, or a patient
+      // attacker repeating the command at a constant pace would eventually
+      // be whitelisted as "predictable".
+      for (const auto& event_pkt : seen.packets) {
+        dev.rules.forbid_online(event_pkt);
+      }
+      dev.human_validated = fresh_proof_for(dev, now);
+      if (!dev.human_validated) {
+        ++alerts_;
+        dev.recent_violations.push_back(now);
+        while (!dev.recent_violations.empty() &&
+               now - dev.recent_violations.front() > config_.lockout_window) {
+          dev.recent_violations.pop_front();
+        }
+        if (static_cast<int>(dev.recent_violations.size()) >=
+            config_.lockout_threshold) {
+          dev.locked = true;
+          dev.locked_until = now + config_.lockout_duration;
+        }
+      }
+    }
+  }
+
+  // Phase 3: verdict by classification.
+  if (*dev.classified != gen::TrafficClass::kManual) {
+    dev.allowed++;
+    return record(now, dev.config.name, Verdict::kAllow, Disposition::kNonManual,
+                  dev.event_seq);
+  }
+  if (dev.human_validated) {
+    dev.allowed++;
+    return record(now, dev.config.name, Verdict::kAllow,
+                  Disposition::kManualValidated, dev.event_seq);
+  }
+  dev.dropped++;
+  return record(now, dev.config.name, Verdict::kDrop,
+                Disposition::kManualUnvalidated, dev.event_seq);
+}
+
+Verdict FiatProxy::process(const net::PacketRecord& pkt) {
+  double now = pkt.ts;
+  if (first_packet_ts_ < 0) first_packet_ts_ = now;
+
+  DeviceState* dev = device_of(pkt);
+  if (!dev) return record(now, "", Verdict::kAllow, Disposition::kNonIot, -1);
+
+  // Device-to-device DAG whitelist (§7): e.g. Alexa -> smart light.
+  if (dag_.allows(pkt.src_ip, pkt.dst_ip)) {
+    return record(now, dev->config.name, Verdict::kAllow, Disposition::kDagEdge, -1);
+  }
+
+  // Brute-force lockout: device disconnected until re-enabled.
+  if (dev->locked) {
+    if (config_.auto_unlock && now >= dev->locked_until) {
+      dev->locked = false;
+      dev->recent_violations.clear();
+    } else {
+      return record(now, dev->config.name, Verdict::kDrop, Disposition::kLockout,
+                    dev->event_seq);
+    }
+  }
+
+  // Bootstrap: allow everything and learn.
+  if (in_bootstrap(now)) {
+    dev->rules.learn(pkt);
+    return record(now, dev->config.name, Verdict::kAllow, Disposition::kBootstrap, -1);
+  }
+
+  // Predictable: rule hit.
+  bool hit = config_.continue_learning ? dev->rules.match_and_learn(pkt)
+                                       : dev->rules.match(pkt);
+  if (hit) {
+    return record(now, dev->config.name, Verdict::kAllow, Disposition::kRuleHit, -1);
+  }
+
+  // Unpredictable: event grouping + classification gate.
+  if (auto closed = dev->grouper.add(pkt)) close_event(*dev);
+  dev->event_packets++;
+  return decide_event_packet(*dev, pkt);
+}
+
+std::optional<AuthMessage> FiatProxy::on_auth_payload(
+    const std::string& client_id, std::span<const std::uint8_t> payload,
+    double now) {
+  auto key_it = phone_keys_.find(client_id);
+  if (key_it == phone_keys_.end()) {
+    ++proofs_bad_sig_;
+    return std::nullopt;
+  }
+  if (payload.size() < 8) {
+    ++proofs_bad_sig_;
+    return std::nullopt;
+  }
+  util::ByteReader r(payload);
+  std::uint64_t seq = r.u64be();
+  auto sealed = r.raw(r.remaining());
+  auto msg = open_auth_message(keystore_, key_it->second, seq, sealed);
+  if (!msg) {
+    ++proofs_bad_sig_;
+    return std::nullopt;
+  }
+  if (!humanness_.is_human(msg->features)) {
+    ++proofs_nonhuman_;
+    return std::nullopt;
+  }
+  ++proofs_accepted_;
+  proofs_.push_back(HumanProof{now, msg->app_package});
+  return msg;
+}
+
+void FiatProxy::unlock_device(const std::string& name) {
+  for (auto& [ip, dev] : devices_) {
+    if (dev.config.name == name) {
+      dev.locked = false;
+      dev.recent_violations.clear();
+    }
+  }
+}
+
+void FiatProxy::flush_events() {
+  for (auto& [ip, dev] : devices_) {
+    if (auto last = dev.grouper.flush(); last || dev.event_seq >= 0) {
+      close_event(dev);
+    }
+  }
+}
+
+}  // namespace fiat::core

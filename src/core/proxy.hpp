@@ -1,0 +1,195 @@
+// FIAT's server-side IoT proxy (§5.4, Figure 4).
+//
+// Pipeline per intercepted packet (ARP-spoof + NFQUEUE in the paper; here an
+// in-process intercept point fed by the simulator):
+//
+//   bootstrap?  -> allow + learn rules
+//   rule hit?   -> predictable -> ALLOW
+//   else        -> group into unpredictable events (5 s gap);
+//                  the first N packets of an event are allowed, then the
+//                  per-device classifier runs on what was seen:
+//                    non-manual -> ALLOW the rest of the event
+//                    manual     -> ALLOW only if a fresh, signed, humanness-
+//                                  validated proof from the paired phone
+//                                  covers this window; otherwise DROP, alert,
+//                                  and count towards brute-force lockout.
+//
+// The proxy also honours DAG device-to-device edges (§7) and keeps a
+// tamper-evident decision log (§7 "Technology Acceptance").
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/auth_message.hpp"
+#include "core/events.hpp"
+#include "core/humanness.hpp"
+#include "core/manual_classifier.hpp"
+#include "core/rules.hpp"
+#include "crypto/keystore.hpp"
+
+namespace fiat::core {
+
+enum class Verdict { kAllow, kDrop };
+
+enum class Disposition {
+  kNonIot,        // packet does not involve a registered device
+  kBootstrap,     // learning window: allow all
+  kRuleHit,       // predictable
+  kEventPrefix,   // first N packets of an unpredictable event
+  kNonManual,     // event classified control/automated
+  kManualValidated,
+  kManualUnvalidated,  // dropped: no humanness proof
+  kLockout,       // device under brute-force lockout
+  kDagEdge,       // device-to-device whitelist
+};
+
+const char* disposition_name(Disposition d);
+
+struct ProxyConfig {
+  RuleTableConfig rules;
+  double bootstrap_duration = 1200.0;  // 20 minutes (§6)
+  /// Keep promoting inter-arrival bins to rules after bootstrap (a miss
+  /// still becomes an unpredictable event; this only lets slow flows earn
+  /// rules over time).
+  bool continue_learning = true;
+  double event_gap = 5.0;
+  /// Freshness window: a humanness proof covers manual events starting
+  /// within this many seconds after (or slightly before) the proof.
+  double human_validity_window = 10.0;
+  double human_pre_window = 2.0;  // proof may trail the traffic slightly
+  int lockout_threshold = 3;
+  double lockout_window = 300.0;
+  bool auto_unlock = false;        // paper: manual re-enable by the user
+  double lockout_duration = 3600.0;  // used when auto_unlock is true
+};
+
+struct ProxyDevice {
+  std::string name;
+  net::Ipv4Addr ip;
+  /// Packets of an unpredictable event allowed before classification (the
+  /// footnote-2 N; simple-rule devices decide on the first packet, so 0).
+  std::size_t allowed_prefix = 5;
+  ManualEventClassifier classifier;
+  /// Companion app package a humanness proof must name.
+  std::string app_package;
+};
+
+struct Decision {
+  double ts = 0.0;
+  std::string device;
+  Verdict verdict = Verdict::kAllow;
+  Disposition why = Disposition::kNonIot;
+  int event_seq = -1;
+};
+
+/// Outcome of one completed (or closed) unpredictable event.
+struct EventOutcome {
+  std::string device;
+  int event_seq = -1;
+  double start = 0.0;
+  gen::TrafficClass classified = gen::TrafficClass::kControl;
+  bool treated_as_manual = false;
+  bool human_validated = false;
+  std::size_t packets_allowed = 0;
+  std::size_t packets_dropped = 0;
+};
+
+class FiatProxy {
+ public:
+  FiatProxy(ProxyConfig config, HumannessVerifier humanness);
+
+  // ---- setup -------------------------------------------------------------
+  void add_device(ProxyDevice device);
+  /// Pairs a phone: imports the shared key into the proxy's TEE keystore.
+  void pair_phone(const std::string& client_id, std::span<const std::uint8_t> psk);
+  void add_dag_edge(net::Ipv4Addr src, net::Ipv4Addr dst);
+  /// The proxy's passive DNS view (fed by observed DNS responses; rules use
+  /// it for the PortLess bucket keys).
+  net::DnsTable& dns() { return dns_; }
+
+  // ---- data path ---------------------------------------------------------
+  /// Processes one intercepted packet; `now` defaults to the packet time.
+  Verdict process(const net::PacketRecord& pkt);
+
+  /// Humanness proof arriving from the phone (QuicLite payload: u64 seq ||
+  /// sealed auth message). Returns the validated message when the signature
+  /// verifies AND the motion features pass the humanness tree.
+  std::optional<AuthMessage> on_auth_payload(const std::string& client_id,
+                                             std::span<const std::uint8_t> payload,
+                                             double now);
+
+  /// User manually re-enables a locked-out device (§5.4).
+  void unlock_device(const std::string& name);
+
+  // ---- introspection -----------------------------------------------------
+  const std::vector<Decision>& decision_log() const { return log_; }
+  const std::vector<EventOutcome>& event_outcomes() const { return outcomes_; }
+  /// Closes any open events (end of trace) so their outcomes are recorded.
+  void flush_events();
+
+  std::size_t rule_count() const;
+  bool in_bootstrap(double now) const;
+  bool device_locked(const std::string& name, double now) const;
+  std::size_t alerts() const { return alerts_; }
+  std::size_t proofs_accepted() const { return proofs_accepted_; }
+  std::size_t proofs_rejected_signature() const { return proofs_bad_sig_; }
+  std::size_t proofs_rejected_nonhuman() const { return proofs_nonhuman_; }
+
+ private:
+  struct HumanProof {
+    double time = 0.0;
+    std::string app_package;
+  };
+
+  struct DeviceState {
+    ProxyDevice config;
+    RuleTable rules;
+    EventGrouper grouper;
+    // Open-event state.
+    int event_seq = -1;
+    std::size_t event_packets = 0;
+    std::size_t allowed = 0;
+    std::size_t dropped = 0;
+    double event_start = 0.0;
+    std::optional<gen::TrafficClass> classified;
+    bool human_validated = false;
+    // Lockout bookkeeping.
+    std::deque<double> recent_violations;
+    double locked_until = -1.0;
+    bool locked = false;
+
+    DeviceState(ProxyDevice cfg, const RuleTableConfig& rules_cfg, double gap)
+        : config(std::move(cfg)), rules(config.ip, rules_cfg), grouper(gap) {}
+  };
+
+  DeviceState* device_of(const net::PacketRecord& pkt);
+  Verdict decide_event_packet(DeviceState& dev, const net::PacketRecord& pkt);
+  void close_event(DeviceState& dev);
+  bool fresh_proof_for(const DeviceState& dev, double now) const;
+  Verdict record(double ts, const std::string& device, Verdict v, Disposition why,
+                 int event_seq);
+
+  ProxyConfig config_;
+  HumannessVerifier humanness_;
+  crypto::KeyStore keystore_;  // the proxy's SGX-style enclave store
+  std::map<std::string, crypto::KeyHandle> phone_keys_;
+  std::map<std::uint32_t, DeviceState> devices_;  // by device IP
+  DeviceDag dag_;
+  net::DnsTable dns_;
+
+  double first_packet_ts_ = -1.0;
+  int next_event_seq_ = 0;
+  std::vector<Decision> log_;
+  std::vector<EventOutcome> outcomes_;
+  std::vector<HumanProof> proofs_;
+  std::size_t alerts_ = 0;
+  std::size_t proofs_accepted_ = 0;
+  std::size_t proofs_bad_sig_ = 0;
+  std::size_t proofs_nonhuman_ = 0;
+};
+
+}  // namespace fiat::core

@@ -1,0 +1,98 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace fiat::core {
+
+SecurityReport build_security_report(const FiatProxy& proxy) {
+  SecurityReport report;
+  report.proofs_accepted = proxy.proofs_accepted();
+  report.proofs_rejected_signature = proxy.proofs_rejected_signature();
+  report.proofs_rejected_nonhuman = proxy.proofs_rejected_nonhuman();
+
+  std::map<std::string, DeviceReport> devices;
+  for (const auto& decision : proxy.decision_log()) {
+    if (decision.device.empty()) continue;
+    auto& dev = devices[decision.device];
+    dev.device = decision.device;
+    if (decision.verdict == Verdict::kAllow) {
+      dev.packets_allowed++;
+    } else {
+      dev.packets_dropped++;
+    }
+    if (decision.why == Disposition::kLockout) {
+      // One incident per lockout *streak* start.
+      if (report.incidents.empty() ||
+          report.incidents.back().device != decision.device ||
+          report.incidents.back().description.find("lockout") == std::string::npos ||
+          decision.ts - report.incidents.back().ts > 60.0) {
+        report.incidents.push_back(
+            {decision.ts, decision.device,
+             "device under brute-force lockout; traffic dropped"});
+      }
+    }
+  }
+
+  for (const auto& outcome : proxy.event_outcomes()) {
+    auto& dev = devices[outcome.device];
+    dev.device = outcome.device;
+    dev.events_total++;
+    if (outcome.treated_as_manual) {
+      if (outcome.human_validated) {
+        dev.events_manual_validated++;
+      } else {
+        dev.events_manual_blocked++;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "manual-looking traffic with no human present (%zu packets "
+                      "blocked)",
+                      outcome.packets_dropped);
+        report.incidents.push_back({outcome.start, outcome.device, buf});
+      }
+    } else {
+      dev.events_non_manual++;
+    }
+  }
+
+  for (auto& [name, dev] : devices) report.devices.push_back(dev);
+  std::sort(report.incidents.begin(), report.incidents.end(),
+            [](const Incident& a, const Incident& b) { return a.ts < b.ts; });
+  return report;
+}
+
+std::string SecurityReport::render() const {
+  std::string out = "=== FIAT security report ===\n\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "humanness proofs: %zu accepted, %zu bad signature, %zu non-human\n\n",
+                proofs_accepted, proofs_rejected_signature, proofs_rejected_nonhuman);
+  out += line;
+
+  std::snprintf(line, sizeof(line), "%-12s %9s %9s %7s %10s %9s %8s\n", "device",
+                "allowed", "dropped", "events", "validated", "blocked", "other");
+  out += line;
+  for (const auto& dev : devices) {
+    std::snprintf(line, sizeof(line), "%-12s %9zu %9zu %7zu %10zu %9zu %8zu\n",
+                  dev.device.c_str(), dev.packets_allowed, dev.packets_dropped,
+                  dev.events_total, dev.events_manual_validated,
+                  dev.events_manual_blocked, dev.events_non_manual);
+    out += line;
+  }
+
+  out += "\nincidents";
+  if (incidents.empty()) {
+    out += ": none\n";
+  } else {
+    out += ":\n";
+    for (const auto& incident : incidents) {
+      std::snprintf(line, sizeof(line), "  [t=%10.1fs] %-12s %s\n", incident.ts,
+                    incident.device.c_str(), incident.description.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace fiat::core

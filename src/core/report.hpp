@@ -1,0 +1,52 @@
+// User-facing security reporting — §7 "Technology Acceptance": FIAT's proxy
+// "keeps logs of all the unpredictable events ... Reporting such logs to the
+// users can effectively relieve the concerns and allow the users to notice
+// the silent false negatives. While this function is not explored in this
+// paper, they are certainly achievable by FIAT."
+//
+// SecurityReport digests a proxy's decision/event/proof logs into per-device
+// statistics and a chronological incident list, and renders a plain-text
+// summary a companion app could display. Because the logs live inside the
+// proxy's TEE boundary (the keystore audit trail covers every signature
+// check), an attacker who can spoof 2FA SMS still cannot scrub these records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/proxy.hpp"
+
+namespace fiat::core {
+
+struct DeviceReport {
+  std::string device;
+  std::size_t packets_allowed = 0;
+  std::size_t packets_dropped = 0;
+  std::size_t events_total = 0;
+  std::size_t events_manual_validated = 0;
+  std::size_t events_manual_blocked = 0;
+  std::size_t events_non_manual = 0;
+};
+
+struct Incident {
+  double ts = 0.0;
+  std::string device;
+  std::string description;
+};
+
+struct SecurityReport {
+  std::vector<DeviceReport> devices;
+  std::vector<Incident> incidents;  // chronological
+  std::size_t proofs_accepted = 0;
+  std::size_t proofs_rejected_signature = 0;
+  std::size_t proofs_rejected_nonhuman = 0;
+
+  /// Plain-text rendering (what the companion app would show).
+  std::string render() const;
+};
+
+/// Builds the report from the proxy's current logs. Call
+/// proxy.flush_events() first if the trace has ended.
+SecurityReport build_security_report(const FiatProxy& proxy);
+
+}  // namespace fiat::core

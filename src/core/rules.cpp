@@ -1,0 +1,108 @@
+#include "core/rules.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+RuleTable::RuleTable(net::Ipv4Addr device, RuleTableConfig config)
+    : device_(device), config_(config) {
+  if (config_.bin <= 0) throw LogicError("RuleTable: bin must be > 0");
+}
+
+std::pair<RuleTable::BucketState*, std::int64_t> RuleTable::observe(
+    const net::PacketRecord& pkt) {
+  std::string key = bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse);
+  BucketState& bucket = buckets_[key];
+  std::int64_t bin = -1;
+  if (bucket.last_ts >= 0.0) {
+    double delta = pkt.ts - bucket.last_ts;
+    if (delta >= 0 && delta <= config_.max_match_interval) {
+      bin = static_cast<std::int64_t>(std::llround(delta / config_.bin));
+    }
+  }
+  bucket.last_ts = pkt.ts;
+  return {&bucket, bin};
+}
+
+void RuleTable::learn(const net::PacketRecord& pkt) {
+  auto [bucket, bin] = observe(pkt);
+  if (bin < 0) return;
+  if (bucket->seen_bins.contains(bin)) {
+    bucket->matched_bins.insert(bin);
+  } else {
+    bucket->seen_bins.insert(bin);
+  }
+}
+
+bool RuleTable::match(const net::PacketRecord& pkt) {
+  auto [bucket, bin] = observe(pkt);
+  if (bin < 0) return false;
+  return bucket->matched_bins.contains(bin);
+}
+
+bool RuleTable::match_and_learn(const net::PacketRecord& pkt) {
+  auto [bucket, bin] = observe(pkt);
+  if (bin < 0) return false;
+  if (bucket->matched_bins.contains(bin)) return true;
+  // Online promotion floor: fast rhythms never earn rules after bootstrap
+  // (see RuleTableConfig::min_online_learn_interval).
+  if (static_cast<double>(bin) * config_.bin < config_.min_online_learn_interval) {
+    return false;
+  }
+  // Buckets implicated in manual-classified events never self-promote.
+  if (banned_.contains(bucket_key(pkt, device_, config_.mode, config_.dns,
+                                  config_.reverse))) {
+    return false;
+  }
+  if (bucket->seen_bins.contains(bin)) {
+    bucket->matched_bins.insert(bin);
+  } else {
+    bucket->seen_bins.insert(bin);
+  }
+  return false;
+}
+
+void RuleTable::forbid_online(const net::PacketRecord& pkt) {
+  banned_.insert(
+      bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse));
+}
+
+std::size_t RuleTable::rule_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, bucket] : buckets_) n += bucket.matched_bins.size();
+  return n;
+}
+
+void DeviceDag::add_edge(net::Ipv4Addr src, net::Ipv4Addr dst) {
+  if (src == dst) throw LogicError("DeviceDag: self edge");
+  if (reachable(dst, src)) {
+    throw LogicError("DeviceDag: edge " + src.str() + "->" + dst.str() +
+                     " would create a cycle");
+  }
+  edges_[src.value()].insert(dst.value());
+}
+
+bool DeviceDag::allows(net::Ipv4Addr src, net::Ipv4Addr dst) const {
+  auto it = edges_.find(src.value());
+  return it != edges_.end() && it->second.contains(dst.value());
+}
+
+std::size_t DeviceDag::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [src, dsts] : edges_) n += dsts.size();
+  return n;
+}
+
+bool DeviceDag::reachable(net::Ipv4Addr from, net::Ipv4Addr to) const {
+  if (from == to) return true;
+  auto it = edges_.find(from.value());
+  if (it == edges_.end()) return false;
+  for (std::uint32_t next : it->second) {
+    if (reachable(net::Ipv4Addr(next), to)) return true;
+  }
+  return false;
+}
+
+}  // namespace fiat::core

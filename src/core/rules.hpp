@@ -1,0 +1,103 @@
+// Access-control rule table (§5.4 "Rules Creation" / "Access Control").
+//
+// During the ~20-minute bootstrap window (2x the Figure 1(c) maximum
+// predictable interval) the proxy allows everything and learns, per device,
+// which flow buckets recur at which inter-arrival bins. After bootstrap, a
+// packet "hits" when its bucket has a learned rule and its inter-arrival
+// from the previous packet of the bucket falls in a learned bin — i.e. the
+// online form of the §2.1 heuristic. Rules use the PortLess definition by
+// default, "given its superior performance".
+//
+// The table also holds the §7 "Complex Scenarios" extension: DAG edges that
+// whitelist unidirectional device-to-device traffic (e.g. Alexa -> smart
+// light), so hub-initiated commands are not mistaken for attacks.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/bucket.hpp"
+
+namespace fiat::core {
+
+struct RuleTableConfig {
+  FlowMode mode = FlowMode::kPortLess;
+  double bin = 0.5;
+  double max_match_interval = 1200.0;
+  /// Floor for *online* rule promotion (match_and_learn). Without it, an
+  /// attacker could blast identical packets at a constant sub-second pace
+  /// and have the proxy promote their rhythm into an allow rule after three
+  /// packets. Legitimate keep-alives beat at seconds-to-minutes scale, so a
+  /// 2 s floor costs nothing; bootstrap learning is exempt (the window is
+  /// assumed attack-free, as in the paper).
+  double min_online_learn_interval = 2.0;
+  const net::DnsTable* dns = nullptr;
+  const net::ReverseResolver* reverse = nullptr;
+};
+
+class RuleTable {
+ public:
+  explicit RuleTable(net::Ipv4Addr device, RuleTableConfig config = {});
+
+  /// Learning-phase ingestion: observes the packet, updating bucket state
+  /// and promoting inter-arrival bins seen twice into rules.
+  void learn(const net::PacketRecord& pkt);
+
+  /// Post-bootstrap matching: returns true (rule hit => predictable =>
+  /// allow) and updates the bucket's timing state. A miss also updates
+  /// state, so later packets of the same flow can still hit.
+  bool match(const net::PacketRecord& pkt);
+
+  /// Matching with continued learning: like match(), but a miss also feeds
+  /// the learner, so flows whose period exceeds the bootstrap window (up to
+  /// 10 minutes, Fig 1c) eventually earn rules instead of producing
+  /// unpredictable events forever.
+  bool match_and_learn(const net::PacketRecord& pkt);
+
+  /// Permanently excludes the packet's bucket from *online* promotion.
+  /// The proxy calls this for every packet of an event classified manual:
+  /// otherwise an attacker issuing real commands at a constant pace teaches
+  /// the learner their own rhythm and gets whitelisted after three attempts.
+  /// Bootstrap-learned rules for the bucket keep matching.
+  void forbid_online(const net::PacketRecord& pkt);
+  std::size_t forbidden_count() const { return banned_.size(); }
+
+  /// Number of (bucket, bin) rules learned.
+  std::size_t rule_count() const;
+  std::size_t bucket_count() const { return buckets_.size(); }
+  net::Ipv4Addr device() const { return device_; }
+
+ private:
+  struct BucketState {
+    double last_ts = -1.0;
+    std::set<std::int64_t> seen_bins;     // observed once
+    std::set<std::int64_t> matched_bins;  // observed twice => rule
+  };
+
+  std::pair<BucketState*, std::int64_t> observe(const net::PacketRecord& pkt);
+
+  net::Ipv4Addr device_;
+  RuleTableConfig config_;
+  std::unordered_map<std::string, BucketState> buckets_;
+  std::set<std::string> banned_;  // buckets excluded from online promotion
+};
+
+/// DAG of device-to-device allow edges (§7). Edges are directional.
+class DeviceDag {
+ public:
+  /// Adds edge src -> dst. Throws fiat::LogicError if it would close a cycle
+  /// (the paper envisions a DAG; cycles would let two compromised devices
+  /// authorize each other forever).
+  void add_edge(net::Ipv4Addr src, net::Ipv4Addr dst);
+  bool allows(net::Ipv4Addr src, net::Ipv4Addr dst) const;
+  std::size_t edge_count() const;
+
+ private:
+  bool reachable(net::Ipv4Addr from, net::Ipv4Addr to) const;
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> edges_;
+};
+
+}  // namespace fiat::core

@@ -1,0 +1,68 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "util/error.hpp"
+
+namespace fiat::crypto {
+
+Aead::Aead(std::span<const std::uint8_t> key) {
+  if (key.size() != 32) throw CryptoError("Aead requires a 32-byte key");
+  auto enc = hkdf(/*salt=*/{}, key, "fiat aead enc", 32);
+  std::memcpy(enc_key_.data(), enc.data(), 32);
+  mac_key_ = hkdf(/*salt=*/{}, key, "fiat aead mac", 32);
+}
+
+namespace {
+
+// MAC input: aad || nonce || ciphertext || len(aad) as u64le. Binding the aad
+// length prevents boundary-shifting between aad and ciphertext.
+Digest256 compute_tag(std::span<const std::uint8_t> mac_key,
+                      const ChaChaNonce& nonce,
+                      std::span<const std::uint8_t> aad,
+                      std::span<const std::uint8_t> ciphertext) {
+  std::vector<std::uint8_t> mac_input;
+  mac_input.reserve(aad.size() + nonce.size() + ciphertext.size() + 8);
+  mac_input.insert(mac_input.end(), aad.begin(), aad.end());
+  mac_input.insert(mac_input.end(), nonce.begin(), nonce.end());
+  mac_input.insert(mac_input.end(), ciphertext.begin(), ciphertext.end());
+  std::uint64_t alen = aad.size();
+  for (int i = 0; i < 8; ++i) mac_input.push_back(static_cast<std::uint8_t>(alen >> (8 * i)));
+  return hmac_sha256(mac_key, mac_input);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Aead::seal(const ChaChaNonce& nonce,
+                                     std::span<const std::uint8_t> aad,
+                                     std::span<const std::uint8_t> plaintext) const {
+  // Counter starts at 1 to mirror RFC 8439's AEAD construction, which
+  // reserves block 0 for the one-time MAC key.
+  std::vector<std::uint8_t> out = chacha20(enc_key_, nonce, 1, plaintext);
+  Digest256 tag = compute_tag(mac_key_, nonce, aad, out);
+  out.insert(out.end(), tag.begin(), tag.begin() + kAeadTagLen);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Aead::open(
+    const ChaChaNonce& nonce, std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> sealed) const {
+  if (sealed.size() < kAeadTagLen) return std::nullopt;
+  auto ciphertext = sealed.subspan(0, sealed.size() - kAeadTagLen);
+  auto tag = sealed.subspan(sealed.size() - kAeadTagLen);
+  Digest256 expect = compute_tag(mac_key_, nonce, aad, ciphertext);
+  if (!constant_time_equal(tag, std::span<const std::uint8_t>(expect.data(), kAeadTagLen))) {
+    return std::nullopt;
+  }
+  return chacha20(enc_key_, nonce, 1, ciphertext);
+}
+
+ChaChaNonce Aead::nonce_from_seq(std::uint64_t seq) {
+  ChaChaNonce nonce{};
+  for (int i = 0; i < 8; ++i) nonce[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  return nonce;
+}
+
+}  // namespace fiat::crypto

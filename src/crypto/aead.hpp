@@ -1,0 +1,43 @@
+// Encrypt-then-MAC AEAD built from ChaCha20 + HMAC-SHA256 (truncated 16-byte
+// tag). This protects QuicLite packets and FIAT auth messages.
+//
+// Wire layout of a sealed message: ciphertext || tag(16).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+
+namespace fiat::crypto {
+
+constexpr std::size_t kAeadTagLen = 16;
+
+class Aead {
+ public:
+  /// `key` must be 32 bytes of keying material; it is split internally into
+  /// independent encryption and MAC keys via HKDF.
+  explicit Aead(std::span<const std::uint8_t> key);
+
+  /// Seals plaintext under (nonce, aad). The 12-byte nonce must be unique per
+  /// key; QuicLite uses the packet number.
+  std::vector<std::uint8_t> seal(const ChaChaNonce& nonce,
+                                 std::span<const std::uint8_t> aad,
+                                 std::span<const std::uint8_t> plaintext) const;
+
+  /// Opens a sealed message; returns nullopt on authentication failure.
+  std::optional<std::vector<std::uint8_t>> open(
+      const ChaChaNonce& nonce, std::span<const std::uint8_t> aad,
+      std::span<const std::uint8_t> sealed) const;
+
+  /// Builds a nonce from a 64-bit sequence number (low 8 bytes LE, top 4 zero).
+  static ChaChaNonce nonce_from_seq(std::uint64_t seq);
+
+ private:
+  ChaChaKey enc_key_;
+  std::vector<std::uint8_t> mac_key_;
+};
+
+}  // namespace fiat::crypto

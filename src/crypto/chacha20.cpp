@@ -1,0 +1,81 @@
+#include "crypto/chacha20.hpp"
+
+namespace fiat::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t load32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter) {
+  // "expand 32-byte k" constants.
+  std::uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+                             load32le(&key[0]),  load32le(&key[4]),
+                             load32le(&key[8]),  load32le(&key[12]),
+                             load32le(&key[16]), load32le(&key[20]),
+                             load32le(&key[24]), load32le(&key[28]),
+                             counter,
+                             load32le(&nonce[0]), load32le(&nonce[4]),
+                             load32le(&nonce[8])};
+  std::uint32_t working[16];
+  for (int i = 0; i < 16; ++i) working[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t counter, std::span<std::uint8_t> data) {
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    auto block = chacha20_block(key, nonce, counter++);
+    std::size_t take = std::min<std::size_t>(64, data.size() - pos);
+    for (std::size_t i = 0; i < take; ++i) data[pos + i] ^= block[i];
+    pos += take;
+  }
+}
+
+std::vector<std::uint8_t> chacha20(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                   std::uint32_t counter,
+                                   std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  chacha20_xor(key, nonce, counter, out);
+  return out;
+}
+
+}  // namespace fiat::crypto

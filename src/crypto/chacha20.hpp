@@ -1,0 +1,31 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch. QuicLite packet
+// protection uses ChaCha20 for confidentiality and HMAC-SHA256 for integrity
+// (an encrypt-then-MAC AEAD; see aead.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fiat::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// XORs `data` in place with the ChaCha20 keystream for (key, nonce) starting
+/// at block `counter`. Encryption and decryption are the same operation.
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t counter, std::span<std::uint8_t> data);
+
+/// Convenience: returns the transformed copy.
+std::vector<std::uint8_t> chacha20(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                   std::uint32_t counter,
+                                   std::span<const std::uint8_t> data);
+
+/// Generates a single 64-byte keystream block (exposed for test vectors).
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter);
+
+}  // namespace fiat::crypto

@@ -1,0 +1,40 @@
+#include "crypto/hkdf.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/error.hpp"
+
+namespace fiat::crypto {
+
+std::vector<std::uint8_t> hkdf_extract(std::span<const std::uint8_t> salt,
+                                       std::span<const std::uint8_t> ikm) {
+  Digest256 prk = hmac_sha256(salt, ikm);
+  return {prk.begin(), prk.end()};
+}
+
+std::vector<std::uint8_t> hkdf_expand(std::span<const std::uint8_t> prk,
+                                      std::string_view info, std::size_t length) {
+  if (length > 255 * 32) throw LogicError("hkdf_expand: length too large");
+  std::vector<std::uint8_t> okm;
+  okm.reserve(length);
+  std::vector<std::uint8_t> t;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    std::vector<std::uint8_t> input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    Digest256 block = hmac_sha256(prk, input);
+    t.assign(block.begin(), block.end());
+    std::size_t take = std::min<std::size_t>(32, length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<long>(take));
+  }
+  return okm;
+}
+
+std::vector<std::uint8_t> hkdf(std::span<const std::uint8_t> salt,
+                               std::span<const std::uint8_t> ikm,
+                               std::string_view info, std::size_t length) {
+  auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace fiat::crypto

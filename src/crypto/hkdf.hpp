@@ -1,0 +1,25 @@
+// HKDF-SHA256 (RFC 5869). QuicLite derives its handshake, 0-RTT, and
+// application keys from the pre-shared pairing key with this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace fiat::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+std::vector<std::uint8_t> hkdf_extract(std::span<const std::uint8_t> salt,
+                                       std::span<const std::uint8_t> ikm);
+
+/// HKDF-Expand to `length` bytes (length <= 255*32).
+std::vector<std::uint8_t> hkdf_expand(std::span<const std::uint8_t> prk,
+                                      std::string_view info, std::size_t length);
+
+/// Extract-then-expand convenience.
+std::vector<std::uint8_t> hkdf(std::span<const std::uint8_t> salt,
+                               std::span<const std::uint8_t> ikm,
+                               std::string_view info, std::size_t length);
+
+}  // namespace fiat::crypto

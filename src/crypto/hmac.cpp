@@ -1,0 +1,43 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace fiat::crypto {
+
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> data) {
+  std::uint8_t block[64];
+  std::memset(block, 0, sizeof(block));
+  if (key.size() > 64) {
+    Digest256 kh = Sha256::hash(key);
+    std::memcpy(block, kh.data(), kh.size());
+  } else {
+    std::memcpy(block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad, 64));
+  inner.update(data);
+  Digest256 inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad, 64));
+  outer.update(std::span<const std::uint8_t>(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace fiat::crypto

@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104). Used to authenticate FIAT sensor reports and
+// QuicLite packets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace fiat::crypto {
+
+/// Computes HMAC-SHA256(key, data).
+Digest256 hmac_sha256(std::span<const std::uint8_t> key,
+                      std::span<const std::uint8_t> data);
+
+/// Constant-time comparison of two MACs; prevents timing side channels when
+/// the proxy verifies auth messages.
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b);
+
+}  // namespace fiat::crypto

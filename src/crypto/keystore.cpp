@@ -1,0 +1,88 @@
+#include "crypto/keystore.hpp"
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "util/error.hpp"
+
+namespace fiat::crypto {
+
+KeyHandle KeyStore::import_key(std::span<const std::uint8_t> material,
+                               std::string label) {
+  if (material.size() != 32) throw CryptoError("KeyStore: keys must be 32 bytes");
+  KeyHandle h = next_handle_++;
+  keys_[h] = Entry{{material.begin(), material.end()}, std::move(label)};
+  audit(h, "import", true);
+  return h;
+}
+
+KeyHandle KeyStore::generate_key(std::span<const std::uint8_t> entropy,
+                                 std::string label) {
+  if (entropy.empty()) throw CryptoError("KeyStore: entropy required");
+  Digest256 material = Sha256::hash(entropy);
+  KeyHandle h = next_handle_++;
+  keys_[h] = Entry{{material.begin(), material.end()}, std::move(label)};
+  audit(h, "generate", true);
+  return h;
+}
+
+const KeyStore::Entry& KeyStore::entry(KeyHandle handle) const {
+  auto it = keys_.find(handle);
+  if (it == keys_.end()) throw CryptoError("KeyStore: unknown key handle");
+  return it->second;
+}
+
+void KeyStore::audit(KeyHandle handle, std::string op, bool success) {
+  audit_.push_back(AuditEntry{handle, std::move(op), success});
+}
+
+Digest256 KeyStore::sign(KeyHandle handle, std::span<const std::uint8_t> data) {
+  const auto& e = entry(handle);
+  audit(handle, "sign", true);
+  return hmac_sha256(e.material, data);
+}
+
+bool KeyStore::verify(KeyHandle handle, std::span<const std::uint8_t> data,
+                      std::span<const std::uint8_t> signature) {
+  const auto& e = entry(handle);
+  Digest256 expect = hmac_sha256(e.material, data);
+  bool ok = constant_time_equal(signature, expect);
+  audit(handle, "verify", ok);
+  return ok;
+}
+
+std::vector<std::uint8_t> KeyStore::seal(KeyHandle handle, std::uint64_t seq,
+                                         std::span<const std::uint8_t> aad,
+                                         std::span<const std::uint8_t> plaintext) {
+  const auto& e = entry(handle);
+  Aead aead(e.material);
+  audit(handle, "seal", true);
+  return aead.seal(Aead::nonce_from_seq(seq), aad, plaintext);
+}
+
+std::optional<std::vector<std::uint8_t>> KeyStore::open(
+    KeyHandle handle, std::uint64_t seq, std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> sealed) {
+  const auto& e = entry(handle);
+  Aead aead(e.material);
+  auto out = aead.open(Aead::nonce_from_seq(seq), aad, sealed);
+  audit(handle, "open", out.has_value());
+  return out;
+}
+
+Digest256 KeyStore::fingerprint(KeyHandle handle) const {
+  const auto& e = entry(handle);
+  // Fingerprint hashes a domain-separated copy, never the raw key.
+  std::vector<std::uint8_t> input;
+  const char* prefix = "fiat key fingerprint:";
+  input.insert(input.end(), prefix, prefix + 21);
+  input.insert(input.end(), e.material.begin(), e.material.end());
+  return Sha256::hash(input);
+}
+
+std::optional<std::string> KeyStore::label(KeyHandle handle) const {
+  auto it = keys_.find(handle);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second.label;
+}
+
+}  // namespace fiat::crypto

@@ -1,0 +1,79 @@
+// KeyStore: stand-in for the hardware-backed trusted execution environments
+// the paper relies on (Android secure keystore on the phone, SGX on the
+// proxy).
+//
+// The trust property we preserve in software: key *material* never leaves the
+// store — callers hand data in and get signatures/AEAD results out, identified
+// by an opaque handle. Every access is recorded in an audit log, which the
+// paper's "Technology Acceptance" discussion (§7) relies on: the proxy keeps
+// tamper-evident records of unpredictable events inside the TEE boundary.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/aead.hpp"
+#include "crypto/sha256.hpp"
+
+namespace fiat::crypto {
+
+using KeyHandle = std::uint32_t;
+
+class KeyStore {
+ public:
+  struct AuditEntry {
+    KeyHandle handle;
+    std::string operation;  // "generate", "import", "sign", "verify", "seal", "open"
+    bool success;
+  };
+
+  /// Imports 32 bytes of key material; returns an opaque handle.
+  KeyHandle import_key(std::span<const std::uint8_t> material, std::string label);
+
+  /// Generates a key from the given entropy bytes (the caller supplies
+  /// entropy so simulations stay deterministic).
+  KeyHandle generate_key(std::span<const std::uint8_t> entropy, std::string label);
+
+  /// HMAC-SHA256 signature over `data` with the handle's key.
+  Digest256 sign(KeyHandle handle, std::span<const std::uint8_t> data);
+
+  /// Verifies a signature in constant time.
+  bool verify(KeyHandle handle, std::span<const std::uint8_t> data,
+              std::span<const std::uint8_t> signature);
+
+  /// AEAD-seals/opens with a key derived from the handle's key.
+  std::vector<std::uint8_t> seal(KeyHandle handle, std::uint64_t seq,
+                                 std::span<const std::uint8_t> aad,
+                                 std::span<const std::uint8_t> plaintext);
+  std::optional<std::vector<std::uint8_t>> open(KeyHandle handle, std::uint64_t seq,
+                                                std::span<const std::uint8_t> aad,
+                                                std::span<const std::uint8_t> sealed);
+
+  /// SHA-256 fingerprint of the public identity of a key (for pairing UX,
+  /// e.g. displayed as a QR code in the paper's pairing step).
+  Digest256 fingerprint(KeyHandle handle) const;
+
+  /// Label lookup (labels are not secret).
+  std::optional<std::string> label(KeyHandle handle) const;
+
+  const std::vector<AuditEntry>& audit_log() const { return audit_; }
+  std::size_t key_count() const { return keys_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> material;
+    std::string label;
+  };
+  const Entry& entry(KeyHandle handle) const;
+  void audit(KeyHandle handle, std::string op, bool success);
+
+  std::map<KeyHandle, Entry> keys_;
+  KeyHandle next_handle_ = 1;
+  std::vector<AuditEntry> audit_;
+};
+
+}  // namespace fiat::crypto

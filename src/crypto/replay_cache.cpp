@@ -1,0 +1,27 @@
+#include "crypto/replay_cache.hpp"
+
+namespace fiat::crypto {
+
+ReplayCache::ReplayCache(double window_seconds, std::size_t max_entries)
+    : window_(window_seconds), max_entries_(max_entries) {}
+
+bool ReplayCache::check_and_insert(std::uint64_t nonce, double now) {
+  expire(now);
+  if (seen_.contains(nonce)) return false;
+  if (order_.size() >= max_entries_) {
+    seen_.erase(order_.front().second);
+    order_.pop_front();
+  }
+  seen_.insert(nonce);
+  order_.emplace_back(now, nonce);
+  return true;
+}
+
+void ReplayCache::expire(double now) {
+  while (!order_.empty() && order_.front().first + window_ < now) {
+    seen_.erase(order_.front().second);
+    order_.pop_front();
+  }
+}
+
+}  // namespace fiat::crypto

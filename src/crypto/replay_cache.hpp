@@ -1,0 +1,39 @@
+// Replay cache for QuicLite 0-RTT.
+//
+// QUIC 0-RTT is vulnerable to replay (the paper cites Fischlin & Günther);
+// FIAT's answer (§5.3) is that a home proxy serves only a handful of paired
+// devices, so it can afford to remember every 0-RTT token it has accepted.
+// This cache implements exactly that: a bounded, time-windowed set of seen
+// nonces; re-presenting a nonce inside the window is rejected.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace fiat::crypto {
+
+class ReplayCache {
+ public:
+  /// `window_seconds`: how long an accepted nonce stays "seen".
+  /// `max_entries`: hard bound on memory; oldest entries are evicted first.
+  explicit ReplayCache(double window_seconds = 600.0, std::size_t max_entries = 65536);
+
+  /// Returns true (and records the nonce) if `nonce` has not been seen within
+  /// the window; false if this is a replay.
+  bool check_and_insert(std::uint64_t nonce, double now);
+
+  /// Drops entries older than the window.
+  void expire(double now);
+
+  std::size_t size() const { return order_.size(); }
+  double window() const { return window_; }
+
+ private:
+  double window_;
+  std::size_t max_entries_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::pair<double, std::uint64_t>> order_;  // (accept time, nonce)
+};
+
+}  // namespace fiat::crypto

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by HMAC/HKDF, QuicLite key derivation, and FIAT auth-message
+// signatures. Verified against NIST test vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace fiat::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+  /// Finalizes and returns the digest; the hasher must be reset() before reuse.
+  Digest256 finish();
+
+  /// One-shot convenience.
+  static Digest256 hash(std::span<const std::uint8_t> data);
+  static Digest256 hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace fiat::crypto

@@ -1,0 +1,131 @@
+#include "gen/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fiat::gen {
+
+const char* attack_name(AttackType type) {
+  switch (type) {
+    case AttackType::kAccountCompromise: return "account-compromise";
+    case AttackType::kBruteForce: return "brute-force";
+    case AttackType::kLanInjection: return "lan-injection";
+    case AttackType::kRuleMimicry: return "rule-mimicry";
+    case AttackType::kPiggyback: return "piggyback";
+  }
+  return "?";
+}
+
+namespace {
+
+net::PacketRecord make_pkt(double ts, bool inbound, net::Ipv4Addr device,
+                           net::Ipv4Addr peer, std::uint16_t peer_port,
+                           std::uint16_t device_port, net::Transport proto,
+                           std::uint32_t size, std::uint16_t tls) {
+  net::PacketRecord p;
+  p.ts = ts;
+  p.size = std::clamp<std::uint32_t>(size, 60, 1500);
+  p.src_ip = inbound ? peer : device;
+  p.dst_ip = inbound ? device : peer;
+  p.src_port = inbound ? peer_port : device_port;
+  p.dst_port = inbound ? device_port : peer_port;
+  p.proto = proto;
+  p.tcp_flags = proto == net::Transport::kTcp
+                    ? (net::TcpFlags::kPsh | net::TcpFlags::kAck)
+                    : 0;
+  p.tls_version = proto == net::Transport::kTcp ? tls : 0;
+  return p;
+}
+
+/// One command burst following the device's manual signature (the attacker
+/// drives the *real* cloud pipeline, so this is genuine command traffic).
+void command_burst(std::vector<net::PacketRecord>& out, const DeviceProfile& profile,
+                   net::Ipv4Addr device, net::Ipv4Addr peer, double start,
+                   sim::Rng& rng) {
+  const EventSignature& sig = profile.manual_sig;
+  std::uint16_t device_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
+  double t = start;
+  if (profile.simple_rule) {
+    out.push_back(make_pkt(t, true, device, peer, 443, device_port,
+                           net::Transport::kTcp, profile.rule_packet_size, 0x0303));
+    out.push_back(make_pkt(t + 0.08, false, device, peer, 443, device_port,
+                           net::Transport::kTcp, 66, 0x0303));
+    return;
+  }
+  int n = static_cast<int>(rng.uniform_int(sig.min_packets, sig.max_packets));
+  bool inbound = true;  // cloud-pushed command
+  for (int i = 0; i < n; ++i) {
+    net::Transport proto = sig.proto;
+    if (rng.chance(sig.proto_noise)) {
+      proto = proto == net::Transport::kTcp ? net::Transport::kUdp
+                                            : net::Transport::kTcp;
+    }
+    auto size = static_cast<std::uint32_t>(
+        std::clamp(std::exp(sig.size_mu + rng.uniform(-1.0, 1.0) * sig.size_sigma),
+                   60.0, 1500.0));
+    std::uint16_t tls = rng.chance(sig.tls_prob) ? sig.tls_version : 0;
+    out.push_back(
+        make_pkt(t, inbound, device, peer, 443, device_port, proto, size, tls));
+    if (rng.chance(sig.alternate_prob)) inbound = !inbound;
+    t += sig.iat_mean * rng.uniform(0.4, 1.8);
+  }
+}
+
+}  // namespace
+
+std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
+                                               const LocationEnv& env,
+                                               net::Ipv4Addr device_ip,
+                                               const AttackConfig& config,
+                                               sim::Rng& rng) {
+  if (config.attempts < 1) throw LogicError("generate_attack: attempts must be >= 1");
+  std::vector<net::PacketRecord> out;
+  std::string service = profile.event_services.empty()
+                            ? "cloud.example"
+                            : profile.event_services[0];
+  net::Ipv4Addr cloud = env.ip_of(env.localize_domain(service), 1);
+
+  switch (config.type) {
+    case AttackType::kAccountCompromise:
+    case AttackType::kBruteForce:
+    case AttackType::kPiggyback: {
+      double t = config.start;
+      for (int attempt = 0; attempt < config.attempts; ++attempt) {
+        command_burst(out, profile, device_ip, cloud, t, rng);
+        t += std::max(6.0, config.spacing);  // > the 5 s gap: separate events
+      }
+      break;
+    }
+    case AttackType::kLanInjection: {
+      // Local attacker spoofing the phone's direct path.
+      net::Ipv4Addr attacker = env.phone_ip();
+      double t = config.start;
+      for (int attempt = 0; attempt < config.attempts; ++attempt) {
+        command_burst(out, profile, device_ip, attacker, t, rng);
+        t += std::max(6.0, config.spacing);
+      }
+      break;
+    }
+    case AttackType::kRuleMimicry: {
+      // The patient attacker: issue the REAL command at an exactly constant
+      // pace, hoping the online rule learner starts treating the command's
+      // packets as a predictable flow and whitelists them.
+      sim::Rng fixed(7);  // identical burst shape every attempt
+      double t = config.start;
+      for (int attempt = 0; attempt < config.attempts; ++attempt) {
+        sim::Rng burst_rng(7);  // reset: byte-identical command each time
+        command_burst(out, profile, device_ip, cloud, t, burst_rng);
+        t += 20.0;  // constant spacing, well inside max_match_interval
+      }
+      (void)fixed;
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.ts < b.ts; });
+  return out;
+}
+
+}  // namespace fiat::gen

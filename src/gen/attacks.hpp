@@ -1,0 +1,58 @@
+// Attack traffic generator — the §5.1 threat model, made executable.
+//
+// Each attack produces the packets an adversary with the stated capability
+// would inject toward a device, so the proxy's end-to-end behaviour can be
+// measured directly (bench_attack_eval) instead of inferred from classifier
+// metrics:
+//
+//  * kAccountCompromise — the adversary owns the IoT/IFTTT account and sends
+//    well-formed manual commands from the vendor cloud. No phone, no human.
+//  * kBruteForce — the same, repeated rapidly (what §5.4's lockout exists
+//    for).
+//  * kLanInjection — a local attacker on the WiFi injects commands from a
+//    LAN address, spoofing the phone-to-device direct path.
+//  * kRuleMimicry — the adversary streams identical packets at a constant
+//    pace, trying to teach the proxy's online rule learner an allow rule
+//    before the real command (defeated by the online-promotion interval
+//    floor, see RuleTableConfig).
+//  * kPiggyback — §7's residual risk: the attack is synchronized with a real
+//    user interaction so a fresh humanness proof exists.
+#pragma once
+
+#include "gen/device_profile.hpp"
+#include "gen/location.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::gen {
+
+enum class AttackType {
+  kAccountCompromise,
+  kBruteForce,
+  kLanInjection,
+  kRuleMimicry,
+  kPiggyback,
+};
+
+const char* attack_name(AttackType type);
+
+struct AttackConfig {
+  AttackType type = AttackType::kAccountCompromise;
+  double start = 0.0;
+  /// Distinct command attempts (each one unpredictable event).
+  int attempts = 1;
+  /// Seconds between attempts (brute force uses small values).
+  double spacing = 60.0;
+};
+
+/// Generates the attacker's packets against `device_ip`, imitating the
+/// device's own manual-command signature (the adversary controls the account
+/// and triggers real commands, so the traffic is genuine command traffic).
+/// Returned packets are time-sorted.
+std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
+                                               const LocationEnv& env,
+                                               net::Ipv4Addr device_ip,
+                                               const AttackConfig& config,
+                                               sim::Rng& rng);
+
+}  // namespace fiat::gen

@@ -1,0 +1,130 @@
+// DeviceProfile: the behavioural model of one IoT device, encoding the
+// communication patterns Section 3.3 of the paper documents.
+//
+// A device's traffic is composed of:
+//  * periodic control flows — keep-alives/telemetry to fixed cloud services
+//    with (near-)constant packet sizes and periods; these are what the
+//    predictability heuristic learns;
+//  * unpredictable control events — software quirks (e.g. Nest-E's hourly
+//    bursts with drifting intervals) that are labelled control but fail the
+//    heuristic;
+//  * automated events — routine firings (IFTTT/companion-app schedules): a
+//    short burst of fresh-looking packets, optionally followed by a
+//    repetitive (predictable) phase;
+//  * manual events — human-triggered command bursts whose first packets form
+//    the per-class signature the ML classifier learns, optionally followed
+//    by constant-rate streaming (cameras), which is predictable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace fiat::gen {
+
+/// One periodic control flow.
+struct FlowSpec {
+  std::string service;         // logical domain, localized per vantage
+  net::Transport proto = net::Transport::kTcp;
+  std::uint16_t dst_port = 443;
+  std::uint32_t size_up = 120;    // device -> cloud packet size (IP bytes)
+  std::uint32_t size_down = 0;    // cloud -> device reply size; 0 = no reply
+  double period = 30.0;           // seconds between beats
+  double jitter = 0.05;           // absolute jitter (seconds, uniform +/-)
+  /// Long-lived connections keep one source port (Classic-predictable);
+  /// flows that reconnect per beat draw a fresh ephemeral port each time and
+  /// are only PortLess-predictable — the gap Figure 1(b) measures.
+  bool stable_src_port = true;
+  bool with_tls = true;
+};
+
+/// Distribution of one class of unpredictable event (the first-N-packet
+/// signature the classifier sees, §4.1).
+struct EventSignature {
+  int min_packets = 3;
+  int max_packets = 10;
+  /// Probability the first packet is inbound (cloud/phone -> device); the
+  /// command-notification pattern of §3.3 makes this high for manual events.
+  double first_inbound_prob = 0.5;
+  /// Probability each subsequent packet flips direction.
+  double alternate_prob = 0.5;
+  net::Transport proto = net::Transport::kTcp;
+  /// Probability a packet uses the *other* transport (signature noise).
+  double proto_noise = 0.05;
+  /// Probability a packet carries a TLS record, and which version.
+  double tls_prob = 0.9;
+  std::uint16_t tls_version = 0x0303;
+  /// Probability a TCP packet carries PSH|ACK rather than bare ACK flags.
+  double psh_prob = 0.6;
+  /// Remote service port for event traffic, and the probability the event
+  /// instead uses `alt_port` (weak per-class port signal, e.g. MQTT 8883).
+  std::uint16_t event_port = 443;
+  std::uint16_t alt_port = 8883;
+  double alt_port_prob = 0.0;
+  /// Packet size model: lognormal around exp(size_mu) with spread size_sigma.
+  double size_mu = 6.2;     // ~500 B
+  double size_sigma = 0.5;
+  /// Intra-event inter-arrival (exponential mean, seconds). Must stay well
+  /// under the 5 s event-gap threshold.
+  double iat_mean = 0.15;
+  /// Which peer the event talks to: index into the profile's event_services.
+  std::uint32_t service_index = 0;
+  /// Probability the event instead goes through the phone on the LAN
+  /// (direct phone<->device connection, §3.3 Traffic Direction).
+  double lan_peer_prob = 0.0;
+
+  /// Optional constant-rate streaming tail (cameras; §3.2 explains the
+  /// 60-65% manual predictability of WyzeCam/Blink this way).
+  double stream_prob = 0.0;        // probability an event has a tail
+  double stream_rate = 0.05;       // seconds between stream packets
+  double stream_duration_mean = 0; // seconds, exponential
+  std::uint32_t stream_size = 1400;
+};
+
+/// A scheduled routine (automation) on this device.
+struct RoutineSpec {
+  double time_of_day = 18 * 3600.0;  // seconds since local midnight
+  double jitter = 45.0;              // firing-time jitter (IFTTT is sloppy)
+  /// Repetitive (predictable) phase after the burst: `repeat_count` packets
+  /// of `repeat_size` every `repeat_period` seconds. 0 count = none (SP10/WP3).
+  int repeat_count = 0;
+  std::uint32_t repeat_size = 400;
+  double repeat_period = 1.0;
+};
+
+struct DeviceProfile {
+  std::string name;
+  /// Devices whose manual traffic is identified by a fixed notification
+  /// packet size instead of ML (SP10, WP3, Nest-E; §4).
+  bool simple_rule = false;
+  std::uint32_t rule_packet_size = 235;
+  /// Minimum packets an attacker needs for the command to take effect (§3.3
+  /// Command Duration). Ranges 1 (plugs) to 41 (WyzeCam).
+  int min_command_packets = 5;
+
+  std::vector<FlowSpec> control_flows;
+  /// Cloud services unpredictable events may target (shared across classes
+  /// so IP features stay uninformative, as Table 4 found).
+  std::vector<std::string> event_services;
+
+  double unpred_control_per_hour = 0.2;
+  EventSignature control_sig;
+
+  std::vector<RoutineSpec> routines;
+  EventSignature automated_sig;
+
+  EventSignature manual_sig;
+  /// Mean manual interactions per day in the realistic household schedule.
+  double manual_per_day = 1.5;
+};
+
+/// The ten testbed devices of Table 1.
+std::vector<DeviceProfile> testbed_profiles();
+/// Lookup by name; throws fiat::LogicError when absent.
+const DeviceProfile& profile_by_name(const std::string& name);
+/// The Bose SoundTouch 10 profile used for Figure 1(a)'s flow illustration.
+DeviceProfile soundtouch_profile();
+
+}  // namespace fiat::gen

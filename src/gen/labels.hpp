@@ -1,0 +1,58 @@
+// Ground-truth label types for generated traces.
+//
+// The paper labels testbed traffic into three categories (§2): control
+// (software keep-alive/telemetry), automated (routines, e.g. IFTTT), and
+// manual (human-triggered through a companion app). Our generators attach
+// these labels to every packet, which is exactly the ground truth the IL
+// household's logging app + routine timestamps gave the authors (§3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/dns.hpp"
+#include "net/packet.hpp"
+
+namespace fiat::gen {
+
+enum class TrafficClass : int { kControl = 0, kAutomated = 1, kManual = 2 };
+
+const char* traffic_class_name(TrafficClass c);
+
+struct LabeledPacket {
+  net::PacketRecord pkt;
+  TrafficClass label = TrafficClass::kControl;
+  /// Generator event id for packets belonging to a discrete event
+  /// (automated routine firing or manual interaction); -1 for background
+  /// flow packets.
+  int event_id = -1;
+};
+
+/// One ground-truth interaction window (mirrors the IL user's logging app:
+/// when, for how long, and with which class of action).
+struct Interaction {
+  int event_id = -1;
+  double start = 0.0;
+  double end = 0.0;
+  TrafficClass cls = TrafficClass::kManual;
+};
+
+/// A fully labeled, time-sorted capture for one device at one location.
+struct LabeledTrace {
+  std::string device_name;
+  std::string location;  // "US", "JP", "DE", "IL"
+  net::Ipv4Addr device_ip;
+  net::Ipv4Addr phone_ip;
+  std::vector<LabeledPacket> packets;
+  std::vector<Interaction> interactions;
+  /// IP->domain ground truth accumulated from the DNS traffic the generator
+  /// emitted (what a passive observer could learn from the trace).
+  net::DnsTable dns;
+
+  double duration() const {
+    return packets.empty() ? 0.0 : packets.back().pkt.ts - packets.front().pkt.ts;
+  }
+  std::size_t count_of(TrafficClass c) const;
+};
+
+}  // namespace fiat::gen

@@ -1,0 +1,78 @@
+#include "gen/location.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::gen {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hash_str(const std::string& s, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix(h);
+}
+
+}  // namespace
+
+LocationEnv::LocationEnv(std::string code) : code_(std::move(code)) {
+  if (code_ == "US") {
+    lan_third_octet_ = 10;
+    geo_salt_ = 1;
+  } else if (code_ == "JP") {
+    lan_third_octet_ = 10;  // same physical LAN (VPN changes only the WAN view)
+    geo_salt_ = 2;
+  } else if (code_ == "DE") {
+    lan_third_octet_ = 10;
+    geo_salt_ = 3;
+  } else if (code_ == "IL") {
+    lan_third_octet_ = 20;
+    geo_salt_ = 4;
+  } else {
+    throw LogicError("LocationEnv: unknown location code " + code_);
+  }
+}
+
+std::string LocationEnv::localize_domain(const std::string& logical) const {
+  if (code_ == "JP") return logical + ".jp";
+  if (code_ == "DE") return logical + ".de";
+  return logical;
+}
+
+net::Ipv4Addr LocationEnv::ip_of(const std::string& localized_domain,
+                                 std::uint32_t replica) const {
+  // One /24 pool per (domain, location); replicas share the pool, mirroring
+  // load-balanced cloud frontends.
+  std::uint64_t h = hash_str(localized_domain, geo_salt_);
+  auto b = static_cast<std::uint8_t>((h >> 8) & 0xff);
+  auto c = static_cast<std::uint8_t>((h >> 16) & 0xff);
+  auto host = static_cast<std::uint8_t>(10 + (replica % kReplicasPerService) * 7);
+  // Public-looking 52.x.y.z (cloud provider style).
+  return net::Ipv4Addr(52, b, c, host);
+}
+
+net::Ipv4Addr LocationEnv::gateway() const {
+  return net::Ipv4Addr(192, 168, lan_third_octet_, 1);
+}
+
+net::Ipv4Addr LocationEnv::phone_ip() const {
+  return net::Ipv4Addr(192, 168, lan_third_octet_, 50);
+}
+
+net::Ipv4Addr LocationEnv::device_ip(std::uint32_t device_index) const {
+  return net::Ipv4Addr(192, 168, lan_third_octet_,
+                       static_cast<std::uint8_t>(100 + device_index));
+}
+
+}  // namespace fiat::gen

@@ -1,0 +1,51 @@
+// LocationEnv: the network environment of one vantage point.
+//
+// The paper exercises the NJ testbed from three apparent locations (US,
+// plus Germany and Japan through a VPN); devices then resolve their cloud
+// endpoints to geolocated IPs and sometimes different domains (e.g.
+// google.com vs google.co.jp, §3.3). LocationEnv deterministically maps a
+// logical service name to a per-location domain and IP pool, so the same
+// DeviceProfile generates location-shifted but behaviourally identical
+// traffic — which is what the transfer experiments (Table 5) rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ip.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::gen {
+
+class LocationEnv {
+ public:
+  /// `code`: "US", "JP", "DE", or "IL" (IL = the Illinois household, which
+  /// is a US vantage with a different LAN).
+  explicit LocationEnv(std::string code);
+
+  const std::string& code() const { return code_; }
+
+  /// Localizes a logical domain: "cloud.nest.example" stays for US/IL,
+  /// becomes "cloud.nest.example.jp" / ".de" elsewhere (mirroring
+  /// google.com -> google.co.jp).
+  std::string localize_domain(const std::string& logical) const;
+
+  /// Deterministic public IP for a (localized) domain. `replica` selects one
+  /// of the service's load-balanced addresses within the same /24 pool.
+  net::Ipv4Addr ip_of(const std::string& localized_domain, std::uint32_t replica = 0) const;
+  /// Number of replicas we model per service pool.
+  static constexpr std::uint32_t kReplicasPerService = 4;
+
+  /// LAN addressing for this household.
+  net::Ipv4Addr gateway() const;
+  net::Ipv4Addr phone_ip() const;
+  net::Ipv4Addr device_ip(std::uint32_t device_index) const;
+  net::Ipv4Addr dns_resolver() const { return gateway(); }
+
+ private:
+  std::string code_;
+  std::uint8_t lan_third_octet_;
+  std::uint32_t geo_salt_;
+};
+
+}  // namespace fiat::gen

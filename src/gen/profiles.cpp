@@ -1,0 +1,357 @@
+// The ten testbed device profiles of Table 1, with behavioural parameters
+// calibrated to reproduce the paper's per-device observations:
+//
+//  * control predictability ~98% everywhere except Nest-E (~91%, hourly
+//    quirk events with drifting intervals, §3.2);
+//  * automated events of 2 packets (SP10/WP3, predictability 0) up to ~30
+//    packets (Google Home), followed by a repetitive phase (~90% overall);
+//  * manual events: fixed-size notification packets for the simple-rule
+//    devices (SP10/WP3 235 B, Nest-E 267 B); streaming tails for the cameras
+//    (60-65% manual predictability); distinctive first-packet signatures
+//    (proto / direction / TLS carry the signal, per Table 4);
+//  * command-completion packet counts N from 1 (plugs) to 41 (WyzeCam).
+//
+// Class signatures derive from three templates — the §3.3 communication
+// models: unpredictable *control* is device-initiated, slow, small packets,
+// mostly non-TLS; *automated* is cloud-pushed, fast, mid-sized, TLS 1.2;
+// *manual* is cloud/phone-pushed, chatty, large, TLS 1.3. A per-device
+// `blur` knob pulls the class distributions together, which is how the
+// Table 3 F1 spread (Google Home hardest ~0.77, cameras ~0.99) arises.
+#include "gen/device_profile.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::gen {
+
+namespace {
+
+// The three class templates spread the signal across MANY weakly
+// informative per-packet features (direction, flags, TLS, proto, size, iat
+// — each overlapping heavily between classes) instead of a single clean
+// separator. Real traffic looks like this too, and it is what gives the
+// paper's Table 2 its shape: aggregating models (NCC, BernoulliNB) combine
+// dozens of weak cues and win, while a depth-3 tree can only consult three.
+
+EventSignature control_template() {
+  EventSignature s;
+  s.min_packets = 5;
+  s.max_packets = 9;
+  s.first_inbound_prob = 0.12;
+  s.alternate_prob = 0.15;
+  s.proto = net::Transport::kTcp;
+  s.proto_noise = 0.25;
+  s.tls_prob = 0.15;
+  s.tls_version = 0x0303;
+  s.psh_prob = 0.25;
+  s.alt_port_prob = 0.70;
+  s.size_mu = 5.85;    // ~330 B
+  s.size_sigma = 0.40;
+  s.iat_mean = 0.45;
+  return s;
+}
+
+EventSignature automated_template() {
+  EventSignature s;
+  s.min_packets = 5;
+  s.max_packets = 10;
+  s.first_inbound_prob = 0.20;
+  s.alternate_prob = 0.25;
+  s.proto = net::Transport::kTcp;
+  s.proto_noise = 0.02;
+  s.tls_prob = 0.90;
+  s.tls_version = 0x0303;
+  s.psh_prob = 0.20;
+  s.alt_port_prob = 0.70;
+  s.size_mu = 6.15;   // ~470 B
+  s.size_sigma = 0.40;
+  s.iat_mean = 0.18;
+  return s;
+}
+
+EventSignature manual_template() {
+  EventSignature s;
+  s.min_packets = 5;
+  s.max_packets = 12;
+  s.first_inbound_prob = 0.92;
+  s.alternate_prob = 0.70;
+  s.proto = net::Transport::kTcp;
+  s.proto_noise = 0.04;
+  s.tls_prob = 0.92;
+  s.tls_version = 0x0304;
+  s.psh_prob = 0.85;
+  s.alt_port_prob = 0.05;
+  s.size_mu = 6.45;    // ~665 B
+  s.size_sigma = 0.40;
+  s.iat_mean = 0.09;
+  s.lan_peer_prob = 0.15;
+  return s;
+}
+
+double blur_p(double p, double amount) { return p + (0.5 - p) * amount; }
+
+/// Pulls a signature towards the class-agnostic middle: probabilities
+/// towards 0.5, sizes towards ~490 B, spreads wider. amount in [0,1].
+void blur(EventSignature& s, double amount) {
+  s.first_inbound_prob = blur_p(s.first_inbound_prob, amount);
+  s.alternate_prob = blur_p(s.alternate_prob, amount);
+  s.proto_noise = blur_p(s.proto_noise, amount * 0.6);
+  s.tls_prob = blur_p(s.tls_prob, amount);
+  s.size_mu = s.size_mu + (6.2 - s.size_mu) * amount;
+  s.size_sigma *= (1.0 + 1.5 * amount);
+  s.iat_mean = s.iat_mean + (0.25 - s.iat_mean) * amount;
+}
+
+void apply_blur(DeviceProfile& p, double amount) {
+  blur(p.control_sig, amount);
+  blur(p.automated_sig, amount);
+  blur(p.manual_sig, amount);
+}
+
+DeviceProfile echo_dot(const std::string& name, std::uint64_t variant) {
+  DeviceProfile p;
+  p.name = name;
+  p.min_command_packets = 7;
+  p.control_flows = {
+      {"avs.amazon.example", net::Transport::kTcp, 443, 140, 180, 60.0, 0.05, true, true},
+      {"device-metrics.amazon.example", net::Transport::kTcp, 443, 210, 0, 150.0, 0.08,
+       false, true},
+      {"ntp.amazon.example", net::Transport::kUdp, 123, 90, 90, 300.0, 0.05, true, false},
+  };
+  p.event_services = {"avs.amazon.example", "todo.amazon.example"};
+  p.unpred_control_per_hour = 0.14;
+  p.control_sig = control_template();
+  p.routines = {{7 * 3600.0 + 1800, 60.0, 40, 420, 1.0},
+                {19 * 3600.0, 60.0, 40, 420, 1.0}};
+  p.automated_sig = automated_template();
+  p.manual_sig = manual_template();
+  p.manual_sig.stream_prob = 0.35;  // music playback tail
+  p.manual_sig.stream_rate = 0.4;
+  p.manual_sig.stream_duration_mean = 4.0;
+  p.manual_sig.stream_size = 980;
+  p.manual_per_day = 1.5;
+  // Dot 4 shows slightly noisier separation than the older Dot 3
+  // (Table 3: F1 0.88 vs 0.94 under BernoulliNB).
+  apply_blur(p, variant == 4 ? 0.12 : 0.03);
+  return p;
+}
+
+DeviceProfile google_speaker(const std::string& name, bool mini) {
+  DeviceProfile p;
+  p.name = name;
+  p.min_command_packets = mini ? 9 : 12;
+  p.control_flows = {
+      {"clients.google.example", net::Transport::kTcp, 443, 130, 160, 45.0, 0.05, true, true},
+      {"cast.google.example", net::Transport::kTcp, 8009, 180, 0, 120.0, 0.06, true, true},
+      {"time.google.example", net::Transport::kUdp, 123, 90, 90, 600.0, 0.05, true, false},
+  };
+  p.event_services = {"clients.google.example", "assistant.google.example"};
+  p.unpred_control_per_hour = 0.14;
+  p.control_sig = control_template();
+  p.routines = {{6 * 3600.0, 90.0, 60, 512, 0.8},
+                {18 * 3600.0 + 600, 90.0, 60, 512, 0.8}};
+  p.automated_sig = automated_template();
+  // Google Home's automated bursts run up to ~30 packets (§3.2).
+  p.automated_sig.min_packets = 5;
+  p.automated_sig.max_packets = 18;
+  p.manual_sig = manual_template();
+  p.manual_sig.min_packets = 5;
+  p.manual_sig.max_packets = 16;
+  p.manual_sig.lan_peer_prob = 0.2;
+  p.manual_sig.stream_prob = 0.3;
+  p.manual_sig.stream_rate = 0.35;
+  p.manual_sig.stream_duration_mean = 4.0;
+  p.manual_sig.stream_size = 1020;
+  p.manual_per_day = 1.5;
+  // The full-size Home is the hardest device in Table 3 (F1 ~0.77): its
+  // manual and automated app flows run through the same assistant stack.
+  apply_blur(p, mini ? 0.08 : 0.30);
+  return p;
+}
+
+DeviceProfile camera(const std::string& name, const std::string& vendor) {
+  DeviceProfile p;
+  p.name = name;
+  p.min_command_packets = name == "WyzeCam" ? 41 : 25;
+  p.control_flows = {
+      {"api." + vendor + ".example", net::Transport::kTcp, 443, 150, 190, 60.0, 0.05,
+       true, true},
+      {"heartbeat." + vendor + ".example", net::Transport::kUdp, 10001, 110, 110, 20.0,
+       0.04, true, false},
+      {"upload." + vendor + ".example", net::Transport::kTcp, 443, 260, 0, 240.0, 0.08,
+       false, true},
+  };
+  p.event_services = {"api." + vendor + ".example", "relay." + vendor + ".example"};
+  p.unpred_control_per_hour = 0.14;
+  p.control_sig = control_template();
+  p.routines = {{8 * 3600.0, 60.0, 50, 760, 0.6},
+                {20 * 3600.0 + 900, 60.0, 50, 760, 0.6}};
+  p.automated_sig = automated_template();
+  // Manual = live view: a UDP media session — pkt1-proto is the giveaway
+  // (top permutation importance for WyzeCam-DE, Table 4).
+  p.manual_sig = manual_template();
+  p.manual_sig.proto = net::Transport::kUdp;
+  p.manual_sig.proto_noise = 0.04;
+  p.manual_sig.tls_prob = 0.10;
+  p.manual_sig.size_mu = 6.9;
+  p.manual_sig.size_sigma = 0.3;
+  p.manual_sig.iat_mean = 0.08;
+  p.manual_sig.lan_peer_prob = 0.25;
+  p.manual_sig.stream_prob = 0.85;  // the video itself
+  p.manual_sig.stream_rate = 0.5;
+  p.manual_sig.stream_duration_mean = 11.0;
+  p.manual_sig.stream_size = 1372;
+  p.manual_per_day = 1.5;
+  apply_blur(p, 0.0);
+  return p;
+}
+
+DeviceProfile smart_plug(const std::string& name, const std::string& vendor) {
+  DeviceProfile p;
+  p.name = name;
+  p.simple_rule = true;
+  p.rule_packet_size = 235;
+  p.min_command_packets = 1;  // one 235 B packet flips the relay (§3.3)
+  p.control_flows = {
+      {"mqtt." + vendor + ".example", net::Transport::kTcp, 8883, 120, 120, 30.0, 0.04,
+       true, true},
+      {"api." + vendor + ".example", net::Transport::kTcp, 443, 170, 0, 300.0, 0.07,
+       false, true},
+  };
+  p.event_services = {"mqtt." + vendor + ".example"};
+  p.unpred_control_per_hour = 0.14;
+  p.control_sig = control_template();
+  p.control_sig.min_packets = 2;
+  p.control_sig.max_packets = 5;
+  p.control_sig.size_mu = 5.4;
+
+  // Routines are bare 2-packet commands: no repetitive phase at all, which
+  // is why Figure 2 shows automated predictability 0 for SP10/WP3.
+  p.routines = {{7 * 3600.0, 45.0, 0, 0, 0.0}, {22 * 3600.0, 45.0, 0, 0, 0.0}};
+  p.automated_sig = automated_template();
+  p.automated_sig.min_packets = 2;
+  p.automated_sig.max_packets = 2;
+  p.automated_sig.first_inbound_prob = 1.0;
+  p.automated_sig.alternate_prob = 1.0;
+  p.automated_sig.size_mu = 5.5;   // ~245 B, near but never equal to 235
+  p.automated_sig.size_sigma = 0.08;
+
+  p.manual_sig = manual_template();
+  p.manual_sig.min_packets = 2;
+  p.manual_sig.max_packets = 2;
+  p.manual_sig.first_inbound_prob = 1.0;
+  p.manual_sig.alternate_prob = 1.0;
+  p.manual_sig.stream_prob = 0.0;
+  p.manual_sig.lan_peer_prob = 0.0;
+  p.manual_per_day = 2.7;  // the plugs were the most-used devices (§3.1)
+  return p;
+}
+
+DeviceProfile nest_thermostat() {
+  DeviceProfile p;
+  p.name = "Nest-E";
+  p.simple_rule = true;
+  p.rule_packet_size = 267;
+  p.min_command_packets = 3;
+  p.control_flows = {
+      {"transport.nest.example", net::Transport::kTcp, 443, 160, 200, 60.0, 0.05, true,
+       true},
+      {"weather.nest.example", net::Transport::kTcp, 443, 230, 0, 300.0, 0.08, false,
+       true},
+      {"time.nest.example", net::Transport::kUdp, 123, 90, 90, 600.0, 0.05, true, false},
+  };
+  p.event_services = {"transport.nest.example"};
+  // The §3.2 outlier: motion-sensor / phone-presence behaviours produce
+  // "events happening every hour but with slightly different intervals",
+  // dragging control predictability down to ~91%.
+  p.unpred_control_per_hour = 0.95;
+  p.control_sig = control_template();
+  p.control_sig.min_packets = 14;
+  p.control_sig.max_packets = 26;
+  p.control_sig.size_mu = 5.7;
+  p.control_sig.iat_mean = 0.35;
+
+  p.routines = {{6 * 3600.0, 30.0, 25, 330, 1.2}, {21 * 3600.0, 30.0, 25, 330, 1.2}};
+  p.automated_sig = automated_template();
+  p.automated_sig.min_packets = 3;
+  p.automated_sig.max_packets = 7;
+
+  p.manual_sig = manual_template();
+  p.manual_sig.min_packets = 3;
+  p.manual_sig.max_packets = 5;
+  p.manual_sig.stream_prob = 0.0;
+  p.manual_sig.lan_peer_prob = 0.0;
+  p.manual_per_day = 1.2;
+  return p;
+}
+
+DeviceProfile mop_robot() {
+  DeviceProfile p;
+  p.name = "E4";
+  p.min_command_packets = 6;
+  p.control_flows = {
+      {"iot.roborock.example", net::Transport::kTcp, 443, 140, 170, 90.0, 0.06, true,
+       true},
+      {"ota.roborock.example", net::Transport::kTcp, 443, 200, 0, 600.0, 0.1, false,
+       true},
+  };
+  p.event_services = {"iot.roborock.example", "cmd.roborock.example"};
+  p.unpred_control_per_hour = 0.14;
+  p.control_sig = control_template();
+  p.routines = {{10 * 3600.0, 120.0, 45, 540, 1.0}};
+  p.automated_sig = automated_template();
+  p.manual_sig = manual_template();
+  // Least-used device in the IL household: ~8 interactions over 15 days
+  // (§3.1) — the small training set is what hurts its Table 3/6 numbers.
+  p.manual_per_day = 0.55;
+  apply_blur(p, 0.10);
+  return p;
+}
+
+}  // namespace
+
+std::vector<DeviceProfile> testbed_profiles() {
+  std::vector<DeviceProfile> out;
+  out.push_back(echo_dot("EchoDot4", 4));
+  out.push_back(google_speaker("HomeMini", /*mini=*/true));
+  out.push_back(camera("WyzeCam", "wyze"));
+  out.push_back(smart_plug("SP10", "teckin"));
+  out.push_back(google_speaker("Home", /*mini=*/false));
+  out.push_back(nest_thermostat());
+  out.push_back(echo_dot("EchoDot3", 3));
+  out.push_back(mop_robot());
+  out.push_back(camera("Blink", "blink"));
+  out.push_back(smart_plug("WP3", "gosund"));
+  return out;
+}
+
+const DeviceProfile& profile_by_name(const std::string& name) {
+  static const std::vector<DeviceProfile> profiles = testbed_profiles();
+  for (const auto& p : profiles) {
+    if (p.name == name) return p;
+  }
+  throw LogicError("unknown device profile: " + name);
+}
+
+DeviceProfile soundtouch_profile() {
+  DeviceProfile p;
+  p.name = "SoundTouch10";
+  p.min_command_packets = 8;
+  // Eight steady flows, as the YourThings capture in Figure 1(a) shows.
+  p.control_flows = {
+      {"streaming.bose.example", net::Transport::kTcp, 443, 150, 190, 30.0, 0.04, true, true},
+      {"updates.bose.example", net::Transport::kTcp, 443, 210, 0, 120.0, 0.05, true, true},
+      {"telemetry.bose.example", net::Transport::kTcp, 443, 180, 140, 60.0, 0.05, true, true},
+      {"ntp.bose.example", net::Transport::kUdp, 123, 90, 90, 64.0, 0.03, true, false},
+      {"discovery.bose.example", net::Transport::kUdp, 1900, 300, 0, 90.0, 0.05, true, false},
+      {"keepalive.bose.example", net::Transport::kTcp, 8080, 70, 70, 15.0, 0.02, true, false},
+  };
+  p.event_services = {"streaming.bose.example"};
+  p.unpred_control_per_hour = 0.2;
+  p.control_sig = control_template();
+  p.manual_sig = manual_template();
+  p.automated_sig = automated_template();
+  p.manual_per_day = 0.0;
+  return p;
+}
+
+}  // namespace fiat::gen

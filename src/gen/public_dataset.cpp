@@ -1,0 +1,210 @@
+#include "gen/public_dataset.hpp"
+
+#include <algorithm>
+#include <set>
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace fiat::gen {
+
+namespace {
+
+struct SyntheticFlow {
+  net::Ipv4Addr remote;
+  std::string domain;
+  net::Transport proto;
+  std::uint16_t dst_port;
+  std::uint32_t size_up;
+  std::uint32_t size_down;  // 0 = unidirectional
+  double period;
+  bool stable_src_port;
+};
+
+net::Ipv4Addr random_public_ip(sim::Rng& rng) {
+  return net::Ipv4Addr(static_cast<std::uint8_t>(rng.uniform_int(11, 223)),
+                       static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                       static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                       static_cast<std::uint8_t>(rng.uniform_int(1, 254)));
+}
+
+/// Period mix matching Fig 1(c): 80-90% of periodic traffic recurs within
+/// 5 minutes; nothing beyond 10 minutes. A slice of sub-5-second flows
+/// (keep-alives, media heartbeats) is what makes IoT-Inspector-style 5 s
+/// aggregation lossy: several beats fold into one window sum.
+double draw_period(sim::Rng& rng) {
+  double u = rng.uniform();
+  if (u < 0.20) return rng.uniform(1.0, 5.0);
+  if (u < 0.55) return rng.uniform(5.0, 60.0);
+  if (u < 0.88) return rng.uniform(60.0, 300.0);
+  return rng.uniform(300.0, 600.0);
+}
+
+}  // namespace
+
+std::vector<PublicDeviceTrace> generate_public_dataset(
+    const PublicDatasetConfig& config) {
+  sim::Rng master(config.seed);
+  std::vector<PublicDeviceTrace> out;
+  out.reserve(config.num_devices);
+  double duration = config.duration_hours * 3600.0;
+
+  for (std::size_t d = 0; d < config.num_devices; ++d) {
+    sim::Rng rng = master.fork();
+    PublicDeviceTrace trace;
+    trace.name = "device-" + std::to_string(d);
+    trace.device_ip = net::Ipv4Addr(192, 168, 0,
+                                    static_cast<std::uint8_t>(2 + (d % 250)));
+
+    // Periodic control flows. Packet sizes are unique per device so flows
+    // sharing a cloud remote never collide into one packet-level bucket
+    // (firmware message schemas differ per endpoint/flow).
+    int n_flows = static_cast<int>(rng.uniform_int(2, 9));
+    std::vector<SyntheticFlow> flows;
+    std::set<std::uint32_t> used_sizes;
+    auto unique_size = [&rng, &used_sizes]() {
+      for (;;) {
+        auto s = static_cast<std::uint32_t>(rng.uniform_int(70, 600));
+        if (used_sizes.insert(s).second) return s;
+      }
+    };
+    for (int f = 0; f < n_flows; ++f) {
+      SyntheticFlow flow;
+      // Devices multiplex several services behind one cloud frontend: about
+      // half the flows reuse an earlier flow's remote. At packet level the
+      // distinct sizes keep the buckets separate; under 5-second aggregation
+      // the flows merge and their combinatorial window sums stop repeating —
+      // the IoT-Inspector degradation of §2.2.
+      if (f > 0 && rng.chance(0.45)) {
+        const auto& prev = flows[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(flows.size()) - 1))];
+        flow.remote = prev.remote;
+        flow.domain = prev.domain;
+      } else {
+        flow.remote = random_public_ip(rng);
+        flow.domain = "svc" + std::to_string(f) + "." + trace.name + ".example";
+      }
+      flow.proto = rng.chance(0.7) ? net::Transport::kTcp : net::Transport::kUdp;
+      flow.dst_port = rng.chance(0.6) ? 443 : static_cast<std::uint16_t>(
+                                                  rng.uniform_int(1024, 49151));
+      flow.size_up = unique_size();
+      flow.size_down = rng.chance(0.6) ? unique_size() : 0;
+      flow.period = draw_period(rng);
+      // Per-flow port behaviour: reconnecting flows break the Classic
+      // definition but stay PortLess-predictable.
+      flow.stable_src_port = rng.chance(0.55);
+      flows.push_back(flow);
+      trace.dns.add(flow.remote, flow.domain);
+    }
+
+    for (const auto& flow : flows) {
+      std::uint16_t stable_port =
+          static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
+      double jitter = std::min(0.2, flow.period * 0.01);
+      double t = rng.uniform(0.0, flow.period);
+      while (t < duration) {
+        std::uint16_t sport =
+            flow.stable_src_port
+                ? stable_port
+                : static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
+        net::PacketRecord up;
+        up.ts = t;
+        up.size = flow.size_up;
+        up.src_ip = trace.device_ip;
+        up.dst_ip = flow.remote;
+        up.src_port = sport;
+        up.dst_port = flow.dst_port;
+        up.proto = flow.proto;
+        up.tcp_flags = flow.proto == net::Transport::kTcp ? 0x18 : 0;
+        up.tls_version = (flow.proto == net::Transport::kTcp && flow.dst_port == 443)
+                             ? 0x0303
+                             : 0;
+        trace.packets.push_back(up);
+        if (flow.size_down > 0) {
+          net::PacketRecord down = up;
+          down.ts = t + rng.uniform(0.005, 0.05);
+          down.size = flow.size_down;
+          down.src_ip = flow.remote;
+          down.dst_ip = trace.device_ip;
+          down.src_port = flow.dst_port;
+          down.dst_port = sport;
+          trace.packets.push_back(down);
+        }
+        t += flow.period + rng.uniform(-jitter, jitter);
+      }
+    }
+
+    // Aperiodic (unpredictable) traffic, calibrated as a per-device target
+    // fraction of the device's own periodic volume. Idle captures have very
+    // little; continuous captures span a wide range (most devices mostly
+    // predictable, a tail of chatty/media devices is not — the Fig 1(b)
+    // spread); active captures add human-triggered bursts on top.
+    double periodic_pps = 0.0;
+    for (const auto& flow : flows) {
+      periodic_pps += (flow.size_down > 0 ? 2.0 : 1.0) / flow.period;
+    }
+    double unpred_target;
+    switch (config.mode) {
+      case PublicMode::kIdle:
+        unpred_target = rng.uniform(0.002, 0.06);
+        break;
+      case PublicMode::kContinuous:
+        unpred_target = rng.chance(0.25) ? rng.uniform(0.15, 0.55)
+                                         : 0.01 + 0.14 * rng.uniform() * rng.uniform();
+        break;
+      case PublicMode::kActive:
+        unpred_target = rng.uniform(0.10, 0.55);
+        break;
+    }
+    double mean_burst_packets = 7.0;
+    double burst_rate =  // bursts per second
+        periodic_pps * unpred_target / ((1.0 - unpred_target) * mean_burst_packets);
+    double t = rng.exponential(1.0 / burst_rate);
+    while (t < duration) {
+      int n = static_cast<int>(rng.uniform_int(2, 12));  // mean ~7 packets
+      // Bursts mostly ride the device's existing cloud sessions, so their
+      // odd-sized packets contaminate the same aggregation identities the
+      // periodic flows live in (the §2.2 window-poisoning effect).
+      net::Ipv4Addr remote = rng.chance(0.8) ? flows[static_cast<std::size_t>(
+                                                   rng.uniform_int(0, n_flows - 1))]
+                                                   .remote
+                                             : random_public_ip(rng);
+      std::uint16_t sport = static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
+      double bt = t;
+      for (int i = 0; i < n; ++i) {
+        net::PacketRecord pkt;
+        pkt.ts = bt;
+        pkt.size = static_cast<std::uint32_t>(
+            std::clamp(rng.lognormal(6.1, 0.8), 60.0, 1500.0));
+        bool outbound = rng.chance(0.5);
+        pkt.src_ip = outbound ? trace.device_ip : remote;
+        pkt.dst_ip = outbound ? remote : trace.device_ip;
+        pkt.src_port = outbound ? sport : 443;
+        pkt.dst_port = outbound ? 443 : sport;
+        pkt.proto = net::Transport::kTcp;
+        pkt.tcp_flags = 0x18;
+        pkt.tls_version = 0x0303;
+        trace.packets.push_back(pkt);
+        bt += rng.exponential(2.2);  // bursts span multiple 5 s windows
+      }
+      t = bt + rng.exponential(1.0 / burst_rate);
+    }
+
+    std::sort(trace.packets.begin(), trace.packets.end(),
+              [](const net::PacketRecord& a, const net::PacketRecord& b) {
+                return a.ts < b.ts;
+              });
+
+    // Mon(IoT)r active captures often miss the start of connections (§3):
+    // drop the first few packets of the capture window.
+    if (config.mode == PublicMode::kActive && trace.packets.size() > 20) {
+      auto drop = static_cast<std::size_t>(rng.uniform_int(3, 15));
+      trace.packets.erase(trace.packets.begin(),
+                          trace.packets.begin() + static_cast<long>(drop));
+    }
+    out.push_back(std::move(trace));
+  }
+  return out;
+}
+
+}  // namespace fiat::gen

@@ -1,0 +1,41 @@
+// Synthetic stand-ins for the public datasets of Section 2:
+//
+//  * YourThings: 65 devices, continuous multi-day captures, no labels.
+//  * Mon(IoT)r: ~104 devices, split into idle captures (control only) and
+//    active captures (idle + human-triggered bursts, with connection starts
+//    often missing).
+//
+// Each synthetic device gets a randomized mix of periodic flows (periods
+// mostly under 5 minutes, max 10 — the Figure 1(c) shape) and aperiodic
+// bursts; a per-device port-stability draw creates the Classic-vs-PortLess
+// predictability gap of Figure 1(b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/dns.hpp"
+#include "net/packet.hpp"
+
+namespace fiat::gen {
+
+enum class PublicMode { kContinuous, kIdle, kActive };
+
+struct PublicDeviceTrace {
+  std::string name;
+  net::Ipv4Addr device_ip;
+  std::vector<net::PacketRecord> packets;  // time-sorted
+  net::DnsTable dns;
+};
+
+struct PublicDatasetConfig {
+  std::size_t num_devices = 65;
+  double duration_hours = 24.0;
+  std::uint64_t seed = 2022;
+  PublicMode mode = PublicMode::kContinuous;
+};
+
+std::vector<PublicDeviceTrace> generate_public_dataset(const PublicDatasetConfig& config);
+
+}  // namespace fiat::gen

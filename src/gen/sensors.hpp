@@ -1,0 +1,60 @@
+// Motion-sensor simulation and featurization for humanness verification.
+//
+// FIAT's app samples accelerometer + gyroscope at 250 Hz while an IoT app is
+// foregrounded, extracts 48 features, and a depth-9 decision tree (trained as
+// in zkSENSE) decides human vs. non-human (§5.3-5.4). We simulate the two
+// populations:
+//  * human: gravity + hand tremor + 1-4 touch-induced motion bursts; a small
+//    fraction are "gentle" interactions (phone nearly still) that are
+//    genuinely hard to separate — they produce the ~0.93 human recall.
+//  * machine (ADB/spyware-injected taps): device flat on a table, noise-floor
+//    readings only; a small fraction sit near environmental vibration.
+//
+// Features: for each of the 6 streams (accel x/y/z, gyro x/y/z), 8
+// statistics {mean, std, min, max, range, rms, mean |delta|, max |delta|}
+// = 48 features.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::gen {
+
+struct SensorSample {
+  double t = 0.0;
+  double ax = 0.0, ay = 0.0, az = 0.0;  // m/s^2
+  double gx = 0.0, gy = 0.0, gz = 0.0;  // rad/s
+};
+
+struct SensorTrace {
+  std::vector<SensorSample> samples;
+  bool human = false;
+};
+
+struct SensorConfig {
+  double duration = 1.0;      // seconds of capture per decision
+  double sample_rate = 250.0; // Hz, the paper's maximum rate
+  double gentle_human_prob = 0.065;  // hard-to-detect humans
+  double noisy_machine_prob = 0.018; // machines near a vibration source
+};
+
+/// Generates one capture window.
+SensorTrace generate_sensor_trace(sim::Rng& rng, bool human,
+                                  const SensorConfig& config = {});
+
+constexpr std::size_t kSensorFeatureCount = 48;
+
+/// Extracts the 48-dimensional feature vector.
+std::vector<double> sensor_features(const SensorTrace& trace);
+std::vector<std::string> sensor_feature_names();
+
+/// Builds a labeled dataset (label 1 = human, 0 = machine) of `per_class`
+/// traces per class.
+ml::Dataset make_humanness_dataset(sim::Rng& rng, std::size_t per_class,
+                                   const SensorConfig& config = {});
+
+}  // namespace fiat::gen

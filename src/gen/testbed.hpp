@@ -1,0 +1,39 @@
+// Testbed trace generator: produces labeled packet traces for one device at
+// one vantage point, following its DeviceProfile. This is the synthetic
+// stand-in for the paper's NJ/IL households (§3.1): the NJ side scripted
+// human-like interactions via ADB for two weeks; the IL side logged a real
+// user for 15 days.
+#pragma once
+
+#include <cstdint>
+
+#include "gen/device_profile.hpp"
+#include "gen/labels.hpp"
+#include "gen/location.hpp"
+
+namespace fiat::gen {
+
+struct TraceConfig {
+  double duration_days = 14.0;
+  std::uint64_t seed = 1;
+  /// Device index on the LAN (sets its 192.168.x.y address).
+  std::uint32_t device_index = 0;
+  /// Override the profile's manual interaction rate; <0 keeps the profile
+  /// value. The NJ scripted runs push this up to gather training events.
+  double manual_per_day_override = -1.0;
+  /// Earliest/latest local time of day for manual interactions.
+  double active_day_start = 7 * 3600.0;
+  double active_day_end = 23 * 3600.0;
+  /// Ground-truth imprecision: probability an event's *behaviour* comes from
+  /// a different class than its label. Models the paper's labeling path —
+  /// the IL logging app records only when a companion app was open, and
+  /// routine timestamps are approximate (§3.1), so a fraction of events are
+  /// effectively mislabeled. Scripted (ADB) collections set this to ~0.
+  double label_confusion = 0.0;
+};
+
+/// Generates the full labeled trace (packets sorted by timestamp).
+LabeledTrace generate_trace(const DeviceProfile& profile, const LocationEnv& env,
+                            const TraceConfig& config);
+
+}  // namespace fiat::gen

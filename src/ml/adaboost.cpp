@@ -1,0 +1,83 @@
+#include "ml/adaboost.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+void AdaBoost::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("AdaBoost::fit on empty dataset");
+  num_classes_ = data.num_classes();
+  estimators_.clear();
+  alphas_.clear();
+
+  std::vector<double> weights(data.size(), 1.0 / static_cast<double>(data.size()));
+  TreeConfig tree_config;
+  tree_config.max_depth = config_.base_depth;
+
+  for (std::size_t round = 0; round < config_.n_estimators; ++round) {
+    DecisionTree tree(tree_config);
+    tree.fit_weighted(data, weights, nullptr);
+
+    double err = 0.0;
+    std::vector<bool> wrong(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      wrong[i] = tree.predict(data.X[i]) != data.y[i];
+      if (wrong[i]) err += weights[i];
+    }
+
+    if (err <= 1e-12) {
+      // Perfect learner: give it a large fixed weight and stop boosting.
+      estimators_.push_back(std::move(tree));
+      alphas_.push_back(10.0);
+      break;
+    }
+    // SAMME stopping rule: a learner no better than chance ends boosting.
+    double chance = 1.0 - 1.0 / static_cast<double>(num_classes_);
+    if (err >= chance) {
+      if (estimators_.empty()) {  // keep at least one estimator
+        estimators_.push_back(std::move(tree));
+        alphas_.push_back(1.0);
+      }
+      break;
+    }
+
+    double alpha = config_.learning_rate *
+                   (std::log((1.0 - err) / err) + std::log(num_classes_ - 1.0));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (wrong[i]) weights[i] *= std::exp(alpha);
+    }
+    double total = 0.0;
+    for (double w : weights) total += w;
+    for (double& w : weights) w /= total;
+
+    estimators_.push_back(std::move(tree));
+    alphas_.push_back(alpha);
+  }
+}
+
+int AdaBoost::predict(std::span<const double> x) const {
+  if (estimators_.empty()) throw LogicError("AdaBoost used before fit");
+  std::vector<double> scores(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t e = 0; e < estimators_.size(); ++e) {
+    int label = estimators_[e].predict(x);
+    if (label >= 0 && label < num_classes_) {
+      scores[static_cast<std::size_t>(label)] += alphas_[e];
+    }
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (scores[static_cast<std::size_t>(c)] > scores[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::string AdaBoost::name() const {
+  return "AdaBoost(n=" + std::to_string(config_.n_estimators) + ")";
+}
+
+}  // namespace fiat::ml

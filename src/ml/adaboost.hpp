@@ -1,0 +1,35 @@
+// AdaBoost (multi-class SAMME) over shallow CART trees (Table 2 baseline;
+// sklearn's AdaBoostClassifier defaults to depth-1 stumps).
+#pragma once
+
+#include "ml/decision_tree.hpp"
+
+namespace fiat::ml {
+
+struct AdaBoostConfig {
+  std::size_t n_estimators = 50;
+  int base_depth = 1;
+  double learning_rate = 1.0;
+};
+
+class AdaBoost : public Classifier {
+ public:
+  explicit AdaBoost(AdaBoostConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<AdaBoost>(config_);
+  }
+
+  std::size_t estimator_count() const { return estimators_.size(); }
+
+ private:
+  AdaBoostConfig config_;
+  std::vector<DecisionTree> estimators_;
+  std::vector<double> alphas_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fiat::ml

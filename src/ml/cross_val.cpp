@@ -1,0 +1,136 @@
+#include "ml/cross_val.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/scaler.hpp"
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+std::vector<FoldSplit> stratified_kfold(const Dataset& data, std::size_t k,
+                                        std::uint64_t seed) {
+  if (k < 2) throw LogicError("stratified_kfold: k must be >= 2");
+  data.validate();
+  int num_classes = data.num_classes();
+
+  // Shuffle indices within each class, then deal them round-robin to folds.
+  sim::Rng rng(seed);
+  std::vector<std::vector<std::size_t>> by_class(static_cast<std::size_t>(num_classes));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.y[i])].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> fold_members(k);
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      fold_members[i % k].push_back(members[i]);
+    }
+  }
+
+  std::vector<FoldSplit> folds(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    folds[f].test = fold_members[f];
+    std::sort(folds[f].test.begin(), folds[f].test.end());
+    for (std::size_t other = 0; other < k; ++other) {
+      if (other == f) continue;
+      folds[f].train.insert(folds[f].train.end(), fold_members[other].begin(),
+                            fold_members[other].end());
+    }
+    std::sort(folds[f].train.begin(), folds[f].train.end());
+  }
+  return folds;
+}
+
+FoldSplit stratified_split(const Dataset& data, double test_fraction,
+                           std::uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw LogicError("stratified_split: test_fraction must be in (0,1)");
+  }
+  data.validate();
+  sim::Rng rng(seed);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(data.num_classes()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.y[i])].push_back(i);
+  }
+  FoldSplit split;
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    auto n_test = static_cast<std::size_t>(
+        std::max(1.0, std::round(test_fraction * static_cast<double>(members.size()))));
+    if (n_test >= members.size() && members.size() > 1) n_test = members.size() - 1;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(members[i]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+namespace {
+
+void evaluate_fold(const Classifier& model, const Dataset& train,
+                   const Dataset& test, int prf_class, bool scale,
+                   CvResult& result) {
+  StandardScaler scaler;
+  Dataset train_s = scale ? scaler.fit_transform(train) : train;
+  Dataset test_s = scale ? scaler.transform(test) : test;
+
+  auto fitted = model.clone_config();
+  fitted->fit(train_s);
+  std::vector<int> predicted = fitted->predict_batch(test_s.X);
+
+  int num_classes = std::max(train.num_classes(), test.num_classes());
+  ConfusionMatrix cm(test_s.y, predicted, num_classes);
+  result.fold_balanced_accuracy.push_back(cm.balanced_accuracy());
+  if (prf_class >= 0) {
+    result.fold_prf.push_back(prf_for_class(test_s.y, predicted, prf_class, num_classes));
+  }
+  result.truth.insert(result.truth.end(), test_s.y.begin(), test_s.y.end());
+  result.predicted.insert(result.predicted.end(), predicted.begin(), predicted.end());
+}
+
+void finalize(CvResult& result) {
+  double sum = 0.0;
+  for (double b : result.fold_balanced_accuracy) sum += b;
+  if (!result.fold_balanced_accuracy.empty()) {
+    result.mean_balanced_accuracy = sum / static_cast<double>(result.fold_balanced_accuracy.size());
+  }
+  if (!result.fold_prf.empty()) {
+    for (const auto& prf : result.fold_prf) {
+      result.mean_prf.precision += prf.precision;
+      result.mean_prf.recall += prf.recall;
+      result.mean_prf.f1 += prf.f1;
+    }
+    auto n = static_cast<double>(result.fold_prf.size());
+    result.mean_prf.precision /= n;
+    result.mean_prf.recall /= n;
+    result.mean_prf.f1 /= n;
+  }
+}
+
+}  // namespace
+
+CvResult cross_validate(const Classifier& model, const Dataset& data,
+                        std::size_t k, std::uint64_t seed, int prf_class,
+                        bool scale) {
+  CvResult result;
+  for (const auto& fold : stratified_kfold(data, k, seed)) {
+    evaluate_fold(model, data.subset(fold.train), data.subset(fold.test), prf_class,
+                  scale, result);
+  }
+  finalize(result);
+  return result;
+}
+
+CvResult train_test_evaluate(const Classifier& model, const Dataset& train_data,
+                             const Dataset& test_data, int prf_class, bool scale) {
+  CvResult result;
+  evaluate_fold(model, train_data, test_data, prf_class, scale, result);
+  finalize(result);
+  return result;
+}
+
+}  // namespace fiat::ml

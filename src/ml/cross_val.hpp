@@ -1,0 +1,54 @@
+// Stratified k-fold cross-validation (the paper reports 5-fold CV means,
+// §4.2) plus train/test splitting helpers.
+#pragma once
+
+#include <functional>
+
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+/// Index pairs for one fold.
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified folds: each fold's class mix approximates the full dataset's.
+/// Shuffling is seeded for reproducibility.
+std::vector<FoldSplit> stratified_kfold(const Dataset& data, std::size_t k,
+                                        std::uint64_t seed);
+
+/// Stratified single split; `test_fraction` of each class goes to test.
+FoldSplit stratified_split(const Dataset& data, double test_fraction,
+                           std::uint64_t seed);
+
+struct CvResult {
+  std::vector<double> fold_balanced_accuracy;
+  std::vector<PrfScore> fold_prf;  // for `prf_class` if >= 0
+  double mean_balanced_accuracy = 0.0;
+  PrfScore mean_prf;
+
+  // Pooled over all folds' test predictions (for confusion inspection).
+  std::vector<int> truth;
+  std::vector<int> predicted;
+};
+
+/// Runs k-fold CV: per fold, fits a scaler + a fresh clone of `model` on the
+/// training split (scaling is fitted on train only, as the paper's
+/// methodology requires) and evaluates on the test split.
+/// `prf_class` selects the class whose precision/recall/F1 is tracked
+/// (e.g. the "manual" class); pass -1 to skip.
+CvResult cross_validate(const Classifier& model, const Dataset& data,
+                        std::size_t k, std::uint64_t seed, int prf_class = -1,
+                        bool scale = true);
+
+/// Train on `train_data`, test on `test_data` (transfer experiments,
+/// Table 5). Scaler fitted on the training set.
+CvResult train_test_evaluate(const Classifier& model, const Dataset& train_data,
+                             const Dataset& test_data, int prf_class = -1,
+                             bool scale = true);
+
+}  // namespace fiat::ml

@@ -1,0 +1,57 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+int Dataset::num_classes() const {
+  int max_label = -1;
+  for (int label : y) max_label = std::max(max_label, label);
+  return max_label + 1;
+}
+
+void Dataset::add(Row features, int label) {
+  X.push_back(std::move(features));
+  y.push_back(label);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.feature_names = feature_names;
+  out.X.reserve(indices.size());
+  out.y.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i >= X.size()) throw LogicError("Dataset::subset index out of range");
+    out.X.push_back(X[i]);
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes()), 0);
+  for (int label : y) counts[static_cast<std::size_t>(label)]++;
+  return counts;
+}
+
+void Dataset::validate() const {
+  if (X.size() != y.size()) throw LogicError("Dataset: X/y size mismatch");
+  std::size_t d = dim();
+  for (const auto& row : X) {
+    if (row.size() != d) throw LogicError("Dataset: ragged feature rows");
+  }
+  for (int label : y) {
+    if (label < 0) throw LogicError("Dataset: negative label");
+  }
+}
+
+std::vector<int> Classifier::predict_batch(const std::vector<Row>& X) const {
+  std::vector<int> out;
+  out.reserve(X.size());
+  for (const auto& row : X) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace fiat::ml

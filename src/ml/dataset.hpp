@@ -1,0 +1,51 @@
+// Dataset container and the Classifier interface all fiat::ml models share.
+//
+// This is a from-scratch replacement for the scikit-learn pieces the paper
+// uses (§4, §6): each model implements fit/predict over dense double feature
+// matrices with integer class labels.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fiat::ml {
+
+using Row = std::vector<double>;
+
+struct Dataset {
+  std::vector<Row> X;
+  std::vector<int> y;
+  std::vector<std::string> feature_names;  // optional; used by reports
+
+  std::size_t size() const { return X.size(); }
+  std::size_t dim() const { return X.empty() ? 0 : X[0].size(); }
+  /// 1 + max label (labels must be 0-based and contiguous).
+  int num_classes() const;
+
+  void add(Row features, int label);
+  /// Subset by row indices (copies).
+  Dataset subset(std::span<const std::size_t> indices) const;
+  /// Per-class row counts.
+  std::vector<std::size_t> class_counts() const;
+  /// Throws fiat::LogicError if rows are ragged or labels negative.
+  void validate() const;
+};
+
+/// Interface every model implements. fit() may be called repeatedly; each
+/// call retrains from scratch.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+  virtual int predict(std::span<const double> x) const = 0;
+  virtual std::string name() const = 0;
+  /// Fresh untrained copy with the same hyperparameters (for CV folds).
+  virtual std::unique_ptr<Classifier> clone_config() const = 0;
+
+  std::vector<int> predict_batch(const std::vector<Row>& X) const;
+};
+
+}  // namespace fiat::ml

@@ -1,0 +1,181 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+namespace {
+
+/// Gini impurity from weighted class mass.
+double gini(std::span<const double> class_mass, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double m : class_mass) {
+    double p = m / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data) {
+  std::vector<double> weights(data.size(), 1.0);
+  fit_weighted(data, weights, nullptr);
+}
+
+void DecisionTree::fit_weighted(const Dataset& data, std::span<const double> weights,
+                                sim::Rng* feature_rng) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("DecisionTree::fit on empty dataset");
+  if (weights.size() != data.size()) throw LogicError("DecisionTree: weight size mismatch");
+  nodes_.clear();
+  num_classes_ = data.num_classes();
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  build(data, weights, indices, 0, feature_rng);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data, std::span<const double> weights,
+                                 std::vector<std::size_t>& indices, int depth,
+                                 sim::Rng* feature_rng) {
+  // Weighted class mass of this node.
+  std::vector<double> mass(static_cast<std::size_t>(num_classes_), 0.0);
+  double total = 0.0;
+  for (std::size_t i : indices) {
+    mass[static_cast<std::size_t>(data.y[i])] += weights[i];
+    total += weights[i];
+  }
+  int majority = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (mass[static_cast<std::size_t>(c)] > mass[static_cast<std::size_t>(majority)]) {
+      majority = c;
+    }
+  }
+
+  auto make_leaf = [&]() -> std::int32_t {
+    Node node;
+    node.leaf = true;
+    node.label = majority;
+    nodes_.push_back(node);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  double node_gini = gini(mass, total);
+  if (depth >= config_.max_depth || indices.size() < config_.min_samples_split ||
+      node_gini <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset for forests.
+  std::size_t d = data.dim();
+  std::vector<std::size_t> features(d);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t n_features = d;
+  if (config_.max_features > 0 && config_.max_features < d) {
+    if (!feature_rng) throw LogicError("DecisionTree: max_features needs an Rng");
+    feature_rng->shuffle(features);
+    n_features = config_.max_features;
+  }
+
+  double best_impurity = node_gini;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  std::vector<std::pair<double, std::size_t>> sorted;  // (value, row index)
+  sorted.reserve(indices.size());
+  std::vector<double> left_mass(static_cast<std::size_t>(num_classes_));
+
+  for (std::size_t f = 0; f < n_features; ++f) {
+    std::size_t feature = features[f];
+    sorted.clear();
+    for (std::size_t i : indices) sorted.emplace_back(data.X[i][feature], i);
+    std::sort(sorted.begin(), sorted.end());
+
+    std::fill(left_mass.begin(), left_mass.end(), 0.0);
+    double left_total = 0.0;
+    std::size_t left_count = 0;
+    for (std::size_t s = 0; s + 1 < sorted.size(); ++s) {
+      std::size_t row = sorted[s].second;
+      left_mass[static_cast<std::size_t>(data.y[row])] += weights[row];
+      left_total += weights[row];
+      ++left_count;
+      // Only split between distinct feature values.
+      if (sorted[s].first == sorted[s + 1].first) continue;
+      std::size_t right_count = sorted.size() - left_count;
+      if (left_count < config_.min_samples_leaf || right_count < config_.min_samples_leaf) {
+        continue;
+      }
+      double right_total = total - left_total;
+      std::vector<double> right_mass(static_cast<std::size_t>(num_classes_));
+      for (int c = 0; c < num_classes_; ++c) {
+        right_mass[static_cast<std::size_t>(c)] =
+            mass[static_cast<std::size_t>(c)] - left_mass[static_cast<std::size_t>(c)];
+      }
+      double impurity = (left_total * gini(left_mass, left_total) +
+                         right_total * gini(right_mass, right_total)) /
+                        total;
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feature = feature;
+        best_threshold = 0.5 * (sorted[s].first + sorted[s + 1].first);
+        found = true;
+      }
+    }
+  }
+
+  if (!found) return make_leaf();
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : indices) {
+    (data.X[i][best_feature] <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  // Reserve this node's slot before recursing so children get later indices.
+  Node node;
+  node.leaf = false;
+  node.label = majority;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  nodes_.push_back(node);
+  auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  std::int32_t left = build(data, weights, left_idx, depth + 1, feature_rng);
+  std::int32_t right = build(data, weights, right_idx, depth + 1, feature_rng);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+int DecisionTree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) throw LogicError("DecisionTree used before fit");
+  std::int32_t cur = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.leaf) return node.label;
+    if (node.feature >= x.size()) throw LogicError("DecisionTree: input dim too small");
+    cur = (x[node.feature] <= node.threshold) ? node.left : node.right;
+  }
+}
+
+int DecisionTree::depth_of(std::int32_t node) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.leaf) return 0;
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  return depth_of(0);
+}
+
+std::string DecisionTree::name() const {
+  return "DecisionTree(depth<=" + std::to_string(config_.max_depth) + ")";
+}
+
+}  // namespace fiat::ml

@@ -1,0 +1,69 @@
+// CART decision tree (Gini impurity, axis-aligned splits).
+//
+// Used three ways in the reproduction: directly in the Table 2 sweep (best
+// max_depth 3 per §4.1), as the base learner for RandomForest and AdaBoost,
+// and at depth 9 as FIAT's humanness validator (§5.4, following zkSENSE).
+// Supports per-sample weights so AdaBoost can reweight between rounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ml/dataset.hpp"
+#include "util/bytes.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+struct TreeConfig {
+  int max_depth = 10;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of features examined per split; 0 = all. RandomForest sets
+  /// sqrt(d) and supplies an Rng for the subsampling.
+  std::size_t max_features = 0;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  /// Weighted fit; `weights` must sum to a positive value.
+  void fit_weighted(const Dataset& data, std::span<const double> weights,
+                    sim::Rng* feature_rng = nullptr);
+  int predict(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<DecisionTree>(config_);
+  }
+
+  int depth() const;
+  std::size_t node_count() const { return nodes_.size(); }
+  const TreeConfig& config() const { return config_; }
+
+  /// Serialization for model distribution (§7).
+  void save(util::ByteWriter& w) const;
+  static DecisionTree load(util::ByteReader& r);
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int label = 0;               // for leaves
+    std::size_t feature = 0;     // for internal nodes
+    double threshold = 0.0;      // go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const Dataset& data, std::span<const double> weights,
+                     std::vector<std::size_t>& indices, int depth,
+                     sim::Rng* feature_rng);
+  int depth_of(std::int32_t node) const;
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fiat::ml

@@ -1,0 +1,44 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+void Knn::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("Knn::fit on empty dataset");
+  if (k_ == 0) throw LogicError("Knn: k must be >= 1");
+  train_ = data;
+  num_classes_ = data.num_classes();
+}
+
+int Knn::predict(std::span<const double> x) const {
+  if (train_.size() == 0) throw LogicError("Knn used before fit");
+  std::size_t k = std::min(k_, train_.size());
+
+  // Partial selection of the k nearest (distance, label) pairs.
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    dists.emplace_back(vector_distance(metric_, x, train_.X[i]), train_.y[i]);
+  }
+  std::nth_element(dists.begin(), dists.begin() + static_cast<long>(k - 1), dists.end());
+
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    votes[static_cast<std::size_t>(dists[i].second)]++;
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (votes[static_cast<std::size_t>(c)] > votes[static_cast<std::size_t>(best)]) best = c;
+  }
+  return best;
+}
+
+std::string Knn::name() const {
+  return "kNN(k=" + std::to_string(k_) + "," + distance_name(metric_) + ")";
+}
+
+}  // namespace fiat::ml

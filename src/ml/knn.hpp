@@ -1,0 +1,29 @@
+// k-nearest-neighbours classifier (Table 2 baseline; the paper found k=5
+// with Euclidean distance best, and still the weakest model at 0.621).
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "ml/nearest_centroid.hpp"  // Distance + vector_distance
+
+namespace fiat::ml {
+
+class Knn : public Classifier {
+ public:
+  explicit Knn(std::size_t k = 5, Distance metric = Distance::kEuclidean)
+      : k_(k), metric_(metric) {}
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<Knn>(k_, metric_);
+  }
+
+ private:
+  std::size_t k_;
+  Distance metric_;
+  Dataset train_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fiat::ml

@@ -1,0 +1,68 @@
+#include "ml/linear_svc.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+void LinearSvc::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("LinearSvc::fit on empty dataset");
+  num_classes_ = data.num_classes();
+  std::size_t d = data.dim();
+  weights_.assign(static_cast<std::size_t>(num_classes_), Row(d, 0.0));
+  bias_.assign(static_cast<std::size_t>(num_classes_), 0.0);
+
+  sim::Rng rng(config_.seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Pegasos: step size 1/(lambda * t) with projection implied by the decay.
+  std::size_t t = 1;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      double eta = 1.0 / (config_.reg_lambda * static_cast<double>(t++));
+      for (int c = 0; c < num_classes_; ++c) {
+        auto& w = weights_[static_cast<std::size_t>(c)];
+        double target = (data.y[i] == c) ? 1.0 : -1.0;
+        double margin = bias_[static_cast<std::size_t>(c)];
+        for (std::size_t j = 0; j < d; ++j) margin += w[j] * data.X[i][j];
+        margin *= target;
+        // L2 shrink then hinge subgradient step.
+        double shrink = 1.0 - eta * config_.reg_lambda;
+        if (shrink < 0) shrink = 0;
+        for (std::size_t j = 0; j < d; ++j) w[j] *= shrink;
+        if (margin < 1.0) {
+          for (std::size_t j = 0; j < d; ++j) w[j] += eta * target * data.X[i][j];
+          bias_[static_cast<std::size_t>(c)] += eta * target;
+        }
+      }
+    }
+  }
+}
+
+double LinearSvc::decision(int cls, std::span<const double> x) const {
+  if (weights_.empty()) throw LogicError("LinearSvc used before fit");
+  const auto& w = weights_[static_cast<std::size_t>(cls)];
+  double v = bias_[static_cast<std::size_t>(cls)];
+  for (std::size_t j = 0; j < x.size() && j < w.size(); ++j) v += w[j] * x[j];
+  return v;
+}
+
+int LinearSvc::predict(std::span<const double> x) const {
+  if (weights_.empty()) throw LogicError("LinearSvc used before fit");
+  int best = 0;
+  double best_score = decision(0, x);
+  for (int c = 1; c < num_classes_; ++c) {
+    double s = decision(c, x);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace fiat::ml

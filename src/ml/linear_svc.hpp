@@ -1,0 +1,37 @@
+// Linear support vector classifier: one-vs-rest hinge loss with L2
+// regularization, trained by SGD (Pegasos-style schedule). Table 2 baseline.
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+struct SvcConfig {
+  double reg_lambda = 1e-3;
+  std::size_t epochs = 50;
+  std::uint64_t seed = 7;
+};
+
+class LinearSvc : public Classifier {
+ public:
+  explicit LinearSvc(SvcConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "LinearSVC"; }
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<LinearSvc>(config_);
+  }
+
+  /// Raw decision value for class `cls` (margin; larger = more confident).
+  double decision(int cls, std::span<const double> x) const;
+
+ private:
+  SvcConfig config_;
+  std::vector<Row> weights_;  // one weight vector per class
+  std::vector<double> bias_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fiat::ml

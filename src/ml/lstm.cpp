@@ -1,0 +1,211 @@
+#include "ml/lstm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+void softmax_inplace(std::vector<double>& v) {
+  double max_v = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (double& x : v) {
+    x = std::exp(x - max_v);
+    sum += x;
+  }
+  for (double& x : v) x /= sum;
+}
+
+void clip(std::vector<double>& grad, double limit) {
+  double norm_sq = 0.0;
+  for (double g : grad) norm_sq += g * g;
+  double norm = std::sqrt(norm_sq);
+  if (norm > limit && norm > 0) {
+    double scale = limit / norm;
+    for (double& g : grad) g *= scale;
+  }
+}
+
+}  // namespace
+
+int SequenceDataset::num_classes() const {
+  int max_label = -1;
+  for (const auto& item : items) max_label = std::max(max_label, item.label);
+  return max_label + 1;
+}
+
+std::vector<LstmClassifier::Gates> LstmClassifier::forward(
+    const Sequence& seq, std::vector<double>* logits) const {
+  const std::size_t H = config_.hidden;
+  const std::size_t In = input_dim_;
+  std::vector<Gates> cache;
+  std::vector<double> h(H, 0.0), c(H, 0.0);
+
+  std::size_t steps = std::min(seq.steps.size(), config_.max_steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    Gates g;
+    g.x = seq.steps[t];
+    g.x.resize(In, 0.0);  // tolerate short rows
+    g.i.resize(H);
+    g.f.resize(H);
+    g.o.resize(H);
+    g.g.resize(H);
+    g.c.resize(H);
+    g.h.resize(H);
+    for (std::size_t j = 0; j < H; ++j) {
+      // Pre-activations for the four gates of unit j.
+      double pre[4];
+      for (int gate = 0; gate < 4; ++gate) {
+        std::size_t row = static_cast<std::size_t>(gate) * H + j;
+        double sum = b_gates_[row];
+        const double* w = &w_gates_[row * (In + H)];
+        for (std::size_t k = 0; k < In; ++k) sum += w[k] * g.x[k];
+        for (std::size_t k = 0; k < H; ++k) sum += w[In + k] * h[k];
+        pre[gate] = sum;
+      }
+      g.i[j] = sigmoid(pre[0]);
+      g.f[j] = sigmoid(pre[1]);
+      g.o[j] = sigmoid(pre[2]);
+      g.g[j] = std::tanh(pre[3]);
+      g.c[j] = g.f[j] * c[j] + g.i[j] * g.g[j];
+      g.h[j] = g.o[j] * std::tanh(g.c[j]);
+    }
+    h = g.h;
+    c = g.c;
+    cache.push_back(std::move(g));
+  }
+
+  if (logits) {
+    logits->assign(static_cast<std::size_t>(num_classes_), 0.0);
+    for (int cls = 0; cls < num_classes_; ++cls) {
+      double sum = b_out_[static_cast<std::size_t>(cls)];
+      for (std::size_t k = 0; k < H; ++k) {
+        sum += w_out_[static_cast<std::size_t>(cls) * H + k] * h[k];
+      }
+      (*logits)[static_cast<std::size_t>(cls)] = sum;
+    }
+  }
+  return cache;
+}
+
+void LstmClassifier::fit(const SequenceDataset& data) {
+  if (data.size() == 0) throw LogicError("LstmClassifier::fit on empty dataset");
+  input_dim_ = data.input_dim();
+  if (input_dim_ == 0) throw LogicError("LstmClassifier: zero input dimension");
+  num_classes_ = data.num_classes();
+  const std::size_t H = config_.hidden;
+  const std::size_t In = input_dim_;
+
+  sim::Rng rng(config_.seed);
+  double scale = 1.0 / std::sqrt(static_cast<double>(In + H));
+  w_gates_.resize(4 * H * (In + H));
+  for (auto& w : w_gates_) w = rng.normal(0.0, scale);
+  b_gates_.assign(4 * H, 0.0);
+  // Forget-gate bias starts positive: standard trick for gradient flow.
+  for (std::size_t j = 0; j < H; ++j) b_gates_[H + j] = 1.0;
+  w_out_.resize(static_cast<std::size_t>(num_classes_) * H);
+  for (auto& w : w_out_) w = rng.normal(0.0, 1.0 / std::sqrt(static_cast<double>(H)));
+  b_out_.assign(static_cast<std::size_t>(num_classes_), 0.0);
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const Sequence& seq = data.items[idx];
+      if (seq.steps.empty()) continue;
+      std::vector<double> logits;
+      auto cache = forward(seq, &logits);
+      if (cache.empty()) continue;
+      softmax_inplace(logits);
+
+      // Output-layer gradients.
+      std::vector<double> d_logits = logits;
+      d_logits[static_cast<std::size_t>(seq.label)] -= 1.0;
+      const auto& h_last = cache.back().h;
+      std::vector<double> gw_out(w_out_.size(), 0.0), gb_out(b_out_.size(), 0.0);
+      std::vector<double> dh(H, 0.0), dc(H, 0.0);
+      for (int cls = 0; cls < num_classes_; ++cls) {
+        gb_out[static_cast<std::size_t>(cls)] = d_logits[static_cast<std::size_t>(cls)];
+        for (std::size_t k = 0; k < H; ++k) {
+          gw_out[static_cast<std::size_t>(cls) * H + k] =
+              d_logits[static_cast<std::size_t>(cls)] * h_last[k];
+          dh[k] += w_out_[static_cast<std::size_t>(cls) * H + k] *
+                   d_logits[static_cast<std::size_t>(cls)];
+        }
+      }
+
+      // BPTT through the cached steps.
+      std::vector<double> gw_gates(w_gates_.size(), 0.0), gb_gates(b_gates_.size(), 0.0);
+      for (std::size_t t = cache.size(); t-- > 0;) {
+        const Gates& g = cache[t];
+        const std::vector<double>* h_prev = t > 0 ? &cache[t - 1].h : nullptr;
+        const std::vector<double>* c_prev = t > 0 ? &cache[t - 1].c : nullptr;
+        std::vector<double> dh_prev(H, 0.0), dc_prev(H, 0.0);
+        for (std::size_t j = 0; j < H; ++j) {
+          double tanh_c = std::tanh(g.c[j]);
+          double do_ = dh[j] * tanh_c;
+          double dcj = dc[j] + dh[j] * g.o[j] * (1.0 - tanh_c * tanh_c);
+          double di = dcj * g.g[j];
+          double dg = dcj * g.i[j];
+          double cp = c_prev ? (*c_prev)[j] : 0.0;
+          double df = dcj * cp;
+          dc_prev[j] = dcj * g.f[j];
+
+          // Through the gate nonlinearities.
+          double d_pre[4] = {di * g.i[j] * (1.0 - g.i[j]),
+                             df * g.f[j] * (1.0 - g.f[j]),
+                             do_ * g.o[j] * (1.0 - g.o[j]),
+                             dg * (1.0 - g.g[j] * g.g[j])};
+          for (int gate = 0; gate < 4; ++gate) {
+            std::size_t row = static_cast<std::size_t>(gate) * H + j;
+            gb_gates[row] += d_pre[gate];
+            double* gw = &gw_gates[row * (In + H)];
+            const double* w = &w_gates_[row * (In + H)];
+            for (std::size_t k = 0; k < In; ++k) gw[k] += d_pre[gate] * g.x[k];
+            for (std::size_t k = 0; k < H; ++k) {
+              double hp = h_prev ? (*h_prev)[k] : 0.0;
+              gw[In + k] += d_pre[gate] * hp;
+              dh_prev[k] += d_pre[gate] * w[In + k];
+            }
+          }
+        }
+        dh = std::move(dh_prev);
+        dc = std::move(dc_prev);
+      }
+
+      clip(gw_gates, config_.grad_clip);
+      clip(gb_gates, config_.grad_clip);
+      clip(gw_out, config_.grad_clip);
+      clip(gb_out, config_.grad_clip);
+      double lr = config_.learning_rate;
+      for (std::size_t k = 0; k < w_gates_.size(); ++k) w_gates_[k] -= lr * gw_gates[k];
+      for (std::size_t k = 0; k < b_gates_.size(); ++k) b_gates_[k] -= lr * gb_gates[k];
+      for (std::size_t k = 0; k < w_out_.size(); ++k) w_out_[k] -= lr * gw_out[k];
+      for (std::size_t k = 0; k < b_out_.size(); ++k) b_out_[k] -= lr * gb_out[k];
+    }
+  }
+}
+
+std::vector<double> LstmClassifier::predict_proba(const Sequence& seq) const {
+  if (!trained()) throw LogicError("LstmClassifier used before fit");
+  if (seq.steps.empty()) throw LogicError("LstmClassifier: empty sequence");
+  std::vector<double> logits;
+  forward(seq, &logits);
+  softmax_inplace(logits);
+  return logits;
+}
+
+int LstmClassifier::predict(const Sequence& seq) const {
+  auto probs = predict_proba(seq);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace fiat::ml

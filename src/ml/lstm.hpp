@@ -1,0 +1,74 @@
+// LSTM sequence classifier — the paper's §7 future-work item ("we plan to
+// also experiment with temporally-relevant models, e.g., LSTM, to handle the
+// temporal variation in devices' behaviors").
+//
+// Unlike the fixed-66-feature models, this consumes an event as a *sequence*
+// of per-packet feature vectors (variable length), runs a single LSTM layer,
+// and classifies from the final hidden state through a dense softmax head.
+// Trained with truncated BPTT over whole (short) sequences, Adam-style
+// updates. Implemented from scratch like everything else in fiat::ml.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+/// One training/inference example: a sequence of per-step feature vectors.
+struct Sequence {
+  std::vector<std::vector<double>> steps;  // [T][input_dim]
+  int label = 0;
+};
+
+struct SequenceDataset {
+  std::vector<Sequence> items;
+  std::size_t size() const { return items.size(); }
+  std::size_t input_dim() const {
+    return items.empty() || items[0].steps.empty() ? 0 : items[0].steps[0].size();
+  }
+  int num_classes() const;
+};
+
+struct LstmConfig {
+  std::size_t hidden = 32;
+  std::size_t max_steps = 10;     // sequences are truncated to this length
+  double learning_rate = 0.01;
+  std::size_t epochs = 40;
+  std::uint64_t seed = 77;
+  double grad_clip = 5.0;
+};
+
+class LstmClassifier {
+ public:
+  explicit LstmClassifier(LstmConfig config = {}) : config_(config) {}
+
+  void fit(const SequenceDataset& data);
+  int predict(const Sequence& seq) const;
+  std::vector<double> predict_proba(const Sequence& seq) const;
+  std::string name() const { return "LSTM(h=" + std::to_string(config_.hidden) + ")"; }
+
+  const LstmConfig& config() const { return config_; }
+  bool trained() const { return !w_out_.empty(); }
+
+ private:
+  struct Gates {  // per-step forward pass cache (for BPTT)
+    std::vector<double> i, f, o, g, c, h, x;
+  };
+  std::vector<Gates> forward(const Sequence& seq, std::vector<double>* logits) const;
+
+  LstmConfig config_;
+  std::size_t input_dim_ = 0;
+  int num_classes_ = 0;
+  // Gate weight matrices, row-major [4H x (input + hidden)], bias [4H];
+  // gate order: input, forget, output, candidate.
+  std::vector<double> w_gates_;
+  std::vector<double> b_gates_;
+  // Output head [classes x hidden] + bias.
+  std::vector<double> w_out_;
+  std::vector<double> b_out_;
+};
+
+}  // namespace fiat::ml

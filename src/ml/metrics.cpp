@@ -1,0 +1,117 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) : num_classes_(num_classes) {
+  if (num_classes <= 0) throw LogicError("ConfusionMatrix: need >= 1 class");
+  cells_.assign(static_cast<std::size_t>(num_classes) * num_classes, 0);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::span<const int> truth,
+                                 std::span<const int> predicted, int num_classes)
+    : ConfusionMatrix(num_classes) {
+  if (truth.size() != predicted.size()) {
+    throw LogicError("ConfusionMatrix: truth/prediction size mismatch");
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], predicted[i]);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || truth >= num_classes_ || predicted < 0 || predicted >= num_classes_) {
+    throw LogicError("ConfusionMatrix: label out of range");
+  }
+  cells_[static_cast<std::size_t>(truth) * num_classes_ + predicted]++;
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return cells_[static_cast<std::size_t>(truth) * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    std::size_t row_total = 0;
+    for (int p = 0; p < num_classes_; ++p) row_total += count(c, p);
+    if (row_total == 0) continue;
+    sum += static_cast<double>(count(c, c)) / static_cast<double>(row_total);
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / present;
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  std::size_t col_total = 0;
+  for (int t = 0; t < num_classes_; ++t) col_total += count(t, cls);
+  if (col_total == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(col_total);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  std::size_t row_total = 0;
+  for (int p = 0; p < num_classes_; ++p) row_total += count(cls, p);
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  double p = precision(cls);
+  double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    std::size_t row_total = 0;
+    for (int p = 0; p < num_classes_; ++p) row_total += count(c, p);
+    if (row_total == 0) continue;
+    sum += f1(c);
+    ++present;
+  }
+  return present == 0 ? 0.0 : sum / present;
+}
+
+std::string ConfusionMatrix::to_string(std::span<const std::string> class_names) const {
+  std::string out = "truth\\pred";
+  for (int p = 0; p < num_classes_; ++p) {
+    out += "\t";
+    out += (static_cast<std::size_t>(p) < class_names.size())
+               ? class_names[p]
+               : ("c" + std::to_string(p));
+  }
+  out += "\n";
+  for (int t = 0; t < num_classes_; ++t) {
+    out += (static_cast<std::size_t>(t) < class_names.size())
+               ? class_names[t]
+               : ("c" + std::to_string(t));
+    for (int p = 0; p < num_classes_; ++p) {
+      out += "\t" + std::to_string(count(t, p));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+PrfScore prf_for_class(std::span<const int> truth, std::span<const int> predicted,
+                       int cls, int num_classes) {
+  ConfusionMatrix cm(truth, predicted, num_classes);
+  return PrfScore{cm.precision(cls), cm.recall(cls), cm.f1(cls)};
+}
+
+}  // namespace fiat::ml

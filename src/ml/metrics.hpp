@@ -1,0 +1,52 @@
+// Classification metrics used throughout the evaluation: confusion matrix,
+// accuracy, balanced accuracy (Table 2), per-class precision/recall/F1
+// (Tables 3, 5, 6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fiat::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+  /// Builds from parallel truth/prediction vectors.
+  ConfusionMatrix(std::span<const int> truth, std::span<const int> predicted,
+                  int num_classes);
+
+  void add(int truth, int predicted);
+  std::size_t count(int truth, int predicted) const;
+  std::size_t total() const { return total_; }
+  int num_classes() const { return num_classes_; }
+
+  double accuracy() const;
+  /// Mean of per-class recalls; classes absent from the truth are skipped.
+  double balanced_accuracy() const;
+  double precision(int cls) const;  // 0 when the class is never predicted
+  double recall(int cls) const;     // 0 when the class never occurs
+  double f1(int cls) const;
+  /// Unweighted mean F1 over classes present in the truth.
+  double macro_f1() const;
+
+  std::string to_string(std::span<const std::string> class_names = {}) const;
+
+ private:
+  int num_classes_;
+  std::vector<std::size_t> cells_;  // row = truth, col = predicted
+  std::size_t total_ = 0;
+};
+
+/// Precision/recall/F1 triple for one class of interest (e.g. "manual").
+struct PrfScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+PrfScore prf_for_class(std::span<const int> truth, std::span<const int> predicted,
+                       int cls, int num_classes);
+
+}  // namespace fiat::ml

@@ -1,0 +1,167 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+namespace {
+
+void softmax_inplace(std::vector<double>& v) {
+  double max_v = v[0];
+  for (double x : v) max_v = std::max(max_v, x);
+  double sum = 0.0;
+  for (double& x : v) {
+    x = std::exp(x - max_v);
+    sum += x;
+  }
+  for (double& x : v) x /= sum;
+}
+
+}  // namespace
+
+void Mlp::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("Mlp::fit on empty dataset");
+  num_classes_ = data.num_classes();
+  std::size_t input_dim = data.dim();
+  sim::Rng rng(config_.seed);
+
+  // Build layer stack: hidden layers + output layer.
+  layers_.clear();
+  std::size_t prev = input_dim;
+  auto add_layer = [&](std::size_t out) {
+    Layer layer;
+    layer.in = prev;
+    layer.out = out;
+    layer.w.resize(out * prev);
+    layer.b.assign(out, 0.0);
+    layer.vw.assign(out * prev, 0.0);
+    layer.vb.assign(out, 0.0);
+    // He initialization for ReLU nets.
+    double scale = std::sqrt(2.0 / static_cast<double>(prev));
+    for (auto& w : layer.w) w = rng.normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+    prev = out;
+  };
+  for (std::size_t h : config_.hidden_layers) add_layer(h);
+  add_layer(static_cast<std::size_t>(num_classes_));
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      std::size_t end = std::min(order.size(), start + config_.batch_size);
+      double inv_batch = 1.0 / static_cast<double>(end - start);
+
+      // Accumulate gradients over the batch.
+      std::vector<std::vector<double>> grad_w(layers_.size());
+      std::vector<std::vector<double>> grad_b(layers_.size());
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        grad_w[l].assign(layers_[l].w.size(), 0.0);
+        grad_b[l].assign(layers_[l].b.size(), 0.0);
+      }
+
+      for (std::size_t s = start; s < end; ++s) {
+        std::size_t i = order[s];
+        std::vector<std::vector<double>> acts;  // acts[0]=input, acts[l+1]=layer l output
+        std::vector<double> probs = forward(data.X[i], &acts);
+        softmax_inplace(probs);
+
+        // delta at output: softmax + cross-entropy gradient.
+        std::vector<double> delta = probs;
+        delta[static_cast<std::size_t>(data.y[i])] -= 1.0;
+
+        for (std::size_t li = layers_.size(); li-- > 0;) {
+          Layer& layer = layers_[li];
+          const auto& input = acts[li];
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            grad_b[li][o] += delta[o];
+            for (std::size_t j = 0; j < layer.in; ++j) {
+              grad_w[li][o * layer.in + j] += delta[o] * input[j];
+            }
+          }
+          if (li == 0) break;
+          // Propagate to previous layer through W^T, gated by ReLU derivative.
+          std::vector<double> prev_delta(layer.in, 0.0);
+          for (std::size_t j = 0; j < layer.in; ++j) {
+            double sum = 0.0;
+            for (std::size_t o = 0; o < layer.out; ++o) {
+              sum += layer.w[o * layer.in + j] * delta[o];
+            }
+            prev_delta[j] = acts[li][j] > 0.0 ? sum : 0.0;
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+
+      // SGD with momentum.
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t k = 0; k < layer.w.size(); ++k) {
+          layer.vw[k] = config_.momentum * layer.vw[k] -
+                        config_.learning_rate * grad_w[l][k] * inv_batch;
+          layer.w[k] += layer.vw[k];
+        }
+        for (std::size_t k = 0; k < layer.b.size(); ++k) {
+          layer.vb[k] = config_.momentum * layer.vb[k] -
+                        config_.learning_rate * grad_b[l][k] * inv_batch;
+          layer.b[k] += layer.vb[k];
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x,
+                                 std::vector<std::vector<double>>* activations) const {
+  std::vector<double> cur(x.begin(), x.end());
+  if (activations) {
+    activations->clear();
+    activations->push_back(cur);
+  }
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    std::vector<double> next(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double sum = layer.b[o];
+      for (std::size_t j = 0; j < layer.in && j < cur.size(); ++j) {
+        sum += layer.w[o * layer.in + j] * cur[j];
+      }
+      // ReLU on hidden layers; raw logits at the output.
+      next[o] = (li + 1 < layers_.size()) ? std::max(0.0, sum) : sum;
+    }
+    cur = std::move(next);
+    if (activations) activations->push_back(cur);
+  }
+  return cur;
+}
+
+std::vector<double> Mlp::predict_proba(std::span<const double> x) const {
+  if (layers_.empty()) throw LogicError("Mlp used before fit");
+  std::vector<double> logits = forward(x, nullptr);
+  softmax_inplace(logits);
+  return logits;
+}
+
+int Mlp::predict(std::span<const double> x) const {
+  if (layers_.empty()) throw LogicError("Mlp used before fit");
+  std::vector<double> logits = forward(x, nullptr);
+  int best = 0;
+  for (std::size_t c = 1; c < logits.size(); ++c) {
+    if (logits[c] > logits[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+std::string Mlp::name() const {
+  return "MLP(" + std::to_string(config_.hidden_layers.size()) + "x" +
+         std::to_string(config_.hidden_layers.empty() ? 0 : config_.hidden_layers[0]) +
+         ")";
+}
+
+}  // namespace fiat::ml

@@ -1,0 +1,51 @@
+// Multi-layer perceptron: configurable hidden layers (the paper swept 1-10
+// layers of width 128, best at 8; §4.1), ReLU activations, softmax output,
+// cross-entropy loss, mini-batch SGD with momentum.
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden_layers = {128, 128};
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  std::size_t epochs = 60;
+  std::size_t batch_size = 16;
+  std::uint64_t seed = 1234;
+};
+
+class Mlp : public Classifier {
+ public:
+  explicit Mlp(MlpConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<Mlp>(config_);
+  }
+
+  /// Softmax class probabilities.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> w;   // row-major out x in
+    std::vector<double> b;
+    std::vector<double> vw;  // momentum buffers
+    std::vector<double> vb;
+  };
+
+  std::vector<double> forward(std::span<const double> x,
+                              std::vector<std::vector<double>>* activations) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fiat::ml

@@ -1,0 +1,130 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+void BernoulliNB::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("BernoulliNB::fit on empty dataset");
+  int k = data.num_classes();
+  std::size_t d = data.dim();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+  std::vector<Row> ones(static_cast<std::size_t>(k), Row(d, 0.0));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto cls = static_cast<std::size_t>(data.y[i]);
+    counts[cls]++;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (data.X[i][j] > binarize_) ones[cls][j] += 1.0;
+    }
+  }
+  log_prior_.assign(static_cast<std::size_t>(k), 0.0);
+  log_p_.assign(static_cast<std::size_t>(k), Row(d, 0.0));
+  log_not_p_.assign(static_cast<std::size_t>(k), Row(d, 0.0));
+  class_present_.assign(static_cast<std::size_t>(k), false);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] == 0) continue;
+    class_present_[c] = true;
+    log_prior_[c] = std::log(static_cast<double>(counts[c]) /
+                             static_cast<double>(data.size()));
+    double denom = static_cast<double>(counts[c]) + 2.0 * alpha_;
+    for (std::size_t j = 0; j < d; ++j) {
+      double p = (ones[c][j] + alpha_) / denom;
+      log_p_[c][j] = std::log(p);
+      log_not_p_[c][j] = std::log(1.0 - p);
+    }
+  }
+}
+
+std::vector<double> BernoulliNB::log_scores(std::span<const double> x) const {
+  if (log_p_.empty()) throw LogicError("BernoulliNB used before fit");
+  std::vector<double> scores(log_p_.size(), -std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < log_p_.size(); ++c) {
+    if (!class_present_[c]) continue;
+    double s = log_prior_[c];
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      s += (x[j] > binarize_) ? log_p_[c][j] : log_not_p_[c][j];
+    }
+    scores[c] = s;
+  }
+  return scores;
+}
+
+int BernoulliNB::predict(std::span<const double> x) const {
+  auto scores = log_scores(x);
+  int best = 0;
+  for (std::size_t c = 1; c < scores.size(); ++c) {
+    if (scores[c] > scores[static_cast<std::size_t>(best)]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+void GaussianNB::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("GaussianNB::fit on empty dataset");
+  int k = data.num_classes();
+  std::size_t d = data.dim();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+  mean_.assign(static_cast<std::size_t>(k), Row(d, 0.0));
+  var_.assign(static_cast<std::size_t>(k), Row(d, 0.0));
+  class_present_.assign(static_cast<std::size_t>(k), false);
+  log_prior_.assign(static_cast<std::size_t>(k), 0.0);
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto cls = static_cast<std::size_t>(data.y[i]);
+    counts[cls]++;
+    for (std::size_t j = 0; j < d; ++j) mean_[cls][j] += data.X[i][j];
+  }
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] == 0) continue;
+    for (auto& v : mean_[c]) v /= static_cast<double>(counts[c]);
+  }
+  // Global max variance drives the smoothing floor (as sklearn does).
+  double max_var = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto cls = static_cast<std::size_t>(data.y[i]);
+    for (std::size_t j = 0; j < d; ++j) {
+      double diff = data.X[i][j] - mean_[cls][j];
+      var_[cls][j] += diff * diff;
+    }
+  }
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] == 0) continue;
+    class_present_[c] = true;
+    log_prior_[c] = std::log(static_cast<double>(counts[c]) /
+                             static_cast<double>(data.size()));
+    for (auto& v : var_[c]) {
+      v /= static_cast<double>(counts[c]);
+      max_var = std::max(max_var, v);
+    }
+  }
+  double floor = var_smoothing_ * (max_var > 0 ? max_var : 1.0);
+  for (std::size_t c = 0; c < var_.size(); ++c) {
+    if (!class_present_[c]) continue;
+    for (auto& v : var_[c]) v += floor;
+  }
+}
+
+int GaussianNB::predict(std::span<const double> x) const {
+  if (mean_.empty()) throw LogicError("GaussianNB used before fit");
+  int best = -1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < mean_.size(); ++c) {
+    if (!class_present_[c]) continue;
+    double s = log_prior_[c];
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      double diff = x[j] - mean_[c][j];
+      s += -0.5 * std::log(2.0 * M_PI * var_[c][j]) - diff * diff / (2.0 * var_[c][j]);
+    }
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace fiat::ml

@@ -1,0 +1,64 @@
+// Naive Bayes classifiers.
+//
+// BernoulliNB is the classifier FIAT actually deploys at the proxy (§6,
+// footnote 2: "we choose the BernoulliNB model with default parameters of
+// sklearn"), so it matches sklearn's defaults: binarize threshold 0.0,
+// Laplace smoothing alpha 1.0, fitted class priors. GaussianNB appears in
+// the Table 2 model sweep.
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::ml {
+
+class BernoulliNB : public Classifier {
+ public:
+  explicit BernoulliNB(double alpha = 1.0, double binarize = 0.0)
+      : alpha_(alpha), binarize_(binarize) {}
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "BernoulliNB"; }
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<BernoulliNB>(alpha_, binarize_);
+  }
+
+  /// Per-class log-likelihoods (exposed for calibration experiments).
+  std::vector<double> log_scores(std::span<const double> x) const;
+
+  /// Serialization (model distribution, §7 "Road to Production"): writes /
+  /// restores the fitted parameters. load() throws fiat::ParseError on
+  /// malformed input.
+  void save(util::ByteWriter& w) const;
+  static BernoulliNB load(util::ByteReader& r);
+
+ private:
+  double alpha_;
+  double binarize_;
+  std::vector<double> log_prior_;
+  std::vector<Row> log_p_;      // log P(feature=1 | class)
+  std::vector<Row> log_not_p_;  // log P(feature=0 | class)
+  std::vector<bool> class_present_;
+};
+
+class GaussianNB : public Classifier {
+ public:
+  explicit GaussianNB(double var_smoothing = 1e-9) : var_smoothing_(var_smoothing) {}
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "GaussianNB"; }
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<GaussianNB>(var_smoothing_);
+  }
+
+ private:
+  double var_smoothing_;
+  std::vector<double> log_prior_;
+  std::vector<Row> mean_;
+  std::vector<Row> var_;
+  std::vector<bool> class_present_;
+};
+
+}  // namespace fiat::ml

@@ -1,0 +1,90 @@
+#include "ml/nearest_centroid.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+const char* distance_name(Distance d) {
+  switch (d) {
+    case Distance::kEuclidean: return "euclidean";
+    case Distance::kManhattan: return "manhattan";
+    case Distance::kChebyshev: return "chebyshev";
+  }
+  return "?";
+}
+
+double vector_distance(Distance metric, std::span<const double> a,
+                       std::span<const double> b) {
+  if (a.size() != b.size()) throw LogicError("vector_distance: dim mismatch");
+  switch (metric) {
+    case Distance::kEuclidean: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        sum += d * d;
+      }
+      return std::sqrt(sum);
+    }
+    case Distance::kManhattan: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+      return sum;
+    }
+    case Distance::kChebyshev: {
+      double best = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        best = std::max(best, std::fabs(a[i] - b[i]));
+      }
+      return best;
+    }
+  }
+  throw LogicError("vector_distance: bad metric");
+}
+
+void NearestCentroid::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("NearestCentroid::fit on empty dataset");
+  int k = data.num_classes();
+  std::size_t d = data.dim();
+  centroids_.assign(static_cast<std::size_t>(k), Row(d, 0.0));
+  class_present_.assign(static_cast<std::size_t>(k), false);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto cls = static_cast<std::size_t>(data.y[i]);
+    counts[cls]++;
+    for (std::size_t j = 0; j < d; ++j) centroids_[cls][j] += data.X[i][j];
+  }
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    if (counts[c] == 0) continue;
+    class_present_[c] = true;
+    for (auto& v : centroids_[c]) v /= static_cast<double>(counts[c]);
+  }
+}
+
+int NearestCentroid::predict(std::span<const double> x) const {
+  if (centroids_.empty()) throw LogicError("NearestCentroid used before fit");
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    if (!class_present_[c]) continue;
+    double dist = vector_distance(metric_, x, centroids_[c]);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::string NearestCentroid::name() const {
+  return std::string("NearestCentroid(") + distance_name(metric_) + ")";
+}
+
+std::unique_ptr<Classifier> NearestCentroid::clone_config() const {
+  return std::make_unique<NearestCentroid>(metric_);
+}
+
+}  // namespace fiat::ml

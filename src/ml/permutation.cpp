@@ -1,0 +1,63 @@
+#include "ml/permutation.hpp"
+
+#include <algorithm>
+
+#include "ml/metrics.hpp"
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+namespace {
+
+double score_of(const Classifier& model, const Dataset& data, int score_class) {
+  std::vector<int> predicted = model.predict_batch(data.X);
+  int num_classes = data.num_classes();
+  for (int p : predicted) num_classes = std::max(num_classes, p + 1);
+  ConfusionMatrix cm(data.y, predicted, num_classes);
+  return score_class >= 0 ? cm.f1(score_class) : cm.balanced_accuracy();
+}
+
+}  // namespace
+
+std::vector<FeatureImportance> permutation_importance(
+    const Classifier& model, const Dataset& eval_data, int score_class,
+    std::size_t n_repeats, std::uint64_t seed) {
+  eval_data.validate();
+  if (eval_data.size() < 2) throw LogicError("permutation_importance: need >= 2 rows");
+  if (n_repeats == 0) throw LogicError("permutation_importance: n_repeats must be >= 1");
+
+  double baseline = score_of(model, eval_data, score_class);
+  sim::Rng rng(seed);
+
+  std::vector<FeatureImportance> out;
+  out.reserve(eval_data.dim());
+  Dataset working = eval_data;  // mutated column-by-column, then restored
+
+  for (std::size_t f = 0; f < eval_data.dim(); ++f) {
+    std::vector<double> column(eval_data.size());
+    for (std::size_t i = 0; i < eval_data.size(); ++i) column[i] = eval_data.X[i][f];
+
+    double permuted_sum = 0.0;
+    for (std::size_t rep = 0; rep < n_repeats; ++rep) {
+      std::vector<double> shuffled = column;
+      rng.shuffle(shuffled);
+      for (std::size_t i = 0; i < working.size(); ++i) working.X[i][f] = shuffled[i];
+      permuted_sum += score_of(model, working, score_class);
+    }
+    for (std::size_t i = 0; i < working.size(); ++i) working.X[i][f] = column[i];
+
+    FeatureImportance fi;
+    fi.feature = f;
+    fi.name = (f < eval_data.feature_names.size()) ? eval_data.feature_names[f]
+                                                   : ("f" + std::to_string(f));
+    fi.importance = baseline - permuted_sum / static_cast<double>(n_repeats);
+    out.push_back(std::move(fi));
+  }
+
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.importance > b.importance;
+  });
+  return out;
+}
+
+}  // namespace fiat::ml

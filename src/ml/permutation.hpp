@@ -1,0 +1,28 @@
+// Permutation feature importance (§4.3 / Table 4): for each feature, shuffle
+// its values across the evaluation rows and measure how much the model's F1
+// for the class of interest drops. Averaged over `n_repeats` shuffles (the
+// paper uses 50).
+#pragma once
+
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+struct FeatureImportance {
+  std::size_t feature = 0;
+  std::string name;
+  double importance = 0.0;  // baseline score minus mean permuted score
+};
+
+/// `model` must already be fitted on data in the same feature space as
+/// `eval_data` (including any scaling). Returns importances sorted
+/// descending. `score_class`: class whose F1 is the score (e.g. manual);
+/// pass -1 to use balanced accuracy instead.
+std::vector<FeatureImportance> permutation_importance(
+    const Classifier& model, const Dataset& eval_data, int score_class,
+    std::size_t n_repeats, std::uint64_t seed);
+
+}  // namespace fiat::ml

@@ -1,0 +1,71 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+void RandomForest::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw LogicError("RandomForest::fit on empty dataset");
+  num_classes_ = data.num_classes();
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+  sim::Rng rng(config_.seed);
+
+  TreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+  tree_config.max_features = static_cast<std::size_t>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(data.dim())))));
+
+  std::vector<double> weights(data.size());
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    // Bootstrap as multiplicity weights (equivalent to resampling rows and
+    // cheaper than copying the dataset per tree).
+    std::fill(weights.begin(), weights.end(), 0.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+      weights[pick] += 1.0;
+    }
+    // Guarantee at least one sample of some class remains in play.
+    bool any = false;
+    for (double w : weights) {
+      if (w > 0) { any = true; break; }
+    }
+    if (!any) weights[0] = 1.0;
+
+    sim::Rng tree_rng = rng.fork();
+    DecisionTree tree(tree_config);
+    tree.fit_weighted(data, weights, &tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::vote_fractions(std::span<const double> x) const {
+  if (trees_.empty()) throw LogicError("RandomForest used before fit");
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    int label = tree.predict(x);
+    if (label >= 0 && label < num_classes_) votes[static_cast<std::size_t>(label)] += 1.0;
+  }
+  for (auto& v : votes) v /= static_cast<double>(trees_.size());
+  return votes;
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  auto votes = vote_fractions(x);
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (votes[static_cast<std::size_t>(c)] > votes[static_cast<std::size_t>(best)]) best = c;
+  }
+  return best;
+}
+
+std::string RandomForest::name() const {
+  return "RandomForest(n=" + std::to_string(config_.n_trees) + ")";
+}
+
+}  // namespace fiat::ml

@@ -1,0 +1,38 @@
+// Random forest: bagged CART trees with sqrt-feature subsampling and
+// majority voting (Table 2 baseline).
+#pragma once
+
+#include "ml/decision_tree.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 100;
+  int max_depth = 12;
+  std::size_t min_samples_leaf = 1;
+  std::uint64_t seed = 42;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override;
+  std::unique_ptr<Classifier> clone_config() const override {
+    return std::make_unique<RandomForest>(config_);
+  }
+
+  std::size_t tree_count() const { return trees_.size(); }
+  /// Per-class vote fractions (sums to 1 once fitted).
+  std::vector<double> vote_fractions(std::span<const double> x) const;
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace fiat::ml

@@ -1,0 +1,52 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  if (data.size() == 0) throw LogicError("StandardScaler::fit on empty dataset");
+  std::size_t d = data.dim();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (const auto& row : data.X) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (std::size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(data.size());
+  for (const auto& row : data.X) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double diff = row[j] - mean_[j];
+      std_[j] += diff * diff;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    std_[j] = std::sqrt(std_[j] / static_cast<double>(data.size()));
+    if (std_[j] < 1e-12) std_[j] = 1.0;  // constant feature: leave centred only
+  }
+}
+
+Row StandardScaler::transform(const Row& x) const {
+  if (!fitted()) throw LogicError("StandardScaler used before fit");
+  if (x.size() != mean_.size()) throw LogicError("StandardScaler dimension mismatch");
+  Row out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) out[j] = (x[j] - mean_[j]) / std_[j];
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out;
+  out.feature_names = data.feature_names;
+  out.y = data.y;
+  out.X.reserve(data.size());
+  for (const auto& row : data.X) out.X.push_back(transform(row));
+  return out;
+}
+
+Dataset StandardScaler::fit_transform(const Dataset& data) {
+  fit(data);
+  return transform(data);
+}
+
+}  // namespace fiat::ml

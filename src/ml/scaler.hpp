@@ -1,0 +1,34 @@
+// StandardScaler: zero-mean unit-variance feature scaling, matching the
+// paper's preprocessing ("scaling all the features to unit variance before
+// training and testing", §4.1).
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::ml {
+
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  Row transform(const Row& x) const;
+  Dataset transform(const Dataset& data) const;
+  /// fit() then transform() on the same data.
+  Dataset fit_transform(const Dataset& data);
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+  /// Serialization for model distribution (§7).
+  void save(util::ByteWriter& w) const;
+  static StandardScaler load(util::ByteReader& r);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;  // constant features get std 1 (identity scaling)
+};
+
+}  // namespace fiat::ml

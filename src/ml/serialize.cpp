@@ -1,0 +1,155 @@
+// Serialization of the deployed models (BernoulliNB + StandardScaler for
+// event classification, DecisionTree for humanness) — the substrate of §7's
+// "one model per IoT device and software version which is downloaded and
+// applied automatically".
+//
+// Wire format: per-model magic tag, then fields in declaration order;
+// doubles as IEEE-754 bit patterns (u64be), vectors length-prefixed.
+#include <bit>
+
+#include "ml/decision_tree.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/scaler.hpp"
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+namespace {
+
+constexpr std::uint32_t kScalerMagic = 0x46534331;  // "FSC1"
+constexpr std::uint32_t kBnbMagic = 0x464e4231;     // "FNB1"
+constexpr std::uint32_t kTreeMagic = 0x46445431;    // "FDT1"
+
+void put_f64(util::ByteWriter& w, double v) { w.u64be(std::bit_cast<std::uint64_t>(v)); }
+double get_f64(util::ByteReader& r) { return std::bit_cast<double>(r.u64be()); }
+
+void put_vec(util::ByteWriter& w, const std::vector<double>& v) {
+  w.u32be(static_cast<std::uint32_t>(v.size()));
+  for (double x : v) put_f64(w, x);
+}
+
+std::vector<double> get_vec(util::ByteReader& r) {
+  std::uint32_t n = r.u32be();
+  if (n > 1u << 24) throw ParseError("model vector absurdly large");
+  std::vector<double> v(n);
+  for (auto& x : v) x = get_f64(r);
+  return v;
+}
+
+void expect_magic(util::ByteReader& r, std::uint32_t magic, const char* what) {
+  if (r.u32be() != magic) throw ParseError(std::string("bad model magic for ") + what);
+}
+
+}  // namespace
+
+// ---- StandardScaler ---------------------------------------------------------
+
+void StandardScaler::save(util::ByteWriter& w) const {
+  w.u32be(kScalerMagic);
+  put_vec(w, mean_);
+  put_vec(w, std_);
+}
+
+StandardScaler StandardScaler::load(util::ByteReader& r) {
+  expect_magic(r, kScalerMagic, "StandardScaler");
+  StandardScaler s;
+  s.mean_ = get_vec(r);
+  s.std_ = get_vec(r);
+  if (s.mean_.size() != s.std_.size()) throw ParseError("scaler size mismatch");
+  return s;
+}
+
+// ---- BernoulliNB --------------------------------------------------------------
+
+void BernoulliNB::save(util::ByteWriter& w) const {
+  w.u32be(kBnbMagic);
+  put_f64(w, alpha_);
+  put_f64(w, binarize_);
+  put_vec(w, log_prior_);
+  w.u32be(static_cast<std::uint32_t>(log_p_.size()));
+  for (std::size_t c = 0; c < log_p_.size(); ++c) {
+    w.u8(class_present_[c] ? 1 : 0);
+    put_vec(w, log_p_[c]);
+    put_vec(w, log_not_p_[c]);
+  }
+}
+
+BernoulliNB BernoulliNB::load(util::ByteReader& r) {
+  expect_magic(r, kBnbMagic, "BernoulliNB");
+  double alpha = get_f64(r);
+  double binarize = get_f64(r);
+  BernoulliNB model(alpha, binarize);
+  model.log_prior_ = get_vec(r);
+  std::uint32_t classes = r.u32be();
+  if (classes != model.log_prior_.size()) throw ParseError("BernoulliNB class count mismatch");
+  model.class_present_.resize(classes);
+  model.log_p_.resize(classes);
+  model.log_not_p_.resize(classes);
+  std::size_t dim = 0;
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    model.class_present_[c] = r.u8() != 0;
+    model.log_p_[c] = get_vec(r);
+    model.log_not_p_[c] = get_vec(r);
+    if (model.log_p_[c].size() != model.log_not_p_[c].size()) {
+      throw ParseError("BernoulliNB row size mismatch");
+    }
+    if (c == 0) dim = model.log_p_[c].size();
+    if (model.log_p_[c].size() != dim) throw ParseError("BernoulliNB ragged rows");
+  }
+  return model;
+}
+
+// ---- DecisionTree ---------------------------------------------------------------
+
+void DecisionTree::save(util::ByteWriter& w) const {
+  w.u32be(kTreeMagic);
+  w.u32be(static_cast<std::uint32_t>(config_.max_depth));
+  w.u32be(static_cast<std::uint32_t>(config_.min_samples_split));
+  w.u32be(static_cast<std::uint32_t>(config_.min_samples_leaf));
+  w.u32be(static_cast<std::uint32_t>(config_.max_features));
+  w.u32be(static_cast<std::uint32_t>(num_classes_));
+  w.u32be(static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& node : nodes_) {
+    w.u8(node.leaf ? 1 : 0);
+    w.u32be(static_cast<std::uint32_t>(node.label));
+    w.u32be(static_cast<std::uint32_t>(node.feature));
+    put_f64(w, node.threshold);
+    w.u32be(static_cast<std::uint32_t>(node.left));
+    w.u32be(static_cast<std::uint32_t>(node.right));
+  }
+}
+
+DecisionTree DecisionTree::load(util::ByteReader& r) {
+  expect_magic(r, kTreeMagic, "DecisionTree");
+  TreeConfig config;
+  config.max_depth = static_cast<int>(r.u32be());
+  config.min_samples_split = r.u32be();
+  config.min_samples_leaf = r.u32be();
+  config.max_features = r.u32be();
+  DecisionTree tree(config);
+  tree.num_classes_ = static_cast<int>(r.u32be());
+  std::uint32_t n = r.u32be();
+  if (n > 1u << 24) throw ParseError("tree absurdly large");
+  tree.nodes_.resize(n);
+  for (auto& node : tree.nodes_) {
+    node.leaf = r.u8() != 0;
+    node.label = static_cast<int>(r.u32be());
+    node.feature = r.u32be();
+    node.threshold = get_f64(r);
+    node.left = static_cast<std::int32_t>(r.u32be());
+    node.right = static_cast<std::int32_t>(r.u32be());
+  }
+  // Structural validation: children must point into range (or be -1).
+  auto in_range = [n](std::int32_t idx) {
+    return idx == -1 || (idx >= 0 && static_cast<std::uint32_t>(idx) < n);
+  };
+  for (const auto& node : tree.nodes_) {
+    if (!node.leaf && (!in_range(node.left) || !in_range(node.right) ||
+                       node.left == -1 || node.right == -1)) {
+      throw ParseError("tree child index out of range");
+    }
+  }
+  return tree;
+}
+
+}  // namespace fiat::ml

@@ -1,0 +1,80 @@
+#include "ml/shapley.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fiat::ml {
+
+std::vector<ShapleyAttribution> shapley_values(const ValueFn& v,
+                                               const Dataset& background,
+                                               const Row& instance,
+                                               std::size_t n_permutations,
+                                               std::uint64_t seed) {
+  if (!v) throw LogicError("shapley_values: empty value function");
+  if (background.size() == 0) throw LogicError("shapley_values: empty background");
+  if (background.dim() != instance.size()) {
+    throw LogicError("shapley_values: dimension mismatch");
+  }
+  if (n_permutations == 0) throw LogicError("shapley_values: need >= 1 permutation");
+
+  const std::size_t d = instance.size();
+  sim::Rng rng(seed);
+  std::vector<double> phi(d, 0.0);
+  std::vector<std::size_t> perm(d);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (std::size_t p = 0; p < n_permutations; ++p) {
+    rng.shuffle(perm);
+    // Start from a random background row; walk the permutation, switching
+    // one feature at a time to the instance's value. Each switch's marginal
+    // effect is that feature's contribution under this coalition ordering.
+    const Row& bg = background.X[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(background.size()) - 1))];
+    Row current = bg;
+    double prev = v(current);
+    for (std::size_t feature : perm) {
+      current[feature] = instance[feature];
+      double next = v(current);
+      phi[feature] += next - prev;
+      prev = next;
+    }
+  }
+
+  std::vector<ShapleyAttribution> out;
+  out.reserve(d);
+  for (std::size_t f = 0; f < d; ++f) {
+    ShapleyAttribution a;
+    a.feature = f;
+    a.name = f < background.feature_names.size() ? background.feature_names[f]
+                                                 : ("f" + std::to_string(f));
+    a.value = phi[f] / static_cast<double>(n_permutations);
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+ValueFn bernoulli_nb_probability(const BernoulliNB& model, int cls) {
+  return [&model, cls](std::span<const double> x) {
+    auto scores = model.log_scores(x);
+    double max_s = scores[0];
+    for (double s : scores) max_s = std::max(max_s, s);
+    double denom = 0.0;
+    for (double s : scores) denom += std::exp(s - max_s);
+    return std::exp(scores[static_cast<std::size_t>(cls)] - max_s) / denom;
+  };
+}
+
+double shapley_efficiency_gap(const std::vector<ShapleyAttribution>& attributions,
+                              const ValueFn& v, const Dataset& background,
+                              const Row& instance) {
+  double sum_phi = 0.0;
+  for (const auto& a : attributions) sum_phi += a.value;
+  double mean_bg = 0.0;
+  for (const auto& row : background.X) mean_bg += v(row);
+  mean_bg /= static_cast<double>(background.size());
+  return std::fabs(sum_phi - (v(instance) - mean_bg));
+}
+
+}  // namespace fiat::ml

@@ -1,0 +1,49 @@
+// Monte-Carlo Shapley value estimation for feature attribution — the §7
+// future-work item ("other techniques such as SHAP [65, 72] would help to
+// verify/measure the effectiveness of each feature"), implemented after the
+// cited Štrumbelj & Kononenko sampling algorithm.
+//
+// For a value function v (e.g. the model's probability of the "manual"
+// class) and an instance x, each feature's Shapley value is estimated by
+// sampling random permutations and background rows: features "absent" from a
+// coalition take their value from a random background instance.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/naive_bayes.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::ml {
+
+using ValueFn = std::function<double(std::span<const double>)>;
+
+struct ShapleyAttribution {
+  std::size_t feature = 0;
+  std::string name;
+  double value = 0.0;  // signed contribution to v(x) - E[v]
+};
+
+/// Estimates per-feature Shapley values of `v` at `instance`, using rows of
+/// `background` to marginalize absent features. `n_permutations` random
+/// permutations (each touching every feature once). Returns attributions in
+/// feature order (not sorted).
+std::vector<ShapleyAttribution> shapley_values(const ValueFn& v,
+                                               const Dataset& background,
+                                               const Row& instance,
+                                               std::size_t n_permutations,
+                                               std::uint64_t seed);
+
+/// Value function adaptor: BernoulliNB's (softmaxed) probability of `cls`.
+ValueFn bernoulli_nb_probability(const BernoulliNB& model, int cls);
+
+/// Efficiency check helper: sum of attributions should equal
+/// v(instance) - mean_background(v). Exposed for tests/benches.
+double shapley_efficiency_gap(const std::vector<ShapleyAttribution>& attributions,
+                              const ValueFn& v, const Dataset& background,
+                              const Row& instance);
+
+}  // namespace fiat::ml

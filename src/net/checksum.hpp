@@ -1,0 +1,19 @@
+// RFC 1071 internet checksum, used by the IPv4/TCP/UDP frame codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fiat::net {
+
+/// One's-complement sum over `data` folded to 16 bits (not yet complemented).
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc = 0);
+
+/// Finalizes an accumulated sum into the checksum field value.
+std::uint16_t checksum_finish(std::uint32_t acc);
+
+/// Convenience one-shot checksum.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace fiat::net

@@ -1,0 +1,172 @@
+#include "net/dns.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fiat::net {
+
+namespace {
+
+void encode_name(util::ByteWriter& w, const std::string& name) {
+  if (!name.empty()) {
+    for (const auto& label : util::split(name, '.')) {
+      if (label.empty() || label.size() > 63) throw ParseError("bad DNS label: " + label);
+      w.u8(static_cast<std::uint8_t>(label.size()));
+      w.raw(label);
+    }
+  }
+  w.u8(0);
+}
+
+// Decodes a possibly-compressed name starting at the reader's position.
+std::string decode_name(util::ByteReader& r, std::span<const std::uint8_t> whole) {
+  std::vector<std::string> labels;
+  std::size_t jumps = 0;
+  // After the first pointer jump we read from `detached`, leaving `r` at the
+  // byte after the 2-byte pointer.
+  std::optional<util::ByteReader> detached;
+  util::ByteReader* cur = &r;
+  while (true) {
+    std::uint8_t len = cur->u8();
+    if (len == 0) break;
+    if ((len & 0xc0) == 0xc0) {
+      if (++jumps > 32) throw ParseError("DNS compression loop");
+      std::uint16_t offset = static_cast<std::uint16_t>((len & 0x3f) << 8) | cur->u8();
+      if (offset >= whole.size()) throw ParseError("DNS pointer out of range");
+      detached.emplace(whole.subspan(offset));
+      cur = &*detached;
+      continue;
+    }
+    if ((len & 0xc0) != 0) throw ParseError("bad DNS label length");
+    labels.push_back(util::to_lower(cur->str(len)));
+  }
+  return util::join(labels, ".");
+}
+
+}  // namespace
+
+util::Bytes encode_dns(const DnsMessage& msg) {
+  util::ByteWriter w(64);
+  w.u16be(msg.id);
+  // Flags: QR bit + RD; responses also set RA.
+  w.u16be(msg.is_response ? 0x8180 : 0x0100);
+  w.u16be(static_cast<std::uint16_t>(msg.questions.size()));
+  w.u16be(static_cast<std::uint16_t>(msg.answers.size()));
+  w.u16be(0);  // authority
+  w.u16be(0);  // additional
+  for (const auto& q : msg.questions) {
+    encode_name(w, q.name);
+    w.u16be(q.qtype);
+    w.u16be(q.qclass);
+  }
+  for (const auto& a : msg.answers) {
+    encode_name(w, a.name);
+    w.u16be(a.rtype);
+    w.u16be(kDnsClassIn);
+    w.u32be(a.ttl);
+    if (a.rtype == kDnsTypeA) {
+      w.u16be(4);
+      w.u32be(a.address.value());
+    } else if (a.rtype == kDnsTypePtr) {
+      util::ByteWriter name_w;
+      encode_name(name_w, a.ptr_name);
+      w.u16be(static_cast<std::uint16_t>(name_w.size()));
+      w.raw(std::span<const std::uint8_t>(name_w.bytes().data(), name_w.size()));
+    } else {
+      w.u16be(0);
+    }
+  }
+  return w.take();
+}
+
+DnsMessage decode_dns(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  DnsMessage msg;
+  msg.id = r.u16be();
+  std::uint16_t flags = r.u16be();
+  msg.is_response = (flags & 0x8000) != 0;
+  std::uint16_t qdcount = r.u16be();
+  std::uint16_t ancount = r.u16be();
+  r.skip(4);  // authority + additional counts (records themselves ignored)
+
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    DnsQuestion q;
+    q.name = decode_name(r, data);
+    q.qtype = r.u16be();
+    q.qclass = r.u16be();
+    msg.questions.push_back(std::move(q));
+  }
+  for (std::uint16_t i = 0; i < ancount; ++i) {
+    DnsAnswer a;
+    a.name = decode_name(r, data);
+    a.rtype = r.u16be();
+    r.skip(2);  // class
+    a.ttl = r.u32be();
+    std::uint16_t rdlength = r.u16be();
+    if (a.rtype == kDnsTypeA && rdlength == 4) {
+      a.address = Ipv4Addr(r.u32be());
+    } else if (a.rtype == kDnsTypePtr) {
+      util::ByteReader rd(data.subspan(r.offset(), rdlength));
+      a.ptr_name = decode_name(rd, data);
+      r.skip(rdlength);
+    } else {
+      r.skip(rdlength);
+    }
+    msg.answers.push_back(std::move(a));
+  }
+  return msg;
+}
+
+DnsMessage make_a_query(std::uint16_t id, const std::string& name) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.questions.push_back(DnsQuestion{util::to_lower(name), kDnsTypeA, kDnsClassIn});
+  return msg;
+}
+
+DnsMessage make_a_response(std::uint16_t id, const std::string& name, Ipv4Addr addr,
+                           std::uint32_t ttl) {
+  DnsMessage msg = make_a_query(id, name);
+  msg.is_response = true;
+  DnsAnswer a;
+  a.name = util::to_lower(name);
+  a.rtype = kDnsTypeA;
+  a.ttl = ttl;
+  a.address = addr;
+  msg.answers.push_back(std::move(a));
+  return msg;
+}
+
+void DnsTable::observe_message(const DnsMessage& msg) {
+  if (!msg.is_response) return;
+  for (const auto& a : msg.answers) {
+    if (a.rtype == kDnsTypeA) map_[a.address] = a.name;
+  }
+}
+
+void DnsTable::add(Ipv4Addr addr, const std::string& domain) {
+  map_[addr] = util::to_lower(domain);
+}
+
+std::optional<std::string> DnsTable::domain_of(Ipv4Addr addr) const {
+  auto it = map_.find(addr);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ReverseResolver::resolve(Ipv4Addr addr) const {
+  char buf[64];
+  if (alias_buckets_) {
+    // Alias imprecision: one shared CDN-style name per /24.
+    std::snprintf(buf, sizeof(buf), "edge-%u-%u-%u.cdn.example", addr.octet(0),
+                  addr.octet(1), addr.octet(2));
+  } else {
+    std::snprintf(buf, sizeof(buf), "host-%u-%u-%u-%u.rdns.example", addr.octet(0),
+                  addr.octet(1), addr.octet(2), addr.octet(3));
+  }
+  return buf;
+}
+
+}  // namespace fiat::net

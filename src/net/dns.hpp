@@ -1,0 +1,93 @@
+// DNS message codec and the IP→domain mapping the PortLess flow definition
+// depends on (§2.1).
+//
+// The paper obtains domain names "either from DNS requests — when available
+// in the trace — or via a reverse DNS lookup" sent to a fixed recursive
+// resolver. We mirror both paths: DnsTable::observe_message() learns from A
+// answers seen in the trace, and ReverseResolver simulates the fixed-resolver
+// PTR path (deterministic IP→name mapping, with aliasing imprecision
+// injectable for experiments).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::net {
+
+constexpr std::uint16_t kDnsPort = 53;
+constexpr std::uint16_t kDnsTypeA = 1;
+constexpr std::uint16_t kDnsTypePtr = 12;
+constexpr std::uint16_t kDnsClassIn = 1;
+
+struct DnsQuestion {
+  std::string name;  // lower-cased, no trailing dot
+  std::uint16_t qtype = kDnsTypeA;
+  std::uint16_t qclass = kDnsClassIn;
+};
+
+struct DnsAnswer {
+  std::string name;
+  std::uint16_t rtype = kDnsTypeA;
+  std::uint32_t ttl = 300;
+  Ipv4Addr address;       // for A records
+  std::string ptr_name;   // for PTR records
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsAnswer> answers;
+};
+
+/// Encodes a message (uncompressed names).
+util::Bytes encode_dns(const DnsMessage& msg);
+
+/// Decodes a message; supports RFC 1035 name compression. Throws
+/// fiat::ParseError on malformed input (including compression loops).
+DnsMessage decode_dns(std::span<const std::uint8_t> data);
+
+/// Builds a simple A query / response pair (helpers for trace generation).
+DnsMessage make_a_query(std::uint16_t id, const std::string& name);
+DnsMessage make_a_response(std::uint16_t id, const std::string& name, Ipv4Addr addr,
+                           std::uint32_t ttl = 300);
+
+/// IP→domain table learned passively from DNS responses in the trace.
+class DnsTable {
+ public:
+  /// Records every A answer in `msg`.
+  void observe_message(const DnsMessage& msg);
+  void add(Ipv4Addr addr, const std::string& domain);
+
+  /// Most recently learned domain for an IP, if any.
+  std::optional<std::string> domain_of(Ipv4Addr addr) const;
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Ipv4Addr, std::string, Ipv4AddrHash> map_;
+};
+
+/// Simulated reverse-DNS path: deterministic PTR-style names for unknown IPs.
+/// The paper notes reverse lookups are consistent (same resolver) but less
+/// precise than in-trace DNS because of domain aliases; `alias_buckets`
+/// models that imprecision — IPs within the same /24 share one PTR name when
+/// alias_buckets is true.
+class ReverseResolver {
+ public:
+  explicit ReverseResolver(bool alias_buckets = false)
+      : alias_buckets_(alias_buckets) {}
+
+  std::string resolve(Ipv4Addr addr) const;
+
+ private:
+  bool alias_buckets_;
+};
+
+}  // namespace fiat::net

@@ -1,0 +1,183 @@
+#include "net/frame.hpp"
+
+#include "net/checksum.hpp"
+#include "net/tls.hpp"
+#include "util/error.hpp"
+
+namespace fiat::net {
+
+namespace {
+
+constexpr std::size_t kEthHeaderLen = 14;
+constexpr std::size_t kIpv4HeaderLen = 20;  // we never emit IP options
+constexpr std::size_t kTcpHeaderLen = 20;   // no TCP options
+constexpr std::size_t kUdpHeaderLen = 8;
+
+// Pseudo-header checksum seed for TCP/UDP.
+std::uint32_t pseudo_header_sum(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
+                                std::uint16_t transport_len) {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffff;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffff;
+  acc += proto;
+  acc += transport_len;
+  return acc;
+}
+
+}  // namespace
+
+util::Bytes build_frame(const FrameSpec& spec) {
+  if (spec.proto == Transport::kOther) {
+    throw LogicError("build_frame: transport must be TCP or UDP");
+  }
+  const bool tcp = spec.proto == Transport::kTcp;
+  const std::size_t transport_len =
+      (tcp ? kTcpHeaderLen : kUdpHeaderLen) + spec.payload.size();
+  const std::size_t ip_len = kIpv4HeaderLen + transport_len;
+  if (ip_len > 0xffff) throw LogicError("build_frame: payload too large");
+
+  util::ByteWriter w(kEthHeaderLen + ip_len);
+  // Ethernet II.
+  w.raw(std::span<const std::uint8_t>(spec.dst_mac.bytes().data(), 6));
+  w.raw(std::span<const std::uint8_t>(spec.src_mac.bytes().data(), 6));
+  w.u16be(kEtherTypeIpv4);
+
+  // IPv4 header.
+  const std::size_t ip_start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0);     // DSCP/ECN
+  w.u16be(static_cast<std::uint16_t>(ip_len));
+  w.u16be(0);       // identification
+  w.u16be(0x4000);  // flags: DF
+  w.u8(spec.ttl);
+  w.u8(static_cast<std::uint8_t>(spec.proto));
+  w.u16be(0);  // checksum placeholder
+  w.u32be(spec.src_ip.value());
+  w.u32be(spec.dst_ip.value());
+  std::uint16_t ip_csum = internet_checksum(
+      std::span<const std::uint8_t>(w.bytes().data() + ip_start, kIpv4HeaderLen));
+  w.patch_u16be(ip_start + 10, ip_csum);
+
+  // Transport header.
+  const std::size_t tr_start = w.size();
+  if (tcp) {
+    w.u16be(spec.src_port);
+    w.u16be(spec.dst_port);
+    w.u32be(spec.tcp_seq);
+    w.u32be(spec.tcp_ack);
+    w.u8(0x50);  // data offset 5
+    w.u8(spec.tcp_flags);
+    w.u16be(0xffff);  // window
+    w.u16be(0);       // checksum placeholder
+    w.u16be(0);       // urgent pointer
+  } else {
+    w.u16be(spec.src_port);
+    w.u16be(spec.dst_port);
+    w.u16be(static_cast<std::uint16_t>(transport_len));
+    w.u16be(0);  // checksum placeholder
+  }
+  w.raw(std::span<const std::uint8_t>(spec.payload.data(), spec.payload.size()));
+
+  // Transport checksum over pseudo-header + header + payload.
+  std::uint32_t acc = pseudo_header_sum(spec.src_ip, spec.dst_ip,
+                                        static_cast<std::uint8_t>(spec.proto),
+                                        static_cast<std::uint16_t>(transport_len));
+  acc = checksum_accumulate(
+      std::span<const std::uint8_t>(w.bytes().data() + tr_start, transport_len), acc);
+  std::uint16_t tr_csum = checksum_finish(acc);
+  if (!tcp && tr_csum == 0) tr_csum = 0xffff;  // UDP: 0 means "no checksum"
+  w.patch_u16be(tr_start + (tcp ? 16 : 6), tr_csum);
+
+  return w.take();
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame) {
+  util::ByteReader r(frame);
+  ParsedFrame out;
+
+  std::array<std::uint8_t, 6> mac{};
+  auto dst = r.raw(6);
+  std::copy(dst.begin(), dst.end(), mac.begin());
+  out.dst_mac = MacAddr(mac);
+  auto src = r.raw(6);
+  std::copy(src.begin(), src.end(), mac.begin());
+  out.src_mac = MacAddr(mac);
+  std::uint16_t ethertype = r.u16be();
+  if (ethertype != kEtherTypeIpv4) return std::nullopt;
+
+  std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) throw ParseError("not IPv4");
+  std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl < kIpv4HeaderLen) throw ParseError("bad IHL");
+  r.skip(1);  // DSCP/ECN
+  out.ip_total_length = r.u16be();
+  r.skip(4);  // id, flags/fragment
+  out.ttl = r.u8();
+  std::uint8_t proto = r.u8();
+  r.skip(2);  // checksum (verified separately)
+  out.src_ip = Ipv4Addr(r.u32be());
+  out.dst_ip = Ipv4Addr(r.u32be());
+  if (ihl > kIpv4HeaderLen) r.skip(ihl - kIpv4HeaderLen);
+
+  if (out.ip_total_length < ihl ||
+      out.ip_total_length > frame.size() - kEthHeaderLen) {
+    throw ParseError("IP total length inconsistent with frame");
+  }
+  std::size_t transport_len = out.ip_total_length - ihl;
+  if (transport_len > r.remaining()) throw ParseError("truncated transport payload");
+
+  if (proto == 6) {
+    out.proto = Transport::kTcp;
+    if (transport_len < kTcpHeaderLen) throw ParseError("truncated TCP header");
+    out.src_port = r.u16be();
+    out.dst_port = r.u16be();
+    out.tcp_seq = r.u32be();
+    out.tcp_ack = r.u32be();
+    std::uint8_t offset = r.u8() >> 4;
+    std::size_t tcp_hdr = static_cast<std::size_t>(offset) * 4;
+    if (tcp_hdr < kTcpHeaderLen || tcp_hdr > transport_len) throw ParseError("bad TCP offset");
+    out.tcp_flags = r.u8();
+    r.skip(2 + 2 + 2);  // window, checksum, urgent
+    if (tcp_hdr > kTcpHeaderLen) r.skip(tcp_hdr - kTcpHeaderLen);
+    out.payload = r.raw(transport_len - tcp_hdr);
+  } else if (proto == 17) {
+    out.proto = Transport::kUdp;
+    if (transport_len < kUdpHeaderLen) throw ParseError("truncated UDP header");
+    out.src_port = r.u16be();
+    out.dst_port = r.u16be();
+    std::uint16_t udp_len = r.u16be();
+    if (udp_len < kUdpHeaderLen || udp_len > transport_len) throw ParseError("bad UDP length");
+    r.skip(2);  // checksum
+    out.payload = r.raw(udp_len - kUdpHeaderLen);
+  } else {
+    out.proto = Transport::kOther;
+    out.payload = r.raw(transport_len);
+  }
+  return out;
+}
+
+bool verify_ipv4_checksum(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthHeaderLen + kIpv4HeaderLen) return false;
+  std::size_t ihl = static_cast<std::size_t>(frame[kEthHeaderLen] & 0x0f) * 4;
+  if (frame.size() < kEthHeaderLen + ihl) return false;
+  // A correct header checksums (one's-complement) to zero.
+  return internet_checksum(frame.subspan(kEthHeaderLen, ihl)) == 0;
+}
+
+PacketRecord ParsedFrame::to_record(double ts) const {
+  PacketRecord rec;
+  rec.ts = ts;
+  rec.size = ip_total_length;
+  rec.src_ip = src_ip;
+  rec.dst_ip = dst_ip;
+  rec.src_port = src_port;
+  rec.dst_port = dst_port;
+  rec.proto = proto;
+  rec.tcp_flags = tcp_flags;
+  rec.tls_version = sniff_tls_version(payload);
+  return rec;
+}
+
+}  // namespace fiat::net

@@ -1,0 +1,70 @@
+// Ethernet II + IPv4 + TCP/UDP frame codec.
+//
+// The trace generators emit real byte-level frames through this codec and
+// the analyzers parse them back, so the whole pipeline is exercised on actual
+// wire formats (and traces round-trip through .pcap files, see pcap.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ip.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::net {
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+/// Everything needed to build one frame. `payload` is the transport payload.
+struct FrameSpec {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Transport proto = Transport::kTcp;
+  std::uint8_t tcp_flags = TcpFlags::kAck;
+  std::uint32_t tcp_seq = 0;
+  std::uint32_t tcp_ack = 0;
+  std::uint8_t ttl = 64;
+  util::Bytes payload;
+};
+
+/// A fully parsed frame: link/network/transport headers plus a payload view
+/// into the original buffer.
+struct ParsedFrame {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Transport proto = Transport::kOther;
+  std::uint8_t tcp_flags = 0;
+  std::uint32_t tcp_seq = 0;
+  std::uint32_t tcp_ack = 0;
+  std::uint8_t ttl = 0;
+  std::uint16_t ip_total_length = 0;
+  std::span<const std::uint8_t> payload;
+
+  /// Converts to the normalized record the analyzers consume, sniffing the
+  /// TLS version from the payload.
+  PacketRecord to_record(double ts) const;
+};
+
+/// Serializes a frame; IPv4 header and TCP/UDP checksums are computed.
+util::Bytes build_frame(const FrameSpec& spec);
+
+/// Parses an Ethernet II frame carrying IPv4. Returns nullopt for non-IPv4
+/// ethertypes (e.g. ARP); throws fiat::ParseError on truncated/corrupt input.
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+/// Validates the IPv4 header checksum of a parsed buffer (used by tests and
+/// by the proxy's sanity checks).
+bool verify_ipv4_checksum(std::span<const std::uint8_t> frame);
+
+}  // namespace fiat::net

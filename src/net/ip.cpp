@@ -1,0 +1,61 @@
+#include "net/ip.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fiat::net {
+
+Ipv4Addr Ipv4Addr::parse(std::string_view text) {
+  auto parts = util::split(text, '.');
+  if (parts.size() != 4) throw ParseError("bad IPv4 address: " + std::string(text));
+  std::uint32_t value = 0;
+  for (const auto& p : parts) {
+    if (p.empty() || p.size() > 3) throw ParseError("bad IPv4 octet: " + p);
+    int octet = 0;
+    for (char c : p) {
+      if (c < '0' || c > '9') throw ParseError("bad IPv4 octet: " + p);
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) throw ParseError("IPv4 octet out of range: " + p);
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return buf;
+}
+
+MacAddr MacAddr::parse(std::string_view text) {
+  auto parts = util::split(text, ':');
+  if (parts.size() != 6) throw ParseError("bad MAC address: " + std::string(text));
+  std::array<std::uint8_t, 6> bytes{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& p = parts[i];
+    if (p.size() != 2) throw ParseError("bad MAC byte: " + p);
+    int v = 0;
+    for (char c : p) {
+      int nib;
+      if (c >= '0' && c <= '9') nib = c - '0';
+      else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+      else throw ParseError("bad MAC byte: " + p);
+      v = (v << 4) | nib;
+    }
+    bytes[i] = static_cast<std::uint8_t>(v);
+  }
+  return MacAddr(bytes);
+}
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace fiat::net

@@ -1,0 +1,78 @@
+// IPv4 and MAC addressing primitives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fiat::net {
+
+/// IPv4 address as a host-order 32-bit value with dotted-quad conversion.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_((static_cast<std::uint32_t>(a) << 24) |
+              (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses "a.b.c.d"; throws fiat::ParseError on malformed input.
+  static Ipv4Addr parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return addr_; }
+  /// Octet 0 is the most significant ("a" in a.b.c.d).
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(addr_ >> (8 * (3 - i)));
+  }
+  std::string str() const;
+
+  constexpr bool operator==(const Ipv4Addr&) const = default;
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  /// True for RFC 1918 private ranges (used to split LAN vs WAN endpoints).
+  constexpr bool is_private() const {
+    return (octet(0) == 10) || (octet(0) == 172 && octet(1) >= 16 && octet(1) <= 31) ||
+           (octet(0) == 192 && octet(1) == 168);
+  }
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+struct Ipv4AddrHash {
+  std::size_t operator()(const Ipv4Addr& a) const noexcept {
+    // splitmix-style avalanche of the 32-bit value.
+    std::uint64_t x = a.value() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// 48-bit Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::array<std::uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  static MacAddr parse(std::string_view text);  // "aa:bb:cc:dd:ee:ff"
+  /// Deterministic locally-administered MAC derived from an index (testbeds).
+  static constexpr MacAddr from_index(std::uint32_t idx) {
+    return MacAddr({0x02, 0x00, static_cast<std::uint8_t>(idx >> 24),
+                    static_cast<std::uint8_t>(idx >> 16),
+                    static_cast<std::uint8_t>(idx >> 8),
+                    static_cast<std::uint8_t>(idx)});
+  }
+
+  constexpr const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  std::string str() const;
+
+  constexpr bool operator==(const MacAddr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace fiat::net

@@ -1,0 +1,24 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace fiat::net {
+
+const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kTcp: return "TCP";
+    case Transport::kUdp: return "UDP";
+    case Transport::kOther: return "OTHER";
+  }
+  return "?";
+}
+
+std::string PacketRecord::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%.6f %s %s:%u > %s:%u len=%u flags=0x%02x tls=0x%04x",
+                ts, transport_name(proto), src_ip.str().c_str(), src_port,
+                dst_ip.str().c_str(), dst_port, size, tcp_flags, tls_version);
+  return buf;
+}
+
+}  // namespace fiat::net

@@ -1,0 +1,51 @@
+// PacketRecord: the normalized per-packet view the whole FIAT pipeline
+// consumes (§2.1: arrival timestamp, size, source/destination IPs, transport
+// protocol, ports — plus the TCP flags and sniffed TLS version that the event
+// classifier's 66 features need).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ip.hpp"
+
+namespace fiat::net {
+
+enum class Transport : std::uint8_t { kTcp = 6, kUdp = 17, kOther = 0 };
+
+/// TCP flag bits (subset we model).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct PacketRecord {
+  double ts = 0.0;          // seconds since trace start
+  std::uint32_t size = 0;   // IP packet length in bytes
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Transport proto = Transport::kOther;
+  std::uint8_t tcp_flags = 0;      // 0 for UDP
+  std::uint16_t tls_version = 0;   // 0 = no TLS record seen; else 0x0301..0x0304
+
+  /// True if the packet was *sent by* `device` (device -> remote).
+  bool outbound_from(Ipv4Addr device) const { return src_ip == device; }
+  /// The non-device endpoint relative to `device`.
+  Ipv4Addr remote_of(Ipv4Addr device) const {
+    return outbound_from(device) ? dst_ip : src_ip;
+  }
+  std::uint16_t remote_port_of(Ipv4Addr device) const {
+    return outbound_from(device) ? dst_port : src_port;
+  }
+
+  std::string summary() const;
+};
+
+const char* transport_name(Transport t);
+
+}  // namespace fiat::net

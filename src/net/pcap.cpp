@@ -1,0 +1,164 @@
+#include "net/pcap.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "net/tls.hpp"
+#include "util/error.hpp"
+
+namespace fiat::net {
+
+struct PcapWriter::Impl {
+  std::FILE* file = nullptr;
+};
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : impl_(new Impl) {
+  impl_->file = std::fopen(path.c_str(), "wb");
+  if (!impl_->file) {
+    delete impl_;
+    throw IoError("cannot open pcap for writing: " + path);
+  }
+  util::ByteWriter w(24);
+  w.u32le(kPcapMagic);
+  w.u16le(2);  // version major
+  w.u16le(4);  // version minor
+  w.u32le(0);  // thiszone
+  w.u32le(0);  // sigfigs
+  w.u32le(snaplen);
+  w.u32le(kLinktypeEthernet);
+  if (std::fwrite(w.bytes().data(), 1, w.size(), impl_->file) != w.size()) {
+    std::fclose(impl_->file);
+    delete impl_;
+    throw IoError("cannot write pcap header: " + path);
+  }
+}
+
+PcapWriter::~PcapWriter() {
+  close();
+  delete impl_;
+}
+
+void PcapWriter::close() {
+  if (impl_->file) {
+    std::fclose(impl_->file);
+    impl_->file = nullptr;
+  }
+}
+
+void PcapWriter::write(double ts, std::span<const std::uint8_t> frame) {
+  if (!impl_->file) throw IoError("pcap writer already closed");
+  if (ts < 0) throw LogicError("pcap timestamps must be non-negative");
+  auto secs = static_cast<std::uint32_t>(ts);
+  auto usecs = static_cast<std::uint32_t>(std::llround((ts - secs) * 1e6));
+  if (usecs >= 1000000) {  // rounding carried into the next second
+    secs += 1;
+    usecs -= 1000000;
+  }
+  util::ByteWriter w(16);
+  w.u32le(secs);
+  w.u32le(usecs);
+  w.u32le(static_cast<std::uint32_t>(frame.size()));  // captured length
+  w.u32le(static_cast<std::uint32_t>(frame.size()));  // original length
+  if (std::fwrite(w.bytes().data(), 1, w.size(), impl_->file) != w.size() ||
+      std::fwrite(frame.data(), 1, frame.size(), impl_->file) != frame.size()) {
+    throw IoError("pcap write failed");
+  }
+  ++count_;
+}
+
+std::size_t read_pcap(const std::string& path,
+                      const std::function<void(const PcapPacket&)>& sink) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw IoError("cannot open pcap: " + path);
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  std::uint8_t header[24];
+  if (std::fread(header, 1, 24, f) != 24) throw ParseError("pcap: short file header");
+  util::ByteReader hr({header, 24});
+  std::uint32_t magic = hr.u32le();
+  bool swapped;
+  if (magic == kPcapMagic) {
+    swapped = false;
+  } else if (magic == 0xd4c3b2a1) {
+    swapped = true;
+  } else {
+    throw ParseError("pcap: bad magic");
+  }
+  // Remaining header fields are not needed; linktype sanity-checked below.
+  hr.skip(16);
+  std::uint32_t linktype = swapped ? __builtin_bswap32(hr.u32le()) : hr.u32le();
+  if (linktype != kLinktypeEthernet) throw ParseError("pcap: unsupported linktype");
+
+  std::size_t count = 0;
+  std::uint8_t rec_hdr[16];
+  while (std::fread(rec_hdr, 1, 16, f) == 16) {
+    util::ByteReader rr({rec_hdr, 16});
+    std::uint32_t secs = rr.u32le();
+    std::uint32_t usecs = rr.u32le();
+    std::uint32_t caplen = rr.u32le();
+    std::uint32_t origlen = rr.u32le();
+    if (swapped) {
+      secs = __builtin_bswap32(secs);
+      usecs = __builtin_bswap32(usecs);
+      caplen = __builtin_bswap32(caplen);
+      origlen = __builtin_bswap32(origlen);
+    }
+    (void)origlen;
+    if (caplen > 10 * 1024 * 1024) throw ParseError("pcap: absurd caplen");
+    PcapPacket pkt;
+    pkt.ts = static_cast<double>(secs) + static_cast<double>(usecs) * 1e-6;
+    pkt.frame.resize(caplen);
+    if (std::fread(pkt.frame.data(), 1, caplen, f) != caplen) {
+      throw ParseError("pcap: truncated packet record");
+    }
+    sink(pkt);
+    ++count;
+  }
+  return count;
+}
+
+std::vector<PcapPacket> read_pcap(const std::string& path) {
+  std::vector<PcapPacket> out;
+  read_pcap(path, [&out](const PcapPacket& p) { out.push_back(p); });
+  return out;
+}
+
+std::vector<PacketRecord> read_pcap_records(const std::string& path) {
+  std::vector<PacketRecord> out;
+  read_pcap(path, [&out](const PcapPacket& p) {
+    auto parsed = parse_frame(p.frame);
+    if (parsed) out.push_back(parsed->to_record(p.ts));
+  });
+  return out;
+}
+
+void write_pcap_records(const std::string& path,
+                        std::span<const PacketRecord> records) {
+  PcapWriter writer(path);
+  for (const auto& rec : records) {
+    FrameSpec spec;
+    spec.src_mac = MacAddr::from_index(rec.src_ip.value() & 0xffffff);
+    spec.dst_mac = MacAddr::from_index(rec.dst_ip.value() & 0xffffff);
+    spec.src_ip = rec.src_ip;
+    spec.dst_ip = rec.dst_ip;
+    spec.src_port = rec.src_port;
+    spec.dst_port = rec.dst_port;
+    spec.proto = rec.proto == Transport::kOther ? Transport::kUdp : rec.proto;
+    spec.tcp_flags = rec.tcp_flags;
+    // rec.size is the IP total length; derive the transport payload size.
+    std::size_t headers = 20 + (spec.proto == Transport::kTcp ? 20u : 8u);
+    std::size_t payload_len = rec.size > headers ? rec.size - headers : 0;
+    spec.payload.assign(payload_len, 0);
+    if (rec.tls_version != 0 && payload_len >= 5) {
+      make_tls_record(rec.tls_version, 23, payload_len - 5,
+                      std::span<std::uint8_t>(spec.payload.data(), 5));
+    }
+    writer.write(rec.ts, build_frame(spec));
+  }
+}
+
+}  // namespace fiat::net

@@ -1,0 +1,26 @@
+#include "net/tls.hpp"
+
+namespace fiat::net {
+
+std::uint16_t sniff_tls_version(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 5) return 0;
+  std::uint8_t content_type = payload[0];
+  // change_cipher_spec(20), alert(21), handshake(22), application_data(23).
+  if (content_type < 20 || content_type > 23) return 0;
+  std::uint16_t version = static_cast<std::uint16_t>((payload[1] << 8) | payload[2]);
+  if (version < kTls10 || version > kTls13) return 0;
+  std::uint16_t record_len = static_cast<std::uint16_t>((payload[3] << 8) | payload[4]);
+  if (record_len == 0 || record_len > 16384 + 256) return 0;
+  return version;
+}
+
+void make_tls_record(std::uint16_t version, std::uint8_t content_type,
+                     std::size_t body_len, std::span<std::uint8_t> out5) {
+  out5[0] = content_type;
+  out5[1] = static_cast<std::uint8_t>(version >> 8);
+  out5[2] = static_cast<std::uint8_t>(version);
+  out5[3] = static_cast<std::uint8_t>(body_len >> 8);
+  out5[4] = static_cast<std::uint8_t>(body_len);
+}
+
+}  // namespace fiat::net

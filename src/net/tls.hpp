@@ -1,0 +1,27 @@
+// Minimal TLS record sniffing.
+//
+// The event classifier's feature vector includes a per-packet "TLS version"
+// (§4.1). Like passive monitors do, we look only at the 5-byte TLS record
+// header at the start of the transport payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fiat::net {
+
+constexpr std::uint16_t kTls10 = 0x0301;
+constexpr std::uint16_t kTls11 = 0x0302;
+constexpr std::uint16_t kTls12 = 0x0303;
+constexpr std::uint16_t kTls13 = 0x0304;
+
+/// Returns the record-layer version (0x0301..0x0304) if `payload` starts with
+/// a plausible TLS record, else 0.
+std::uint16_t sniff_tls_version(std::span<const std::uint8_t> payload);
+
+/// Builds a TLS application-data record header + opaque body of `body_len`
+/// bytes (used by the trace generators to make realistic encrypted payloads).
+void make_tls_record(std::uint16_t version, std::uint8_t content_type,
+                     std::size_t body_len, std::span<std::uint8_t> out5);
+
+}  // namespace fiat::net

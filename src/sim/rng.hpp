@@ -1,0 +1,69 @@
+// Deterministic random number generation for all simulations.
+//
+// Every experiment in this repository must be reproducible bit-for-bit from a
+// seed, so we implement xoshiro256** (public-domain algorithm by Blackman &
+// Vigna) instead of relying on implementation-defined std::default_random_engine
+// behaviour, and we implement our own distributions because libstdc++'s
+// std::normal_distribution etc. are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fiat::sim {
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller; mean/stddev variants.
+  double normal();
+  double normal(double mean, double stddev);
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  int poisson(double mean);
+  /// Log-normal parameterized by the mean/sigma of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(std::span<const double> weights);
+  /// Fills `out` with random bytes (for keys/nonces in tests).
+  void fill_bytes(std::span<std::uint8_t> out);
+
+  /// Derives an independent child generator; used to give each simulated
+  /// device its own stream so adding a device does not perturb others.
+  Rng fork();
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace fiat::sim

@@ -1,0 +1,44 @@
+#include "sim/scheduler.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::sim {
+
+void Scheduler::at(TimePoint when, Action action) {
+  if (!action) throw LogicError("scheduler: empty action");
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, seq_++, std::move(action)});
+}
+
+void Scheduler::after(Duration delay, Action action) {
+  if (delay < 0) delay = 0;
+  at(now_ + delay, std::move(action));
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Copy out before pop so the action can schedule more events.
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.when;
+    e.action();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Scheduler::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.when;
+    e.action();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace fiat::sim

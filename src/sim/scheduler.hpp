@@ -1,0 +1,58 @@
+// Discrete-event scheduler.
+//
+// All latency experiments (Table 7) and the QuicLite transport run on this
+// scheduler: components schedule closures at absolute simulated times, and
+// run() drains the queue in time order. Time is a double in seconds since
+// simulation start; ties are broken by insertion order so runs are
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace fiat::sim {
+
+using TimePoint = double;  // seconds since simulation start
+using Duration = double;   // seconds
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time; advances only inside run()/run_until().
+  TimePoint now() const { return now_; }
+
+  /// Schedules `action` at absolute time `when` (>= now, else clamped to now).
+  void at(TimePoint when, Action action);
+  /// Schedules `action` `delay` seconds from now.
+  void after(Duration delay, Action action);
+
+  /// Runs events until the queue is empty. Returns number of events executed.
+  std::size_t run();
+  /// Runs events with time <= deadline; pending later events remain queued.
+  std::size_t run_until(TimePoint deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace fiat::sim

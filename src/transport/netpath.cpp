@@ -1,0 +1,53 @@
+#include "transport/netpath.hpp"
+
+namespace fiat::transport {
+
+PathProfile PathProfile::lan() {
+  PathProfile p;
+  p.name = "lan";
+  p.base_owd = 0.0035;    // ~7 ms RTT
+  p.jitter_mu = -6.5;     // ~1.5 ms median jitter
+  p.jitter_sigma = 0.6;
+  p.loss_rate = 0.001;
+  return p;
+}
+
+PathProfile PathProfile::mobile() {
+  PathProfile p;
+  p.name = "mobile";
+  p.base_owd = 0.045;     // ~90 ms RTT floor
+  p.jitter_mu = -3.6;     // ~27 ms median jitter, heavy tail
+  p.jitter_sigma = 0.9;
+  p.loss_rate = 0.005;
+  return p;
+}
+
+PathProfile PathProfile::wan_cloud() {
+  PathProfile p;
+  p.name = "wan-cloud";
+  p.base_owd = 0.022;     // ~44 ms RTT
+  p.jitter_mu = -5.0;
+  p.jitter_sigma = 0.7;
+  p.loss_rate = 0.002;
+  return p;
+}
+
+PathProfile PathProfile::mobile_cloud() {
+  PathProfile p;
+  p.name = "mobile-cloud";
+  p.base_owd = 0.055;
+  p.jitter_mu = -3.8;
+  p.jitter_sigma = 0.8;
+  p.loss_rate = 0.005;
+  return p;
+}
+
+double NetPath::sample_owd(sim::Rng& rng) const {
+  return profile_.base_owd + rng.lognormal(profile_.jitter_mu, profile_.jitter_sigma);
+}
+
+bool NetPath::sample_loss(sim::Rng& rng) const {
+  return rng.chance(profile_.loss_rate);
+}
+
+}  // namespace fiat::transport

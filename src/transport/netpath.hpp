@@ -1,0 +1,48 @@
+// One-way-delay models for the network paths in the paper's latency
+// evaluation (Table 7): phone->proxy over home LAN WiFi, phone->proxy over a
+// mobile carrier (Mint SIM in the paper), and device/phone->cloud over WAN.
+//
+// Delays are sampled as base + lognormal jitter, which matches the
+// heavy-tailed access-network delay distributions the paper's mobile numbers
+// display (QUIC 1-RTT on mobile ranged 233-1044 ms across devices).
+#pragma once
+
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace fiat::transport {
+
+struct PathProfile {
+  std::string name;
+  double base_owd = 0.001;     // seconds, one-way
+  double jitter_mu = -7.0;     // lognormal mu of the jitter term (seconds)
+  double jitter_sigma = 0.5;   // lognormal sigma
+  double loss_rate = 0.0;      // independent per-datagram loss
+
+  /// Home WiFi LAN: ~5-15 ms RTT.
+  static PathProfile lan();
+  /// Mobile carrier to home: ~100-500 ms RTT with heavy tail.
+  static PathProfile mobile();
+  /// Home to IoT vendor cloud: ~40-90 ms RTT.
+  static PathProfile wan_cloud();
+  /// Mobile to IoT vendor cloud.
+  static PathProfile mobile_cloud();
+};
+
+/// Samples one-way delays for a profile.
+class NetPath {
+ public:
+  explicit NetPath(PathProfile profile) : profile_(std::move(profile)) {}
+
+  /// One-way delay sample (seconds, >= base).
+  double sample_owd(sim::Rng& rng) const;
+  /// True if this datagram should be dropped.
+  bool sample_loss(sim::Rng& rng) const;
+  const PathProfile& profile() const { return profile_; }
+
+ private:
+  PathProfile profile_;
+};
+
+}  // namespace fiat::transport

@@ -1,0 +1,36 @@
+#include "transport/network.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::transport {
+
+void Network::attach(const EndpointId& id, ReceiveFn on_receive) {
+  if (!on_receive) throw LogicError("Network::attach: empty callback");
+  endpoints_[id] = std::move(on_receive);
+}
+
+void Network::set_path(const EndpointId& from, const EndpointId& to,
+                       PathProfile profile) {
+  paths_.insert_or_assign({from, to}, NetPath(std::move(profile)));
+}
+
+void Network::send(const EndpointId& from, const EndpointId& to, util::Bytes data) {
+  ++sent_;
+  auto path_it = paths_.find({from, to});
+  if (path_it == paths_.end()) throw LogicError("Network: no path " + from + "->" + to);
+  if (path_it->second.sample_loss(rng_)) {
+    ++dropped_;
+    return;
+  }
+  double delay = path_it->second.sample_owd(rng_);
+  scheduler_.after(delay, [this, from, to, data = std::move(data)]() mutable {
+    auto ep = endpoints_.find(to);
+    if (ep == endpoints_.end()) {
+      ++dropped_;
+      return;
+    }
+    ep->second(from, std::move(data));
+  });
+}
+
+}  // namespace fiat::transport

@@ -1,0 +1,49 @@
+// Simulated datagram network: endpoints register receive callbacks; sends
+// are delivered through a NetPath (sampled delay + loss) on the shared
+// discrete-event scheduler. QuicLite runs on top of this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/netpath.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::transport {
+
+using EndpointId = std::string;
+
+class Network {
+ public:
+  using ReceiveFn = std::function<void(const EndpointId& from, util::Bytes data)>;
+
+  Network(sim::Scheduler& scheduler, sim::Rng& rng)
+      : scheduler_(scheduler), rng_(rng) {}
+
+  void attach(const EndpointId& id, ReceiveFn on_receive);
+  /// Declares the path used for `from` -> `to` (and only that direction).
+  void set_path(const EndpointId& from, const EndpointId& to, PathProfile profile);
+
+  /// Sends a datagram; delivery is scheduled after the sampled one-way delay,
+  /// or never if the loss draw fails. Unknown destinations are dropped.
+  void send(const EndpointId& from, const EndpointId& to, util::Bytes data);
+
+  std::size_t datagrams_sent() const { return sent_; }
+  std::size_t datagrams_dropped() const { return dropped_; }
+  sim::Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  sim::Rng& rng_;
+  std::map<EndpointId, ReceiveFn> endpoints_;
+  std::map<std::pair<EndpointId, EndpointId>, NetPath> paths_;
+  std::size_t sent_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace fiat::transport

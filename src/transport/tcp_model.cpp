@@ -1,0 +1,52 @@
+#include "transport/tcp_model.hpp"
+
+#include <algorithm>
+
+namespace fiat::transport {
+
+double sample_tcp_first_byte(sim::Rng& rng, const NetPath& path, bool with_tls) {
+  // SYN + SYN/ACK (1 RTT), optional TLS 1.3 flight (1 RTT), then data
+  // reaching the peer (0.5 RTT) and its response (0.5 RTT).
+  double total = 0.0;
+  int one_way_legs = with_tls ? 8 : 6;  // each RTT = 2 legs
+  for (int leg = 0; leg < one_way_legs; ++leg) total += path.sample_owd(rng);
+  // Peer processing (handshake crypto, app logic): a few ms.
+  total += rng.uniform(0.002, 0.008);
+  return total;
+}
+
+DelayedTransferResult simulate_delayed_command(double rtt, double extra_delay,
+                                               const RtoConfig& config) {
+  DelayedTransferResult result;
+
+  // The first copy of the packet arrives at rtt/2 + extra_delay; its ACK is
+  // back at the sender at rtt + extra_delay. Retransmissions do not finish
+  // earlier (same path, same proxy delay), so the earliest possible ack is:
+  double ack_time = rtt + extra_delay;
+
+  // Count RTO firings strictly before the ack lands; each firing consumes a
+  // retry. If the budget is exhausted first, the connection is reset.
+  double rto = config.initial_rto;
+  double next_fire = rto;
+  while (next_fire < ack_time) {
+    ++result.retransmissions;
+    if (result.retransmissions > config.max_retries) {
+      result.completed = false;
+      result.completion_time = next_fire;
+      return result;
+    }
+    rto = std::min(rto * 2.0, config.max_rto);
+    next_fire += rto;
+  }
+
+  if (ack_time > config.app_timeout) {
+    result.completed = false;
+    result.completion_time = ack_time;
+    return result;
+  }
+  result.completed = true;
+  result.completion_time = ack_time;
+  return result;
+}
+
+}  // namespace fiat::transport

@@ -1,0 +1,45 @@
+// TCP(+TLS 1.3) latency baseline and the delay-tolerance model.
+//
+// Two uses in the evaluation:
+//  * Table 7 context: all testbed IoT devices speak TCP; the "time to first
+//    packet" of an IoT command includes TCP/TLS connection setup to the
+//    cloud, which FIAT's QUIC 0-RTT channel undercuts.
+//  * §6 final experiment: FIAT's proxy may hold packets while humanness
+//    validation completes. The paper found every device tolerates ~2 s of
+//    added delay because TCP absorbs it with timeouts/retransmissions. We
+//    model an RFC 6298-style retransmission schedule to regenerate that
+//    tolerance curve (bench_delay_tolerance).
+#pragma once
+
+#include "sim/rng.hpp"
+#include "transport/netpath.hpp"
+
+namespace fiat::transport {
+
+/// Samples the latency until the first application byte is delivered over a
+/// fresh TCP connection: 1 RTT handshake (+ optional 1 RTT TLS 1.3) + the
+/// data flight, each leg with independently sampled delays.
+double sample_tcp_first_byte(sim::Rng& rng, const NetPath& path, bool with_tls);
+
+struct DelayedTransferResult {
+  bool completed = false;
+  double completion_time = 0.0;  // sender-side ack time, seconds
+  int retransmissions = 0;
+};
+
+struct RtoConfig {
+  double initial_rto = 1.0;   // RFC 6298 floor once RTT estimates exist
+  double max_rto = 60.0;
+  int max_retries = 6;        // typical net.ipv4.tcp_retries2 territory
+  double app_timeout = 15.0;  // device/app gives up after this
+};
+
+/// Models a command packet whose delivery the FIAT proxy delays by
+/// `extra_delay` seconds on top of the path RTT. The sender retransmits on an
+/// exponential-backoff RTO schedule; every (re)transmission is subject to the
+/// same proxy delay. Completion = the first ACK returning before the
+/// application timeout and within the retry budget.
+DelayedTransferResult simulate_delayed_command(double rtt, double extra_delay,
+                                               const RtoConfig& config = {});
+
+}  // namespace fiat::transport

@@ -1,0 +1,144 @@
+#include "util/bytes.hpp"
+
+#include "util/error.hpp"
+
+namespace fiat::util {
+
+void ByteWriter::u16be(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32be(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64be(std::uint64_t v) {
+  u32be(static_cast<std::uint32_t>(v >> 32));
+  u32be(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::u16le(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32le(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void ByteWriter::u64le(std::uint64_t v) {
+  u32le(static_cast<std::uint32_t>(v));
+  u32le(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::raw(std::string_view data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::pad(std::size_t n, std::uint8_t fill) {
+  buf_.insert(buf_.end(), n, fill);
+}
+
+void ByteWriter::patch_u16be(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) throw LogicError("patch_u16be out of range");
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void ByteWriter::patch_u32be(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buf_.size()) throw LogicError("patch_u32be out of range");
+  buf_[offset] = static_cast<std::uint8_t>(v >> 24);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw ParseError("byte reader underrun");
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16be() {
+  require(2);
+  auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32be() {
+  require(4);
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64be() {
+  std::uint64_t hi = u32be();
+  std::uint64_t lo = u32be();
+  return (hi << 32) | lo;
+}
+
+std::uint16_t ByteReader::u16le() {
+  require(2);
+  auto v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32le() {
+  require(4);
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64le() {
+  std::uint64_t lo = u32le();
+  std::uint64_t hi = u32le();
+  return (hi << 32) | lo;
+}
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  require(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str(std::size_t n) {
+  auto view = raw(n);
+  return std::string(view.begin(), view.end());
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+std::uint8_t ByteReader::peek_u8(std::size_t ahead) const {
+  require(ahead + 1);
+  return data_[pos_ + ahead];
+}
+
+}  // namespace fiat::util

@@ -1,0 +1,79 @@
+// Endian-safe byte buffer reader/writer used by all wire-format codecs
+// (Ethernet/IP/TCP/UDP frames, pcap files, DNS messages, QuicLite packets).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fiat::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends big-endian (network order) and little-endian integers and raw
+/// bytes to a growable buffer. All writes are appends; random-access patching
+/// is available via patch_u16be/patch_u32be for length fields.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16be(std::uint16_t v);
+  void u32be(std::uint32_t v);
+  void u64be(std::uint64_t v);
+  void u16le(std::uint16_t v);
+  void u32le(std::uint32_t v);
+  void u64le(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> data);
+  void raw(std::string_view data);
+  /// Appends `n` copies of `fill`.
+  void pad(std::size_t n, std::uint8_t fill = 0);
+
+  /// Overwrites 2/4 bytes at `offset` (must already be written).
+  void patch_u16be(std::size_t offset, std::uint16_t v);
+  void patch_u32be(std::size_t offset, std::uint32_t v);
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential reader over a borrowed byte span. Throws fiat::ParseError on
+/// out-of-bounds reads so codecs never read past malformed input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16be();
+  std::uint32_t u32be();
+  std::uint64_t u64be();
+  std::uint16_t u16le();
+  std::uint32_t u32le();
+  std::uint64_t u64le();
+  /// Returns a view of the next `n` bytes and advances.
+  std::span<const std::uint8_t> raw(std::size_t n);
+  std::string str(std::size_t n);
+  void skip(std::size_t n);
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  /// Peek without advancing; throws if fewer than n bytes remain.
+  std::uint8_t peek_u8(std::size_t ahead = 0) const;
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fiat::util

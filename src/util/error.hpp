@@ -1,0 +1,43 @@
+// Error types shared across the FIAT libraries.
+//
+// We follow the Core Guidelines (E.2): errors that a caller cannot locally
+// recover from are reported by throwing; each subsystem throws a subclass of
+// fiat::Error so callers can catch per-domain or catch-all.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fiat {
+
+/// Root of the FIAT exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input while parsing a wire format (frame, pcap, DNS, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// I/O failure (file open/read/write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Cryptographic failure: bad MAC, replayed nonce, unknown key.
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto error: " + what) {}
+};
+
+/// API misuse or invariant violation detected at runtime.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error("logic error: " + what) {}
+};
+
+}  // namespace fiat

@@ -1,0 +1,49 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace fiat::util {
+
+Flags Flags::parse(int argc, char** argv, int start) {
+  Flags flags;
+  for (int i = start; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string name = token.substr(2);
+      if (name.empty()) throw ParseError("bare '--' is not a valid option");
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags.options_[name] = argv[++i];
+      } else {
+        flags.options_[name] = "";
+      }
+    } else {
+      flags.positional_.push_back(token);
+    }
+  }
+  return flags;
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_or(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double Flags::number_or(const std::string& name, double fallback) const {
+  auto value = get(name);
+  if (!value || value->empty()) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') {
+    throw ParseError("option --" + name + " expects a number, got '" + *value + "'");
+  }
+  return parsed;
+}
+
+}  // namespace fiat::util

@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing for the fiat CLI tool: positional
+// arguments plus --key value / --switch options.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fiat::util {
+
+class Flags {
+ public:
+  /// Parses argv[start..). Tokens starting with "--" are options; an option
+  /// followed by a non-option token consumes it as its value, otherwise it
+  /// is a boolean switch. Everything else is positional.
+  static Flags parse(int argc, char** argv, int start = 1);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+  bool has(const std::string& name) const { return options_.contains(name); }
+  double number_or(const std::string& name, double fallback) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace fiat::util

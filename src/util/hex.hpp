@@ -1,0 +1,20 @@
+// Hex encoding/decoding helpers (used for key fingerprints, log output, and
+// test vectors).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fiat::util {
+
+/// Lower-case hex encoding of a byte span.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decodes a hex string (case-insensitive, even length). Throws
+/// fiat::ParseError on bad input.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace fiat::util

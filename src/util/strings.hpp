@@ -1,0 +1,25 @@
+// Small string helpers used by DNS name handling and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fiat::util {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins with a delimiter string.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// ASCII lower-casing (DNS names are case-insensitive).
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Fixed-precision float formatting for benchmark tables ("0.93", "1130.4").
+std::string fmt(double v, int precision);
+
+}  // namespace fiat::util

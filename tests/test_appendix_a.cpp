@@ -1,0 +1,82 @@
+// Validation of the Appendix A closed forms — including against the paper's
+// own printed numbers.
+#include <gtest/gtest.h>
+
+#include "core/appendix_a.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+TEST(AppendixA, ReproducesThePapersEchoDot4FalseNegative) {
+  // Paper Table 6, Echo Dot 4 row: R_manual = 0.980, R_non_human = 0.982
+  // => FN = 1 - 0.98 + 0.98 * (1 - 0.982) = 0.03764 — printed as 3.76.
+  PipelineRecalls recalls;
+  recalls.manual = 0.980;
+  recalls.non_manual = 0.985;
+  recalls.human = 0.934;
+  recalls.non_human = 0.982;
+  auto rates = appendix_a_error_rates(recalls);
+  EXPECT_NEAR(rates.fn, 0.0376, 5e-4);
+  // And the FP-M the formulas *imply* for those inputs (which the paper's
+  // table does not print consistently): 0.98 * 0.066 = 6.47%.
+  EXPECT_NEAR(rates.fp_manual, 0.0647, 5e-4);
+  EXPECT_NEAR(rates.fp_non_manual, (1 - 0.985) * 0.982, 1e-12);
+}
+
+TEST(AppendixA, PerfectPipelineHasZeroErrors) {
+  auto rates = appendix_a_error_rates({});
+  EXPECT_DOUBLE_EQ(rates.fp_manual, 0.0);
+  EXPECT_DOUBLE_EQ(rates.fp_non_manual, 0.0);
+  EXPECT_DOUBLE_EQ(rates.fn, 0.0);
+}
+
+TEST(AppendixA, BoundaryBehaviour) {
+  // A classifier that never recognizes manual: every attack passes (FN = 1)
+  // and no legit manual is ever blocked by humanness (it is never gated).
+  PipelineRecalls recalls;
+  recalls.manual = 0.0;
+  auto rates = appendix_a_error_rates(recalls);
+  EXPECT_DOUBLE_EQ(rates.fn, 1.0);
+  EXPECT_DOUBLE_EQ(rates.fp_manual, 0.0);
+
+  // A humanness validator that flags everything as human: FN collapses to
+  // the classifier misses plus all gated attacks passing.
+  PipelineRecalls lax;
+  lax.non_human = 0.0;
+  auto lax_rates = appendix_a_error_rates(lax);
+  EXPECT_DOUBLE_EQ(lax_rates.fn, 1.0);
+  EXPECT_DOUBLE_EQ(lax_rates.fp_non_manual, 0.0);  // nothing gets blocked
+}
+
+TEST(AppendixA, MonotoneInRecalls) {
+  PipelineRecalls base;
+  base.manual = 0.9;
+  base.non_manual = 0.95;
+  base.human = 0.93;
+  base.non_human = 0.98;
+  auto base_rates = appendix_a_error_rates(base);
+  // Improving the manual recall lowers FN.
+  PipelineRecalls better = base;
+  better.manual = 0.99;
+  EXPECT_LT(appendix_a_error_rates(better).fn, base_rates.fn);
+  // Improving human recall lowers FP-M.
+  better = base;
+  better.human = 0.99;
+  EXPECT_LT(appendix_a_error_rates(better).fp_manual, base_rates.fp_manual);
+  // Improving non-manual recall lowers FP-N.
+  better = base;
+  better.non_manual = 0.99;
+  EXPECT_LT(appendix_a_error_rates(better).fp_non_manual, base_rates.fp_non_manual);
+}
+
+TEST(AppendixA, RejectsBadRecalls) {
+  PipelineRecalls recalls;
+  recalls.human = 1.5;
+  EXPECT_THROW(appendix_a_error_rates(recalls), LogicError);
+  recalls.human = -0.1;
+  EXPECT_THROW(appendix_a_error_rates(recalls), LogicError);
+}
+
+}  // namespace
+}  // namespace fiat::core

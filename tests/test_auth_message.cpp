@@ -1,0 +1,85 @@
+// Tests for FIAT auth-message encoding and TEE-backed sealing.
+#include <gtest/gtest.h>
+
+#include "core/auth_message.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+AuthMessage sample_message() {
+  AuthMessage msg;
+  msg.app_package = "com.wyze.app";
+  msg.capture_time = 1234.5678;
+  for (int i = 0; i < 48; ++i) msg.features.push_back(i * 0.25 - 3.0);
+  return msg;
+}
+
+TEST(AuthMessage, EncodeDecodeRoundTrip) {
+  auto msg = sample_message();
+  auto decoded = decode_auth_message(encode_auth_message(msg));
+  EXPECT_EQ(decoded, msg);
+}
+
+TEST(AuthMessage, PreservesDoublePrecisionExactly) {
+  AuthMessage msg;
+  msg.app_package = "x";
+  msg.capture_time = 0.1 + 0.2;  // classic non-representable sum
+  msg.features = {1e-308, -0.0, 3.141592653589793};
+  auto decoded = decode_auth_message(encode_auth_message(msg));
+  EXPECT_EQ(decoded.capture_time, msg.capture_time);
+  EXPECT_EQ(decoded.features, msg.features);
+}
+
+TEST(AuthMessage, EmptyFeaturesAllowed) {
+  AuthMessage msg;
+  msg.app_package = "app";
+  auto decoded = decode_auth_message(encode_auth_message(msg));
+  EXPECT_TRUE(decoded.features.empty());
+}
+
+TEST(AuthMessage, TrailingBytesRejected) {
+  auto wire = encode_auth_message(sample_message());
+  wire.push_back(0x00);
+  EXPECT_THROW(decode_auth_message(wire), ParseError);
+}
+
+TEST(AuthMessage, TruncationRejected) {
+  auto wire = encode_auth_message(sample_message());
+  std::span<const std::uint8_t> cut(wire.data(), wire.size() - 5);
+  EXPECT_THROW(decode_auth_message(cut), ParseError);
+}
+
+class SealedAuthTest : public ::testing::Test {
+ protected:
+  crypto::KeyStore store_;
+  crypto::KeyHandle key_ = store_.import_key(std::vector<std::uint8_t>(32, 0x42), "k");
+};
+
+TEST_F(SealedAuthTest, SealOpenRoundTrip) {
+  auto msg = sample_message();
+  auto sealed = seal_auth_message(store_, key_, 7, msg);
+  auto opened = open_auth_message(store_, key_, 7, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST_F(SealedAuthTest, WrongSequenceFails) {
+  auto sealed = seal_auth_message(store_, key_, 7, sample_message());
+  EXPECT_FALSE(open_auth_message(store_, key_, 8, sealed).has_value());
+}
+
+TEST_F(SealedAuthTest, WrongKeyFails) {
+  auto other = store_.import_key(std::vector<std::uint8_t>(32, 0x43), "other");
+  auto sealed = seal_auth_message(store_, key_, 7, sample_message());
+  EXPECT_FALSE(open_auth_message(store_, other, 7, sealed).has_value());
+}
+
+TEST_F(SealedAuthTest, TamperedPayloadFails) {
+  auto sealed = seal_auth_message(store_, key_, 7, sample_message());
+  sealed[sealed.size() / 2] ^= 0x01;
+  EXPECT_FALSE(open_auth_message(store_, key_, 7, sealed).has_value());
+}
+
+}  // namespace
+}  // namespace fiat::core

@@ -1,0 +1,131 @@
+// Tests for the per-device manual-event classifier (simple rule + ML modes).
+#include <gtest/gtest.h>
+
+#include "core/manual_classifier.hpp"
+#include "gen/testbed.hpp"
+#include "ml/nearest_centroid.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+const net::Ipv4Addr kDevice(192, 168, 1, 100);
+const net::Ipv4Addr kCloud(52, 1, 2, 3);
+
+UnpredictableEvent make_event(std::uint32_t first_size, bool first_inbound) {
+  UnpredictableEvent event;
+  net::PacketRecord p;
+  p.ts = 0.0;
+  p.size = first_size;
+  p.src_ip = first_inbound ? kCloud : kDevice;
+  p.dst_ip = first_inbound ? kDevice : kCloud;
+  p.proto = net::Transport::kTcp;
+  event.packets.push_back(p);
+  net::PacketRecord ack = p;
+  ack.ts = 0.1;
+  ack.size = 66;
+  std::swap(ack.src_ip, ack.dst_ip);
+  event.packets.push_back(ack);
+  return event;
+}
+
+TEST(SimpleRule, MatchesNotificationSize) {
+  auto classifier = ManualEventClassifier::simple_rule(235);
+  EXPECT_TRUE(classifier.uses_simple_rule());
+  EXPECT_EQ(classifier.classify(make_event(235, true), kDevice),
+            gen::TrafficClass::kManual);
+  EXPECT_EQ(classifier.classify(make_event(236, true), kDevice),
+            gen::TrafficClass::kControl);
+  // Same size but outbound first: not the notification pattern.
+  EXPECT_EQ(classifier.classify(make_event(235, false), kDevice),
+            gen::TrafficClass::kControl);
+}
+
+TEST(SimpleRule, ZeroSizeRejected) {
+  EXPECT_THROW(ManualEventClassifier::simple_rule(0), LogicError);
+}
+
+TEST(SimpleRule, EmptyEventThrows) {
+  auto classifier = ManualEventClassifier::simple_rule(235);
+  UnpredictableEvent empty;
+  EXPECT_THROW(classifier.classify(empty, kDevice), LogicError);
+}
+
+TEST(UntrainedClassifier, Throws) {
+  ManualEventClassifier classifier;
+  EXPECT_THROW(classifier.classify(make_event(100, true), kDevice), LogicError);
+}
+
+class MlClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::LocationEnv env("US");
+    gen::TraceConfig config;
+    config.duration_days = 10;
+    config.seed = 77;
+    config.manual_per_day_override = 6.0;
+    trace_ = new gen::LabeledTrace(
+        gen::generate_trace(gen::profile_by_name("EchoDot4"), env, config));
+    events_ = new std::vector<LabeledEvent>(extract_labeled_events(*trace_));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete events_;
+  }
+  static gen::LabeledTrace* trace_;
+  static std::vector<LabeledEvent>* events_;
+};
+
+gen::LabeledTrace* MlClassifierTest::trace_ = nullptr;
+std::vector<LabeledEvent>* MlClassifierTest::events_ = nullptr;
+
+TEST_F(MlClassifierTest, TrainsAndBeatsChanceOnTrainingData) {
+  auto classifier = ManualEventClassifier::train(*events_, trace_->device_ip);
+  EXPECT_FALSE(classifier.uses_simple_rule());
+  std::size_t correct = 0, manual_total = 0;
+  for (const auto& le : *events_) {
+    if (le.label != gen::TrafficClass::kManual) continue;
+    ++manual_total;
+    if (classifier.classify(le.event, trace_->device_ip) == gen::TrafficClass::kManual) {
+      ++correct;
+    }
+  }
+  ASSERT_GT(manual_total, 10u);
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(manual_total), 0.7);
+}
+
+TEST_F(MlClassifierTest, CustomModelInjectable) {
+  auto classifier = ManualEventClassifier::train(
+      *events_, trace_->device_ip,
+      std::make_unique<ml::NearestCentroid>(ml::Distance::kEuclidean));
+  // Smoke: classify every event without throwing.
+  for (const auto& le : *events_) {
+    auto cls = classifier.classify(le.event, trace_->device_ip);
+    EXPECT_GE(static_cast<int>(cls), 0);
+    EXPECT_LE(static_cast<int>(cls), 2);
+  }
+}
+
+TEST_F(MlClassifierTest, Copyable) {
+  auto classifier = ManualEventClassifier::train(*events_, trace_->device_ip);
+  ManualEventClassifier copy = classifier;
+  for (std::size_t i = 0; i < 10 && i < events_->size(); ++i) {
+    EXPECT_EQ(copy.classify((*events_)[i].event, trace_->device_ip),
+              classifier.classify((*events_)[i].event, trace_->device_ip));
+  }
+}
+
+TEST(MlClassifier, NoManualEventsThrows) {
+  // Events labeled control only: nothing for the manual class to learn.
+  std::vector<LabeledEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    LabeledEvent le;
+    le.event = make_event(100 + static_cast<std::uint32_t>(i), false);
+    le.label = gen::TrafficClass::kControl;
+    events.push_back(le);
+  }
+  EXPECT_THROW(ManualEventClassifier::train(events, kDevice), LogicError);
+}
+
+}  // namespace
+}  // namespace fiat::core

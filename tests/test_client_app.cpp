@@ -1,0 +1,132 @@
+// Tests for the client-side FIAT app simulation: latency breakdowns,
+// warm/cold paths, and proof integrity through the keystore.
+#include <gtest/gtest.h>
+
+#include "core/auth_message.hpp"
+#include "core/client_app.hpp"
+
+namespace fiat::core {
+namespace {
+
+struct AppHarness {
+  sim::Scheduler scheduler;
+  sim::Rng rng{55};
+  transport::Network network{scheduler, rng};
+  std::vector<std::uint8_t> psk = std::vector<std::uint8_t>(32, 0x18);
+  transport::QuicServer server;
+  FiatClientApp app;
+  std::vector<transport::QuicDelivery> deliveries;
+
+  AppHarness()
+      : server(network, "proxy",
+               [this](const std::string& id)
+                   -> std::optional<std::vector<std::uint8_t>> {
+                 if (id == "phone-1") return psk;
+                 return std::nullopt;
+               },
+               std::span<const std::uint8_t>(psk.data(), psk.size())),
+        app(network, "phone", "proxy", "phone-1",
+            std::span<const std::uint8_t>(psk.data(), psk.size()), rng) {
+    network.set_path("phone", "proxy", transport::PathProfile::lan());
+    network.set_path("proxy", "phone", transport::PathProfile::lan());
+    server.set_on_message(
+        [this](const transport::QuicDelivery& d) { deliveries.push_back(d); });
+  }
+
+  gen::SensorTrace human_window() {
+    gen::SensorConfig clean;
+    clean.gentle_human_prob = 0.0;
+    return gen::generate_sensor_trace(rng, true, clean);
+  }
+};
+
+TEST(ClientApp, WarmUpMintsTicket) {
+  AppHarness h;
+  EXPECT_FALSE(h.app.has_ticket());
+  double hs = -1;
+  h.app.warm_up([&](double t) { hs = t; });
+  h.scheduler.run();
+  EXPECT_TRUE(h.app.has_ticket());
+  EXPECT_GT(hs, 0.0);
+}
+
+TEST(ClientApp, ColdReportFallsBackToOneRtt) {
+  AppHarness h;
+  ClientLatencyBreakdown observed;
+  bool done = false;
+  h.app.report_interaction("com.app", h.human_window(),
+                           [&](const ClientLatencyBreakdown& b) {
+                             observed = b;
+                             done = true;
+                           });
+  h.scheduler.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(observed.zero_rtt);
+  EXPECT_EQ(h.deliveries.size(), 1u);
+  EXPECT_FALSE(h.deliveries[0].zero_rtt);
+}
+
+TEST(ClientApp, WarmReportUsesZeroRttAndIsFaster) {
+  AppHarness h;
+  h.app.warm_up([](double) {});
+  h.scheduler.run();
+  ClientLatencyBreakdown warm;
+  h.app.report_interaction("com.app", h.human_window(),
+                           [&](const ClientLatencyBreakdown& b) { warm = b; });
+  h.scheduler.run();
+  EXPECT_TRUE(warm.zero_rtt);
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_TRUE(h.deliveries[0].zero_rtt);
+
+  // Breakdown components stay in the Table 7 regimes.
+  EXPECT_GE(warm.app_detection, 0.060);
+  EXPECT_LE(warm.app_detection, 0.090);
+  EXPECT_GE(warm.keystore_access, 0.030);
+  EXPECT_LE(warm.keystore_access, 0.080);
+  EXPECT_GE(warm.sensor_sampling, 0.2);
+  EXPECT_GT(warm.quic_round_trip, 0.0);
+  EXPECT_LT(warm.quic_round_trip, 0.2);  // LAN
+  // Total excludes sensor sampling (the lazy-buffer accounting).
+  EXPECT_NEAR(warm.time_to_validation(),
+              warm.app_detection + warm.keystore_access + warm.quic_round_trip,
+              1e-12);
+}
+
+TEST(ClientApp, PayloadIsAValidSealedAuthMessage) {
+  AppHarness h;
+  h.app.warm_up([](double) {});
+  h.scheduler.run();
+  h.app.report_interaction("com.wyze.app", h.human_window(),
+                           [](const ClientLatencyBreakdown&) {});
+  h.scheduler.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  const auto& payload = h.deliveries[0].data;
+  ASSERT_GT(payload.size(), 8u);
+  util::ByteReader r(payload);
+  std::uint64_t seq = r.u64be();
+  auto sealed = r.raw(r.remaining());
+
+  crypto::KeyStore verifier_store;
+  auto key = verifier_store.import_key(h.psk, "pairing");
+  auto msg = open_auth_message(verifier_store, key, seq, sealed);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->app_package, "com.wyze.app");
+  EXPECT_EQ(msg->features.size(), gen::kSensorFeatureCount);
+}
+
+TEST(ClientApp, ReplayHelperResendsLastDatagram) {
+  AppHarness h;
+  h.app.warm_up([](double) {});
+  h.scheduler.run();
+  EXPECT_FALSE(h.app.replay_last_report());  // nothing sent yet
+  h.app.report_interaction("com.app", h.human_window(),
+                           [](const ClientLatencyBreakdown&) {});
+  h.scheduler.run();
+  EXPECT_TRUE(h.app.replay_last_report());
+  h.scheduler.run();
+  EXPECT_EQ(h.deliveries.size(), 1u);  // transport replay defence holds
+  EXPECT_GE(h.server.zero_rtt_replays_blocked(), 1u);
+}
+
+}  // namespace
+}  // namespace fiat::core

@@ -1,0 +1,379 @@
+// Crypto tests: standard test vectors (FIPS/RFC) for the primitives, plus
+// behavioural tests for AEAD, the keystore, and the replay cache.
+#include <gtest/gtest.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keystore.hpp"
+#include "crypto/replay_cache.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace fiat::crypto {
+namespace {
+
+using util::from_hex;
+using util::to_hex;
+
+std::string hex_digest(const Digest256& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// ---- SHA-256 (FIPS 180-4 / NIST vectors) ----------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_digest(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_digest(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_digest(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(hex_digest(h.finish()), hex_digest(Sha256::hash(msg)));
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/64 byte messages exercise the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u}) {
+    std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    Sha256 b;
+    for (char c : msg) b.update(std::string(1, c));
+    EXPECT_EQ(hex_digest(a.finish()), hex_digest(b.finish())) << "len=" << len;
+  }
+}
+
+TEST(Sha256, FinishTwiceThrows) {
+  Sha256 h;
+  h.update("x");
+  h.finish();
+  EXPECT_THROW(h.finish(), LogicError);
+  EXPECT_THROW(h.update("y"), LogicError);
+  h.reset();
+  h.update("x");  // usable again after reset
+  h.finish();
+}
+
+// ---- HMAC-SHA256 (RFC 4231) ------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  std::string data = "Hi There";
+  auto mac = hmac_sha256(key, std::span<const std::uint8_t>(
+                                  reinterpret_cast<const std::uint8_t*>(data.data()),
+                                  data.size()));
+  EXPECT_EQ(hex_digest(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  std::string key = "Jefe";
+  std::string data = "what do ya want for nothing?";
+  auto mac = hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()),
+                                    key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                    data.size()));
+  EXPECT_EQ(hex_digest(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3LongKeyPath) {
+  // Case 6: 131-byte key forces the key-hashing path.
+  std::vector<std::uint8_t> key(131, 0xaa);
+  std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  auto mac = hmac_sha256(key, std::span<const std::uint8_t>(
+                                  reinterpret_cast<const std::uint8_t*>(data.data()),
+                                  data.size()));
+  EXPECT_EQ(hex_digest(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(ConstantTimeEqual, Behaviour) {
+  std::vector<std::uint8_t> a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4}, d{1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+}
+
+// ---- HKDF (RFC 5869) --------------------------------------------------------
+
+TEST(Hkdf, Rfc5869Case1) {
+  auto ikm = from_hex("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b");
+  auto salt = from_hex("000102030405060708090a0b0c");
+  auto info_bytes = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  std::string info(info_bytes.begin(), info_bytes.end());
+  auto okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandLengths) {
+  std::vector<std::uint8_t> prk(32, 7);
+  EXPECT_EQ(hkdf_expand(prk, "x", 1).size(), 1u);
+  EXPECT_EQ(hkdf_expand(prk, "x", 32).size(), 32u);
+  EXPECT_EQ(hkdf_expand(prk, "x", 100).size(), 100u);
+  EXPECT_THROW(hkdf_expand(prk, "x", 255 * 32 + 1), LogicError);
+}
+
+TEST(Hkdf, DifferentInfoGivesDifferentKeys) {
+  std::vector<std::uint8_t> ikm(32, 1);
+  EXPECT_NE(to_hex(hkdf({}, ikm, "a", 32)), to_hex(hkdf({}, ikm, "b", 32)));
+}
+
+// ---- ChaCha20 (RFC 8439) ----------------------------------------------------
+
+TEST(ChaCha20, Rfc8439BlockFunction) {
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce{0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(block.data(), 16)),
+            "10f1e7e4d13b5915500fdd1fa32071c4");
+}
+
+TEST(ChaCha20, Rfc8439Encryption) {
+  ChaChaKey key;
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  ChaChaNonce nonce{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only one "
+      "tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> data(plaintext.begin(), plaintext.end());
+  auto cipher = chacha20(key, nonce, 1, data);
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(cipher.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  ChaChaKey key{};
+  key[0] = 0x42;
+  ChaChaNonce nonce{};
+  std::vector<std::uint8_t> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  auto cipher = chacha20(key, nonce, 7, data);
+  EXPECT_NE(cipher, data);
+  auto plain = chacha20(key, nonce, 7, cipher);
+  EXPECT_EQ(plain, data);
+}
+
+// ---- AEAD --------------------------------------------------------------------
+
+TEST(Aead, SealOpenRoundTrip) {
+  std::vector<std::uint8_t> key(32, 0x11);
+  Aead aead(key);
+  std::vector<std::uint8_t> aad{1, 2, 3}, plaintext{9, 8, 7, 6};
+  auto nonce = Aead::nonce_from_seq(5);
+  auto sealed = aead.seal(nonce, aad, plaintext);
+  EXPECT_EQ(sealed.size(), plaintext.size() + kAeadTagLen);
+  auto opened = aead.open(nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, EmptyPlaintext) {
+  std::vector<std::uint8_t> key(32, 0x22);
+  Aead aead(key);
+  auto nonce = Aead::nonce_from_seq(1);
+  auto sealed = aead.seal(nonce, {}, {});
+  auto opened = aead.open(nonce, {}, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Aead, TamperedCiphertextRejected) {
+  std::vector<std::uint8_t> key(32, 0x33);
+  Aead aead(key);
+  auto nonce = Aead::nonce_from_seq(1);
+  std::vector<std::uint8_t> plain{1, 2, 3, 4};
+  auto sealed = aead.seal(nonce, {}, plain);
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    auto corrupted = sealed;
+    corrupted[i] ^= 0x01;
+    EXPECT_FALSE(aead.open(nonce, {}, corrupted).has_value()) << "byte " << i;
+  }
+}
+
+TEST(Aead, WrongAadRejected) {
+  std::vector<std::uint8_t> key(32, 0x44);
+  Aead aead(key);
+  auto nonce = Aead::nonce_from_seq(1);
+  std::vector<std::uint8_t> aad{5};
+  std::vector<std::uint8_t> plain{1};
+  auto sealed = aead.seal(nonce, aad, plain);
+  std::vector<std::uint8_t> other_aad{6};
+  EXPECT_FALSE(aead.open(nonce, other_aad, sealed).has_value());
+  EXPECT_FALSE(aead.open(nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, WrongNonceRejected) {
+  std::vector<std::uint8_t> key(32, 0x55);
+  Aead aead(key);
+  std::vector<std::uint8_t> plain{1};
+  auto sealed = aead.seal(Aead::nonce_from_seq(1), {}, plain);
+  EXPECT_FALSE(aead.open(Aead::nonce_from_seq(2), {}, sealed).has_value());
+}
+
+TEST(Aead, WrongKeyRejected) {
+  std::vector<std::uint8_t> key1(32, 0x66), key2(32, 0x67);
+  Aead a(key1), b(key2);
+  auto nonce = Aead::nonce_from_seq(1);
+  std::vector<std::uint8_t> plain{1, 2};
+  auto sealed = a.seal(nonce, {}, plain);
+  EXPECT_FALSE(b.open(nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, TooShortInputRejected) {
+  std::vector<std::uint8_t> key(32, 0x68);
+  Aead aead(key);
+  std::vector<std::uint8_t> garbage(kAeadTagLen - 1, 0);
+  EXPECT_FALSE(aead.open(Aead::nonce_from_seq(1), {}, garbage).has_value());
+}
+
+TEST(Aead, RequiresThirtyTwoByteKey) {
+  std::vector<std::uint8_t> short_key(16, 1);
+  EXPECT_THROW(Aead aead(short_key), CryptoError);
+}
+
+TEST(Aead, NonceFromSeqIsInjectiveOnLow64) {
+  EXPECT_NE(Aead::nonce_from_seq(1), Aead::nonce_from_seq(2));
+  EXPECT_EQ(Aead::nonce_from_seq(77), Aead::nonce_from_seq(77));
+}
+
+// ---- KeyStore ------------------------------------------------------------------
+
+TEST(KeyStore, SignVerifyRoundTrip) {
+  KeyStore store;
+  std::vector<std::uint8_t> material(32, 0xab);
+  auto handle = store.import_key(material, "test");
+  std::vector<std::uint8_t> data{1, 2, 3};
+  auto sig = store.sign(handle, data);
+  EXPECT_TRUE(store.verify(handle, data, sig));
+  std::vector<std::uint8_t> other{1, 2, 4};
+  EXPECT_FALSE(store.verify(handle, other, sig));
+}
+
+TEST(KeyStore, GenerateFromEntropy) {
+  KeyStore store;
+  std::vector<std::uint8_t> entropy{1, 2, 3, 4};
+  auto h1 = store.generate_key(entropy, "a");
+  auto h2 = store.generate_key(entropy, "b");
+  // Same entropy -> same key material -> identical fingerprints.
+  EXPECT_EQ(store.fingerprint(h1), store.fingerprint(h2));
+  EXPECT_THROW(store.generate_key({}, "c"), CryptoError);
+}
+
+TEST(KeyStore, SealOpenThroughStore) {
+  KeyStore store;
+  std::vector<std::uint8_t> material(32, 0xcd);
+  auto handle = store.import_key(material, "seal");
+  std::vector<std::uint8_t> aad{7}, plain{10, 20, 30};
+  auto sealed = store.seal(handle, 3, aad, plain);
+  auto opened = store.open(handle, 3, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plain);
+  EXPECT_FALSE(store.open(handle, 4, aad, sealed).has_value());  // wrong seq
+}
+
+TEST(KeyStore, UnknownHandleThrows) {
+  KeyStore store;
+  std::vector<std::uint8_t> data{1};
+  EXPECT_THROW(store.sign(999, data), CryptoError);
+  EXPECT_FALSE(store.label(999).has_value());
+}
+
+TEST(KeyStore, BadKeySizeThrows) {
+  KeyStore store;
+  std::vector<std::uint8_t> material(31, 0);
+  EXPECT_THROW(store.import_key(material, "short"), CryptoError);
+}
+
+TEST(KeyStore, AuditLogRecordsOperations) {
+  KeyStore store;
+  std::vector<std::uint8_t> material(32, 1);
+  auto handle = store.import_key(material, "audited");
+  std::vector<std::uint8_t> data{1};
+  auto sig = store.sign(handle, data);
+  std::vector<std::uint8_t> bad_sig(32, 0);
+  store.verify(handle, data, sig);
+  store.verify(handle, data, bad_sig);
+  const auto& log = store.audit_log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].operation, "import");
+  EXPECT_EQ(log[1].operation, "sign");
+  EXPECT_TRUE(log[2].success);
+  EXPECT_FALSE(log[3].success);
+}
+
+TEST(KeyStore, LabelsAreRetrievable) {
+  KeyStore store;
+  std::vector<std::uint8_t> material(32, 1);
+  auto handle = store.import_key(material, "phone:alice");
+  EXPECT_EQ(store.label(handle).value(), "phone:alice");
+  EXPECT_EQ(store.key_count(), 1u);
+}
+
+// ---- ReplayCache ------------------------------------------------------------------
+
+TEST(ReplayCache, BlocksReplaysInsideWindow) {
+  ReplayCache cache(10.0);
+  EXPECT_TRUE(cache.check_and_insert(42, 0.0));
+  EXPECT_FALSE(cache.check_and_insert(42, 5.0));
+  EXPECT_TRUE(cache.check_and_insert(43, 5.0));
+}
+
+TEST(ReplayCache, ExpiresAfterWindow) {
+  ReplayCache cache(10.0);
+  EXPECT_TRUE(cache.check_and_insert(42, 0.0));
+  EXPECT_TRUE(cache.check_and_insert(42, 11.0));  // expired, accepted anew
+}
+
+TEST(ReplayCache, EnforcesCapacity) {
+  ReplayCache cache(1000.0, 3);
+  for (std::uint64_t n = 0; n < 5; ++n) {
+    EXPECT_TRUE(cache.check_and_insert(n, 0.0));
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  // Oldest entries were evicted and can be replayed (the documented
+  // memory/security trade-off of a bounded cache).
+  EXPECT_TRUE(cache.check_and_insert(0, 0.0));
+}
+
+TEST(ReplayCache, ExpireDropsOldEntries) {
+  ReplayCache cache(5.0);
+  cache.check_and_insert(1, 0.0);
+  cache.check_and_insert(2, 3.0);
+  cache.expire(7.0);
+  EXPECT_EQ(cache.size(), 1u);  // entry at t=0 dropped, t=3 kept
+}
+
+}  // namespace
+}  // namespace fiat::crypto

@@ -1,0 +1,73 @@
+// Tests for passive device identification (§7 production dependency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/device_id.hpp"
+#include "gen/testbed.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+std::vector<gen::LabeledTrace> collect(std::uint64_t seed, double days) {
+  std::vector<gen::LabeledTrace> traces;
+  std::uint32_t index = 0;
+  for (const char* device : {"EchoDot4", "WyzeCam", "SP10", "Nest-E"}) {
+    gen::LocationEnv env("US");
+    gen::TraceConfig config;
+    config.duration_days = days;
+    config.seed = seed + index;
+    config.device_index = index++;
+    config.manual_per_day_override = 3.0;
+    traces.push_back(gen::generate_trace(gen::profile_by_name(device), env, config));
+  }
+  return traces;
+}
+
+TEST(DeviceId, FeaturesHaveDocumentedShape) {
+  auto traces = collect(1, 0.2);
+  std::vector<net::PacketRecord> window;
+  for (std::size_t i = 0; i < 200; ++i) window.push_back(traces[0].packets[i].pkt);
+  auto features = device_id_features(window, traces[0].device_ip);
+  EXPECT_EQ(features.size(), kDeviceIdFeatureCount);
+  EXPECT_EQ(device_id_feature_names().size(), kDeviceIdFeatureCount);
+  for (double f : features) EXPECT_TRUE(std::isfinite(f));
+  std::vector<net::PacketRecord> empty;
+  EXPECT_THROW(device_id_features(empty, traces[0].device_ip), LogicError);
+}
+
+TEST(DeviceId, IdentifiesHeldOutWindows) {
+  auto train_traces = collect(10, 1.0);
+  auto identifier = DeviceIdentifier::train(train_traces, 600.0);
+  EXPECT_EQ(identifier.labels().size(), 4u);
+
+  // Fresh traces with different seeds: identify 600 s windows.
+  auto test_traces = collect(77, 0.3);
+  std::size_t correct = 0, total = 0;
+  for (const auto& trace : test_traces) {
+    std::vector<net::PacketRecord> window;
+    for (const auto& lp : trace.packets) {
+      if (lp.pkt.ts > 600.0 && window.size() >= 50) break;
+      window.push_back(lp.pkt);
+    }
+    double confidence = 0;
+    auto who = identifier.identify(window, trace.device_ip, &confidence);
+    ASSERT_TRUE(who.has_value());
+    ++total;
+    if (*who == trace.device_name) ++correct;
+    EXPECT_GT(confidence, 0.25);
+  }
+  EXPECT_EQ(correct, total) << "device misidentified";
+}
+
+TEST(DeviceId, EmptyInputsRejected) {
+  EXPECT_THROW(DeviceIdentifier::train({}), LogicError);
+  auto traces = collect(20, 1.0);
+  auto identifier = DeviceIdentifier::train(traces);
+  std::vector<net::PacketRecord> empty;
+  EXPECT_FALSE(identifier.identify(empty, traces[0].device_ip).has_value());
+}
+
+}  // namespace
+}  // namespace fiat::core

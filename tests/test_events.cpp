@@ -1,0 +1,189 @@
+// Tests for event grouping (§3.2) and the 66-dimensional event features
+// (§4.1).
+#include <gtest/gtest.h>
+
+#include "core/events.hpp"
+#include "net/tls.hpp"
+#include "core/features.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+const net::Ipv4Addr kDevice(192, 168, 1, 100);
+const net::Ipv4Addr kCloud(52, 1, 2, 3);
+
+net::PacketRecord pkt(double ts, std::uint32_t size = 100, bool outbound = true) {
+  net::PacketRecord p;
+  p.ts = ts;
+  p.size = size;
+  p.src_ip = outbound ? kDevice : kCloud;
+  p.dst_ip = outbound ? kCloud : kDevice;
+  p.src_port = outbound ? 50000 : 443;
+  p.dst_port = outbound ? 443 : 50000;
+  p.proto = net::Transport::kTcp;
+  p.tcp_flags = net::TcpFlags::kPsh | net::TcpFlags::kAck;
+  p.tls_version = net::kTls12;
+  return p;
+}
+
+// ---- grouping -------------------------------------------------------------------
+
+TEST(EventGrouper, GroupsWithinGap) {
+  EventGrouper grouper(5.0);
+  EXPECT_FALSE(grouper.add(pkt(0)).has_value());
+  EXPECT_FALSE(grouper.add(pkt(2)).has_value());
+  EXPECT_FALSE(grouper.add(pkt(6)).has_value());  // 4 s gap: same event
+  auto closed = grouper.add(pkt(20));             // 14 s gap: closes
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->packets.size(), 3u);
+  EXPECT_DOUBLE_EQ(closed->start(), 0.0);
+  EXPECT_DOUBLE_EQ(closed->end(), 6.0);
+}
+
+TEST(EventGrouper, GapExactlyAtThresholdStaysGrouped) {
+  EventGrouper grouper(5.0);
+  grouper.add(pkt(0));
+  EXPECT_FALSE(grouper.add(pkt(5.0)).has_value());   // == threshold: same event
+  EXPECT_TRUE(grouper.add(pkt(10.01)).has_value());  // > threshold: closes
+}
+
+TEST(EventGrouper, FlushReturnsOpenEvent) {
+  EventGrouper grouper;
+  grouper.add(pkt(0));
+  grouper.add(pkt(1));
+  auto last = grouper.flush();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->packets.size(), 2u);
+  EXPECT_FALSE(grouper.flush().has_value());  // nothing left
+}
+
+TEST(EventGrouper, BadThresholdThrows) {
+  EXPECT_THROW(EventGrouper(0.0), LogicError);
+  EXPECT_THROW(EventGrouper(-1.0), LogicError);
+}
+
+TEST(GroupEvents, FiltersByPredictableFlag) {
+  std::vector<net::PacketRecord> packets{pkt(0), pkt(1), pkt(2), pkt(30), pkt(31)};
+  std::vector<bool> predictable{false, true, false, false, false};
+  auto events = group_events(packets, predictable);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].packets.size(), 2u);  // packets 0 and 2
+  EXPECT_EQ(events[1].packets.size(), 2u);  // packets 3 and 4
+}
+
+TEST(GroupEvents, SizeMismatchThrows) {
+  std::vector<net::PacketRecord> packets{pkt(0)};
+  std::vector<bool> flags{false, false};
+  EXPECT_THROW(group_events(packets, flags), LogicError);
+}
+
+TEST(GroupEvents, AllPredictableYieldsNoEvents) {
+  std::vector<net::PacketRecord> packets{pkt(0), pkt(1)};
+  std::vector<bool> flags{true, true};
+  EXPECT_TRUE(group_events(packets, flags).empty());
+}
+
+// ---- features --------------------------------------------------------------------
+
+UnpredictableEvent five_packet_event() {
+  UnpredictableEvent event;
+  event.packets.push_back(pkt(0.0, 235, /*outbound=*/false));
+  event.packets.push_back(pkt(0.1, 66, true));
+  event.packets.push_back(pkt(0.3, 500, false));
+  event.packets.push_back(pkt(0.6, 400, true));
+  event.packets.push_back(pkt(1.0, 300, false));
+  return event;
+}
+
+TEST(EventFeatures, ProducesExactly66) {
+  auto features = event_features(five_packet_event(), kDevice);
+  EXPECT_EQ(features.size(), kEventFeatureCount);
+  EXPECT_EQ(event_feature_names().size(), kEventFeatureCount);
+}
+
+TEST(EventFeatures, NamesAreUniqueAndMatchTable4Style) {
+  auto names = event_feature_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pkt1-proto"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pkt1-dst-ip1"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pkt3-tls"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ev-total-bytes"), names.end());
+}
+
+std::size_t index_of(const std::string& name) {
+  auto names = event_feature_names();
+  auto it = std::find(names.begin(), names.end(), name);
+  EXPECT_NE(it, names.end()) << name;
+  return static_cast<std::size_t>(it - names.begin());
+}
+
+TEST(EventFeatures, EncodesDirectionAndRemote) {
+  auto features = event_features(five_packet_event(), kDevice);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-direction")], 0.0);  // inbound
+  EXPECT_DOUBLE_EQ(features[index_of("pkt2-direction")], 1.0);  // outbound
+  // Remote is always the cloud endpoint regardless of direction.
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-dst-ip1")], 52.0);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt2-dst-ip1")], 52.0);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-dst-ip4")], 3.0);
+}
+
+TEST(EventFeatures, EncodesSizesAndTiming) {
+  auto features = event_features(five_packet_event(), kDevice);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-len")], 235.0);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-iat")], 0.0);
+  EXPECT_NEAR(features[index_of("pkt2-iat")], 0.1, 1e-9);
+  EXPECT_NEAR(features[index_of("pkt5-iat")], 0.4, 1e-9);
+  EXPECT_DOUBLE_EQ(features[index_of("ev-pkt-count")], 5.0);
+  EXPECT_DOUBLE_EQ(features[index_of("ev-total-bytes")], 235 + 66 + 500 + 400 + 300);
+  EXPECT_NEAR(features[index_of("ev-mean-len")], (235 + 66 + 500 + 400 + 300) / 5.0,
+              1e-9);
+  EXPECT_NEAR(features[index_of("ev-mean-iat")], 1.0 / 4.0, 1e-9);
+}
+
+TEST(EventFeatures, ShortEventZeroPadsLaterPackets) {
+  UnpredictableEvent event;
+  event.packets.push_back(pkt(0.0, 235, false));
+  event.packets.push_back(pkt(0.2, 66, true));
+  auto features = event_features(event, kDevice);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt3-len")], 0.0);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt5-proto")], 0.0);
+  EXPECT_DOUBLE_EQ(features[index_of("ev-pkt-count")], 2.0);
+}
+
+TEST(EventFeatures, LongEventAggregatesBeyondFive) {
+  UnpredictableEvent event = five_packet_event();
+  event.packets.push_back(pkt(1.5, 1000, true));
+  event.packets.push_back(pkt(2.0, 1000, true));
+  auto features = event_features(event, kDevice);
+  EXPECT_DOUBLE_EQ(features[index_of("ev-pkt-count")], 7.0);
+  EXPECT_DOUBLE_EQ(features[index_of("ev-total-bytes")],
+                   235 + 66 + 500 + 400 + 300 + 2000);
+  // The per-packet block still covers only the first five.
+  EXPECT_DOUBLE_EQ(features[index_of("pkt5-len")], 300.0);
+}
+
+TEST(EventFeatures, PrefixVariantTruncates) {
+  auto full = event_features(five_packet_event(), kDevice);
+  auto prefix = event_features_prefix(five_packet_event(), kDevice, 2);
+  EXPECT_DOUBLE_EQ(prefix[index_of("pkt1-len")], full[index_of("pkt1-len")]);
+  EXPECT_DOUBLE_EQ(prefix[index_of("pkt3-len")], 0.0);
+  EXPECT_DOUBLE_EQ(prefix[index_of("ev-pkt-count")], 2.0);
+}
+
+TEST(EventFeatures, EmptyEventThrows) {
+  UnpredictableEvent empty;
+  EXPECT_THROW(event_features(empty, kDevice), LogicError);
+}
+
+TEST(EventFeatures, TlsAndFlagsEncoded) {
+  auto features = event_features(five_packet_event(), kDevice);
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-tls")], static_cast<double>(net::kTls12));
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-tcp-flags")],
+                   static_cast<double>(net::TcpFlags::kPsh | net::TcpFlags::kAck));
+  EXPECT_DOUBLE_EQ(features[index_of("pkt1-proto")], 1.0);  // TCP
+}
+
+}  // namespace
+}  // namespace fiat::core

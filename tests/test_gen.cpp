@@ -1,0 +1,322 @@
+// Tests for the synthetic substrates: testbed traces, locations, public
+// datasets, and the sensor simulator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/location.hpp"
+#include "gen/public_dataset.hpp"
+#include "gen/sensors.hpp"
+#include "gen/testbed.hpp"
+#include "util/error.hpp"
+
+namespace fiat::gen {
+namespace {
+
+TraceConfig fast_config(std::uint64_t seed = 1) {
+  TraceConfig config;
+  config.duration_days = 2;
+  config.seed = seed;
+  config.manual_per_day_override = 4.0;
+  return config;
+}
+
+// ---- LocationEnv -----------------------------------------------------------------
+
+TEST(LocationEnv, LocalizesDomains) {
+  EXPECT_EQ(LocationEnv("US").localize_domain("clients.google.example"),
+            "clients.google.example");
+  EXPECT_EQ(LocationEnv("JP").localize_domain("clients.google.example"),
+            "clients.google.example.jp");
+  EXPECT_EQ(LocationEnv("DE").localize_domain("clients.google.example"),
+            "clients.google.example.de");
+  EXPECT_THROW(LocationEnv("XX"), LogicError);
+}
+
+TEST(LocationEnv, IpsDifferAcrossLocations) {
+  LocationEnv us("US"), jp("JP");
+  auto us_ip = us.ip_of(us.localize_domain("svc.example"));
+  auto jp_ip = jp.ip_of(jp.localize_domain("svc.example"));
+  EXPECT_NE(us_ip, jp_ip);
+  // Deterministic per location.
+  EXPECT_EQ(us_ip, us.ip_of(us.localize_domain("svc.example")));
+}
+
+TEST(LocationEnv, ReplicasShareSlash24) {
+  LocationEnv us("US");
+  auto a = us.ip_of("svc.example", 0);
+  auto b = us.ip_of("svc.example", 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.octet(0), b.octet(0));
+  EXPECT_EQ(a.octet(1), b.octet(1));
+  EXPECT_EQ(a.octet(2), b.octet(2));
+}
+
+TEST(LocationEnv, LanAddressing) {
+  LocationEnv il("IL");
+  EXPECT_TRUE(il.gateway().is_private());
+  EXPECT_TRUE(il.phone_ip().is_private());
+  EXPECT_NE(il.device_ip(0), il.device_ip(1));
+  // IL uses a different subnet from the NJ lab.
+  EXPECT_NE(LocationEnv("US").phone_ip(), il.phone_ip());
+}
+
+// ---- profiles ---------------------------------------------------------------------
+
+TEST(Profiles, AllTenDevicesPresent) {
+  auto profiles = testbed_profiles();
+  EXPECT_EQ(profiles.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& p : profiles) names.insert(p.name);
+  for (const char* expected : {"EchoDot4", "HomeMini", "WyzeCam", "SP10", "Home",
+                               "Nest-E", "EchoDot3", "E4", "Blink", "WP3"}) {
+    EXPECT_TRUE(names.contains(expected)) << expected;
+  }
+}
+
+TEST(Profiles, SimpleRuleDevicesMatchPaper) {
+  EXPECT_TRUE(profile_by_name("SP10").simple_rule);
+  EXPECT_EQ(profile_by_name("SP10").rule_packet_size, 235u);
+  EXPECT_TRUE(profile_by_name("WP3").simple_rule);
+  EXPECT_TRUE(profile_by_name("Nest-E").simple_rule);
+  EXPECT_EQ(profile_by_name("Nest-E").rule_packet_size, 267u);
+  EXPECT_FALSE(profile_by_name("WyzeCam").simple_rule);
+}
+
+TEST(Profiles, CommandPacketCountsMatchPaper) {
+  EXPECT_EQ(profile_by_name("SP10").min_command_packets, 1);   // one 235 B packet
+  EXPECT_EQ(profile_by_name("WyzeCam").min_command_packets, 41);
+  EXPECT_THROW(profile_by_name("Toaster9000"), LogicError);
+}
+
+// ---- testbed traces ----------------------------------------------------------------
+
+TEST(Testbed, GeneratesAllThreeClasses) {
+  LocationEnv env("US");
+  auto trace = generate_trace(profile_by_name("EchoDot4"), env, fast_config());
+  EXPECT_GT(trace.count_of(TrafficClass::kControl), 1000u);
+  EXPECT_GT(trace.count_of(TrafficClass::kAutomated), 10u);
+  EXPECT_GT(trace.count_of(TrafficClass::kManual), 10u);
+  EXPECT_EQ(trace.device_name, "EchoDot4");
+}
+
+TEST(Testbed, PacketsAreTimeSorted) {
+  LocationEnv env("US");
+  auto trace = generate_trace(profile_by_name("HomeMini"), env, fast_config(2));
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    EXPECT_LE(trace.packets[i - 1].pkt.ts, trace.packets[i].pkt.ts);
+  }
+}
+
+TEST(Testbed, EveryPacketInvolvesTheDevice) {
+  LocationEnv env("US");
+  auto trace = generate_trace(profile_by_name("WyzeCam"), env, fast_config(3));
+  for (const auto& lp : trace.packets) {
+    EXPECT_TRUE(lp.pkt.src_ip == trace.device_ip || lp.pkt.dst_ip == trace.device_ip);
+  }
+}
+
+TEST(Testbed, InteractionsMatchLabeledEvents) {
+  LocationEnv env("US");
+  auto trace = generate_trace(profile_by_name("EchoDot4"), env, fast_config(4));
+  EXPECT_FALSE(trace.interactions.empty());
+  for (std::size_t i = 1; i < trace.interactions.size(); ++i) {
+    EXPECT_LE(trace.interactions[i - 1].start, trace.interactions[i].start);
+  }
+  // Every manual packet's event id appears in the interaction log.
+  std::set<int> logged;
+  for (const auto& it : trace.interactions) logged.insert(it.event_id);
+  for (const auto& lp : trace.packets) {
+    if (lp.label == TrafficClass::kManual) {
+      EXPECT_TRUE(logged.contains(lp.event_id));
+    }
+  }
+}
+
+TEST(Testbed, DnsTableCoversEventRemotes) {
+  LocationEnv env("US");
+  auto trace = generate_trace(profile_by_name("EchoDot4"), env, fast_config(5));
+  std::size_t cloud_remotes = 0, resolved = 0;
+  for (const auto& lp : trace.packets) {
+    auto remote = lp.pkt.remote_of(trace.device_ip);
+    if (remote.is_private()) continue;
+    ++cloud_remotes;
+    if (trace.dns.domain_of(remote)) ++resolved;
+  }
+  ASSERT_GT(cloud_remotes, 0u);
+  EXPECT_EQ(resolved, cloud_remotes);  // the generator registers all services
+}
+
+TEST(Testbed, DeterministicBySeed) {
+  LocationEnv env("US");
+  auto a = generate_trace(profile_by_name("SP10"), env, fast_config(6));
+  auto b = generate_trace(profile_by_name("SP10"), env, fast_config(6));
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); i += 97) {
+    EXPECT_EQ(a.packets[i].pkt.ts, b.packets[i].pkt.ts);
+    EXPECT_EQ(a.packets[i].pkt.size, b.packets[i].pkt.size);
+  }
+  auto c = generate_trace(profile_by_name("SP10"), env, fast_config(7));
+  bool differs = a.packets.size() != c.packets.size();
+  for (std::size_t i = 0; !differs && i < a.packets.size(); ++i) {
+    differs = a.packets[i].pkt.ts != c.packets[i].pkt.ts;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Testbed, LocationsShiftEndpointsNotBehaviour) {
+  auto us = generate_trace(profile_by_name("WyzeCam"), LocationEnv("US"), fast_config(8));
+  auto jp = generate_trace(profile_by_name("WyzeCam"), LocationEnv("JP"), fast_config(8));
+  // Same seed: equally sized traces, different cloud endpoints.
+  EXPECT_EQ(us.packets.size(), jp.packets.size());
+  std::set<std::uint32_t> us_remotes, jp_remotes;
+  for (const auto& lp : us.packets) {
+    auto r = lp.pkt.remote_of(us.device_ip);
+    if (!r.is_private()) us_remotes.insert(r.value());
+  }
+  for (const auto& lp : jp.packets) {
+    auto r = lp.pkt.remote_of(jp.device_ip);
+    if (!r.is_private()) jp_remotes.insert(r.value());
+  }
+  for (auto r : jp_remotes) EXPECT_FALSE(us_remotes.contains(r));
+}
+
+TEST(Testbed, SimpleRuleSizeReservedForManual) {
+  LocationEnv env("US");
+  TraceConfig config = fast_config(9);
+  config.duration_days = 5;
+  auto trace = generate_trace(profile_by_name("SP10"), env, config);
+  for (const auto& lp : trace.packets) {
+    if (lp.pkt.size != 235) continue;
+    if (lp.event_id < 0) continue;  // background flows never use 235 (by profile)
+    EXPECT_EQ(lp.label, TrafficClass::kManual)
+        << "a non-manual event packet used the rule size";
+  }
+}
+
+TEST(Testbed, LabelConfusionSwapsBehaviourNotLabels) {
+  LocationEnv env("US");
+  TraceConfig clean = fast_config(10);
+  TraceConfig fuzzy = clean;
+  fuzzy.label_confusion = 0.5;
+  auto a = generate_trace(profile_by_name("EchoDot4"), env, clean);
+  auto b = generate_trace(profile_by_name("EchoDot4"), env, fuzzy);
+  // Confusion swaps behaviour, not labels: the number of labeled manual
+  // interactions is driven by the (identical) schedule.
+  auto manual_interactions = [](const LabeledTrace& t) {
+    std::size_t n = 0;
+    for (const auto& it : t.interactions) {
+      if (it.cls == TrafficClass::kManual) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(manual_interactions(a), manual_interactions(b));
+}
+
+TEST(Testbed, MissingEventServicesThrows) {
+  DeviceProfile broken = profile_by_name("SP10");
+  broken.event_services.clear();
+  EXPECT_THROW(generate_trace(broken, LocationEnv("US"), fast_config()), LogicError);
+}
+
+// ---- public datasets -----------------------------------------------------------------
+
+TEST(PublicDataset, GeneratesRequestedDevices) {
+  PublicDatasetConfig config;
+  config.num_devices = 10;
+  config.duration_hours = 2;
+  auto dataset = generate_public_dataset(config);
+  ASSERT_EQ(dataset.size(), 10u);
+  for (const auto& device : dataset) {
+    EXPECT_GT(device.packets.size(), 50u);
+    EXPECT_GT(device.dns.size(), 0u);
+    for (std::size_t i = 1; i < device.packets.size(); ++i) {
+      ASSERT_LE(device.packets[i - 1].ts, device.packets[i].ts);
+    }
+  }
+}
+
+TEST(PublicDataset, ActiveNoisierThanIdle) {
+  PublicDatasetConfig idle;
+  idle.num_devices = 12;
+  idle.duration_hours = 3;
+  idle.mode = PublicMode::kIdle;
+  PublicDatasetConfig active = idle;
+  active.mode = PublicMode::kActive;
+  auto idle_data = generate_public_dataset(idle);
+  auto active_data = generate_public_dataset(active);
+  std::size_t idle_total = 0, active_total = 0;
+  for (const auto& d : idle_data) idle_total += d.packets.size();
+  for (const auto& d : active_data) active_total += d.packets.size();
+  EXPECT_GT(active_total, idle_total);
+}
+
+TEST(PublicDataset, DeterministicBySeed) {
+  PublicDatasetConfig config;
+  config.num_devices = 3;
+  config.duration_hours = 1;
+  auto a = generate_public_dataset(config);
+  auto b = generate_public_dataset(config);
+  ASSERT_EQ(a[0].packets.size(), b[0].packets.size());
+  EXPECT_EQ(a[2].packets.back().ts, b[2].packets.back().ts);
+}
+
+// ---- sensors -------------------------------------------------------------------------
+
+TEST(Sensors, TraceHasRequestedShape) {
+  sim::Rng rng(1);
+  SensorConfig config;
+  config.duration = 0.5;
+  config.sample_rate = 100;
+  auto trace = generate_sensor_trace(rng, true, config);
+  EXPECT_EQ(trace.samples.size(), 50u);
+  EXPECT_TRUE(trace.human);
+  EXPECT_NEAR(trace.samples[1].t - trace.samples[0].t, 0.01, 1e-9);
+}
+
+TEST(Sensors, FeaturesAre48WithNames) {
+  sim::Rng rng(2);
+  auto features = sensor_features(generate_sensor_trace(rng, false));
+  EXPECT_EQ(features.size(), kSensorFeatureCount);
+  auto names = sensor_feature_names();
+  EXPECT_EQ(names.size(), kSensorFeatureCount);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Sensors, VigorousHumansMoveMoreThanQuietMachines) {
+  sim::Rng rng(3);
+  SensorConfig config;
+  config.gentle_human_prob = 0.0;
+  config.noisy_machine_prob = 0.0;
+  auto names = sensor_feature_names();
+  auto range_idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "az-range") - names.begin());
+  for (int i = 0; i < 20; ++i) {
+    auto human = sensor_features(generate_sensor_trace(rng, true, config));
+    auto machine = sensor_features(generate_sensor_trace(rng, false, config));
+    EXPECT_GT(human[range_idx], machine[range_idx]);
+  }
+}
+
+TEST(Sensors, DatasetBalanced) {
+  sim::Rng rng(4);
+  auto data = make_humanness_dataset(rng, 30);
+  EXPECT_EQ(data.size(), 60u);
+  auto counts = data.class_counts();
+  EXPECT_EQ(counts[0], 30u);
+  EXPECT_EQ(counts[1], 30u);
+  EXPECT_EQ(data.dim(), kSensorFeatureCount);
+}
+
+TEST(Sensors, GravityVisibleOnZ) {
+  sim::Rng rng(5);
+  auto trace = generate_sensor_trace(rng, false);
+  double mean_az = 0;
+  for (const auto& s : trace.samples) mean_az += s.az;
+  mean_az /= static_cast<double>(trace.samples.size());
+  EXPECT_NEAR(mean_az, 9.81, 0.3);
+}
+
+}  // namespace
+}  // namespace fiat::gen

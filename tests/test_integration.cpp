@@ -1,0 +1,207 @@
+// Integration tests: the whole FIAT stack wired together — trace generation
+// -> predictability -> events -> classifier -> proxy, and the phone app ->
+// QuicLite -> proxy humanness path, including a replayed-proof attack.
+#include <gtest/gtest.h>
+
+#include "core/client_app.hpp"
+#include "core/event_dataset.hpp"
+#include "core/humanness.hpp"
+#include "core/manual_classifier.hpp"
+#include "core/proxy.hpp"
+#include "gen/testbed.hpp"
+#include "ml/cross_val.hpp"
+#include "ml/naive_bayes.hpp"
+#include "transport/quic_lite.hpp"
+
+namespace fiat {
+namespace {
+
+// ---- analysis pipeline ------------------------------------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::LocationEnv env("US");
+    gen::TraceConfig config;
+    config.duration_days = 7;
+    config.seed = 2022;
+    config.manual_per_day_override = 5.0;
+    trace_ = new gen::LabeledTrace(
+        gen::generate_trace(gen::profile_by_name("EchoDot4"), env, config));
+  }
+  static void TearDownTestSuite() { delete trace_; }
+  static gen::LabeledTrace* trace_;
+};
+
+gen::LabeledTrace* PipelineTest::trace_ = nullptr;
+
+TEST_F(PipelineTest, ControlTrafficHighlyPredictable) {
+  auto pred = core::class_predictability(*trace_);
+  EXPECT_GE(pred.ratio(gen::TrafficClass::kControl), 0.97);   // paper: ~98%
+  EXPECT_GE(pred.ratio(gen::TrafficClass::kAutomated), 0.70); // paper: ~90%
+  EXPECT_LE(pred.ratio(gen::TrafficClass::kManual), 0.6);     // manual worst
+}
+
+TEST_F(PipelineTest, PortLessBeatsClassic) {
+  core::PredictabilityConfig classic;
+  classic.mode = core::FlowMode::kClassic;
+  auto classic_pred = core::class_predictability(*trace_, classic);
+  auto portless_pred = core::class_predictability(*trace_);
+  EXPECT_GT(portless_pred.ratio(gen::TrafficClass::kControl),
+            classic_pred.ratio(gen::TrafficClass::kControl));
+}
+
+TEST_F(PipelineTest, EventsCarryAllThreeLabels) {
+  auto events = core::extract_labeled_events(*trace_);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& e : events) counts[static_cast<int>(e.label)]++;
+  EXPECT_GT(counts[0], 10u);
+  EXPECT_GT(counts[1], 5u);
+  EXPECT_GT(counts[2], 15u);
+}
+
+TEST_F(PipelineTest, DeployedClassifierReachesPaperBallpark) {
+  auto events = core::extract_labeled_events(*trace_);
+  auto data = core::event_dataset(events, trace_->device_ip);
+  ml::BernoulliNB nb;
+  auto cv = ml::cross_validate(nb, data, 5, 11,
+                               static_cast<int>(gen::TrafficClass::kManual));
+  EXPECT_GE(cv.mean_prf.f1, 0.7);  // Table 3 row for EchoDot4: ~0.88
+  EXPECT_GE(cv.mean_balanced_accuracy, 0.7);
+}
+
+// ---- full system over the simulated network ------------------------------------------
+
+struct SystemHarness {
+  sim::Scheduler scheduler;
+  sim::Rng rng{7};
+  transport::Network network{scheduler, rng};
+  std::vector<std::uint8_t> psk = std::vector<std::uint8_t>(32, 0x21);
+  core::ProxyConfig proxy_config;
+  core::FiatProxy proxy;
+  transport::QuicServer quic_server;
+  core::FiatClientApp app;
+  net::Ipv4Addr device_ip{net::Ipv4Addr(192, 168, 1, 100)};
+  net::Ipv4Addr cloud_ip{net::Ipv4Addr(52, 1, 2, 3)};
+
+  SystemHarness()
+      : proxy_config(make_proxy_config()),
+        proxy(proxy_config, core::HumannessVerifier::train_synthetic(31, 250)),
+        quic_server(network, "proxy",
+                    [this](const std::string& id)
+                        -> std::optional<std::vector<std::uint8_t>> {
+                      if (id == "phone-1") return psk;
+                      return std::nullopt;
+                    },
+                    std::span<const std::uint8_t>(psk.data(), psk.size())),
+        app(network, "phone", "proxy", "phone-1",
+            std::span<const std::uint8_t>(psk.data(), psk.size()), rng) {
+    network.set_path("phone", "proxy", transport::PathProfile::lan());
+    network.set_path("proxy", "phone", transport::PathProfile::lan());
+
+    core::ProxyDevice dev;
+    dev.name = "plug";
+    dev.ip = device_ip;
+    dev.allowed_prefix = 0;
+    dev.classifier = core::ManualEventClassifier::simple_rule(235);
+    dev.app_package = "app.plug";
+    proxy.add_device(dev);
+    proxy.pair_phone("phone-1", psk);
+
+    // Humanness proofs arrive over QuicLite and feed the proxy.
+    quic_server.set_on_message([this](const transport::QuicDelivery& d) {
+      proxy.on_auth_payload(d.client_id, d.data, d.receive_time);
+    });
+  }
+
+  static core::ProxyConfig make_proxy_config() {
+    core::ProxyConfig cfg;
+    cfg.bootstrap_duration = 60.0;
+    cfg.human_validity_window = 120.0;
+    return cfg;
+  }
+
+  net::PacketRecord command(double ts, std::uint32_t size = 235) {
+    net::PacketRecord p;
+    p.ts = ts;
+    p.size = size;
+    p.src_ip = cloud_ip;
+    p.dst_ip = device_ip;
+    p.src_port = 443;
+    p.dst_port = 50001;
+    p.proto = net::Transport::kTcp;
+    return p;
+  }
+
+  void finish_bootstrap() {
+    net::PacketRecord p = command(0.0, 120);
+    proxy.process(p);  // starts the bootstrap clock
+  }
+};
+
+TEST(System, HumanProofOverQuicAuthorizesManualCommand) {
+  SystemHarness h;
+  h.finish_bootstrap();
+  h.app.warm_up([](double) {});
+  h.scheduler.run();
+  ASSERT_TRUE(h.app.has_ticket());
+
+  gen::SensorConfig clean;
+  clean.gentle_human_prob = 0.0;
+  clean.noisy_machine_prob = 0.0;
+  bool reported = false;
+  h.app.report_interaction("app.plug",
+                           gen::generate_sensor_trace(h.rng, true, clean),
+                           [&](const core::ClientLatencyBreakdown& b) {
+                             reported = true;
+                             EXPECT_TRUE(b.zero_rtt);
+                             EXPECT_LT(b.time_to_validation(), 0.5);
+                           });
+  h.scheduler.run();
+  ASSERT_TRUE(reported);
+  EXPECT_EQ(h.proxy.proofs_accepted(), 1u);
+
+  // The manual command lands after bootstrap, inside the validity window
+  // (the window is widened in make_proxy_config so the simulated clocks of
+  // the phone exchange and the packet trace can be compared directly).
+  EXPECT_EQ(h.proxy.process(h.command(70.0)), core::Verdict::kAllow)
+      << "proof at t=" << h.scheduler.now();
+}
+
+TEST(System, MachineProofOverQuicDoesNotAuthorize) {
+  SystemHarness h;
+  h.finish_bootstrap();
+  h.app.warm_up([](double) {});
+  h.scheduler.run();
+  gen::SensorConfig clean;
+  clean.gentle_human_prob = 0.0;
+  clean.noisy_machine_prob = 0.0;
+  h.app.report_interaction("app.plug",
+                           gen::generate_sensor_trace(h.rng, false, clean),
+                           [](const core::ClientLatencyBreakdown&) {});
+  h.scheduler.run();
+  EXPECT_EQ(h.proxy.proofs_rejected_nonhuman(), 1u);
+  EXPECT_EQ(h.proxy.process(h.command(70.0)), core::Verdict::kDrop);
+}
+
+TEST(System, ReplayedProofRejectedAtTransport) {
+  SystemHarness h;
+  h.finish_bootstrap();
+  h.app.warm_up([](double) {});
+  h.scheduler.run();
+  gen::SensorConfig clean;
+  clean.gentle_human_prob = 0.0;
+  h.app.report_interaction("app.plug", gen::generate_sensor_trace(h.rng, true, clean),
+                           [](const core::ClientLatencyBreakdown&) {});
+  h.scheduler.run();
+  ASSERT_EQ(h.proxy.proofs_accepted(), 1u);
+  // An on-path attacker replays the captured 0-RTT datagram later, hoping to
+  // re-authorize a second command.
+  EXPECT_TRUE(h.app.replay_last_report());
+  h.scheduler.run();
+  EXPECT_EQ(h.proxy.proofs_accepted(), 1u);  // replay never reaches the proxy
+  EXPECT_GE(h.quic_server.zero_rtt_replays_blocked(), 1u);
+}
+
+}  // namespace
+}  // namespace fiat

@@ -1,0 +1,135 @@
+// Tests for the frame-level intercept point (NFQUEUE stand-in): raw frames
+// in, verdicts out, with passive DNS snooping feeding the PortLess rules.
+#include <gtest/gtest.h>
+
+#include "core/intercept.hpp"
+#include "net/dns.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+const net::Ipv4Addr kDevice(192, 168, 1, 100);
+const net::Ipv4Addr kGateway(192, 168, 1, 1);
+const net::Ipv4Addr kCloudA(52, 1, 2, 3);
+const net::Ipv4Addr kCloudB(52, 1, 2, 99);  // replica of the same service
+
+util::Bytes heartbeat_frame(net::Ipv4Addr remote, std::uint32_t payload_len = 80) {
+  net::FrameSpec spec;
+  spec.src_ip = kDevice;
+  spec.dst_ip = remote;
+  spec.src_port = 50000;
+  spec.dst_port = 443;
+  spec.proto = net::Transport::kTcp;
+  spec.payload.assign(payload_len, 0);
+  return net::build_frame(spec);
+}
+
+util::Bytes dns_response_frame(const std::string& name, net::Ipv4Addr addr) {
+  net::FrameSpec spec;
+  spec.src_ip = kGateway;
+  spec.dst_ip = kDevice;
+  spec.src_port = net::kDnsPort;
+  spec.dst_port = 40000;
+  spec.proto = net::Transport::kUdp;
+  spec.payload = net::encode_dns(net::make_a_response(7, name, addr));
+  return net::build_frame(spec);
+}
+
+struct Fixture {
+  ProxyConfig config;
+  FiatProxy proxy;
+  std::vector<Verdict> forwarded;
+  InterceptPoint intercept;
+
+  Fixture()
+      : config(make_config()),
+        proxy(config, HumannessVerifier::train_synthetic(5, 120)),
+        intercept(proxy, [this](std::span<const std::uint8_t>, Verdict v) {
+          forwarded.push_back(v);
+        }) {
+    ProxyDevice dev;
+    dev.name = "dev";
+    dev.ip = kDevice;
+    dev.allowed_prefix = 0;
+    dev.classifier = ManualEventClassifier::simple_rule(235);
+    dev.app_package = "app.dev";
+    proxy.add_device(dev);
+  }
+  static ProxyConfig make_config() {
+    ProxyConfig cfg;
+    cfg.bootstrap_duration = 50.0;
+    return cfg;
+  }
+};
+
+TEST(Intercept, ForwardsNonIpv4Unconditionally) {
+  Fixture f;
+  // Hand-built ARP-ish frame: two MACs + ethertype 0x0806 + junk.
+  util::ByteWriter w;
+  w.pad(12, 0x02);
+  w.u16be(net::kEtherTypeArp);
+  w.pad(28, 0);
+  EXPECT_EQ(f.intercept.handle_frame(0.0, w.bytes()), Verdict::kAllow);
+  EXPECT_EQ(f.forwarded.size(), 1u);
+}
+
+TEST(Intercept, DropsMalformedIpv4) {
+  Fixture f;
+  auto frame = heartbeat_frame(kCloudA);
+  std::span<const std::uint8_t> truncated(frame.data(), 20);
+  EXPECT_EQ(f.intercept.handle_frame(0.0, truncated), Verdict::kDrop);
+  EXPECT_EQ(f.intercept.malformed_dropped(), 1u);
+}
+
+TEST(Intercept, EndToEndRulesFromRawFrames) {
+  Fixture f;
+  // DNS response teaches the resolver that both cloud IPs are one service.
+  f.intercept.handle_frame(0.0, dns_response_frame("api.dev.example", kCloudA));
+  f.intercept.handle_frame(0.1, dns_response_frame("api.dev.example", kCloudB));
+  EXPECT_EQ(f.intercept.dns_records_learned(), 2u);
+
+  // Bootstrap: a 10 s heartbeat to replica A.
+  for (double t = 1.0; t < 52.0; t += 10.0) {
+    f.intercept.handle_frame(t, heartbeat_frame(kCloudA));
+  }
+  // Post-bootstrap: the same rhythm CONTINUED VIA REPLICA B hits the same
+  // PortLess rule, because the snooped DNS maps both IPs to one domain.
+  EXPECT_EQ(f.intercept.handle_frame(61.0, heartbeat_frame(kCloudB)), Verdict::kAllow);
+  const auto& log = f.proxy.decision_log();
+  EXPECT_EQ(log.back().why, Disposition::kRuleHit);
+}
+
+TEST(Intercept, ManualCommandFrameDroppedWithoutProof) {
+  Fixture f;
+  for (double t = 0.0; t < 52.0; t += 10.0) {
+    f.intercept.handle_frame(t, heartbeat_frame(kCloudA));
+  }
+  // 235-byte notification from the cloud: the simple rule says manual.
+  net::FrameSpec spec;
+  spec.src_ip = kCloudA;
+  spec.dst_ip = kDevice;
+  spec.src_port = 443;
+  spec.dst_port = 50001;
+  spec.proto = net::Transport::kTcp;
+  spec.payload.assign(235 - 40, 0);  // IP total = 235
+  EXPECT_EQ(f.intercept.handle_frame(60.0, net::build_frame(spec)), Verdict::kDrop);
+  EXPECT_EQ(f.proxy.alerts(), 1u);
+}
+
+TEST(Intercept, CountsFrames) {
+  Fixture f;
+  for (int i = 0; i < 5; ++i) {
+    f.intercept.handle_frame(i, heartbeat_frame(kCloudA));
+  }
+  EXPECT_EQ(f.intercept.frames_seen(), 5u);
+  EXPECT_EQ(f.forwarded.size(), 5u);
+}
+
+TEST(Intercept, RequiresForwardCallback) {
+  Fixture f;
+  EXPECT_THROW(InterceptPoint(f.proxy, nullptr), LogicError);
+}
+
+}  // namespace
+}  // namespace fiat::core

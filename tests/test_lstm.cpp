@@ -1,0 +1,200 @@
+// Tests for the LSTM sequence classifier (§7 future work) and the
+// event->sequence adaptor.
+#include <gtest/gtest.h>
+
+#include "core/event_dataset.hpp"
+#include "core/event_sequences.hpp"
+#include "gen/testbed.hpp"
+#include "ml/lstm.hpp"
+#include "util/error.hpp"
+
+namespace fiat::ml {
+namespace {
+
+// Synthetic temporal task: class 1 sequences ramp up, class 0 ramp down.
+SequenceDataset make_ramps(std::size_t per_class, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  SequenceDataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (int label = 0; label < 2; ++label) {
+      Sequence seq;
+      seq.label = label;
+      auto len = static_cast<std::size_t>(rng.uniform_int(4, 8));
+      for (std::size_t t = 0; t < len; ++t) {
+        double ramp = static_cast<double>(t) / static_cast<double>(len);
+        double v = (label == 1 ? ramp : 1.0 - ramp) + rng.normal(0.0, 0.1);
+        seq.steps.push_back({v, rng.normal(0.0, 0.5)});
+      }
+      data.items.push_back(std::move(seq));
+    }
+  }
+  return data;
+}
+
+// Order-dependent task: same multiset of step values, opposite order. A
+// bag-of-steps model cannot solve this; a recurrent one can.
+SequenceDataset make_order_task(std::size_t per_class, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  SequenceDataset data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    double lo = rng.uniform(0.0, 0.2), hi = rng.uniform(0.8, 1.0);
+    Sequence up;
+    up.label = 1;
+    up.steps = {{lo}, {lo}, {hi}, {hi}};
+    Sequence down;
+    down.label = 0;
+    down.steps = {{hi}, {hi}, {lo}, {lo}};
+    data.items.push_back(up);
+    data.items.push_back(down);
+  }
+  return data;
+}
+
+double accuracy(const LstmClassifier& model, const SequenceDataset& data) {
+  std::size_t correct = 0;
+  for (const auto& item : data.items) {
+    if (model.predict(item) == item.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+TEST(Lstm, LearnsRampDirection) {
+  LstmConfig config;
+  config.hidden = 12;
+  config.epochs = 25;
+  LstmClassifier model(config);
+  auto train = make_ramps(60, 1);
+  model.fit(train);
+  auto test = make_ramps(30, 2);
+  EXPECT_GE(accuracy(model, test), 0.9);
+}
+
+TEST(Lstm, SolvesOrderDependentTask) {
+  LstmConfig config;
+  config.hidden = 8;
+  config.epochs = 40;
+  config.learning_rate = 0.05;
+  LstmClassifier model(config);
+  auto train = make_order_task(80, 3);
+  model.fit(train);
+  auto test = make_order_task(40, 4);
+  EXPECT_GE(accuracy(model, test), 0.95);
+}
+
+TEST(Lstm, ProbabilitiesSumToOne) {
+  LstmClassifier model;
+  auto data = make_ramps(20, 5);
+  model.fit(data);
+  auto probs = model.predict_proba(data.items[0]);
+  double sum = 0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Lstm, VariableLengthAndTruncation) {
+  LstmConfig config;
+  config.max_steps = 3;
+  LstmClassifier model(config);
+  auto data = make_ramps(30, 6);
+  model.fit(data);  // sequences longer than 3 get truncated, no crash
+  Sequence very_long;
+  very_long.label = 0;
+  for (int t = 0; t < 100; ++t) very_long.steps.push_back({0.5, 0.0});
+  EXPECT_NO_THROW(model.predict(very_long));
+}
+
+TEST(Lstm, ErrorHandling) {
+  LstmClassifier model;
+  SequenceDataset empty;
+  EXPECT_THROW(model.fit(empty), LogicError);
+  auto data = make_ramps(10, 7);
+  model.fit(data);
+  Sequence no_steps;
+  EXPECT_THROW(model.predict(no_steps), LogicError);
+  LstmClassifier untrained;
+  EXPECT_THROW(untrained.predict(data.items[0]), LogicError);
+}
+
+TEST(Lstm, DeterministicBySeed) {
+  auto data = make_ramps(20, 8);
+  LstmClassifier a, b;
+  a.fit(data);
+  b.fit(data);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.predict(data.items[i]), b.predict(data.items[i]));
+  }
+}
+
+}  // namespace
+}  // namespace fiat::ml
+
+namespace fiat::core {
+namespace {
+
+TEST(EventSequences, StepShapeAndScaling) {
+  net::PacketRecord pkt;
+  pkt.ts = 1.0;
+  pkt.size = 750;
+  pkt.src_ip = net::Ipv4Addr(52, 1, 2, 3);
+  pkt.dst_ip = net::Ipv4Addr(192, 168, 1, 100);
+  pkt.src_port = 443;
+  pkt.dst_port = 50000;
+  pkt.proto = net::Transport::kTcp;
+  pkt.tls_version = 0x0304;
+  auto step = packet_step(pkt, net::Ipv4Addr(192, 168, 1, 100), 0.25);
+  ASSERT_EQ(step.size(), kSequenceStepDim);
+  EXPECT_DOUBLE_EQ(step[0], 0.0);              // inbound
+  EXPECT_NEAR(step[1], 52.0 / 255.0, 1e-12);   // remote octet 1
+  EXPECT_DOUBLE_EQ(step[10], 750.0 / 1500.0);  // size
+  EXPECT_DOUBLE_EQ(step[11], 0.25);            // iat
+}
+
+TEST(EventSequences, DatasetFromLabeledEvents) {
+  gen::LocationEnv env("US");
+  gen::TraceConfig config;
+  config.duration_days = 2;
+  config.seed = 9;
+  config.manual_per_day_override = 5.0;
+  auto trace = gen::generate_trace(gen::profile_by_name("EchoDot4"), env, config);
+  auto events = extract_labeled_events(trace);
+  auto data = sequence_dataset(events, trace.device_ip);
+  ASSERT_EQ(data.size(), events.size());
+  EXPECT_EQ(data.input_dim(), kSequenceStepDim);
+  EXPECT_EQ(data.num_classes(), 3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.items[i].steps.size(), events[i].event.packets.size());
+    EXPECT_EQ(data.items[i].label, static_cast<int>(events[i].label));
+  }
+}
+
+TEST(EventSequences, LstmLearnsEventClasses) {
+  gen::LocationEnv env("US");
+  gen::TraceConfig config;
+  config.duration_days = 6;
+  config.seed = 10;
+  config.manual_per_day_override = 6.0;
+  auto trace = gen::generate_trace(gen::profile_by_name("WyzeCam"), env, config);
+  auto events = extract_labeled_events(trace);
+  auto data = sequence_dataset(events, trace.device_ip);
+
+  ml::LstmConfig lstm_config;
+  lstm_config.hidden = 16;
+  lstm_config.epochs = 20;
+  ml::LstmClassifier model(lstm_config);
+  model.fit(data);
+  std::size_t manual_correct = 0, manual_total = 0;
+  for (const auto& item : data.items) {
+    if (item.label != static_cast<int>(gen::TrafficClass::kManual)) continue;
+    ++manual_total;
+    if (model.predict(item) == item.label) ++manual_correct;
+  }
+  ASSERT_GT(manual_total, 10u);
+  EXPECT_GE(static_cast<double>(manual_correct) / static_cast<double>(manual_total),
+            0.8);
+}
+
+}  // namespace
+}  // namespace fiat::core

@@ -1,0 +1,560 @@
+// ML library tests: dataset plumbing, scaler, metrics, CV, and every
+// classifier — including a parameterized sweep that checks each model
+// learns a linearly separable task and stays deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/adaboost.hpp"
+#include "ml/cross_val.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_svc.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/nearest_centroid.hpp"
+#include "ml/permutation.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace fiat::ml {
+namespace {
+
+// Three Gaussian blobs in 4-D; the last dimension is pure noise.
+Dataset make_blobs(std::size_t per_class, std::uint64_t seed, double spread = 0.5) {
+  sim::Rng rng(seed);
+  Dataset data;
+  data.feature_names = {"x", "y", "z", "noise"};
+  const double centers[3][3] = {{0, 0, 0}, {3, 3, 0}, {0, 3, 3}};
+  for (int cls = 0; cls < 3; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      Row row{rng.normal(centers[cls][0], spread), rng.normal(centers[cls][1], spread),
+              rng.normal(centers[cls][2], spread), rng.normal(0.0, 1.0)};
+      data.add(std::move(row), cls);
+    }
+  }
+  return data;
+}
+
+// XOR: not linearly separable; solvable by trees/forests/MLPs.
+Dataset make_xor(std::size_t per_quadrant, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Dataset data;
+  for (int qx = 0; qx < 2; ++qx) {
+    for (int qy = 0; qy < 2; ++qy) {
+      for (std::size_t i = 0; i < per_quadrant; ++i) {
+        double x = rng.uniform(0.1, 0.9) * (qx ? 1 : -1);
+        double y = rng.uniform(0.1, 0.9) * (qy ? 1 : -1);
+        data.add({x, y}, qx ^ qy);
+      }
+    }
+  }
+  return data;
+}
+
+double train_accuracy(Classifier& model, const Dataset& data) {
+  model.fit(data);
+  auto pred = model.predict_batch(data.X);
+  ConfusionMatrix cm(data.y, pred, data.num_classes());
+  return cm.accuracy();
+}
+
+// ---- Dataset -----------------------------------------------------------------
+
+TEST(Dataset, BasicAccounting) {
+  Dataset d = make_blobs(10, 1);
+  EXPECT_EQ(d.size(), 30u);
+  EXPECT_EQ(d.dim(), 4u);
+  EXPECT_EQ(d.num_classes(), 3);
+  auto counts = d.class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{10, 10, 10}));
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset d = make_blobs(5, 2);
+  std::vector<std::size_t> idx{0, 5, 14};
+  Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.X[1], d.X[5]);
+  EXPECT_EQ(s.y[2], d.y[14]);
+  std::vector<std::size_t> bad{100};
+  EXPECT_THROW(d.subset(bad), LogicError);
+}
+
+TEST(Dataset, ValidateCatchesProblems) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  d.add({1.0}, 1);  // ragged
+  EXPECT_THROW(d.validate(), LogicError);
+  Dataset neg;
+  neg.add({1.0}, -1);
+  EXPECT_THROW(neg.validate(), LogicError);
+}
+
+// ---- Scaler -------------------------------------------------------------------
+
+TEST(Scaler, ZeroMeanUnitVariance) {
+  Dataset d = make_blobs(50, 3);
+  StandardScaler scaler;
+  Dataset scaled = scaler.fit_transform(d);
+  for (std::size_t j = 0; j < d.dim(); ++j) {
+    double mean = 0, var = 0;
+    for (const auto& row : scaled.X) mean += row[j];
+    mean /= static_cast<double>(scaled.size());
+    for (const auto& row : scaled.X) var += (row[j] - mean) * (row[j] - mean);
+    var /= static_cast<double>(scaled.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9) << "feature " << j;
+    EXPECT_NEAR(var, 1.0, 1e-9) << "feature " << j;
+  }
+}
+
+TEST(Scaler, ConstantFeatureLeftCentred) {
+  Dataset d;
+  d.add({5.0, 1.0}, 0);
+  d.add({5.0, 3.0}, 1);
+  StandardScaler scaler;
+  Dataset scaled = scaler.fit_transform(d);
+  EXPECT_DOUBLE_EQ(scaled.X[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled.X[1][0], 0.0);
+}
+
+TEST(Scaler, UseBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(Row{1.0}), LogicError);
+  Dataset empty;
+  EXPECT_THROW(scaler.fit(empty), LogicError);
+}
+
+TEST(Scaler, DimensionMismatchThrows) {
+  Dataset d = make_blobs(5, 4);
+  StandardScaler scaler;
+  scaler.fit(d);
+  EXPECT_THROW(scaler.transform(Row{1.0}), LogicError);
+}
+
+// ---- Metrics -------------------------------------------------------------------
+
+TEST(Metrics, ConfusionBasics) {
+  std::vector<int> truth{0, 0, 1, 1, 1, 2};
+  std::vector<int> pred{0, 1, 1, 1, 0, 2};
+  ConfusionMatrix cm(truth, pred, 3);
+  EXPECT_EQ(cm.total(), 6u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 1.0);
+  EXPECT_NEAR(cm.balanced_accuracy(), (0.5 + 2.0 / 3.0 + 1.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+}
+
+TEST(Metrics, AbsentClassSkippedInBalancedAccuracy) {
+  std::vector<int> truth{0, 0, 1};
+  std::vector<int> pred{0, 0, 1};
+  ConfusionMatrix cm(truth, pred, 3);  // class 2 never occurs
+  EXPECT_DOUBLE_EQ(cm.balanced_accuracy(), 1.0);
+}
+
+TEST(Metrics, EdgeCases) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.0);  // class 1 never predicted
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+  EXPECT_THROW(cm.add(5, 0), LogicError);
+  EXPECT_THROW(ConfusionMatrix(0), LogicError);
+}
+
+TEST(Metrics, PrfForClass) {
+  std::vector<int> truth{1, 1, 0, 0};
+  std::vector<int> pred{1, 0, 1, 0};
+  auto prf = prf_for_class(truth, pred, 1, 2);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.5);
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  std::vector<int> truth{0};
+  std::vector<int> pred{0, 1};
+  EXPECT_THROW(ConfusionMatrix(truth, pred, 2), LogicError);
+}
+
+// ---- parameterized classifier sweep ---------------------------------------------
+
+struct ModelFactory {
+  const char* label;
+  std::unique_ptr<Classifier> (*make)();
+};
+
+std::unique_ptr<Classifier> make_ncc() {
+  return std::make_unique<NearestCentroid>(Distance::kEuclidean);
+}
+std::unique_ptr<Classifier> make_ncc_cheb() {
+  return std::make_unique<NearestCentroid>(Distance::kChebyshev);
+}
+std::unique_ptr<Classifier> make_bnb() { return std::make_unique<BernoulliNB>(); }
+std::unique_ptr<Classifier> make_gnb() { return std::make_unique<GaussianNB>(); }
+std::unique_ptr<Classifier> make_tree() {
+  TreeConfig c;
+  c.max_depth = 6;
+  return std::make_unique<DecisionTree>(c);
+}
+std::unique_ptr<Classifier> make_forest() {
+  ForestConfig c;
+  c.n_trees = 30;
+  return std::make_unique<RandomForest>(c);
+}
+std::unique_ptr<Classifier> make_ada() { return std::make_unique<AdaBoost>(); }
+std::unique_ptr<Classifier> make_knn() { return std::make_unique<Knn>(5); }
+std::unique_ptr<Classifier> make_svc() { return std::make_unique<LinearSvc>(); }
+std::unique_ptr<Classifier> make_mlp() {
+  MlpConfig c;
+  c.hidden_layers = {16};
+  c.epochs = 80;
+  return std::make_unique<Mlp>(c);
+}
+
+class EveryClassifier : public ::testing::TestWithParam<ModelFactory> {};
+
+TEST_P(EveryClassifier, LearnsSeparableBlobs) {
+  auto model = GetParam().make();
+  Dataset train = make_blobs(40, 10);
+  Dataset test = make_blobs(20, 11);
+  StandardScaler scaler;
+  Dataset train_s = scaler.fit_transform(train);
+  model->fit(train_s);
+  auto pred = model->predict_batch(scaler.transform(test).X);
+  ConfusionMatrix cm(test.y, pred, 3);
+  EXPECT_GE(cm.accuracy(), 0.9) << GetParam().label;
+}
+
+TEST_P(EveryClassifier, DeterministicAcrossRefits) {
+  auto model = GetParam().make();
+  Dataset data = make_blobs(20, 12);
+  model->fit(data);
+  auto first = model->predict_batch(data.X);
+  auto clone = GetParam().make();
+  clone->fit(data);
+  EXPECT_EQ(first, clone->predict_batch(data.X)) << GetParam().label;
+}
+
+TEST_P(EveryClassifier, CloneConfigIsUntrainedSameKind) {
+  auto model = GetParam().make();
+  auto clone = model->clone_config();
+  EXPECT_EQ(clone->name(), model->name());
+  Row x{0, 0, 0, 0};
+  EXPECT_THROW((void)clone->predict(x), LogicError) << GetParam().label;
+}
+
+TEST_P(EveryClassifier, EmptyFitThrows) {
+  auto model = GetParam().make();
+  Dataset empty;
+  EXPECT_THROW(model->fit(empty), LogicError) << GetParam().label;
+}
+
+TEST_P(EveryClassifier, SingleClassDatasetPredictsThatClass) {
+  auto model = GetParam().make();
+  Dataset data;
+  sim::Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    data.add({rng.normal(), rng.normal()}, 0);
+  }
+  model->fit(data);
+  EXPECT_EQ(model->predict(Row{0.5, -0.5}), 0) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, EveryClassifier,
+    ::testing::Values(ModelFactory{"ncc-euclid", make_ncc},
+                      ModelFactory{"ncc-cheby", make_ncc_cheb},
+                      ModelFactory{"bernoulli-nb", make_bnb},
+                      ModelFactory{"gaussian-nb", make_gnb},
+                      ModelFactory{"tree", make_tree},
+                      ModelFactory{"forest", make_forest},
+                      ModelFactory{"adaboost", make_ada},
+                      ModelFactory{"knn", make_knn},
+                      ModelFactory{"svc", make_svc}, ModelFactory{"mlp", make_mlp}),
+    [](const auto& info) {
+      std::string name = info.param.label;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- model-specific behaviour ----------------------------------------------------
+
+TEST(NearestCentroid, CentroidsAreClassMeans) {
+  Dataset d;
+  d.add({0.0, 0.0}, 0);
+  d.add({2.0, 4.0}, 0);
+  d.add({10.0, 10.0}, 1);
+  NearestCentroid ncc(Distance::kEuclidean);
+  ncc.fit(d);
+  EXPECT_DOUBLE_EQ(ncc.centroids()[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(ncc.centroids()[0][1], 2.0);
+  EXPECT_EQ(ncc.predict(Row{1.0, 2.0}), 0);
+  EXPECT_EQ(ncc.predict(Row{9.0, 9.0}), 1);
+}
+
+TEST(NearestCentroid, DistanceMetricsDiffer) {
+  Row a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(vector_distance(Distance::kEuclidean, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(vector_distance(Distance::kManhattan, a, b), 7.0);
+  EXPECT_DOUBLE_EQ(vector_distance(Distance::kChebyshev, a, b), 4.0);
+  Row short_vec{1.0};
+  EXPECT_THROW(vector_distance(Distance::kEuclidean, a, short_vec), LogicError);
+}
+
+TEST(BernoulliNB, UsesPresencePatterns) {
+  // Class 0: feature 0 on; class 1: feature 1 on.
+  Dataset d;
+  sim::Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    d.add({rng.chance(0.9) ? 1.0 : 0.0, rng.chance(0.1) ? 1.0 : 0.0}, 0);
+    d.add({rng.chance(0.1) ? 1.0 : 0.0, rng.chance(0.9) ? 1.0 : 0.0}, 1);
+  }
+  BernoulliNB nb;
+  nb.fit(d);
+  EXPECT_EQ(nb.predict(Row{1.0, 0.0}), 0);
+  EXPECT_EQ(nb.predict(Row{0.0, 1.0}), 1);
+  auto scores = nb.log_scores(Row{1.0, 0.0});
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Dataset d = make_blobs(50, 15, /*spread=*/1.5);
+  for (int depth : {1, 3, 5}) {
+    TreeConfig config;
+    config.max_depth = depth;
+    DecisionTree tree(config);
+    tree.fit(d);
+    EXPECT_LE(tree.depth(), depth);
+  }
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  Dataset d;
+  d.add({1.0}, 0);
+  d.add({2.0}, 0);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(DecisionTree, SolvesXor) {
+  Dataset d = make_xor(40, 16);
+  TreeConfig config;
+  config.max_depth = 4;
+  DecisionTree tree(config);
+  EXPECT_GE(train_accuracy(tree, d), 0.95);
+}
+
+TEST(DecisionTree, WeightedFitShiftsMajority) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({0.1}, 0);
+  d.add({0.05}, 1);  // same region, minority label
+  std::vector<double> weights{1.0, 1.0, 10.0};
+  TreeConfig config;
+  config.max_depth = 0;  // single leaf: label = weighted majority
+  DecisionTree tree(config);
+  tree.fit_weighted(d, weights, nullptr);
+  EXPECT_EQ(tree.predict(Row{0.0}), 1);
+}
+
+TEST(RandomForest, SolvesXorAndBeatsChance) {
+  Dataset d = make_xor(50, 17);
+  ForestConfig config;
+  config.n_trees = 40;
+  RandomForest forest(config);
+  EXPECT_GE(train_accuracy(forest, d), 0.95);
+  EXPECT_EQ(forest.tree_count(), 40u);
+}
+
+TEST(AdaBoost, BoostsBeyondItsBaseLearner) {
+  // XOR: a single depth-2 tree is imperfect; boosting depth-2 learners
+  // should approach a clean separation. (Depth-1 stumps cannot cut XOR at
+  // all; SAMME stops immediately on such chance-level learners, which the
+  // test below checks.)
+  Dataset d = make_xor(50, 18);
+  TreeConfig base_config;
+  base_config.max_depth = 2;
+  base_config.min_samples_leaf = 5;
+  DecisionTree base(base_config);
+  double base_acc = train_accuracy(base, d);
+  AdaBoostConfig config;
+  config.n_estimators = 60;
+  config.base_depth = 2;
+  AdaBoost boosted(config);
+  double boosted_acc = train_accuracy(boosted, d);
+  EXPECT_GE(boosted_acc, 0.95);
+  EXPECT_GE(boosted_acc, base_acc);
+  EXPECT_GT(boosted.estimator_count(), 1u);
+}
+
+TEST(AdaBoost, StumpsRemainWeakOnXor) {
+  // Depth-1 stumps cannot express XOR; boosting them goes nowhere near the
+  // clean separation depth-2 base learners reach above.
+  Dataset d = make_xor(50, 18);
+  AdaBoostConfig config;
+  config.n_estimators = 60;
+  config.base_depth = 1;
+  AdaBoost boosted(config);
+  EXPECT_LE(train_accuracy(boosted, d), 0.8);
+}
+
+TEST(Knn, MajorityOfNeighbours) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({0.1}, 0);
+  d.add({0.2}, 0);
+  d.add({10.0}, 1);
+  d.add({10.1}, 1);
+  d.add({10.2}, 1);
+  Knn knn(3);
+  knn.fit(d);
+  EXPECT_EQ(knn.predict(Row{0.05}), 0);
+  EXPECT_EQ(knn.predict(Row{9.9}), 1);
+  EXPECT_THROW(Knn(0).fit(d), LogicError);
+}
+
+TEST(Knn, KClampedToDatasetSize) {
+  Dataset d;
+  d.add({0.0}, 0);
+  d.add({1.0}, 1);
+  Knn knn(5);  // k larger than the dataset
+  knn.fit(d);
+  EXPECT_EQ(knn.predict(Row{-1.0}), 0);
+}
+
+TEST(Mlp, SolvesXor) {
+  Dataset d = make_xor(60, 19);
+  MlpConfig config;
+  config.hidden_layers = {16, 16};
+  config.epochs = 200;
+  config.learning_rate = 0.05;
+  Mlp mlp(config);
+  EXPECT_GE(train_accuracy(mlp, d), 0.9);
+}
+
+TEST(Mlp, ProbabilitiesSumToOne) {
+  Dataset d = make_blobs(20, 20);
+  Mlp mlp;
+  mlp.fit(d);
+  auto probs = mlp.predict_proba(d.X[0]);
+  double sum = 0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LinearSvc, DecisionValuesOrdered) {
+  Dataset d = make_blobs(40, 21);
+  LinearSvc svc;
+  svc.fit(d);
+  int label = svc.predict(d.X[0]);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_LE(svc.decision(c, d.X[0]), svc.decision(label, d.X[0]) + 1e-12);
+  }
+}
+
+// ---- cross validation -------------------------------------------------------------
+
+TEST(CrossVal, StratifiedFoldsPreserveClassMix) {
+  Dataset d = make_blobs(25, 22);
+  auto folds = stratified_kfold(d, 5, 7);
+  ASSERT_EQ(folds.size(), 5u);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.test.size(), 15u);
+    EXPECT_EQ(fold.train.size(), 60u);
+    int counts[3] = {0, 0, 0};
+    for (auto i : fold.test) counts[d.y[i]]++;
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(counts[c], 5) << "class " << c;
+  }
+}
+
+TEST(CrossVal, FoldsPartitionTheData) {
+  Dataset d = make_blobs(10, 23);
+  auto folds = stratified_kfold(d, 3, 7);
+  std::vector<int> seen(d.size(), 0);
+  for (const auto& fold : folds) {
+    for (auto i : fold.test) seen[i]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(CrossVal, BadKThrows) {
+  Dataset d = make_blobs(10, 24);
+  EXPECT_THROW(stratified_kfold(d, 1, 7), LogicError);
+}
+
+TEST(CrossVal, EvaluatesHighOnSeparableData) {
+  Dataset d = make_blobs(30, 25);
+  NearestCentroid ncc(Distance::kEuclidean);
+  auto result = cross_validate(ncc, d, 5, 7, /*prf_class=*/1);
+  EXPECT_GE(result.mean_balanced_accuracy, 0.95);
+  EXPECT_GE(result.mean_prf.f1, 0.9);
+  EXPECT_EQ(result.truth.size(), d.size());
+}
+
+TEST(CrossVal, DeterministicBySeed) {
+  Dataset d = make_blobs(20, 26, /*spread=*/2.0);
+  BernoulliNB nb;
+  auto a = cross_validate(nb, d, 5, 7);
+  auto b = cross_validate(nb, d, 5, 7);
+  EXPECT_EQ(a.mean_balanced_accuracy, b.mean_balanced_accuracy);
+  EXPECT_EQ(a.predicted, b.predicted);
+}
+
+TEST(CrossVal, StratifiedSplitRespectsFraction) {
+  Dataset d = make_blobs(20, 27);
+  auto split = stratified_split(d, 0.25, 7);
+  EXPECT_EQ(split.test.size(), 15u);
+  EXPECT_EQ(split.train.size(), 45u);
+  EXPECT_THROW(stratified_split(d, 0.0, 7), LogicError);
+  EXPECT_THROW(stratified_split(d, 1.0, 7), LogicError);
+}
+
+TEST(CrossVal, TrainTestEvaluateTransfers) {
+  Dataset train = make_blobs(40, 28);
+  Dataset test = make_blobs(15, 29);
+  GaussianNB gnb;
+  auto result = train_test_evaluate(gnb, train, test);
+  EXPECT_GE(result.mean_balanced_accuracy, 0.95);
+}
+
+// ---- permutation importance ---------------------------------------------------------
+
+TEST(Permutation, RanksInformativeFeatureFirst) {
+  Dataset d = make_blobs(60, 30);
+  StandardScaler scaler;
+  Dataset scaled = scaler.fit_transform(d);
+  NearestCentroid ncc(Distance::kEuclidean);
+  ncc.fit(scaled);
+  auto importances = permutation_importance(ncc, scaled, /*score_class=*/-1, 20, 7);
+  ASSERT_EQ(importances.size(), 4u);
+  // The pure-noise column must land last with ~zero importance.
+  EXPECT_EQ(importances.back().name, "noise");
+  EXPECT_NEAR(importances.back().importance, 0.0, 0.02);
+  EXPECT_GT(importances.front().importance, 0.1);
+}
+
+TEST(Permutation, InputValidation) {
+  Dataset tiny;
+  tiny.add({1.0}, 0);
+  NearestCentroid ncc;
+  EXPECT_THROW(permutation_importance(ncc, tiny, -1, 10, 7), LogicError);
+}
+
+}  // namespace
+}  // namespace fiat::ml

@@ -1,0 +1,131 @@
+// Tests for the MUD profile exporter (§8, RFC 8520) and the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "core/mud.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+
+namespace fiat::core {
+namespace {
+
+const net::Ipv4Addr kDevice(192, 168, 1, 100);
+const net::Ipv4Addr kCloud(52, 1, 2, 3);
+
+net::PacketRecord pkt(bool outbound, std::uint16_t remote_port,
+                      net::Transport proto = net::Transport::kTcp) {
+  net::PacketRecord p;
+  p.size = 100;
+  p.src_ip = outbound ? kDevice : kCloud;
+  p.dst_ip = outbound ? kCloud : kDevice;
+  p.src_port = outbound ? 50000 : remote_port;
+  p.dst_port = outbound ? remote_port : 50000;
+  p.proto = proto;
+  return p;
+}
+
+TEST(Mud, AggregatesAndFiltersByEvidence) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 10; ++i) packets.push_back(pkt(true, 443));
+  for (int i = 0; i < 10; ++i) packets.push_back(pkt(false, 443));
+  packets.push_back(pkt(true, 9999));  // seen once: noise
+  auto profile = derive_mud_profile(packets, kDevice, "plug");
+  ASSERT_EQ(profile.entries.size(), 2u);
+  for (const auto& entry : profile.entries) {
+    EXPECT_EQ(entry.remote_port, 443);
+    EXPECT_EQ(entry.packets, 10u);
+  }
+}
+
+TEST(Mud, UsesDnsNamesWhenAvailable) {
+  net::DnsTable dns;
+  dns.add(kCloud, "api.plug.example");
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 5; ++i) packets.push_back(pkt(true, 443));
+  auto profile = derive_mud_profile(packets, kDevice, "plug", &dns);
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries[0].remote, "api.plug.example");
+  // The JSON path for domains uses the ACL-DNS extension.
+  EXPECT_NE(profile.to_json().find("ietf-acldns:dst-dnsname"), std::string::npos);
+}
+
+TEST(Mud, JsonContainsBothPolicies) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 5; ++i) packets.push_back(pkt(true, 443));
+  for (int i = 0; i < 5; ++i) packets.push_back(pkt(false, 8883, net::Transport::kUdp));
+  auto json = derive_mud_profile(packets, kDevice, "plug").to_json();
+  EXPECT_NE(json.find("\"ietf-mud:mud\""), std::string::npos);
+  EXPECT_NE(json.find("from-device-policy"), std::string::npos);
+  EXPECT_NE(json.find("to-device-policy"), std::string::npos);
+  EXPECT_NE(json.find("\"port\": 443"), std::string::npos);
+  EXPECT_NE(json.find("\"port\": 8883"), std::string::npos);
+  EXPECT_NE(json.find("\"udp\""), std::string::npos);
+  EXPECT_NE(json.find("\"mud-version\": 1"), std::string::npos);
+}
+
+TEST(Mud, IgnoresForeignTraffic) {
+  std::vector<net::PacketRecord> packets;
+  net::PacketRecord foreign;
+  foreign.src_ip = net::Ipv4Addr(10, 0, 0, 1);
+  foreign.dst_ip = net::Ipv4Addr(10, 0, 0, 2);
+  for (int i = 0; i < 10; ++i) packets.push_back(foreign);
+  auto profile = derive_mud_profile(packets, kDevice, "plug");
+  EXPECT_TRUE(profile.entries.empty());
+}
+
+TEST(Mud, DeterministicJson) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 5; ++i) packets.push_back(pkt(true, 443));
+  auto a = derive_mud_profile(packets, kDevice, "plug").to_json();
+  auto b = derive_mud_profile(packets, kDevice, "plug").to_json();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fiat::core
+
+namespace fiat::util {
+namespace {
+
+char** make_argv(std::vector<std::string>& storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(Flags, ParsesPositionalAndOptions) {
+  std::vector<std::string> args{"prog", "analyze", "file.pcap", "--device",
+                                "1.2.3.4", "--classic"};
+  auto flags = Flags::parse(static_cast<int>(args.size()), make_argv(args));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "analyze");
+  EXPECT_EQ(flags.get("device").value(), "1.2.3.4");
+  EXPECT_TRUE(flags.has("classic"));
+  EXPECT_FALSE(flags.has("mud"));
+  EXPECT_EQ(flags.get_or("missing", "x"), "x");
+}
+
+TEST(Flags, NumberParsing) {
+  std::vector<std::string> args{"prog", "--days", "3.5", "--bad", "abc"};
+  auto flags = Flags::parse(static_cast<int>(args.size()), make_argv(args));
+  EXPECT_DOUBLE_EQ(flags.number_or("days", 1.0), 3.5);
+  EXPECT_DOUBLE_EQ(flags.number_or("missing", 7.0), 7.0);
+  EXPECT_THROW(flags.number_or("bad", 0.0), ParseError);
+}
+
+TEST(Flags, SwitchFollowedByOption) {
+  std::vector<std::string> args{"prog", "--classic", "--device", "1.1.1.1"};
+  auto flags = Flags::parse(static_cast<int>(args.size()), make_argv(args));
+  EXPECT_TRUE(flags.has("classic"));
+  EXPECT_EQ(flags.get("classic").value(), "");  // switch: empty value
+  EXPECT_EQ(flags.get("device").value(), "1.1.1.1");
+}
+
+TEST(Flags, BareDashesRejected) {
+  std::vector<std::string> args{"prog", "--"};
+  EXPECT_THROW(Flags::parse(static_cast<int>(args.size()), make_argv(args)),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace fiat::util

@@ -1,0 +1,437 @@
+// Network substrate tests: addressing, checksums, frame codec, TLS sniffing,
+// pcap round-trips, DNS codec and tables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/checksum.hpp"
+#include "net/dns.hpp"
+#include "net/frame.hpp"
+#include "net/ip.hpp"
+#include "net/pcap.hpp"
+#include "net/tls.hpp"
+#include "util/error.hpp"
+
+namespace fiat::net {
+namespace {
+
+// ---- addressing -------------------------------------------------------------
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  auto a = Ipv4Addr::parse("192.168.1.10");
+  EXPECT_EQ(a.str(), "192.168.1.10");
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(3), 10);
+  EXPECT_EQ(Ipv4Addr(192, 168, 1, 10), a);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3"), ParseError);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4.5"), ParseError);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.256"), ParseError);
+  EXPECT_THROW(Ipv4Addr::parse("a.b.c.d"), ParseError);
+  EXPECT_THROW(Ipv4Addr::parse("1..2.3"), ParseError);
+}
+
+TEST(Ipv4Addr, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Addr(10, 0, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(192, 168, 255, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 31, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Addr(172, 32, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Addr(8, 8, 8, 8).is_private());
+  EXPECT_FALSE(Ipv4Addr(192, 169, 0, 1).is_private());
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1));
+  Ipv4AddrHash hash;
+  EXPECT_NE(hash(Ipv4Addr(1, 2, 3, 4)), hash(Ipv4Addr(4, 3, 2, 1)));
+}
+
+TEST(MacAddr, ParseFormatRoundTrip) {
+  auto m = MacAddr::parse("02:00:aa:bb:cc:dd");
+  EXPECT_EQ(m.str(), "02:00:aa:bb:cc:dd");
+  EXPECT_THROW(MacAddr::parse("02:00"), ParseError);
+  EXPECT_THROW(MacAddr::parse("gg:00:aa:bb:cc:dd"), ParseError);
+}
+
+TEST(MacAddr, FromIndexDeterministicAndLocal) {
+  auto a = MacAddr::from_index(7);
+  auto b = MacAddr::from_index(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.bytes()[0], 0x02);  // locally administered
+  EXPECT_NE(MacAddr::from_index(8), a);
+}
+
+// ---- checksum -----------------------------------------------------------------
+
+TEST(Checksum, KnownValue) {
+  // Classic example from RFC 1071 discussions.
+  std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthHandled) {
+  std::vector<std::uint8_t> even{0x12, 0x34};
+  std::vector<std::uint8_t> odd{0x12, 0x34, 0x56};
+  EXPECT_NE(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, SelfVerifies) {
+  std::vector<std::uint8_t> header(20, 0);
+  header[0] = 0x45;
+  header[9] = 6;
+  std::uint16_t sum = internet_checksum(header);
+  header[10] = static_cast<std::uint8_t>(sum >> 8);
+  header[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(header), 0);
+}
+
+// ---- frame codec -----------------------------------------------------------------
+
+FrameSpec sample_spec(Transport proto) {
+  FrameSpec spec;
+  spec.src_mac = MacAddr::from_index(1);
+  spec.dst_mac = MacAddr::from_index(2);
+  spec.src_ip = Ipv4Addr(192, 168, 1, 100);
+  spec.dst_ip = Ipv4Addr(52, 10, 20, 30);
+  spec.src_port = 49152;
+  spec.dst_port = 443;
+  spec.proto = proto;
+  spec.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
+  spec.tcp_seq = 1000;
+  spec.tcp_ack = 2000;
+  spec.payload = {0xde, 0xad, 0xbe, 0xef};
+  return spec;
+}
+
+TEST(Frame, TcpRoundTrip) {
+  auto spec = sample_spec(Transport::kTcp);
+  auto frame = build_frame(spec);
+  EXPECT_EQ(frame.size(), 14u + 20 + 20 + 4);
+  auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_ip, spec.src_ip);
+  EXPECT_EQ(parsed->dst_ip, spec.dst_ip);
+  EXPECT_EQ(parsed->src_port, spec.src_port);
+  EXPECT_EQ(parsed->dst_port, spec.dst_port);
+  EXPECT_EQ(parsed->proto, Transport::kTcp);
+  EXPECT_EQ(parsed->tcp_flags, spec.tcp_flags);
+  EXPECT_EQ(parsed->tcp_seq, 1000u);
+  EXPECT_EQ(parsed->tcp_ack, 2000u);
+  ASSERT_EQ(parsed->payload.size(), 4u);
+  EXPECT_EQ(parsed->payload[0], 0xde);
+  EXPECT_EQ(parsed->src_mac, spec.src_mac);
+}
+
+TEST(Frame, UdpRoundTrip) {
+  auto spec = sample_spec(Transport::kUdp);
+  auto frame = build_frame(spec);
+  EXPECT_EQ(frame.size(), 14u + 20 + 8 + 4);
+  auto parsed = parse_frame(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->proto, Transport::kUdp);
+  EXPECT_EQ(parsed->payload.size(), 4u);
+  EXPECT_EQ(parsed->tcp_flags, 0);
+}
+
+TEST(Frame, Ipv4ChecksumValid) {
+  auto frame = build_frame(sample_spec(Transport::kTcp));
+  EXPECT_TRUE(verify_ipv4_checksum(frame));
+  frame[20] ^= 0xff;  // corrupt a header byte
+  EXPECT_FALSE(verify_ipv4_checksum(frame));
+}
+
+TEST(Frame, NonIpv4EthertypeReturnsNullopt) {
+  auto frame = build_frame(sample_spec(Transport::kTcp));
+  frame[12] = 0x08;
+  frame[13] = 0x06;  // ARP
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(Frame, TruncatedFrameThrows) {
+  auto frame = build_frame(sample_spec(Transport::kTcp));
+  for (std::size_t cut : {std::size_t{5}, std::size_t{15}, std::size_t{30}, frame.size() - 1}) {
+    std::span<const std::uint8_t> view(frame.data(), cut);
+    EXPECT_THROW((void)parse_frame(view), ParseError) << "cut=" << cut;
+  }
+}
+
+TEST(Frame, EmptyPayloadAllowed) {
+  auto spec = sample_spec(Transport::kTcp);
+  spec.payload.clear();
+  auto parsed = parse_frame(build_frame(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(Frame, OtherTransportRejectedAtBuild) {
+  auto spec = sample_spec(Transport::kTcp);
+  spec.proto = Transport::kOther;
+  EXPECT_THROW(build_frame(spec), LogicError);
+}
+
+TEST(Frame, ToRecordExtractsFields) {
+  auto spec = sample_spec(Transport::kTcp);
+  spec.payload.assign(10, 0);
+  make_tls_record(kTls13, 23, 5, std::span<std::uint8_t>(spec.payload.data(), 5));
+  auto parsed = parse_frame(build_frame(spec));
+  ASSERT_TRUE(parsed.has_value());
+  PacketRecord rec = parsed->to_record(12.5);
+  EXPECT_DOUBLE_EQ(rec.ts, 12.5);
+  EXPECT_EQ(rec.size, 20u + 20 + 10);
+  EXPECT_EQ(rec.tls_version, kTls13);
+  EXPECT_TRUE(rec.outbound_from(spec.src_ip));
+  EXPECT_EQ(rec.remote_of(spec.src_ip), spec.dst_ip);
+  EXPECT_EQ(rec.remote_of(spec.dst_ip), spec.src_ip);
+  EXPECT_EQ(rec.remote_port_of(spec.src_ip), 443);
+}
+
+// ---- TLS sniffing ---------------------------------------------------------------
+
+TEST(Tls, SniffsValidRecords) {
+  std::uint8_t rec[16] = {};
+  make_tls_record(kTls12, 23, 11, std::span<std::uint8_t>(rec, 5));
+  EXPECT_EQ(sniff_tls_version(rec), kTls12);
+  make_tls_record(kTls13, 22, 11, std::span<std::uint8_t>(rec, 5));
+  EXPECT_EQ(sniff_tls_version(rec), kTls13);
+}
+
+TEST(Tls, RejectsNonTls) {
+  std::uint8_t short_buf[4] = {23, 3, 3, 0};
+  EXPECT_EQ(sniff_tls_version(std::span<const std::uint8_t>(short_buf, 4)), 0);
+  std::uint8_t bad_type[5] = {99, 3, 3, 0, 10};
+  EXPECT_EQ(sniff_tls_version(bad_type), 0);
+  std::uint8_t bad_version[5] = {23, 2, 0, 0, 10};
+  EXPECT_EQ(sniff_tls_version(bad_version), 0);
+  std::uint8_t zero_len[5] = {23, 3, 3, 0, 0};
+  EXPECT_EQ(sniff_tls_version(zero_len), 0);
+  std::uint8_t huge_len[5] = {23, 3, 3, 0xff, 0xff};
+  EXPECT_EQ(sniff_tls_version(huge_len), 0);
+}
+
+// ---- pcap ------------------------------------------------------------------------
+
+class PcapTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       ("fiat_test_" + std::to_string(::getpid()) + ".pcap"))
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(PcapTest, WriteReadRoundTrip) {
+  auto frame1 = build_frame(sample_spec(Transport::kTcp));
+  auto frame2 = build_frame(sample_spec(Transport::kUdp));
+  {
+    PcapWriter writer(path_);
+    writer.write(1.5, frame1);
+    writer.write(2.25, frame2);
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  auto packets = read_pcap(path_);
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_NEAR(packets[0].ts, 1.5, 1e-6);
+  EXPECT_NEAR(packets[1].ts, 2.25, 1e-6);
+  EXPECT_EQ(packets[0].frame, frame1);
+  EXPECT_EQ(packets[1].frame, frame2);
+}
+
+TEST_F(PcapTest, RecordsRoundTrip) {
+  std::vector<PacketRecord> records;
+  PacketRecord rec;
+  rec.ts = 10.0;
+  rec.size = 235;
+  rec.src_ip = Ipv4Addr(52, 1, 2, 3);
+  rec.dst_ip = Ipv4Addr(192, 168, 1, 5);
+  rec.src_port = 443;
+  rec.dst_port = 50123;
+  rec.proto = Transport::kTcp;
+  rec.tcp_flags = TcpFlags::kPsh | TcpFlags::kAck;
+  rec.tls_version = kTls12;
+  records.push_back(rec);
+  rec.ts = 11.0;
+  rec.proto = Transport::kUdp;
+  rec.tls_version = 0;
+  rec.tcp_flags = 0;
+  records.push_back(rec);
+
+  write_pcap_records(path_, records);
+  auto loaded = read_pcap_records(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].size, 235u);
+  EXPECT_EQ(loaded[0].src_ip, records[0].src_ip);
+  EXPECT_EQ(loaded[0].src_port, 443);
+  EXPECT_EQ(loaded[0].tls_version, kTls12);
+  EXPECT_EQ(loaded[1].proto, Transport::kUdp);
+  EXPECT_NEAR(loaded[1].ts, 11.0, 1e-6);
+}
+
+TEST_F(PcapTest, MicrosecondPrecision) {
+  auto frame = build_frame(sample_spec(Transport::kUdp));
+  {
+    PcapWriter writer(path_);
+    writer.write(1234.567891, frame);
+  }
+  auto packets = read_pcap(path_);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_NEAR(packets[0].ts, 1234.567891, 1e-6);
+}
+
+TEST_F(PcapTest, RejectsGarbageFile) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  std::fputs("not a pcap", f);
+  std::fclose(f);
+  EXPECT_THROW(read_pcap(path_), ParseError);
+}
+
+TEST_F(PcapTest, MissingFileThrows) {
+  EXPECT_THROW(read_pcap("/nonexistent/file.pcap"), IoError);
+  EXPECT_THROW(PcapWriter("/nonexistent/dir/out.pcap"), IoError);
+}
+
+TEST_F(PcapTest, NegativeTimestampRejected) {
+  PcapWriter writer(path_);
+  auto frame = build_frame(sample_spec(Transport::kTcp));
+  EXPECT_THROW(writer.write(-1.0, frame), LogicError);
+}
+
+// ---- DNS --------------------------------------------------------------------------
+
+TEST(Dns, QueryEncodeDecodeRoundTrip) {
+  auto msg = make_a_query(0x1234, "Cloud.Nest.Example");
+  auto wire = encode_dns(msg);
+  auto decoded = decode_dns(wire);
+  EXPECT_EQ(decoded.id, 0x1234);
+  EXPECT_FALSE(decoded.is_response);
+  ASSERT_EQ(decoded.questions.size(), 1u);
+  EXPECT_EQ(decoded.questions[0].name, "cloud.nest.example");  // lower-cased
+  EXPECT_EQ(decoded.questions[0].qtype, kDnsTypeA);
+}
+
+TEST(Dns, ResponseCarriesAddress) {
+  auto msg = make_a_response(7, "api.wyze.example", Ipv4Addr(52, 1, 2, 3), 600);
+  auto decoded = decode_dns(encode_dns(msg));
+  EXPECT_TRUE(decoded.is_response);
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0].address, Ipv4Addr(52, 1, 2, 3));
+  EXPECT_EQ(decoded.answers[0].ttl, 600u);
+}
+
+TEST(Dns, PtrRecordRoundTrip) {
+  DnsMessage msg;
+  msg.id = 9;
+  msg.is_response = true;
+  DnsAnswer ptr;
+  ptr.name = "3.2.1.52.in-addr.arpa";
+  ptr.rtype = kDnsTypePtr;
+  ptr.ptr_name = "api.wyze.example";
+  msg.answers.push_back(ptr);
+  auto decoded = decode_dns(encode_dns(msg));
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0].ptr_name, "api.wyze.example");
+}
+
+TEST(Dns, CompressionPointerDecodes) {
+  // Hand-built response: question "a.example", answer name = pointer to
+  // offset 12 (the question name).
+  util::ByteWriter w;
+  w.u16be(1);       // id
+  w.u16be(0x8180);  // response flags
+  w.u16be(1);       // qdcount
+  w.u16be(1);       // ancount
+  w.u16be(0);
+  w.u16be(0);
+  // question name at offset 12
+  w.u8(1);
+  w.raw(std::string_view("a"));
+  w.u8(7);
+  w.raw(std::string_view("example"));
+  w.u8(0);
+  w.u16be(kDnsTypeA);
+  w.u16be(kDnsClassIn);
+  // answer: pointer to offset 12
+  w.u8(0xc0);
+  w.u8(12);
+  w.u16be(kDnsTypeA);
+  w.u16be(kDnsClassIn);
+  w.u32be(300);
+  w.u16be(4);
+  w.u32be(Ipv4Addr(1, 2, 3, 4).value());
+
+  auto decoded = decode_dns(w.bytes());
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0].name, "a.example");
+  EXPECT_EQ(decoded.answers[0].address, Ipv4Addr(1, 2, 3, 4));
+}
+
+TEST(Dns, CompressionLoopThrows) {
+  util::ByteWriter w;
+  w.u16be(1);
+  w.u16be(0x8180);
+  w.u16be(1);
+  w.u16be(0);
+  w.u16be(0);
+  w.u16be(0);
+  // name = pointer to itself (offset 12).
+  w.u8(0xc0);
+  w.u8(12);
+  w.u16be(kDnsTypeA);
+  w.u16be(kDnsClassIn);
+  EXPECT_THROW(decode_dns(w.bytes()), ParseError);
+}
+
+TEST(Dns, TruncatedMessageThrows) {
+  auto wire = encode_dns(make_a_query(1, "x.example"));
+  std::span<const std::uint8_t> cut(wire.data(), wire.size() - 3);
+  EXPECT_THROW(decode_dns(cut), ParseError);
+}
+
+TEST(Dns, OversizedLabelRejected) {
+  std::string big(64, 'a');
+  EXPECT_THROW(encode_dns(make_a_query(1, big + ".example")), ParseError);
+}
+
+TEST(DnsTable, LearnsFromResponses) {
+  DnsTable table;
+  table.observe_message(make_a_response(1, "api.wyze.example", Ipv4Addr(52, 1, 1, 1)));
+  table.observe_message(make_a_query(2, "other.example"));  // queries ignored
+  EXPECT_EQ(table.domain_of(Ipv4Addr(52, 1, 1, 1)).value(), "api.wyze.example");
+  EXPECT_FALSE(table.domain_of(Ipv4Addr(52, 2, 2, 2)).has_value());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(DnsTable, LatestMappingWins) {
+  DnsTable table;
+  table.add(Ipv4Addr(52, 1, 1, 1), "OLD.example");
+  table.add(Ipv4Addr(52, 1, 1, 1), "new.example");
+  EXPECT_EQ(table.domain_of(Ipv4Addr(52, 1, 1, 1)).value(), "new.example");
+}
+
+TEST(ReverseResolver, DeterministicNames) {
+  ReverseResolver precise(false);
+  EXPECT_EQ(precise.resolve(Ipv4Addr(52, 1, 2, 3)), precise.resolve(Ipv4Addr(52, 1, 2, 3)));
+  EXPECT_NE(precise.resolve(Ipv4Addr(52, 1, 2, 3)), precise.resolve(Ipv4Addr(52, 1, 2, 4)));
+}
+
+TEST(ReverseResolver, AliasBucketsMergeSlash24) {
+  ReverseResolver aliased(true);
+  EXPECT_EQ(aliased.resolve(Ipv4Addr(52, 1, 2, 3)), aliased.resolve(Ipv4Addr(52, 1, 2, 200)));
+  EXPECT_NE(aliased.resolve(Ipv4Addr(52, 1, 2, 3)), aliased.resolve(Ipv4Addr(52, 1, 3, 3)));
+}
+
+TEST(PacketRecord, SummaryContainsEndpoints) {
+  PacketRecord rec;
+  rec.src_ip = Ipv4Addr(1, 2, 3, 4);
+  rec.dst_ip = Ipv4Addr(5, 6, 7, 8);
+  rec.proto = Transport::kTcp;
+  rec.size = 100;
+  auto s = rec.summary();
+  EXPECT_NE(s.find("1.2.3.4"), std::string::npos);
+  EXPECT_NE(s.find("TCP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fiat::net

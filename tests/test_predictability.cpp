@@ -1,0 +1,268 @@
+// Tests for the §2.1 predictability heuristic: bucket keys, inter-arrival
+// matching, retroactive marking, interval caps, and window aggregation.
+#include <gtest/gtest.h>
+
+#include "core/predictability.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+const net::Ipv4Addr kDevice(192, 168, 1, 100);
+const net::Ipv4Addr kCloud(52, 10, 20, 30);
+
+net::PacketRecord pkt(double ts, std::uint32_t size, bool outbound = true,
+                      net::Ipv4Addr remote = kCloud, std::uint16_t sport = 50000,
+                      net::Transport proto = net::Transport::kTcp) {
+  net::PacketRecord p;
+  p.ts = ts;
+  p.size = size;
+  if (outbound) {
+    p.src_ip = kDevice;
+    p.dst_ip = remote;
+    p.src_port = sport;
+    p.dst_port = 443;
+  } else {
+    p.src_ip = remote;
+    p.dst_ip = kDevice;
+    p.src_port = 443;
+    p.dst_port = sport;
+  }
+  p.proto = proto;
+  return p;
+}
+
+// ---- bucket keys ---------------------------------------------------------------
+
+TEST(BucketKey, ClassicUsesFullSixTuple) {
+  auto a = bucket_key(pkt(0, 100, true, kCloud, 50000), kDevice, FlowMode::kClassic,
+                      nullptr, nullptr);
+  auto b = bucket_key(pkt(5, 100, true, kCloud, 50001), kDevice, FlowMode::kClassic,
+                      nullptr, nullptr);
+  EXPECT_NE(a, b);  // different source port => different Classic bucket
+  auto c = bucket_key(pkt(9, 100, true, kCloud, 50000), kDevice, FlowMode::kClassic,
+                      nullptr, nullptr);
+  EXPECT_EQ(a, c);  // timestamp is not part of the key
+}
+
+TEST(BucketKey, PortLessIgnoresPorts) {
+  auto a = bucket_key(pkt(0, 100, true, kCloud, 50000), kDevice, FlowMode::kPortLess,
+                      nullptr, nullptr);
+  auto b = bucket_key(pkt(5, 100, true, kCloud, 50001), kDevice, FlowMode::kPortLess,
+                      nullptr, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BucketKey, PortLessSeparatesDirections) {
+  auto out = bucket_key(pkt(0, 100, true), kDevice, FlowMode::kPortLess, nullptr, nullptr);
+  auto in = bucket_key(pkt(0, 100, false), kDevice, FlowMode::kPortLess, nullptr, nullptr);
+  EXPECT_NE(out, in);
+}
+
+TEST(BucketKey, PortLessSeparatesSizesAndProtocols) {
+  auto a = bucket_key(pkt(0, 100), kDevice, FlowMode::kPortLess, nullptr, nullptr);
+  auto b = bucket_key(pkt(0, 101), kDevice, FlowMode::kPortLess, nullptr, nullptr);
+  EXPECT_NE(a, b);
+  auto udp = bucket_key(pkt(0, 100, true, kCloud, 50000, net::Transport::kUdp), kDevice,
+                        FlowMode::kPortLess, nullptr, nullptr);
+  EXPECT_NE(a, udp);
+}
+
+TEST(BucketKey, PortLessUsesDomainWhenKnown) {
+  net::DnsTable dns;
+  dns.add(kCloud, "api.wyze.example");
+  auto with_dns =
+      bucket_key(pkt(0, 100), kDevice, FlowMode::kPortLess, &dns, nullptr);
+  EXPECT_NE(with_dns.find("api.wyze.example"), std::string::npos);
+  // Two replicas of the same service share one bucket via the domain.
+  net::Ipv4Addr replica(52, 10, 20, 99);
+  dns.add(replica, "api.wyze.example");
+  auto other =
+      bucket_key(pkt(1, 100, true, replica), kDevice, FlowMode::kPortLess, &dns, nullptr);
+  EXPECT_EQ(with_dns, other);
+}
+
+TEST(BucketKey, ReverseResolverFillsGaps) {
+  net::ReverseResolver reverse;
+  auto key = bucket_key(pkt(0, 100), kDevice, FlowMode::kPortLess, nullptr, &reverse);
+  EXPECT_NE(key.find("rdns.example"), std::string::npos);
+  // Private addresses are never reverse-resolved.
+  auto lan_key = bucket_key(pkt(0, 100, true, net::Ipv4Addr(192, 168, 1, 50)), kDevice,
+                            FlowMode::kPortLess, nullptr, &reverse);
+  EXPECT_NE(lan_key.find("192.168.1.50"), std::string::npos);
+}
+
+// ---- analyzer --------------------------------------------------------------------
+
+TEST(Predictability, PeriodicFlowFullyPredictable) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 20; ++i) packets.push_back(pkt(i * 30.0, 120));
+  auto result = analyze_predictability(packets, kDevice);
+  EXPECT_EQ(result.predictable_count, 20u);  // retroactive marking covers all
+  EXPECT_DOUBLE_EQ(result.ratio(), 1.0);
+}
+
+TEST(Predictability, RetroactiveMarkingOnSecondMatch) {
+  std::vector<net::PacketRecord> packets{pkt(0, 100), pkt(30, 100), pkt(60, 100)};
+  auto result = analyze_predictability(packets, kDevice);
+  // Two deltas of 30 s: the bin matches on the third packet and all three
+  // participants are marked, including the first.
+  EXPECT_TRUE(result.predictable[0]);
+  EXPECT_TRUE(result.predictable[1]);
+  EXPECT_TRUE(result.predictable[2]);
+}
+
+TEST(Predictability, TwoPacketsAloneAreUnpredictable) {
+  std::vector<net::PacketRecord> packets{pkt(0, 100), pkt(30, 100)};
+  auto result = analyze_predictability(packets, kDevice);
+  EXPECT_EQ(result.predictable_count, 0u);
+}
+
+TEST(Predictability, IrregularIntervalsStayUnpredictable) {
+  std::vector<net::PacketRecord> packets{pkt(0, 100), pkt(13, 100), pkt(100, 100),
+                                         pkt(250, 100), pkt(666, 100)};
+  auto result = analyze_predictability(packets, kDevice);
+  EXPECT_EQ(result.predictable_count, 0u);
+}
+
+TEST(Predictability, DistinctSizesDoNotShareBuckets) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 10; ++i) {
+    packets.push_back(pkt(i * 10.0, 100));
+    packets.push_back(pkt(i * 10.0 + 1.0, 200 + static_cast<std::uint32_t>(i)));
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const auto& a, const auto& b) { return a.ts < b.ts; });
+  auto result = analyze_predictability(packets, kDevice);
+  // The fixed-size flow is predictable; the changing-size packets are not.
+  EXPECT_EQ(result.predictable_count, 10u);
+}
+
+TEST(Predictability, JitterWithinBinTolerated) {
+  std::vector<net::PacketRecord> packets;
+  double t = 0;
+  sim::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    packets.push_back(pkt(t, 100));
+    t += 30.0 + rng.uniform(-0.1, 0.1);  // well within the 0.5 s bin
+  }
+  auto result = analyze_predictability(packets, kDevice);
+  EXPECT_GE(result.ratio(), 0.95);
+}
+
+TEST(Predictability, IntervalsBeyondCapNeverMatch) {
+  PredictabilityConfig config;
+  config.max_match_interval = 100.0;
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 20; ++i) packets.push_back(pkt(i * 600.0, 100));  // 10 min
+  auto result = analyze_predictability(packets, kDevice, config);
+  // Deltas exceed the cap: the paper deliberately refuses daily-scale
+  // recurrence (§3.2) and we mirror the same bound here.
+  EXPECT_EQ(result.predictable_count, 0u);
+}
+
+TEST(Predictability, ClassicMissesRotatingPorts) {
+  std::vector<net::PacketRecord> packets;
+  sim::Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    packets.push_back(
+        pkt(i * 30.0, 120, true, kCloud,
+            static_cast<std::uint16_t>(rng.uniform_int(32768, 60999))));
+  }
+  PredictabilityConfig classic;
+  classic.mode = FlowMode::kClassic;
+  EXPECT_EQ(analyze_predictability(packets, kDevice, classic).predictable_count, 0u);
+  PredictabilityConfig portless;
+  portless.mode = FlowMode::kPortLess;
+  EXPECT_EQ(analyze_predictability(packets, kDevice, portless).predictable_count, 30u);
+}
+
+TEST(Predictability, BucketStatsTrackMaxInterval) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 10; ++i) packets.push_back(pkt(i * 45.0, 100));
+  auto result = analyze_predictability(packets, kDevice);
+  ASSERT_EQ(result.buckets.size(), 1u);
+  const auto& stats = result.buckets.begin()->second;
+  EXPECT_EQ(stats.packets, 10u);
+  EXPECT_EQ(stats.predictable, 10u);
+  EXPECT_NEAR(stats.max_matched_interval, 45.0, 0.01);
+}
+
+TEST(Predictability, OutOfOrderInputThrows) {
+  PredictabilityAnalyzer analyzer(kDevice);
+  analyzer.add(pkt(10, 100));
+  EXPECT_THROW(analyzer.add(pkt(5, 100)), LogicError);
+}
+
+TEST(Predictability, BadConfigThrows) {
+  PredictabilityConfig config;
+  config.bin = 0;
+  EXPECT_THROW(PredictabilityAnalyzer(kDevice, config), LogicError);
+  config.bin = 0.5;
+  config.max_match_interval = 0;
+  EXPECT_THROW(PredictabilityAnalyzer(kDevice, config), LogicError);
+}
+
+TEST(Predictability, FinishIsIdempotentAndResumable) {
+  PredictabilityAnalyzer analyzer(kDevice);
+  for (int i = 0; i < 3; ++i) analyzer.add(pkt(i * 30.0, 100));
+  auto first = analyzer.finish();
+  EXPECT_EQ(first.predictable_count, 3u);
+  analyzer.add(pkt(90.0, 100));
+  auto second = analyzer.finish();
+  EXPECT_EQ(second.predictable_count, 4u);
+}
+
+// ---- 5-second aggregation ---------------------------------------------------------
+
+TEST(Aggregation, CollapsesWindows) {
+  std::vector<net::PacketRecord> packets;
+  // Three packets inside one 5 s window, one in the next.
+  packets.push_back(pkt(0.1, 100));
+  packets.push_back(pkt(1.2, 150));
+  packets.push_back(pkt(4.9, 50));
+  packets.push_back(pkt(5.2, 100));
+  auto agg = aggregate_windows(packets, kDevice, 5.0);
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[0].size, 300u);  // window byte sum becomes the "size"
+  EXPECT_EQ(agg[1].size, 100u);
+  EXPECT_DOUBLE_EQ(agg[0].ts, 0.0);
+  EXPECT_DOUBLE_EQ(agg[1].ts, 5.0);
+}
+
+TEST(Aggregation, SeparatesFlowIdentities) {
+  std::vector<net::PacketRecord> packets;
+  packets.push_back(pkt(0.1, 100, true));
+  packets.push_back(pkt(0.2, 100, false));  // opposite direction
+  auto agg = aggregate_windows(packets, kDevice, 5.0);
+  EXPECT_EQ(agg.size(), 2u);
+}
+
+TEST(Aggregation, OneOddPacketPoisonsTheWindow) {
+  std::vector<net::PacketRecord> packets;
+  for (int i = 0; i < 40; ++i) packets.push_back(pkt(i * 5.0 + 0.1, 100));
+  // Packet-level: fully predictable.
+  EXPECT_DOUBLE_EQ(analyze_predictability(packets, kDevice).ratio(), 1.0);
+  // Insert one odd packet into window 20: that window's sum changes and the
+  // aggregate becomes a one-off bucket (the paper's §2.2 argument).
+  packets.push_back(pkt(20 * 5.0 + 0.2, 137));
+  std::sort(packets.begin(), packets.end(),
+            [](const auto& a, const auto& b) { return a.ts < b.ts; });
+  auto agg = aggregate_windows(packets, kDevice, 5.0);
+  auto result = analyze_predictability(agg, kDevice);
+  EXPECT_LT(result.ratio(), 1.0);
+  std::size_t odd_windows = 0;
+  for (const auto& rec : agg) {
+    if (rec.size == 237) ++odd_windows;
+  }
+  EXPECT_EQ(odd_windows, 1u);
+}
+
+TEST(Aggregation, BadWindowThrows) {
+  std::vector<net::PacketRecord> packets{pkt(0, 100)};
+  EXPECT_THROW(aggregate_windows(packets, kDevice, 0.0), LogicError);
+}
+
+}  // namespace
+}  // namespace fiat::core

@@ -1,0 +1,292 @@
+// Property-based and parameterized sweeps across the stack: randomized
+// round-trips (frames, DNS, AEAD, auth messages), QuicLite under a loss-rate
+// sweep, predictability under a (period, jitter, bin) grid, and the TCP
+// delay model across delays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/auth_message.hpp"
+#include "core/predictability.hpp"
+#include "crypto/aead.hpp"
+#include "net/dns.hpp"
+#include "net/frame.hpp"
+#include "net/tls.hpp"
+#include "sim/rng.hpp"
+#include "transport/quic_lite.hpp"
+#include "transport/tcp_model.hpp"
+#include "util/error.hpp"
+
+namespace fiat {
+namespace {
+
+// ---- randomized frame round-trips ------------------------------------------------
+
+TEST(PropertyFrame, RandomSpecsRoundTrip) {
+  sim::Rng rng(101);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    net::FrameSpec spec;
+    spec.src_mac = net::MacAddr::from_index(static_cast<std::uint32_t>(rng.next()));
+    spec.dst_mac = net::MacAddr::from_index(static_cast<std::uint32_t>(rng.next()));
+    spec.src_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    spec.dst_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    spec.dst_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    spec.proto = rng.chance(0.5) ? net::Transport::kTcp : net::Transport::kUdp;
+    spec.tcp_flags = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    spec.tcp_seq = static_cast<std::uint32_t>(rng.next());
+    spec.tcp_ack = static_cast<std::uint32_t>(rng.next());
+    spec.ttl = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    spec.payload.resize(static_cast<std::size_t>(rng.uniform_int(0, 1400)));
+    rng.fill_bytes(spec.payload);
+
+    auto frame = net::build_frame(spec);
+    EXPECT_TRUE(net::verify_ipv4_checksum(frame));
+    auto parsed = net::parse_frame(frame);
+    ASSERT_TRUE(parsed.has_value()) << "iteration " << iteration;
+    EXPECT_EQ(parsed->src_ip, spec.src_ip);
+    EXPECT_EQ(parsed->dst_ip, spec.dst_ip);
+    EXPECT_EQ(parsed->src_port, spec.src_port);
+    EXPECT_EQ(parsed->dst_port, spec.dst_port);
+    EXPECT_EQ(parsed->proto, spec.proto);
+    EXPECT_EQ(parsed->ttl, spec.ttl);
+    ASSERT_EQ(parsed->payload.size(), spec.payload.size());
+    EXPECT_TRUE(std::equal(parsed->payload.begin(), parsed->payload.end(),
+                           spec.payload.begin()));
+    if (spec.proto == net::Transport::kTcp) {
+      EXPECT_EQ(parsed->tcp_flags, spec.tcp_flags);
+      EXPECT_EQ(parsed->tcp_seq, spec.tcp_seq);
+    }
+  }
+}
+
+TEST(PropertyFrame, RandomTruncationNeverCrashes) {
+  sim::Rng rng(102);
+  net::FrameSpec spec;
+  spec.src_ip = net::Ipv4Addr(1, 2, 3, 4);
+  spec.dst_ip = net::Ipv4Addr(5, 6, 7, 8);
+  spec.payload.assign(200, 0xaa);
+  auto frame = net::build_frame(spec);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size())));
+    std::span<const std::uint8_t> view(frame.data(), cut);
+    try {
+      (void)net::parse_frame(view);  // either parses or throws ParseError
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+// ---- randomized DNS round-trips ----------------------------------------------------
+
+TEST(PropertyDns, RandomNamesRoundTrip) {
+  sim::Rng rng(103);
+  const char alphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string name;
+    int labels = static_cast<int>(rng.uniform_int(1, 4));
+    for (int l = 0; l < labels; ++l) {
+      if (l) name += '.';
+      int len = static_cast<int>(rng.uniform_int(1, 30));
+      for (int c = 0; c < len; ++c) {
+        name += alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)];
+      }
+    }
+    auto id = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    auto addr = net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    auto decoded = net::decode_dns(net::encode_dns(net::make_a_response(id, name, addr)));
+    ASSERT_EQ(decoded.answers.size(), 1u);
+    EXPECT_EQ(decoded.id, id);
+    EXPECT_EQ(decoded.answers[0].name, name);
+    EXPECT_EQ(decoded.answers[0].address, addr);
+  }
+}
+
+TEST(PropertyDns, RandomBytesNeverCrash) {
+  sim::Rng rng(104);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 200)));
+    rng.fill_bytes(junk);
+    try {
+      (void)net::decode_dns(junk);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+// ---- AEAD + auth-message round-trips ------------------------------------------------
+
+TEST(PropertyCrypto, AeadRoundTripAllSizes) {
+  std::vector<std::uint8_t> key(32, 0x5c);
+  crypto::Aead aead(key);
+  sim::Rng rng(105);
+  for (std::size_t size : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u, 500u, 4096u}) {
+    std::vector<std::uint8_t> plaintext(size), aad(size % 7);
+    rng.fill_bytes(plaintext);
+    rng.fill_bytes(aad);
+    auto nonce = crypto::Aead::nonce_from_seq(size);
+    auto opened = aead.open(nonce, aad, aead.seal(nonce, aad, plaintext));
+    ASSERT_TRUE(opened.has_value()) << size;
+    EXPECT_EQ(*opened, plaintext) << size;
+  }
+}
+
+TEST(PropertyAuthMessage, RandomMessagesRoundTrip) {
+  sim::Rng rng(106);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    core::AuthMessage msg;
+    int name_len = static_cast<int>(rng.uniform_int(0, 60));
+    for (int c = 0; c < name_len; ++c) {
+      msg.app_package += static_cast<char>(rng.uniform_int(32, 126));
+    }
+    msg.capture_time = rng.normal(0, 1e6);
+    int features = static_cast<int>(rng.uniform_int(0, 64));
+    for (int f = 0; f < features; ++f) msg.features.push_back(rng.normal(0, 100));
+    EXPECT_EQ(core::decode_auth_message(core::encode_auth_message(msg)), msg);
+  }
+}
+
+// ---- QuicLite loss sweep -------------------------------------------------------------
+
+class QuicLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuicLossSweep, DeliversDespiteLoss) {
+  double loss = GetParam();
+  sim::Scheduler scheduler;
+  sim::Rng rng(107);
+  transport::Network net(scheduler, rng);
+  auto path = transport::PathProfile::lan();
+  path.loss_rate = loss;
+  net.set_path("c", "s", path);
+  net.set_path("s", "c", path);
+  std::vector<std::uint8_t> psk(32, 0x31);
+  transport::QuicServer server(
+      net, "s", [&psk](const std::string&) { return std::optional(psk); }, psk);
+  transport::QuicClient client(net, "c", "s", "id", psk, rng);
+  std::size_t delivered = 0;
+  server.set_on_message([&](const transport::QuicDelivery&) { ++delivered; });
+
+  client.connect([](double) {});
+  scheduler.run();
+  ASSERT_TRUE(client.connected()) << "loss=" << loss;
+  int acked = 0;
+  for (int i = 0; i < 20; ++i) {
+    client.send_zero_rtt({static_cast<std::uint8_t>(i)}, [&](double) { ++acked; });
+    scheduler.run();
+  }
+  // The retransmission budget (5 attempts) gives up on a message with
+  // probability (1 - (1-loss)^2)^6 — negligible below 15% loss, a few
+  // percent per message at 45%. The invariants that must hold at ANY loss:
+  // at-most-once delivery, and an ack for everything delivered... eventually
+  // (acks themselves can die with the budget, so acked <= delivered).
+  EXPECT_LE(delivered, 20u);
+  EXPECT_LE(static_cast<std::size_t>(acked), delivered);
+  if (loss <= 0.15) {
+    EXPECT_EQ(acked, 20) << "loss=" << loss;
+    EXPECT_EQ(delivered, 20u) << "loss=" << loss;
+  } else {
+    EXPECT_GE(acked, 14) << "loss=" << loss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, QuicLossSweep,
+                         ::testing::Values(0.0, 0.05, 0.15, 0.3, 0.45),
+                         [](const auto& info) {
+                           return "loss" + std::to_string(static_cast<int>(
+                                               info.param * 100));
+                         });
+
+// ---- predictability grid ---------------------------------------------------------------
+
+struct GridCase {
+  double period;
+  double jitter;
+  double bin;
+  bool expect_predictable;
+};
+
+// NOTE on the negative cases: with COARSE bins, heavily jittered traffic
+// still accumulates spurious inter-arrival matches (birthday collisions
+// across few bins) — an inherent property of the paper's heuristic, visible
+// in bench_ablation. The negative cases therefore use fine bins.
+class PredictabilityGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PredictabilityGrid, PeriodicFlowDetection) {
+  const auto& param = GetParam();
+  sim::Rng rng(108);
+  std::vector<net::PacketRecord> packets;
+  double t = 0;
+  for (int i = 0; i < 60; ++i) {
+    net::PacketRecord p;
+    p.ts = t;
+    p.size = 200;
+    p.src_ip = net::Ipv4Addr(192, 168, 1, 10);
+    p.dst_ip = net::Ipv4Addr(52, 0, 0, 1);
+    p.proto = net::Transport::kTcp;
+    packets.push_back(p);
+    t += param.period + rng.uniform(-param.jitter, param.jitter);
+  }
+  core::PredictabilityConfig config;
+  config.bin = param.bin;
+  auto result = core::analyze_predictability(packets, net::Ipv4Addr(192, 168, 1, 10),
+                                             config);
+  if (param.expect_predictable) {
+    EXPECT_GE(result.ratio(), 0.9) << "period=" << param.period;
+  } else {
+    EXPECT_LE(result.ratio(), 0.6) << "period=" << param.period;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PredictabilityGrid,
+    ::testing::Values(GridCase{10.0, 0.05, 0.5, true},    // tight beat
+                      GridCase{60.0, 0.1, 0.5, true},     // typical heartbeat
+                      GridCase{600.0, 0.5, 0.5, true},    // slow telemetry
+                      GridCase{30.0, 0.02, 0.05, true},   // fine bins, tiny jitter
+                      GridCase{30.0, 14.0, 0.1, false},   // jitter ~ period/2, fine bins
+                      GridCase{60.0, 25.0, 0.1, false}),  // hopeless jitter, fine bins
+    [](const auto& info) { return "case" + std::to_string(info.index); });
+
+// ---- TCP delay sweep ---------------------------------------------------------------------
+
+class TcpDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpDelaySweep, CompletionMatchesTimeoutRule) {
+  double delay = GetParam();
+  transport::RtoConfig config;
+  config.app_timeout = 8.0;
+  auto result = transport::simulate_delayed_command(0.06, delay, config);
+  bool should_complete = (0.06 + delay) <= config.app_timeout;
+  EXPECT_EQ(result.completed, should_complete) << "delay=" << delay;
+  if (result.completed) {
+    EXPECT_NEAR(result.completion_time, 0.06 + delay, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, TcpDelaySweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0, 7.5, 9.0, 20.0),
+                         [](const auto& info) {
+                           return "delay" + std::to_string(static_cast<int>(
+                                                info.param * 10));
+                         });
+
+// ---- TLS sniffing over random payloads ------------------------------------------------------
+
+TEST(PropertyTls, RandomPayloadsRarelyLookLikeTls) {
+  sim::Rng rng(109);
+  int false_hits = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    std::uint8_t payload[16];
+    std::span<std::uint8_t> view(payload, sizeof(payload));
+    rng.fill_bytes(view);
+    if (net::sniff_tls_version(view) != 0) ++false_hits;
+  }
+  // ~ (4/256) * (4/65536) * len-check odds: well under 1%.
+  EXPECT_LT(false_hits, kN / 100);
+}
+
+}  // namespace
+}  // namespace fiat

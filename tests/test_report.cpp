@@ -1,0 +1,121 @@
+// Tests for the §7 user-facing security report.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "gen/sensors.hpp"
+
+namespace fiat::core {
+namespace {
+
+const net::Ipv4Addr kDevice(192, 168, 1, 100);
+const net::Ipv4Addr kCloud(52, 1, 2, 3);
+
+net::PacketRecord flow_pkt(double ts) {
+  net::PacketRecord p;
+  p.ts = ts;
+  p.size = 120;
+  p.src_ip = kDevice;
+  p.dst_ip = kCloud;
+  p.src_port = 50000;
+  p.dst_port = 443;
+  p.proto = net::Transport::kTcp;
+  return p;
+}
+
+net::PacketRecord command(double ts, std::uint32_t size = 235) {
+  net::PacketRecord p;
+  p.ts = ts;
+  p.size = size;
+  p.src_ip = kCloud;
+  p.dst_ip = kDevice;
+  p.src_port = 443;
+  p.dst_port = 50001;
+  p.proto = net::Transport::kTcp;
+  return p;
+}
+
+struct Fixture {
+  core::ProxyConfig config;
+  FiatProxy proxy;
+
+  Fixture() : config(make_config()), proxy(config, HumannessVerifier::train_synthetic(3, 150)) {
+    ProxyDevice dev;
+    dev.name = "plug";
+    dev.ip = kDevice;
+    dev.allowed_prefix = 0;
+    dev.classifier = ManualEventClassifier::simple_rule(235);
+    dev.app_package = "app.plug";
+    proxy.add_device(dev);
+    for (double t = 0; t <= 110; t += 10) proxy.process(flow_pkt(t));
+  }
+  static ProxyConfig make_config() {
+    ProxyConfig cfg;
+    cfg.bootstrap_duration = 100.0;
+    return cfg;
+  }
+};
+
+TEST(SecurityReport, CountsPacketsAndEvents) {
+  Fixture f;
+  f.proxy.process(command(200.0));        // manual, unvalidated -> drop + incident
+  f.proxy.process(command(300.0, 400));   // non-manual -> allowed
+  f.proxy.flush_events();
+
+  auto report = build_security_report(f.proxy);
+  ASSERT_EQ(report.devices.size(), 1u);
+  const auto& dev = report.devices[0];
+  EXPECT_EQ(dev.device, "plug");
+  EXPECT_EQ(dev.events_total, 2u);
+  EXPECT_EQ(dev.events_manual_blocked, 1u);
+  EXPECT_EQ(dev.events_non_manual, 1u);
+  EXPECT_GT(dev.packets_allowed, 10u);  // bootstrap + rules + non-manual event
+  EXPECT_EQ(dev.packets_dropped, 1u);
+}
+
+TEST(SecurityReport, IncidentsChronologicalWithDescriptions) {
+  Fixture f;
+  f.proxy.process(command(500.0));
+  f.proxy.process(command(200.0 + 1e4));  // later attack (times only rise per bucket)
+  f.proxy.flush_events();
+  auto report = build_security_report(f.proxy);
+  ASSERT_GE(report.incidents.size(), 2u);
+  for (std::size_t i = 1; i < report.incidents.size(); ++i) {
+    EXPECT_LE(report.incidents[i - 1].ts, report.incidents[i].ts);
+  }
+  EXPECT_NE(report.incidents[0].description.find("no human"), std::string::npos);
+}
+
+TEST(SecurityReport, LockoutBecomesIncident) {
+  Fixture f;
+  for (int i = 0; i < 3; ++i) f.proxy.process(command(200.0 + i * 20));
+  f.proxy.process(flow_pkt(300.0));  // dropped under lockout
+  f.proxy.flush_events();
+  auto report = build_security_report(f.proxy);
+  bool saw_lockout = false;
+  for (const auto& incident : report.incidents) {
+    if (incident.description.find("lockout") != std::string::npos) saw_lockout = true;
+  }
+  EXPECT_TRUE(saw_lockout);
+}
+
+TEST(SecurityReport, RenderContainsTheStory) {
+  Fixture f;
+  f.proxy.process(command(200.0));
+  f.proxy.flush_events();
+  auto text = build_security_report(f.proxy).render();
+  EXPECT_NE(text.find("FIAT security report"), std::string::npos);
+  EXPECT_NE(text.find("plug"), std::string::npos);
+  EXPECT_NE(text.find("incidents"), std::string::npos);
+  EXPECT_NE(text.find("no human"), std::string::npos);
+}
+
+TEST(SecurityReport, CleanProxyHasNoIncidents) {
+  Fixture f;
+  f.proxy.flush_events();
+  auto report = build_security_report(f.proxy);
+  EXPECT_TRUE(report.incidents.empty());
+  EXPECT_NE(report.render().find("incidents: none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fiat::core

@@ -1,0 +1,207 @@
+// Unit + property tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace fiat::sim {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool any_diff = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.5, 7.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveAndCoversRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(2, 1), LogicError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(7);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(8);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.exponential(3.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 3.0, 0.08);
+}
+
+TEST(Rng, ExponentialBadMeanThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.exponential(0.0), LogicError);
+  EXPECT_THROW(rng.exponential(-1.0), LogicError);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(10);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.poisson(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_THROW(rng.poisson(-1.0), LogicError);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(rng.lognormal(1.0, 0.5));
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(14);
+  double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 40000, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexBadWeightsThrows) {
+  Rng rng(15);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), LogicError);
+}
+
+TEST(Rng, FillBytesCoversAllPositions) {
+  Rng rng(16);
+  std::vector<std::uint8_t> buf(100, 0);
+  rng.fill_bytes(buf);
+  int nonzero = 0;
+  for (auto b : buf) {
+    if (b != 0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 80);  // all-zero bytes would be astronomically unlikely
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(17);
+  Rng child = parent.fork();
+  // The child stream should differ from the parent's continued stream.
+  bool differs = false;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.next() != child.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(18);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto orig = v;
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ShuffleHandlesSmallInputs) {
+  Rng rng(19);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  std::vector<int> one{5};
+  rng.shuffle(one);
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fiat::sim

@@ -1,0 +1,166 @@
+// Tests for the online rule table (§5.4 rules creation / access control)
+// and the §7 device-to-device DAG.
+#include <gtest/gtest.h>
+
+#include "core/rules.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+namespace {
+
+const net::Ipv4Addr kDevice(192, 168, 1, 100);
+const net::Ipv4Addr kCloud(52, 1, 2, 3);
+
+net::PacketRecord pkt(double ts, std::uint32_t size = 120) {
+  net::PacketRecord p;
+  p.ts = ts;
+  p.size = size;
+  p.src_ip = kDevice;
+  p.dst_ip = kCloud;
+  p.src_port = 50000;
+  p.dst_port = 443;
+  p.proto = net::Transport::kTcp;
+  return p;
+}
+
+TEST(RuleTable, LearnsAfterTwoMatchingIntervals) {
+  RuleTable rules(kDevice);
+  rules.learn(pkt(0));
+  EXPECT_EQ(rules.rule_count(), 0u);
+  rules.learn(pkt(30));  // first delta: seen once
+  EXPECT_EQ(rules.rule_count(), 0u);
+  rules.learn(pkt(60));  // second delta: rule
+  EXPECT_EQ(rules.rule_count(), 1u);
+  EXPECT_TRUE(rules.match(pkt(90)));
+}
+
+TEST(RuleTable, MissWithoutRule) {
+  RuleTable rules(kDevice);
+  rules.learn(pkt(0));
+  rules.learn(pkt(30));
+  EXPECT_FALSE(rules.match(pkt(77)));   // unseen interval
+  EXPECT_FALSE(rules.match(pkt(300)));  // still no rule for this bucket
+}
+
+TEST(RuleTable, MissUpdatesTimingState) {
+  RuleTable rules(kDevice);
+  rules.learn(pkt(0));
+  rules.learn(pkt(30));
+  rules.learn(pkt(60));
+  // A late packet misses, but the following on-schedule packet is measured
+  // against the late one, so the flow recovers only when the rhythm resumes.
+  EXPECT_FALSE(rules.match(pkt(200)));
+  EXPECT_TRUE(rules.match(pkt(230)));
+}
+
+TEST(RuleTable, MatchAndLearnPromotesOverTime) {
+  RuleTable rules(kDevice);
+  EXPECT_FALSE(rules.match_and_learn(pkt(0)));
+  EXPECT_FALSE(rules.match_and_learn(pkt(30)));   // first delta
+  EXPECT_FALSE(rules.match_and_learn(pkt(60)));   // second: promoted now
+  EXPECT_TRUE(rules.match_and_learn(pkt(90)));    // hit
+  EXPECT_EQ(rules.rule_count(), 1u);
+}
+
+TEST(RuleTable, OnlinePromotionRefusesFastRhythms) {
+  // An attacker blasting identical packets at a constant sub-second pace
+  // must never earn an allow rule post-bootstrap.
+  RuleTable rules(kDevice);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rules.match_and_learn(pkt(i * 0.2, 999)));
+  }
+  EXPECT_EQ(rules.rule_count(), 0u);
+  // Bootstrap learning is exempt: streams learned there still match.
+  RuleTable trusted(kDevice);
+  for (int i = 0; i < 3; ++i) trusted.learn(pkt(i * 0.2, 999));
+  EXPECT_TRUE(trusted.match(pkt(0.6, 999)));
+}
+
+TEST(RuleTable, IntervalCapApplies) {
+  RuleTableConfig config;
+  config.max_match_interval = 100.0;
+  RuleTable rules(kDevice, config);
+  for (double t : {0.0, 600.0, 1200.0, 1800.0}) rules.learn(pkt(t));
+  EXPECT_EQ(rules.rule_count(), 0u);
+  EXPECT_FALSE(rules.match(pkt(2400)));
+}
+
+TEST(RuleTable, SeparateBucketsSeparateRules) {
+  RuleTable rules(kDevice);
+  for (double t : {0.0, 30.0, 60.0}) rules.learn(pkt(t, 120));
+  for (double t : {1.0, 61.0, 121.0}) rules.learn(pkt(t, 480));
+  EXPECT_EQ(rules.rule_count(), 2u);
+  EXPECT_EQ(rules.bucket_count(), 2u);
+  EXPECT_TRUE(rules.match(pkt(90, 120)));
+  EXPECT_FALSE(rules.match(pkt(135, 120)));  // 45 s is not this flow's rhythm
+}
+
+TEST(RuleTable, UsesDnsForPortlessKeys) {
+  net::DnsTable dns;
+  dns.add(kCloud, "api.example");
+  net::Ipv4Addr replica(52, 9, 9, 9);
+  dns.add(replica, "api.example");
+  RuleTableConfig config;
+  config.dns = &dns;
+  RuleTable rules(kDevice, config);
+  rules.learn(pkt(0));
+  rules.learn(pkt(30));
+  rules.learn(pkt(60));
+  // Replica IP maps to the same domain => same bucket => rule hit.
+  net::PacketRecord via_replica = pkt(90);
+  via_replica.dst_ip = replica;
+  EXPECT_TRUE(rules.match(via_replica));
+}
+
+TEST(RuleTable, BadBinThrows) {
+  RuleTableConfig config;
+  config.bin = 0;
+  EXPECT_THROW(RuleTable(kDevice, config), LogicError);
+}
+
+// ---- DAG ---------------------------------------------------------------------
+
+TEST(DeviceDag, DirectionalEdges) {
+  DeviceDag dag;
+  net::Ipv4Addr alexa(192, 168, 1, 10), bulb(192, 168, 1, 11);
+  dag.add_edge(alexa, bulb);
+  EXPECT_TRUE(dag.allows(alexa, bulb));
+  EXPECT_FALSE(dag.allows(bulb, alexa));  // unidirectional (§7)
+  EXPECT_EQ(dag.edge_count(), 1u);
+}
+
+TEST(DeviceDag, RejectsSelfEdge) {
+  DeviceDag dag;
+  net::Ipv4Addr a(10, 0, 0, 1);
+  EXPECT_THROW(dag.add_edge(a, a), LogicError);
+}
+
+TEST(DeviceDag, RejectsTwoNodeCycle) {
+  DeviceDag dag;
+  net::Ipv4Addr a(10, 0, 0, 1), b(10, 0, 0, 2);
+  dag.add_edge(a, b);
+  EXPECT_THROW(dag.add_edge(b, a), LogicError);
+}
+
+TEST(DeviceDag, RejectsTransitiveCycle) {
+  DeviceDag dag;
+  net::Ipv4Addr a(10, 0, 0, 1), b(10, 0, 0, 2), c(10, 0, 0, 3);
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  EXPECT_THROW(dag.add_edge(c, a), LogicError);
+  // Forward edges along the hierarchy remain fine.
+  dag.add_edge(a, c);
+  EXPECT_EQ(dag.edge_count(), 3u);
+}
+
+TEST(DeviceDag, AllowsIsDirectEdgeOnly) {
+  DeviceDag dag;
+  net::Ipv4Addr a(10, 0, 0, 1), b(10, 0, 0, 2), c(10, 0, 0, 3);
+  dag.add_edge(a, b);
+  dag.add_edge(b, c);
+  // a->c traffic is NOT whitelisted implicitly; each hop needs its own rule.
+  EXPECT_FALSE(dag.allows(a, c));
+}
+
+}  // namespace
+}  // namespace fiat::core

@@ -1,0 +1,116 @@
+// Unit tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace fiat::sim {
+namespace {
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(3.0, [&] { order.push_back(3); });
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesRunInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, NowAdvancesWithEvents) {
+  Scheduler s;
+  double seen = -1;
+  s.at(2.5, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler s;
+  double seen = -1;
+  s.at(1.0, [&] {
+    s.after(0.5, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(seen, 1.5);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  double seen = -1;
+  s.at(5.0, [&] {
+    s.at(1.0, [&] { seen = s.now(); });  // in the past: runs "now"
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Scheduler, NegativeDelayClampsToZero) {
+  Scheduler s;
+  bool ran = false;
+  s.after(-3.0, [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Scheduler, RunUntilLeavesLaterEvents) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(10.0, [&] { order.push_back(10); });
+  EXPECT_EQ(s.run_until(5.0), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+}
+
+TEST(Scheduler, ActionsCanScheduleMoreActions) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) s.after(1.0, chain);
+  };
+  s.after(1.0, chain);
+  s.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(s.now(), 10.0);
+}
+
+TEST(Scheduler, EmptyActionThrows) {
+  Scheduler s;
+  EXPECT_THROW(s.at(1.0, nullptr), LogicError);
+}
+
+TEST(Scheduler, EmptyAndPending) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  s.at(1.0, [] {});
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RunReturnsEventCount) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  EXPECT_EQ(s.run(), 7u);
+  EXPECT_EQ(s.run(), 0u);
+}
+
+}  // namespace
+}  // namespace fiat::sim

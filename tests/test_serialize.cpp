@@ -1,0 +1,187 @@
+// Tests for model serialization and the §7 model registry.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/event_dataset.hpp"
+#include "core/model_registry.hpp"
+#include "gen/testbed.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/nearest_centroid.hpp"
+#include "ml/scaler.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace fiat {
+namespace {
+
+ml::Dataset small_blobs(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  ml::Dataset data;
+  for (int i = 0; i < 60; ++i) {
+    data.add({rng.normal(0, 1), rng.normal(0, 1)}, 0);
+    data.add({rng.normal(4, 1), rng.normal(4, 1)}, 1);
+  }
+  return data;
+}
+
+TEST(Serialize, ScalerRoundTrip) {
+  auto data = small_blobs(1);
+  ml::StandardScaler scaler;
+  scaler.fit(data);
+  util::ByteWriter w;
+  scaler.save(w);
+  util::ByteReader r(w.bytes());
+  auto loaded = ml::StandardScaler::load(r);
+  EXPECT_EQ(loaded.mean(), scaler.mean());
+  EXPECT_EQ(loaded.stddev(), scaler.stddev());
+  EXPECT_EQ(loaded.transform(ml::Row{1.0, 2.0}), scaler.transform(ml::Row{1.0, 2.0}));
+}
+
+TEST(Serialize, BernoulliNbRoundTrip) {
+  auto data = small_blobs(2);
+  ml::BernoulliNB model;
+  model.fit(data);
+  util::ByteWriter w;
+  model.save(w);
+  util::ByteReader r(w.bytes());
+  auto loaded = ml::BernoulliNB::load(r);
+  for (const auto& row : data.X) {
+    EXPECT_EQ(loaded.predict(row), model.predict(row));
+    EXPECT_EQ(loaded.log_scores(row), model.log_scores(row));
+  }
+}
+
+TEST(Serialize, DecisionTreeRoundTrip) {
+  auto data = small_blobs(3);
+  ml::TreeConfig config;
+  config.max_depth = 5;
+  ml::DecisionTree tree(config);
+  tree.fit(data);
+  util::ByteWriter w;
+  tree.save(w);
+  util::ByteReader r(w.bytes());
+  auto loaded = ml::DecisionTree::load(r);
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  EXPECT_EQ(loaded.depth(), tree.depth());
+  for (const auto& row : data.X) {
+    EXPECT_EQ(loaded.predict(row), tree.predict(row));
+  }
+}
+
+TEST(Serialize, CorruptInputRejected) {
+  auto data = small_blobs(4);
+  ml::BernoulliNB model;
+  model.fit(data);
+  util::ByteWriter w;
+  model.save(w);
+  auto bytes = w.take();
+  // Wrong magic.
+  bytes[0] ^= 0xff;
+  util::ByteReader r1(bytes);
+  EXPECT_THROW(ml::BernoulliNB::load(r1), ParseError);
+  // Truncation.
+  bytes[0] ^= 0xff;
+  util::ByteReader r2(std::span<const std::uint8_t>(bytes.data(), bytes.size() / 2));
+  EXPECT_THROW(ml::BernoulliNB::load(r2), ParseError);
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen::LocationEnv env("US");
+    gen::TraceConfig config;
+    config.duration_days = 6;
+    config.seed = 21;
+    config.manual_per_day_override = 5.0;
+    trace_ = new gen::LabeledTrace(
+        gen::generate_trace(gen::profile_by_name("EchoDot4"), env, config));
+    classifier_ = new core::ManualEventClassifier(core::ManualEventClassifier::train(
+        core::extract_labeled_events(*trace_), trace_->device_ip));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete classifier_;
+  }
+  static gen::LabeledTrace* trace_;
+  static core::ManualEventClassifier* classifier_;
+};
+
+gen::LabeledTrace* RegistryTest::trace_ = nullptr;
+core::ManualEventClassifier* RegistryTest::classifier_ = nullptr;
+
+TEST_F(RegistryTest, ClassifierBlobRoundTrip) {
+  auto blob = classifier_->save();
+  auto loaded = core::ManualEventClassifier::load(blob);
+  auto events = core::extract_labeled_events(*trace_);
+  for (std::size_t i = 0; i < 25 && i < events.size(); ++i) {
+    EXPECT_EQ(loaded.classify(events[i].event, trace_->device_ip),
+              classifier_->classify(events[i].event, trace_->device_ip));
+  }
+}
+
+TEST_F(RegistryTest, SimpleRuleBlobRoundTrip) {
+  auto rule = core::ManualEventClassifier::simple_rule(267);
+  auto loaded = core::ManualEventClassifier::load(rule.save());
+  EXPECT_TRUE(loaded.uses_simple_rule());
+}
+
+TEST_F(RegistryTest, NonBernoulliModelRefusesToSerialize) {
+  auto ncc_based = core::ManualEventClassifier::train(
+      core::extract_labeled_events(*trace_), trace_->device_ip,
+      std::make_unique<ml::NearestCentroid>());
+  EXPECT_THROW(ncc_based.save(), LogicError);
+}
+
+TEST_F(RegistryTest, PutGetResolve) {
+  core::ModelRegistry registry;
+  registry.put("EchoDot4", "1.0.0", *classifier_);
+  registry.put("EchoDot4", "1.2.0", *classifier_);
+  registry.put("SP10", "2.0", core::ManualEventClassifier::simple_rule(235));
+  EXPECT_EQ(registry.size(), 3u);
+
+  EXPECT_TRUE(registry.get("EchoDot4", "1.0.0").has_value());
+  EXPECT_FALSE(registry.get("EchoDot4", "9.9").has_value());
+  EXPECT_FALSE(registry.get("Toaster", "1").has_value());
+  // resolve: exact version miss falls back to newest for the model.
+  EXPECT_TRUE(registry.resolve("EchoDot4", "9.9").has_value());
+  EXPECT_FALSE(registry.resolve("Toaster", "1").has_value());
+  auto plug = registry.resolve("SP10", "anything");
+  ASSERT_TRUE(plug.has_value());
+  EXPECT_TRUE(plug->uses_simple_rule());
+}
+
+TEST_F(RegistryTest, FileRoundTrip) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("fiat_registry_" + std::to_string(::getpid()) + ".bin"))
+                         .string();
+  core::ModelRegistry registry;
+  registry.put("EchoDot4", "1.0.0", *classifier_);
+  registry.put("WP3", "3.1", core::ManualEventClassifier::simple_rule(235));
+  registry.save_file(path);
+
+  auto loaded = core::ModelRegistry::load_file(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.keys(), registry.keys());
+  auto clf = loaded.get("EchoDot4", "1.0.0");
+  ASSERT_TRUE(clf.has_value());
+  auto events = core::extract_labeled_events(*trace_);
+  EXPECT_EQ(clf->classify(events[0].event, trace_->device_ip),
+            classifier_->classify(events[0].event, trace_->device_ip));
+  std::remove(path.c_str());
+}
+
+TEST_F(RegistryTest, CorruptRegistryRejected) {
+  core::ModelRegistry registry;
+  registry.put("X", "1", core::ManualEventClassifier::simple_rule(100));
+  auto blob = registry.save();
+  blob.pop_back();
+  EXPECT_THROW(core::ModelRegistry::load(blob), ParseError);
+  std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_THROW(core::ModelRegistry::load(garbage), ParseError);
+}
+
+}  // namespace
+}  // namespace fiat

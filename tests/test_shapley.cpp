@@ -1,0 +1,91 @@
+// Tests for Monte-Carlo Shapley attribution (§7 future work).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/shapley.hpp"
+#include "util/error.hpp"
+
+namespace fiat::ml {
+namespace {
+
+Dataset uniform_background(std::size_t n, std::size_t d, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Row row;
+    for (std::size_t j = 0; j < d; ++j) row.push_back(rng.uniform(-1.0, 1.0));
+    data.add(std::move(row), 0);
+  }
+  return data;
+}
+
+TEST(Shapley, LinearModelRecoversExactValues) {
+  // For v(x) = 2*x0 - 3*x1 + 0*x2, the Shapley value of feature j at x is
+  // w_j * (x_j - E[background x_j]) — exact for additive models.
+  ValueFn v = [](std::span<const double> x) { return 2 * x[0] - 3 * x[1] + 0 * x[2]; };
+  Dataset background = uniform_background(300, 3, 1);
+  Row means(3, 0.0);
+  for (const auto& row : background.X) {
+    for (std::size_t j = 0; j < 3; ++j) means[j] += row[j] / 300.0;
+  }
+  Row instance{1.0, -0.5, 0.7};
+  auto attributions = shapley_values(v, background, instance, 1500, 2);
+  ASSERT_EQ(attributions.size(), 3u);
+  EXPECT_NEAR(attributions[0].value, 2 * (instance[0] - means[0]), 0.08);
+  EXPECT_NEAR(attributions[1].value, -3 * (instance[1] - means[1]), 0.08);
+  EXPECT_NEAR(attributions[2].value, 0.0, 0.08);
+}
+
+TEST(Shapley, EfficiencyPropertyHolds) {
+  // Sum of attributions == v(x) - E_background[v] (exact for the sampling
+  // estimator in expectation; tight for enough permutations).
+  ValueFn v = [](std::span<const double> x) {
+    return std::tanh(x[0]) * x[1] + 0.5 * x[2] * x[2];  // non-additive
+  };
+  Dataset background = uniform_background(100, 3, 3);
+  Row instance{0.8, -0.9, 0.4};
+  auto attributions = shapley_values(v, background, instance, 2000, 4);
+  EXPECT_LT(shapley_efficiency_gap(attributions, v, background, instance), 0.03);
+}
+
+TEST(Shapley, SymmetryForIdenticalFeatures) {
+  ValueFn v = [](std::span<const double> x) { return x[0] + x[1]; };
+  Dataset background = uniform_background(200, 2, 5);
+  Row instance{0.6, 0.6};
+  auto attributions = shapley_values(v, background, instance, 1500, 6);
+  EXPECT_NEAR(attributions[0].value, attributions[1].value, 0.05);
+}
+
+TEST(Shapley, WorksWithBernoulliNb) {
+  // Feature 0 is the class signal; feature 1 is noise.
+  sim::Rng rng(7);
+  Dataset data;
+  data.feature_names = {"signal", "noise"};
+  for (int i = 0; i < 200; ++i) {
+    data.add({rng.chance(0.9) ? 1.0 : -1.0, rng.uniform(-1, 1)}, 1);
+    data.add({rng.chance(0.1) ? 1.0 : -1.0, rng.uniform(-1, 1)}, 0);
+  }
+  BernoulliNB model;
+  model.fit(data);
+  ValueFn v = bernoulli_nb_probability(model, 1);
+  Row manual_like{1.0, 0.0};
+  auto attributions = shapley_values(v, data, manual_like, 300, 8);
+  EXPECT_GT(attributions[0].value, 0.2);                    // signal raises P(1)
+  EXPECT_LT(std::fabs(attributions[1].value), 0.05);        // noise contributes ~0
+  EXPECT_EQ(attributions[0].name, "signal");
+}
+
+TEST(Shapley, InputValidation) {
+  ValueFn v = [](std::span<const double> x) { return x[0]; };
+  Dataset background = uniform_background(10, 1, 9);
+  Row instance{0.5};
+  EXPECT_THROW(shapley_values(nullptr, background, instance, 10, 1), LogicError);
+  EXPECT_THROW(shapley_values(v, Dataset{}, instance, 10, 1), LogicError);
+  Row wrong_dim{0.5, 0.5};
+  EXPECT_THROW(shapley_values(v, background, wrong_dim, 10, 1), LogicError);
+  EXPECT_THROW(shapley_values(v, background, instance, 0, 1), LogicError);
+}
+
+}  // namespace
+}  // namespace fiat::ml

@@ -1,0 +1,330 @@
+// Transport tests: path models, the simulated network, QuicLite handshake /
+// 0-RTT / replay defence / authentication failures, and the TCP models.
+#include <gtest/gtest.h>
+
+#include "transport/netpath.hpp"
+#include "transport/network.hpp"
+#include "transport/quic_lite.hpp"
+#include "transport/tcp_model.hpp"
+#include "util/error.hpp"
+
+namespace fiat::transport {
+namespace {
+
+PathProfile instant_path() {
+  PathProfile p;
+  p.name = "instant";
+  p.base_owd = 0.001;
+  p.jitter_mu = -20.0;  // ~0 jitter
+  p.jitter_sigma = 0.1;
+  p.loss_rate = 0.0;
+  return p;
+}
+
+// ---- NetPath -----------------------------------------------------------------
+
+TEST(NetPath, DelaysAboveBase) {
+  sim::Rng rng(1);
+  NetPath path(PathProfile::lan());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(path.sample_owd(rng), path.profile().base_owd);
+  }
+}
+
+TEST(NetPath, MobileSlowerThanLan) {
+  sim::Rng rng(2);
+  NetPath lan(PathProfile::lan()), mobile(PathProfile::mobile());
+  double lan_sum = 0, mobile_sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    lan_sum += lan.sample_owd(rng);
+    mobile_sum += mobile.sample_owd(rng);
+  }
+  EXPECT_GT(mobile_sum, 5.0 * lan_sum);
+}
+
+TEST(NetPath, LossRateApproximatelyRespected) {
+  sim::Rng rng(3);
+  PathProfile p = instant_path();
+  p.loss_rate = 0.1;
+  NetPath path(p);
+  int losses = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (path.sample_loss(rng)) ++losses;
+  }
+  EXPECT_NEAR(losses / 20000.0, 0.1, 0.01);
+}
+
+// ---- Network -----------------------------------------------------------------
+
+TEST(Network, DeliversInOrderOfArrival) {
+  sim::Scheduler scheduler;
+  sim::Rng rng(4);
+  Network net(scheduler, rng);
+  std::vector<std::string> received;
+  net.attach("b", [&](const EndpointId& from, util::Bytes data) {
+    received.push_back(from + ":" + std::string(data.begin(), data.end()));
+  });
+  net.set_path("a", "b", instant_path());
+  net.send("a", "b", {'h', 'i'});
+  net.send("a", "b", {'y', 'o'});
+  scheduler.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "a:hi");
+  EXPECT_EQ(net.datagrams_sent(), 2u);
+}
+
+TEST(Network, MissingPathThrows) {
+  sim::Scheduler scheduler;
+  sim::Rng rng(5);
+  Network net(scheduler, rng);
+  net.attach("b", [](const EndpointId&, util::Bytes) {});
+  EXPECT_THROW(net.send("a", "b", {1}), LogicError);
+}
+
+TEST(Network, UnknownDestinationCountsDropped) {
+  sim::Scheduler scheduler;
+  sim::Rng rng(6);
+  Network net(scheduler, rng);
+  net.set_path("a", "ghost", instant_path());
+  net.send("a", "ghost", {1});
+  scheduler.run();
+  EXPECT_EQ(net.datagrams_dropped(), 1u);
+}
+
+TEST(Network, LossyPathDropsSome) {
+  sim::Scheduler scheduler;
+  sim::Rng rng(7);
+  Network net(scheduler, rng);
+  int received = 0;
+  net.attach("b", [&](const EndpointId&, util::Bytes) { ++received; });
+  PathProfile lossy = instant_path();
+  lossy.loss_rate = 0.5;
+  net.set_path("a", "b", lossy);
+  for (int i = 0; i < 1000; ++i) net.send("a", "b", {1});
+  scheduler.run();
+  EXPECT_GT(received, 300);
+  EXPECT_LT(received, 700);
+}
+
+TEST(Network, EmptyCallbackRejected) {
+  sim::Scheduler scheduler;
+  sim::Rng rng(8);
+  Network net(scheduler, rng);
+  EXPECT_THROW(net.attach("x", nullptr), LogicError);
+}
+
+// ---- QuicLite -------------------------------------------------------------------
+
+struct QuicHarness {
+  sim::Scheduler scheduler;
+  sim::Rng rng{42};
+  Network net{scheduler, rng};
+  std::vector<std::uint8_t> psk = std::vector<std::uint8_t>(32, 0x5a);
+  QuicServer server;
+  QuicClient client;
+  std::vector<QuicDelivery> deliveries;
+
+  explicit QuicHarness(PathProfile path = PathProfile::lan(),
+                       std::string client_id = "phone-1")
+      : server(net, "server",
+               [this, client_id](const std::string& id)
+                   -> std::optional<std::vector<std::uint8_t>> {
+                 if (id == client_id) return psk;
+                 return std::nullopt;
+               },
+               std::span<const std::uint8_t>(psk.data(), psk.size())),
+        client(net, "client", "server", client_id, psk, rng) {
+    net.set_path("client", "server", path);
+    net.set_path("server", "client", path);
+    server.set_on_message([this](const QuicDelivery& d) { deliveries.push_back(d); });
+  }
+};
+
+TEST(QuicLite, HandshakeCompletesAndMintsTicket) {
+  QuicHarness h;
+  double connect_time = -1;
+  h.client.connect([&](double t) { connect_time = t; });
+  h.scheduler.run();
+  EXPECT_TRUE(h.client.connected());
+  EXPECT_TRUE(h.client.has_ticket());
+  EXPECT_GT(connect_time, 0.0);
+  EXPECT_EQ(h.server.handshakes_completed(), 1u);
+}
+
+TEST(QuicLite, OneRttDataDeliveredAndAcked) {
+  QuicHarness h;
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  double ack_time = -1;
+  h.client.send({'c', 'm', 'd'}, [&](double t) { ack_time = t; });
+  h.scheduler.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0].client_id, "phone-1");
+  EXPECT_FALSE(h.deliveries[0].zero_rtt);
+  EXPECT_EQ(h.deliveries[0].data, (util::Bytes{'c', 'm', 'd'}));
+  EXPECT_GT(ack_time, 0.0);
+}
+
+TEST(QuicLite, ZeroRttRequiresTicket) {
+  QuicHarness h;
+  EXPECT_FALSE(h.client.send_zero_rtt({'x'}, [](double) {}));
+}
+
+TEST(QuicLite, ZeroRttDeliversEarlyData) {
+  QuicHarness h;
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  h.client.send_zero_rtt({'e', 'd'}, [](double) {});
+  h.scheduler.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_TRUE(h.deliveries[0].zero_rtt);
+  EXPECT_EQ(h.server.zero_rtt_accepted(), 1u);
+}
+
+TEST(QuicLite, ZeroRttFasterThanHandshakePlusData) {
+  QuicHarness h;
+  double hs_time = 0;
+  h.client.connect([&](double t) { hs_time = t; });
+  h.scheduler.run();
+  double zr_ack = 0;
+  h.client.send_zero_rtt({'x'}, [&](double t) { zr_ack = t; });
+  h.scheduler.run();
+  // One 0-RTT exchange costs about one RTT; handshake + data costs two.
+  EXPECT_LT(zr_ack, 1.6 * hs_time);
+}
+
+TEST(QuicLite, ReplayedZeroRttBlocked) {
+  QuicHarness h;
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  h.client.send_zero_rtt({'o', 'k'}, [](double) {});
+  h.scheduler.run();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  // An on-path attacker re-sends the exact datagram.
+  EXPECT_TRUE(h.client.replay_last_zero_rtt());
+  h.scheduler.run();
+  EXPECT_EQ(h.deliveries.size(), 1u);  // not delivered twice
+  EXPECT_GE(h.server.zero_rtt_replays_blocked(), 1u);
+}
+
+TEST(QuicLite, FreshZeroRttAfterReplayStillWorks) {
+  QuicHarness h;
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  h.client.send_zero_rtt({'a'}, [](double) {});
+  h.scheduler.run();
+  h.client.replay_last_zero_rtt();
+  h.scheduler.run();
+  h.client.send_zero_rtt({'b'}, [](double) {});
+  h.scheduler.run();
+  EXPECT_EQ(h.deliveries.size(), 2u);
+}
+
+TEST(QuicLite, UnknownClientRejected) {
+  QuicHarness h(PathProfile::lan(), "phone-1");
+  QuicClient stranger(h.net, "stranger", "server", "phone-unknown", h.psk, h.rng);
+  h.net.set_path("stranger", "server", instant_path());
+  h.net.set_path("server", "stranger", instant_path());
+  bool connected = false;
+  stranger.connect([&](double) { connected = true; });
+  h.scheduler.run();
+  EXPECT_FALSE(connected);
+  EXPECT_GE(h.server.auth_failures(), 1u);
+}
+
+TEST(QuicLite, WrongPskRejected) {
+  QuicHarness h;
+  std::vector<std::uint8_t> wrong_psk(32, 0x77);
+  QuicClient imposter(h.net, "imposter", "server", "phone-1", wrong_psk, h.rng);
+  h.net.set_path("imposter", "server", instant_path());
+  h.net.set_path("server", "imposter", instant_path());
+  bool connected = false;
+  imposter.connect([&](double) { connected = true; });
+  h.scheduler.run_until(10.0);
+  EXPECT_FALSE(connected);
+  EXPECT_GE(h.server.auth_failures(), 1u);
+}
+
+TEST(QuicLite, GarbageDatagramIgnored) {
+  QuicHarness h;
+  h.net.send("client", "server", {0xde, 0xad});
+  h.scheduler.run();
+  EXPECT_EQ(h.deliveries.size(), 0u);
+}
+
+TEST(QuicLite, SurvivesLossViaRetransmission) {
+  PathProfile lossy = PathProfile::lan();
+  lossy.loss_rate = 0.3;
+  QuicHarness h(lossy);
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  ASSERT_TRUE(h.client.connected());
+  int acked = 0;
+  for (int i = 0; i < 10; ++i) {
+    h.client.send({static_cast<std::uint8_t>(i)}, [&](double) { ++acked; });
+    h.scheduler.run();
+  }
+  EXPECT_EQ(acked, 10);
+}
+
+TEST(QuicLite, SendBeforeConnectThrows) {
+  QuicHarness h;
+  EXPECT_THROW(h.client.send({'x'}, [](double) {}), LogicError);
+}
+
+// ---- TCP models -----------------------------------------------------------------
+
+TEST(TcpModel, TlsAddsARoundTrip) {
+  sim::Rng rng(9);
+  NetPath path(instant_path());
+  double plain = 0, tls = 0;
+  for (int i = 0; i < 500; ++i) {
+    plain += sample_tcp_first_byte(rng, path, false);
+    tls += sample_tcp_first_byte(rng, path, true);
+  }
+  EXPECT_GT(tls, plain);
+}
+
+TEST(TcpModel, NoDelayCompletesWithoutRetransmit) {
+  auto r = simulate_delayed_command(0.05, 0.0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.retransmissions, 0);
+  EXPECT_NEAR(r.completion_time, 0.05, 1e-9);
+}
+
+TEST(TcpModel, ModerateDelayAbsorbedByRetransmits) {
+  auto r = simulate_delayed_command(0.05, 2.0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.retransmissions, 1);
+  EXPECT_NEAR(r.completion_time, 2.05, 1e-9);
+}
+
+TEST(TcpModel, AppTimeoutKillsLargeDelay) {
+  RtoConfig config;
+  config.app_timeout = 5.0;
+  auto r = simulate_delayed_command(0.05, 6.0, config);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(TcpModel, RetryBudgetKillsHugeDelay) {
+  RtoConfig config;
+  config.app_timeout = 1e9;  // only the retry budget binds
+  config.max_retries = 2;
+  auto r = simulate_delayed_command(0.05, 30.0, config);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.retransmissions, 3);  // the violating attempt is counted
+}
+
+TEST(TcpModel, RetransmissionsMonotoneInDelay) {
+  int prev = -1;
+  for (double delay : {0.0, 0.5, 1.5, 3.5, 7.5}) {
+    RtoConfig config;
+    config.app_timeout = 1e9;
+    auto r = simulate_delayed_command(0.05, delay, config);
+    EXPECT_GE(r.retransmissions, prev);
+    prev = r.retransmissions;
+  }
+}
+
+}  // namespace
+}  // namespace fiat::transport

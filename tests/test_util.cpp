@@ -1,0 +1,180 @@
+// Unit tests for fiat::util — byte readers/writers, hex, strings.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/strings.hpp"
+
+namespace fiat::util {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16be(0x0203);
+  w.u32be(0x04050607);
+  w.u64be(0x08090a0b0c0d0e0fULL);
+  ASSERT_EQ(w.size(), 15u);
+  const auto& b = w.bytes();
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(b[i], i + 1) << "byte " << i;
+  }
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16le(0x0201);
+  w.u32le(0x06050403);
+  w.u64le(0x0e0d0c0b0a090807ULL);
+  const auto& b = w.bytes();
+  for (std::size_t i = 0; i < 14; ++i) {
+    EXPECT_EQ(b[i], i + 1) << "byte " << i;
+  }
+}
+
+TEST(ByteWriter, RawAndPad) {
+  ByteWriter w;
+  w.raw(std::string_view("abc"));
+  w.pad(3, 0xff);
+  EXPECT_EQ(w.size(), 6u);
+  EXPECT_EQ(w.bytes()[0], 'a');
+  EXPECT_EQ(w.bytes()[5], 0xff);
+}
+
+TEST(ByteWriter, PatchFields) {
+  ByteWriter w;
+  w.u16be(0);
+  w.u32be(0);
+  w.patch_u16be(0, 0xbeef);
+  w.patch_u32be(2, 0xdeadbeef);
+  EXPECT_EQ(w.bytes()[0], 0xbe);
+  EXPECT_EQ(w.bytes()[1], 0xef);
+  EXPECT_EQ(w.bytes()[2], 0xde);
+  EXPECT_EQ(w.bytes()[5], 0xef);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u8(0);
+  EXPECT_THROW(w.patch_u16be(0, 1), LogicError);
+  EXPECT_THROW(w.patch_u32be(0, 1), LogicError);
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w;
+  w.u32be(42);
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(ByteReader, RoundTripAllWidths) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16be(1234);
+  w.u32be(567890);
+  w.u64be(0x1122334455667788ULL);
+  w.u16le(4321);
+  w.u32le(98765);
+  w.u64le(0x8877665544332211ULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16be(), 1234);
+  EXPECT_EQ(r.u32be(), 567890u);
+  EXPECT_EQ(r.u64be(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.u16le(), 4321);
+  EXPECT_EQ(r.u32le(), 98765u);
+  EXPECT_EQ(r.u64le(), 0x8877665544332211ULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, UnderrunThrows) {
+  std::vector<std::uint8_t> data{1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.u32be(), ParseError);
+  EXPECT_EQ(r.u16be(), 0x0102);  // state unchanged by the failed read
+  EXPECT_THROW(r.u8(), ParseError);
+}
+
+TEST(ByteReader, RawStrSkipPeek) {
+  std::vector<std::uint8_t> data{'h', 'i', '!', 9, 8};
+  ByteReader r(data);
+  EXPECT_EQ(r.peek_u8(), 'h');
+  EXPECT_EQ(r.peek_u8(2), '!');
+  EXPECT_EQ(r.str(2), "hi");
+  r.skip(1);
+  auto rest = r.raw(2);
+  EXPECT_EQ(rest[0], 9);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.peek_u8(), ParseError);
+}
+
+TEST(ByteReader, OffsetTracksPosition) {
+  std::vector<std::uint8_t> data(10, 0);
+  ByteReader r(data);
+  r.u32be();
+  EXPECT_EQ(r.offset(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  std::vector<std::uint8_t> data{0x00, 0x7f, 0xff, 0xa5};
+  EXPECT_EQ(to_hex(data), "007fffa5");
+  EXPECT_EQ(from_hex("007fffa5"), data);
+  EXPECT_EQ(from_hex("007FFFA5"), data);  // case-insensitive
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, InvalidInputThrows) {
+  EXPECT_THROW(from_hex("abc"), ParseError);   // odd length
+  EXPECT_THROW(from_hex("zz"), ParseError);    // bad digit
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");  // empty fields preserved
+  EXPECT_EQ(split("", '.').size(), 1u);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"x"}, "--"), "x");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("GooGle.COM"), "google.com");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("google.co.jp", "google"));
+  EXPECT_FALSE(starts_with("go", "google"));
+  EXPECT_TRUE(ends_with("google.co.jp", ".jp"));
+  EXPECT_FALSE(ends_with("jp", "co.jp"));
+}
+
+TEST(Strings, Fmt) {
+  EXPECT_EQ(fmt(0.931, 3), "0.931");
+  EXPECT_EQ(fmt(0.9999, 2), "1.00");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(ErrorHierarchy, CatchableAsBase) {
+  EXPECT_THROW({ throw ParseError("x"); }, Error);
+  EXPECT_THROW({ throw CryptoError("x"); }, Error);
+  try {
+    throw IoError("disk gone");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("disk gone"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fiat::util

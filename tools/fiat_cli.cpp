@@ -1,0 +1,200 @@
+// fiat — command-line front end for the FIAT library.
+//
+//   fiat analyze <capture.pcap> [--device IP] [--classic] [--mud out.json]
+//       Predictability report for a packet capture; optionally export the
+//       device's MUD profile (RFC 8520-shaped JSON).
+//
+//   fiat simulate --device EchoDot4 [--days 2] [--seed 1] [--location US]
+//                 [--manual-per-day 4] --out trace.pcap
+//       Generate a synthetic testbed trace and write it as a pcap.
+//
+//   fiat registry build --out models.bin [--days 10]
+//       Train per-device classifiers on synthetic lab traces for all ten
+//       testbed devices and publish a model-registry file (§7).
+//
+//   fiat registry list <models.bin>
+//       Show the (device, version) entries of a registry file.
+//
+//   fiat devices
+//       List the built-in device profiles and their properties.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/event_dataset.hpp"
+#include "core/manual_classifier.hpp"
+#include "core/model_registry.hpp"
+#include "core/mud.hpp"
+#include "core/predictability.hpp"
+#include "gen/testbed.hpp"
+#include "net/pcap.hpp"
+#include "util/error.hpp"
+#include "util/flags.hpp"
+
+using namespace fiat;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fiat analyze <capture.pcap> [--device IP] [--classic] [--mud out.json]\n"
+               "  fiat simulate --device NAME [--days N] [--seed S] [--location US|JP|DE|IL]\n"
+               "                [--manual-per-day R] --out trace.pcap\n"
+               "  fiat registry build --out models.bin [--days N]\n"
+               "  fiat registry list <models.bin>\n"
+               "  fiat devices\n");
+  return 2;
+}
+
+net::Ipv4Addr guess_device(const std::vector<net::PacketRecord>& packets) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const auto& pkt : packets) {
+    if (pkt.src_ip.is_private()) counts[pkt.src_ip.value()]++;
+    if (pkt.dst_ip.is_private()) counts[pkt.dst_ip.value()]++;
+  }
+  std::uint32_t best = 0;
+  std::size_t best_count = 0;
+  for (auto [ip, count] : counts) {
+    if (count > best_count) {
+      best = ip;
+      best_count = count;
+    }
+  }
+  return net::Ipv4Addr(best);
+}
+
+int cmd_analyze(const util::Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  auto packets = net::read_pcap_records(flags.positional()[1]);
+  if (packets.empty()) {
+    std::fprintf(stderr, "no IPv4 packets in %s\n", flags.positional()[1].c_str());
+    return 1;
+  }
+  net::Ipv4Addr device = flags.get("device")
+                             ? net::Ipv4Addr::parse(*flags.get("device"))
+                             : guess_device(packets);
+  net::ReverseResolver reverse;
+  core::PredictabilityConfig config;
+  config.mode = flags.has("classic") ? core::FlowMode::kClassic
+                                     : core::FlowMode::kPortLess;
+  config.reverse = &reverse;
+  auto result = core::analyze_predictability(packets, device, config);
+  std::printf("device %s: %zu packets, %.1f%% predictable (%s), %zu buckets\n",
+              device.str().c_str(), packets.size(), 100.0 * result.ratio(),
+              core::flow_mode_name(config.mode), result.buckets.size());
+  auto events = core::group_events(packets, result.predictable);
+  std::printf("unpredictable events (5 s grouping): %zu\n", events.size());
+
+  if (auto mud_path = flags.get("mud")) {
+    auto profile = core::derive_mud_profile(packets, device, "captured-device");
+    std::FILE* f = std::fopen(mud_path->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", mud_path->c_str());
+      return 1;
+    }
+    auto json = profile.to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("MUD profile (%zu ACL entries) written to %s\n",
+                profile.entries.size(), mud_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const util::Flags& flags) {
+  auto device = flags.get("device");
+  auto out = flags.get("out");
+  if (!device || !out) return usage();
+  gen::LocationEnv env(flags.get_or("location", "US"));
+  gen::TraceConfig config;
+  config.duration_days = flags.number_or("days", 2.0);
+  config.seed = static_cast<std::uint64_t>(flags.number_or("seed", 1.0));
+  config.manual_per_day_override = flags.number_or("manual-per-day", -1.0);
+  auto trace = gen::generate_trace(gen::profile_by_name(*device), env, config);
+  std::vector<net::PacketRecord> records;
+  records.reserve(trace.packets.size());
+  for (const auto& lp : trace.packets) records.push_back(lp.pkt);
+  net::write_pcap_records(*out, records);
+  std::printf("%s: %zu packets over %.1f days -> %s\n", device->c_str(),
+              records.size(), config.duration_days, out->c_str());
+  return 0;
+}
+
+int cmd_registry(const util::Flags& flags) {
+  if (flags.positional().size() < 2) return usage();
+  const std::string& action = flags.positional()[1];
+
+  if (action == "list") {
+    if (flags.positional().size() < 3) return usage();
+    auto registry = core::ModelRegistry::load_file(flags.positional()[2]);
+    std::printf("%zu models:\n", registry.size());
+    for (const auto& [model, version] : registry.keys()) {
+      std::printf("  %-12s %s\n", model.c_str(), version.c_str());
+    }
+    return 0;
+  }
+
+  if (action == "build") {
+    auto out = flags.get("out");
+    if (!out) return usage();
+    double days = flags.number_or("days", 10.0);
+    core::ModelRegistry registry;
+    std::uint32_t index = 0;
+    for (const auto& profile : gen::testbed_profiles()) {
+      if (profile.simple_rule) {
+        registry.put(profile.name, "fw-1.0",
+                     core::ManualEventClassifier::simple_rule(profile.rule_packet_size));
+        std::printf("  %-12s simple rule (%u B)\n", profile.name.c_str(),
+                    profile.rule_packet_size);
+      } else {
+        gen::LocationEnv env("US");
+        gen::TraceConfig config;
+        config.duration_days = days;
+        config.seed = 5000 + index;
+        config.device_index = index;
+        config.manual_per_day_override = 6.0;
+        auto trace = gen::generate_trace(profile, env, config);
+        registry.put(profile.name, "fw-1.0",
+                     core::ManualEventClassifier::train(
+                         core::extract_labeled_events(trace), trace.device_ip));
+        std::printf("  %-12s BernoulliNB trained on %zu packets\n",
+                    profile.name.c_str(), trace.packets.size());
+      }
+      ++index;
+    }
+    registry.save_file(*out);
+    std::printf("registry (%zu models, %zu bytes) -> %s\n", registry.size(),
+                registry.save().size(), out->c_str());
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_devices() {
+  std::printf("%-12s %-11s %-10s %s\n", "device", "classifier", "cmd-N", "routines");
+  for (const auto& profile : gen::testbed_profiles()) {
+    std::printf("%-12s %-11s %-10d %zu\n", profile.name.c_str(),
+                profile.simple_rule ? "rule" : "BernoulliNB",
+                profile.min_command_packets, profile.routines.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    auto flags = util::Flags::parse(argc, argv);
+    if (flags.positional().empty()) return usage();
+    const std::string& command = flags.positional()[0];
+    if (command == "analyze") return cmd_analyze(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "registry") return cmd_registry(flags);
+    if (command == "devices") return cmd_devices();
+    return usage();
+  } catch (const fiat::Error& e) {
+    std::fprintf(stderr, "fiat: %s\n", e.what());
+    return 1;
+  }
+}
