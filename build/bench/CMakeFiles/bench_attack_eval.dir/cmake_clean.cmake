@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_eval.dir/bench_attack_eval.cpp.o"
+  "CMakeFiles/bench_attack_eval.dir/bench_attack_eval.cpp.o.d"
+  "bench_attack_eval"
+  "bench_attack_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

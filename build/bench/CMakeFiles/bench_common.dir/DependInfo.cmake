@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/bench_common.dir/common.cpp.o" "gcc" "bench/CMakeFiles/bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fiat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/fiat_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fiat_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/fiat_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fiat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fiat_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fiat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fiat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delay_tolerance.dir/bench_delay_tolerance.cpp.o"
+  "CMakeFiles/bench_delay_tolerance.dir/bench_delay_tolerance.cpp.o.d"
+  "bench_delay_tolerance"
+  "bench_delay_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delay_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

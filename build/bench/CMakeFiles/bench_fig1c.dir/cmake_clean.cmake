@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1c.dir/bench_fig1c.cpp.o"
+  "CMakeFiles/bench_fig1c.dir/bench_fig1c.cpp.o.d"
+  "bench_fig1c"
+  "bench_fig1c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

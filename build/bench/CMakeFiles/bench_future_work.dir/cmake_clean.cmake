@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_work.dir/bench_future_work.cpp.o"
+  "CMakeFiles/bench_future_work.dir/bench_future_work.cpp.o.d"
+  "bench_future_work"
+  "bench_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

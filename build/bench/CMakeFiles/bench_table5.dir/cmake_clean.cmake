@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5.dir/bench_table5.cpp.o"
+  "CMakeFiles/bench_table5.dir/bench_table5.cpp.o.d"
+  "bench_table5"
+  "bench_table5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

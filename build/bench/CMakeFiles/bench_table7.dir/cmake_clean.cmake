@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7.dir/bench_table7.cpp.o"
+  "CMakeFiles/bench_table7.dir/bench_table7.cpp.o.d"
+  "bench_table7"
+  "bench_table7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

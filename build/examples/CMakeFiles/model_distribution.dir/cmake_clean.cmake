@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_distribution.dir/model_distribution.cpp.o"
+  "CMakeFiles/model_distribution.dir/model_distribution.cpp.o.d"
+  "model_distribution"
+  "model_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

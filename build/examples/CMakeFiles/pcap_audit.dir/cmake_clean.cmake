@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_audit.dir/pcap_audit.cpp.o"
+  "CMakeFiles/pcap_audit.dir/pcap_audit.cpp.o.d"
+  "pcap_audit"
+  "pcap_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

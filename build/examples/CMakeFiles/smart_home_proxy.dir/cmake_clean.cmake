@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_proxy.dir/smart_home_proxy.cpp.o"
+  "CMakeFiles/smart_home_proxy.dir/smart_home_proxy.cpp.o.d"
+  "smart_home_proxy"
+  "smart_home_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smart_home_proxy.
+# This may be replaced when dependencies are built.

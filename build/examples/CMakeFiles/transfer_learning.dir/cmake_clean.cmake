@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_learning.dir/transfer_learning.cpp.o"
+  "CMakeFiles/transfer_learning.dir/transfer_learning.cpp.o.d"
+  "transfer_learning"
+  "transfer_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

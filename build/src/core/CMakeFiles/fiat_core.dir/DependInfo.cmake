@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appendix_a.cpp" "src/core/CMakeFiles/fiat_core.dir/appendix_a.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/appendix_a.cpp.o.d"
+  "/root/repo/src/core/auth_message.cpp" "src/core/CMakeFiles/fiat_core.dir/auth_message.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/auth_message.cpp.o.d"
+  "/root/repo/src/core/bucket.cpp" "src/core/CMakeFiles/fiat_core.dir/bucket.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/bucket.cpp.o.d"
+  "/root/repo/src/core/client_app.cpp" "src/core/CMakeFiles/fiat_core.dir/client_app.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/client_app.cpp.o.d"
+  "/root/repo/src/core/device_id.cpp" "src/core/CMakeFiles/fiat_core.dir/device_id.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/device_id.cpp.o.d"
+  "/root/repo/src/core/event_dataset.cpp" "src/core/CMakeFiles/fiat_core.dir/event_dataset.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/event_dataset.cpp.o.d"
+  "/root/repo/src/core/event_sequences.cpp" "src/core/CMakeFiles/fiat_core.dir/event_sequences.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/event_sequences.cpp.o.d"
+  "/root/repo/src/core/events.cpp" "src/core/CMakeFiles/fiat_core.dir/events.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/events.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/fiat_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/humanness.cpp" "src/core/CMakeFiles/fiat_core.dir/humanness.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/humanness.cpp.o.d"
+  "/root/repo/src/core/intercept.cpp" "src/core/CMakeFiles/fiat_core.dir/intercept.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/intercept.cpp.o.d"
+  "/root/repo/src/core/manual_classifier.cpp" "src/core/CMakeFiles/fiat_core.dir/manual_classifier.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/manual_classifier.cpp.o.d"
+  "/root/repo/src/core/model_registry.cpp" "src/core/CMakeFiles/fiat_core.dir/model_registry.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/model_registry.cpp.o.d"
+  "/root/repo/src/core/mud.cpp" "src/core/CMakeFiles/fiat_core.dir/mud.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/mud.cpp.o.d"
+  "/root/repo/src/core/predictability.cpp" "src/core/CMakeFiles/fiat_core.dir/predictability.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/predictability.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "src/core/CMakeFiles/fiat_core.dir/proxy.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/proxy.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fiat_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/core/CMakeFiles/fiat_core.dir/rules.cpp.o" "gcc" "src/core/CMakeFiles/fiat_core.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fiat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fiat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fiat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fiat_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fiat_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/fiat_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/fiat_gen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

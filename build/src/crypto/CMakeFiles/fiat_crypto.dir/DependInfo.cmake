@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/crypto/CMakeFiles/fiat_crypto.dir/aead.cpp.o" "gcc" "src/crypto/CMakeFiles/fiat_crypto.dir/aead.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/fiat_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/fiat_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/crypto/CMakeFiles/fiat_crypto.dir/hkdf.cpp.o" "gcc" "src/crypto/CMakeFiles/fiat_crypto.dir/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/fiat_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/fiat_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keystore.cpp" "src/crypto/CMakeFiles/fiat_crypto.dir/keystore.cpp.o" "gcc" "src/crypto/CMakeFiles/fiat_crypto.dir/keystore.cpp.o.d"
+  "/root/repo/src/crypto/replay_cache.cpp" "src/crypto/CMakeFiles/fiat_crypto.dir/replay_cache.cpp.o" "gcc" "src/crypto/CMakeFiles/fiat_crypto.dir/replay_cache.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/fiat_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/fiat_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fiat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

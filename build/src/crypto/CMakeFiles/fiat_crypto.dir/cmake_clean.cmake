@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiat_crypto.dir/aead.cpp.o"
+  "CMakeFiles/fiat_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/fiat_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/fiat_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/fiat_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/fiat_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/fiat_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/fiat_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/fiat_crypto.dir/keystore.cpp.o"
+  "CMakeFiles/fiat_crypto.dir/keystore.cpp.o.d"
+  "CMakeFiles/fiat_crypto.dir/replay_cache.cpp.o"
+  "CMakeFiles/fiat_crypto.dir/replay_cache.cpp.o.d"
+  "CMakeFiles/fiat_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/fiat_crypto.dir/sha256.cpp.o.d"
+  "libfiat_crypto.a"
+  "libfiat_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiat_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

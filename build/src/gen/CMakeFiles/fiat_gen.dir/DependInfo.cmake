@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/attacks.cpp" "src/gen/CMakeFiles/fiat_gen.dir/attacks.cpp.o" "gcc" "src/gen/CMakeFiles/fiat_gen.dir/attacks.cpp.o.d"
+  "/root/repo/src/gen/location.cpp" "src/gen/CMakeFiles/fiat_gen.dir/location.cpp.o" "gcc" "src/gen/CMakeFiles/fiat_gen.dir/location.cpp.o.d"
+  "/root/repo/src/gen/profiles.cpp" "src/gen/CMakeFiles/fiat_gen.dir/profiles.cpp.o" "gcc" "src/gen/CMakeFiles/fiat_gen.dir/profiles.cpp.o.d"
+  "/root/repo/src/gen/public_dataset.cpp" "src/gen/CMakeFiles/fiat_gen.dir/public_dataset.cpp.o" "gcc" "src/gen/CMakeFiles/fiat_gen.dir/public_dataset.cpp.o.d"
+  "/root/repo/src/gen/sensors.cpp" "src/gen/CMakeFiles/fiat_gen.dir/sensors.cpp.o" "gcc" "src/gen/CMakeFiles/fiat_gen.dir/sensors.cpp.o.d"
+  "/root/repo/src/gen/testbed.cpp" "src/gen/CMakeFiles/fiat_gen.dir/testbed.cpp.o" "gcc" "src/gen/CMakeFiles/fiat_gen.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fiat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fiat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fiat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/fiat_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

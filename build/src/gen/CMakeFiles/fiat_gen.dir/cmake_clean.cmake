@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiat_gen.dir/attacks.cpp.o"
+  "CMakeFiles/fiat_gen.dir/attacks.cpp.o.d"
+  "CMakeFiles/fiat_gen.dir/location.cpp.o"
+  "CMakeFiles/fiat_gen.dir/location.cpp.o.d"
+  "CMakeFiles/fiat_gen.dir/profiles.cpp.o"
+  "CMakeFiles/fiat_gen.dir/profiles.cpp.o.d"
+  "CMakeFiles/fiat_gen.dir/public_dataset.cpp.o"
+  "CMakeFiles/fiat_gen.dir/public_dataset.cpp.o.d"
+  "CMakeFiles/fiat_gen.dir/sensors.cpp.o"
+  "CMakeFiles/fiat_gen.dir/sensors.cpp.o.d"
+  "CMakeFiles/fiat_gen.dir/testbed.cpp.o"
+  "CMakeFiles/fiat_gen.dir/testbed.cpp.o.d"
+  "libfiat_gen.a"
+  "libfiat_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiat_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

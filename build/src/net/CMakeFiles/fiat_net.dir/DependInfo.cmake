@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/fiat_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/fiat_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/fiat_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/fiat_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/fiat_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/fiat_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/fiat_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/fiat_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/fiat_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/fiat_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/fiat_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/fiat_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/tls.cpp" "src/net/CMakeFiles/fiat_net.dir/tls.cpp.o" "gcc" "src/net/CMakeFiles/fiat_net.dir/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fiat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

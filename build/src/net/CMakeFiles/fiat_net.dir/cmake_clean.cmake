@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiat_net.dir/checksum.cpp.o"
+  "CMakeFiles/fiat_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/fiat_net.dir/dns.cpp.o"
+  "CMakeFiles/fiat_net.dir/dns.cpp.o.d"
+  "CMakeFiles/fiat_net.dir/frame.cpp.o"
+  "CMakeFiles/fiat_net.dir/frame.cpp.o.d"
+  "CMakeFiles/fiat_net.dir/ip.cpp.o"
+  "CMakeFiles/fiat_net.dir/ip.cpp.o.d"
+  "CMakeFiles/fiat_net.dir/packet.cpp.o"
+  "CMakeFiles/fiat_net.dir/packet.cpp.o.d"
+  "CMakeFiles/fiat_net.dir/pcap.cpp.o"
+  "CMakeFiles/fiat_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/fiat_net.dir/tls.cpp.o"
+  "CMakeFiles/fiat_net.dir/tls.cpp.o.d"
+  "libfiat_net.a"
+  "libfiat_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiat_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

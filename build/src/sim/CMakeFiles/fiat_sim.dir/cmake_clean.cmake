@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiat_sim.dir/rng.cpp.o"
+  "CMakeFiles/fiat_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/fiat_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/fiat_sim.dir/scheduler.cpp.o.d"
+  "libfiat_sim.a"
+  "libfiat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

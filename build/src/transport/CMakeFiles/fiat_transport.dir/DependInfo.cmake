@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/netpath.cpp" "src/transport/CMakeFiles/fiat_transport.dir/netpath.cpp.o" "gcc" "src/transport/CMakeFiles/fiat_transport.dir/netpath.cpp.o.d"
+  "/root/repo/src/transport/network.cpp" "src/transport/CMakeFiles/fiat_transport.dir/network.cpp.o" "gcc" "src/transport/CMakeFiles/fiat_transport.dir/network.cpp.o.d"
+  "/root/repo/src/transport/quic_lite.cpp" "src/transport/CMakeFiles/fiat_transport.dir/quic_lite.cpp.o" "gcc" "src/transport/CMakeFiles/fiat_transport.dir/quic_lite.cpp.o.d"
+  "/root/repo/src/transport/tcp_model.cpp" "src/transport/CMakeFiles/fiat_transport.dir/tcp_model.cpp.o" "gcc" "src/transport/CMakeFiles/fiat_transport.dir/tcp_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fiat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fiat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fiat_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

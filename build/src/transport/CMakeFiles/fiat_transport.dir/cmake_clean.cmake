@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiat_transport.dir/netpath.cpp.o"
+  "CMakeFiles/fiat_transport.dir/netpath.cpp.o.d"
+  "CMakeFiles/fiat_transport.dir/network.cpp.o"
+  "CMakeFiles/fiat_transport.dir/network.cpp.o.d"
+  "CMakeFiles/fiat_transport.dir/quic_lite.cpp.o"
+  "CMakeFiles/fiat_transport.dir/quic_lite.cpp.o.d"
+  "CMakeFiles/fiat_transport.dir/tcp_model.cpp.o"
+  "CMakeFiles/fiat_transport.dir/tcp_model.cpp.o.d"
+  "libfiat_transport.a"
+  "libfiat_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiat_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfiat_transport.a"
+)

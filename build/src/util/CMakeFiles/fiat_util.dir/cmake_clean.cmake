@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiat_util.dir/bytes.cpp.o"
+  "CMakeFiles/fiat_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/fiat_util.dir/flags.cpp.o"
+  "CMakeFiles/fiat_util.dir/flags.cpp.o.d"
+  "CMakeFiles/fiat_util.dir/hex.cpp.o"
+  "CMakeFiles/fiat_util.dir/hex.cpp.o.d"
+  "CMakeFiles/fiat_util.dir/strings.cpp.o"
+  "CMakeFiles/fiat_util.dir/strings.cpp.o.d"
+  "libfiat_util.a"
+  "libfiat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

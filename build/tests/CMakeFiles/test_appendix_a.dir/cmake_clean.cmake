@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appendix_a.dir/test_appendix_a.cpp.o"
+  "CMakeFiles/test_appendix_a.dir/test_appendix_a.cpp.o.d"
+  "test_appendix_a"
+  "test_appendix_a.pdb"
+  "test_appendix_a[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appendix_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_appendix_a.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_appendix_a.
+# This may be replaced when dependencies are built.

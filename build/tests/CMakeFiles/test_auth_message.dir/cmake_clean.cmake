@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auth_message.dir/test_auth_message.cpp.o"
+  "CMakeFiles/test_auth_message.dir/test_auth_message.cpp.o.d"
+  "test_auth_message"
+  "test_auth_message.pdb"
+  "test_auth_message[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auth_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

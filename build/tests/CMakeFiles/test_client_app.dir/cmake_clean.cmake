@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_app.dir/test_client_app.cpp.o"
+  "CMakeFiles/test_client_app.dir/test_client_app.cpp.o.d"
+  "test_client_app"
+  "test_client_app.pdb"
+  "test_client_app[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

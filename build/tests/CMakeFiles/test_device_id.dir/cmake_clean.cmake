@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_id.dir/test_device_id.cpp.o"
+  "CMakeFiles/test_device_id.dir/test_device_id.cpp.o.d"
+  "test_device_id"
+  "test_device_id.pdb"
+  "test_device_id[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_events.dir/test_events.cpp.o"
+  "CMakeFiles/test_events.dir/test_events.cpp.o.d"
+  "test_events"
+  "test_events.pdb"
+  "test_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

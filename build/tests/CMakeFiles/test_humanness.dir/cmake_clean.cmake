@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_humanness.dir/test_humanness.cpp.o"
+  "CMakeFiles/test_humanness.dir/test_humanness.cpp.o.d"
+  "test_humanness"
+  "test_humanness.pdb"
+  "test_humanness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_humanness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

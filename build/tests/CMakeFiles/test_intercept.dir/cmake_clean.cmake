@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intercept.dir/test_intercept.cpp.o"
+  "CMakeFiles/test_intercept.dir/test_intercept.cpp.o.d"
+  "test_intercept"
+  "test_intercept.pdb"
+  "test_intercept[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intercept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lstm.dir/test_lstm.cpp.o"
+  "CMakeFiles/test_lstm.dir/test_lstm.cpp.o.d"
+  "test_lstm"
+  "test_lstm.pdb"
+  "test_lstm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

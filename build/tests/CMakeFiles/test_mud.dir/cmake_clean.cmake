@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mud.dir/test_mud.cpp.o"
+  "CMakeFiles/test_mud.dir/test_mud.cpp.o.d"
+  "test_mud"
+  "test_mud.pdb"
+  "test_mud[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

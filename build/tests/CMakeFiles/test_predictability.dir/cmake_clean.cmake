@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictability.dir/test_predictability.cpp.o"
+  "CMakeFiles/test_predictability.dir/test_predictability.cpp.o.d"
+  "test_predictability"
+  "test_predictability.pdb"
+  "test_predictability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

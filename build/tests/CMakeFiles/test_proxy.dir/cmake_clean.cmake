@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy.dir/test_proxy.cpp.o"
+  "CMakeFiles/test_proxy.dir/test_proxy.cpp.o.d"
+  "test_proxy"
+  "test_proxy.pdb"
+  "test_proxy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

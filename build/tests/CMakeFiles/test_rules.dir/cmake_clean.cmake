@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rules.dir/test_rules.cpp.o"
+  "CMakeFiles/test_rules.dir/test_rules.cpp.o.d"
+  "test_rules"
+  "test_rules.pdb"
+  "test_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

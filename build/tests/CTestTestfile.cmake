@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_predictability[1]_include.cmake")
+include("/root/repo/build/tests/test_events[1]_include.cmake")
+include("/root/repo/build/tests/test_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_classifier[1]_include.cmake")
+include("/root/repo/build/tests/test_humanness[1]_include.cmake")
+include("/root/repo/build/tests/test_auth_message[1]_include.cmake")
+include("/root/repo/build/tests/test_proxy[1]_include.cmake")
+include("/root/repo/build/tests/test_gen[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_lstm[1]_include.cmake")
+include("/root/repo/build/tests/test_shapley[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_device_id[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_intercept[1]_include.cmake")
+include("/root/repo/build/tests/test_mud[1]_include.cmake")
+include("/root/repo/build/tests/test_appendix_a[1]_include.cmake")
+include("/root/repo/build/tests/test_client_app[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiat_cli.dir/fiat_cli.cpp.o"
+  "CMakeFiles/fiat_cli.dir/fiat_cli.cpp.o.d"
+  "fiat"
+  "fiat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
