@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Tier-1 CI: build + ctest normally, then again under ASan+UBSan.
+#
+#   ./ci.sh          both legs
+#   ./ci.sh normal   plain build + tests only
+#   ./ci.sh asan     sanitizer build + tests only
+set -eu
+
+cd "$(dirname "$0")"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+LEG="${1:-all}"
+
+case "$LEG" in
+  normal|asan|all) ;;
+  *) echo "usage: $0 [normal|asan|all]" >&2; exit 2 ;;
+esac
+
+run_leg() {
+  name="$1"
+  dir="$2"
+  shift 2
+  echo "==> [$name] configure"
+  cmake -B "$dir" -S . "$@"
+  echo "==> [$name] build"
+  cmake --build "$dir" -j "$JOBS"
+  echo "==> [$name] ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+case "$LEG" in
+  normal|all)
+    run_leg normal build
+    ;;
+esac
+
+case "$LEG" in
+  asan|all)
+    ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+    UBSAN_OPTIONS="print_stacktrace=1" \
+      run_leg asan build-asan -DFIAT_SANITIZE=ON
+    ;;
+esac
+
+echo "==> ci.sh: done ($LEG)"

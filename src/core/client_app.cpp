@@ -1,5 +1,7 @@
 #include "core/client_app.hpp"
 
+#include <memory>
+
 #include "util/error.hpp"
 
 namespace fiat::core {
@@ -25,7 +27,8 @@ void FiatClientApp::warm_up(std::function<void(double)> done) {
 
 void FiatClientApp::report_interaction(
     const std::string& app_package, const gen::SensorTrace& sensors,
-    std::function<void(const ClientLatencyBreakdown&)> done) {
+    std::function<void(const ClientLatencyBreakdown&)> done,
+    std::function<void()> failed) {
   auto breakdown = std::make_shared<ClientLatencyBreakdown>();
   breakdown->app_detection = rng_.uniform(timing_.app_detect_min, timing_.app_detect_max);
   breakdown->sensor_sampling =
@@ -53,25 +56,34 @@ void FiatClientApp::report_interaction(
   // Model the on-phone latency before the datagram leaves, then send.
   network_.scheduler().after(pre_send, [this, payload = payload.take(), zero_rtt,
                                         overhead, breakdown,
-                                        done = std::move(done)]() mutable {
+                                        done = std::move(done),
+                                        failed = std::move(failed)]() mutable {
     auto on_ack = [breakdown, overhead, done](double ack_time) {
       breakdown->quic_round_trip = ack_time + overhead;
       if (done) done(*breakdown);
     };
     if (zero_rtt) {
-      quic_.send_zero_rtt(std::move(payload), on_ack);
+      quic_.send_zero_rtt(std::move(payload), on_ack, std::move(failed));
     } else if (quic_.connected()) {
-      quic_.send(std::move(payload), on_ack);
+      quic_.send(std::move(payload), on_ack, std::move(failed));
     } else {
       // Cold start: handshake first (sensor sampling overlaps it), then
       // send; the reported exchange time covers handshake + data + ack.
       double hs_start = network_.scheduler().now();
-      quic_.connect([this, payload = std::move(payload), on_ack,
-                     hs_start](double) mutable {
-        quic_.send(std::move(payload), [this, on_ack, hs_start](double) {
-          on_ack(network_.scheduler().now() - hs_start);
-        });
-      });
+      auto failed_shared = std::make_shared<std::function<void()>>(std::move(failed));
+      quic_.connect(
+          [this, payload = std::move(payload), on_ack, failed_shared,
+           hs_start](double) mutable {
+            quic_.send(
+                std::move(payload),
+                [this, on_ack, hs_start](double) {
+                  on_ack(network_.scheduler().now() - hs_start);
+                },
+                *failed_shared);
+          },
+          [failed_shared]() {
+            if (*failed_shared) (*failed_shared)();
+          });
     }
   });
 }

@@ -60,10 +60,20 @@ class FiatClientApp {
 
   /// A user (or attacker script) interacted with `app_package`; `sensors`
   /// is the captured motion window. Sends the signed proof to the proxy and
-  /// reports the breakdown once the proxy acknowledges.
+  /// reports the breakdown once the proxy acknowledges. If the transport
+  /// exhausts its retransmit budget (including the 0-RTT -> 1-RTT
+  /// fallback), `failed` fires instead — the proof is known-lost and the
+  /// caller should capture a fresh window and re-prove, not assume the
+  /// proxy saw anything.
   void report_interaction(const std::string& app_package,
                           const gen::SensorTrace& sensors,
-                          std::function<void(const ClientLatencyBreakdown&)> done);
+                          std::function<void(const ClientLatencyBreakdown&)> done,
+                          std::function<void()> failed = nullptr);
+
+  /// Transport retry policy (backoff, budget, 0-RTT fallback).
+  void set_retry_config(transport::QuicRetryConfig retry) {
+    quic_.set_retry_config(retry);
+  }
 
   /// Re-send the last proof verbatim (replay-attack experiments).
   bool replay_last_report() { return quic_.replay_last_zero_rtt(); }

@@ -43,6 +43,9 @@ class ManualEventClassifier {
   }
 
   bool uses_simple_rule() const { return rule_size_ != 0; }
+  /// False for a default-constructed classifier (classify() would throw);
+  /// the proxy treats such devices via its degraded-mode FailPolicy.
+  bool trained() const { return rule_size_ != 0 || model_ != nullptr; }
 
   /// Serialization for model distribution (§7 "Road to Production": one
   /// model per device and software version, downloaded automatically).

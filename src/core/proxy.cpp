@@ -17,6 +17,16 @@ const char* disposition_name(Disposition d) {
     case Disposition::kManualUnvalidated: return "manual-unvalidated";
     case Disposition::kLockout: return "lockout";
     case Disposition::kDagEdge: return "dag-edge";
+    case Disposition::kDegradedAllow: return "degraded-allow";
+  }
+  return "?";
+}
+
+const char* fail_policy_name(FailPolicy p) {
+  switch (p) {
+    case FailPolicy::kFailClosed: return "fail-closed";
+    case FailPolicy::kFailOpen: return "fail-open";
+    case FailPolicy::kGrace: return "grace";
   }
   return "?";
 }
@@ -77,13 +87,67 @@ Verdict FiatProxy::record(double ts, const std::string& device, Verdict v,
   return v;
 }
 
-bool FiatProxy::fresh_proof_for(const DeviceState& dev, double now) const {
+bool FiatProxy::fresh_proof_for(const DeviceState& dev, double now,
+                                double slack) const {
   for (auto it = proofs_.rbegin(); it != proofs_.rend(); ++it) {
-    if (now - it->time > config_.human_validity_window) break;  // too old
-    if (it->time - now > config_.human_pre_window) continue;    // from the future
+    if (now - it->time > config_.human_validity_window + slack) break;  // too old
+    if (it->time - now > config_.human_pre_window) continue;  // from the future
     if (it->app_package == dev.config.app_package) return true;
   }
   return false;
+}
+
+void FiatProxy::on_proof_channel_activity(double now) {
+  channel_ever_active_ = true;
+  last_channel_activity_ = std::max(last_channel_activity_, now);
+}
+
+bool FiatProxy::proof_channel_dark(double now) const {
+  if (channel_forced_down_) return true;
+  if (!channel_ever_active_) return false;
+  return now - last_channel_activity_ > config_.channel_dark_after;
+}
+
+void FiatProxy::count_violation(DeviceState& dev, double now, bool degraded) {
+  if (degraded && config_.degraded_policy == FailPolicy::kGrace) {
+    // The proof channel being dark (or the classifier missing) is the
+    // network's fault, not evidence of brute force: drop the traffic but do
+    // not advance the lockout counter.
+    ++violations_forgiven_;
+    return;
+  }
+  dev.recent_violations.push_back(now);
+  while (!dev.recent_violations.empty() &&
+         now - dev.recent_violations.front() > config_.lockout_window) {
+    dev.recent_violations.pop_front();
+  }
+  if (static_cast<int>(dev.recent_violations.size()) >= config_.lockout_threshold) {
+    dev.locked = true;
+    dev.locked_until = now + config_.lockout_duration;
+  }
+}
+
+void FiatProxy::forgive_covered_violations(const std::string& app,
+                                           double capture_time, double now) {
+  // A proof that was captured before (or while) the violating traffic ran
+  // but crawled in late proves the user was real — the network merely
+  // delayed it. Erase the violations it covers; a lockout built on them is
+  // released too. Attack traffic never gets this: no proof arrives for it.
+  double from = capture_time - config_.human_pre_window;
+  for (auto& [ip, dev] : devices_) {
+    if (dev.config.app_package != app) continue;
+    auto& v = dev.recent_violations;
+    std::size_t before = v.size();
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [&](double t) { return t >= from && t <= now; }),
+            v.end());
+    violations_forgiven_ += before - v.size();
+    if (dev.locked && before > v.size() &&
+        static_cast<int>(v.size()) < config_.lockout_threshold) {
+      dev.locked = false;
+      dev.locked_until = -1.0;
+    }
+  }
 }
 
 void FiatProxy::close_event(DeviceState& dev) {
@@ -96,6 +160,8 @@ void FiatProxy::close_event(DeviceState& dev) {
   outcome.treated_as_manual =
       dev.classified && *dev.classified == gen::TrafficClass::kManual;
   outcome.human_validated = dev.human_validated;
+  outcome.degraded = dev.degraded;
+  outcome.degraded_allowed = dev.degraded_open;
   outcome.packets_allowed = dev.allowed;
   outcome.packets_dropped = dev.dropped;
   outcomes_.push_back(std::move(outcome));
@@ -106,6 +172,8 @@ void FiatProxy::close_event(DeviceState& dev) {
   dev.dropped = 0;
   dev.classified.reset();
   dev.human_validated = false;
+  dev.degraded = false;
+  dev.degraded_open = false;
 }
 
 Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord& pkt) {
@@ -124,28 +192,42 @@ Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord
 
   // Phase 2: classify once, on the packets seen so far (first N + this one).
   if (!dev.classified) {
-    UnpredictableEvent seen{dev.grouper.open_packets()};
-    dev.classified = dev.config.classifier.classify(seen, dev.config.ip);
-    if (*dev.classified == gen::TrafficClass::kManual) {
-      // Command-shaped traffic must keep facing the humanness gate forever:
-      // its buckets are barred from online rule promotion, or a patient
-      // attacker repeating the command at a constant pace would eventually
-      // be whitelisted as "predictable".
-      for (const auto& event_pkt : seen.packets) {
-        dev.rules.forbid_online(event_pkt);
-      }
-      dev.human_validated = fresh_proof_for(dev, now);
-      if (!dev.human_validated) {
-        ++alerts_;
-        dev.recent_violations.push_back(now);
-        while (!dev.recent_violations.empty() &&
-               now - dev.recent_violations.front() > config_.lockout_window) {
-          dev.recent_violations.pop_front();
+    bool degraded = proof_channel_dark(now);
+    if (!dev.config.classifier.trained()) {
+      // No classifier for this device (model never distributed / training
+      // failed): we cannot tell manual from automated, so treat the event
+      // as manual-unknown and let the fail policy below decide.
+      dev.classified = gen::TrafficClass::kManual;
+      degraded = true;
+    } else {
+      UnpredictableEvent seen{dev.grouper.open_packets()};
+      dev.classified = dev.config.classifier.classify(seen, dev.config.ip);
+      if (*dev.classified == gen::TrafficClass::kManual) {
+        // Command-shaped traffic must keep facing the humanness gate forever:
+        // its buckets are barred from online rule promotion, or a patient
+        // attacker repeating the command at a constant pace would eventually
+        // be whitelisted as "predictable".
+        for (const auto& event_pkt : seen.packets) {
+          dev.rules.forbid_online(event_pkt);
         }
-        if (static_cast<int>(dev.recent_violations.size()) >=
-            config_.lockout_threshold) {
-          dev.locked = true;
-          dev.locked_until = now + config_.lockout_duration;
+      }
+    }
+    if (*dev.classified == gen::TrafficClass::kManual) {
+      dev.degraded = degraded;
+      if (degraded) ++events_degraded_;
+      // Under kGrace while degraded, a proof that went stale during the
+      // dark window keeps covering the device for `degraded_grace` extra
+      // seconds — the network ate the refresh, not the user.
+      double slack = (degraded && config_.degraded_policy == FailPolicy::kGrace)
+                         ? config_.degraded_grace
+                         : 0.0;
+      dev.human_validated = fresh_proof_for(dev, now, slack);
+      if (!dev.human_validated) {
+        if (degraded && config_.degraded_policy == FailPolicy::kFailOpen) {
+          dev.degraded_open = true;  // availability over security, by choice
+        } else {
+          ++alerts_;
+          count_violation(dev, now, degraded);
         }
       }
     }
@@ -161,6 +243,12 @@ Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord
     dev.allowed++;
     return record(now, dev.config.name, Verdict::kAllow,
                   Disposition::kManualValidated, dev.event_seq);
+  }
+  if (dev.degraded_open) {
+    dev.allowed++;
+    ++degraded_allows_;
+    return record(now, dev.config.name, Verdict::kAllow,
+                  Disposition::kDegradedAllow, dev.event_seq);
   }
   dev.dropped++;
   return record(now, dev.config.name, Verdict::kDrop,
@@ -212,6 +300,9 @@ Verdict FiatProxy::process(const net::PacketRecord& pkt) {
 std::optional<AuthMessage> FiatProxy::on_auth_payload(
     const std::string& client_id, std::span<const std::uint8_t> payload,
     double now) {
+  // Any datagram on the proof channel — even one that fails every check —
+  // proves the phone can still reach us.
+  on_proof_channel_activity(now);
   auto key_it = phone_keys_.find(client_id);
   if (key_it == phone_keys_.end()) {
     ++proofs_bad_sig_;
@@ -229,12 +320,30 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
     ++proofs_bad_sig_;
     return std::nullopt;
   }
+  // Sequence must advance strictly: the same authenticated proof delivered
+  // again (1-RTT retransmit race, network duplication, or an attacker
+  // replay) is counted but never re-admitted.
+  auto [seq_it, first_contact] = last_proof_seq_.try_emplace(client_id, 0);
+  if (!first_contact && seq <= seq_it->second) {
+    ++proofs_duplicate_;
+    return std::nullopt;
+  }
+  seq_it->second = seq;
   if (!humanness_.is_human(msg->features)) {
     ++proofs_nonhuman_;
     return std::nullopt;
   }
+  // A proof that spent longer in flight than the freshness window is
+  // useless to the user it authenticated; count it so the report can show
+  // the network is eating proofs.
+  if (now - msg->capture_time > config_.human_validity_window) {
+    ++proofs_late_;
+  }
   ++proofs_accepted_;
   proofs_.push_back(HumanProof{now, msg->app_package});
+  if (config_.degraded_policy == FailPolicy::kGrace) {
+    forgive_covered_violations(msg->app_package, msg->capture_time, now);
+  }
   return msg;
 }
 

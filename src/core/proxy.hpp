@@ -45,9 +45,31 @@ enum class Disposition {
   kManualUnvalidated,  // dropped: no humanness proof
   kLockout,       // device under brute-force lockout
   kDagEdge,       // device-to-device whitelist
+  kDegradedAllow, // allowed by fail-open/grace policy while degraded
 };
 
 const char* disposition_name(Disposition d);
+
+/// What the proxy does with a manual-looking event it cannot properly
+/// validate because the system itself is degraded — the proof channel is
+/// dark (network fault between phone and proxy) or the device's classifier
+/// is missing/untrained:
+///   * kFailClosed — strict paper behavior: drop, alert, count towards
+///     lockout. Secure, but a flaky network can disconnect devices.
+///   * kFailOpen   — allow the event (available but insecure; what every
+///     middlebox that silently wedges effectively does).
+///   * kGrace      — fail closed for verdicts, but stretch proof freshness
+///     by `degraded_grace` seconds and do NOT count lockout violations
+///     while the proof channel is dark: a device must never be locked out
+///     because the network ate its proofs. An accepted proof additionally
+///     grants late-proof amnesty: violations recorded inside the window it
+///     covers are retroactively forgiven (the proof shows a real user was
+///     there; the network merely delayed it), unlocking the device if that
+///     drops it back below the lockout threshold. Attack traffic gets no
+///     amnesty — no proof ever arrives for it.
+enum class FailPolicy { kFailClosed, kFailOpen, kGrace };
+
+const char* fail_policy_name(FailPolicy p);
 
 struct ProxyConfig {
   RuleTableConfig rules;
@@ -65,6 +87,14 @@ struct ProxyConfig {
   double lockout_window = 300.0;
   bool auto_unlock = false;        // paper: manual re-enable by the user
   double lockout_duration = 3600.0;  // used when auto_unlock is true
+
+  // ---- degraded-mode policy ----------------------------------------------
+  FailPolicy degraded_policy = FailPolicy::kFailClosed;
+  /// kGrace: extra proof-staleness allowance while degraded.
+  double degraded_grace = 30.0;
+  /// The proof channel is considered dark when it was active before but has
+  /// shown no traffic (not even rejected proofs) for this long.
+  double channel_dark_after = 60.0;
 };
 
 struct ProxyDevice {
@@ -94,6 +124,11 @@ struct EventOutcome {
   gen::TrafficClass classified = gen::TrafficClass::kControl;
   bool treated_as_manual = false;
   bool human_validated = false;
+  /// Event was decided while the proxy was degraded (dark proof channel or
+  /// untrained classifier) ...
+  bool degraded = false;
+  /// ... and the fail policy let it through without a proof.
+  bool degraded_allowed = false;
   std::size_t packets_allowed = 0;
   std::size_t packets_dropped = 0;
 };
@@ -125,6 +160,20 @@ class FiatProxy {
   /// User manually re-enables a locked-out device (§5.4).
   void unlock_device(const std::string& name);
 
+  // ---- degraded-mode signals ---------------------------------------------
+  /// Any sign of life on the proof channel (a datagram from a paired phone,
+  /// even one that fails validation). on_auth_payload() calls this
+  /// implicitly; transport glue may also call it for channel keep-alives.
+  void on_proof_channel_activity(double now);
+  /// Operator override: force the proof channel to be treated as down/up
+  /// regardless of the staleness heuristic.
+  void set_proof_channel_forced_down(bool down) { channel_forced_down_ = down; }
+  /// True when the channel was alive before but has been silent longer than
+  /// `channel_dark_after` (or is forced down). Before first contact the
+  /// channel is unknown, not dark — a proxy fresh out of bootstrap must not
+  /// start in degraded mode.
+  bool proof_channel_dark(double now) const;
+
   // ---- introspection -----------------------------------------------------
   const std::vector<Decision>& decision_log() const { return log_; }
   const std::vector<EventOutcome>& event_outcomes() const { return outcomes_; }
@@ -138,6 +187,13 @@ class FiatProxy {
   std::size_t proofs_accepted() const { return proofs_accepted_; }
   std::size_t proofs_rejected_signature() const { return proofs_bad_sig_; }
   std::size_t proofs_rejected_nonhuman() const { return proofs_nonhuman_; }
+  // Degraded-mode health counters (surfaced in the security report).
+  std::size_t proofs_late() const { return proofs_late_; }
+  std::size_t proofs_duplicate() const { return proofs_duplicate_; }
+  std::size_t events_decided_degraded() const { return events_degraded_; }
+  std::size_t degraded_allows() const { return degraded_allows_; }
+  /// Would-be lockout violations forgiven by kGrace while degraded.
+  std::size_t violations_forgiven() const { return violations_forgiven_; }
 
  private:
   struct HumanProof {
@@ -157,6 +213,8 @@ class FiatProxy {
     double event_start = 0.0;
     std::optional<gen::TrafficClass> classified;
     bool human_validated = false;
+    bool degraded = false;       // event decided while proxy degraded
+    bool degraded_open = false;  // fail-open verdict for this event
     // Lockout bookkeeping.
     std::deque<double> recent_violations;
     double locked_until = -1.0;
@@ -169,7 +227,12 @@ class FiatProxy {
   DeviceState* device_of(const net::PacketRecord& pkt);
   Verdict decide_event_packet(DeviceState& dev, const net::PacketRecord& pkt);
   void close_event(DeviceState& dev);
-  bool fresh_proof_for(const DeviceState& dev, double now) const;
+  bool fresh_proof_for(const DeviceState& dev, double now, double slack = 0.0) const;
+  void count_violation(DeviceState& dev, double now, bool degraded);
+  /// kGrace late-proof amnesty: a proof for `app` captured at `capture_time`
+  /// and accepted at `now` forgives violations inside the span it covers.
+  void forgive_covered_violations(const std::string& app, double capture_time,
+                                  double now);
   Verdict record(double ts, const std::string& device, Verdict v, Disposition why,
                  int event_seq);
 
@@ -190,6 +253,17 @@ class FiatProxy {
   std::size_t proofs_accepted_ = 0;
   std::size_t proofs_bad_sig_ = 0;
   std::size_t proofs_nonhuman_ = 0;
+
+  // Degraded-mode state.
+  bool channel_ever_active_ = false;
+  bool channel_forced_down_ = false;
+  double last_channel_activity_ = -1.0;
+  std::map<std::string, std::uint64_t> last_proof_seq_;  // per client, dedup
+  std::size_t proofs_late_ = 0;
+  std::size_t proofs_duplicate_ = 0;
+  std::size_t events_degraded_ = 0;
+  std::size_t degraded_allows_ = 0;
+  std::size_t violations_forgiven_ = 0;
 };
 
 }  // namespace fiat::core

@@ -11,6 +11,11 @@ SecurityReport build_security_report(const FiatProxy& proxy) {
   report.proofs_accepted = proxy.proofs_accepted();
   report.proofs_rejected_signature = proxy.proofs_rejected_signature();
   report.proofs_rejected_nonhuman = proxy.proofs_rejected_nonhuman();
+  report.proofs_late = proxy.proofs_late();
+  report.proofs_duplicate = proxy.proofs_duplicate();
+  report.events_decided_degraded = proxy.events_decided_degraded();
+  report.degraded_allows = proxy.degraded_allows();
+  report.violations_forgiven = proxy.violations_forgiven();
 
   std::map<std::string, DeviceReport> devices;
   for (const auto& decision : proxy.decision_log()) {
@@ -42,13 +47,20 @@ SecurityReport build_security_report(const FiatProxy& proxy) {
     if (outcome.treated_as_manual) {
       if (outcome.human_validated) {
         dev.events_manual_validated++;
+      } else if (outcome.degraded_allowed) {
+        // Fail-open let it through; the user must learn validation was off.
+        report.incidents.push_back(
+            {outcome.start, outcome.device,
+             "manual-looking traffic ALLOWED WITHOUT VALIDATION (proxy "
+             "degraded, fail-open policy)"});
       } else {
         dev.events_manual_blocked++;
-        char buf[128];
+        char buf[160];
         std::snprintf(buf, sizeof(buf),
                       "manual-looking traffic with no human present (%zu packets "
-                      "blocked)",
-                      outcome.packets_dropped);
+                      "blocked)%s",
+                      outcome.packets_dropped,
+                      outcome.degraded ? " [proxy degraded]" : "");
         report.incidents.push_back({outcome.start, outcome.device, buf});
       }
     } else {
@@ -66,8 +78,17 @@ std::string SecurityReport::render() const {
   std::string out = "=== FIAT security report ===\n\n";
   char line[256];
   std::snprintf(line, sizeof(line),
-                "humanness proofs: %zu accepted, %zu bad signature, %zu non-human\n\n",
+                "humanness proofs: %zu accepted, %zu bad signature, %zu non-human\n",
                 proofs_accepted, proofs_rejected_signature, proofs_rejected_nonhuman);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "proof channel health: %zu late, %zu duplicated/replayed\n",
+                proofs_late, proofs_duplicate);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "degraded-mode decisions: %zu events, %zu allowed unvalidated, "
+                "%zu lockout violations forgiven\n\n",
+                events_decided_degraded, degraded_allows, violations_forgiven);
   out += line;
 
   std::snprintf(line, sizeof(line), "%-12s %9s %9s %7s %10s %9s %8s\n", "device",

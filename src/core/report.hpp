@@ -40,6 +40,13 @@ struct SecurityReport {
   std::size_t proofs_accepted = 0;
   std::size_t proofs_rejected_signature = 0;
   std::size_t proofs_rejected_nonhuman = 0;
+  // Degraded-mode health: is the network eating proofs, and what did the
+  // proxy decide while it could not validate properly?
+  std::size_t proofs_late = 0;
+  std::size_t proofs_duplicate = 0;
+  std::size_t events_decided_degraded = 0;
+  std::size_t degraded_allows = 0;
+  std::size_t violations_forgiven = 0;
 
   /// Plain-text rendering (what the companion app would show).
   std::string render() const;

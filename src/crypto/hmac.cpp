@@ -11,7 +11,7 @@ Digest256 hmac_sha256(std::span<const std::uint8_t> key,
   if (key.size() > 64) {
     Digest256 kh = Sha256::hash(key);
     std::memcpy(block, kh.data(), kh.size());
-  } else {
+  } else if (!key.empty()) {  // empty span has a null data(), UB for memcpy
     std::memcpy(block, key.data(), key.size());
   }
 

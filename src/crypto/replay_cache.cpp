@@ -1,24 +1,31 @@
 #include "crypto/replay_cache.hpp"
 
+#include <algorithm>
+
 namespace fiat::crypto {
 
 ReplayCache::ReplayCache(double window_seconds, std::size_t max_entries)
     : window_(window_seconds), max_entries_(max_entries) {}
 
 bool ReplayCache::check_and_insert(std::uint64_t nonce, double now) {
-  expire(now);
+  // Clamp to the monotone high-water mark: inserting at a raw earlier time
+  // would break the deque's sorted-by-time invariant, letting a later
+  // expire() strand unexpired-looking entries behind an expired front.
+  high_water_ = std::max(high_water_, now);
+  expire(high_water_);
   if (seen_.contains(nonce)) return false;
   if (order_.size() >= max_entries_) {
     seen_.erase(order_.front().second);
     order_.pop_front();
   }
   seen_.insert(nonce);
-  order_.emplace_back(now, nonce);
+  order_.emplace_back(high_water_, nonce);
   return true;
 }
 
 void ReplayCache::expire(double now) {
-  while (!order_.empty() && order_.front().first + window_ < now) {
+  high_water_ = std::max(high_water_, now);
+  while (!order_.empty() && order_.front().first + window_ < high_water_) {
     seen_.erase(order_.front().second);
     order_.pop_front();
   }

@@ -21,6 +21,10 @@ class ReplayCache {
 
   /// Returns true (and records the nonce) if `nonce` has not been seen within
   /// the window; false if this is a replay.
+  ///
+  /// `now` values need not be monotone (datagram reordering, clock skew):
+  /// times are clamped to the newest time ever observed, so an early `now`
+  /// can neither un-expire old entries nor break the eviction order.
   bool check_and_insert(std::uint64_t nonce, double now);
 
   /// Drops entries older than the window.
@@ -28,10 +32,13 @@ class ReplayCache {
 
   std::size_t size() const { return order_.size(); }
   double window() const { return window_; }
+  /// Newest (clamped) timestamp observed; entries expire relative to this.
+  double high_water() const { return high_water_; }
 
  private:
   double window_;
   std::size_t max_entries_;
+  double high_water_ = 0.0;
   std::unordered_set<std::uint64_t> seen_;
   std::deque<std::pair<double, std::uint64_t>> order_;  // (accept time, nonce)
 };

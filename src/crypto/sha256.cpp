@@ -79,6 +79,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 
 void Sha256::update(std::span<const std::uint8_t> data) {
   if (finished_) throw LogicError("Sha256::update after finish without reset");
+  if (data.empty()) return;  // empty span has a null data(), UB for memcpy
   total_bytes_ += data.size();
   std::size_t pos = 0;
   if (buffered_ > 0) {

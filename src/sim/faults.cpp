@@ -1,0 +1,115 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+namespace fiat::sim {
+
+double GilbertElliott::stationary_loss() const {
+  double p = p_good_to_bad, r = p_bad_to_good;
+  if (p <= 0.0) return loss_good;
+  double frac_bad = p / (p + r);
+  return (1.0 - frac_bad) * loss_good + frac_bad * loss_bad;
+}
+
+bool FaultPlan::injects_anything() const {
+  return burst.p_good_to_bad > 0.0 || burst.loss_good > 0.0 ||
+         duplicate_prob > 0.0 || reorder_prob > 0.0 || corrupt_prob > 0.0 ||
+         !blackouts.empty() || clock_skew > 0.0;
+}
+
+FaultPlan FaultPlan::none() {
+  FaultPlan p;
+  p.name = "none";
+  return p;
+}
+
+FaultPlan FaultPlan::bursty(double stationary_loss, double mean_burst_len) {
+  // Solve for p given r = 1/mean_burst_len, loss_bad = 1, loss_good = 0:
+  // stationary_loss = p/(p+r)  =>  p = r * L / (1 - L).
+  FaultPlan plan;
+  plan.name = "bursty";
+  double l = std::clamp(stationary_loss, 0.0, 0.95);
+  double r = 1.0 / std::max(1.0, mean_burst_len);
+  plan.burst.p_bad_to_good = r;
+  plan.burst.p_good_to_bad = l >= 1.0 ? 1.0 : r * l / (1.0 - l);
+  plan.burst.loss_good = 0.0;
+  plan.burst.loss_bad = 1.0;
+  return plan;
+}
+
+FaultPlan FaultPlan::periodic_blackout(double first, double period, double dark,
+                                       double horizon) {
+  FaultPlan plan;
+  plan.name = "blackout";
+  for (double t = first; t < horizon; t += period) {
+    plan.blackouts.push_back({t, t + dark});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::chaos() {
+  FaultPlan plan = bursty(0.10, 4.0);
+  plan.name = "chaos";
+  plan.duplicate_prob = 0.05;
+  plan.reorder_prob = 0.10;
+  plan.reorder_lag = 0.25;
+  plan.corrupt_prob = 0.02;
+  return plan;
+}
+
+FaultDecision FaultInjector::on_datagram(double now, Rng& rng) {
+  FaultDecision d;
+
+  // Blackout beats everything: nothing leaves the host during an outage.
+  for (const auto& w : plan_.blackouts) {
+    if (w.contains(now)) {
+      ++dropped_blackout_;
+      d.drop = true;
+      return d;
+    }
+  }
+
+  // Advance the Gilbert–Elliott chain once per datagram, then roll loss
+  // under the current state.
+  if (plan_.burst.p_good_to_bad > 0.0 || plan_.burst.loss_good > 0.0) {
+    if (bad_state_) {
+      if (rng.chance(plan_.burst.p_bad_to_good)) bad_state_ = false;
+    } else {
+      if (rng.chance(plan_.burst.p_good_to_bad)) bad_state_ = true;
+    }
+    double loss = bad_state_ ? plan_.burst.loss_bad : plan_.burst.loss_good;
+    if (rng.chance(loss)) {
+      ++dropped_burst_;
+      d.drop = true;
+      return d;
+    }
+  }
+
+  if (plan_.corrupt_prob > 0.0 && rng.chance(plan_.corrupt_prob)) {
+    ++corrupted_;
+    d.corrupt = true;
+  }
+  if (plan_.reorder_prob > 0.0 && rng.chance(plan_.reorder_prob)) {
+    ++reordered_;
+    d.extra_delay += plan_.reorder_lag;
+  }
+  if (plan_.duplicate_prob > 0.0 && rng.chance(plan_.duplicate_prob)) {
+    ++duplicated_;
+    d.duplicate = true;
+    d.duplicate_delay = plan_.duplicate_lag;
+  }
+  d.extra_delay += std::max(0.0, plan_.clock_skew);
+  return d;
+}
+
+void corrupt_bytes(std::vector<std::uint8_t>& data, Rng& rng) {
+  if (data.empty()) return;
+  int flips = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < flips; ++i) {
+    std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+    data[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+  }
+}
+
+}  // namespace fiat::sim

@@ -1,0 +1,130 @@
+// Fault-injection for the simulated network (hostile-network evaluation).
+//
+// The paper's viability argument (§5.3, §6, Table 7) assumes humanness
+// proofs reach the proxy in time over lossy home WiFi and heavy-tailed
+// mobile paths. Independent per-datagram loss (NetPath::sample_loss) is too
+// kind a model: real access networks lose packets in *bursts* (interference,
+// handovers), duplicate them (link-layer retransmit races), reorder them,
+// corrupt payloads, and go entirely dark for seconds at a time. A FaultPlan
+// describes such a regime declaratively; a FaultInjector holds the per-path
+// mutable state (the Gilbert–Elliott channel state) and is consulted by the
+// Network layer once per datagram. Everything is driven by the shared sim
+// Rng, so a fault scenario is reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fiat::sim {
+
+/// Two-state Gilbert–Elliott loss channel: a Markov chain alternating
+/// between a "good" state (low loss) and a "bad" state (high loss). With
+/// p_good_to_bad = p and p_bad_to_good = r, the chain spends r/(p+r) of its
+/// time good, and bad bursts have geometric length with mean 1/r datagrams.
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;  // per-datagram transition probability
+  double p_bad_to_good = 1.0;
+  double loss_good = 0.0;      // loss probability while in the good state
+  double loss_bad = 1.0;       // loss probability while in the bad state
+
+  /// Long-run fraction of datagrams lost (stationary average).
+  double stationary_loss() const;
+};
+
+/// One scheduled total outage: every datagram sent with start <= t < end is
+/// dropped (the router rebooted, the uplink flapped, DHCP renewed, ...).
+struct BlackoutWindow {
+  double start = 0.0;
+  double end = 0.0;
+  bool contains(double t) const { return t >= start && t < end; }
+};
+
+/// Declarative description of a hostile-network regime for one directed
+/// path. Default-constructed plans inject nothing.
+struct FaultPlan {
+  std::string name = "none";
+
+  /// Burst loss; leave at defaults (p_good_to_bad = 0) for no burst loss.
+  GilbertElliott burst;
+  /// Independent duplication probability (the duplicate is delivered too,
+  /// after `duplicate_lag` extra seconds).
+  double duplicate_prob = 0.0;
+  double duplicate_lag = 0.05;
+  /// Probability a datagram is held back `reorder_lag` extra seconds, which
+  /// lets later datagrams overtake it.
+  double reorder_prob = 0.0;
+  double reorder_lag = 0.2;
+  /// Probability the payload is corrupted in flight (random byte flips; an
+  /// AEAD/MAC layer above must treat this exactly like loss).
+  double corrupt_prob = 0.0;
+  /// Total outages, consulted against send time.
+  std::vector<BlackoutWindow> blackouts;
+  /// Constant one-way clock skew of the receiving side (seconds, >= 0 after
+  /// clamping): models a receiver whose clock runs behind the sender's, so
+  /// everything on this path appears `clock_skew` late.
+  double clock_skew = 0.0;
+
+  bool injects_anything() const;
+
+  // -- canned regimes used by tests and bench_fault_matrix ------------------
+  /// No faults at all (explicit baseline).
+  static FaultPlan none();
+  /// Gilbert–Elliott burst loss with the given stationary loss rate and
+  /// mean burst length (in datagrams).
+  static FaultPlan bursty(double stationary_loss, double mean_burst_len);
+  /// Periodic total outages: `dark` seconds dark every `period` seconds,
+  /// starting at `first`, until `horizon`.
+  static FaultPlan periodic_blackout(double first, double period, double dark,
+                                     double horizon);
+  /// Everything at once: moderate bursts + duplication + reordering +
+  /// corruption (the "hostile home WiFi" kitchen sink).
+  static FaultPlan chaos();
+};
+
+/// What the injector decided for one datagram.
+struct FaultDecision {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  double extra_delay = 0.0;      // reorder hold-back + clock skew
+  double duplicate_delay = 0.0;  // extra delay of the duplicate copy
+};
+
+/// Per-path mutable fault state. The Network owns one per directed path
+/// that has a plan installed and consults it once per send() in send order,
+/// which keeps the Gilbert–Elliott chain (and therefore the whole run)
+/// deterministic under a fixed seed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Rolls the fates of one datagram sent at time `now`.
+  FaultDecision on_datagram(double now, Rng& rng);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool in_bad_state() const { return bad_state_; }
+
+  // -- health counters ------------------------------------------------------
+  std::size_t dropped_burst() const { return dropped_burst_; }
+  std::size_t dropped_blackout() const { return dropped_blackout_; }
+  std::size_t duplicated() const { return duplicated_; }
+  std::size_t reordered() const { return reordered_; }
+  std::size_t corrupted() const { return corrupted_; }
+
+ private:
+  FaultPlan plan_;
+  bool bad_state_ = false;
+  std::size_t dropped_burst_ = 0;
+  std::size_t dropped_blackout_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t reordered_ = 0;
+  std::size_t corrupted_ = 0;
+};
+
+/// Flips 1-4 random bytes of `data` in place (no-op on empty payloads).
+void corrupt_bytes(std::vector<std::uint8_t>& data, Rng& rng);
+
+}  // namespace fiat::sim

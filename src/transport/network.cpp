@@ -14,6 +14,32 @@ void Network::set_path(const EndpointId& from, const EndpointId& to,
   paths_.insert_or_assign({from, to}, NetPath(std::move(profile)));
 }
 
+void Network::set_fault_plan(const EndpointId& from, const EndpointId& to,
+                             sim::FaultPlan plan) {
+  if (!paths_.contains({from, to})) {
+    throw LogicError("Network: fault plan on unknown path " + from + "->" + to);
+  }
+  faults_.insert_or_assign({from, to}, sim::FaultInjector(std::move(plan)));
+}
+
+const sim::FaultInjector* Network::fault_injector(const EndpointId& from,
+                                                  const EndpointId& to) const {
+  auto it = faults_.find({from, to});
+  return it == faults_.end() ? nullptr : &it->second;
+}
+
+void Network::deliver_after(double delay, const EndpointId& from,
+                            const EndpointId& to, util::Bytes data) {
+  scheduler_.after(delay, [this, from, to, data = std::move(data)]() mutable {
+    auto ep = endpoints_.find(to);
+    if (ep == endpoints_.end()) {
+      ++dropped_;
+      return;
+    }
+    ep->second(from, std::move(data));
+  });
+}
+
 void Network::send(const EndpointId& from, const EndpointId& to, util::Bytes data) {
   ++sent_;
   auto path_it = paths_.find({from, to});
@@ -23,14 +49,26 @@ void Network::send(const EndpointId& from, const EndpointId& to, util::Bytes dat
     return;
   }
   double delay = path_it->second.sample_owd(rng_);
-  scheduler_.after(delay, [this, from, to, data = std::move(data)]() mutable {
-    auto ep = endpoints_.find(to);
-    if (ep == endpoints_.end()) {
+
+  auto fault_it = faults_.find({from, to});
+  if (fault_it != faults_.end()) {
+    sim::FaultDecision fate = fault_it->second.on_datagram(scheduler_.now(), rng_);
+    if (fate.drop) {
       ++dropped_;
       return;
     }
-    ep->second(from, std::move(data));
-  });
+    if (fate.corrupt) {
+      ++corrupted_;
+      sim::corrupt_bytes(data, rng_);
+    }
+    if (fate.duplicate) {
+      ++duplicated_;
+      // The duplicate copy rides its own (later) delivery event.
+      deliver_after(delay + fate.extra_delay + fate.duplicate_delay, from, to, data);
+    }
+    delay += fate.extra_delay;
+  }
+  deliver_after(delay, from, to, std::move(data));
 }
 
 }  // namespace fiat::transport

@@ -1,6 +1,11 @@
 // Simulated datagram network: endpoints register receive callbacks; sends
 // are delivered through a NetPath (sampled delay + loss) on the shared
 // discrete-event scheduler. QuicLite runs on top of this.
+//
+// A FaultPlan may additionally be installed per directed path; the injector
+// is consulted once per datagram and can drop (bursts, blackouts),
+// duplicate, reorder (hold back), corrupt, or skew datagrams on top of the
+// NetPath's base delay/loss model.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "transport/netpath.hpp"
@@ -28,6 +34,13 @@ class Network {
   void attach(const EndpointId& id, ReceiveFn on_receive);
   /// Declares the path used for `from` -> `to` (and only that direction).
   void set_path(const EndpointId& from, const EndpointId& to, PathProfile profile);
+  /// Installs a fault plan on an existing directed path (replacing any prior
+  /// plan and resetting its injector state). The path must exist.
+  void set_fault_plan(const EndpointId& from, const EndpointId& to,
+                      sim::FaultPlan plan);
+  /// The injector for a directed path, or nullptr when none is installed.
+  const sim::FaultInjector* fault_injector(const EndpointId& from,
+                                           const EndpointId& to) const;
 
   /// Sends a datagram; delivery is scheduled after the sampled one-way delay,
   /// or never if the loss draw fails. Unknown destinations are dropped.
@@ -35,15 +48,23 @@ class Network {
 
   std::size_t datagrams_sent() const { return sent_; }
   std::size_t datagrams_dropped() const { return dropped_; }
+  std::size_t datagrams_duplicated() const { return duplicated_; }
+  std::size_t datagrams_corrupted() const { return corrupted_; }
   sim::Scheduler& scheduler() { return scheduler_; }
 
  private:
+  void deliver_after(double delay, const EndpointId& from, const EndpointId& to,
+                     util::Bytes data);
+
   sim::Scheduler& scheduler_;
   sim::Rng& rng_;
   std::map<EndpointId, ReceiveFn> endpoints_;
   std::map<std::pair<EndpointId, EndpointId>, NetPath> paths_;
+  std::map<std::pair<EndpointId, EndpointId>, sim::FaultInjector> faults_;
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t corrupted_ = 0;
 };
 
 }  // namespace fiat::transport

@@ -1,5 +1,9 @@
 #include "transport/quic_lite.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+
 #include "crypto/hkdf.hpp"
 #include "crypto/hmac.hpp"
 #include "util/error.hpp"
@@ -9,8 +13,6 @@ namespace fiat::transport {
 namespace {
 
 constexpr std::size_t kRandomLen = 16;
-constexpr double kRetransmitTimeout = 0.4;  // seconds
-constexpr int kMaxRetransmits = 5;
 
 std::vector<std::uint8_t> derive_session_key(
     std::span<const std::uint8_t> psk, std::span<const std::uint8_t> client_random,
@@ -154,7 +156,7 @@ void QuicServer::handle_client_hello(const EndpointId& from, util::ByteReader& r
   ticket_wire.u32be(conn_id);
   ticket_wire.raw(std::span<const std::uint8_t>(ticket.data(), ticket.size()));
 
-  sessions_[conn_id] = Session{client_id, session_key};
+  sessions_[conn_id] = Session{client_id, session_key, {}};
   ++handshakes_;
 
   util::ByteWriter hello;
@@ -243,6 +245,12 @@ void QuicServer::handle_one_rtt(const EndpointId& from, util::ByteReader& r,
     ++auth_failures_;
     return;
   }
+  if (!session->second.delivered_pns.insert(pn).second) {
+    // Authenticated duplicate (our ack died and the client retransmitted):
+    // re-ack so the sender stops, but never deliver twice.
+    send_ack(from, conn_id, pn, session->second.session_key);
+    return;
+  }
   if (on_message_) {
     QuicDelivery d;
     d.client_id = session->second.client_id;
@@ -269,23 +277,27 @@ void QuicServer::send_ack(const EndpointId& to, std::uint32_t conn_id,
 
 QuicClient::QuicClient(Network& network, EndpointId id, EndpointId server,
                        std::string client_id, std::span<const std::uint8_t> psk,
-                       sim::Rng& rng)
+                       sim::Rng& rng, QuicRetryConfig retry)
     : network_(network),
       id_(std::move(id)),
       server_(std::move(server)),
       client_id_(std::move(client_id)),
       psk_(psk.begin(), psk.end()),
-      rng_(rng) {
+      rng_(rng),
+      retry_(retry) {
   conn_id_ = static_cast<std::uint32_t>(rng_.next());
   network_.attach(id_, [this](const EndpointId& from, util::Bytes data) {
     on_datagram(from, std::move(data));
   });
 }
 
-void QuicClient::connect(ConnectFn on_connected) {
+void QuicClient::connect(ConnectFn on_connected, FailFn on_failed) {
   on_connected_ = std::move(on_connected);
+  on_connect_failed_ = std::move(on_failed);
+  conn_id_ = static_cast<std::uint32_t>(rng_.next());
   connect_start_ = network_.scheduler().now();
   rng_.fill_bytes(client_random_);
+  session_key_.clear();  // a reconnect voids the old session until it completes
 
   util::ByteWriter hello;
   hello.u8(static_cast<std::uint8_t>(QuicPacketType::kClientHello));
@@ -299,17 +311,76 @@ void QuicClient::connect(ConnectFn on_connected) {
   retransmit(0, std::move(datagram), 1);  // pn 0 reserved for the handshake
 }
 
+double QuicClient::backoff_timeout(int attempts) {
+  double timeout = retry_.initial_timeout;
+  for (int i = 1; i < attempts; ++i) timeout *= retry_.multiplier;
+  timeout = std::min(timeout, retry_.max_timeout);
+  if (retry_.jitter > 0.0) {
+    timeout *= 1.0 + retry_.jitter * (2.0 * rng_.uniform() - 1.0);
+  }
+  return timeout;
+}
+
 void QuicClient::retransmit(std::uint64_t pn, util::Bytes datagram, int attempts) {
-  if (attempts > kMaxRetransmits) return;
-  network_.scheduler().after(kRetransmitTimeout, [this, pn, datagram, attempts]() {
+  if (attempts > retry_.max_retransmits) {
+    // Last chance was sent; check back after one more timeout whether it
+    // made it, and declare terminal failure if not.
+    network_.scheduler().after(backoff_timeout(attempts),
+                               [this, pn]() { on_budget_exhausted(pn); });
+    return;
+  }
+  network_.scheduler().after(backoff_timeout(attempts), [this, pn, datagram,
+                                                         attempts]() {
     bool done = (pn == 0) ? connected() : acked_[pn];
     if (done) return;
+    ++retransmits_;
     network_.send(id_, server_, datagram);
     retransmit(pn, datagram, attempts + 1);
   });
 }
 
-void QuicClient::send(util::Bytes data, AckFn on_acked) {
+void QuicClient::fail(FailFn& specific) {
+  ++failures_;
+  FailFn cb = specific ? std::move(specific) : on_failed_;
+  if (cb) cb();
+}
+
+void QuicClient::on_budget_exhausted(std::uint64_t pn) {
+  if (pn == 0) {
+    if (connected()) return;
+    FailFn cb = std::exchange(on_connect_failed_, nullptr);
+    on_connected_ = nullptr;
+    fail(cb);
+    return;
+  }
+  auto it = pending_acks_.find(pn);
+  if (it == pending_acks_.end() || acked_[pn]) return;
+  Pending pending = std::move(it->second);
+  pending_acks_.erase(it);
+  acked_[pn] = true;  // silence any still-scheduled retransmit timers
+
+  if (pending.zero_rtt && retry_.fallback_to_1rtt) {
+    // The ticket (or the path) is no good: burn it and push the same
+    // payload through a fresh full handshake. Only a second exhaustion is
+    // a terminal failure.
+    ++fallbacks_;
+    ticket_.clear();
+    zero_rtt_key_.clear();
+    last_zero_rtt_datagram_.clear();
+    auto plaintext = std::make_shared<util::Bytes>(std::move(pending.plaintext));
+    auto on_acked = std::make_shared<AckFn>(std::move(pending.on_acked));
+    auto on_failed = std::make_shared<FailFn>(std::move(pending.on_failed));
+    connect(
+        [this, plaintext, on_acked, on_failed](double) {
+          send(std::move(*plaintext), std::move(*on_acked), std::move(*on_failed));
+        },
+        [this, on_failed]() { fail(*on_failed); });
+    return;
+  }
+  fail(pending.on_failed);
+}
+
+void QuicClient::send(util::Bytes data, AckFn on_acked, FailFn on_failed) {
   if (!connected()) throw LogicError("QuicClient::send before connect completes");
   std::uint64_t pn = next_pn_++;
   util::ByteWriter w;
@@ -322,13 +393,14 @@ void QuicClient::send(util::Bytes data, AckFn on_acked) {
                           std::span<const std::uint8_t>(data.data(), data.size()));
   w.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
   util::Bytes datagram = w.take();
-  pending_acks_[pn] = {network_.scheduler().now(), std::move(on_acked)};
+  pending_acks_[pn] = Pending{network_.scheduler().now(), std::move(on_acked),
+                              std::move(on_failed), {}, /*zero_rtt=*/false};
   acked_[pn] = false;
   network_.send(id_, server_, datagram);
   retransmit(pn, std::move(datagram), 1);
 }
 
-bool QuicClient::send_zero_rtt(util::Bytes data, AckFn on_acked) {
+bool QuicClient::send_zero_rtt(util::Bytes data, AckFn on_acked, FailFn on_failed) {
   if (!has_ticket()) return false;
   std::uint64_t pn = next_pn_++;
   std::uint64_t nonce = rng_.next();
@@ -346,7 +418,8 @@ bool QuicClient::send_zero_rtt(util::Bytes data, AckFn on_acked) {
   w.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
   util::Bytes datagram = w.take();
   last_zero_rtt_datagram_ = datagram;
-  pending_acks_[pn] = {network_.scheduler().now(), std::move(on_acked)};
+  pending_acks_[pn] = Pending{network_.scheduler().now(), std::move(on_acked),
+                              std::move(on_failed), data, /*zero_rtt=*/true};
   acked_[pn] = false;
   network_.send(id_, server_, datagram);
   retransmit(pn, std::move(datagram), 1);
@@ -377,6 +450,7 @@ void QuicClient::on_datagram(const EndpointId& /*from*/, util::Bytes data) {
       resumption_secret_ = derive_resumption(session_key_);
       zero_rtt_key_ = derive_zero_rtt(resumption_secret_);
       ticket_.assign(ticket.begin(), ticket.end());
+      on_connect_failed_ = nullptr;
       if (on_connected_) {
         double elapsed = network_.scheduler().now() - connect_start_;
         auto cb = std::move(on_connected_);
@@ -398,8 +472,8 @@ void QuicClient::on_datagram(const EndpointId& /*from*/, util::Bytes data) {
       }
       if (!ok) return;
       acked_[pn] = true;
-      double elapsed = network_.scheduler().now() - it->second.first;
-      auto cb = std::move(it->second.second);
+      double elapsed = network_.scheduler().now() - it->second.send_time;
+      auto cb = std::move(it->second.on_acked);
       pending_acks_.erase(it);
       if (cb) cb(elapsed);
     }

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,9 @@ class QuicServer {
   struct Session {
     std::string client_id;
     std::vector<std::uint8_t> session_key;
+    /// Packet numbers already delivered up the stack: a 1-RTT retransmit
+    /// whose ack died is re-acked, never re-delivered (QUIC pn dedup).
+    std::set<std::uint64_t> delivered_pns;
   };
 
   Network& network_;
@@ -97,22 +101,47 @@ class QuicServer {
   std::size_t auth_failures_ = 0;
 };
 
+/// Retry policy for unacknowledged datagrams: exponential backoff with
+/// jitter, a bounded retransmit budget, and (for 0-RTT) automatic fallback
+/// to a fresh 1-RTT exchange when the early data is never acknowledged —
+/// which is what a rejected/expired ticket, a server restart, or a network
+/// blackout all look like from the client.
+struct QuicRetryConfig {
+  double initial_timeout = 0.4;  // seconds before the first retransmit
+  double multiplier = 2.0;       // backoff factor per attempt
+  double max_timeout = 6.4;      // backoff cap
+  double jitter = 0.1;           // +/- fraction of the timeout, decorrelates
+  int max_retransmits = 5;       // budget after the initial send
+  bool fallback_to_1rtt = true;  // 0-RTT exhausted -> discard ticket, retry 1-RTT
+};
+
 class QuicClient {
  public:
   using ConnectFn = std::function<void(double connect_time)>;
   using AckFn = std::function<void(double ack_time)>;
+  /// Terminal failure: the retransmit budget (and any 1-RTT fallback) is
+  /// exhausted and the data is NOT at the server. The app must re-prove.
+  using FailFn = std::function<void()>;
 
   QuicClient(Network& network, EndpointId id, EndpointId server,
              std::string client_id, std::span<const std::uint8_t> psk,
-             sim::Rng& rng);
+             sim::Rng& rng, QuicRetryConfig retry = {});
 
-  /// Starts a 1-RTT handshake; `on_connected` fires when ServerHello arrives.
-  void connect(ConnectFn on_connected);
+  void set_retry_config(QuicRetryConfig retry) { retry_ = retry; }
+  /// Fallback failure handler for messages sent without their own FailFn
+  /// and for failed handshakes.
+  void set_on_failed(FailFn fn) { on_failed_ = std::move(fn); }
+
+  /// Starts a 1-RTT handshake; `on_connected` fires when ServerHello
+  /// arrives, `on_failed` (or the global handler) when the budget runs out.
+  void connect(ConnectFn on_connected, FailFn on_failed = nullptr);
   /// Sends application data on the established session (requires connect()).
-  void send(util::Bytes data, AckFn on_acked);
+  void send(util::Bytes data, AckFn on_acked, FailFn on_failed = nullptr);
   /// Sends 0-RTT early data using a stored ticket. Returns false (and sends
-  /// nothing) if no ticket is available yet.
-  bool send_zero_rtt(util::Bytes data, AckFn on_acked);
+  /// nothing) if no ticket is available yet. If the early data is never
+  /// acked and fallback is enabled, the ticket is discarded and the same
+  /// payload is re-sent over a fresh 1-RTT exchange before giving up.
+  bool send_zero_rtt(util::Bytes data, AckFn on_acked, FailFn on_failed = nullptr);
   /// For replay-attack experiments: re-sends the last 0-RTT datagram bytes
   /// verbatim (what an on-path attacker would do).
   bool replay_last_zero_rtt();
@@ -120,9 +149,24 @@ class QuicClient {
   bool has_ticket() const { return !ticket_.empty(); }
   bool connected() const { return !session_key_.empty(); }
 
+  std::size_t retransmits() const { return retransmits_; }
+  std::size_t zero_rtt_fallbacks() const { return fallbacks_; }
+  std::size_t failures() const { return failures_; }
+
  private:
+  struct Pending {
+    double send_time = 0.0;
+    AckFn on_acked;
+    FailFn on_failed;
+    util::Bytes plaintext;  // kept for 0-RTT -> 1-RTT fallback
+    bool zero_rtt = false;
+  };
+
   void on_datagram(const EndpointId& from, util::Bytes data);
   void retransmit(std::uint64_t pn, util::Bytes datagram, int attempts);
+  double backoff_timeout(int attempts);
+  void on_budget_exhausted(std::uint64_t pn);
+  void fail(FailFn& specific);
 
   Network& network_;
   EndpointId id_;
@@ -130,6 +174,7 @@ class QuicClient {
   std::string client_id_;
   std::vector<std::uint8_t> psk_;
   sim::Rng& rng_;
+  QuicRetryConfig retry_;
 
   std::uint32_t conn_id_ = 0;
   std::uint64_t next_pn_ = 1;
@@ -142,8 +187,13 @@ class QuicClient {
 
   double connect_start_ = 0.0;
   ConnectFn on_connected_;
-  std::map<std::uint64_t, std::pair<double, AckFn>> pending_acks_;  // pn -> (send time, cb)
+  FailFn on_connect_failed_;
+  FailFn on_failed_;
+  std::map<std::uint64_t, Pending> pending_acks_;
   std::map<std::uint64_t, bool> acked_;
+  std::size_t retransmits_ = 0;
+  std::size_t fallbacks_ = 0;
+  std::size_t failures_ = 0;
 };
 
 }  // namespace fiat::transport

@@ -375,5 +375,52 @@ TEST(ReplayCache, ExpireDropsOldEntries) {
   EXPECT_EQ(cache.size(), 1u);  // entry at t=0 dropped, t=3 kept
 }
 
+// Regression: `now` values arriving out of order (datagram reordering, a
+// skewed caller clock) must neither shorten replay protection nor corrupt
+// the deque/set invariant. Times are clamped to the high-water mark.
+
+TEST(ReplayCache, OutOfOrderNowClampsToHighWater) {
+  ReplayCache cache(10.0);
+  EXPECT_TRUE(cache.check_and_insert(1, 100.0));
+  EXPECT_TRUE(cache.check_and_insert(2, 5.0));  // stamped in the past
+  EXPECT_EQ(cache.high_water(), 100.0);
+  // The skewed entry expires with the t=100 generation, not at t=15.
+  cache.expire(106.0);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.expire(111.0);
+  EXPECT_EQ(cache.size(), 0u);  // nothing strands behind an expired front
+}
+
+TEST(ReplayCache, OutOfOrderAcceptanceDoesNotShortenReplayProtection) {
+  // Capacity 1 forces the skewed entry to the deque front, where raw-time
+  // expiry would drop it a full 95 s before the server really accepted it —
+  // silently reopening the 0-RTT replay window.
+  ReplayCache cache(10.0, 1);
+  EXPECT_TRUE(cache.check_and_insert(1, 100.0));
+  EXPECT_TRUE(cache.check_and_insert(3, 5.0));  // evicts 1; stamped t=5
+  EXPECT_FALSE(cache.check_and_insert(3, 16.0));   // raw time would expire here
+  EXPECT_FALSE(cache.check_and_insert(3, 105.0));  // still inside the window
+  EXPECT_TRUE(cache.check_and_insert(3, 111.0));   // window after high water
+}
+
+TEST(ReplayCache, EarlyExpireCannotRollBackTime) {
+  ReplayCache cache(10.0);
+  EXPECT_TRUE(cache.check_and_insert(1, 100.0));
+  cache.expire(0.0);  // stale caller clock: must be a no-op
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.check_and_insert(1, 100.0));
+}
+
+TEST(ReplayCache, CapacityEvictionCorrectUnderOutOfOrderTimes) {
+  ReplayCache cache(1000.0, 2);
+  EXPECT_TRUE(cache.check_and_insert(1, 10.0));
+  EXPECT_TRUE(cache.check_and_insert(2, 4.0));
+  EXPECT_TRUE(cache.check_and_insert(3, 6.0));  // evicts oldest-inserted (1)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.check_and_insert(1, 10.0));  // evicted => accepted anew
+  EXPECT_FALSE(cache.check_and_insert(3, 2.0));  // still present
+  EXPECT_EQ(cache.size(), 2u);                   // set/deque stayed in sync
+}
+
 }  // namespace
 }  // namespace fiat::crypto

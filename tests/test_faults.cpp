@@ -1,0 +1,274 @@
+// Tests for the fault-injection layer (sim/faults) and its integration with
+// the simulated Network: Gilbert–Elliott burst statistics, blackout windows,
+// duplication / reordering / corruption, and determinism under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/network.hpp"
+#include "util/error.hpp"
+
+namespace fiat::sim {
+namespace {
+
+TEST(GilbertElliott, StationaryLossMatchesClosedForm) {
+  GilbertElliott ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.25;
+  ge.loss_good = 0.0;
+  ge.loss_bad = 1.0;
+  // frac_bad = p/(p+r) = 0.05/0.30.
+  EXPECT_NEAR(ge.stationary_loss(), 0.05 / 0.30, 1e-12);
+
+  GilbertElliott calm;  // defaults: never leaves the good state
+  EXPECT_DOUBLE_EQ(calm.stationary_loss(), 0.0);
+}
+
+TEST(FaultPlan, BurstyHitsRequestedStationaryLoss) {
+  for (double target : {0.05, 0.10, 0.20, 0.30}) {
+    auto plan = FaultPlan::bursty(target, 4.0);
+    EXPECT_NEAR(plan.burst.stationary_loss(), target, 1e-9) << target;
+  }
+}
+
+TEST(FaultPlan, NoneInjectsNothingAndChaosInjectsEverything) {
+  EXPECT_FALSE(FaultPlan::none().injects_anything());
+  auto chaos = FaultPlan::chaos();
+  EXPECT_TRUE(chaos.injects_anything());
+  EXPECT_GT(chaos.duplicate_prob, 0.0);
+  EXPECT_GT(chaos.reorder_prob, 0.0);
+  EXPECT_GT(chaos.corrupt_prob, 0.0);
+  EXPECT_GT(chaos.burst.p_good_to_bad, 0.0);
+}
+
+TEST(FaultInjector, EmpiricalLossTracksStationaryLoss) {
+  const double target = 0.25;
+  FaultInjector inj(FaultPlan::bursty(target, 5.0));
+  Rng rng(1234);
+  const int n = 200000;
+  int lost = 0;
+  for (int i = 0; i < n; ++i) {
+    if (inj.on_datagram(0.0, rng).drop) ++lost;
+  }
+  double rate = static_cast<double>(lost) / n;
+  EXPECT_NEAR(rate, target, 0.02);
+  EXPECT_EQ(inj.dropped_burst(), static_cast<std::size_t>(lost));
+  EXPECT_EQ(inj.dropped_blackout(), 0u);
+}
+
+TEST(FaultInjector, BurstLengthsAreGeometricWithRequestedMean) {
+  // With loss_bad = 1 and loss_good = 0, a loss run is exactly a stay in the
+  // bad state, so run lengths are geometric with mean 1/r = mean_burst_len.
+  const double mean_burst = 4.0;
+  FaultInjector inj(FaultPlan::bursty(0.20, mean_burst));
+  Rng rng(99);
+  std::vector<int> bursts;
+  int current = 0;
+  for (int i = 0; i < 300000; ++i) {
+    if (inj.on_datagram(0.0, rng).drop) {
+      ++current;
+    } else if (current > 0) {
+      bursts.push_back(current);
+      current = 0;
+    }
+  }
+  ASSERT_GT(bursts.size(), 1000u);
+  double sum = 0.0;
+  int maxlen = 0;
+  for (int b : bursts) {
+    sum += b;
+    maxlen = std::max(maxlen, b);
+  }
+  double mean = sum / static_cast<double>(bursts.size());
+  EXPECT_NEAR(mean, mean_burst, 0.25);
+  // Geometric tail: bursts much longer than the mean must exist (this is
+  // exactly what independent Bernoulli loss does NOT produce at p = 0.2).
+  EXPECT_GE(maxlen, 12);
+  // ... and P(len >= 2) should be close to (1 - r) = 0.75.
+  double ge2 = 0.0;
+  for (int b : bursts) ge2 += (b >= 2) ? 1.0 : 0.0;
+  EXPECT_NEAR(ge2 / static_cast<double>(bursts.size()), 0.75, 0.03);
+}
+
+TEST(FaultInjector, DeterministicUnderFixedSeed) {
+  auto run = [] {
+    FaultInjector inj(FaultPlan::chaos());
+    Rng rng(777);
+    std::vector<int> trace;
+    for (int i = 0; i < 5000; ++i) {
+      auto d = inj.on_datagram(i * 0.01, rng);
+      trace.push_back((d.drop ? 1 : 0) | (d.corrupt ? 2 : 0) |
+                      (d.duplicate ? 4 : 0) |
+                      (d.extra_delay > 0.0 ? 8 : 0));
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjector, BlackoutWindowsDropEverythingInsideThem) {
+  FaultInjector inj(FaultPlan::periodic_blackout(10.0, 30.0, 5.0, 100.0));
+  Rng rng(1);
+  EXPECT_EQ(inj.plan().blackouts.size(), 3u);  // 10, 40, 70
+  EXPECT_FALSE(inj.on_datagram(9.99, rng).drop);
+  EXPECT_TRUE(inj.on_datagram(10.0, rng).drop);
+  EXPECT_TRUE(inj.on_datagram(14.99, rng).drop);
+  EXPECT_FALSE(inj.on_datagram(15.0, rng).drop);  // window is [start, end)
+  EXPECT_TRUE(inj.on_datagram(41.0, rng).drop);
+  EXPECT_FALSE(inj.on_datagram(99.0, rng).drop);
+  EXPECT_EQ(inj.dropped_blackout(), 3u);
+}
+
+TEST(FaultInjector, ClockSkewDelaysEveryDatagram) {
+  FaultPlan plan;
+  plan.clock_skew = 0.8;
+  FaultInjector inj(plan);
+  Rng rng(5);
+  auto d = inj.on_datagram(0.0, rng);
+  EXPECT_FALSE(d.drop);
+  EXPECT_DOUBLE_EQ(d.extra_delay, 0.8);
+}
+
+TEST(CorruptBytes, MutatesInPlaceAndHandlesEmpty) {
+  Rng rng(42);
+  std::vector<std::uint8_t> empty;
+  corrupt_bytes(empty, rng);  // must not crash
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<std::uint8_t> data(64, 0xaa);
+  auto orig = data;
+  corrupt_bytes(data, rng);
+  EXPECT_EQ(data.size(), orig.size());
+  EXPECT_NE(data, orig);  // XOR with a non-zero value guarantees a change
+}
+
+// -- Network integration ------------------------------------------------------
+
+struct NetFixture {
+  Scheduler sched;
+  Rng rng{2024};
+  transport::Network net{sched, rng};
+  std::vector<util::Bytes> received;
+
+  NetFixture() {
+    net.attach("a", [](const transport::EndpointId&, util::Bytes) {});
+    net.attach("b", [this](const transport::EndpointId&, util::Bytes data) {
+      received.push_back(std::move(data));
+    });
+    transport::PathProfile clean;
+    clean.name = "clean";
+    clean.base_owd = 0.01;
+    clean.jitter_mu = -9.0;
+    clean.jitter_sigma = 0.1;
+    clean.loss_rate = 0.0;
+    net.set_path("a", "b", clean);
+  }
+};
+
+TEST(NetworkFaults, SetFaultPlanRequiresExistingPath) {
+  NetFixture f;
+  EXPECT_THROW(f.net.set_fault_plan("a", "zz", FaultPlan::chaos()), LogicError);
+  f.net.set_fault_plan("a", "b", FaultPlan::chaos());
+  ASSERT_NE(f.net.fault_injector("a", "b"), nullptr);
+  EXPECT_EQ(f.net.fault_injector("b", "a"), nullptr);  // directed
+}
+
+TEST(NetworkFaults, BlackoutDropsAndCountersAdvance) {
+  NetFixture f;
+  f.net.set_fault_plan("a", "b", FaultPlan::periodic_blackout(0.0, 100.0, 10.0, 50.0));
+  for (int i = 0; i < 20; ++i) {
+    f.sched.at(i * 1.0, [&f] { f.net.send("a", "b", {0x01, 0x02}); });
+  }
+  f.sched.run();
+  // Sends at t=0..9 fall in the blackout; t=10..19 get through.
+  EXPECT_EQ(f.received.size(), 10u);
+  EXPECT_EQ(f.net.datagrams_dropped(), 10u);
+  EXPECT_EQ(f.net.fault_injector("a", "b")->dropped_blackout(), 10u);
+}
+
+TEST(NetworkFaults, DuplicationDeliversTwiceAndCorruptionMutates) {
+  NetFixture f;
+  FaultPlan plan;
+  plan.name = "dup-all";
+  plan.duplicate_prob = 1.0;
+  f.net.set_fault_plan("a", "b", plan);
+  f.sched.at(0.0, [&f] { f.net.send("a", "b", {0xde, 0xad}); });
+  f.sched.run();
+  EXPECT_EQ(f.received.size(), 2u);
+  EXPECT_EQ(f.net.datagrams_duplicated(), 1u);
+  EXPECT_EQ(f.received[0], f.received[1]);
+
+  NetFixture g;
+  FaultPlan corrupt;
+  corrupt.name = "corrupt-all";
+  corrupt.corrupt_prob = 1.0;
+  g.net.set_fault_plan("a", "b", corrupt);
+  util::Bytes payload(32, 0x55);
+  g.sched.at(0.0, [&g, payload] { g.net.send("a", "b", payload); });
+  g.sched.run();
+  ASSERT_EQ(g.received.size(), 1u);
+  EXPECT_EQ(g.net.datagrams_corrupted(), 1u);
+  EXPECT_EQ(g.received[0].size(), payload.size());
+  EXPECT_NE(g.received[0], payload);
+}
+
+TEST(NetworkFaults, ReorderHoldbackLetsLaterDatagramsOvertake) {
+  NetFixture f;
+  FaultPlan plan;
+  plan.name = "reorder-all";
+  plan.reorder_prob = 1.0;
+  plan.reorder_lag = 0.5;
+  f.net.set_fault_plan("a", "b", plan);
+  // First datagram is held back 0.5 s on top of its OWD; the second, sent
+  // 0.1 s later without a plan change... both get held back, so instead
+  // install the plan only for the first send.
+  f.sched.at(0.0, [&f] { f.net.send("a", "b", {0x01}); });
+  f.sched.at(0.1, [&f] {
+    f.net.set_fault_plan("a", "b", FaultPlan::none());
+    f.net.send("a", "b", {0x02});
+  });
+  f.sched.run();
+  ASSERT_EQ(f.received.size(), 2u);
+  // The unfaulted second datagram (sent 0.1 s later, ~0.01 s OWD) arrives
+  // before the held-back first one (>= 0.51 s in flight).
+  EXPECT_EQ(f.received[0], util::Bytes{0x02});
+  EXPECT_EQ(f.received[1], util::Bytes{0x01});
+}
+
+TEST(NetworkFaults, FaultFreePathsKeepTheirRngStream) {
+  // Installing a fault plan on one path must not perturb delivery on another
+  // path in the same network (beyond the injector's own RNG draws).
+  auto run = [](bool with_faults) {
+    Scheduler sched;
+    Rng rng(31337);
+    transport::Network net(sched, rng);
+    std::vector<double> arrival_times;
+    net.attach("a", [](const transport::EndpointId&, util::Bytes) {});
+    net.attach("b", [&](const transport::EndpointId&, util::Bytes) {
+      arrival_times.push_back(sched.now());
+    });
+    transport::PathProfile p;
+    p.base_owd = 0.02;
+    p.jitter_mu = -6.0;
+    p.jitter_sigma = 0.4;
+    net.set_path("a", "b", p);
+    if (with_faults) {
+      // A plan that never consumes RNG (blackout far in the future).
+      net.set_fault_plan("a", "b",
+                         FaultPlan::periodic_blackout(1e9, 1.0, 0.5, 1e9 + 1));
+    }
+    for (int i = 0; i < 10; ++i) {
+      sched.at(i * 0.1, [&net] { net.send("a", "b", {0x00}); });
+    }
+    sched.run();
+    return arrival_times;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace fiat::sim

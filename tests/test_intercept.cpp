@@ -4,6 +4,7 @@
 
 #include "core/intercept.hpp"
 #include "net/dns.hpp"
+#include "sim/rng.hpp"
 #include "util/error.hpp"
 
 namespace fiat::core {
@@ -129,6 +130,51 @@ TEST(Intercept, CountsFrames) {
 TEST(Intercept, RequiresForwardCallback) {
   Fixture f;
   EXPECT_THROW(InterceptPoint(f.proxy, nullptr), LogicError);
+}
+
+// Frame-mutation fuzz: feed thousands of truncated and bit-flipped variants
+// of valid frames through the intercept point. The contract is fail-safe:
+// never crash or throw out of handle_frame, and anything that no longer
+// parses as a well-formed IPv4 packet is dropped and counted as malformed.
+TEST(Intercept, FuzzedFramesNeverCrashAndFailSafe) {
+  Fixture f;
+  sim::Rng rng(0xf00dcafe);
+  const util::Bytes seeds[] = {
+      heartbeat_frame(kCloudA),
+      heartbeat_frame(kCloudB, 235 - 40),
+      dns_response_frame("api.dev.example", kCloudA),
+  };
+
+  std::size_t mutants = 0;
+  for (const auto& seed : seeds) {
+    // Every truncation length, including zero-length and header-only stubs.
+    for (std::size_t len = 0; len <= seed.size(); ++len) {
+      std::span<const std::uint8_t> cut(seed.data(), len);
+      Verdict v = f.intercept.handle_frame(1.0, cut);
+      EXPECT_TRUE(v == Verdict::kAllow || v == Verdict::kDrop);
+      ++mutants;
+    }
+    // Random byte flips, 1–8 per mutant, anywhere in the frame.
+    for (int trial = 0; trial < 600; ++trial) {
+      util::Bytes mut = seed;
+      int flips = static_cast<int>(rng.uniform_int(1, 8));
+      for (int i = 0; i < flips; ++i) {
+        auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(mut.size()) - 1));
+        mut[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+      }
+      Verdict v = f.intercept.handle_frame(2.0, mut);
+      EXPECT_TRUE(v == Verdict::kAllow || v == Verdict::kDrop);
+      ++mutants;
+    }
+  }
+
+  EXPECT_EQ(f.intercept.frames_seen(), mutants);
+  // Truncated IPv4 frames alone guarantee malformed drops were exercised.
+  EXPECT_GT(f.intercept.malformed_dropped(), 0u);
+  // Fail-safe accounting: every mutant reached the forward callback with an
+  // explicit verdict — none was lost inside the pipeline.
+  EXPECT_EQ(f.forwarded.size(), mutants);
 }
 
 }  // namespace

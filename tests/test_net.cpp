@@ -162,7 +162,8 @@ TEST(Frame, TruncatedFrameThrows) {
 TEST(Frame, EmptyPayloadAllowed) {
   auto spec = sample_spec(Transport::kTcp);
   spec.payload.clear();
-  auto parsed = parse_frame(build_frame(spec));
+  auto buf = build_frame(spec);  // ParsedFrame holds views into the buffer
+  auto parsed = parse_frame(buf);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_TRUE(parsed->payload.empty());
 }
@@ -177,7 +178,8 @@ TEST(Frame, ToRecordExtractsFields) {
   auto spec = sample_spec(Transport::kTcp);
   spec.payload.assign(10, 0);
   make_tls_record(kTls13, 23, 5, std::span<std::uint8_t>(spec.payload.data(), 5));
-  auto parsed = parse_frame(build_frame(spec));
+  auto buf = build_frame(spec);  // ParsedFrame holds views into the buffer
+  auto parsed = parse_frame(buf);
   ASSERT_TRUE(parsed.has_value());
   PacketRecord rec = parsed->to_record(12.5);
   EXPECT_DOUBLE_EQ(rec.ts, 12.5);

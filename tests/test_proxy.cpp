@@ -270,5 +270,232 @@ TEST(Proxy, MlDevicePrefixAllowsThenGates) {
   EXPECT_EQ(verdicts[5], Verdict::kDrop);
 }
 
+// ---- degraded modes ---------------------------------------------------------
+
+ProxyConfig degraded_config(FailPolicy policy) {
+  ProxyConfig cfg;
+  cfg.bootstrap_duration = 100.0;
+  cfg.degraded_policy = policy;
+  return cfg;
+}
+
+TEST(ProxyDegraded, ChannelDarknessHeuristic) {
+  ProxyHarness h;
+  // Before first contact the channel is unknown, not dark.
+  EXPECT_FALSE(h.proxy.proof_channel_dark(1e6));
+  h.proxy.on_proof_channel_activity(100.0);
+  EXPECT_FALSE(h.proxy.proof_channel_dark(159.0));
+  EXPECT_TRUE(h.proxy.proof_channel_dark(161.0));
+  h.proxy.on_proof_channel_activity(200.0);  // sign of life resets the clock
+  EXPECT_FALSE(h.proxy.proof_channel_dark(210.0));
+  h.proxy.set_proof_channel_forced_down(true);
+  EXPECT_TRUE(h.proxy.proof_channel_dark(201.0));
+  h.proxy.set_proof_channel_forced_down(false);
+  EXPECT_FALSE(h.proxy.proof_channel_dark(210.0));
+}
+
+TEST(ProxyDegraded, FailOpenAllowsUnvalidatedManualWhileDark) {
+  ProxyHarness h(degraded_config(FailPolicy::kFailOpen));
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.plug", true);  // channel seen alive once
+  // 200 s of proof silence: the channel is dark when the command arrives.
+  EXPECT_EQ(h.proxy.process(command_pkt(t + 200.0)), Verdict::kAllow);
+  EXPECT_EQ(h.proxy.decision_log().back().why, Disposition::kDegradedAllow);
+  EXPECT_EQ(h.proxy.degraded_allows(), 1u);
+  EXPECT_EQ(h.proxy.events_decided_degraded(), 1u);
+  EXPECT_FALSE(h.proxy.device_locked("plug", t + 201.0));
+  h.proxy.flush_events();
+  const auto& outcome = h.proxy.event_outcomes().back();
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_TRUE(outcome.degraded_allowed);
+  EXPECT_FALSE(outcome.human_validated);
+}
+
+TEST(ProxyDegraded, FailClosedLocksOutWhenNetworkAteTheProofs) {
+  // Strict paper behavior: a dark proof channel plus legitimate manual use
+  // ends in lockout — this is the failure mode kGrace exists to prevent.
+  ProxyHarness h(degraded_config(FailPolicy::kFailClosed));
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.plug", true);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(h.proxy.process(command_pkt(t + 100.0 + 30.0 * i)), Verdict::kDrop);
+  }
+  EXPECT_TRUE(h.proxy.device_locked("plug", t + 161.0));
+  EXPECT_EQ(h.proxy.violations_forgiven(), 0u);
+}
+
+TEST(ProxyDegraded, GraceDropsButNeverLocksOutWhileDark) {
+  ProxyHarness h(degraded_config(FailPolicy::kGrace));
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.plug", true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(h.proxy.process(command_pkt(t + 100.0 + 30.0 * i)), Verdict::kDrop);
+  }
+  // Unproven manual traffic is still dropped and alerted on, but none of it
+  // counts towards lockout while the proof channel is dark.
+  EXPECT_FALSE(h.proxy.device_locked("plug", t + 300.0));
+  EXPECT_EQ(h.proxy.violations_forgiven(), 5u);
+  EXPECT_GE(h.proxy.alerts(), 5u);
+  EXPECT_EQ(h.proxy.events_decided_degraded(), 5u);
+}
+
+TEST(ProxyDegraded, GraceStillLocksOutWhenChannelHealthy) {
+  // kGrace must not weaken the healthy-path defence: with the proof channel
+  // alive, repeated unproven manual events lock the device out as usual.
+  ProxyHarness h(degraded_config(FailPolicy::kGrace));
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.other", true);  // wrong app: activity, no cover
+  for (int i = 0; i < 3; ++i) {
+    double now = t + 1.0 + 20.0 * i;
+    h.send_proof(now - 0.1, "app.other", true);  // keep the channel alive
+    EXPECT_EQ(h.proxy.process(command_pkt(now)), Verdict::kDrop);
+  }
+  EXPECT_TRUE(h.proxy.device_locked("plug", t + 42.0));
+  EXPECT_EQ(h.proxy.violations_forgiven(), 0u);
+}
+
+TEST(ProxyDegraded, GraceStretchesProofFreshnessWhileDark) {
+  ProxyConfig cfg = degraded_config(FailPolicy::kGrace);
+  cfg.degraded_grace = 30.0;
+  ProxyHarness h(cfg);
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.plug", true);
+  h.proxy.set_proof_channel_forced_down(true);  // proofs can no longer arrive
+  // 25 s after the proof: stale under the 10 s window, but within the grace
+  // allowance — the last proof keeps covering its user while the network is
+  // down.
+  EXPECT_EQ(h.proxy.process(command_pkt(t + 25.0)), Verdict::kAllow);
+  EXPECT_EQ(h.proxy.decision_log().back().why, Disposition::kManualValidated);
+  // Beyond window + grace the proof finally dies; grace still prevents the
+  // drop from counting towards lockout.
+  EXPECT_EQ(h.proxy.process(command_pkt(t + 60.0)), Verdict::kDrop);
+  EXPECT_EQ(h.proxy.violations_forgiven(), 1u);
+}
+
+TEST(ProxyDegraded, FailClosedDoesNotStretchFreshness) {
+  ProxyHarness h(degraded_config(FailPolicy::kFailClosed));
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.plug", true);
+  h.proxy.set_proof_channel_forced_down(true);
+  EXPECT_EQ(h.proxy.process(command_pkt(t + 25.0)), Verdict::kDrop);
+}
+
+TEST(ProxyDegraded, UntrainedClassifierIsDegradedManual) {
+  ProxyConfig cfg = degraded_config(FailPolicy::kFailOpen);
+  ProxyHarness h(cfg);
+  ProxyDevice blank;
+  blank.name = "mystery";
+  blank.ip = net::Ipv4Addr(192, 168, 1, 150);
+  blank.allowed_prefix = 0;
+  blank.app_package = "app.mystery";  // classifier left default: untrained
+  h.proxy.add_device(blank);
+  double t = h.run_bootstrap();
+  net::PacketRecord pkt = command_pkt(t + 1.0, 999);  // any size
+  pkt.dst_ip = blank.ip;
+  // No classifier verdict is possible: treated as manual-unknown, decided
+  // under degradation; fail-open lets it through (and says so in the log).
+  EXPECT_EQ(h.proxy.process(pkt), Verdict::kAllow);
+  EXPECT_EQ(h.proxy.decision_log().back().why, Disposition::kDegradedAllow);
+  EXPECT_EQ(h.proxy.events_decided_degraded(), 1u);
+}
+
+TEST(ProxyDegraded, GraceLateProofAmnestyForgivesAndUnlocks) {
+  // The channel looks healthy (steady proofs), but each individual proof is
+  // delayed past its command's decision: violations pile up and lock the
+  // device — until the late proofs crawl in and retroactively prove a human
+  // was there all along.
+  ProxyHarness h(degraded_config(FailPolicy::kGrace));
+  double t = h.run_bootstrap();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(h.proxy.process(command_pkt(t + 30.0 * i)), Verdict::kDrop);
+  }
+  ASSERT_TRUE(h.proxy.device_locked("plug", t + 61.0));
+  // The proof for the interaction behind the LAST command finally arrives:
+  // captured just before the command, delivered 5 s after it.
+  AuthMessage msg;
+  msg.app_package = "app.plug";
+  msg.capture_time = t + 59.0;
+  gen::SensorConfig clean;
+  clean.gentle_human_prob = 0.0;
+  clean.noisy_machine_prob = 0.0;
+  msg.features = gen::sensor_features(gen::generate_sensor_trace(h.rng, true, clean));
+  auto sealed = seal_auth_message(h.phone_tee, h.phone_key, h.seq, msg);
+  util::ByteWriter payload;
+  payload.u64be(h.seq);
+  payload.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
+  ASSERT_TRUE(h.proxy.on_auth_payload("phone-1", payload.bytes(), t + 65.0).has_value());
+  // Only the covered violation (t+60) is forgiven; the count falls below the
+  // threshold and the lockout is released.
+  EXPECT_EQ(h.proxy.violations_forgiven(), 1u);
+  EXPECT_FALSE(h.proxy.device_locked("plug", t + 66.0));
+}
+
+TEST(ProxyDegraded, FailClosedGetsNoAmnesty) {
+  ProxyHarness h(degraded_config(FailPolicy::kFailClosed));
+  double t = h.run_bootstrap();
+  for (int i = 0; i < 3; ++i) {
+    h.proxy.process(command_pkt(t + 30.0 * i));
+  }
+  ASSERT_TRUE(h.proxy.device_locked("plug", t + 61.0));
+  h.send_proof(t + 65.0, "app.plug", true);  // fresh proof, strict policy
+  EXPECT_TRUE(h.proxy.device_locked("plug", t + 66.0));
+  EXPECT_EQ(h.proxy.violations_forgiven(), 0u);
+}
+
+TEST(ProxyDegraded, AmnestyDoesNotCoverAttackTraffic) {
+  // Violations from traffic no proof ever covers (an attacker's commands)
+  // survive amnesty and still lock the device out under kGrace.
+  ProxyHarness h(degraded_config(FailPolicy::kGrace));
+  double t = h.run_bootstrap();
+  for (int i = 0; i < 3; ++i) {
+    h.proxy.process(command_pkt(t + 30.0 * i));  // attack burst, no proofs
+  }
+  ASSERT_TRUE(h.proxy.device_locked("plug", t + 61.0));
+  // A real user interacts with the app MUCH later; their proof covers only
+  // its own capture window, not the attack burst.
+  h.send_proof(t + 200.0, "app.plug", true);
+  EXPECT_EQ(h.proxy.violations_forgiven(), 0u);
+  EXPECT_TRUE(h.proxy.device_locked("plug", t + 201.0));
+}
+
+TEST(ProxyDegraded, DuplicatedProofsAreCountedAndIgnored) {
+  ProxyHarness h;
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.plug", true);
+  EXPECT_EQ(h.proxy.proofs_accepted(), 1u);
+  // The network (or an attacker) replays the same sequence number.
+  h.seq -= 1;
+  h.send_proof(t + 0.6, "app.plug", true);
+  EXPECT_EQ(h.proxy.proofs_accepted(), 1u);
+  EXPECT_EQ(h.proxy.proofs_duplicate(), 1u);
+  // An older-than-high-water sequence is a duplicate too (reordering).
+  std::uint64_t saved = h.seq;
+  h.seq = 1;
+  h.send_proof(t + 0.7, "app.plug", true);
+  h.seq = saved;
+  EXPECT_EQ(h.proxy.proofs_duplicate(), 2u);
+}
+
+TEST(ProxyDegraded, LateProofsAreCounted) {
+  ProxyHarness h;
+  double t = h.run_bootstrap();
+  // A proof captured 20 s ago finally crawls in: accepted (signature and
+  // humanness are fine) but counted as late — it can't validate anything.
+  AuthMessage msg;
+  msg.app_package = "app.plug";
+  msg.capture_time = t + 0.5;
+  gen::SensorConfig clean;
+  clean.gentle_human_prob = 0.0;
+  clean.noisy_machine_prob = 0.0;
+  msg.features = gen::sensor_features(gen::generate_sensor_trace(h.rng, true, clean));
+  auto sealed = seal_auth_message(h.phone_tee, h.phone_key, h.seq, msg);
+  util::ByteWriter payload;
+  payload.u64be(h.seq);
+  payload.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
+  EXPECT_TRUE(h.proxy.on_auth_payload("phone-1", payload.bytes(), t + 20.5).has_value());
+  EXPECT_EQ(h.proxy.proofs_late(), 1u);
+  EXPECT_EQ(h.proxy.proofs_accepted(), 1u);
+}
+
 }  // namespace
 }  // namespace fiat::core

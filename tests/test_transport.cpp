@@ -2,6 +2,11 @@
 // 0-RTT / replay defence / authentication failures, and the TCP models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/faults.hpp"
 #include "transport/netpath.hpp"
 #include "transport/network.hpp"
 #include "transport/quic_lite.hpp"
@@ -52,6 +57,52 @@ TEST(NetPath, LossRateApproximatelyRespected) {
     if (path.sample_loss(rng)) ++losses;
   }
   EXPECT_NEAR(losses / 20000.0, 0.1, 0.01);
+}
+
+TEST(NetPath, OwdMeanMatchesLognormalClosedForm) {
+  // sample_owd = base + lognormal(mu, sigma); the jitter term's mean is
+  // exp(mu + sigma^2 / 2). Check the empirical mean lands on it.
+  sim::Rng rng(11);
+  for (const auto& profile :
+       {PathProfile::lan(), PathProfile::mobile(), PathProfile::wan_cloud()}) {
+    NetPath path(profile);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += path.sample_owd(rng);
+    double expected = profile.base_owd +
+                      std::exp(profile.jitter_mu +
+                               profile.jitter_sigma * profile.jitter_sigma / 2.0);
+    EXPECT_NEAR(sum / n, expected, 0.10 * expected) << profile.name;
+  }
+}
+
+TEST(NetPath, MobileOwdHasHeavyTail) {
+  // The mobile profile models the paper's 233-1044 ms spread: its p99/p50
+  // jitter ratio should be large, the LAN profile's much smaller.
+  sim::Rng rng(12);
+  auto tail_ratio = [&rng](const PathProfile& profile) {
+    NetPath path(profile);
+    std::vector<double> s(20000);
+    for (auto& v : s) v = path.sample_owd(rng) - profile.base_owd;
+    std::sort(s.begin(), s.end());
+    return s[static_cast<std::size_t>(s.size() * 0.99)] /
+           s[s.size() / 2];
+  };
+  double mobile = tail_ratio(PathProfile::mobile());
+  double lan = tail_ratio(PathProfile::lan());
+  EXPECT_GT(mobile, 6.0);    // e^(2.326*0.9) ~ 8.1
+  EXPECT_GT(mobile, lan);
+  // And every sample still respects the base-delay floor.
+  NetPath path(PathProfile::mobile());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(path.sample_owd(rng), PathProfile::mobile().base_owd);
+  }
+}
+
+TEST(NetPath, ZeroLossNeverDrops) {
+  sim::Rng rng(13);
+  NetPath path(instant_path());
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(path.sample_loss(rng));
 }
 
 // ---- Network -----------------------------------------------------------------
@@ -270,6 +321,109 @@ TEST(QuicLite, SurvivesLossViaRetransmission) {
 TEST(QuicLite, SendBeforeConnectThrows) {
   QuicHarness h;
   EXPECT_THROW(h.client.send({'x'}, [](double) {}), LogicError);
+}
+
+// ---- QuicLite under injected faults -----------------------------------------
+
+QuicRetryConfig tight_retry() {
+  QuicRetryConfig rc;
+  rc.initial_timeout = 0.2;
+  rc.multiplier = 2.0;
+  rc.max_timeout = 1.0;
+  rc.jitter = 0.0;  // deterministic timing for the assertions below
+  rc.max_retransmits = 2;
+  return rc;
+}
+
+TEST(QuicLite, TransientBlackoutFallsBackToOneRttAndDelivers) {
+  QuicHarness h;
+  h.client.set_retry_config(tight_retry());
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  ASSERT_TRUE(h.client.has_ticket());
+
+  // The uplink goes dark long enough to exhaust the 0-RTT retransmit budget
+  // (last resend at +0.6 s, exhaustion verdict at +1.4 s), then recovers.
+  double t0 = h.scheduler.now();
+  sim::FaultPlan outage;
+  outage.name = "transient-blackout";
+  outage.blackouts.push_back({t0, t0 + 2.0});
+  h.net.set_fault_plan("client", "server", outage);
+
+  bool acked = false, failed = false;
+  ASSERT_TRUE(h.client.send_zero_rtt({'p', 'r', 'f'},
+                                     [&](double) { acked = true; },
+                                     [&] { failed = true; }));
+  h.scheduler.run();
+
+  // The proof was NOT silently lost: the client burned the ticket, redid the
+  // full handshake once the network recovered, and delivered over 1-RTT.
+  EXPECT_TRUE(acked);
+  EXPECT_FALSE(failed);
+  EXPECT_EQ(h.client.zero_rtt_fallbacks(), 1u);
+  EXPECT_EQ(h.client.failures(), 0u);
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_FALSE(h.deliveries[0].zero_rtt);
+  EXPECT_EQ(h.deliveries[0].data, (util::Bytes{'p', 'r', 'f'}));
+  EXPECT_GT(h.net.fault_injector("client", "server")->dropped_blackout(), 0u);
+}
+
+TEST(QuicLite, PermanentBlackoutInvokesOnFailedInsteadOfLosingProof) {
+  QuicHarness h;
+  h.client.set_retry_config(tight_retry());
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  ASSERT_TRUE(h.client.has_ticket());
+
+  double t0 = h.scheduler.now();
+  sim::FaultPlan outage;
+  outage.name = "permanent-blackout";
+  outage.blackouts.push_back({t0, 1e12});
+  h.net.set_fault_plan("client", "server", outage);
+
+  bool acked = false;
+  int failed_calls = 0;
+  ASSERT_TRUE(h.client.send_zero_rtt({'p'}, [&](double) { acked = true; },
+                                     [&] { ++failed_calls; }));
+  h.scheduler.run();
+
+  // 0-RTT budget exhausted -> fallback handshake -> that too exhausts ->
+  // exactly one terminal on_failed. The caller knows to re-prove.
+  EXPECT_FALSE(acked);
+  EXPECT_EQ(failed_calls, 1);
+  EXPECT_EQ(h.client.zero_rtt_fallbacks(), 1u);
+  EXPECT_GE(h.client.failures(), 1u);
+  EXPECT_FALSE(h.client.connected());
+  EXPECT_EQ(h.deliveries.size(), 0u);
+}
+
+TEST(QuicLite, RetransmitBackoffIsExponentialAndCapped) {
+  QuicRetryConfig rc;
+  rc.initial_timeout = 0.1;
+  rc.multiplier = 2.0;
+  rc.max_timeout = 0.35;
+  rc.jitter = 0.0;
+  rc.max_retransmits = 3;
+
+  // Exhaustion under a dead path arrives after sum of capped backoffs:
+  // 0.1 + 0.2 + 0.35 + 0.35 = 1.0 s past the send.
+  QuicHarness h(instant_path());
+  h.client.set_retry_config(rc);
+  h.client.connect([](double) {});
+  h.scheduler.run();
+  double t0 = h.scheduler.now();
+  sim::FaultPlan outage;
+  outage.blackouts.push_back({t0, 1e12});
+  h.net.set_fault_plan("client", "server", outage);
+  rc.fallback_to_1rtt = false;  // isolate the backoff schedule
+  h.client.set_retry_config(rc);
+
+  double failed_at = -1.0;
+  h.client.send_zero_rtt({'x'}, [](double) {},
+                         [&] { failed_at = h.scheduler.now(); });
+  h.scheduler.run();
+  EXPECT_NEAR(failed_at - t0, 1.0, 1e-9);
+  EXPECT_EQ(h.client.retransmits(), 3u);
 }
 
 // ---- TCP models -----------------------------------------------------------------
