@@ -1,0 +1,173 @@
+// Fleet throughput — aggregate packets/sec of the sharded multi-home runtime.
+//
+// Synthesizes a 1,000-home fleet (2 devices each, cycling the ten Table-1
+// testbed profiles) and replays the merged timestamp-ordered packet/proof
+// stream through FleetEngine at shards = 1/2/4/8, reporting aggregate
+// items/sec, speedup over shards=1, and per-shard utilization. The scaling
+// claim behind §7's "one proxy per home" deployment story is that homes
+// share nothing, so shard workers never contend; this bench measures it.
+//
+// Checks: every accepted item is processed (no shed, no discard), per-home
+// verdict totals are byte-identical across shard counts (the determinism
+// contract), and — on a multi-core host — 4 shards beat 1 shard by >= 1.5x.
+// On a single-core host the speedup check is reported but not enforced:
+// there is no parallelism to buy.
+//
+// Machine-readable results: BENCH_fleet.json (see bench/common.hpp).
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/humanness.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+
+using namespace fiat;
+
+namespace {
+
+constexpr std::size_t kHomes = 1000;
+constexpr std::size_t kShardSweep[] = {1, 2, 4, 8};
+
+struct RunResult {
+  std::size_t shards = 0;
+  fleet::FleetStats stats;
+  /// One line per home: id + verdict/proof counters + incident count. Equal
+  /// strings across shard counts == the determinism contract held.
+  std::string home_digest;
+};
+
+RunResult run_fleet(const fleet::FleetScenario& scenario,
+                    const core::HumannessVerifier& humanness,
+                    std::size_t shards) {
+  fleet::FleetConfig config;
+  config.shards = shards;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+
+  RunResult r;
+  r.shards = engine.shard_count();
+  r.stats = engine.stats();
+  auto report = engine.report();
+  char line[192];
+  for (const auto& h : report.homes) {
+    std::snprintf(line, sizeof(line), "%u:%zu/%zu e%zu p%zu/%zu/%zu/%zu/%zu a%zu i%zu\n",
+                  h.home, h.counters.packets_allowed, h.counters.packets_dropped,
+                  h.counters.events_closed, h.counters.proofs_accepted,
+                  h.counters.proofs_rejected_signature,
+                  h.counters.proofs_rejected_nonhuman, h.counters.proofs_late,
+                  h.counters.proofs_duplicate, h.counters.alerts,
+                  h.report.incidents.size());
+    r.home_digest += line;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_fleet",
+                      "fleet-scale throughput (sharded multi-home runtime)");
+
+  fleet::FleetScenarioConfig scenario_config;
+  scenario_config.homes = kHomes;
+  scenario_config.devices_per_home = 2;
+  scenario_config.duration_days = 0.02;
+  std::printf("synthesizing %zu homes x %zu devices, %.2f days...\n",
+              scenario_config.homes, scenario_config.devices_per_home,
+              scenario_config.duration_days);
+  auto scenario = fleet::make_fleet_scenario(scenario_config);
+  std::printf("  %zu packets + %zu proofs = %zu items\n\n",
+              scenario.packet_count, scenario.proof_count,
+              scenario.items.size());
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
+
+  std::vector<RunResult> runs;
+  for (std::size_t shards : kShardSweep) {
+    runs.push_back(run_fleet(scenario, humanness, shards));
+  }
+
+  std::printf("%-7s %9s %12s %9s %10s\n", "shards", "wall-s", "items/s",
+              "speedup", "util-mean");
+  double base_throughput = runs.front().stats.throughput();
+  for (const auto& r : runs) {
+    double util = 0.0;
+    for (std::size_t s = 0; s < r.stats.shards.size(); ++s) {
+      util += r.stats.utilization(s);
+    }
+    util /= static_cast<double>(r.stats.shards.size());
+    std::printf("%-7zu %9.3f %12.0f %8.2fx %9.0f%%\n", r.shards,
+                r.stats.wall_seconds, r.stats.throughput(),
+                r.stats.throughput() / base_throughput, 100.0 * util);
+  }
+
+  std::printf("\nchecks (hardware threads: %u):\n",
+              std::thread::hardware_concurrency());
+  bool ok = true;
+  auto check = [&ok](bool cond, const std::string& what) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what.c_str());
+    ok = ok && cond;
+  };
+
+  for (const auto& r : runs) {
+    std::string tag = "shards=" + std::to_string(r.shards) + ": ";
+    check(r.stats.packets_out == scenario.packet_count &&
+              r.stats.proofs_out == scenario.proof_count,
+          tag + "every item processed (" + std::to_string(r.stats.packets_out) +
+              " packets, " + std::to_string(r.stats.proofs_out) + " proofs)");
+    check(r.stats.shed == 0 && r.stats.shed_on_close == 0 &&
+              r.stats.discarded == 0,
+          tag + "nothing shed or discarded under kBlock");
+    check(r.home_digest == runs.front().home_digest,
+          tag + "per-home verdicts byte-identical to shards=1");
+  }
+
+  double speedup4 = 0.0;
+  for (const auto& r : runs) {
+    if (r.shards == 4) speedup4 = r.stats.throughput() / base_throughput;
+  }
+  char msg[128];
+  std::snprintf(msg, sizeof(msg), "4 shards vs 1: %.2fx", speedup4);
+  if (std::thread::hardware_concurrency() > 1) {
+    check(speedup4 >= 1.5, std::string(msg) + " (>= 1.5x required)");
+  } else {
+    std::printf("  [--] %s (single-core host: speedup not enforced)\n", msg);
+  }
+
+  bench::Json rows = bench::Json::array();
+  for (const auto& r : runs) {
+    bench::Json utils = bench::Json::array();
+    for (std::size_t s = 0; s < r.stats.shards.size(); ++s) {
+      utils.push(r.stats.utilization(s));
+    }
+    rows.push(bench::Json::object()
+                  .put("shards", r.shards)
+                  .put("wall_seconds", r.stats.wall_seconds)
+                  .put("items_per_second", r.stats.throughput())
+                  .put("speedup", r.stats.throughput() / base_throughput)
+                  .put("utilization", std::move(utils)));
+  }
+  bench::Json doc = bench::Json::object()
+                        .put("bench", "fleet")
+                        .put("homes", scenario.homes.size())
+                        .put("packets", scenario.packet_count)
+                        .put("proofs", scenario.proof_count)
+                        .put("hardware_threads",
+                             static_cast<std::size_t>(
+                                 std::thread::hardware_concurrency()))
+                        .put("deterministic",
+                             runs.back().home_digest == runs.front().home_digest)
+                        .put("runs", std::move(rows));
+  bench::write_bench_json("BENCH_fleet.json", doc);
+
+  if (!ok) {
+    std::printf("\nbench_fleet: FAILURES above\n");
+    return 1;
+  }
+  std::printf("\nbench_fleet: all checks passed\n");
+  return 0;
+}

@@ -3,7 +3,10 @@
 // table-printing utilities.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/event_dataset.hpp"
@@ -34,5 +37,53 @@ std::vector<core::LabeledEvent> events_of(const DeviceTrace& dt);
 
 /// Prints a horizontal rule + title, so every bench's output is greppable.
 void print_header(const std::string& bench, const std::string& paper_ref);
+
+// ---- machine-readable bench output ------------------------------------------
+//
+// Benches that track a trajectory across PRs (throughput, latency) emit a
+// JSON file next to their human table, so future sessions can diff numbers
+// without scraping stdout. Convention: BENCH_<name>.json in the working
+// directory, one top-level object with a "bench" key.
+
+/// Minimal JSON value builder (objects, arrays, numbers, strings, bools).
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  /// Object field setters (chainable). Integers are emitted without an
+  /// exponent so diffs stay readable.
+  Json& put(const std::string& key, Json value);
+  Json& put(const std::string& key, const std::string& value);
+  Json& put(const std::string& key, const char* value);
+  Json& put(const std::string& key, double value);
+  Json& put(const std::string& key, std::size_t value);
+  Json& put(const std::string& key, bool value);
+
+  /// Array appenders (chainable).
+  Json& push(Json value);
+  Json& push(double value);
+  Json& push(std::size_t value);
+
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kInteger, kString, kBool };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  double number_ = 0.0;
+  std::uint64_t integer_ = 0;
+  bool boolean_ = false;
+  std::string string_;
+  std::vector<Json> items_;                          // kArray
+  std::vector<std::pair<std::string, Json>> fields_;  // kObject
+};
+
+/// Writes `json.dump()` to `path` (+ trailing newline). Returns false (and
+/// prints a warning) when the file cannot be written.
+bool write_bench_json(const std::string& path, const Json& json);
 
 }  // namespace fiat::bench

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 CI: build + ctest normally, then again under ASan+UBSan.
+# Tier-1 CI: build + ctest normally, then under ASan+UBSan, then the
+# concurrency tests (fleet + transport) under TSan.
 #
-#   ./ci.sh          both legs
+#   ./ci.sh          all three legs
 #   ./ci.sh normal   plain build + tests only
-#   ./ci.sh asan     sanitizer build + tests only
+#   ./ci.sh asan     ASan+UBSan build + tests only
+#   ./ci.sh tsan     TSan build + concurrency-labeled tests only
 set -eu
 
 cd "$(dirname "$0")"
@@ -11,8 +13,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 LEG="${1:-all}"
 
 case "$LEG" in
-  normal|asan|all) ;;
-  *) echo "usage: $0 [normal|asan|all]" >&2; exit 2 ;;
+  normal|asan|tsan|all) ;;
+  *) echo "usage: $0 [normal|asan|tsan|all]" >&2; exit 2 ;;
 esac
 
 run_leg() {
@@ -24,7 +26,8 @@ run_leg() {
   echo "==> [$name] build"
   cmake --build "$dir" -j "$JOBS"
   echo "==> [$name] ctest"
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  # shellcheck disable=SC2086
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
 }
 
 case "$LEG" in
@@ -37,7 +40,15 @@ case "$LEG" in
   asan|all)
     ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
     UBSAN_OPTIONS="print_stacktrace=1" \
-      run_leg asan build-asan -DFIAT_SANITIZE=ON
+      run_leg asan build-asan -DFIAT_SANITIZE=address
+    ;;
+esac
+
+case "$LEG" in
+  tsan|all)
+    TSAN_OPTIONS="halt_on_error=1" \
+    CTEST_ARGS="-L concurrency" \
+      run_leg tsan build-tsan -DFIAT_SANITIZE=thread
     ;;
 esac
 

@@ -31,9 +31,28 @@ const char* fail_policy_name(FailPolicy p) {
   return "?";
 }
 
+ProxyCounters& ProxyCounters::operator+=(const ProxyCounters& o) {
+  packets_allowed += o.packets_allowed;
+  packets_dropped += o.packets_dropped;
+  for (std::size_t i = 0; i < by_disposition.size(); ++i) {
+    by_disposition[i] += o.by_disposition[i];
+  }
+  events_closed += o.events_closed;
+  alerts += o.alerts;
+  proofs_accepted += o.proofs_accepted;
+  proofs_rejected_signature += o.proofs_rejected_signature;
+  proofs_rejected_nonhuman += o.proofs_rejected_nonhuman;
+  proofs_late += o.proofs_late;
+  proofs_duplicate += o.proofs_duplicate;
+  events_decided_degraded += o.events_decided_degraded;
+  degraded_allows += o.degraded_allows;
+  violations_forgiven += o.violations_forgiven;
+  return *this;
+}
+
 FiatProxy::FiatProxy(ProxyConfig config, HumannessVerifier humanness)
     : config_(config), humanness_(std::move(humanness)) {
-  if (!config_.rules.dns) config_.rules.dns = &dns_;
+  if (!config_.rules.dns) config_.rules.dns = dns_.get();
 }
 
 void FiatProxy::add_device(ProxyDevice device) {
@@ -83,8 +102,28 @@ FiatProxy::DeviceState* FiatProxy::device_of(const net::PacketRecord& pkt) {
 
 Verdict FiatProxy::record(double ts, const std::string& device, Verdict v,
                           Disposition why, int event_seq) {
+  if (v == Verdict::kAllow) {
+    ++counters_.packets_allowed;
+  } else {
+    ++counters_.packets_dropped;
+  }
+  ++counters_.by_disposition[static_cast<std::size_t>(why)];
   log_.push_back(Decision{ts, device, v, why, event_seq});
   return v;
+}
+
+ProxyCounters FiatProxy::counters() const {
+  ProxyCounters c = counters_;
+  c.alerts = alerts_;
+  c.proofs_accepted = proofs_accepted_;
+  c.proofs_rejected_signature = proofs_bad_sig_;
+  c.proofs_rejected_nonhuman = proofs_nonhuman_;
+  c.proofs_late = proofs_late_;
+  c.proofs_duplicate = proofs_duplicate_;
+  c.events_decided_degraded = events_degraded_;
+  c.degraded_allows = degraded_allows_;
+  c.violations_forgiven = violations_forgiven_;
+  return c;
 }
 
 bool FiatProxy::fresh_proof_for(const DeviceState& dev, double now,
@@ -165,6 +204,7 @@ void FiatProxy::close_event(DeviceState& dev) {
   outcome.packets_allowed = dev.allowed;
   outcome.packets_dropped = dev.dropped;
   outcomes_.push_back(std::move(outcome));
+  ++counters_.events_closed;
 
   dev.event_seq = -1;
   dev.event_packets = 0;

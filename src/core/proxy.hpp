@@ -18,8 +18,10 @@
 // tamper-evident decision log (§7 "Technology Acceptance").
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +49,9 @@ enum class Disposition {
   kDagEdge,       // device-to-device whitelist
   kDegradedAllow, // allowed by fail-open/grace policy while degraded
 };
+
+/// Number of Disposition values (for counter arrays indexed by disposition).
+inline constexpr std::size_t kDispositionCount = 10;
 
 const char* disposition_name(Disposition d);
 
@@ -116,6 +121,29 @@ struct Decision {
   int event_seq = -1;
 };
 
+/// O(1)-snapshot running counters, maintained on every decision. A fleet
+/// runtime aggregating thousands of proxies reads these instead of walking
+/// the decision log (which grows with traffic).
+struct ProxyCounters {
+  std::size_t packets_allowed = 0;
+  std::size_t packets_dropped = 0;
+  /// Decisions by Disposition (index = static_cast<std::size_t>(why)).
+  std::array<std::size_t, kDispositionCount> by_disposition{};
+  std::size_t events_closed = 0;
+  std::size_t alerts = 0;
+  std::size_t proofs_accepted = 0;
+  std::size_t proofs_rejected_signature = 0;
+  std::size_t proofs_rejected_nonhuman = 0;
+  std::size_t proofs_late = 0;
+  std::size_t proofs_duplicate = 0;
+  std::size_t events_decided_degraded = 0;
+  std::size_t degraded_allows = 0;
+  std::size_t violations_forgiven = 0;
+
+  ProxyCounters& operator+=(const ProxyCounters& o);
+  bool operator==(const ProxyCounters&) const = default;
+};
+
 /// Outcome of one completed (or closed) unpredictable event.
 struct EventOutcome {
   std::string device;
@@ -137,6 +165,15 @@ class FiatProxy {
  public:
   FiatProxy(ProxyConfig config, HumannessVerifier humanness);
 
+  // Movable so a fleet shard can own proxies in a vector. The DNS table
+  // lives behind a unique_ptr because rule tables hold a pointer into it;
+  // moving the proxy must not invalidate them. Not copyable (rule tables
+  // would keep pointing at the source's DNS view).
+  FiatProxy(FiatProxy&&) = default;
+  FiatProxy& operator=(FiatProxy&&) = default;
+  FiatProxy(const FiatProxy&) = delete;
+  FiatProxy& operator=(const FiatProxy&) = delete;
+
   // ---- setup -------------------------------------------------------------
   void add_device(ProxyDevice device);
   /// Pairs a phone: imports the shared key into the proxy's TEE keystore.
@@ -144,7 +181,7 @@ class FiatProxy {
   void add_dag_edge(net::Ipv4Addr src, net::Ipv4Addr dst);
   /// The proxy's passive DNS view (fed by observed DNS responses; rules use
   /// it for the PortLess bucket keys).
-  net::DnsTable& dns() { return dns_; }
+  net::DnsTable& dns() { return *dns_; }
 
   // ---- data path ---------------------------------------------------------
   /// Processes one intercepted packet; `now` defaults to the packet time.
@@ -175,6 +212,10 @@ class FiatProxy {
   bool proof_channel_dark(double now) const;
 
   // ---- introspection -----------------------------------------------------
+  /// Cheap counters snapshot: O(1), no log walk. This is what FleetEngine
+  /// aggregates per report; the full SecurityReport still comes from
+  /// build_security_report().
+  ProxyCounters counters() const;
   const std::vector<Decision>& decision_log() const { return log_; }
   const std::vector<EventOutcome>& event_outcomes() const { return outcomes_; }
   /// Closes any open events (end of trace) so their outcomes are recorded.
@@ -242,10 +283,13 @@ class FiatProxy {
   std::map<std::string, crypto::KeyHandle> phone_keys_;
   std::map<std::uint32_t, DeviceState> devices_;  // by device IP
   DeviceDag dag_;
-  net::DnsTable dns_;
+  // unique_ptr: rule tables capture a pointer to this table, which must
+  // survive a move of the proxy (see the move-constructor comment).
+  std::unique_ptr<net::DnsTable> dns_ = std::make_unique<net::DnsTable>();
 
   double first_packet_ts_ = -1.0;
   int next_event_seq_ = 0;
+  ProxyCounters counters_;
   std::vector<Decision> log_;
   std::vector<EventOutcome> outcomes_;
   std::vector<HumanProof> proofs_;

@@ -1,0 +1,164 @@
+// Bounded MPSC queue for the fleet runtime.
+//
+// Producers (the IngestRouter) push packet/proof items; one shard worker
+// drains them in FIFO order. The queue is *bounded*: when full it either
+// blocks the producer (backpressure propagates to the ingestion front-end)
+// or sheds the item with a counter — never unbounded growth. Modeled on the
+// lokinet worker-queue shape (llarp/util/thread/queue.hpp): mutex + two
+// condition variables, batch drain on the consumer side so the lock is taken
+// once per wakeup, not once per item.
+//
+// Shutdown contract:
+//  * close() wakes every blocked producer (their pushes fail, counted as
+//    shed-on-close) and the consumer. Items already queued remain poppable,
+//    so a "drain" stop processes everything accepted before the close.
+//  * pop_wait() returns false only when the queue is closed AND empty —
+//    the worker's exit condition. No path leaves a thread waiting forever.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace fiat::fleet {
+
+/// What a producer experiences when the queue is at capacity.
+enum class FullPolicy {
+  kBlock,  // wait for space (backpressure)
+  kShed,   // drop the item, count it
+};
+
+const char* full_policy_name(FullPolicy p);
+
+template <typename T>
+class BoundedQueue {
+ public:
+  struct Stats {
+    std::size_t pushed = 0;      // items accepted
+    std::size_t popped = 0;      // items handed to the consumer
+    std::size_t shed = 0;        // rejected: queue full under kShed
+    std::size_t shed_on_close = 0;  // rejected: push after/during close
+    std::size_t high_water = 0;  // max queue depth observed
+  };
+
+  explicit BoundedQueue(std::size_t capacity, FullPolicy policy)
+      : capacity_(capacity ? capacity : 1), policy_(policy) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Pushes one item. Returns false when the item was shed (full queue under
+  /// kShed, or the queue is closed).
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    if (!wait_for_space(lock)) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushed;
+    if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pushes a batch under one lock acquisition; consumes accepted items from
+  /// `items` (the vector is cleared). Returns how many were accepted. Under
+  /// kShed a full queue sheds the batch's tail; under kBlock the producer
+  /// waits whenever capacity runs out mid-batch.
+  std::size_t push_batch(std::vector<T>& items) {
+    std::size_t accepted = 0;
+    {
+      std::unique_lock lock(mu_);
+      for (auto& item : items) {
+        if (!wait_for_space(lock)) continue;  // keep counting sheds for the rest
+        items_.push_back(std::move(item));
+        ++stats_.pushed;
+        ++accepted;
+      }
+      if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
+    }
+    items.clear();
+    if (accepted) not_empty_.notify_one();
+    return accepted;
+  }
+
+  /// Blocks until items are available or the queue is closed; moves the
+  /// entire backlog into `out` (appended). Returns false when closed and
+  /// fully drained — the consumer's exit signal.
+  bool pop_wait(std::vector<T>& out) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    stats_.popped += items_.size();
+    out.reserve(out.size() + items_.size());
+    for (auto& item : items_) out.push_back(std::move(item));
+    items_.clear();
+    lock.unlock();
+    // Every blocked producer may now make progress (capacity fully freed).
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Closes the queue: subsequent (and currently blocked) pushes fail and
+  /// are counted as shed_on_close; queued items stay poppable.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  FullPolicy policy() const { return policy_; }
+
+  Stats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+ private:
+  /// Waits (kBlock) or fails (kShed) until a slot is free. Caller holds mu_.
+  bool wait_for_space(std::unique_lock<std::mutex>& lock) {
+    if (closed_) {
+      ++stats_.shed_on_close;
+      return false;
+    }
+    if (items_.size() >= capacity_) {
+      if (policy_ == FullPolicy::kShed) {
+        ++stats_.shed;
+        return false;
+      }
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) {
+        ++stats_.shed_on_close;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::size_t capacity_;
+  const FullPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace fiat::fleet

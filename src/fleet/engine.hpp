@@ -1,0 +1,123 @@
+// FleetEngine: the sharded multi-home proxy runtime.
+//
+// Hosts N independent homes (each its own FiatProxy, device set, keystore
+// and RNG stream) behind a single ingestion front-end:
+//
+//   ingest(item) -> IngestRouter -> per-shard BoundedQueue -> Shard worker
+//                                                             -> home proxy
+//
+// Lifecycle: construct -> start() -> ingest()... -> drain() | abort()
+//            -> report() / stats().
+//
+// Determinism contract (asserted in tests/test_fleet.cpp):
+//  * per-home results depend only on that home's item stream, never on the
+//    shard count: with shards=1 the per-home SecurityReport is byte-identical
+//    to driving a FiatProxy directly, and shards=K reproduces shards=1
+//    home-for-home;
+//  * required of the caller: all items of one home ingested from one thread
+//    in timestamp order (the single-threaded merged-stream feed the CLI and
+//    benches use satisfies this trivially).
+// Backpressure: queues are bounded; FullPolicy::kBlock stalls the producer,
+// FullPolicy::kShed drops and counts. Nothing grows without bound.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/humanness.hpp"
+#include "core/report.hpp"
+#include "fleet/home.hpp"
+#include "fleet/router.hpp"
+#include "fleet/shard.hpp"
+#include "fleet/stats.hpp"
+
+namespace fiat::fleet {
+
+struct FleetConfig {
+  std::size_t shards = 1;
+  /// Per-shard queue capacity (items).
+  std::size_t queue_capacity = 8192;
+  FullPolicy on_full = FullPolicy::kBlock;
+  /// Router buffering: items per queue-lock acquisition.
+  std::size_t ingest_batch = 128;
+};
+
+/// Merged fleet-wide report: per-home security reports plus the aggregate
+/// verdict/health counters and the runtime's own stats.
+struct FleetReport {
+  struct HomeEntry {
+    HomeId home = 0;
+    core::ProxyCounters counters;
+    core::SecurityReport report;
+  };
+
+  std::vector<HomeEntry> homes;  // sorted by home id
+  core::ProxyCounters totals;
+  std::size_t homes_with_incidents = 0;
+  FleetStats stats;
+
+  /// Aggregate rendering: totals, runtime table, and the first `max_homes`
+  /// per-home summary lines (0 = all).
+  std::string render(std::size_t max_homes = 8) const;
+};
+
+class FleetEngine {
+ public:
+  FleetEngine(std::vector<HomeSpec> homes, const core::HumannessVerifier& humanness,
+              FleetConfig config = {});
+
+  std::size_t home_count() const { return home_count_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  const HomePartition& partition() const { return partition_; }
+  std::size_t shard_of(HomeId id) const { return partition_.shard_of(id); }
+
+  void start();
+
+  // ---- ingestion front-end (single producer; see class comment) ----------
+  bool ingest(FleetItem item) { return router_->ingest(std::move(item)); }
+  bool ingest_packet(HomeId home, const net::PacketRecord& pkt) {
+    return ingest(FleetItem::packet(home, pkt));
+  }
+  bool ingest_proof(HomeId home, double now, std::string client_id,
+                    std::vector<std::uint8_t> payload) {
+    return ingest(
+        FleetItem::proof(home, now, std::move(client_id), std::move(payload)));
+  }
+
+  /// Graceful stop: flush the router, close the queues, process every
+  /// accepted item, join the workers.
+  void drain();
+  /// Hard stop: close the queues and discard the backlog (counted). Never
+  /// waits on remaining proxy work, so it cannot deadlock against a full
+  /// pipeline.
+  void abort();
+  bool stopped() const { return stopped_; }
+
+  /// Runtime counters. Requires a stopped engine (worker counters are only
+  /// safe to read after the join).
+  FleetStats stats() const;
+  /// Flushes open events on every home proxy and builds the merged report.
+  /// Requires a stopped engine.
+  FleetReport report();
+
+  /// Direct access for tests (stopped engine only).
+  Shard& shard(std::size_t i) { return *shards_[i]; }
+
+ private:
+  void require_stopped(const char* op) const;
+
+  FleetConfig config_;
+  std::size_t home_count_ = 0;
+  HomePartition partition_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<IngestRouter> router_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace fiat::fleet

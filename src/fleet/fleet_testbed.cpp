@@ -1,0 +1,142 @@
+#include "fleet/fleet_testbed.hpp"
+
+#include <algorithm>
+
+#include "core/auth_message.hpp"
+#include "crypto/keystore.hpp"
+#include "gen/sensors.hpp"
+#include "gen/testbed.hpp"
+#include "sim/rng.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fiat::fleet {
+
+namespace {
+
+const char* kLocations[] = {"US", "JP", "DE", "IL"};
+
+/// Sorts by timestamp, keeping build order for equal stamps (so replays and
+/// per-home filtering stay deterministic).
+void stable_sort_by_ts(std::vector<FleetItem>& items) {
+  std::stable_sort(items.begin(), items.end(),
+                   [](const FleetItem& a, const FleetItem& b) { return a.ts < b.ts; });
+}
+
+}  // namespace
+
+FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
+  const auto& profiles = gen::testbed_profiles();
+  if (config.devices_per_home == 0 || config.devices_per_home > profiles.size()) {
+    throw LogicError("make_fleet_scenario: devices_per_home must be 1..10");
+  }
+
+  FleetScenario scenario;
+  scenario.homes.reserve(config.homes);
+
+  sim::Rng base(config.seed);
+  // One keystore stands in for all the phones' TEEs; each home gets its own
+  // pairing key (handles are independent, like the proxies' stores).
+  crypto::KeyStore phone_tee;
+  gen::SensorConfig clean_sensors;
+  clean_sensors.gentle_human_prob = 0.0;
+  clean_sensors.noisy_machine_prob = 0.0;
+
+  for (std::size_t h = 0; h < config.homes; ++h) {
+    HomeId home_id = static_cast<HomeId>(h);
+    // The per-home sub-stream: stable under fleet-size and build-order
+    // changes (sim::Rng::fork(stream_id) keys off the construction seed).
+    sim::Rng home_rng = base.fork(home_id);
+
+    HomeSpec spec;
+    spec.id = home_id;
+    spec.proxy.bootstrap_duration = config.bootstrap_duration;
+    spec.proxy.degraded_policy = config.policy;
+
+    std::vector<std::uint8_t> psk(32);
+    home_rng.fill_bytes(psk);
+    spec.phones.push_back({"phone", psk});
+    crypto::KeyHandle phone_key = phone_tee.import_key(psk, "fleet-phone");
+
+    std::vector<FleetItem> home_items;
+    // Proofs are collected first and sealed only after sorting by delivery
+    // time: the proxy treats a lower-than-high-water sequence as a replay,
+    // so sequence numbers must be issued in the order the phone sends.
+    std::vector<std::pair<double, core::AuthMessage>> proofs;
+
+    for (std::size_t d = 0; d < config.devices_per_home; ++d) {
+      const gen::DeviceProfile& profile = profiles[(h + d) % profiles.size()];
+      gen::LocationEnv env(kLocations[h % 4]);
+      gen::TraceConfig trace_config;
+      trace_config.duration_days = config.duration_days;
+      trace_config.seed = home_rng.fork(d).seed();
+      trace_config.device_index = static_cast<std::uint32_t>(d);
+      trace_config.manual_per_day_override = config.manual_per_day;
+      // Sub-day fleet traces end long before the default 07:00 start of the
+      // activity window; open it up so manual events actually land.
+      trace_config.active_day_start = 0.0;
+      trace_config.active_day_end = 24 * 3600.0;
+      gen::LabeledTrace trace = gen::generate_trace(profile, env, trace_config);
+
+      core::ProxyDevice device;
+      device.name = profile.name;
+      device.ip = trace.device_ip;
+      device.allowed_prefix = profile.simple_rule ? 0 : 5;
+      // Fleet-scale stand-in for the distributed per-device model (§7): the
+      // notification-size rule every profile carries. Training 10k
+      // BernoulliNB models would swamp scenario setup without changing what
+      // the runtime itself measures.
+      device.classifier =
+          core::ManualEventClassifier::simple_rule(profile.rule_packet_size);
+      device.app_package = "app." + profile.name;
+      spec.devices.push_back(device);
+
+      for (const auto& lp : trace.packets) {
+        home_items.push_back(FleetItem::packet(home_id, lp.pkt));
+      }
+      scenario.packet_count += trace.packets.size();
+
+      if (config.with_proofs) {
+        sim::Rng sensor_rng = home_rng.fork(1000 + d);
+        for (const auto& interaction : trace.interactions) {
+          if (interaction.cls != gen::TrafficClass::kManual) continue;
+          core::AuthMessage msg;
+          msg.app_package = device.app_package;
+          // Captured while the user tapped, delivered just ahead of the
+          // command traffic (LAN-fast proof channel).
+          msg.capture_time = interaction.start - 0.3;
+          msg.features = gen::sensor_features(
+              gen::generate_sensor_trace(sensor_rng, /*human=*/true, clean_sensors));
+          proofs.emplace_back(interaction.start - 0.1, std::move(msg));
+        }
+      }
+    }
+
+    std::stable_sort(proofs.begin(), proofs.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::uint64_t proof_seq = 0;
+    for (auto& [delivery_ts, msg] : proofs) {
+      ++proof_seq;
+      auto sealed = core::seal_auth_message(phone_tee, phone_key, proof_seq, msg);
+      util::ByteWriter payload;
+      payload.u64be(proof_seq);
+      payload.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
+      std::vector<std::uint8_t> bytes(payload.bytes().begin(),
+                                      payload.bytes().end());
+      home_items.push_back(
+          FleetItem::proof(home_id, delivery_ts, "phone", std::move(bytes)));
+      ++scenario.proof_count;
+    }
+
+    stable_sort_by_ts(home_items);
+    scenario.items.insert(scenario.items.end(),
+                          std::make_move_iterator(home_items.begin()),
+                          std::make_move_iterator(home_items.end()));
+    scenario.homes.push_back(std::move(spec));
+  }
+
+  stable_sort_by_ts(scenario.items);
+  return scenario;
+}
+
+}  // namespace fiat::fleet

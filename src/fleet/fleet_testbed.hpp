@@ -1,0 +1,53 @@
+// Fleet workload synthesis: N simulated homes built from the gen/ testbed
+// device profiles, plus the merged timestamp-ordered packet/proof stream
+// that drives the FleetEngine. This is the scaling-trajectory counterpart of
+// bench/common.{hpp,cpp}'s per-device traces: instead of 13 carefully
+// labeled traces, it mass-produces homes (devices cycle through the ten
+// Table-1 profiles, vantage points cycle US/JP/DE/IL) with stable per-home
+// RNG sub-streams (sim::Rng::fork(home_id)), so home #742 generates the
+// same traffic whether the fleet has 800 or 8,000 homes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "fleet/home.hpp"
+#include "fleet/item.hpp"
+
+namespace fiat::fleet {
+
+struct FleetScenarioConfig {
+  std::size_t homes = 100;
+  /// Devices per home, cycling through the testbed profiles (max 10).
+  std::size_t devices_per_home = 2;
+  double duration_days = 0.03;
+  /// Manual-interaction rate override (per device per day); short fleet
+  /// traces need a scripted-collection-style rate or no home ever sees a
+  /// manual event. Negative = the profile's natural rate.
+  double manual_per_day = 24.0;
+  std::uint64_t seed = 20260806;
+  /// Shorter than the paper's 20 min so short benchmark traces leave the
+  /// learning window and exercise the verdict pipeline.
+  double bootstrap_duration = 600.0;
+  core::FailPolicy policy = core::FailPolicy::kFailClosed;
+  /// Emit a signed humanness proof from the home's phone for every manual
+  /// interaction (delivered just before the command traffic, as the paper's
+  /// §5.3 foreground-capture flow does).
+  bool with_proofs = true;
+};
+
+struct FleetScenario {
+  std::vector<HomeSpec> homes;
+  /// Merged stream, sorted by timestamp; ties keep per-home relative order,
+  /// so replaying `items` (or any per-home filtered subsequence) is
+  /// deterministic.
+  std::vector<FleetItem> items;
+  std::size_t packet_count = 0;
+  std::size_t proof_count = 0;
+};
+
+FleetScenario make_fleet_scenario(const FleetScenarioConfig& config);
+
+}  // namespace fiat::fleet

@@ -1,0 +1,59 @@
+// One simulated home inside the fleet: its own FiatProxy, device set,
+// keystore (inside the proxy), and — by contract — its own RNG sub-stream
+// (sim::Rng::fork(home_id)) wherever the workload generator needs
+// randomness. Homes are fully isolated from each other; the fleet runtime
+// exploits that to process them on independent shard threads without any
+// cross-home synchronization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "core/report.hpp"
+
+namespace fiat::fleet {
+
+using HomeId = std::uint32_t;
+
+/// Declarative description of one home; the fleet (and the determinism
+/// tests, which must rebuild the exact same proxy outside the engine)
+/// construct proxies from this via make_home_proxy().
+struct HomeSpec {
+  HomeId id = 0;
+  core::ProxyConfig proxy;
+  std::vector<core::ProxyDevice> devices;
+  struct Phone {
+    std::string client_id;
+    std::vector<std::uint8_t> psk;
+  };
+  std::vector<Phone> phones;
+  std::vector<std::pair<net::Ipv4Addr, net::Ipv4Addr>> dag_edges;
+};
+
+/// Builds the proxy a HomeSpec describes. Shared by FleetEngine and by the
+/// determinism tests, so "fleet with shards=1" and "direct FiatProxy" start
+/// from byte-identical state.
+core::FiatProxy make_home_proxy(const HomeSpec& spec,
+                                const core::HumannessVerifier& humanness);
+
+class Home {
+ public:
+  Home(const HomeSpec& spec, const core::HumannessVerifier& humanness)
+      : id_(spec.id), proxy_(make_home_proxy(spec, humanness)) {}
+
+  Home(Home&&) = default;
+  Home& operator=(Home&&) = default;
+
+  HomeId id() const { return id_; }
+  core::FiatProxy& proxy() { return proxy_; }
+  const core::FiatProxy& proxy() const { return proxy_; }
+
+ private:
+  HomeId id_;
+  core::FiatProxy proxy_;
+};
+
+}  // namespace fiat::fleet

@@ -1,0 +1,47 @@
+// The unit of work flowing through the fleet pipeline: one intercepted
+// packet or one humanness-proof datagram, addressed to a home.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace fiat::fleet {
+
+struct FleetItem {
+  enum class Kind : std::uint8_t { kPacket, kProof };
+
+  std::uint32_t home = 0;
+  Kind kind = Kind::kPacket;
+  double ts = 0.0;  // packet timestamp / proof delivery time
+
+  net::PacketRecord pkt;  // kPacket
+
+  // kProof: QuicLite payload (u64 seq || sealed auth message) from a phone.
+  std::string client_id;
+  std::vector<std::uint8_t> payload;
+
+  static FleetItem packet(std::uint32_t home, const net::PacketRecord& pkt) {
+    FleetItem item;
+    item.home = home;
+    item.kind = Kind::kPacket;
+    item.ts = pkt.ts;
+    item.pkt = pkt;
+    return item;
+  }
+
+  static FleetItem proof(std::uint32_t home, double now, std::string client_id,
+                         std::vector<std::uint8_t> payload) {
+    FleetItem item;
+    item.home = home;
+    item.kind = Kind::kProof;
+    item.ts = now;
+    item.client_id = std::move(client_id);
+    item.payload = std::move(payload);
+    return item;
+  }
+};
+
+}  // namespace fiat::fleet

@@ -1,0 +1,92 @@
+#include "fleet/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace fiat::fleet {
+
+Shard::Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy)
+    : homes_(std::move(homes)), queue_(queue_capacity, policy) {
+  home_ids_.reserve(homes_.size());
+  for (const Home& home : homes_) home_ids_.push_back(home.id());
+  if (!std::is_sorted(home_ids_.begin(), home_ids_.end())) {
+    throw LogicError("Shard: homes must be sorted by id");
+  }
+}
+
+Shard::~Shard() {
+  if (worker_.joinable()) {
+    queue_.close();
+    discard_.store(true, std::memory_order_relaxed);
+    worker_.join();
+  }
+}
+
+Home* Shard::find_home(HomeId id) {
+  auto it = std::lower_bound(home_ids_.begin(), home_ids_.end(), id);
+  if (it == home_ids_.end() || *it != id) return nullptr;
+  return &homes_[static_cast<std::size_t>(it - home_ids_.begin())];
+}
+
+void Shard::start() {
+  if (started_) throw LogicError("Shard: started twice");
+  started_ = true;
+  worker_ = std::thread([this] { run(); });
+}
+
+void Shard::stop(bool drain) {
+  if (!drain) discard_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Shard::process(const FleetItem& item) {
+  Home* home = find_home(item.home);
+  if (!home) return;  // router bug or stale id; dropping beats crashing a shard
+  switch (item.kind) {
+    case FleetItem::Kind::kPacket:
+      home->proxy().process(item.pkt);
+      ++packets_;
+      break;
+    case FleetItem::Kind::kProof:
+      home->proxy().on_auth_payload(item.client_id, item.payload, item.ts);
+      ++proofs_;
+      break;
+  }
+}
+
+void Shard::run() {
+  std::vector<FleetItem> batch;
+  while (queue_.pop_wait(batch)) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (const FleetItem& item : batch) {
+      if (discard_.load(std::memory_order_relaxed)) {
+        ++discarded_;
+        continue;
+      }
+      process(item);
+    }
+    busy_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    batch.clear();
+  }
+}
+
+ShardStats Shard::stats() const {
+  ShardStats s;
+  s.homes = homes_.size();
+  s.packets = packets_;
+  s.proofs = proofs_;
+  s.discarded = discarded_;
+  s.busy_seconds = busy_seconds_;
+  auto q = queue_.stats();
+  s.queue_pushed = q.pushed;
+  s.queue_high_water = q.high_water;
+  s.queue_shed = q.shed;
+  s.queue_shed_on_close = q.shed_on_close;
+  return s;
+}
+
+}  // namespace fiat::fleet

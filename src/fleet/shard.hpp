@@ -1,0 +1,69 @@
+// A Shard owns a contiguous range of homes and processes their items on one
+// worker thread, strictly in arrival (= enqueue) order. Because the router
+// gives every home to exactly one shard and the queue is FIFO, each home
+// sees a total order over its own packets and proofs — the same order a
+// single-proxy deployment would see — while homes on different shards
+// proceed with no ordering relationship at all. That is the entire
+// determinism story: per-home state only ever touched by one thread, fed in
+// timestamp order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "fleet/bounded_queue.hpp"
+#include "fleet/home.hpp"
+#include "fleet/item.hpp"
+#include "fleet/stats.hpp"
+
+namespace fiat::fleet {
+
+class Shard {
+ public:
+  /// `homes` is this shard's contiguous slice of the fleet (sorted by id).
+  Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  void start();
+  /// Closes the queue and joins the worker. With `drain` every item accepted
+  /// before the close is processed; without it the backlog is popped but
+  /// skipped (counted as discarded), so stop never waits on proxy work.
+  void stop(bool drain);
+
+  BoundedQueue<FleetItem>& queue() { return queue_; }
+
+  /// Worker-side processing of one item; public so a shards=1 caller (or a
+  /// test) can run the identical code path synchronously.
+  void process(const FleetItem& item);
+
+  std::vector<Home>& homes() { return homes_; }
+  const std::vector<Home>& homes() const { return homes_; }
+  Home* find_home(HomeId id);
+
+  /// Snapshot; includes queue stats. Only consistent after stop().
+  ShardStats stats() const;
+
+ private:
+  void run();
+
+  std::vector<Home> homes_;
+  std::vector<HomeId> home_ids_;  // sorted, parallel lookup for find_home
+  BoundedQueue<FleetItem> queue_;
+  std::thread worker_;
+  bool started_ = false;
+  // Worker-owned counters: written only by the worker thread (or by the
+  // owner before start / after join), read after join.
+  std::size_t packets_ = 0;
+  std::size_t proofs_ = 0;
+  std::size_t discarded_ = 0;
+  double busy_seconds_ = 0.0;
+  // Set (under the queue's closed flag ordering) before a no-drain stop.
+  std::atomic<bool> discard_{false};
+};
+
+}  // namespace fiat::fleet

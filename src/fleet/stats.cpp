@@ -1,0 +1,43 @@
+#include "fleet/stats.hpp"
+
+#include <cstdio>
+
+namespace fiat::fleet {
+
+double FleetStats::throughput() const {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(packets_out + proofs_out) / wall_seconds;
+}
+
+double FleetStats::utilization(std::size_t shard) const {
+  if (shard >= shards.size() || wall_seconds <= 0.0) return 0.0;
+  return shards[shard].busy_seconds / wall_seconds;
+}
+
+std::string FleetStats::render() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-6s %6s %10s %8s %8s %10s %6s %8s\n",
+                "shard", "homes", "packets", "proofs", "shed", "high-water",
+                "util", "busy-s");
+  out += line;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardStats& s = shards[i];
+    std::snprintf(line, sizeof(line), "%-6zu %6zu %10zu %8zu %8zu %10zu %5.0f%% %8.3f\n",
+                  i, s.homes, s.packets, s.proofs, s.queue_shed,
+                  s.queue_high_water, 100.0 * utilization(i), s.busy_seconds);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %zu homes, %zu/%zu packets, %zu/%zu proofs, "
+                "%zu shed, %zu shed-on-close, %zu discarded\n",
+                homes, packets_out, packets_in, proofs_out, proofs_in, shed,
+                shed_on_close, discarded);
+  out += line;
+  std::snprintf(line, sizeof(line), "wall %.3f s, aggregate %.0f items/s\n",
+                wall_seconds, throughput());
+  out += line;
+  return out;
+}
+
+}  // namespace fiat::fleet

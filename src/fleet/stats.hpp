@@ -1,0 +1,49 @@
+// FleetStats: the counter layer of the fleet runtime.
+//
+// Per-shard counters are owned by the shard worker thread and snapshotted
+// only after the worker joined, so none of them need atomics; queue counters
+// are taken under the queue mutex. The snapshot is embedded in FleetReport
+// and printed by the CLI / benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fiat::fleet {
+
+struct ShardStats {
+  std::size_t homes = 0;
+  std::size_t packets = 0;        // packets processed
+  std::size_t proofs = 0;         // auth datagrams processed
+  std::size_t discarded = 0;      // popped but skipped by an abort (no-drain stop)
+  double busy_seconds = 0.0;      // wall time spent inside proxy calls
+  // Queue view (from BoundedQueue::Stats).
+  std::size_t queue_pushed = 0;
+  std::size_t queue_high_water = 0;
+  std::size_t queue_shed = 0;
+  std::size_t queue_shed_on_close = 0;
+};
+
+struct FleetStats {
+  std::size_t homes = 0;
+  std::size_t packets_in = 0;     // offered to ingest (accepted + shed)
+  std::size_t proofs_in = 0;
+  std::size_t packets_out = 0;    // processed by shard workers
+  std::size_t proofs_out = 0;
+  std::size_t shed = 0;           // rejected by full queues (kShed)
+  std::size_t shed_on_close = 0;  // rejected because the engine was stopping
+  std::size_t discarded = 0;      // accepted but dropped by an abort
+  double wall_seconds = 0.0;      // start() .. stop() wall time
+  std::vector<ShardStats> shards;
+
+  /// Aggregate packets+proofs processed per wall second.
+  double throughput() const;
+  /// busy_seconds / wall_seconds of one shard, in [0, 1]-ish.
+  double utilization(std::size_t shard) const;
+
+  /// Human-readable table (one row per shard + a totals line).
+  std::string render() const;
+};
+
+}  // namespace fiat::fleet

@@ -18,9 +18,17 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 
 std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+/// Non-mutating splitmix64 finalizer (Stafford mix13): a bijective 64-bit
+/// hash, used to derive keyed sub-stream seeds.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   // Seed the four 64-bit words with splitmix64 as recommended by the
   // xoshiro authors; guards against the all-zero state.
   std::uint64_t sm = seed;
@@ -123,5 +131,15 @@ void Rng::fill_bytes(std::span<std::uint8_t> out) {
 }
 
 Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Two rounds of a bijective mixer over (seed, stream_id). The odd
+  // constants decorrelate the child-seed space from the parent's own seed
+  // (stream_id 0 must not reproduce the parent), and because only seed_ is
+  // read, the derivation is independent of the parent's stream position.
+  std::uint64_t child =
+      mix64(mix64(seed_ ^ 0xa0761d6478bd642fULL) + stream_id * 0x9e3779b97f4a7c15ULL);
+  return Rng(child);
+}
 
 }  // namespace fiat::sim

@@ -50,7 +50,22 @@ class Rng {
 
   /// Derives an independent child generator; used to give each simulated
   /// device its own stream so adding a device does not perturb others.
+  /// NOTE: advances this generator, so the child depends on how much of the
+  /// parent stream was already consumed. Prefer fork(stream_id) when the
+  /// child must be stable across construction-order changes.
   Rng fork();
+
+  /// Keyed sub-stream derivation: the child seed is a splitmix64-style hash
+  /// of (construction seed, stream_id), so `rng.fork(home_id)` yields the
+  /// same stream no matter how many values were drawn from the parent or in
+  /// which order homes are built. Distinct stream_ids give streams that do
+  /// not collide in practice (regression-tested over 10k ids), and no child
+  /// equals the parent stream.
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// The seed this generator was constructed with (sub-stream derivations
+  /// key off it).
+  std::uint64_t seed() const { return seed_; }
 
   template <typename T>
   void shuffle(std::vector<T>& v) {
@@ -61,6 +76,7 @@ class Rng {
   }
 
  private:
+  std::uint64_t seed_ = 0;
   std::uint64_t s_[4];
   bool have_spare_normal_ = false;
   double spare_normal_ = 0.0;

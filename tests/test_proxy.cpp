@@ -2,6 +2,9 @@
 // rule hits, event gating, humanness proofs, lockout, and the DAG extension.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <utility>
+
 #include "core/proxy.hpp"
 #include "gen/sensors.hpp"
 #include "util/error.hpp"
@@ -474,6 +477,54 @@ TEST(ProxyDegraded, DuplicatedProofsAreCountedAndIgnored) {
   h.send_proof(t + 0.7, "app.plug", true);
   h.seq = saved;
   EXPECT_EQ(h.proxy.proofs_duplicate(), 2u);
+}
+
+TEST(Proxy, MoveKeepsPipelineWorking) {
+  // FiatProxy is movable (the fleet stores homes in vectors); the rule
+  // tables' DNS-table pointer must survive the move.
+  ProxyHarness h;
+  double t = h.run_bootstrap();
+  FiatProxy moved = std::move(h.proxy);
+  EXPECT_GT(moved.rule_count(), 0u);
+  EXPECT_EQ(moved.process(flow_pkt(t)), Verdict::kAllow);
+  EXPECT_EQ(moved.decision_log().back().why, Disposition::kRuleHit);
+  EXPECT_EQ(moved.process(command_pkt(t + 1.0)), Verdict::kDrop);
+
+  FiatProxy assigned(ProxyHarness::make_config(),
+                     HumannessVerifier::train_synthetic(12, 100));
+  assigned = std::move(moved);
+  // Past the 5 s event gap, so the unproven manual event above has closed.
+  EXPECT_EQ(assigned.process(flow_pkt(t + 10.0)), Verdict::kAllow);
+  EXPECT_EQ(assigned.decision_log().back().why, Disposition::kRuleHit);
+}
+
+TEST(Proxy, CountersMatchDecisionLog) {
+  // counters() is the O(1) snapshot the fleet aggregates; it must agree with
+  // the authoritative decision log / outcome list it summarizes.
+  ProxyHarness h;
+  double t = h.run_bootstrap();
+  h.send_proof(t + 0.5, "app.plug", true);
+  h.proxy.process(command_pkt(t + 1.0));   // manual, validated
+  h.proxy.process(command_pkt(t + 20.0));  // manual, no proof -> dropped
+  h.proxy.process(flow_pkt(t + 30.0));     // rule hit
+  h.proxy.flush_events();
+
+  ProxyCounters c = h.proxy.counters();
+  std::size_t allowed = 0, dropped = 0;
+  std::array<std::size_t, kDispositionCount> by_disposition{};
+  for (const auto& d : h.proxy.decision_log()) {
+    (d.verdict == Verdict::kAllow ? allowed : dropped)++;
+    by_disposition[static_cast<std::size_t>(d.why)]++;
+  }
+  EXPECT_EQ(c.packets_allowed, allowed);
+  EXPECT_EQ(c.packets_dropped, dropped);
+  EXPECT_EQ(c.by_disposition, by_disposition);
+  EXPECT_EQ(c.events_closed, h.proxy.event_outcomes().size());
+  EXPECT_EQ(c.proofs_accepted, h.proxy.proofs_accepted());
+  EXPECT_EQ(c.alerts, h.proxy.alerts());
+  EXPECT_GT(c.packets_allowed, 0u);
+  EXPECT_GT(c.packets_dropped, 0u);
+  EXPECT_GT(c.events_closed, 0u);
 }
 
 TEST(ProxyDegraded, LateProofsAreCounted) {

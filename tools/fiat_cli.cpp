@@ -15,6 +15,11 @@
 //   fiat registry list <models.bin>
 //       Show the (device, version) entries of a registry file.
 //
+//   fiat fleet [--homes N] [--shards K] [--devices D] [--days X] [--seed S]
+//              [--capacity C] [--shed] [--no-proofs] [--report-homes H]
+//       Synthesize an N-home fleet, run it through the sharded FleetEngine,
+//       and print the merged security report plus runtime counters.
+//
 //   fiat devices
 //       List the built-in device profiles and their properties.
 #include <algorithm>
@@ -22,10 +27,13 @@
 #include <map>
 
 #include "core/event_dataset.hpp"
+#include "core/humanness.hpp"
 #include "core/manual_classifier.hpp"
 #include "core/model_registry.hpp"
 #include "core/mud.hpp"
 #include "core/predictability.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
 #include "gen/testbed.hpp"
 #include "net/pcap.hpp"
 #include "util/error.hpp"
@@ -43,6 +51,8 @@ int usage() {
                "                [--manual-per-day R] --out trace.pcap\n"
                "  fiat registry build --out models.bin [--days N]\n"
                "  fiat registry list <models.bin>\n"
+               "  fiat fleet [--homes N] [--shards K] [--devices D] [--days X] [--seed S]\n"
+               "             [--capacity C] [--shed] [--no-proofs] [--report-homes H]\n"
                "  fiat devices\n");
   return 2;
 }
@@ -171,6 +181,43 @@ int cmd_registry(const util::Flags& flags) {
   return usage();
 }
 
+int cmd_fleet(const util::Flags& flags) {
+  fleet::FleetScenarioConfig scenario_config;
+  scenario_config.homes =
+      static_cast<std::size_t>(flags.number_or("homes", 100.0));
+  scenario_config.devices_per_home =
+      static_cast<std::size_t>(flags.number_or("devices", 2.0));
+  scenario_config.duration_days = flags.number_or("days", 0.03);
+  scenario_config.seed = static_cast<std::uint64_t>(
+      flags.number_or("seed", static_cast<double>(scenario_config.seed)));
+  scenario_config.with_proofs = !flags.has("no-proofs");
+
+  fleet::FleetConfig fleet_config;
+  fleet_config.shards = static_cast<std::size_t>(flags.number_or("shards", 2.0));
+  fleet_config.queue_capacity =
+      static_cast<std::size_t>(flags.number_or("capacity", 8192.0));
+  if (flags.has("shed")) fleet_config.on_full = fleet::FullPolicy::kShed;
+
+  std::printf("synthesizing %zu homes x %zu devices, %.2f days...\n",
+              scenario_config.homes, scenario_config.devices_per_home,
+              scenario_config.duration_days);
+  auto scenario = fleet::make_fleet_scenario(scenario_config);
+  std::printf("  %zu packets + %zu proofs across %zu homes\n",
+              scenario.packet_count, scenario.proof_count,
+              scenario.homes.size());
+
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
+  fleet::FleetEngine engine(std::move(scenario.homes), humanness, fleet_config);
+  engine.start();
+  for (auto& item : scenario.items) engine.ingest(std::move(item));
+  engine.drain();
+
+  auto report = engine.report();
+  auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
+  std::fputs(report.render(max_homes).c_str(), stdout);
+  return 0;
+}
+
 int cmd_devices() {
   std::printf("%-12s %-11s %-10s %s\n", "device", "classifier", "cmd-N", "routines");
   for (const auto& profile : gen::testbed_profiles()) {
@@ -191,6 +238,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(flags);
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "registry") return cmd_registry(flags);
+    if (command == "fleet") return cmd_fleet(flags);
     if (command == "devices") return cmd_devices();
     return usage();
   } catch (const fiat::Error& e) {
