@@ -9,9 +9,9 @@
 //
 // Checks: every accepted item is processed (no shed, no discard), per-home
 // verdict totals are byte-identical across shard counts (the determinism
-// contract), and — on a multi-core host — 4 shards beat 1 shard by >= 1.5x.
-// On a single-core host the speedup check is reported but not enforced:
-// there is no parallelism to buy.
+// contract), and — on a host with >= 4 hardware threads — 4 shards beat
+// 1 shard by >= 1.5x. With fewer threads the speedup is reported but not
+// enforced: there is not enough parallelism to buy it reliably.
 //
 // Machine-readable results: BENCH_fleet.json (see bench/common.hpp).
 #include <cstdio>
@@ -132,10 +132,11 @@ int main() {
   }
   char msg[128];
   std::snprintf(msg, sizeof(msg), "4 shards vs 1: %.2fx", speedup4);
-  if (std::thread::hardware_concurrency() > 1) {
+  if (std::thread::hardware_concurrency() >= 4) {
     check(speedup4 >= 1.5, std::string(msg) + " (>= 1.5x required)");
   } else {
-    std::printf("  [--] %s (single-core host: speedup not enforced)\n", msg);
+    std::printf("  [--] %s (< 4 hardware threads: speedup not enforced)\n",
+                msg);
   }
 
   bench::Json rows = bench::Json::array();

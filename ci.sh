@@ -17,22 +17,26 @@ case "$LEG" in
   *) echo "usage: $0 [normal|asan|tsan|all]" >&2; exit 2 ;;
 esac
 
+# run_leg NAME DIR CTEST_EXTRA [cmake args...] — CTEST_EXTRA is a leg-local
+# parameter ("" for none), not an environment variable, so a CTEST_ARGS set
+# in the caller's shell can never leak a test filter into other legs.
 run_leg() {
   name="$1"
   dir="$2"
-  shift 2
+  ctest_extra="$3"
+  shift 3
   echo "==> [$name] configure"
   cmake -B "$dir" -S . "$@"
   echo "==> [$name] build"
   cmake --build "$dir" -j "$JOBS"
   echo "==> [$name] ctest"
   # shellcheck disable=SC2086
-  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" $ctest_extra
 }
 
 case "$LEG" in
   normal|all)
-    run_leg normal build
+    run_leg normal build ""
     ;;
 esac
 
@@ -40,15 +44,14 @@ case "$LEG" in
   asan|all)
     ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
     UBSAN_OPTIONS="print_stacktrace=1" \
-      run_leg asan build-asan -DFIAT_SANITIZE=address
+      run_leg asan build-asan "" -DFIAT_SANITIZE=address
     ;;
 esac
 
 case "$LEG" in
   tsan|all)
     TSAN_OPTIONS="halt_on_error=1" \
-    CTEST_ARGS="-L concurrency" \
-      run_leg tsan build-tsan -DFIAT_SANITIZE=thread
+      run_leg tsan build-tsan "-L concurrency" -DFIAT_SANITIZE=thread
     ;;
 esac
 

@@ -76,8 +76,10 @@ class BoundedQueue {
         items_.push_back(std::move(item));
         ++stats_.pushed;
         ++accepted;
+        // Per-item, not post-loop: under kBlock the consumer drains mid-batch,
+        // so a single sample after the loop can understate the true max depth.
+        if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
       }
-      if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
     }
     items.clear();
     if (accepted) not_empty_.notify_one();
@@ -142,6 +144,11 @@ class BoundedQueue {
         ++stats_.shed;
         return false;
       }
+      // About to block with items queued: make sure the consumer has a wakeup
+      // pending. push_batch() only notifies after its loop, so a batch that
+      // fills the queue would otherwise park the producer on not_full_ while
+      // the consumer stays parked on not_empty_ — mutual deadlock.
+      if (!items_.empty()) not_empty_.notify_one();
       not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
       if (closed_) {
         ++stats_.shed_on_close;

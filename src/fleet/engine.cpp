@@ -12,6 +12,13 @@ FleetEngine::FleetEngine(std::vector<HomeSpec> homes,
                          FleetConfig config)
     : config_(config) {
   if (config_.shards == 0) throw LogicError("FleetEngine: zero shards");
+  // Keep every router batch within one queue's capacity. The queue survives
+  // batch > capacity (the producer blocks mid-batch and the consumer drains),
+  // but a batch that can never land in one shot just thrashes the condition
+  // variables — clamp rather than make `fleet --capacity 64` a footgun.
+  if (config_.ingest_batch > config_.queue_capacity) {
+    config_.ingest_batch = config_.queue_capacity;
+  }
   std::sort(homes.begin(), homes.end(),
             [](const HomeSpec& a, const HomeSpec& b) { return a.id < b.id; });
   for (std::size_t i = 1; i < homes.size(); ++i) {

@@ -25,7 +25,7 @@ HomePartition HomePartition::contiguous(const std::vector<HomeId>& sorted_ids,
   std::size_t shards = std::min(shard_count, std::max<std::size_t>(n, 1));
   p.range_start_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    // Balanced split: shard i starts at index ceil-partitioned i*n/shards.
+    // Balanced split: shard i starts at index floor(i*n/shards).
     std::size_t start = i * n / shards;
     p.range_start_.push_back(n == 0 ? 0 : sorted_ids[start]);
   }

@@ -95,6 +95,28 @@ TEST(BoundedQueue, PushBatchShedsTailUnderShed) {
   EXPECT_EQ(q.stats().shed, 2u);
 }
 
+TEST(BoundedQueue, PushBatchLargerThanCapacityDoesNotDeadlock) {
+  // Regression: a batch that fills the queue from empty used to park the
+  // producer on not_full_ with the consumer still parked on not_empty_
+  // (push_batch only notifies after its loop). The blocked producer must now
+  // wake the consumer itself; a hang here trips the ctest TIMEOUT.
+  BoundedQueue<int> q(2, FullPolicy::kBlock);
+  std::vector<int> batch{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::size_t accepted = 0;
+  std::thread producer([&] { accepted = q.push_batch(batch); });
+
+  std::vector<int> got;
+  while (got.size() < 9) {
+    ASSERT_TRUE(q.pop_wait(got));
+  }
+  producer.join();
+  EXPECT_EQ(accepted, 9u);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  auto stats = q.stats();
+  EXPECT_EQ(stats.pushed, 9u);
+  EXPECT_LE(stats.high_water, 2u);  // blocking bound held even mid-batch
+}
+
 // ---- HomePartition / IngestRouter -------------------------------------------
 
 TEST(HomePartition, ContiguousBalancedRanges) {
@@ -237,6 +259,28 @@ TEST(FleetEngine, DrainDeliversEverythingThroughTinyQueues) {
   EXPECT_EQ(stats.discarded, 0u);
   for (const auto& s : stats.shards) {
     EXPECT_LE(s.queue_high_water, 16u);
+  }
+}
+
+TEST(FleetEngine, CapacityBelowDefaultIngestBatchDrainsEverything) {
+  // The CLI's `fleet --capacity 64` keeps FleetConfig's default ingest_batch
+  // of 128; the engine must clamp the batch to the queue capacity so a single
+  // router flush can never wedge against a queue it can't fit into.
+  auto scenario = make_fleet_scenario(small_scenario_config());
+  FleetConfig config;
+  config.shards = 2;
+  config.queue_capacity = 64;  // < default ingest_batch (128)
+  FleetEngine engine(scenario.homes, shared_humanness(), config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.packets_out, scenario.packet_count);
+  EXPECT_EQ(stats.proofs_out, scenario.proof_count);
+  EXPECT_EQ(stats.shed, 0u);
+  for (const auto& s : stats.shards) {
+    EXPECT_LE(s.queue_high_water, 64u);
   }
 }
 
