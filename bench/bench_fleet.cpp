@@ -23,6 +23,7 @@
 #include "core/humanness.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/fleet_testbed.hpp"
+#include "telemetry/export.hpp"
 
 using namespace fiat;
 
@@ -37,6 +38,9 @@ struct RunResult {
   /// One line per home: id + verdict/proof counters + incident count. Equal
   /// strings across shard counts == the determinism contract held.
   std::string home_digest;
+  /// Full merged telemetry snapshot (sim + wall domains): decision-latency
+  /// and queue-wait percentiles ride along in BENCH_fleet.json.
+  bench::Json telemetry = bench::Json::object();
 };
 
 RunResult run_fleet(const fleet::FleetScenario& scenario,
@@ -52,6 +56,8 @@ RunResult run_fleet(const fleet::FleetScenario& scenario,
   RunResult r;
   r.shards = engine.shard_count();
   r.stats = engine.stats();
+  r.telemetry =
+      telemetry::metrics_json(engine.merged_metrics(), /*include_wall=*/true);
   auto report = engine.report();
   char line[192];
   for (const auto& h : report.homes) {
@@ -140,7 +146,7 @@ int main() {
   }
 
   bench::Json rows = bench::Json::array();
-  for (const auto& r : runs) {
+  for (auto& r : runs) {
     bench::Json utils = bench::Json::array();
     for (std::size_t s = 0; s < r.stats.shards.size(); ++s) {
       utils.push(r.stats.utilization(s));
@@ -150,7 +156,8 @@ int main() {
                   .put("wall_seconds", r.stats.wall_seconds)
                   .put("items_per_second", r.stats.throughput())
                   .put("speedup", r.stats.throughput() / base_throughput)
-                  .put("utilization", std::move(utils)));
+                  .put("utilization", std::move(utils))
+                  .put("telemetry", std::move(r.telemetry)));
   }
   bench::Json doc = bench::Json::object()
                         .put("bench", "fleet")

@@ -67,141 +67,11 @@ std::vector<core::LabeledEvent> events_of(const DeviceTrace& dt) {
   return core::extract_labeled_events(dt.trace);
 }
 
-Json& Json::put(const std::string& key, Json value) {
-  fields_.emplace_back(key, std::move(value));
-  return *this;
-}
-
-Json& Json::put(const std::string& key, const std::string& value) {
-  Json j(Kind::kString);
-  j.string_ = value;
-  return put(key, std::move(j));
-}
-
-Json& Json::put(const std::string& key, const char* value) {
-  return put(key, std::string(value));
-}
-
-Json& Json::put(const std::string& key, double value) {
-  Json j(Kind::kNumber);
-  j.number_ = value;
-  return put(key, std::move(j));
-}
-
-Json& Json::put(const std::string& key, std::size_t value) {
-  Json j(Kind::kInteger);
-  j.integer_ = value;
-  return put(key, std::move(j));
-}
-
-Json& Json::put(const std::string& key, bool value) {
-  Json j(Kind::kBool);
-  j.boolean_ = value;
-  return put(key, std::move(j));
-}
-
-Json& Json::push(Json value) {
-  items_.push_back(std::move(value));
-  return *this;
-}
-
-Json& Json::push(double value) {
-  Json j(Kind::kNumber);
-  j.number_ = value;
-  return push(std::move(j));
-}
-
-Json& Json::push(std::size_t value) {
-  Json j(Kind::kInteger);
-  j.integer_ = value;
-  return push(std::move(j));
-}
-
-void Json::dump_to(std::string& out, int indent, int depth) const {
-  auto pad = [&](int d) {
-    if (indent > 0) out.append(static_cast<std::size_t>(indent * d), ' ');
-  };
-  char buf[64];
-  switch (kind_) {
-    case Kind::kNumber:
-      std::snprintf(buf, sizeof(buf), "%.6g", number_);
-      out += buf;
-      break;
-    case Kind::kInteger:
-      std::snprintf(buf, sizeof(buf), "%llu",
-                    static_cast<unsigned long long>(integer_));
-      out += buf;
-      break;
-    case Kind::kBool:
-      out += boolean_ ? "true" : "false";
-      break;
-    case Kind::kString:
-      out += '"';
-      for (char c : string_) {
-        if (c == '"' || c == '\\') {
-          out += '\\';
-          out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-      }
-      out += '"';
-      break;
-    case Kind::kArray:
-      if (items_.empty()) {
-        out += "[]";
-        break;
-      }
-      out += "[\n";
-      for (std::size_t i = 0; i < items_.size(); ++i) {
-        pad(depth + 1);
-        items_[i].dump_to(out, indent, depth + 1);
-        if (i + 1 < items_.size()) out += ',';
-        out += '\n';
-      }
-      pad(depth);
-      out += ']';
-      break;
-    case Kind::kObject:
-      if (fields_.empty()) {
-        out += "{}";
-        break;
-      }
-      out += "{\n";
-      for (std::size_t i = 0; i < fields_.size(); ++i) {
-        pad(depth + 1);
-        out += '"';
-        out += fields_[i].first;
-        out += "\": ";
-        fields_[i].second.dump_to(out, indent, depth + 1);
-        if (i + 1 < fields_.size()) out += ',';
-        out += '\n';
-      }
-      pad(depth);
-      out += '}';
-      break;
-  }
-}
-
-std::string Json::dump(int indent) const {
-  std::string out;
-  dump_to(out, indent, 0);
-  return out;
-}
-
 bool write_bench_json(const std::string& path, const Json& json) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
+  if (!util::write_json_file(path, json)) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return false;
   }
-  std::string text = json.dump();
-  text += '\n';
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
   std::printf("machine-readable results -> %s\n", path.c_str());
   return true;
 }

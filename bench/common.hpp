@@ -11,6 +11,7 @@
 
 #include "core/event_dataset.hpp"
 #include "gen/testbed.hpp"
+#include "util/json.hpp"
 
 namespace fiat::bench {
 
@@ -45,42 +46,10 @@ void print_header(const std::string& bench, const std::string& paper_ref);
 // without scraping stdout. Convention: BENCH_<name>.json in the working
 // directory, one top-level object with a "bench" key.
 
-/// Minimal JSON value builder (objects, arrays, numbers, strings, bools).
-class Json {
- public:
-  static Json object() { return Json(Kind::kObject); }
-  static Json array() { return Json(Kind::kArray); }
-
-  /// Object field setters (chainable). Integers are emitted without an
-  /// exponent so diffs stay readable.
-  Json& put(const std::string& key, Json value);
-  Json& put(const std::string& key, const std::string& value);
-  Json& put(const std::string& key, const char* value);
-  Json& put(const std::string& key, double value);
-  Json& put(const std::string& key, std::size_t value);
-  Json& put(const std::string& key, bool value);
-
-  /// Array appenders (chainable).
-  Json& push(Json value);
-  Json& push(double value);
-  Json& push(std::size_t value);
-
-  std::string dump(int indent = 2) const;
-
- private:
-  enum class Kind { kObject, kArray, kNumber, kInteger, kString, kBool };
-  explicit Json(Kind kind) : kind_(kind) {}
-
-  void dump_to(std::string& out, int indent, int depth) const;
-
-  Kind kind_;
-  double number_ = 0.0;
-  std::uint64_t integer_ = 0;
-  bool boolean_ = false;
-  std::string string_;
-  std::vector<Json> items_;                          // kArray
-  std::vector<std::pair<std::string, Json>> fields_;  // kObject
-};
+/// The JSON builder now lives in src/util/json.hpp (fiat::util::Json) so
+/// telemetry exporters and the CLI can emit JSON too; this alias keeps every
+/// existing bench compiling unchanged.
+using Json = util::Json;
 
 /// Writes `json.dump()` to `path` (+ trailing newline). Returns false (and
 /// prints a warning) when the file cannot be written.

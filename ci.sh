@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# Tier-1 CI: build + ctest normally, then under ASan+UBSan, then the
-# concurrency tests (fleet + transport) under TSan.
+# Tier-1 CI: build + ctest normally (plus a telemetry-export smoke run),
+# then under ASan+UBSan, then the concurrency tests (fleet + transport +
+# fleet telemetry merge) under TSan.
 #
 #   ./ci.sh          all three legs
-#   ./ci.sh normal   plain build + tests only
+#   ./ci.sh normal   plain build + tests + telemetry smoke only
 #   ./ci.sh asan     ASan+UBSan build + tests only
 #   ./ci.sh tsan     TSan build + concurrency-labeled tests only
 set -eu
@@ -34,9 +35,26 @@ run_leg() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" $ctest_extra
 }
 
+# Telemetry smoke: run the fleet CLI with every export flag and validate the
+# JSON artifacts with the in-tree strict parser (no python/jq dependency).
+telemetry_smoke() {
+  dir="$1"
+  echo "==> [normal] telemetry smoke"
+  smoke="$dir/telemetry-smoke"
+  mkdir -p "$smoke"
+  "$dir/tools/fiat" fleet --homes 8 --devices 3 --shards 2 --seed 7 \
+    --telemetry-json "$smoke/metrics.json" \
+    --telemetry-prom "$smoke/metrics.prom" \
+    --trace-json "$smoke/trace.json" >/dev/null
+  "$dir/tools/fiat_json_validate" "$smoke/metrics.json" "$smoke/trace.json"
+  grep -q '^# TYPE fiat_' "$smoke/metrics.prom"
+  echo "==> [normal] telemetry smoke ok"
+}
+
 case "$LEG" in
   normal|all)
     run_leg normal build ""
+    telemetry_smoke build
     ;;
 esac
 

@@ -1,6 +1,7 @@
 #include "core/proxy.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/error.hpp"
 
@@ -53,6 +54,37 @@ ProxyCounters& ProxyCounters::operator+=(const ProxyCounters& o) {
 FiatProxy::FiatProxy(ProxyConfig config, HumannessVerifier humanness)
     : config_(config), humanness_(std::move(humanness)) {
   if (!config_.rules.dns) config_.rules.dns = dns_.get();
+}
+
+void FiatProxy::set_telemetry(telemetry::Sink* sink, std::uint32_t home) {
+  telemetry_ = sink;
+  telemetry_home_ = home;
+  tm_allowed_ = tm_dropped_ = nullptr;
+  tm_disposition_.fill(nullptr);
+  tm_decision_latency_ = nullptr;
+  tm_latency_by_why_.fill(nullptr);
+  tm_event_duration_ = nullptr;
+  tm_proof_age_ = nullptr;
+  if (!sink) return;
+  auto& m = sink->metrics;
+  tm_allowed_ = &m.counter("proxy.packets_allowed");
+  tm_dropped_ = &m.counter("proxy.packets_dropped");
+  for (std::size_t i = 0; i < kDispositionCount; ++i) {
+    tm_disposition_[i] = &m.counter(
+        std::string("proxy.decisions.") +
+        disposition_name(static_cast<Disposition>(i)));
+  }
+  // Decision latency = sim time from event open to its classification
+  // verdict; aggregate plus one histogram per classification outcome.
+  tm_decision_latency_ = &m.histogram("proxy.decision_latency_seconds");
+  for (Disposition d :
+       {Disposition::kNonManual, Disposition::kManualValidated,
+        Disposition::kManualUnvalidated, Disposition::kDegradedAllow}) {
+    tm_latency_by_why_[static_cast<std::size_t>(d)] = &m.histogram(
+        std::string("proxy.decision_latency_seconds.") + disposition_name(d));
+  }
+  tm_event_duration_ = &m.histogram("proxy.event_duration_seconds");
+  tm_proof_age_ = &m.histogram("proxy.proof_age_seconds");
 }
 
 void FiatProxy::add_device(ProxyDevice device) {
@@ -109,6 +141,19 @@ Verdict FiatProxy::record(double ts, const std::string& device, Verdict v,
   }
   ++counters_.by_disposition[static_cast<std::size_t>(why)];
   log_.push_back(Decision{ts, device, v, why, event_seq});
+  if (telemetry_) {
+    (v == Verdict::kAllow ? tm_allowed_ : tm_dropped_)->inc();
+    tm_disposition_[static_cast<std::size_t>(why)]->inc();
+    if (telemetry_->trace.enabled()) {
+      telemetry::TraceSpan span;
+      span.name = disposition_name(why);
+      span.category = "proxy.decision";
+      span.start = ts;
+      span.home = telemetry_home_;
+      span.track = device.empty() ? "non-iot" : device;
+      telemetry_->trace.record(std::move(span));
+    }
+  }
   return v;
 }
 
@@ -203,6 +248,27 @@ void FiatProxy::close_event(DeviceState& dev) {
   outcome.degraded_allowed = dev.degraded_open;
   outcome.packets_allowed = dev.allowed;
   outcome.packets_dropped = dev.dropped;
+  if (telemetry_) {
+    double duration = std::max(0.0, dev.event_last - dev.event_start);
+    tm_event_duration_->record(duration);
+    if (telemetry_->trace.enabled()) {
+      telemetry::TraceSpan span;
+      span.name = "event";
+      span.category = "proxy.event";
+      span.start = dev.event_start;
+      span.duration = duration;
+      span.home = telemetry_home_;
+      span.track = dev.config.name;
+      span.args = {
+          {"class", gen::traffic_class_name(outcome.classified)},
+          {"validated", outcome.human_validated ? "true" : "false"},
+          {"degraded", outcome.degraded ? "true" : "false"},
+          {"allowed", std::to_string(outcome.packets_allowed)},
+          {"dropped", std::to_string(outcome.packets_dropped)},
+      };
+      telemetry_->trace.record(std::move(span));
+    }
+  }
   outcomes_.push_back(std::move(outcome));
   ++counters_.events_closed;
 
@@ -222,6 +288,7 @@ Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord
     dev.event_seq = next_event_seq_++;
     dev.event_start = now;
   }
+  dev.event_last = now;
 
   // Phase 1: allowed prefix.
   if (!dev.classified && dev.event_packets <= dev.config.allowed_prefix) {
@@ -231,7 +298,9 @@ Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord
   }
 
   // Phase 2: classify once, on the packets seen so far (first N + this one).
+  bool just_classified = false;
   if (!dev.classified) {
+    just_classified = true;
     bool degraded = proof_channel_dark(now);
     if (!dev.config.classifier.trained()) {
       // No classifier for this device (model never distributed / training
@@ -274,25 +343,37 @@ Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord
   }
 
   // Phase 3: verdict by classification.
+  Disposition why;
+  Verdict v;
   if (*dev.classified != gen::TrafficClass::kManual) {
-    dev.allowed++;
-    return record(now, dev.config.name, Verdict::kAllow, Disposition::kNonManual,
-                  dev.event_seq);
-  }
-  if (dev.human_validated) {
-    dev.allowed++;
-    return record(now, dev.config.name, Verdict::kAllow,
-                  Disposition::kManualValidated, dev.event_seq);
-  }
-  if (dev.degraded_open) {
-    dev.allowed++;
+    why = Disposition::kNonManual;
+    v = Verdict::kAllow;
+  } else if (dev.human_validated) {
+    why = Disposition::kManualValidated;
+    v = Verdict::kAllow;
+  } else if (dev.degraded_open) {
+    why = Disposition::kDegradedAllow;
+    v = Verdict::kAllow;
     ++degraded_allows_;
-    return record(now, dev.config.name, Verdict::kAllow,
-                  Disposition::kDegradedAllow, dev.event_seq);
+  } else {
+    why = Disposition::kManualUnvalidated;
+    v = Verdict::kDrop;
   }
-  dev.dropped++;
-  return record(now, dev.config.name, Verdict::kDrop,
-                Disposition::kManualUnvalidated, dev.event_seq);
+  if (v == Verdict::kAllow) {
+    dev.allowed++;
+  } else {
+    dev.dropped++;
+  }
+  if (just_classified && telemetry_) {
+    // Latency from event open to the classification verdict — the time an
+    // attacker-observable decision took, in sim seconds.
+    double latency = now - dev.event_start;
+    tm_decision_latency_->record(latency);
+    if (auto* h = tm_latency_by_why_[static_cast<std::size_t>(why)]) {
+      h->record(latency);
+    }
+  }
+  return record(now, dev.config.name, v, why, dev.event_seq);
 }
 
 Verdict FiatProxy::process(const net::PacketRecord& pkt) {
@@ -343,13 +424,20 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   // Any datagram on the proof channel — even one that fails every check —
   // proves the phone can still reach us.
   on_proof_channel_activity(now);
+  // Proofs are rare (a handful per device per day), so outcome counters go
+  // through the registry by name instead of cached pointers.
+  auto proof_outcome = [&](const char* name) {
+    if (telemetry_) telemetry_->metrics.counter(name).inc();
+  };
   auto key_it = phone_keys_.find(client_id);
   if (key_it == phone_keys_.end()) {
     ++proofs_bad_sig_;
+    proof_outcome("proxy.proofs_rejected_signature");
     return std::nullopt;
   }
   if (payload.size() < 8) {
     ++proofs_bad_sig_;
+    proof_outcome("proxy.proofs_rejected_signature");
     return std::nullopt;
   }
   util::ByteReader r(payload);
@@ -358,6 +446,7 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   auto msg = open_auth_message(keystore_, key_it->second, seq, sealed);
   if (!msg) {
     ++proofs_bad_sig_;
+    proof_outcome("proxy.proofs_rejected_signature");
     return std::nullopt;
   }
   // Sequence must advance strictly: the same authenticated proof delivered
@@ -366,11 +455,13 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   auto [seq_it, first_contact] = last_proof_seq_.try_emplace(client_id, 0);
   if (!first_contact && seq <= seq_it->second) {
     ++proofs_duplicate_;
+    proof_outcome("proxy.proofs_duplicate");
     return std::nullopt;
   }
   seq_it->second = seq;
   if (!humanness_.is_human(msg->features)) {
     ++proofs_nonhuman_;
+    proof_outcome("proxy.proofs_rejected_nonhuman");
     return std::nullopt;
   }
   // A proof that spent longer in flight than the freshness window is
@@ -378,8 +469,26 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   // the network is eating proofs.
   if (now - msg->capture_time > config_.human_validity_window) {
     ++proofs_late_;
+    proof_outcome("proxy.proofs_late");
   }
   ++proofs_accepted_;
+  proof_outcome("proxy.proofs_accepted");
+  if (telemetry_) {
+    double age = std::max(0.0, now - msg->capture_time);
+    tm_proof_age_->record(age);
+    if (telemetry_->trace.enabled()) {
+      char age_buf[32];
+      std::snprintf(age_buf, sizeof(age_buf), "%.6g", age);
+      telemetry::TraceSpan span;
+      span.name = "proof";
+      span.category = "proxy.proof";
+      span.start = now;
+      span.home = telemetry_home_;
+      span.track = client_id;
+      span.args = {{"age_s", age_buf}, {"app", msg->app_package}};
+      telemetry_->trace.record(std::move(span));
+    }
+  }
   proofs_.push_back(HumanProof{now, msg->app_package});
   if (config_.degraded_policy == FailPolicy::kGrace) {
     forgive_covered_violations(msg->app_package, msg->capture_time, now);

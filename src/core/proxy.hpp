@@ -32,6 +32,7 @@
 #include "core/manual_classifier.hpp"
 #include "core/rules.hpp"
 #include "crypto/keystore.hpp"
+#include "telemetry/sink.hpp"
 
 namespace fiat::core {
 
@@ -183,6 +184,14 @@ class FiatProxy {
   /// it for the PortLess bucket keys).
   net::DnsTable& dns() { return *dns_; }
 
+  /// Attaches a telemetry sink (thread-owned by whoever runs this proxy;
+  /// see telemetry/sink.hpp). All proxy metrics are Domain::kSim — they
+  /// derive from packet timestamps and counts only. `home` tags the trace
+  /// spans (Chrome pid) so a fleet merge keeps homes apart. Pass nullptr to
+  /// detach. Metric pointers are cached here, so steady-state recording
+  /// never does a name lookup.
+  void set_telemetry(telemetry::Sink* sink, std::uint32_t home = 0);
+
   // ---- data path ---------------------------------------------------------
   /// Processes one intercepted packet; `now` defaults to the packet time.
   Verdict process(const net::PacketRecord& pkt);
@@ -252,6 +261,7 @@ class FiatProxy {
     std::size_t allowed = 0;
     std::size_t dropped = 0;
     double event_start = 0.0;
+    double event_last = 0.0;  // ts of the newest packet in the open event
     std::optional<gen::TrafficClass> classified;
     bool human_validated = false;
     bool degraded = false;       // event decided while proxy degraded
@@ -308,6 +318,17 @@ class FiatProxy {
   std::size_t events_degraded_ = 0;
   std::size_t degraded_allows_ = 0;
   std::size_t violations_forgiven_ = 0;
+
+  // Telemetry (optional; cached metric pointers, see set_telemetry()).
+  telemetry::Sink* telemetry_ = nullptr;
+  std::uint32_t telemetry_home_ = 0;
+  telemetry::Counter* tm_allowed_ = nullptr;
+  telemetry::Counter* tm_dropped_ = nullptr;
+  std::array<telemetry::Counter*, kDispositionCount> tm_disposition_{};
+  telemetry::Histogram* tm_decision_latency_ = nullptr;
+  std::array<telemetry::Histogram*, kDispositionCount> tm_latency_by_why_{};
+  telemetry::Histogram* tm_event_duration_ = nullptr;
+  telemetry::Histogram* tm_proof_age_ = nullptr;
 };
 
 }  // namespace fiat::core

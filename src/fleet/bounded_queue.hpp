@@ -16,6 +16,7 @@
 //    the worker's exit condition. No path leaves a thread waiting forever.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -50,12 +51,22 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Stamps each accepted item with its push time so pop_wait() can report
+  /// per-item queue-wait durations (host wall clock — a Domain::kWall
+  /// metric). Off by default: untracked queues pay nothing. Call before the
+  /// first push.
+  void enable_wait_tracking() {
+    std::lock_guard lock(mu_);
+    track_waits_ = true;
+  }
+
   /// Pushes one item. Returns false when the item was shed (full queue under
   /// kShed, or the queue is closed).
   bool push(T item) {
     std::unique_lock lock(mu_);
     if (!wait_for_space(lock)) return false;
     items_.push_back(std::move(item));
+    if (track_waits_) push_times_.push_back(Clock::now());
     ++stats_.pushed;
     if (items_.size() > stats_.high_water) stats_.high_water = items_.size();
     lock.unlock();
@@ -71,9 +82,17 @@ class BoundedQueue {
     std::size_t accepted = 0;
     {
       std::unique_lock lock(mu_);
+      // One clock read for the whole batch; re-read only if kBlock parked us.
+      Clock::time_point batch_now{};
+      if (track_waits_) batch_now = Clock::now();
       for (auto& item : items) {
+        std::size_t depth_before = items_.size();
         if (!wait_for_space(lock)) continue;  // keep counting sheds for the rest
         items_.push_back(std::move(item));
+        if (track_waits_) {
+          if (items_.size() <= depth_before) batch_now = Clock::now();
+          push_times_.push_back(batch_now);
+        }
         ++stats_.pushed;
         ++accepted;
         // Per-item, not post-loop: under kBlock the consumer drains mid-batch,
@@ -87,9 +106,11 @@ class BoundedQueue {
   }
 
   /// Blocks until items are available or the queue is closed; moves the
-  /// entire backlog into `out` (appended). Returns false when closed and
-  /// fully drained — the consumer's exit signal.
-  bool pop_wait(std::vector<T>& out) {
+  /// entire backlog into `out` (appended). With wait tracking enabled and
+  /// `waits_out` given, appends each popped item's queue-wait in seconds
+  /// (same order as `out`). Returns false when closed and fully drained —
+  /// the consumer's exit signal.
+  bool pop_wait(std::vector<T>& out, std::vector<double>* waits_out = nullptr) {
     std::unique_lock lock(mu_);
     not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
     if (items_.empty()) return false;  // closed and drained
@@ -97,6 +118,16 @@ class BoundedQueue {
     out.reserve(out.size() + items_.size());
     for (auto& item : items_) out.push_back(std::move(item));
     items_.clear();
+    if (track_waits_) {
+      if (waits_out) {
+        auto now = Clock::now();
+        waits_out->reserve(waits_out->size() + push_times_.size());
+        for (auto t : push_times_) {
+          waits_out->push_back(std::chrono::duration<double>(now - t).count());
+        }
+      }
+      push_times_.clear();
+    }
     lock.unlock();
     // Every blocked producer may now make progress (capacity fully freed).
     not_full_.notify_all();
@@ -158,12 +189,17 @@ class BoundedQueue {
     return true;
   }
 
+  using Clock = std::chrono::steady_clock;
+
   const std::size_t capacity_;
   const FullPolicy policy_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  /// Parallel to items_ when track_waits_; one push stamp per queued item.
+  std::deque<Clock::time_point> push_times_;
+  bool track_waits_ = false;
   bool closed_ = false;
   Stats stats_;
 };

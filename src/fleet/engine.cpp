@@ -46,7 +46,8 @@ FleetEngine::FleetEngine(std::vector<HomeSpec> homes,
     }
     shards_.push_back(std::make_unique<Shard>(std::move(slice),
                                               config_.queue_capacity,
-                                              config_.on_full));
+                                              config_.on_full,
+                                              config_.trace_capacity));
   }
   if (next != homes.size()) throw LogicError("FleetEngine: partition hole");
 
@@ -110,6 +111,33 @@ FleetStats FleetEngine::stats() const {
     out.shards.push_back(s);
   }
   return out;
+}
+
+telemetry::MetricsRegistry FleetEngine::merged_metrics() const {
+  require_stopped("merged_metrics()");
+  telemetry::MetricsRegistry merged;
+  // Shard order = partition order, so accumulated histogram sums (doubles)
+  // merge in a fixed order and stay deterministic.
+  for (const auto& shard : shards_) {
+    merged.merge_from(shard->telemetry().metrics);
+  }
+  merged.counter("fleet.packets_in").inc(router_->packets_offered());
+  merged.counter("fleet.proofs_in").inc(router_->proofs_offered());
+  std::uint64_t trace_dropped = 0;
+  for (const auto& shard : shards_) {
+    trace_dropped += shard->telemetry().trace.dropped();
+  }
+  merged.counter("fleet.trace_spans_dropped").inc(trace_dropped);
+  merged.gauge("fleet.wall_seconds", telemetry::Domain::kWall).set(wall_seconds_);
+  return merged;
+}
+
+std::vector<telemetry::TraceSpan> FleetEngine::merged_trace() const {
+  require_stopped("merged_trace()");
+  std::vector<const telemetry::TraceBuffer*> buffers;
+  buffers.reserve(shards_.size());
+  for (const auto& shard : shards_) buffers.push_back(&shard->telemetry().trace);
+  return telemetry::merge_ordered(buffers);
 }
 
 FleetReport FleetEngine::report() {

@@ -43,6 +43,8 @@ struct FleetConfig {
   FullPolicy on_full = FullPolicy::kBlock;
   /// Router buffering: items per queue-lock acquisition.
   std::size_t ingest_batch = 128;
+  /// Per-shard telemetry trace ring capacity (spans); 0 disables tracing.
+  std::size_t trace_capacity = 8192;
 };
 
 /// Merged fleet-wide report: per-home security reports plus the aggregate
@@ -105,6 +107,15 @@ class FleetEngine {
 
   /// Direct access for tests (stopped engine only).
   Shard& shard(std::size_t i) { return *shards_[i]; }
+
+  /// All per-shard registries merged into one snapshot, plus engine-level
+  /// ingest counters and the run's wall time. Requires a stopped engine.
+  /// Domain::kSim entries in the snapshot are byte-identical across
+  /// fixed-seed runs of the same config (see telemetry/metrics.hpp).
+  telemetry::MetricsRegistry merged_metrics() const;
+  /// Every shard's trace spans merged in deterministic (start, home, seq)
+  /// order. Requires a stopped engine.
+  std::vector<telemetry::TraceSpan> merged_trace() const;
 
  private:
   void require_stopped(const char* op) const;

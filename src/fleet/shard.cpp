@@ -7,13 +7,25 @@
 
 namespace fiat::fleet {
 
-Shard::Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy)
-    : homes_(std::move(homes)), queue_(queue_capacity, policy) {
+Shard::Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy,
+             std::size_t trace_capacity)
+    : homes_(std::move(homes)),
+      queue_(queue_capacity, policy),
+      sink_(trace_capacity) {
   home_ids_.reserve(homes_.size());
   for (const Home& home : homes_) home_ids_.push_back(home.id());
   if (!std::is_sorted(home_ids_.begin(), home_ids_.end())) {
     throw LogicError("Shard: homes must be sorted by id");
   }
+  // The sink is worker-owned once start() runs; wiring happens here, before
+  // the thread exists. Queue wait and batch size measure the host, not the
+  // simulation — Domain::kWall keeps them out of deterministic exports.
+  queue_.enable_wait_tracking();
+  tm_queue_wait_ = &sink_.metrics.histogram("fleet.queue_wait_seconds",
+                                            telemetry::Domain::kWall);
+  tm_batch_items_ =
+      &sink_.metrics.histogram("fleet.batch_items", telemetry::Domain::kWall);
+  for (Home& home : homes_) home.proxy().set_telemetry(&sink_, home.id());
 }
 
 Shard::~Shard() {
@@ -59,8 +71,11 @@ void Shard::process(const FleetItem& item) {
 
 void Shard::run() {
   std::vector<FleetItem> batch;
-  while (queue_.pop_wait(batch)) {
+  std::vector<double> waits;
+  while (queue_.pop_wait(batch, &waits)) {
     auto t0 = std::chrono::steady_clock::now();
+    tm_batch_items_->record(static_cast<double>(batch.size()));
+    for (double wait : waits) tm_queue_wait_->record(wait);
     for (const FleetItem& item : batch) {
       if (discard_.load(std::memory_order_relaxed)) {
         ++discarded_;
@@ -71,6 +86,7 @@ void Shard::run() {
     busy_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     batch.clear();
+    waits.clear();
   }
 }
 

@@ -17,13 +17,17 @@
 #include "fleet/home.hpp"
 #include "fleet/item.hpp"
 #include "fleet/stats.hpp"
+#include "telemetry/sink.hpp"
 
 namespace fiat::fleet {
 
 class Shard {
  public:
   /// `homes` is this shard's contiguous slice of the fleet (sorted by id).
-  Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy);
+  /// `trace_capacity` bounds this shard's telemetry trace ring (0 disables
+  /// tracing).
+  Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy,
+        std::size_t trace_capacity = 8192);
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -48,12 +52,20 @@ class Shard {
   /// Snapshot; includes queue stats. Only consistent after stop().
   ShardStats stats() const;
 
+  /// This shard's thread-owned telemetry sink (its homes' proxies record
+  /// into it too). Written by the worker; only consistent after stop().
+  telemetry::Sink& telemetry() { return sink_; }
+  const telemetry::Sink& telemetry() const { return sink_; }
+
  private:
   void run();
 
   std::vector<Home> homes_;
   std::vector<HomeId> home_ids_;  // sorted, parallel lookup for find_home
   BoundedQueue<FleetItem> queue_;
+  telemetry::Sink sink_;
+  telemetry::Histogram* tm_queue_wait_ = nullptr;  // kWall
+  telemetry::Histogram* tm_batch_items_ = nullptr;  // kWall
   std::thread worker_;
   bool started_ = false;
   // Worker-owned counters: written only by the worker thread (or by the

@@ -17,15 +17,17 @@ double FleetStats::utilization(std::size_t shard) const {
 std::string FleetStats::render() const {
   std::string out;
   char line[192];
-  std::snprintf(line, sizeof(line), "%-6s %6s %10s %8s %8s %10s %6s %8s\n",
-                "shard", "homes", "packets", "proofs", "shed", "high-water",
-                "util", "busy-s");
+  std::snprintf(line, sizeof(line), "%-6s %6s %10s %8s %8s %9s %9s %10s %6s %8s\n",
+                "shard", "homes", "packets", "proofs", "shed", "shed-cls",
+                "discard", "high-water", "util", "busy-s");
   out += line;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
-    std::snprintf(line, sizeof(line), "%-6zu %6zu %10zu %8zu %8zu %10zu %5.0f%% %8.3f\n",
+    std::snprintf(line, sizeof(line),
+                  "%-6zu %6zu %10zu %8zu %8zu %9zu %9zu %10zu %5.0f%% %8.3f\n",
                   i, s.homes, s.packets, s.proofs, s.queue_shed,
-                  s.queue_high_water, 100.0 * utilization(i), s.busy_seconds);
+                  s.queue_shed_on_close, s.discarded, s.queue_high_water,
+                  100.0 * utilization(i), s.busy_seconds);
     out += line;
   }
   std::snprintf(line, sizeof(line),

@@ -1,0 +1,137 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+
+namespace fiat::telemetry {
+
+namespace {
+
+// Matches the %.6g the Json dumper uses, so Prometheus and JSON exports of
+// the same histogram show the same digits.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+util::Json histogram_json(const Histogram& h) {
+  util::Json out = util::Json::object()
+                       .put("count", static_cast<std::size_t>(h.count()))
+                       .put("sum", h.sum())
+                       .put("min", h.min())
+                       .put("max", h.max())
+                       .put("mean", h.mean())
+                       .put("p50", h.quantile(0.50))
+                       .put("p95", h.quantile(0.95))
+                       .put("p99", h.quantile(0.99));
+  util::Json buckets = util::Json::array();
+  auto bounds = Histogram::bounds();
+  auto counts = h.buckets();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;  // only occupied buckets; keeps docs small
+    util::Json bucket = util::Json::object();
+    if (i < bounds.size()) {
+      bucket.put("le", bounds[i]);
+    } else {
+      bucket.put("le", "+Inf");
+    }
+    bucket.put("count", static_cast<std::size_t>(counts[i]));
+    buckets.push(std::move(bucket));
+  }
+  out.put("buckets", std::move(buckets));
+  return out;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted/hyphenated names
+/// map onto '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "fiat_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Json metrics_json(const MetricsRegistry& registry, bool include_wall) {
+  auto keep = [include_wall](Domain d) {
+    return include_wall || d == Domain::kSim;
+  };
+
+  util::Json counters = util::Json::object();
+  for (const auto& [name, entry] : registry.counters()) {
+    if (!keep(entry.first)) continue;
+    counters.put(name, util::Json::object()
+                           .put("domain", domain_name(entry.first))
+                           .put("value", static_cast<std::size_t>(
+                                             entry.second.value())));
+  }
+
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, entry] : registry.gauges()) {
+    if (!keep(entry.first)) continue;
+    gauges.put(name, util::Json::object()
+                         .put("domain", domain_name(entry.first))
+                         .put("value", entry.second.value()));
+  }
+
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, entry] : registry.histograms()) {
+    if (!keep(entry.first)) continue;
+    histograms.put(name, histogram_json(entry.second)
+                             .put("domain", domain_name(entry.first)));
+  }
+
+  return util::Json::object()
+      .put("counters", std::move(counters))
+      .put("gauges", std::move(gauges))
+      .put("histograms", std::move(histograms));
+}
+
+std::string prometheus_text(const MetricsRegistry& registry, bool include_wall) {
+  auto keep = [include_wall](Domain d) {
+    return include_wall || d == Domain::kSim;
+  };
+  std::string out;
+
+  for (const auto& [name, entry] : registry.counters()) {
+    if (!keep(entry.first)) continue;
+    std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(entry.second.value()) + "\n";
+  }
+
+  for (const auto& [name, entry] : registry.gauges()) {
+    if (!keep(entry.first)) continue;
+    std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + fmt(entry.second.value()) + "\n";
+  }
+
+  for (const auto& [name, entry] : registry.histograms()) {
+    if (!keep(entry.first)) continue;
+    const Histogram& h = entry.second;
+    std::string p = prom_name(name);
+    out += "# TYPE " + p + " histogram\n";
+    auto bounds = Histogram::bounds();
+    auto counts = h.buckets();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      // Skip leading/interior empty buckets but always emit the running
+      // total once it changes, plus the trailing +Inf bucket.
+      if (counts[i] == 0 && i + 1 < counts.size()) continue;
+      std::string le = i < bounds.size() ? fmt(bounds[i]) : "+Inf";
+      out += p + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += p + "_sum " + fmt(h.sum()) + "\n";
+    out += p + "_count " + std::to_string(h.count()) + "\n";
+  }
+
+  return out;
+}
+
+}  // namespace fiat::telemetry

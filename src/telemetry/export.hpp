@@ -1,0 +1,26 @@
+// Exporters for a (merged) MetricsRegistry:
+//
+//  * metrics_json()    — one JSON object (counters / gauges / histograms
+//                        with p50/p95/p99 and non-empty buckets), built on
+//                        fiat::util::Json. With include_wall=false only
+//                        Domain::kSim metrics are emitted, which makes the
+//                        document byte-identical across fixed-seed runs —
+//                        the form `fiat fleet --telemetry-json` writes and
+//                        the determinism tests diff.
+//  * prometheus_text() — Prometheus text exposition (counter / gauge /
+//                        histogram with cumulative le-buckets), names
+//                        prefixed `fiat_` and sanitized.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "util/json.hpp"
+
+namespace fiat::telemetry {
+
+util::Json metrics_json(const MetricsRegistry& registry, bool include_wall);
+
+std::string prometheus_text(const MetricsRegistry& registry, bool include_wall);
+
+}  // namespace fiat::telemetry

@@ -1,0 +1,142 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fiat::telemetry {
+
+namespace {
+
+// 1-2-5 decade bounds, 1e-6 .. 1e4. Decimal values print exactly under the
+// JSON dumper's %.6g, so exported bucket edges are byte-stable.
+constexpr std::array<double, Histogram::kBounds> kBucketBounds = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+    5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1e0,  2e0,  5e0,  1e1,
+    2e1,  5e1,  1e2,  2e2,  5e2,  1e3,  2e3,  5e3,  1e4};
+
+std::size_t bucket_of(double value) {
+  auto it = std::lower_bound(kBucketBounds.begin(), kBucketBounds.end(), value);
+  return static_cast<std::size_t>(it - kBucketBounds.begin());
+}
+
+}  // namespace
+
+const char* domain_name(Domain d) {
+  switch (d) {
+    case Domain::kSim: return "sim";
+    case Domain::kWall: return "wall";
+  }
+  return "?";
+}
+
+std::span<const double> Histogram::bounds() { return kBucketBounds; }
+
+void Histogram::record(double value) {
+  if (value < 0.0) value = 0.0;  // durations only; clamp noise, don't crash
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_of(value)];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    double lo = i == 0 ? 0.0 : kBucketBounds[i - 1];
+    double hi = i < kBounds ? kBucketBounds[i] : max_;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      double within = buckets_[i] ? (rank - before) / static_cast<double>(buckets_[i])
+                                  : 0.0;
+      double v = lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+namespace {
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::pair<Domain, T>>& metrics,
+                  const std::string& name, Domain domain, const char* kind) {
+  auto [it, inserted] = metrics.try_emplace(name, domain, T{});
+  if (!inserted && it->second.first != domain) {
+    throw LogicError(std::string("MetricsRegistry: ") + kind + " '" + name +
+                     "' re-registered as " + domain_name(domain) + ", was " +
+                     domain_name(it->second.first));
+  }
+  return it->second.second;
+}
+
+template <typename T>
+const T* find_metric(const std::map<std::string, std::pair<Domain, T>>& metrics,
+                     const std::string& name) {
+  auto it = metrics.find(name);
+  return it == metrics.end() ? nullptr : &it->second.second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name, Domain domain) {
+  return find_or_create(counters_, name, domain, "counter");
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Domain domain) {
+  return find_or_create(gauges_, name, domain, "gauge");
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Domain domain) {
+  return find_or_create(histograms_, name, domain, "histogram");
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  return find_metric(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  return find_metric(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  return find_metric(histograms_, name);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, entry] : other.counters_) {
+    counter(name, entry.first).merge(entry.second);
+  }
+  for (const auto& [name, entry] : other.gauges_) {
+    gauge(name, entry.first).merge(entry.second);
+  }
+  for (const auto& [name, entry] : other.histograms_) {
+    histogram(name, entry.first).merge(entry.second);
+  }
+}
+
+}  // namespace fiat::telemetry

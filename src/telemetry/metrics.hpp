@@ -1,0 +1,130 @@
+// Metrics layer of the telemetry subsystem: named counters, gauges, and
+// fixed-bucket log-scale histograms (p50/p95/p99) in a MetricsRegistry.
+//
+// Threading model (mirrors the fleet's counter discipline, see
+// fleet/stats.hpp): a registry is *thread-owned* — each shard worker records
+// into its own registry with plain loads/stores, and the engine merges the
+// per-shard registries into one snapshot only after the workers joined. No
+// atomics anywhere on the hot path. Hot call sites cache the Counter* /
+// Histogram* returned by the registry (std::map storage: pointers are
+// stable), so steady-state recording is an increment, not a name lookup.
+//
+// Determinism rule (the "sim-time determinism rule", DESIGN.md §9): every
+// metric is tagged with a Domain. kSim metrics derive only from simulated
+// time / item counts and are byte-identical across runs of the same seed;
+// kWall metrics (queue wait, busy time) measure the host and are excluded
+// from the deterministic exports.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+namespace fiat::telemetry {
+
+enum class Domain {
+  kSim,   // deterministic under a fixed seed (sim time, item counts)
+  kWall,  // host wall-clock measurements; excluded from deterministic export
+};
+
+const char* domain_name(Domain d);
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void merge(const Counter& other) { value_ += other.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value; merging keeps the maximum (per-shard gauges are
+/// high-water style: queue depth, trace drops).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void merge(const Gauge& other) {
+    if (other.value_ > value_) value_ = other.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket log-scale histogram: 1-2-5 decade bounds from 1e-6 to 1e4
+/// (microseconds to hours when the unit is seconds; equally serviceable for
+/// batch sizes), plus an overflow bucket. Quantiles interpolate linearly
+/// inside the winning bucket and are clamped to the observed [min, max], so
+/// a single-valued histogram reports that exact value.
+class Histogram {
+ public:
+  static constexpr std::size_t kBounds = 31;  // 10 decades x {1,2,5} + 1e4
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// q in [0, 1]; returns 0 for an empty histogram.
+  double quantile(double q) const;
+
+  void merge(const Histogram& other);
+
+  static std::span<const double> bounds();
+  /// kBounds+1 entries; bucket i counts values <= bounds()[i], the final
+  /// entry is the overflow bucket.
+  std::span<const std::uint64_t> buckets() const { return buckets_; }
+
+ private:
+  std::array<std::uint64_t, kBounds + 1> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics, one namespace per owning thread. Metric objects live as
+/// long as the registry and never move (std::map), so callers may cache the
+/// returned references/pointers across calls.
+class MetricsRegistry {
+ public:
+  /// Finds or creates. Re-registering an existing name with a different
+  /// domain throws (it would silently corrupt the determinism contract).
+  Counter& counter(const std::string& name, Domain domain = Domain::kSim);
+  Gauge& gauge(const std::string& name, Domain domain = Domain::kSim);
+  Histogram& histogram(const std::string& name, Domain domain = Domain::kSim);
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Sums/maxes/merges `other` into this registry, creating any missing
+  /// names. Called after worker joins; merge order = caller's call order,
+  /// which keeps accumulated sums deterministic.
+  void merge_from(const MetricsRegistry& other);
+
+  // Exporter access: name-sorted (std::map), so export order is stable.
+  const std::map<std::string, std::pair<Domain, Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::pair<Domain, Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::pair<Domain, Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::pair<Domain, Counter>> counters_;
+  std::map<std::string, std::pair<Domain, Gauge>> gauges_;
+  std::map<std::string, std::pair<Domain, Histogram>> histograms_;
+};
+
+}  // namespace fiat::telemetry

@@ -1,0 +1,23 @@
+// A Sink bundles the two halves of the telemetry subsystem — a metrics
+// registry and a trace buffer — under one ownership rule: a sink belongs to
+// exactly one thread at a time. Instrumented components (FiatProxy,
+// QuicClient, Network, Shard) hold a non-owning Sink* and record with plain
+// writes; the fleet gives each shard worker its own sink and merges them
+// after the join (see fleet/engine.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fiat::telemetry {
+
+struct Sink {
+  explicit Sink(std::size_t trace_capacity = 8192) : trace(trace_capacity) {}
+
+  MetricsRegistry metrics;
+  TraceBuffer trace;
+};
+
+}  // namespace fiat::telemetry

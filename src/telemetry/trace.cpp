@@ -1,0 +1,98 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace fiat::telemetry {
+
+void TraceBuffer::record(TraceSpan span) {
+  if (capacity_ == 0) return;
+  span.seq = seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceSpan> TraceBuffer::ordered() const {
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, `next_` points at the oldest retained span.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceSpan> merge_ordered(
+    const std::vector<const TraceBuffer*>& buffers) {
+  std::vector<TraceSpan> all;
+  std::size_t total = 0;
+  for (const TraceBuffer* buffer : buffers) {
+    if (buffer) total += buffer->size();
+  }
+  all.reserve(total);
+  for (const TraceBuffer* buffer : buffers) {
+    if (!buffer) continue;
+    auto spans = buffer->ordered();
+    all.insert(all.end(), std::make_move_iterator(spans.begin()),
+               std::make_move_iterator(spans.end()));
+  }
+  std::sort(all.begin(), all.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.home != b.home) return a.home < b.home;
+    return a.seq < b.seq;
+  });
+  return all;
+}
+
+util::Json chrome_trace_json(const std::vector<TraceSpan>& spans) {
+  util::Json events = util::Json::array();
+
+  // Stable track -> tid mapping in first-seen order, emitted as thread_name
+  // metadata so Perfetto shows the track strings, not bare tids.
+  std::map<std::string, std::size_t> tids;
+  std::vector<std::pair<std::uint32_t, const std::string*>> named_tracks;
+  for (const TraceSpan& span : spans) {
+    auto [it, inserted] = tids.try_emplace(span.track, tids.size() + 1);
+    if (inserted) named_tracks.emplace_back(span.home, &it->first);
+  }
+  for (const auto& [home, track] : named_tracks) {
+    events.push(util::Json::object()
+                    .put("ph", "M")
+                    .put("name", "thread_name")
+                    .put("pid", static_cast<std::size_t>(home))
+                    .put("tid", tids[*track])
+                    .put("args", util::Json::object().put("name", *track)));
+  }
+
+  auto micros = [](double seconds) {
+    return static_cast<std::size_t>(std::llround(seconds * 1e6));
+  };
+  for (const TraceSpan& span : spans) {
+    util::Json event = util::Json::object()
+                           .put("ph", "X")
+                           .put("name", span.name)
+                           .put("cat", span.category)
+                           .put("ts", micros(span.start))
+                           .put("dur", micros(span.duration))
+                           .put("pid", static_cast<std::size_t>(span.home))
+                           .put("tid", tids[span.track]);
+    if (!span.args.empty()) {
+      util::Json args = util::Json::object();
+      for (const auto& [key, value] : span.args) args.put(key, value);
+      event.put("args", std::move(args));
+    }
+    events.push(std::move(event));
+  }
+
+  return util::Json::object()
+      .put("traceEvents", std::move(events))
+      .put("displayTimeUnit", "ms");
+}
+
+}  // namespace fiat::telemetry

@@ -1,0 +1,78 @@
+// Trace layer of the telemetry subsystem: a bounded ring buffer of
+// structured spans keyed by *sim time*.
+//
+// Spans carry only simulated-time stamps (the sim-time determinism rule,
+// DESIGN.md §9), so a trace exported from a fixed-seed run is byte-identical
+// across runs: per-packet decision instants, per-event lifecycle spans
+// (open -> classify -> decide), per-proof journeys (send -> retransmits ->
+// ack). The buffer is a drop-oldest ring — tracing a billion-packet replay
+// keeps the most recent window and counts what it evicted, never growing.
+//
+// Export is Chrome trace-event JSON ("traceEvents" array of ph:"X"/"M"
+// records, microsecond integer timestamps), which loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace fiat::telemetry {
+
+struct TraceSpan {
+  /// Name/category must be string literals (or otherwise outlive the
+  /// buffer): spans are recorded on hot paths and must not allocate for
+  /// fixed labels.
+  const char* name = "";
+  const char* category = "";
+  double start = 0.0;     // sim seconds
+  double duration = 0.0;  // sim seconds; 0 = instant
+  std::uint32_t home = 0; // Chrome pid
+  std::string track;      // Chrome thread; e.g. device name or client id
+  /// Monotone per-buffer sequence assigned by record(); the deterministic
+  /// tie-break for equal (start, home) when merging buffers.
+  std::uint64_t seq = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceBuffer {
+ public:
+  /// capacity 0 disables the buffer entirely (record() is a no-op).
+  explicit TraceBuffer(std::size_t capacity = 8192) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+  /// Spans evicted (oldest-first) because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t recorded() const { return seq_; }
+
+  void record(TraceSpan span);
+
+  /// Copies the retained spans oldest-to-newest.
+  std::vector<TraceSpan> ordered() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceSpan> ring_;
+  std::size_t next_ = 0;  // ring slot the next record() overwrites, once full
+  std::uint64_t seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Merges several buffers into one span list ordered by (start, home, seq).
+/// Within one home, spans come from a single thread-owned buffer with
+/// monotone seq, so the order is deterministic and independent of how homes
+/// were interleaved on their shard.
+std::vector<TraceSpan> merge_ordered(const std::vector<const TraceBuffer*>& buffers);
+
+/// Chrome trace-event JSON: complete ("X") events with integer microsecond
+/// timestamps, plus thread_name metadata ("M") records mapping each distinct
+/// track string to a stable tid.
+util::Json chrome_trace_json(const std::vector<TraceSpan>& spans);
+
+}  // namespace fiat::telemetry

@@ -28,12 +28,27 @@ const sim::FaultInjector* Network::fault_injector(const EndpointId& from,
   return it == faults_.end() ? nullptr : &it->second;
 }
 
+void Network::set_telemetry(telemetry::Sink* sink, std::uint32_t home) {
+  telemetry_ = sink;
+  telemetry_home_ = home;
+  tm_sent_ = tm_dropped_ = tm_duplicated_ = tm_corrupted_ = nullptr;
+  tm_delay_ = nullptr;
+  if (!sink) return;
+  auto& m = sink->metrics;
+  tm_sent_ = &m.counter("net.datagrams_sent");
+  tm_dropped_ = &m.counter("net.datagrams_dropped");
+  tm_duplicated_ = &m.counter("net.datagrams_duplicated");
+  tm_corrupted_ = &m.counter("net.datagrams_corrupted");
+  tm_delay_ = &m.histogram("net.delay_seconds");
+}
+
 void Network::deliver_after(double delay, const EndpointId& from,
                             const EndpointId& to, util::Bytes data) {
   scheduler_.after(delay, [this, from, to, data = std::move(data)]() mutable {
     auto ep = endpoints_.find(to);
     if (ep == endpoints_.end()) {
       ++dropped_;
+      if (tm_dropped_) tm_dropped_->inc();
       return;
     }
     ep->second(from, std::move(data));
@@ -42,10 +57,22 @@ void Network::deliver_after(double delay, const EndpointId& from,
 
 void Network::send(const EndpointId& from, const EndpointId& to, util::Bytes data) {
   ++sent_;
+  if (tm_sent_) tm_sent_->inc();
+  auto fault_span = [this, &from, &to](const char* name) {
+    if (!telemetry_ || !telemetry_->trace.enabled()) return;
+    telemetry::TraceSpan span;
+    span.name = name;
+    span.category = "net.fault";
+    span.start = scheduler_.now();
+    span.home = telemetry_home_;
+    span.track = from + "->" + to;
+    telemetry_->trace.record(std::move(span));
+  };
   auto path_it = paths_.find({from, to});
   if (path_it == paths_.end()) throw LogicError("Network: no path " + from + "->" + to);
   if (path_it->second.sample_loss(rng_)) {
     ++dropped_;
+    if (tm_dropped_) tm_dropped_->inc();
     return;
   }
   double delay = path_it->second.sample_owd(rng_);
@@ -55,19 +82,26 @@ void Network::send(const EndpointId& from, const EndpointId& to, util::Bytes dat
     sim::FaultDecision fate = fault_it->second.on_datagram(scheduler_.now(), rng_);
     if (fate.drop) {
       ++dropped_;
+      if (tm_dropped_) tm_dropped_->inc();
+      fault_span("fault-drop");
       return;
     }
     if (fate.corrupt) {
       ++corrupted_;
+      if (tm_corrupted_) tm_corrupted_->inc();
+      fault_span("fault-corrupt");
       sim::corrupt_bytes(data, rng_);
     }
     if (fate.duplicate) {
       ++duplicated_;
+      if (tm_duplicated_) tm_duplicated_->inc();
+      fault_span("fault-duplicate");
       // The duplicate copy rides its own (later) delivery event.
       deliver_after(delay + fate.extra_delay + fate.duplicate_delay, from, to, data);
     }
     delay += fate.extra_delay;
   }
+  if (tm_delay_) tm_delay_->record(delay);
   deliver_after(delay, from, to, std::move(data));
 }
 

@@ -17,6 +17,7 @@
 #include "sim/faults.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/sink.hpp"
 #include "transport/netpath.hpp"
 #include "util/bytes.hpp"
 
@@ -52,6 +53,11 @@ class Network {
   std::size_t datagrams_corrupted() const { return corrupted_; }
   sim::Scheduler& scheduler() { return scheduler_; }
 
+  /// Attaches a telemetry sink: datagram fate counters, the sampled one-way
+  /// delay histogram, and instant spans for injected faults — all
+  /// Domain::kSim (the network runs entirely on the scheduler clock).
+  void set_telemetry(telemetry::Sink* sink, std::uint32_t home = 0);
+
  private:
   void deliver_after(double delay, const EndpointId& from, const EndpointId& to,
                      util::Bytes data);
@@ -65,6 +71,15 @@ class Network {
   std::size_t dropped_ = 0;
   std::size_t duplicated_ = 0;
   std::size_t corrupted_ = 0;
+
+  // Telemetry (optional; cached metric pointers, see set_telemetry()).
+  telemetry::Sink* telemetry_ = nullptr;
+  std::uint32_t telemetry_home_ = 0;
+  telemetry::Counter* tm_sent_ = nullptr;
+  telemetry::Counter* tm_dropped_ = nullptr;
+  telemetry::Counter* tm_duplicated_ = nullptr;
+  telemetry::Counter* tm_corrupted_ = nullptr;
+  telemetry::Histogram* tm_delay_ = nullptr;
 };
 
 }  // namespace fiat::transport

@@ -291,6 +291,21 @@ QuicClient::QuicClient(Network& network, EndpointId id, EndpointId server,
   });
 }
 
+void QuicClient::set_telemetry(telemetry::Sink* sink, std::uint32_t home) {
+  telemetry_ = sink;
+  telemetry_home_ = home;
+  tm_handshake_ = tm_ack_ = nullptr;
+  tm_retransmits_ = tm_fallbacks_ = tm_failures_ = tm_connects_ = nullptr;
+  if (!sink) return;
+  auto& m = sink->metrics;
+  tm_handshake_ = &m.histogram("quic.handshake_seconds");
+  tm_ack_ = &m.histogram("quic.ack_seconds");
+  tm_retransmits_ = &m.counter("quic.retransmits");
+  tm_fallbacks_ = &m.counter("quic.zero_rtt_fallbacks");
+  tm_failures_ = &m.counter("quic.failures");
+  tm_connects_ = &m.counter("quic.connects");
+}
+
 void QuicClient::connect(ConnectFn on_connected, FailFn on_failed) {
   on_connected_ = std::move(on_connected);
   on_connect_failed_ = std::move(on_failed);
@@ -334,6 +349,10 @@ void QuicClient::retransmit(std::uint64_t pn, util::Bytes datagram, int attempts
     bool done = (pn == 0) ? connected() : acked_[pn];
     if (done) return;
     ++retransmits_;
+    if (tm_retransmits_) tm_retransmits_->inc();
+    if (auto it = pending_acks_.find(pn); it != pending_acks_.end()) {
+      ++it->second.rexmits;
+    }
     network_.send(id_, server_, datagram);
     retransmit(pn, datagram, attempts + 1);
   });
@@ -341,6 +360,7 @@ void QuicClient::retransmit(std::uint64_t pn, util::Bytes datagram, int attempts
 
 void QuicClient::fail(FailFn& specific) {
   ++failures_;
+  if (tm_failures_) tm_failures_->inc();
   FailFn cb = specific ? std::move(specific) : on_failed_;
   if (cb) cb();
 }
@@ -364,6 +384,7 @@ void QuicClient::on_budget_exhausted(std::uint64_t pn) {
     // payload through a fresh full handshake. Only a second exhaustion is
     // a terminal failure.
     ++fallbacks_;
+    if (tm_fallbacks_) tm_fallbacks_->inc();
     ticket_.clear();
     zero_rtt_key_.clear();
     last_zero_rtt_datagram_.clear();
@@ -451,8 +472,22 @@ void QuicClient::on_datagram(const EndpointId& /*from*/, util::Bytes data) {
       zero_rtt_key_ = derive_zero_rtt(resumption_secret_);
       ticket_.assign(ticket.begin(), ticket.end());
       on_connect_failed_ = nullptr;
+      double elapsed = network_.scheduler().now() - connect_start_;
+      if (telemetry_) {
+        tm_connects_->inc();
+        tm_handshake_->record(elapsed);
+        if (telemetry_->trace.enabled()) {
+          telemetry::TraceSpan span;
+          span.name = "handshake";
+          span.category = "quic.handshake";
+          span.start = connect_start_;
+          span.duration = elapsed;
+          span.home = telemetry_home_;
+          span.track = client_id_;
+          telemetry_->trace.record(std::move(span));
+        }
+      }
       if (on_connected_) {
-        double elapsed = network_.scheduler().now() - connect_start_;
         auto cb = std::move(on_connected_);
         on_connected_ = nullptr;
         cb(elapsed);
@@ -473,6 +508,21 @@ void QuicClient::on_datagram(const EndpointId& /*from*/, util::Bytes data) {
       if (!ok) return;
       acked_[pn] = true;
       double elapsed = network_.scheduler().now() - it->second.send_time;
+      if (telemetry_) {
+        tm_ack_->record(elapsed);
+        if (telemetry_->trace.enabled()) {
+          // One span per proof journey: send (+ any retransmits) -> ack.
+          telemetry::TraceSpan span;
+          span.name = it->second.zero_rtt ? "send-0rtt" : "send-1rtt";
+          span.category = "quic.proof";
+          span.start = it->second.send_time;
+          span.duration = elapsed;
+          span.home = telemetry_home_;
+          span.track = client_id_;
+          span.args = {{"rexmits", std::to_string(it->second.rexmits)}};
+          telemetry_->trace.record(std::move(span));
+        }
+      }
       auto cb = std::move(it->second.on_acked);
       pending_acks_.erase(it);
       if (cb) cb(elapsed);

@@ -32,6 +32,7 @@
 
 #include "crypto/aead.hpp"
 #include "crypto/replay_cache.hpp"
+#include "telemetry/sink.hpp"
 #include "transport/network.hpp"
 
 namespace fiat::transport {
@@ -153,6 +154,12 @@ class QuicClient {
   std::size_t zero_rtt_fallbacks() const { return fallbacks_; }
   std::size_t failures() const { return failures_; }
 
+  /// Attaches a telemetry sink. Everything the client measures runs on the
+  /// scheduler clock, so all its metrics are Domain::kSim: handshake and
+  /// ack round-trip histograms, retransmit/fallback/failure counters, and
+  /// per-proof journey spans (send -> retransmits -> ack).
+  void set_telemetry(telemetry::Sink* sink, std::uint32_t home = 0);
+
  private:
   struct Pending {
     double send_time = 0.0;
@@ -160,6 +167,7 @@ class QuicClient {
     FailFn on_failed;
     util::Bytes plaintext;  // kept for 0-RTT -> 1-RTT fallback
     bool zero_rtt = false;
+    int rexmits = 0;  // retransmits this datagram has cost so far
   };
 
   void on_datagram(const EndpointId& from, util::Bytes data);
@@ -194,6 +202,16 @@ class QuicClient {
   std::size_t retransmits_ = 0;
   std::size_t fallbacks_ = 0;
   std::size_t failures_ = 0;
+
+  // Telemetry (optional; cached metric pointers, see set_telemetry()).
+  telemetry::Sink* telemetry_ = nullptr;
+  std::uint32_t telemetry_home_ = 0;
+  telemetry::Histogram* tm_handshake_ = nullptr;
+  telemetry::Histogram* tm_ack_ = nullptr;
+  telemetry::Counter* tm_retransmits_ = nullptr;
+  telemetry::Counter* tm_fallbacks_ = nullptr;
+  telemetry::Counter* tm_failures_ = nullptr;
+  telemetry::Counter* tm_connects_ = nullptr;
 };
 
 }  // namespace fiat::transport

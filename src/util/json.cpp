@@ -1,0 +1,322 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fiat::util {
+
+Json& Json::put(const std::string& key, Json value) {
+  fields_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::put(const std::string& key, const std::string& value) {
+  Json j(Kind::kString);
+  j.string_ = value;
+  return put(key, std::move(j));
+}
+
+Json& Json::put(const std::string& key, const char* value) {
+  return put(key, std::string(value));
+}
+
+Json& Json::put(const std::string& key, double value) {
+  Json j(Kind::kNumber);
+  j.number_ = value;
+  return put(key, std::move(j));
+}
+
+Json& Json::put(const std::string& key, std::size_t value) {
+  Json j(Kind::kInteger);
+  j.integer_ = value;
+  return put(key, std::move(j));
+}
+
+Json& Json::put(const std::string& key, bool value) {
+  Json j(Kind::kBool);
+  j.boolean_ = value;
+  return put(key, std::move(j));
+}
+
+Json& Json::push(Json value) {
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::push(double value) {
+  Json j(Kind::kNumber);
+  j.number_ = value;
+  return push(std::move(j));
+}
+
+Json& Json::push(std::size_t value) {
+  Json j(Kind::kInteger);
+  j.integer_ = value;
+  return push(std::move(j));
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto pad = [&](int d) {
+    if (indent > 0) out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  char buf[64];
+  switch (kind_) {
+    case Kind::kNumber:
+      std::snprintf(buf, sizeof(buf), "%.6g", number_);
+      out += buf;
+      break;
+    case Kind::kInteger:
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(integer_));
+      out += buf;
+      break;
+    case Kind::kBool:
+      out += boolean_ ? "true" : "false";
+      break;
+    case Kind::kString:
+      out += '"';
+      for (char c : string_) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+      out += '"';
+      break;
+    case Kind::kArray:
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        pad(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += '\n';
+      }
+      pad(depth);
+      out += ']';
+      break;
+    case Kind::kObject:
+      if (fields_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        pad(depth + 1);
+        out += '"';
+        out += fields_[i].first;
+        out += "\": ";
+        fields_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < fields_.size()) out += ',';
+        out += '\n';
+      }
+      pad(depth);
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---- validator --------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser that keeps no values — only validity.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view text) : text_(text) {}
+
+  bool scan(std::string* error) {
+    skip_ws();
+    if (!value()) return fail(error);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing content after top-level value";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) const {
+    if (reason_.empty()) return true;
+    if (error) {
+      *error = reason_ + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool error_out(const char* why) {
+    if (reason_.empty()) reason_ = why;
+    return false;
+  }
+
+  bool value() {
+    if (pos_ >= text_.size()) return error_out("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return error_out("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error_out("expected object key string");
+      }
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return error_out("expected ':' after object key");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return error_out("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return error_out("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return error_out("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return error_out("truncated escape");
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return error_out("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return error_out("invalid escape character");
+        }
+      }
+      ++pos_;
+    }
+    return error_out("unterminated string");
+  }
+
+  bool digits() {
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    // Integer part: 0, or a nonzero digit followed by digits (no leading 0s).
+    if (eat('0')) {
+      // ok
+    } else if (!digits()) {
+      return error_out("invalid number");
+    }
+    if (eat('.')) {
+      if (!digits()) return error_out("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) return error_out("digits required in exponent");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+  return JsonScanner(text).scan(error);
+}
+
+bool write_json_file(const std::string& path, const Json& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::string text = json.dump();
+  text += '\n';
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace fiat::util

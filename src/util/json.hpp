@@ -1,0 +1,64 @@
+// Minimal JSON support shared by non-bench emitters (telemetry exporters,
+// the CLI) and the benches: a value *builder* (objects, arrays, numbers,
+// strings, bools) plus a strict RFC 8259 *validator* used by the CI smoke
+// step and the export tests. Promoted out of bench/common.hpp so library
+// code never has to link bench helpers to write JSON.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fiat::util {
+
+/// Minimal JSON value builder (objects, arrays, numbers, strings, bools).
+class Json {
+ public:
+  static Json object() { return Json(Kind::kObject); }
+  static Json array() { return Json(Kind::kArray); }
+
+  /// Object field setters (chainable). Integers are emitted without an
+  /// exponent so diffs stay readable.
+  Json& put(const std::string& key, Json value);
+  Json& put(const std::string& key, const std::string& value);
+  Json& put(const std::string& key, const char* value);
+  Json& put(const std::string& key, double value);
+  Json& put(const std::string& key, std::size_t value);
+  Json& put(const std::string& key, bool value);
+
+  /// Array appenders (chainable).
+  Json& push(Json value);
+  Json& push(double value);
+  Json& push(std::size_t value);
+
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kInteger, kString, kBool };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  double number_ = 0.0;
+  std::uint64_t integer_ = 0;
+  bool boolean_ = false;
+  std::string string_;
+  std::vector<Json> items_;                           // kArray
+  std::vector<std::pair<std::string, Json>> fields_;  // kObject
+};
+
+/// Strict validation of one complete JSON document (RFC 8259: one top-level
+/// value, no trailing content). On failure, `error` (when non-null) receives
+/// a byte offset + reason. No external dependencies — this is what the CI
+/// smoke validator and the telemetry export tests run on emitted files.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Writes `json.dump()` + trailing newline to `path`. Returns false when the
+/// file cannot be written. Silent; callers print their own breadcrumbs.
+bool write_json_file(const std::string& path, const Json& json);
+
+}  // namespace fiat::util

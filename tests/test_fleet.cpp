@@ -302,6 +302,50 @@ TEST(FleetEngine, ShedPolicyCountsEveryLostItem) {
                 stats.shed_on_close + stats.discarded);
 }
 
+TEST(FleetStats, RenderShowsShedOnCloseAndDiscardColumns) {
+  // Regression: render() must surface the shutdown-loss columns per shard —
+  // items rejected because the engine was stopping (shed-cls) and items
+  // popped-but-skipped by an abort (discard) — not just in the totals line.
+  FleetStats stats;
+  stats.homes = 4;
+  stats.packets_in = 100;
+  stats.packets_out = 80;
+  stats.proofs_in = 10;
+  stats.proofs_out = 9;
+  stats.shed = 5;
+  stats.shed_on_close = 7;
+  stats.discarded = 19;
+  stats.wall_seconds = 2.0;
+  ShardStats s0;
+  s0.homes = 2;
+  s0.packets = 50;
+  s0.proofs = 6;
+  s0.queue_shed = 5;
+  s0.queue_shed_on_close = 7;
+  s0.discarded = 19;
+  s0.queue_high_water = 11;
+  s0.busy_seconds = 1.0;
+  stats.shards.push_back(s0);
+  stats.shards.push_back(ShardStats{});
+
+  std::string table = stats.render();
+  // Header names both columns, between shed and high-water.
+  EXPECT_NE(table.find("shed-cls"), std::string::npos);
+  EXPECT_NE(table.find("discard"), std::string::npos);
+  EXPECT_LT(table.find("shed "), table.find("shed-cls"));
+  EXPECT_LT(table.find("shed-cls"), table.find("discard"));
+  EXPECT_LT(table.find("discard"), table.find("high-water"));
+  // Shard 0's row carries the values in column order.
+  auto row = table.substr(table.find('\n') + 1);
+  row = row.substr(0, row.find('\n'));
+  EXPECT_NE(row.find(" 50 "), std::string::npos);   // packets
+  EXPECT_NE(row.find(" 7 "), std::string::npos);    // shed-on-close
+  EXPECT_NE(row.find(" 19 "), std::string::npos);   // discarded
+  // Totals line keeps the aggregate accounting.
+  EXPECT_NE(table.find("7 shed-on-close"), std::string::npos);
+  EXPECT_NE(table.find("19 discarded"), std::string::npos);
+}
+
 TEST(FleetEngine, AbortNeverDeadlocksAgainstFullPipeline) {
   // Tiny queues + no consumer headroom: the producer may be mid-backpressure
   // when abort() closes the queues. The ctest TIMEOUT converts a hang here

@@ -1,0 +1,273 @@
+// Unit tests for the telemetry subsystem: histogram math, registry
+// semantics, the trace ring, exporters, and the strict JSON validator.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/trace.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+using namespace fiat;
+using namespace fiat::telemetry;
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, SingleValueQuantilesAreExact) {
+  Histogram h;
+  h.record(0.003);
+  // Interpolation inside the winning bucket is clamped to [min, max], so a
+  // single-valued histogram reports that exact value for every quantile.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.003);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.003);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.003);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 0.001);  // 1 ms .. 1 s
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+  double p50 = h.quantile(0.50);
+  double p95 = h.quantile(0.95);
+  double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // Log-scale buckets are coarse; hold the quantiles to bucket accuracy.
+  EXPECT_NEAR(p50, 0.5, 0.3);
+  EXPECT_NEAR(p99, 1.0, 0.5);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, OverflowBucketCatchesHugeValues) {
+  Histogram h;
+  h.record(1e6);  // beyond the last bound (1e4)
+  EXPECT_EQ(h.buckets()[Histogram::kBounds], 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1e6);  // clamped to observed max
+}
+
+TEST(Histogram, MergeMatchesRecordingIntoOne) {
+  Histogram a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.record(i * 0.01);
+    all.record(i * 0.01);
+  }
+  for (int i = 50; i < 100; ++i) {
+    b.record(i * 0.01);
+    all.record(i * 0.01);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (std::size_t i = 0; i <= Histogram::kBounds; ++i) {
+    EXPECT_EQ(a.buckets()[i], all.buckets()[i]) << "bucket " << i;
+  }
+}
+
+TEST(MetricsRegistry, CounterSumsAndGaugeKeepsMax) {
+  Counter a, b;
+  a.inc(3);
+  b.inc(4);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7u);
+
+  Gauge g1, g2;
+  g1.set(2.0);
+  g2.set(5.0);
+  g1.merge(g2);
+  EXPECT_EQ(g1.value(), 5.0);
+  g1.merge(g2);  // merging a smaller-or-equal value is a no-op
+  EXPECT_EQ(g1.value(), 5.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateIsStableAndFindable) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.b");
+  c.inc();
+  EXPECT_EQ(&reg.counter("a.b"), &c);  // same object on re-lookup
+  ASSERT_NE(reg.find_counter("a.b"), nullptr);
+  EXPECT_EQ(reg.find_counter("a.b")->value(), 1u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("a.b"), nullptr);  // kind-separated namespaces
+}
+
+TEST(MetricsRegistry, DomainConflictThrows) {
+  MetricsRegistry reg;
+  reg.counter("x", Domain::kSim);
+  EXPECT_THROW(reg.counter("x", Domain::kWall), LogicError);
+  reg.histogram("h", Domain::kWall);
+  EXPECT_THROW(reg.histogram("h", Domain::kSim), LogicError);
+}
+
+TEST(MetricsRegistry, MergeFromCreatesMissingNames) {
+  MetricsRegistry a, b;
+  a.counter("shared").inc(1);
+  b.counter("shared").inc(2);
+  b.counter("only_b", Domain::kWall).inc(9);
+  b.histogram("h").record(0.5);
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("shared")->value(), 3u);
+  EXPECT_EQ(a.find_counter("only_b")->value(), 9u);
+  EXPECT_EQ(a.find_histogram("h")->count(), 1u);
+}
+
+namespace {
+
+TraceSpan make_span(const char* name, double start, std::uint32_t home,
+                    std::string track) {
+  TraceSpan s;
+  s.name = name;
+  s.category = "test";
+  s.start = start;
+  s.home = home;
+  s.track = std::move(track);
+  return s;
+}
+
+}  // namespace
+
+TEST(TraceBuffer, RingDropsOldestAndKeepsOrder) {
+  TraceBuffer buf(4);
+  for (int i = 0; i < 6; ++i) {
+    buf.record(make_span("s", static_cast<double>(i), 0, "t"));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  EXPECT_EQ(buf.recorded(), 6u);
+  auto spans = buf.ordered();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_DOUBLE_EQ(spans[i].start, static_cast<double>(i + 2));
+    EXPECT_EQ(spans[i].seq, i + 2);
+  }
+}
+
+TEST(TraceBuffer, ZeroCapacityDisablesRecording) {
+  TraceBuffer buf(0);
+  EXPECT_FALSE(buf.enabled());
+  buf.record(make_span("s", 1.0, 0, "t"));
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.recorded(), 0u);
+}
+
+TEST(TraceBuffer, MergeOrderedSortsByStartHomeSeq) {
+  TraceBuffer home0(8), home1(8);
+  home0.record(make_span("a", 2.0, 0, "t0"));
+  home0.record(make_span("b", 5.0, 0, "t0"));
+  home1.record(make_span("c", 2.0, 1, "t1"));
+  home1.record(make_span("d", 1.0, 1, "t1"));
+  auto merged = merge_ordered({&home0, &home1});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_STREQ(merged[0].name, "d");  // start 1.0
+  EXPECT_STREQ(merged[1].name, "a");  // start 2.0, home 0
+  EXPECT_STREQ(merged[2].name, "c");  // start 2.0, home 1
+  EXPECT_STREQ(merged[3].name, "b");  // start 5.0
+}
+
+TEST(Exporters, ChromeTraceJsonIsValidAndCarriesTracks) {
+  std::vector<TraceSpan> spans;
+  spans.push_back(make_span("decide", 1.5, 3, "cam"));
+  spans.back().duration = 0.25;
+  spans.back().args = {{"why", "rule-hit"}};
+  spans.push_back(make_span("proof", 2.0, 3, "phone"));
+  auto json = chrome_trace_json(spans).dump();
+  EXPECT_TRUE(util::json_valid(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"cam\""), std::string::npos);
+  // 1.5 s -> 1500000 us, 0.25 s -> 250000 us (integer microseconds survive
+  // the %.6g number formatting).
+  EXPECT_NE(json.find("1500000"), std::string::npos);
+  EXPECT_NE(json.find("250000"), std::string::npos);
+}
+
+TEST(Exporters, MetricsJsonHonoursTheWallDomainFilter) {
+  MetricsRegistry reg;
+  reg.counter("sim.count").inc(2);
+  reg.histogram("wall.wait", Domain::kWall).record(0.1);
+  reg.gauge("wall.gauge", Domain::kWall).set(1.0);
+
+  auto deterministic = metrics_json(reg, /*include_wall=*/false).dump();
+  EXPECT_TRUE(util::json_valid(deterministic));
+  EXPECT_NE(deterministic.find("sim.count"), std::string::npos);
+  EXPECT_EQ(deterministic.find("wall.wait"), std::string::npos);
+  EXPECT_EQ(deterministic.find("wall.gauge"), std::string::npos);
+
+  auto full = metrics_json(reg, /*include_wall=*/true).dump();
+  EXPECT_TRUE(util::json_valid(full));
+  EXPECT_NE(full.find("wall.wait"), std::string::npos);
+  EXPECT_NE(full.find("\"p95\""), std::string::npos);
+}
+
+TEST(Exporters, PrometheusTextShape) {
+  MetricsRegistry reg;
+  reg.counter("proxy.packets_allowed").inc(5);
+  auto& h = reg.histogram("fleet.queue_wait_seconds", Domain::kWall);
+  h.record(0.001);
+  h.record(0.002);
+
+  auto text = prometheus_text(reg, /*include_wall=*/true);
+  EXPECT_NE(text.find("# TYPE fiat_proxy_packets_allowed counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fiat_proxy_packets_allowed 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fiat_fleet_queue_wait_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative buckets end at +Inf with the total count.
+  EXPECT_NE(text.find("fiat_fleet_queue_wait_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fiat_fleet_queue_wait_seconds_count 2\n"),
+            std::string::npos);
+
+  // Wall metrics disappear from the deterministic form.
+  auto deterministic = prometheus_text(reg, /*include_wall=*/false);
+  EXPECT_EQ(deterministic.find("queue_wait"), std::string::npos);
+}
+
+TEST(JsonValidator, AcceptsAndRejects) {
+  EXPECT_TRUE(util::json_valid("{\"a\": [1, 2.5, -3e2], \"b\": null}"));
+  EXPECT_TRUE(util::json_valid("[true, false, \"\\u00e9\\n\"]"));
+  EXPECT_TRUE(util::json_valid("  42  "));
+
+  std::string error;
+  EXPECT_FALSE(util::json_valid("{\"a\":}", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(util::json_valid("{\"a\": 1,}"));      // trailing comma
+  EXPECT_FALSE(util::json_valid("[1] garbage"));      // trailing content
+  EXPECT_FALSE(util::json_valid("01"));               // leading zero
+  EXPECT_FALSE(util::json_valid("{'a': 1}"));         // single quotes
+  EXPECT_FALSE(util::json_valid("\"unterminated"));
+  EXPECT_FALSE(util::json_valid(""));
+}
+
+TEST(Sink, BundlesRegistryAndTrace) {
+  Sink sink(2);
+  sink.metrics.counter("c").inc();
+  sink.trace.record(make_span("s", 0.5, 0, "t"));
+  EXPECT_EQ(sink.metrics.find_counter("c")->value(), 1u);
+  EXPECT_EQ(sink.trace.size(), 1u);
+  Sink disabled(0);
+  EXPECT_FALSE(disabled.trace.enabled());
+}

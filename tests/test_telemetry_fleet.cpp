@@ -1,0 +1,170 @@
+// Fleet-level telemetry tests: the deterministic-export contract (double
+// runs of a fixed seed produce byte-identical metrics + trace JSON), the
+// non-zero-percentile acceptance checks, and the shards=4 registry merge
+// (this suite carries the "concurrency" label, so the TSan CI leg replays
+// the per-shard record -> join -> merge handoff under the race detector).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/humanness.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
+#include "util/json.hpp"
+
+using namespace fiat;
+
+namespace {
+
+fleet::FleetScenarioConfig scenario_config() {
+  fleet::FleetScenarioConfig config;
+  config.homes = 8;
+  config.devices_per_home = 3;
+  config.duration_days = 0.02;
+  config.seed = 7;
+  return config;
+}
+
+struct RunExports {
+  std::string metrics_json;  // deterministic form (include_wall = false)
+  std::string trace_json;
+};
+
+/// One full fleet run; the engine is torn down before returning, so exports
+/// are taken from the post-join merged snapshot exactly as the CLI does.
+RunExports run_and_export(std::size_t shards) {
+  auto scenario = fleet::make_fleet_scenario(scenario_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config().seed);
+  fleet::FleetConfig config;
+  config.shards = shards;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+
+  RunExports e;
+  e.metrics_json =
+      telemetry::metrics_json(engine.merged_metrics(), /*include_wall=*/false)
+          .dump();
+  e.trace_json = telemetry::chrome_trace_json(engine.merged_trace()).dump();
+  return e;
+}
+
+}  // namespace
+
+TEST(FleetTelemetry, DoubleRunExportsAreByteIdentical) {
+  RunExports first = run_and_export(2);
+  RunExports second = run_and_export(2);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.trace_json, second.trace_json);
+  EXPECT_TRUE(util::json_valid(first.metrics_json));
+  EXPECT_TRUE(util::json_valid(first.trace_json));
+  // The deterministic form must not leak host measurements.
+  EXPECT_EQ(first.metrics_json.find("queue_wait"), std::string::npos);
+  EXPECT_EQ(first.metrics_json.find("wall_seconds"), std::string::npos);
+}
+
+TEST(FleetTelemetry, LatencyAndQueueWaitPercentilesAreLive) {
+  auto scenario = fleet::make_fleet_scenario(scenario_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config().seed);
+  fleet::FleetConfig config;
+  config.shards = 2;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+
+  auto metrics = engine.merged_metrics();
+
+  const auto* latency = metrics.find_histogram("proxy.decision_latency_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->count(), 0u);
+  EXPECT_GT(latency->quantile(0.50), 0.0);
+  EXPECT_GT(latency->quantile(0.95), 0.0);
+  EXPECT_GT(latency->quantile(0.99), 0.0);
+
+  const auto* wait = metrics.find_histogram("fleet.queue_wait_seconds");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_GT(wait->count(), 0u);
+  EXPECT_GT(wait->quantile(0.50), 0.0);
+  EXPECT_GT(wait->quantile(0.95), 0.0);
+  EXPECT_GT(wait->quantile(0.99), 0.0);
+  // Every popped item gets exactly one wait sample.
+  auto stats = engine.stats();
+  EXPECT_EQ(wait->count(), stats.packets_out + stats.proofs_out);
+
+  const auto* batches = metrics.find_histogram("fleet.batch_items");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_GT(batches->count(), 0u);
+}
+
+TEST(FleetTelemetry, ShardMergeSumsMatchTheReport) {
+  auto scenario = fleet::make_fleet_scenario(scenario_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config().seed);
+  fleet::FleetConfig config;
+  config.shards = 4;  // the TSan leg's target: 4 recording threads merged
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+
+  auto metrics = engine.merged_metrics();
+  auto report = engine.report();
+
+  // Merged counters are the sum over all shards; the proxy's own counter
+  // totals are the independent ground truth.
+  const auto* allowed = metrics.find_counter("proxy.packets_allowed");
+  const auto* dropped = metrics.find_counter("proxy.packets_dropped");
+  ASSERT_NE(allowed, nullptr);
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(allowed->value(), report.totals.packets_allowed);
+  EXPECT_EQ(dropped->value(), report.totals.packets_dropped);
+  EXPECT_GT(allowed->value(), 0u);
+
+  const auto* packets_in = metrics.find_counter("fleet.packets_in");
+  const auto* proofs_in = metrics.find_counter("fleet.proofs_in");
+  ASSERT_NE(packets_in, nullptr);
+  ASSERT_NE(proofs_in, nullptr);
+  EXPECT_EQ(packets_in->value(), scenario.packet_count);
+  EXPECT_EQ(proofs_in->value(), scenario.proof_count);
+
+  // Trace spans surfaced from every shard, in (start, home, seq) order.
+  auto spans = engine.merged_trace();
+  ASSERT_FALSE(spans.empty());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start, spans[i].start);
+  }
+  bool saw_decision = false, saw_event = false;
+  for (const auto& s : spans) {
+    if (std::string(s.category) == "proxy.decision") saw_decision = true;
+    if (std::string(s.category) == "proxy.event") saw_event = true;
+  }
+  EXPECT_TRUE(saw_decision);
+  EXPECT_TRUE(saw_event);
+}
+
+TEST(FleetTelemetry, ZeroTraceCapacityDisablesSpans) {
+  auto scenario = fleet::make_fleet_scenario(scenario_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config().seed);
+  fleet::FleetConfig config;
+  config.shards = 2;
+  config.trace_capacity = 0;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+
+  EXPECT_TRUE(engine.merged_trace().empty());
+  // Metrics still flow; only the span ring is off.
+  auto metrics = engine.merged_metrics();
+  const auto* allowed = metrics.find_counter("proxy.packets_allowed");
+  ASSERT_NE(allowed, nullptr);
+  EXPECT_GT(allowed->value(), 0u);
+  const auto* ring_dropped = metrics.find_counter("fleet.trace_spans_dropped");
+  ASSERT_NE(ring_dropped, nullptr);
+  EXPECT_EQ(ring_dropped->value(), 0u);
+}

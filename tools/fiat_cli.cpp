@@ -17,8 +17,14 @@
 //
 //   fiat fleet [--homes N] [--shards K] [--devices D] [--days X] [--seed S]
 //              [--capacity C] [--shed] [--no-proofs] [--report-homes H]
+//              [--telemetry-json PATH] [--telemetry-prom PATH]
+//              [--telemetry-wall] [--trace-json PATH] [--trace-capacity T]
 //       Synthesize an N-home fleet, run it through the sharded FleetEngine,
 //       and print the merged security report plus runtime counters.
+//       --telemetry-json writes the merged metrics snapshot (deterministic
+//       under a fixed seed; add --telemetry-wall to include host wall-clock
+//       metrics, which vary run to run). --trace-json writes Chrome
+//       trace-event JSON, loadable in Perfetto (ui.perfetto.dev).
 //
 //   fiat devices
 //       List the built-in device profiles and their properties.
@@ -36,8 +42,10 @@
 #include "fleet/fleet_testbed.hpp"
 #include "gen/testbed.hpp"
 #include "net/pcap.hpp"
+#include "telemetry/export.hpp"
 #include "util/error.hpp"
 #include "util/flags.hpp"
+#include "util/json.hpp"
 
 using namespace fiat;
 
@@ -53,6 +61,8 @@ int usage() {
                "  fiat registry list <models.bin>\n"
                "  fiat fleet [--homes N] [--shards K] [--devices D] [--days X] [--seed S]\n"
                "             [--capacity C] [--shed] [--no-proofs] [--report-homes H]\n"
+               "             [--telemetry-json PATH] [--telemetry-prom PATH]\n"
+               "             [--telemetry-wall] [--trace-json PATH] [--trace-capacity T]\n"
                "  fiat devices\n");
   return 2;
 }
@@ -197,6 +207,8 @@ int cmd_fleet(const util::Flags& flags) {
   fleet_config.queue_capacity =
       static_cast<std::size_t>(flags.number_or("capacity", 8192.0));
   if (flags.has("shed")) fleet_config.on_full = fleet::FullPolicy::kShed;
+  fleet_config.trace_capacity =
+      static_cast<std::size_t>(flags.number_or("trace-capacity", 8192.0));
 
   std::printf("synthesizing %zu homes x %zu devices, %.2f days...\n",
               scenario_config.homes, scenario_config.devices_per_home,
@@ -215,6 +227,49 @@ int cmd_fleet(const util::Flags& flags) {
   auto report = engine.report();
   auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
   std::fputs(report.render(max_homes).c_str(), stdout);
+
+  auto metrics = engine.merged_metrics();
+  if (const auto* h = metrics.find_histogram("proxy.decision_latency_seconds")) {
+    std::printf(
+        "decision latency (sim): n=%zu p50=%.6g p95=%.6g p99=%.6g s\n",
+        static_cast<std::size_t>(h->count()), h->quantile(0.5),
+        h->quantile(0.95), h->quantile(0.99));
+  }
+  if (const auto* h = metrics.find_histogram("fleet.queue_wait_seconds")) {
+    std::printf("queue wait (wall): n=%zu p50=%.6g p95=%.6g p99=%.6g s\n",
+                static_cast<std::size_t>(h->count()), h->quantile(0.5),
+                h->quantile(0.95), h->quantile(0.99));
+  }
+  bool include_wall = flags.has("telemetry-wall");
+  if (auto path = flags.get("telemetry-json")) {
+    if (!util::write_json_file(*path, telemetry::metrics_json(metrics, include_wall))) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("telemetry snapshot (%s) -> %s\n",
+                include_wall ? "sim+wall" : "sim only, deterministic",
+                path->c_str());
+  }
+  if (auto path = flags.get("telemetry-prom")) {
+    std::string text = telemetry::prometheus_text(metrics, include_wall);
+    std::FILE* f = std::fopen(path->c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("prometheus text -> %s\n", path->c_str());
+  }
+  if (auto path = flags.get("trace-json")) {
+    auto spans = engine.merged_trace();
+    if (!util::write_json_file(*path, telemetry::chrome_trace_json(spans))) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("trace (%zu spans) -> %s (load in ui.perfetto.dev)\n",
+                spans.size(), path->c_str());
+  }
   return 0;
 }
 

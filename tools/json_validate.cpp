@@ -1,0 +1,38 @@
+// fiat_json_validate — strict RFC 8259 check for one or more JSON files.
+//
+// Exists so ci.sh can validate the CLI's telemetry/trace exports without
+// depending on python or jq being in the image. Exit 0 iff every file
+// parses; prints the first error (with byte offset) otherwise.
+#include <cstdio>
+#include <string>
+
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: fiat_json_validate FILE...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::FILE* f = std::fopen(argv[i], "rb");
+    if (!f) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      rc = 1;
+      continue;
+    }
+    std::string text;
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    std::string error;
+    if (!fiat::util::json_valid(text, &error)) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", argv[i], error.c_str());
+      rc = 1;
+    } else {
+      std::printf("%s: valid JSON (%zu bytes)\n", argv[i], text.size());
+    }
+  }
+  return rc;
+}
