@@ -1,0 +1,355 @@
+// Per-packet decision hot path — packed BucketKey + FlatMap vs the seed's
+// string keys in node containers (DESIGN.md §10).
+//
+// Two layers:
+//   * Rule-table micro legs: a synthetic periodic workload (256 flows across
+//     64 remotes, half resolvable via in-trace DNS) driven straight into
+//     RuleTable::learn / match_and_learn, for Classic and PortLess modes,
+//     packed vs RuleTableConfig::legacy_keys. This isolates exactly the code
+//     the tentpole rewrote: key construction + bucket lookup + bin learning.
+//   * Proxy end-to-end leg: a small fleet scenario replayed through
+//     make_home_proxy() proxies (bootstrap learning, event grouping, proofs —
+//     the full FiatProxy::process path), packed vs legacy, with the sim-domain
+//     telemetry snapshot embedded in the JSON.
+//
+// Gate: packed packets/sec must be >= 2x legacy on every rule-table micro
+// leg (the README's hot-path claim). The proxy leg is reported unGated: it
+// amortizes key costs over event/report machinery the rewrite left alone.
+//
+// Flags: --packets N   packets per micro leg (default 300000)
+//        --repeat R    timing repetitions, best-of (default 3)
+//        --json PATH   output path (default BENCH_hotpath.json)
+//        --legacy-keys run ONLY the legacy baseline legs (profiling aid;
+//                      disables the speedup gate, which needs both sides)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/humanness.hpp"
+#include "core/rules.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "fleet/home.hpp"
+#include "net/dns.hpp"
+#include "sim/rng.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/sink.hpp"
+
+using namespace fiat;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic periodic workload: `flows` (remote, port, size) tuples
+/// round-robined with per-flow jittered periods — every bucket settles into
+/// a small set of inter-arrival bins, so the match legs exercise the rule-hit
+/// path, not just misses.
+struct Workload {
+  net::Ipv4Addr device{10, 0, 0, 50};
+  net::DnsTable dns;
+  net::ReverseResolver reverse;
+  std::vector<net::PacketRecord> packets;
+
+  explicit Workload(std::size_t count) {
+    constexpr std::size_t kRemotes = 64;
+    constexpr std::size_t kFlows = 256;
+    sim::Rng rng(20260806);
+    std::vector<net::Ipv4Addr> remotes;
+    for (std::size_t r = 0; r < kRemotes; ++r) {
+      net::Ipv4Addr ip(52, 20, static_cast<std::uint8_t>(r / 8),
+                       static_cast<std::uint8_t>(10 + r % 8));
+      remotes.push_back(ip);
+      // Half the remotes resolve via in-trace DNS (the PortLess fast path
+      // the interner memoizes); the rest fall through to reverse lookup.
+      if (r % 2 == 0) dns.add(ip, "svc" + std::to_string(r) + ".example.com");
+    }
+    struct Flow {
+      net::Ipv4Addr remote;
+      std::uint16_t port;
+      std::uint32_t size;
+      bool outbound;
+      double phase;
+    };
+    std::vector<Flow> flows;
+    for (std::size_t f = 0; f < kFlows; ++f) {
+      flows.push_back(Flow{remotes[f % kRemotes],
+                           static_cast<std::uint16_t>(443 + f % 7),
+                           static_cast<std::uint32_t>(80 + 40 * (f % 11)),
+                           f % 3 != 0, rng.uniform(0.0, 0.2)});
+    }
+    packets.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Flow& flow = flows[i % kFlows];
+      net::PacketRecord pkt;
+      // Round-robin: each flow beats every kFlows * 0.01s, plus a stable
+      // phase, so deltas quantize into one or two bins per bucket.
+      pkt.ts = static_cast<double>(i / kFlows) * (0.01 * kFlows) +
+               static_cast<double>(i % kFlows) * 0.01 + flow.phase;
+      pkt.size = flow.size;
+      pkt.proto = (i % 5 == 0) ? net::Transport::kUdp : net::Transport::kTcp;
+      if (flow.outbound) {
+        pkt.src_ip = device;
+        pkt.dst_ip = flow.remote;
+        pkt.src_port = 40000;
+        pkt.dst_port = flow.port;
+      } else {
+        pkt.src_ip = flow.remote;
+        pkt.dst_ip = device;
+        pkt.src_port = flow.port;
+        pkt.dst_port = 40000;
+      }
+      packets.push_back(pkt);
+    }
+  }
+
+  core::RuleTableConfig table_config(core::FlowMode mode, bool legacy) const {
+    core::RuleTableConfig config;
+    config.mode = mode;
+    config.dns = &dns;
+    config.reverse = &reverse;
+    config.legacy_keys = legacy;
+    return config;
+  }
+};
+
+struct LegResult {
+  std::string name;
+  bool legacy = false;
+  std::size_t packets = 0;
+  double wall_seconds = 0.0;
+  double pps() const { return static_cast<double>(packets) / wall_seconds; }
+};
+
+/// Best-of-`repeat` timing of one rule-table leg. `phase` is "learn" (cold
+/// table, learn() only) or "match" (table pre-trained on the same stream,
+/// then timed match_and_learn() on a time-shifted replay — steady state).
+LegResult run_table_leg(const Workload& load, core::FlowMode mode, bool legacy,
+                        const char* phase, std::size_t repeat) {
+  LegResult r;
+  r.name = std::string(mode == core::FlowMode::kClassic ? "classic" : "portless") +
+           "/" + phase;
+  r.legacy = legacy;
+  r.packets = load.packets.size();
+  bool match_phase = std::strcmp(phase, "match") == 0;
+  double shift = load.packets.back().ts + 0.01;
+  for (std::size_t rep = 0; rep < repeat; ++rep) {
+    core::RuleTable table(load.device, load.table_config(mode, legacy));
+    if (match_phase) {
+      for (const auto& pkt : load.packets) table.learn(pkt);
+    }
+    double t0 = now_seconds();
+    if (match_phase) {
+      net::PacketRecord replay;
+      for (const auto& pkt : load.packets) {
+        replay = pkt;
+        replay.ts += shift;
+        table.match_and_learn(replay);
+      }
+    } else {
+      for (const auto& pkt : load.packets) table.learn(pkt);
+    }
+    double wall = now_seconds() - t0;
+    if (rep == 0 || wall < r.wall_seconds) r.wall_seconds = wall;
+    if (table.rule_count() == 0) std::printf("  warning: %s learned no rules\n",
+                                             r.name.c_str());
+  }
+  return r;
+}
+
+struct ProxyResult {
+  std::size_t items = 0;
+  double wall_seconds = 0.0;
+  std::size_t allowed = 0;
+  std::size_t dropped = 0;
+  bench::Json telemetry = bench::Json::object();
+  double ips() const { return static_cast<double>(items) / wall_seconds; }
+};
+
+/// Full FiatProxy::process path over a small fleet scenario, single thread.
+ProxyResult run_proxy_leg(const fleet::FleetScenario& scenario,
+                          const core::HumannessVerifier& humanness,
+                          std::size_t repeat) {
+  ProxyResult r;
+  r.items = scenario.items.size();
+  for (std::size_t rep = 0; rep < repeat; ++rep) {
+    telemetry::Sink sink;
+    std::vector<core::FiatProxy> proxies;
+    proxies.reserve(scenario.homes.size());
+    for (const auto& spec : scenario.homes) {
+      proxies.push_back(fleet::make_home_proxy(spec, humanness));
+      proxies.back().set_telemetry(&sink, spec.id);
+    }
+    std::size_t allowed = 0, dropped = 0;
+    double t0 = now_seconds();
+    for (const auto& item : scenario.items) {
+      core::FiatProxy& proxy = proxies[item.home];
+      if (item.kind == fleet::FleetItem::Kind::kPacket) {
+        if (proxy.process(item.pkt) == core::Verdict::kAllow) {
+          ++allowed;
+        } else {
+          ++dropped;
+        }
+      } else {
+        proxy.on_auth_payload(item.client_id, item.payload, item.ts);
+      }
+    }
+    double wall = now_seconds() - t0;
+    if (rep == 0 || wall < r.wall_seconds) {
+      r.wall_seconds = wall;
+      r.allowed = allowed;
+      r.dropped = dropped;
+      r.telemetry = telemetry::metrics_json(sink.metrics, /*include_wall=*/false);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t packets = 300000;
+  std::size_t repeat = 3;
+  std::string json_path = "BENCH_hotpath.json";
+  bool legacy_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--packets" && i + 1 < argc) {
+      packets = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--legacy-keys") {
+      legacy_only = true;
+    } else {
+      std::printf("usage: bench_hotpath [--packets N] [--repeat R] "
+                  "[--json PATH] [--legacy-keys]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header("bench_hotpath",
+                      "per-packet decision hot path (packed keys vs legacy)");
+  std::printf("packets per leg: %zu, best of %zu\n\n", packets, repeat);
+  Workload load(packets);
+
+  struct LegPair {
+    LegResult packed;
+    LegResult legacy;
+  };
+  std::vector<LegPair> pairs;
+  const core::FlowMode kModes[] = {core::FlowMode::kClassic,
+                                   core::FlowMode::kPortLess};
+  const char* kPhases[] = {"learn", "match"};
+  std::printf("%-16s %14s %14s %9s\n", "rule-table leg", "packed-pps",
+              "legacy-pps", "speedup");
+  for (core::FlowMode mode : kModes) {
+    for (const char* phase : kPhases) {
+      LegPair pair;
+      pair.legacy = run_table_leg(load, mode, /*legacy=*/true, phase, repeat);
+      if (!legacy_only) {
+        pair.packed = run_table_leg(load, mode, /*legacy=*/false, phase, repeat);
+        std::printf("%-16s %14.0f %14.0f %8.2fx\n", pair.packed.name.c_str(),
+                    pair.packed.pps(), pair.legacy.pps(),
+                    pair.packed.pps() / pair.legacy.pps());
+      } else {
+        std::printf("%-16s %14s %14.0f %9s\n", pair.legacy.name.c_str(), "-",
+                    pair.legacy.pps(), "-");
+      }
+      pairs.push_back(std::move(pair));
+    }
+  }
+
+  std::printf("\nproxy end-to-end (small fleet, single thread):\n");
+  fleet::FleetScenarioConfig scenario_config;
+  scenario_config.homes = 20;
+  scenario_config.devices_per_home = 2;
+  scenario_config.duration_days = 0.02;
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
+  auto scenario = fleet::make_fleet_scenario(scenario_config);
+  scenario_config.legacy_keys = true;
+  auto legacy_scenario = fleet::make_fleet_scenario(scenario_config);
+
+  ProxyResult proxy_legacy = run_proxy_leg(legacy_scenario, humanness, repeat);
+  ProxyResult proxy_packed;
+  if (!legacy_only) {
+    proxy_packed = run_proxy_leg(scenario, humanness, repeat);
+    std::printf("  packed: %.0f items/s, legacy: %.0f items/s (%.2fx), "
+                "%zu allowed / %zu dropped\n",
+                proxy_packed.ips(), proxy_legacy.ips(),
+                proxy_packed.ips() / proxy_legacy.ips(), proxy_packed.allowed,
+                proxy_packed.dropped);
+  } else {
+    std::printf("  legacy: %.0f items/s, %zu allowed / %zu dropped\n",
+                proxy_legacy.ips(), proxy_legacy.allowed, proxy_legacy.dropped);
+  }
+
+  bool ok = true;
+  bench::Json legs = bench::Json::array();
+  for (const auto& pair : pairs) {
+    bench::Json row = bench::Json::object()
+                          .put("leg", pair.legacy.name)
+                          .put("packets", pair.legacy.packets)
+                          .put("legacy_pps", pair.legacy.pps());
+    if (!legacy_only) {
+      double speedup = pair.packed.pps() / pair.legacy.pps();
+      row.put("packed_pps", pair.packed.pps()).put("speedup", speedup);
+    }
+    legs.push(std::move(row));
+  }
+
+  if (!legacy_only) {
+    std::printf("\nchecks:\n");
+    auto check = [&ok](bool cond, const std::string& what) {
+      std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what.c_str());
+      ok = ok && cond;
+    };
+    for (const auto& pair : pairs) {
+      double speedup = pair.packed.pps() / pair.legacy.pps();
+      char msg[128];
+      std::snprintf(msg, sizeof(msg), "%s: %.2fx (>= 2x required)",
+                    pair.packed.name.c_str(), speedup);
+      check(speedup >= 2.0, msg);
+    }
+    // Equal-verdict sanity: the packed and legacy proxies must agree packet
+    // for packet (the golden-equivalence tests assert the full reports).
+    check(proxy_packed.allowed == proxy_legacy.allowed &&
+              proxy_packed.dropped == proxy_legacy.dropped,
+          "proxy verdict totals identical packed vs legacy");
+  }
+
+  bench::Json proxy_json =
+      bench::Json::object()
+          .put("items", proxy_legacy.items)
+          .put("legacy_items_per_second", proxy_legacy.ips());
+  if (!legacy_only) {
+    proxy_json.put("packed_items_per_second", proxy_packed.ips())
+        .put("speedup", proxy_packed.ips() / proxy_legacy.ips())
+        .put("allowed", proxy_packed.allowed)
+        .put("dropped", proxy_packed.dropped)
+        .put("telemetry", std::move(proxy_packed.telemetry));
+  }
+  bench::Json doc = bench::Json::object()
+                        .put("bench", "hotpath")
+                        .put("packets_per_leg", packets)
+                        .put("repeat", repeat)
+                        .put("legacy_only", legacy_only)
+                        .put("table_legs", std::move(legs))
+                        .put("proxy", std::move(proxy_json));
+  if (!legacy_only) doc.put("gate_min_speedup", 2.0).put("gate_ok", ok);
+  bench::write_bench_json(json_path, doc);
+
+  if (!ok) {
+    std::printf("\nbench_hotpath: FAILURES above\n");
+    return 1;
+  }
+  std::printf("\nbench_hotpath: all checks passed\n");
+  return 0;
+}

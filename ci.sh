@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
-# Tier-1 CI: build + ctest normally (plus a telemetry-export smoke run),
-# then under ASan+UBSan, then the concurrency tests (fleet + transport +
-# fleet telemetry merge) under TSan.
+# Tier-1 CI: build + ctest normally (plus telemetry-export and hot-path
+# benchmark smoke runs), then under ASan+UBSan (covers the FlatMap /
+# DomainInterner / golden-equivalence "hotpath" suites along with everything
+# else), then the concurrency tests (fleet + transport + fleet telemetry
+# merge + hotpath golden) under TSan.
 #
 #   ./ci.sh          all three legs
-#   ./ci.sh normal   plain build + tests + telemetry smoke only
+#   ./ci.sh normal   plain build + tests + smoke runs only
 #   ./ci.sh asan     ASan+UBSan build + tests only
 #   ./ci.sh tsan     TSan build + concurrency-labeled tests only
 set -eu
@@ -35,6 +37,20 @@ run_leg() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" $ctest_extra
 }
 
+# Hot-path smoke: run the packed-vs-legacy benchmark at a small packet count
+# (the >= 2x speedup gate is enforced by the bench itself) and validate its
+# JSON artifact with the in-tree strict parser.
+hotpath_smoke() {
+  dir="$1"
+  echo "==> [normal] hotpath smoke"
+  smoke="$dir/hotpath-smoke"
+  mkdir -p "$smoke"
+  "$dir/bench/bench_hotpath" --packets 60000 --repeat 2 \
+    --json "$smoke/hotpath.json" >/dev/null
+  "$dir/tools/fiat_json_validate" "$smoke/hotpath.json"
+  echo "==> [normal] hotpath smoke ok"
+}
+
 # Telemetry smoke: run the fleet CLI with every export flag and validate the
 # JSON artifacts with the in-tree strict parser (no python/jq dependency).
 telemetry_smoke() {
@@ -55,6 +71,7 @@ case "$LEG" in
   normal|all)
     run_leg normal build ""
     telemetry_smoke build
+    hotpath_smoke build
     ;;
 esac
 

@@ -1,0 +1,123 @@
+#include "core/bucket_key.hpp"
+
+#include <algorithm>
+
+namespace fiat::core {
+
+namespace {
+
+// Bit layout constants (see the header diagram).
+constexpr std::uint64_t kClassicProtoShift = 30;
+constexpr std::uint64_t kPortLessProtoShift = 32;
+constexpr std::uint64_t kPortLessDirShift = 34;
+
+}  // namespace
+
+std::uint64_t transport_code(net::Transport proto) {
+  switch (proto) {
+    case net::Transport::kTcp: return 1;
+    case net::Transport::kUdp: return 2;
+    case net::Transport::kOther: return 0;
+  }
+  return 0;
+}
+
+net::Transport transport_from_code(std::uint64_t code) {
+  switch (code) {
+    case 1: return net::Transport::kTcp;
+    case 2: return net::Transport::kUdp;
+    default: return net::Transport::kOther;
+  }
+}
+
+std::uint32_t DomainInterner::intern(const std::string& name) {
+  auto [it, inserted] = by_name_.try_emplace(name, static_cast<std::uint32_t>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+std::uint32_t DomainInterner::id_of(net::Ipv4Addr remote, const net::DnsTable* dns,
+                                    const net::ReverseResolver* reverse) {
+  ++lookups_;
+  if (dns && dns->generation() != dns_generation_) {
+    // The DNS view changed: every memoized IP→name binding may be stale.
+    // Ids stay stable (names are never forgotten); only the memo resets, so
+    // the next packet per IP re-runs the resolution cascade — exactly what
+    // the per-packet string path did on every packet.
+    by_ip_.clear();
+    dns_generation_ = dns->generation();
+  }
+  if (const std::uint32_t* id = by_ip_.find(remote.value())) return *id;
+
+  ++resolves_;
+  // Same cascade as the legacy bucket_key(): in-trace DNS, then reverse
+  // lookup for public IPs, then the dotted quad.
+  std::string name;
+  if (dns) {
+    if (auto domain = dns->domain_of(remote)) name = *domain;
+  }
+  if (name.empty() && reverse && !remote.is_private()) {
+    name = reverse->resolve(remote);
+  }
+  if (name.empty()) name = remote.str();
+
+  std::uint32_t id = intern(name);
+  by_ip_[remote.value()] = id;
+  return id;
+}
+
+BucketKey make_bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,
+                          FlowMode mode, const net::DnsTable* dns,
+                          const net::ReverseResolver* reverse,
+                          DomainInterner& interner) {
+  BucketKey key;
+  if (mode == FlowMode::kClassic) {
+    key.w0 = (static_cast<std::uint64_t>(pkt.src_ip.value()) << 32) |
+             pkt.dst_ip.value();
+    key.w1 = (static_cast<std::uint64_t>(pkt.src_port) << 48) |
+             (static_cast<std::uint64_t>(pkt.dst_port) << 32) |
+             (transport_code(pkt.proto) << kClassicProtoShift) |
+             std::min(pkt.size, kClassicSizeMax);
+    return key;
+  }
+  bool outbound = pkt.outbound_from(device);
+  std::uint32_t domain_id = interner.id_of(pkt.remote_of(device), dns, reverse);
+  key.w0 = (static_cast<std::uint64_t>(outbound) << kPortLessDirShift) |
+           (transport_code(pkt.proto) << kPortLessProtoShift) | domain_id;
+  key.w1 = pkt.size;
+  return key;
+}
+
+std::string bucket_key_string(const BucketKey& key, FlowMode mode,
+                              const DomainInterner& interner) {
+  std::string out;
+  if (mode == FlowMode::kClassic) {
+    out.reserve(48);
+    out += net::Ipv4Addr(static_cast<std::uint32_t>(key.w0 >> 32)).str();
+    out += '>';
+    out += net::Ipv4Addr(static_cast<std::uint32_t>(key.w0)).str();
+    out += '|';
+    out += std::to_string(static_cast<std::uint16_t>(key.w1 >> 48));
+    out += '>';
+    out += std::to_string(static_cast<std::uint16_t>(key.w1 >> 32));
+    out += '|';
+    out += net::transport_name(
+        transport_from_code((key.w1 >> kClassicProtoShift) & 0x3));
+    out += '|';
+    out += std::to_string(static_cast<std::uint32_t>(key.w1 & kClassicSizeMax));
+    return out;
+  }
+  const std::string& name =
+      interner.name_of(static_cast<std::uint32_t>(key.w0 & 0xffffffffu));
+  out.reserve(name.size() + 24);
+  out += ((key.w0 >> kPortLessDirShift) & 1) ? "out|" : "in|";
+  out += name;
+  out += '|';
+  out += net::transport_name(
+      transport_from_code((key.w0 >> kPortLessProtoShift) & 0x3));
+  out += '|';
+  out += std::to_string(static_cast<std::uint32_t>(key.w1));
+  return out;
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,110 @@
+// Packed flow-bucket keys for the per-packet hot path (DESIGN.md §10).
+//
+// The legacy bucket key (bucket.hpp) is a formatted std::string — one or two
+// heap allocations plus a string hash per packet. BucketKey packs the same
+// identity into a 128-bit POD so key construction is pure bit-twiddling
+// (Classic) or a single memoized IP→id probe (PortLess), and the tables
+// that consume it (util::FlatMap / FlatSet) hash two words instead of a
+// string. Layouts:
+//
+//   Classic   w0 = src_ip:32 | dst_ip:32
+//             w1 = src_port:16 | dst_port:16 | proto:2 | size:30
+//   PortLess  w0 = direction:1 | proto:2 | domain_id:32   (low bits)
+//             w1 = size:32
+//
+// Classic sizes saturate at 2^30-1: the IPv4 total-length field is 16 bits,
+// so only synthetic aggregates (aggregate_windows() byte sums) could exceed
+// the cap, and those would need > 1 GiB per flow per window. The packed key
+// is bijective with the legacy string key everywhere below that bound —
+// bucket_key_string() reconstructs the exact legacy string, which is what
+// the golden-equivalence suite asserts end to end.
+//
+// `domain_id` comes from a per-device DomainInterner (one per RuleTable /
+// PredictabilityAnalyzer — ids are table-local and never compared across
+// devices). The interner resolves each remote IP once (in-trace DNS, then
+// reverse lookup, then the dotted quad — the same cascade as the legacy
+// key) and memoizes the IP→id mapping; the memo is invalidated when the
+// DnsTable's generation changes, so a domain learned mid-trace re-keys
+// future packets exactly as the per-packet string resolution did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bucket.hpp"
+#include "util/flat_map.hpp"
+
+namespace fiat::core {
+
+struct BucketKey {
+  std::uint64_t w0 = 0;
+  std::uint64_t w1 = 0;
+
+  bool operator==(const BucketKey&) const = default;
+};
+
+/// Transport codes fit the 2 key bits; the enum's wire values (0/6/17) do not.
+std::uint64_t transport_code(net::Transport proto);
+net::Transport transport_from_code(std::uint64_t code);
+
+/// Classic size field: 30 bits, saturating (see header comment).
+inline constexpr std::uint32_t kClassicSizeMax = (1u << 30) - 1;
+
+/// String→u32 domain interner with a memoized IP→id mapping. One instance
+/// per device table; not thread-safe (tables are shard-owned, like all
+/// per-home state).
+class DomainInterner {
+ public:
+  /// The domain id for the packet's remote endpoint, resolving
+  /// DNS → reverse → dotted-quad once per IP and memoizing the result.
+  std::uint32_t id_of(net::Ipv4Addr remote, const net::DnsTable* dns,
+                      const net::ReverseResolver* reverse);
+
+  /// Interns a name directly (no IP memo) — shared by callers that resolve
+  /// names themselves (e.g. MUD profiling).
+  std::uint32_t intern(const std::string& name);
+
+  const std::string& name_of(std::uint32_t id) const { return names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+  /// Counting hooks for the hot-path regression tests: total id_of() calls
+  /// vs. how many missed the memo and did a full DNS/reverse resolution.
+  std::size_t lookups() const { return lookups_; }
+  std::size_t resolves() const { return resolves_; }
+
+ private:
+  util::FlatMap<std::uint32_t, std::uint32_t> by_ip_;  // IP → id memo
+  std::uint64_t dns_generation_ = 0;  // DnsTable generation the memo matches
+  std::unordered_map<std::string, std::uint32_t> by_name_;  // name → id
+  std::vector<std::string> names_;                          // id → name
+  std::size_t lookups_ = 0;
+  std::size_t resolves_ = 0;
+};
+
+/// Packed equivalent of bucket_key() (bucket.hpp). For PortLess the
+/// interner supplies (and remembers) the domain id.
+BucketKey make_bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,
+                          FlowMode mode, const net::DnsTable* dns,
+                          const net::ReverseResolver* reverse,
+                          DomainInterner& interner);
+
+/// Reconstructs the exact legacy string form of a packed key (for report /
+/// telemetry boundaries, which stay byte-identical to the string-key
+/// implementation). `interner` must be the one that built the key.
+std::string bucket_key_string(const BucketKey& key, FlowMode mode,
+                              const DomainInterner& interner);
+
+}  // namespace fiat::core
+
+namespace fiat::util {
+
+template <>
+struct FlatHash<core::BucketKey> {
+  std::uint64_t operator()(const core::BucketKey& key) const {
+    return flat_mix64(key.w0 ^ flat_mix64(key.w1));
+  }
+};
+
+}  // namespace fiat::util

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
 
+#include "core/bucket_key.hpp"
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 
 namespace fiat::core {
 
@@ -17,9 +17,11 @@ std::vector<double> device_id_features(std::span<const net::PacketRecord> window
 
   double total_bytes = 0, udp = 0, tls = 0, inbound = 0;
   double mean_size = 0;
-  std::set<std::uint32_t> remotes;
-  std::set<std::uint16_t> remote_ports;
-  std::map<std::string, std::vector<double>> bucket_times;  // size|proto -> ts
+  util::FlatSet<std::uint32_t> remotes;
+  util::FlatSet<std::uint16_t> remote_ports;
+  // Packed (size, proto) flow bucket — the legacy code built a
+  // "size|proto" string per packet here.
+  util::FlatMap<std::uint64_t, std::vector<double>> bucket_times;  // -> ts
   for (const auto& pkt : window) {
     total_bytes += pkt.size;
     mean_size += pkt.size;
@@ -28,8 +30,9 @@ std::vector<double> device_id_features(std::span<const net::PacketRecord> window
     if (!pkt.outbound_from(device)) inbound += 1;
     remotes.insert(pkt.remote_of(device).value());
     remote_ports.insert(pkt.remote_port_of(device));
-    bucket_times[std::to_string(pkt.size) + "|" +
-                 net::transport_name(pkt.proto)].push_back(pkt.ts);
+    std::uint64_t bucket =
+        (static_cast<std::uint64_t>(pkt.size) << 8) | transport_code(pkt.proto);
+    bucket_times[bucket].push_back(pkt.ts);
   }
   auto n = static_cast<double>(window.size());
   mean_size /= n;
@@ -40,19 +43,35 @@ std::vector<double> device_id_features(std::span<const net::PacketRecord> window
   var_size /= n;
 
   // Dominant heartbeat: the median inter-arrival of the busiest bucket.
+  // The legacy std::map walked buckets in "size|proto" string order and a
+  // strict `>` kept the first max-count bucket, so ties resolved to the
+  // lexicographically smallest string. FlatMap iteration is unordered;
+  // replicate the tie-break by materializing the legacy string only for
+  // the (rare) max-count candidates.
   double heartbeat = 0.0;
   std::size_t busiest = 0;
-  for (auto& [key, times] : bucket_times) {
-    if (times.size() > busiest && times.size() >= 3) {
-      busiest = times.size();
-      std::vector<double> deltas;
-      for (std::size_t i = 1; i < times.size(); ++i) {
-        deltas.push_back(times[i] - times[i - 1]);
+  for (const auto& [key, times] : bucket_times) {
+    if (times.size() >= 3) busiest = std::max(busiest, times.size());
+  }
+  if (busiest > 0) {
+    const std::vector<double>* winner_times = nullptr;
+    std::string winner_name;
+    for (const auto& [key, times] : bucket_times) {
+      if (times.size() != busiest) continue;
+      std::string name = std::to_string(static_cast<std::uint32_t>(key >> 8)) +
+                         "|" + net::transport_name(transport_from_code(key & 0xff));
+      if (!winner_times || name < winner_name) {
+        winner_times = &times;
+        winner_name = std::move(name);
       }
-      std::nth_element(deltas.begin(), deltas.begin() + static_cast<long>(deltas.size() / 2),
-                       deltas.end());
-      heartbeat = deltas[deltas.size() / 2];
     }
+    std::vector<double> deltas;
+    for (std::size_t i = 1; i < winner_times->size(); ++i) {
+      deltas.push_back((*winner_times)[i] - (*winner_times)[i - 1]);
+    }
+    std::nth_element(deltas.begin(), deltas.begin() + static_cast<long>(deltas.size() / 2),
+                     deltas.end());
+    heartbeat = deltas[deltas.size() / 2];
   }
 
   std::vector<double> out;

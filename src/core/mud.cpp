@@ -1,35 +1,42 @@
 #include "core/mud.hpp"
 
 #include <algorithm>
-#include <map>
+#include <tuple>
 
+#include "core/bucket_key.hpp"
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 
 namespace fiat::core {
 
 MudProfile derive_mud_profile(std::span<const net::PacketRecord> packets,
                               net::Ipv4Addr device, const std::string& device_name,
                               const net::DnsTable* dns, std::size_t min_packets) {
-  struct Key {
-    std::string remote;
-    net::Transport proto;
-    std::uint16_t port;
-    bool outbound;
-    bool operator<(const Key& other) const {
-      return std::tie(remote, proto, port, outbound) <
-             std::tie(other.remote, other.proto, other.port, other.outbound);
-    }
-  };
-  std::map<Key, std::size_t> counts;
+  // Counting pass on packed keys: interned remote name (32) | port (16) |
+  // proto code (8) | direction (8). The legacy code keyed a std::map with a
+  // {string, ...} tuple — one string build plus O(log n) string compares per
+  // packet. Output order is restored by a single sort at the end.
+  DomainInterner interner;
+  util::FlatMap<std::uint64_t, std::size_t> counts;
   for (const auto& pkt : packets) {
     if (pkt.src_ip != device && pkt.dst_ip != device) continue;
     net::Ipv4Addr remote = pkt.remote_of(device);
-    std::string name = remote.str();
+    std::uint32_t name_id;
     if (dns) {
-      if (auto domain = dns->domain_of(remote)) name = *domain;
+      if (auto domain = dns->domain_of(remote)) {
+        name_id = interner.intern(*domain);
+      } else {
+        name_id = interner.id_of(remote, nullptr, nullptr);
+      }
+    } else {
+      name_id = interner.id_of(remote, nullptr, nullptr);
     }
-    counts[Key{name, pkt.proto, pkt.remote_port_of(device),
-               pkt.outbound_from(device)}]++;
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(name_id) << 32) |
+        (static_cast<std::uint64_t>(pkt.remote_port_of(device)) << 16) |
+        (transport_code(pkt.proto) << 8) |
+        static_cast<std::uint64_t>(pkt.outbound_from(device));
+    counts[key]++;
   }
 
   MudProfile profile;
@@ -37,9 +44,18 @@ MudProfile derive_mud_profile(std::span<const net::PacketRecord> packets,
   profile.mud_url = "https://fiat.example/mud/" + device_name + ".json";
   for (const auto& [key, count] : counts) {
     if (count < min_packets) continue;
-    profile.entries.push_back(
-        MudAclEntry{key.remote, key.proto, key.port, key.outbound, count});
+    profile.entries.push_back(MudAclEntry{
+        interner.name_of(static_cast<std::uint32_t>(key >> 32)),
+        transport_from_code((key >> 8) & 0xff),
+        static_cast<std::uint16_t>(key >> 16), (key & 1) != 0, count});
   }
+  // Same order the sorted std::map produced (MudProfile documents its
+  // entries as sorted; to_json() depends on it for determinism).
+  std::sort(profile.entries.begin(), profile.entries.end(),
+            [](const MudAclEntry& a, const MudAclEntry& b) {
+              return std::tie(a.remote, a.proto, a.remote_port, a.outbound) <
+                     std::tie(b.remote, b.proto, b.remote_port, b.outbound);
+            });
   return profile;
 }
 

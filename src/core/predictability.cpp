@@ -8,6 +8,22 @@
 
 namespace fiat::core {
 
+namespace {
+
+// Uniform pointer-returning find over the packed (FlatMap) and legacy
+// (unordered_map) bucket internals, so add_to_bucket can be one template.
+template <class K, class V, class H>
+V* map_find(util::FlatMap<K, V, H>& m, const K& k) {
+  return m.find(k);
+}
+template <class K, class V>
+V* map_find(std::unordered_map<K, V>& m, const K& k) {
+  auto it = m.find(k);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
 PredictabilityAnalyzer::PredictabilityAnalyzer(net::Ipv4Addr device,
                                                PredictabilityConfig config)
     : device_(device), config_(config) {
@@ -17,25 +33,21 @@ PredictabilityAnalyzer::PredictabilityAnalyzer(net::Ipv4Addr device,
   }
 }
 
-std::size_t PredictabilityAnalyzer::add(const net::PacketRecord& pkt) {
-  std::size_t index = predictable_.size();
-  predictable_.push_back(false);
-  std::string key = bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse);
-  bucket_of_.push_back(key);
-
-  BucketState& bucket = buckets_[key];
+template <class Bucket>
+void PredictabilityAnalyzer::add_to_bucket(Bucket& bucket,
+                                           const net::PacketRecord& pkt,
+                                           std::size_t index) {
   bucket.packets++;
   if (bucket.last_ts >= 0.0) {
     double delta = pkt.ts - bucket.last_ts;
     if (delta < 0) throw LogicError("PredictabilityAnalyzer: packets out of order");
     if (delta <= config_.max_match_interval) {
       auto bin = static_cast<std::int64_t>(std::llround(delta / config_.bin));
-      auto matched_it = bucket.matched.find(bin);
-      if (matched_it != bucket.matched.end()) {
+      if (double* matched = map_find(bucket.matched, bin)) {
         // Bin already promoted: both endpoints of this delta are predictable.
         predictable_[bucket.last_index] = true;
         predictable_[index] = true;
-        matched_it->second = std::max(matched_it->second, delta);
+        *matched = std::max(*matched, delta);
       } else {
         auto& pending = bucket.pending[bin];
         bool first_delta_in_bin = pending.empty();
@@ -45,7 +57,7 @@ std::size_t PredictabilityAnalyzer::add(const net::PacketRecord& pkt) {
           // Second delta with this inter-arrival: promote the bin and mark
           // everything associated with it, past and present.
           for (std::size_t i : pending) predictable_[i] = true;
-          bucket.matched.emplace(bin, delta);
+          bucket.matched[bin] = delta;
           bucket.pending.erase(bin);
         }
       }
@@ -53,6 +65,22 @@ std::size_t PredictabilityAnalyzer::add(const net::PacketRecord& pkt) {
   }
   bucket.last_ts = pkt.ts;
   bucket.last_index = index;
+}
+
+std::size_t PredictabilityAnalyzer::add(const net::PacketRecord& pkt) {
+  std::size_t index = predictable_.size();
+  predictable_.push_back(false);
+  if (config_.legacy_keys) {
+    std::string key =
+        bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse);
+    legacy_bucket_of_.push_back(key);
+    add_to_bucket(legacy_buckets_[key], pkt, index);
+    return index;
+  }
+  BucketKey key = make_bucket_key(pkt, device_, config_.mode, config_.dns,
+                                  config_.reverse, interner_);
+  bucket_of_.push_back(key);
+  add_to_bucket(buckets_[key], pkt, index);
   return index;
 }
 
@@ -63,16 +91,34 @@ PredictabilityResult PredictabilityAnalyzer::finish() const {
   for (bool p : predictable_) {
     if (p) result.predictable_count++;
   }
+  if (config_.legacy_keys) {
+    for (const auto& [key, state] : legacy_buckets_) {
+      BucketStats stats;
+      stats.packets = state.packets;
+      for (const auto& [bin, interval] : state.matched) {
+        stats.max_matched_interval = std::max(stats.max_matched_interval, interval);
+      }
+      result.buckets.emplace(key, stats);
+    }
+    for (std::size_t i = 0; i < predictable_.size(); ++i) {
+      if (predictable_[i]) result.buckets[legacy_bucket_of_[i]].predictable++;
+    }
+    return result;
+  }
+  // Count predictable packets per packed key first, then materialize the
+  // legacy string once per bucket (not once per packet) at this boundary.
+  util::FlatMap<BucketKey, std::size_t> pred_counts;
+  for (std::size_t i = 0; i < predictable_.size(); ++i) {
+    if (predictable_[i]) pred_counts[bucket_of_[i]]++;
+  }
   for (const auto& [key, state] : buckets_) {
     BucketStats stats;
     stats.packets = state.packets;
     for (const auto& [bin, interval] : state.matched) {
       stats.max_matched_interval = std::max(stats.max_matched_interval, interval);
     }
-    result.buckets.emplace(key, stats);
-  }
-  for (std::size_t i = 0; i < predictable_.size(); ++i) {
-    if (predictable_[i]) result.buckets[bucket_of_[i]].predictable++;
+    if (const std::size_t* n = pred_counts.find(key)) stats.predictable = *n;
+    result.buckets.emplace(bucket_key_string(key, config_.mode, interner_), stats);
   }
   return result;
 }
@@ -94,6 +140,10 @@ std::vector<net::PacketRecord> aggregate_windows(
     net::PacketRecord proto_pkt;
     std::uint64_t total_size = 0;
   };
+  // Deliberately NOT ported to FlatMap: the sorted std::map iteration order
+  // feeds the final ts-sort, whose equal-ts tie order would change under a
+  // different input permutation. This is offline §2.2 analysis, not the
+  // packet hot path.
   std::map<std::pair<std::string, std::int64_t>, Agg> aggregates;
   for (const auto& pkt : packets) {
     bool outbound = pkt.outbound_from(device);

@@ -8,6 +8,13 @@
 // `bin`-second buckets, and only inter-arrivals up to `max_match_interval`
 // participate (the paper deliberately refuses to chase daily-scale
 // recurrence, §3.2, and its Figure 1(c) bounds useful intervals at ~10 min).
+//
+// Hot path: buckets are keyed by packed core::BucketKey in open-addressing
+// util::FlatMap (no per-packet string build); finish() reconstructs the
+// legacy string keys once per bucket so PredictabilityResult is unchanged
+// for every consumer. The seed's string-keyed path survives behind
+// PredictabilityConfig::legacy_keys for the bench baseline and the
+// golden-equivalence suite.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,8 @@
 #include <vector>
 
 #include "core/bucket.hpp"
+#include "core/bucket_key.hpp"
+#include "util/flat_map.hpp"
 
 namespace fiat::core {
 
@@ -26,12 +35,17 @@ struct PredictabilityConfig {
   double max_match_interval = 1200.0; // 2x the Fig 1(c) max of 10 minutes
   const net::DnsTable* dns = nullptr;
   const net::ReverseResolver* reverse = nullptr;
+  /// Seed-fidelity baseline: per-packet string keys in node-based
+  /// containers. Behavior identical (golden-equivalence tested).
+  bool legacy_keys = false;
 };
 
 struct BucketStats {
   std::size_t packets = 0;
   std::size_t predictable = 0;
   double max_matched_interval = 0.0;  // seconds; 0 if nothing ever matched
+
+  bool operator==(const BucketStats&) const = default;
 };
 
 struct PredictabilityResult {
@@ -67,16 +81,33 @@ class PredictabilityAnalyzer {
     std::size_t packets = 0;
     /// bin -> indices of packets involved in a delta of this bin, kept until
     /// the bin matches (then flushed and the bin is promoted).
-    std::unordered_map<std::int64_t, std::vector<std::size_t>> pending;
+    util::FlatMap<std::int64_t, std::vector<std::size_t>> pending;
     /// bins with >= 2 observed deltas: every associated packet is predictable.
-    std::unordered_map<std::int64_t, double> matched;  // bin -> raw interval
+    util::FlatMap<std::int64_t, double> matched;  // bin -> raw interval
   };
+  struct LegacyBucketState {
+    double last_ts = -1.0;
+    std::size_t last_index = 0;
+    std::size_t packets = 0;
+    std::unordered_map<std::int64_t, std::vector<std::size_t>> pending;
+    std::unordered_map<std::int64_t, double> matched;
+  };
+
+  template <class Bucket>
+  void add_to_bucket(Bucket& bucket, const net::PacketRecord& pkt,
+                     std::size_t index);
 
   net::Ipv4Addr device_;
   PredictabilityConfig config_;
-  std::unordered_map<std::string, BucketState> buckets_;
+  DomainInterner interner_;  // per-device; owns this analyzer's domain ids
   std::vector<bool> predictable_;
-  std::vector<std::string> bucket_of_;  // per packet, for per-bucket stats
+
+  util::FlatMap<BucketKey, BucketState> buckets_;
+  std::vector<BucketKey> bucket_of_;  // per packet, for per-bucket stats
+
+  // legacy_keys baseline state (empty unless the flag is set).
+  std::unordered_map<std::string, LegacyBucketState> legacy_buckets_;
+  std::vector<std::string> legacy_bucket_of_;
 };
 
 /// One-shot convenience over a full trace.

@@ -1,6 +1,7 @@
 #include "core/rules.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -11,10 +12,19 @@ RuleTable::RuleTable(net::Ipv4Addr device, RuleTableConfig config)
   if (config_.bin <= 0) throw LogicError("RuleTable: bin must be > 0");
 }
 
-std::pair<RuleTable::BucketState*, std::int64_t> RuleTable::observe(
-    const net::PacketRecord& pkt) {
-  std::string key = bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse);
-  BucketState& bucket = buckets_[key];
+BucketKey RuleTable::make_key(const net::PacketRecord& pkt) {
+  ++keygen_count_;
+  return make_bucket_key(pkt, device_, config_.mode, config_.dns,
+                         config_.reverse, interner_);
+}
+
+std::string RuleTable::make_legacy_key(const net::PacketRecord& pkt) {
+  ++keygen_count_;
+  return bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse);
+}
+
+template <class Bucket>
+std::int64_t RuleTable::observe_bucket(Bucket& bucket, const net::PacketRecord& pkt) {
   std::int64_t bin = -1;
   if (bucket.last_ts >= 0.0) {
     double delta = pkt.ts - bucket.last_ts;
@@ -23,56 +33,103 @@ std::pair<RuleTable::BucketState*, std::int64_t> RuleTable::observe(
     }
   }
   bucket.last_ts = pkt.ts;
-  return {&bucket, bin};
+  return bin;
 }
 
-void RuleTable::learn(const net::PacketRecord& pkt) {
-  auto [bucket, bin] = observe(pkt);
-  if (bin < 0) return;
-  if (bucket->seen_bins.contains(bin)) {
-    bucket->matched_bins.insert(bin);
+template <class Bucket>
+void RuleTable::learn_bins(Bucket& bucket, std::int64_t bin) {
+  if (bucket.seen_bins.contains(bin)) {
+    bucket.matched_bins.insert(bin);
   } else {
-    bucket->seen_bins.insert(bin);
+    bucket.seen_bins.insert(bin);
   }
 }
 
-bool RuleTable::match(const net::PacketRecord& pkt) {
-  auto [bucket, bin] = observe(pkt);
-  if (bin < 0) return false;
-  return bucket->matched_bins.contains(bin);
-}
-
-bool RuleTable::match_and_learn(const net::PacketRecord& pkt) {
-  auto [bucket, bin] = observe(pkt);
-  if (bin < 0) return false;
-  if (bucket->matched_bins.contains(bin)) return true;
+template <class Bucket>
+bool RuleTable::match_and_learn_bins(Bucket& bucket, std::int64_t bin, bool banned) {
+  if (bucket.matched_bins.contains(bin)) return true;
   // Online promotion floor: fast rhythms never earn rules after bootstrap
   // (see RuleTableConfig::min_online_learn_interval).
   if (static_cast<double>(bin) * config_.bin < config_.min_online_learn_interval) {
     return false;
   }
   // Buckets implicated in manual-classified events never self-promote.
-  if (banned_.contains(bucket_key(pkt, device_, config_.mode, config_.dns,
-                                  config_.reverse))) {
-    return false;
-  }
-  if (bucket->seen_bins.contains(bin)) {
-    bucket->matched_bins.insert(bin);
-  } else {
-    bucket->seen_bins.insert(bin);
-  }
+  if (banned) return false;
+  learn_bins(bucket, bin);
   return false;
 }
 
+void RuleTable::learn(const net::PacketRecord& pkt) {
+  if (config_.legacy_keys) {
+    auto& bucket = legacy_buckets_[make_legacy_key(pkt)];
+    std::int64_t bin = observe_bucket(bucket, pkt);
+    if (bin >= 0) learn_bins(bucket, bin);
+    return;
+  }
+  auto& bucket = buckets_[make_key(pkt)];
+  std::int64_t bin = observe_bucket(bucket, pkt);
+  if (bin >= 0) learn_bins(bucket, bin);
+}
+
+bool RuleTable::match(const net::PacketRecord& pkt) {
+  if (config_.legacy_keys) {
+    auto& bucket = legacy_buckets_[make_legacy_key(pkt)];
+    std::int64_t bin = observe_bucket(bucket, pkt);
+    return bin >= 0 && bucket.matched_bins.contains(bin);
+  }
+  auto& bucket = buckets_[make_key(pkt)];
+  std::int64_t bin = observe_bucket(bucket, pkt);
+  return bin >= 0 && bucket.matched_bins.contains(bin);
+}
+
+bool RuleTable::match_and_learn(const net::PacketRecord& pkt) {
+  if (config_.legacy_keys) {
+    // Seed fidelity: the banned check recomputes the key (the duplicate
+    // computation the packed path eliminates), and std::set's node
+    // allocations stand in for the seed's per-insert cost.
+    auto& bucket = legacy_buckets_[make_legacy_key(pkt)];
+    std::int64_t bin = observe_bucket(bucket, pkt);
+    if (bin < 0) return false;
+    if (bucket.matched_bins.contains(bin)) return true;
+    if (static_cast<double>(bin) * config_.bin < config_.min_online_learn_interval) {
+      return false;
+    }
+    if (legacy_banned_.contains(make_legacy_key(pkt))) return false;
+    learn_bins(bucket, bin);
+    return false;
+  }
+  // One key computation serves the bucket lookup AND the banned check.
+  BucketKey key = make_key(pkt);
+  auto& bucket = buckets_[key];
+  std::int64_t bin = observe_bucket(bucket, pkt);
+  if (bin < 0) return false;
+  return match_and_learn_bins(bucket, bin, banned_.contains(key));
+}
+
 void RuleTable::forbid_online(const net::PacketRecord& pkt) {
-  banned_.insert(
-      bucket_key(pkt, device_, config_.mode, config_.dns, config_.reverse));
+  if (config_.legacy_keys) {
+    legacy_banned_.insert(make_legacy_key(pkt));
+    return;
+  }
+  banned_.insert(make_key(pkt));
+}
+
+std::size_t RuleTable::forbidden_count() const {
+  return config_.legacy_keys ? legacy_banned_.size() : banned_.size();
 }
 
 std::size_t RuleTable::rule_count() const {
   std::size_t n = 0;
+  if (config_.legacy_keys) {
+    for (const auto& [key, bucket] : legacy_buckets_) n += bucket.matched_bins.size();
+    return n;
+  }
   for (const auto& [key, bucket] : buckets_) n += bucket.matched_bins.size();
   return n;
+}
+
+std::size_t RuleTable::bucket_count() const {
+  return config_.legacy_keys ? legacy_buckets_.size() : buckets_.size();
 }
 
 void DeviceDag::add_edge(net::Ipv4Addr src, net::Ipv4Addr dst) {
@@ -96,11 +153,21 @@ std::size_t DeviceDag::edge_count() const {
 }
 
 bool DeviceDag::reachable(net::Ipv4Addr from, net::Ipv4Addr to) const {
+  // Iterative DFS with a visited set: the naive recursion re-explored every
+  // path, which is exponential on diamond-shaped DAGs (2^layers paths).
   if (from == to) return true;
-  auto it = edges_.find(from.value());
-  if (it == edges_.end()) return false;
-  for (std::uint32_t next : it->second) {
-    if (reachable(net::Ipv4Addr(next), to)) return true;
+  util::FlatSet<std::uint32_t> visited;
+  std::vector<std::uint32_t> stack{from.value()};
+  visited.insert(from.value());
+  while (!stack.empty()) {
+    std::uint32_t cur = stack.back();
+    stack.pop_back();
+    auto it = edges_.find(cur);
+    if (it == edges_.end()) continue;
+    for (std::uint32_t next : it->second) {
+      if (next == to.value()) return true;
+      if (visited.insert(next)) stack.push_back(next);
+    }
   }
   return false;
 }

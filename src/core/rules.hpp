@@ -8,6 +8,13 @@
 // online form of the §2.1 heuristic. Rules use the PortLess definition by
 // default, "given its superior performance".
 //
+// Hot path: the table is keyed by packed core::BucketKey (bucket_key.hpp)
+// stored in open-addressing util::FlatMap / FlatSet — one key computation
+// and zero heap allocations per steady-state packet. The seed's
+// string-keyed implementation survives behind RuleTableConfig::legacy_keys
+// as the measured baseline (bench_hotpath --legacy-keys) and the reference
+// the golden-equivalence suite compares against.
+//
 // The table also holds the §7 "Complex Scenarios" extension: DAG edges that
 // whitelist unidirectional device-to-device traffic (e.g. Alexa -> smart
 // light), so hub-initiated commands are not mistaken for attacks.
@@ -20,6 +27,8 @@
 #include <utility>
 
 #include "core/bucket.hpp"
+#include "core/bucket_key.hpp"
+#include "util/flat_map.hpp"
 
 namespace fiat::core {
 
@@ -36,6 +45,10 @@ struct RuleTableConfig {
   double min_online_learn_interval = 2.0;
   const net::DnsTable* dns = nullptr;
   const net::ReverseResolver* reverse = nullptr;
+  /// Seed-fidelity baseline: string bucket keys in node-based containers,
+  /// including the seed's duplicate key computation in match_and_learn.
+  /// Behavior is identical (golden-equivalence tested); only cost differs.
+  bool legacy_keys = false;
 };
 
 class RuleTable {
@@ -63,26 +76,55 @@ class RuleTable {
   /// the learner their own rhythm and gets whitelisted after three attempts.
   /// Bootstrap-learned rules for the bucket keep matching.
   void forbid_online(const net::PacketRecord& pkt);
-  std::size_t forbidden_count() const { return banned_.size(); }
+  std::size_t forbidden_count() const;
 
   /// Number of (bucket, bin) rules learned.
   std::size_t rule_count() const;
-  std::size_t bucket_count() const { return buckets_.size(); }
+  std::size_t bucket_count() const;
   net::Ipv4Addr device() const { return device_; }
+
+  /// Counting hook: bucket-key computations performed (packed or legacy).
+  /// The hot-path regression test pins this to one per packet on the packed
+  /// path; the seed's match_and_learn computed two.
+  std::size_t keygen_count() const { return keygen_count_; }
 
  private:
   struct BucketState {
     double last_ts = -1.0;
-    std::set<std::int64_t> seen_bins;     // observed once
-    std::set<std::int64_t> matched_bins;  // observed twice => rule
+    util::FlatSet<std::int64_t> seen_bins;     // observed once
+    util::FlatSet<std::int64_t> matched_bins;  // observed twice => rule
+  };
+  /// Seed containers, kept for the legacy_keys baseline: one node
+  /// allocation per insert, string hashing per lookup.
+  struct LegacyBucketState {
+    double last_ts = -1.0;
+    std::set<std::int64_t> seen_bins;
+    std::set<std::int64_t> matched_bins;
   };
 
-  std::pair<BucketState*, std::int64_t> observe(const net::PacketRecord& pkt);
+  /// Quantizes the inter-arrival against the bucket's previous packet;
+  /// -1 = no usable delta. Updates the bucket's timing state.
+  template <class Bucket>
+  std::int64_t observe_bucket(Bucket& bucket, const net::PacketRecord& pkt);
+  template <class Bucket>
+  static void learn_bins(Bucket& bucket, std::int64_t bin);
+  template <class Bucket>
+  bool match_and_learn_bins(Bucket& bucket, std::int64_t bin, bool banned);
+
+  BucketKey make_key(const net::PacketRecord& pkt);
+  std::string make_legacy_key(const net::PacketRecord& pkt);
 
   net::Ipv4Addr device_;
   RuleTableConfig config_;
-  std::unordered_map<std::string, BucketState> buckets_;
-  std::set<std::string> banned_;  // buckets excluded from online promotion
+  DomainInterner interner_;  // per-device, owns this table's domain ids
+  std::size_t keygen_count_ = 0;
+
+  util::FlatMap<BucketKey, BucketState> buckets_;
+  util::FlatSet<BucketKey> banned_;  // excluded from online promotion
+
+  // legacy_keys baseline state (empty unless the flag is set).
+  std::unordered_map<std::string, LegacyBucketState> legacy_buckets_;
+  std::set<std::string> legacy_banned_;
 };
 
 /// DAG of device-to-device allow edges (§7). Edges are directional.

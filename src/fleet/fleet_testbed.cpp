@@ -52,6 +52,7 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
     spec.id = home_id;
     spec.proxy.bootstrap_duration = config.bootstrap_duration;
     spec.proxy.degraded_policy = config.policy;
+    spec.proxy.rules.legacy_keys = config.legacy_keys;
 
     std::vector<std::uint8_t> psk(32);
     home_rng.fill_bytes(psk);

@@ -36,6 +36,10 @@ struct FleetScenarioConfig {
   /// interaction (delivered just before the command traffic, as the paper's
   /// §5.3 foreground-capture flow does).
   bool with_proofs = true;
+  /// Run every home's rule tables on the seed's string-keyed containers
+  /// (RuleTableConfig::legacy_keys): the bench_hotpath baseline and the
+  /// golden-equivalence suite's reference configuration.
+  bool legacy_keys = false;
 };
 
 struct FleetScenario {

@@ -142,12 +142,16 @@ DnsMessage make_a_response(std::uint16_t id, const std::string& name, Ipv4Addr a
 void DnsTable::observe_message(const DnsMessage& msg) {
   if (!msg.is_response) return;
   for (const auto& a : msg.answers) {
-    if (a.rtype == kDnsTypeA) map_[a.address] = a.name;
+    if (a.rtype == kDnsTypeA) {
+      map_[a.address] = a.name;
+      ++generation_;
+    }
   }
 }
 
 void DnsTable::add(Ipv4Addr addr, const std::string& domain) {
   map_[addr] = util::to_lower(domain);
+  ++generation_;
 }
 
 std::optional<std::string> DnsTable::domain_of(Ipv4Addr addr) const {

@@ -70,8 +70,15 @@ class DnsTable {
   std::optional<std::string> domain_of(Ipv4Addr addr) const;
   std::size_t size() const { return map_.size(); }
 
+  /// Bumped on every mutation. Caches built over domain_of() answers (e.g.
+  /// core::DomainInterner's IP→id memo) compare this to decide whether their
+  /// memoized resolutions are still exact — the table keeps learning from
+  /// in-trace DNS responses while traffic flows.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   std::unordered_map<Ipv4Addr, std::string, Ipv4AddrHash> map_;
+  std::uint64_t generation_ = 0;
 };
 
 /// Simulated reverse-DNS path: deterministic PTR-style names for unknown IPs.

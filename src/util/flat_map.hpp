@@ -1,0 +1,340 @@
+// Open-addressing hash tables for the packet hot path (DESIGN.md §10).
+//
+// FlatMap / FlatSet replace node-based std::unordered_map / std::set on the
+// per-packet path: one contiguous slot array, power-of-two capacity, robin-
+// hood insertion and backward-shift deletion (no tombstones), and a cached
+// 64-bit hash per slot so growth and deletion never re-hash keys. Probing is
+// linear, so a lookup touches one cache line in the common case instead of
+// chasing list nodes — and inserting never allocates except when the whole
+// table grows.
+//
+// Determinism: for a fixed sequence of operations the slot layout (and thus
+// iteration order) is identical across runs, but it is NOT sorted and NOT
+// stable under different insertion orders. Anything exported to users
+// (reports, telemetry) must sort at the boundary; see DESIGN.md §10.3.
+//
+// Invalidation: any insert or erase may move entries (robin-hood shifts,
+// growth), so pointers/iterators into the table are invalidated by every
+// mutation. The hot-path users (rules.cpp, predictability.cpp) only hold a
+// value pointer between one lookup and the next mutation-free use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fiat::util {
+
+/// splitmix64 finalizer: avalanches a 64-bit value so low bits of the input
+/// (e.g. small integer keys) spread over the whole probe range.
+inline std::uint64_t flat_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Default hasher: integral keys go straight through the mixer; everything
+/// else avalanches std::hash (libstdc++'s identity hash for ints would
+/// cluster sequential keys in a power-of-two table).
+template <class Key, class Enable = void>
+struct FlatHash {
+  std::uint64_t operator()(const Key& key) const {
+    return flat_mix64(static_cast<std::uint64_t>(std::hash<Key>{}(key)));
+  }
+};
+
+template <class Key>
+struct FlatHash<Key, std::enable_if_t<std::is_integral_v<Key> || std::is_enum_v<Key>>> {
+  std::uint64_t operator()(Key key) const {
+    return flat_mix64(static_cast<std::uint64_t>(key));
+  }
+};
+
+namespace detail {
+
+/// Shared robin-hood core. `Entry` is the stored record (Key for sets,
+/// std::pair<Key, T> for maps); `KeyOf` projects the key out of an entry.
+template <class Entry, class Key, class KeyOf, class Hash>
+class FlatTable {
+ public:
+  FlatTable() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  void clear() {
+    slots_.clear();
+    hashes_.clear();
+    dist_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for at least `n` entries without rehashing later.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    // Grow until `n` fits under the 7/8 load ceiling.
+    while (want * 7 < n * 8) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  Entry* find(const Key& key) {
+    if (size_ == 0) return nullptr;
+    return find_slot(key, Hash{}(key));
+  }
+  const Entry* find(const Key& key) const {
+    return const_cast<FlatTable*>(this)->find(key);
+  }
+  bool contains(const Key& key) const { return find(key) != nullptr; }
+
+  /// Inserts `entry` unless its key is present. Returns {slot, inserted}.
+  /// The returned pointer is invalidated by any later mutation.
+  std::pair<Entry*, bool> insert(Entry entry) {
+    std::uint64_t hash = Hash{}(KeyOf{}(entry));
+    if (size_ != 0) {
+      if (Entry* hit = find_slot(KeyOf{}(entry), hash)) return {hit, false};
+    }
+    if ((size_ + 1) * 8 > slots_.size() * 7) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    // place() may swap the new entry along a robin-hood displacement chain
+    // (or grow on probe-distance overflow), so locate it again afterwards —
+    // an extra probe per insert, paid only on the rare bucket-creation path.
+    Key key = KeyOf{}(entry);
+    place(std::move(entry), hash);
+    return {find_slot(key, hash), true};
+  }
+
+  bool erase(const Key& key) {
+    if (size_ == 0) return false;
+    std::uint64_t hash = Hash{}(key);
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    std::uint8_t d = 1;
+    while (true) {
+      if (dist_[i] < d) return false;  // would have been robbed: absent
+      if (hashes_[i] == hash && KeyOf{}(slots_[i]) == key) break;
+      i = (i + 1) & mask;
+      ++d;
+      if (d == 0) return false;
+    }
+    // Backward-shift deletion: pull every displaced successor one slot left
+    // until a home slot (dist 1) or an empty slot ends the cluster.
+    std::size_t next = (i + 1) & mask;
+    while (dist_[next] > 1) {
+      slots_[i] = std::move(slots_[next]);
+      hashes_[i] = hashes_[next];
+      dist_[i] = static_cast<std::uint8_t>(dist_[next] - 1);
+      i = next;
+      next = (next + 1) & mask;
+    }
+    dist_[i] = 0;
+    slots_[i] = Entry{};
+    --size_;
+    return true;
+  }
+
+  // ---- iteration (skips empty slots; slot order, see header comment) -----
+  template <bool Const>
+  class Iter {
+   public:
+    using table_t = std::conditional_t<Const, const FlatTable, FlatTable>;
+    using entry_t = std::conditional_t<Const, const Entry, Entry>;
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Entry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = entry_t*;
+    using reference = entry_t&;
+    Iter(table_t* table, std::size_t i) : table_(table), i_(i) { skip(); }
+    entry_t& operator*() const { return table_->slots_[i_]; }
+    entry_t* operator->() const { return &table_->slots_[i_]; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+
+   private:
+    void skip() {
+      while (i_ < table_->slots_.size() && table_->dist_[i_] == 0) ++i_;
+    }
+    table_t* table_;
+    std::size_t i_;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  Entry* find_slot(const Key& key, std::uint64_t hash) {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    std::uint8_t d = 1;
+    while (true) {
+      // Robin-hood early exit: once our probe distance exceeds the
+      // incumbent's, our key (had it been inserted) would occupy this slot.
+      if (dist_[i] < d) return nullptr;
+      if (hashes_[i] == hash && KeyOf{}(slots_[i]) == key) return &slots_[i];
+      i = (i + 1) & mask;
+      ++d;
+      // Stored distances are capped at 255 (insert grows instead), so a
+      // wrapped probe counter proves absence.
+      if (d == 0) return nullptr;
+    }
+  }
+
+  /// Robin-hood placement of a key known to be absent.
+  void place(Entry entry, std::uint64_t hash) {
+    std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    std::uint8_t d = 1;
+    while (true) {
+      if (dist_[i] == 0) {
+        slots_[i] = std::move(entry);
+        hashes_[i] = hash;
+        dist_[i] = d;
+        ++size_;
+        return;
+      }
+      if (dist_[i] < d) {
+        // Rob the rich: park the in-flight entry, keep walking the evictee.
+        std::swap(slots_[i], entry);
+        std::swap(hashes_[i], hash);
+        std::swap(dist_[i], d);
+      }
+      i = (i + 1) & mask;
+      ++d;
+      if (d == 0) {
+        // Probe distance overflowed its uint8 budget. Unreachable under the
+        // 7/8 load ceiling with a sane hash, but a pathological hash must
+        // degrade to a rehash, not to corruption: grow and re-place the
+        // in-flight entry from scratch.
+        rehash(slots_.size() * 2);
+        mask = slots_.size() - 1;
+        i = static_cast<std::size_t>(hash) & mask;
+        d = 1;
+      }
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Entry> old_slots = std::move(slots_);
+    std::vector<std::uint64_t> old_hashes = std::move(hashes_);
+    std::vector<std::uint8_t> old_dist = std::move(dist_);
+    slots_.assign(new_capacity, Entry{});
+    hashes_.assign(new_capacity, 0);
+    dist_.assign(new_capacity, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_dist[i] != 0) place(std::move(old_slots[i]), old_hashes[i]);
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<std::uint64_t> hashes_;  // cached full hash per occupied slot
+  std::vector<std::uint8_t> dist_;     // 0 = empty, else probe distance + 1
+  std::size_t size_ = 0;
+};
+
+struct IdentityKeyOf {
+  template <class Key>
+  const Key& operator()(const Key& key) const {
+    return key;
+  }
+};
+
+struct PairKeyOf {
+  template <class Pair>
+  const auto& operator()(const Pair& pair) const {
+    return pair.first;
+  }
+};
+
+}  // namespace detail
+
+/// Open-addressing map. Entries are std::pair<Key, T>; iteration yields the
+/// pair (mutate only `.second`). See the header comment for the
+/// determinism/invalidation contract.
+template <class Key, class T, class Hash = FlatHash<Key>>
+class FlatMap {
+  using Table = detail::FlatTable<std::pair<Key, T>, Key, detail::PairKeyOf, Hash>;
+
+ public:
+  using value_type = std::pair<Key, T>;
+
+  std::size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  std::size_t capacity() const { return table_.capacity(); }
+  void clear() { table_.clear(); }
+  void reserve(std::size_t n) { table_.reserve(n); }
+
+  /// Value for `key`, default-constructing it on first access (the
+  /// `buckets_[key]` idiom). Pointer validity: see header comment.
+  T& operator[](const Key& key) {
+    return table_.insert(value_type{key, T{}}).first->second;
+  }
+
+  T* find(const Key& key) {
+    auto* entry = table_.find(key);
+    return entry ? &entry->second : nullptr;
+  }
+  const T* find(const Key& key) const {
+    auto* entry = table_.find(key);
+    return entry ? &entry->second : nullptr;
+  }
+  bool contains(const Key& key) const { return table_.contains(key); }
+
+  /// Returns {value pointer, inserted}.
+  std::pair<T*, bool> try_emplace(const Key& key, T value = T{}) {
+    auto [entry, inserted] = table_.insert(value_type{key, std::move(value)});
+    return {&entry->second, inserted};
+  }
+
+  bool erase(const Key& key) { return table_.erase(key); }
+
+  auto begin() { return table_.begin(); }
+  auto end() { return table_.end(); }
+  auto begin() const { return table_.begin(); }
+  auto end() const { return table_.end(); }
+
+ private:
+  Table table_;
+};
+
+/// Open-addressing set with the same layout/determinism contract as FlatMap.
+template <class Key, class Hash = FlatHash<Key>>
+class FlatSet {
+  using Table = detail::FlatTable<Key, Key, detail::IdentityKeyOf, Hash>;
+
+ public:
+  std::size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  std::size_t capacity() const { return table_.capacity(); }
+  void clear() { table_.clear(); }
+  void reserve(std::size_t n) { table_.reserve(n); }
+
+  /// True if `key` was newly inserted (false: already present).
+  bool insert(const Key& key) { return table_.insert(Key{key}).second; }
+  bool contains(const Key& key) const { return table_.contains(key); }
+  bool erase(const Key& key) { return table_.erase(key); }
+
+  auto begin() const { return table_.begin(); }
+  auto end() const { return table_.end(); }
+
+ private:
+  Table table_;
+};
+
+}  // namespace fiat::util

@@ -1,0 +1,200 @@
+// core::BucketKey / DomainInterner — the packed hot-path keys must be
+// bijective with the legacy string keys (bucket_key_string() reconstructs
+// the exact string), and the interner must resolve each remote IP once,
+// re-resolving only when the DNS view actually changes.
+#include "core/bucket_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/bucket.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat {
+namespace {
+
+net::PacketRecord make_packet(net::Ipv4Addr src, net::Ipv4Addr dst,
+                              std::uint16_t sp, std::uint16_t dp,
+                              net::Transport proto, std::uint32_t size) {
+  net::PacketRecord pkt;
+  pkt.src_ip = src;
+  pkt.dst_ip = dst;
+  pkt.src_port = sp;
+  pkt.dst_port = dp;
+  pkt.proto = proto;
+  pkt.size = size;
+  return pkt;
+}
+
+const net::Ipv4Addr kDevice(10, 0, 0, 50);
+
+TEST(BucketKey, ClassicPackedStringMatchesLegacy) {
+  core::DomainInterner interner;
+  sim::Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    auto pkt = make_packet(
+        net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+        net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+        static_cast<std::uint16_t>(rng.uniform_int(0, 65535)),
+        static_cast<std::uint16_t>(rng.uniform_int(0, 65535)),
+        i % 3 == 0 ? net::Transport::kUdp
+                   : (i % 3 == 1 ? net::Transport::kTcp : net::Transport::kOther),
+        static_cast<std::uint32_t>(rng.uniform_int(0, 65535)));
+    core::BucketKey key = core::make_bucket_key(pkt, kDevice, core::FlowMode::kClassic,
+                                                nullptr, nullptr, interner);
+    EXPECT_EQ(core::bucket_key_string(key, core::FlowMode::kClassic, interner),
+              core::bucket_key(pkt, kDevice, core::FlowMode::kClassic, nullptr, nullptr));
+  }
+}
+
+TEST(BucketKey, ClassicDistinctTuplesProduceDistinctKeys) {
+  core::DomainInterner interner;
+  auto key_of = [&](const net::PacketRecord& pkt) {
+    return core::make_bucket_key(pkt, kDevice, core::FlowMode::kClassic, nullptr,
+                                 nullptr, interner);
+  };
+  auto base = make_packet(kDevice, net::Ipv4Addr(52, 1, 2, 3), 40000, 443,
+                          net::Transport::kTcp, 100);
+  core::BucketKey k0 = key_of(base);
+  auto vary = base;
+  vary.src_port = 40001;
+  EXPECT_NE(key_of(vary), k0);
+  vary = base;
+  vary.dst_port = 444;
+  EXPECT_NE(key_of(vary), k0);
+  vary = base;
+  vary.proto = net::Transport::kUdp;
+  EXPECT_NE(key_of(vary), k0);
+  vary = base;
+  vary.size = 101;
+  EXPECT_NE(key_of(vary), k0);
+  vary = base;
+  vary.dst_ip = net::Ipv4Addr(52, 1, 2, 4);
+  EXPECT_NE(key_of(vary), k0);
+  EXPECT_EQ(key_of(base), k0);
+}
+
+TEST(BucketKey, ClassicSizeSaturatesAtThirtyBits) {
+  core::DomainInterner interner;
+  auto pkt = make_packet(kDevice, net::Ipv4Addr(52, 1, 2, 3), 1, 2,
+                         net::Transport::kTcp, core::kClassicSizeMax);
+  core::BucketKey at_cap = core::make_bucket_key(pkt, kDevice, core::FlowMode::kClassic,
+                                                 nullptr, nullptr, interner);
+  pkt.size = 0xffffffff;
+  core::BucketKey over = core::make_bucket_key(pkt, kDevice, core::FlowMode::kClassic,
+                                               nullptr, nullptr, interner);
+  // Saturation: everything above the cap collapses onto the cap (and must
+  // not bleed into the adjacent proto/port bit fields).
+  EXPECT_EQ(over, at_cap);
+  EXPECT_EQ(core::bucket_key_string(over, core::FlowMode::kClassic, interner),
+            core::bucket_key_string(at_cap, core::FlowMode::kClassic, interner));
+}
+
+TEST(BucketKey, PortLessPackedStringMatchesLegacyAcrossResolutionCascade) {
+  net::DnsTable dns;
+  dns.add(net::Ipv4Addr(52, 1, 2, 3), "cloud.example.com");
+  net::ReverseResolver reverse;
+  core::DomainInterner interner;
+
+  // DNS-resolved remote, reverse-resolved public remote, private remote
+  // (dotted quad), both directions, all protocols.
+  std::vector<net::PacketRecord> pkts = {
+      make_packet(kDevice, net::Ipv4Addr(52, 1, 2, 3), 40000, 443,
+                  net::Transport::kTcp, 210),
+      make_packet(net::Ipv4Addr(52, 1, 2, 3), kDevice, 443, 40000,
+                  net::Transport::kTcp, 1200),
+      make_packet(kDevice, net::Ipv4Addr(52, 9, 9, 9), 40000, 123,
+                  net::Transport::kUdp, 76),
+      make_packet(net::Ipv4Addr(10, 0, 0, 7), kDevice, 8009, 40000,
+                  net::Transport::kTcp, 340),
+      make_packet(kDevice, net::Ipv4Addr(10, 0, 0, 7), 40000, 8009,
+                  net::Transport::kOther, 64),
+  };
+  for (const auto& pkt : pkts) {
+    core::BucketKey key = core::make_bucket_key(pkt, kDevice, core::FlowMode::kPortLess,
+                                                &dns, &reverse, interner);
+    EXPECT_EQ(core::bucket_key_string(key, core::FlowMode::kPortLess, interner),
+              core::bucket_key(pkt, kDevice, core::FlowMode::kPortLess, &dns, &reverse));
+  }
+}
+
+TEST(DomainInterner, MemoizesResolutionPerIp) {
+  net::DnsTable dns;
+  dns.add(net::Ipv4Addr(52, 1, 2, 3), "cloud.example.com");
+  core::DomainInterner interner;
+
+  std::uint32_t id = interner.id_of(net::Ipv4Addr(52, 1, 2, 3), &dns, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(interner.id_of(net::Ipv4Addr(52, 1, 2, 3), &dns, nullptr), id);
+  }
+  EXPECT_EQ(interner.lookups(), 101u);
+  EXPECT_EQ(interner.resolves(), 1u);  // 100 memo hits
+  EXPECT_EQ(interner.name_of(id), "cloud.example.com");
+}
+
+TEST(DomainInterner, UnknownIpFallsBackToDottedQuad) {
+  core::DomainInterner interner;
+  std::uint32_t id = interner.id_of(net::Ipv4Addr(8, 8, 8, 8), nullptr, nullptr);
+  EXPECT_EQ(interner.name_of(id), "8.8.8.8");
+  // Interning the same literal maps to the same id (name table is shared).
+  EXPECT_EQ(interner.intern("8.8.8.8"), id);
+}
+
+TEST(DomainInterner, IdsAreStableAcrossDnsGenerations) {
+  net::DnsTable dns;
+  net::Ipv4Addr ip(52, 1, 2, 3);
+  core::DomainInterner interner;
+
+  std::uint32_t quad_id = interner.id_of(ip, &dns, nullptr);
+  EXPECT_EQ(interner.name_of(quad_id), "52.1.2.3");
+  EXPECT_EQ(interner.resolves(), 1u);
+
+  // The trace now teaches the DNS table a domain for the IP: the memo must
+  // re-resolve (new generation), yielding a NEW id, while the old id keeps
+  // naming the dotted quad (old buckets keep their identity).
+  dns.add(ip, "late.example.com");
+  std::uint32_t domain_id = interner.id_of(ip, &dns, nullptr);
+  EXPECT_NE(domain_id, quad_id);
+  EXPECT_EQ(interner.name_of(domain_id), "late.example.com");
+  EXPECT_EQ(interner.name_of(quad_id), "52.1.2.3");
+  EXPECT_EQ(interner.resolves(), 2u);
+
+  // No further DNS mutation => memoized again.
+  interner.id_of(ip, &dns, nullptr);
+  EXPECT_EQ(interner.resolves(), 2u);
+
+  // A mutation for an unrelated IP invalidates the memo (conservative), and
+  // the re-resolution lands on the same id — ids never churn.
+  dns.add(net::Ipv4Addr(52, 9, 9, 9), "other.example.com");
+  EXPECT_EQ(interner.id_of(ip, &dns, nullptr), domain_id);
+  EXPECT_EQ(interner.resolves(), 3u);
+}
+
+TEST(DomainInterner, PacketsAfterMidTraceDnsMatchPerPacketStringResolution) {
+  // End-to-end: the packed key must re-key a remote after a mid-trace DNS
+  // answer exactly when the legacy per-packet string does.
+  net::DnsTable dns;
+  net::ReverseResolver reverse;
+  core::DomainInterner interner;
+  net::Ipv4Addr ip(52, 7, 7, 7);
+  auto pkt = make_packet(kDevice, ip, 40000, 443, net::Transport::kTcp, 128);
+
+  auto packed_string = [&] {
+    core::BucketKey key = core::make_bucket_key(pkt, kDevice, core::FlowMode::kPortLess,
+                                                &dns, &reverse, interner);
+    return core::bucket_key_string(key, core::FlowMode::kPortLess, interner);
+  };
+  auto legacy_string = [&] {
+    return core::bucket_key(pkt, kDevice, core::FlowMode::kPortLess, &dns, &reverse);
+  };
+
+  EXPECT_EQ(packed_string(), legacy_string());  // reverse-resolved
+  dns.add(ip, "mid.example.com");
+  EXPECT_EQ(packed_string(), legacy_string());  // now DNS-resolved
+  EXPECT_EQ(packed_string(), "out|mid.example.com|TCP|128");
+}
+
+}  // namespace
+}  // namespace fiat

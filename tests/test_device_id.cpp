@@ -1,6 +1,7 @@
 // Tests for passive device identification (§7 production dependency).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/device_id.hpp"
@@ -35,6 +36,40 @@ TEST(DeviceId, FeaturesHaveDocumentedShape) {
   for (double f : features) EXPECT_TRUE(std::isfinite(f));
   std::vector<net::PacketRecord> empty;
   EXPECT_THROW(device_id_features(empty, traces[0].device_ip), LogicError);
+}
+
+TEST(DeviceId, HeartbeatTieBreaksLikeLegacyStringOrder) {
+  // The feature extractor used to walk a std::map keyed "size|proto"; among
+  // equal-count buckets the first in STRING order won (strict `>` never
+  // replaced it). The packed FlatMap walk must reproduce that choice —
+  // note "1200|tcp" < "80|tcp" lexicographically despite 1200 > 80.
+  net::Ipv4Addr device(10, 0, 0, 9);
+  net::Ipv4Addr cloud(52, 1, 2, 3);
+  std::vector<net::PacketRecord> window;
+  auto push = [&](double ts, std::uint32_t size) {
+    net::PacketRecord p;
+    p.ts = ts;
+    p.size = size;
+    p.src_ip = device;
+    p.dst_ip = cloud;
+    p.src_port = 40000;
+    p.dst_port = 443;
+    p.proto = net::Transport::kTcp;
+    window.push_back(p);
+  };
+  // Two buckets, 4 packets each: size 80 beats at 5 s, size 1200 at 9 s.
+  for (int i = 0; i < 4; ++i) push(i * 5.0, 80);
+  for (int i = 0; i < 4; ++i) push(100.0 + i * 9.0, 1200);
+  std::sort(window.begin(), window.end(),
+            [](const auto& a, const auto& b) { return a.ts < b.ts; });
+
+  auto features = device_id_features(window, device);
+  auto names = device_id_feature_names();
+  std::size_t heartbeat_at =
+      static_cast<std::size_t>(std::find(names.begin(), names.end(), "heartbeat") -
+                               names.begin());
+  // "1200|tcp" sorts before "80|tcp", so the 9 s rhythm is the heartbeat.
+  EXPECT_NEAR(features[heartbeat_at], 9.0, 1e-9);
 }
 
 TEST(DeviceId, IdentifiesHeldOutWindows) {

@@ -1,0 +1,219 @@
+// util::FlatMap / FlatSet — the open-addressing tables under the packet hot
+// path (DESIGN.md §10). Growth, robin-hood displacement, backward-shift
+// deletion, iteration, and a randomized differential check against the
+// standard node containers they replaced.
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fiat {
+namespace {
+
+TEST(FlatMap, InsertFindAndDefaultConstruct) {
+  util::FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+
+  map[7] = 42;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 42);
+
+  // operator[] on a fresh key default-constructs.
+  EXPECT_EQ(map[9], 0);
+  map[9] += 5;
+  EXPECT_EQ(map[9], 5);
+
+  auto [value, inserted] = map.try_emplace(7, 99);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*value, 42);
+  auto [value2, inserted2] = map.try_emplace(11, 99);
+  EXPECT_TRUE(inserted2);
+  EXPECT_EQ(*value2, 99);
+}
+
+TEST(FlatMap, GrowthKeepsEveryEntry) {
+  util::FlatMap<std::uint32_t, std::uint32_t> map;
+  constexpr std::uint32_t kN = 10000;  // forces many rehashes from cap 16
+  for (std::uint32_t i = 0; i < kN; ++i) map[i] = i * 3;
+  EXPECT_EQ(map.size(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_NE(map.find(i), nullptr) << i;
+    EXPECT_EQ(*map.find(i), i * 3);
+  }
+  EXPECT_EQ(map.find(kN), nullptr);
+  // Load ceiling honored: at most 7/8 full.
+  EXPECT_GE(map.capacity() * 7, map.size() * 8);
+}
+
+TEST(FlatMap, EraseBackwardShiftPreservesProbeChains) {
+  util::FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t i = 0; i < 500; ++i) map[i] = static_cast<int>(i);
+  // Erase every third key, then verify the survivors are all reachable
+  // (backward-shift must close the probe chains it punctures).
+  for (std::uint64_t i = 0; i < 500; i += 3) EXPECT_TRUE(map.erase(i));
+  for (std::uint64_t i = 0; i < 500; i += 3) EXPECT_FALSE(map.erase(i));
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(map.find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(map.find(i), nullptr) << i;
+      EXPECT_EQ(*map.find(i), static_cast<int>(i));
+    }
+  }
+}
+
+/// Adversarial hash: everything lands in one home slot, so every insert
+/// extends one long displacement cluster and every erase shifts it back.
+struct CollidingHash {
+  std::uint64_t operator()(std::uint64_t) const { return 12345; }
+};
+
+TEST(FlatMap, SurvivesPathologicalHashCollisions) {
+  util::FlatMap<std::uint64_t, std::uint64_t, CollidingHash> map;
+  for (std::uint64_t i = 0; i < 200; ++i) map[i] = i + 1;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    ASSERT_NE(map.find(i), nullptr) << i;
+    EXPECT_EQ(*map.find(i), i + 1);
+  }
+  for (std::uint64_t i = 0; i < 200; i += 2) EXPECT_TRUE(map.erase(i));
+  for (std::uint64_t i = 1; i < 200; i += 2) {
+    ASSERT_NE(map.find(i), nullptr) << i;
+  }
+  EXPECT_EQ(map.size(), 100u);
+}
+
+TEST(FlatMap, IterationAfterRehashVisitsEachEntryOnce) {
+  util::FlatMap<std::uint32_t, std::uint32_t> map;
+  for (std::uint32_t i = 0; i < 1000; ++i) map[i] = i;
+  std::vector<bool> seen(1000, false);
+  std::size_t visits = 0;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(key, value);
+    ASSERT_LT(key, 1000u);
+    EXPECT_FALSE(seen[key]) << "entry visited twice: " << key;
+    seen[key] = true;
+    ++visits;
+  }
+  EXPECT_EQ(visits, 1000u);
+}
+
+TEST(FlatMap, IterationOrderIsDeterministicPerOpSequence) {
+  auto build = [] {
+    util::FlatMap<std::uint64_t, int> map;
+    for (std::uint64_t i = 0; i < 300; ++i) map[i * 7 + 1] = static_cast<int>(i);
+    for (std::uint64_t i = 0; i < 300; i += 5) map.erase(i * 7 + 1);
+    std::vector<std::uint64_t> order;
+    for (const auto& [key, value] : map) order.push_back(key);
+    return order;
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(FlatMap, ReserveAvoidsRehash) {
+  util::FlatMap<std::uint32_t, int> map;
+  map.reserve(1000);
+  std::size_t cap = map.capacity();
+  EXPECT_GE(cap * 7, std::size_t{1000} * 8);
+  for (std::uint32_t i = 0; i < 1000; ++i) map[i] = 1;
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatMap, ClearResets) {
+  util::FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t i = 0; i < 100; ++i) map[i] = 1;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(5), nullptr);
+  map[5] = 7;
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, StringKeysWork) {
+  util::FlatMap<std::string, int> map;
+  for (int i = 0; i < 200; ++i) map["key-" + std::to_string(i)] = i;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_NE(map.find("key-" + std::to_string(i)), nullptr);
+    EXPECT_EQ(*map.find("key-" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(map.find("absent"), nullptr);
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  util::FlatSet<std::int64_t> set;
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(5));  // already present
+  EXPECT_TRUE(set.insert(-3));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_TRUE(set.contains(-3));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_TRUE(set.erase(5));
+  EXPECT_FALSE(set.erase(5));
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatSet, RandomizedDifferentialAgainstStdSet) {
+  sim::Rng rng(0xf1a7);
+  util::FlatSet<std::uint32_t> flat;
+  std::set<std::uint32_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    auto key = static_cast<std::uint32_t>(rng.uniform_int(0, 400));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        EXPECT_EQ(flat.insert(key), reference.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(flat.erase(key), reference.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(flat.contains(key), reference.contains(key));
+    }
+    ASSERT_EQ(flat.size(), reference.size());
+  }
+  std::vector<std::uint32_t> flat_keys(flat.begin(), flat.end());
+  std::sort(flat_keys.begin(), flat_keys.end());
+  std::vector<std::uint32_t> ref_keys(reference.begin(), reference.end());
+  EXPECT_EQ(flat_keys, ref_keys);
+}
+
+TEST(FlatMap, RandomizedDifferentialAgainstUnorderedMap) {
+  sim::Rng rng(0xbeef);
+  util::FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 600));
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        auto value = rng.next();
+        flat[key] = value;
+        reference[key] = value;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(flat.erase(key), reference.erase(key) > 0);
+        break;
+      default: {
+        auto* hit = flat.find(key);
+        auto it = reference.find(key);
+        ASSERT_EQ(hit != nullptr, it != reference.end());
+        if (hit) {
+          EXPECT_EQ(*hit, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(flat.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace fiat

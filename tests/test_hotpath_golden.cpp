@@ -1,0 +1,124 @@
+// Golden equivalence for the packed hot path (DESIGN.md §10): the packed-key
+// proxy pipeline must be byte-identical — security-report renderings,
+// counters, and sim-domain telemetry exports — to the seed's string-keyed
+// implementation (RuleTableConfig::legacy_keys) on a full fleet-testbed
+// scenario, both through direct per-home proxies and through the sharded
+// engine at shards = 1 and 4.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/humanness.hpp"
+#include "core/report.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "fleet/home.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/sink.hpp"
+
+namespace fiat {
+namespace {
+
+fleet::FleetScenarioConfig scenario_config(bool legacy_keys) {
+  fleet::FleetScenarioConfig config;
+  config.homes = 12;
+  config.devices_per_home = 3;
+  config.duration_days = 0.02;
+  config.legacy_keys = legacy_keys;
+  return config;
+}
+
+/// Replays one home's items through a direct (engine-free) proxy and
+/// returns its observable state: report render + counters + sim telemetry.
+struct HomeRun {
+  std::string report;
+  std::string telemetry;
+  core::ProxyCounters counters;
+};
+
+HomeRun run_home(const fleet::HomeSpec& spec,
+                 const std::vector<fleet::FleetItem>& items,
+                 const core::HumannessVerifier& humanness) {
+  telemetry::Sink sink;
+  core::FiatProxy proxy = fleet::make_home_proxy(spec, humanness);
+  proxy.set_telemetry(&sink, spec.id);
+  for (const auto& item : items) {
+    if (item.home != spec.id) continue;
+    if (item.kind == fleet::FleetItem::Kind::kPacket) {
+      proxy.process(item.pkt);
+    } else {
+      proxy.on_auth_payload(item.client_id, item.payload, item.ts);
+    }
+  }
+  proxy.flush_events();
+  HomeRun run;
+  run.report = core::build_security_report(proxy).render();
+  run.telemetry =
+      telemetry::metrics_json(sink.metrics, /*include_wall=*/false).dump();
+  run.counters = proxy.counters();
+  return run;
+}
+
+TEST(HotpathGolden, PerHomeProxyReportsAndTelemetryMatchLegacy) {
+  auto packed_scenario = fleet::make_fleet_scenario(scenario_config(false));
+  auto legacy_scenario = fleet::make_fleet_scenario(scenario_config(true));
+  auto humanness = core::HumannessVerifier::train_synthetic(42);
+
+  // The workload itself must not depend on the flag.
+  ASSERT_EQ(packed_scenario.items.size(), legacy_scenario.items.size());
+  ASSERT_EQ(packed_scenario.packet_count, legacy_scenario.packet_count);
+
+  for (std::size_t h = 0; h < packed_scenario.homes.size(); ++h) {
+    ASSERT_FALSE(packed_scenario.homes[h].proxy.rules.legacy_keys);
+    ASSERT_TRUE(legacy_scenario.homes[h].proxy.rules.legacy_keys);
+    HomeRun packed =
+        run_home(packed_scenario.homes[h], packed_scenario.items, humanness);
+    HomeRun legacy =
+        run_home(legacy_scenario.homes[h], legacy_scenario.items, humanness);
+    EXPECT_EQ(packed.report, legacy.report) << "home " << h;
+    EXPECT_EQ(packed.telemetry, legacy.telemetry) << "home " << h;
+    EXPECT_EQ(packed.counters.packets_allowed, legacy.counters.packets_allowed);
+    EXPECT_EQ(packed.counters.packets_dropped, legacy.counters.packets_dropped);
+    EXPECT_EQ(packed.counters.events_closed, legacy.counters.events_closed);
+    EXPECT_EQ(packed.counters.alerts, legacy.counters.alerts);
+  }
+}
+
+/// Per-home observable digest of an engine run (report renderings are the
+/// strongest per-home state we can compare across configurations).
+std::vector<std::string> engine_digest(const fleet::FleetScenario& scenario,
+                                       const core::HumannessVerifier& humanness,
+                                       std::size_t shards) {
+  fleet::FleetConfig config;
+  config.shards = shards;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  auto report = engine.report();
+  std::vector<std::string> digest;
+  digest.reserve(report.homes.size());
+  for (const auto& home : report.homes) {
+    digest.push_back(std::to_string(home.home) + "\n" + home.report.render());
+  }
+  return digest;
+}
+
+TEST(HotpathGolden, FleetEngineMatchesLegacyAtOneAndFourShards) {
+  auto packed_scenario = fleet::make_fleet_scenario(scenario_config(false));
+  auto legacy_scenario = fleet::make_fleet_scenario(scenario_config(true));
+  auto humanness = core::HumannessVerifier::train_synthetic(42);
+
+  auto legacy1 = engine_digest(legacy_scenario, humanness, 1);
+  auto packed1 = engine_digest(packed_scenario, humanness, 1);
+  auto packed4 = engine_digest(packed_scenario, humanness, 4);
+
+  // Packed == legacy (the equivalence claim), and packed is shard-count
+  // invariant (the determinism contract survives the container swap).
+  EXPECT_EQ(packed1, legacy1);
+  EXPECT_EQ(packed4, packed1);
+}
+
+}  // namespace
+}  // namespace fiat

@@ -204,6 +204,39 @@ TEST(Predictability, BadConfigThrows) {
   EXPECT_THROW(PredictabilityAnalyzer(kDevice, config), LogicError);
 }
 
+TEST(Predictability, PackedKeysMatchLegacyKeysExactly) {
+  // The packed-key analyzer must be observably identical to the seed's
+  // string-keyed path: same per-packet verdicts AND the same string-keyed
+  // per-bucket stats (finish() reconstructs the strings at the boundary).
+  net::DnsTable dns;
+  dns.add(kCloud, "cloud.example.com");
+  net::ReverseResolver reverse;
+  sim::Rng rng(777);
+  std::vector<net::PacketRecord> packets;
+  double ts = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    ts += rng.uniform(0.1, (i % 7 == 0) ? 45.0 : 8.0);
+    auto remote = rng.chance(0.3) ? net::Ipv4Addr(52, 9, 9, 9) : kCloud;
+    packets.push_back(pkt(ts, 80 + 40 * static_cast<std::uint32_t>(i % 5),
+                          i % 2 == 0, remote,
+                          static_cast<std::uint16_t>(50000 + i % 3),
+                          i % 4 == 0 ? net::Transport::kUdp : net::Transport::kTcp));
+  }
+  for (FlowMode mode : {FlowMode::kClassic, FlowMode::kPortLess}) {
+    PredictabilityConfig config;
+    config.mode = mode;
+    config.dns = &dns;
+    config.reverse = &reverse;
+    auto packed = analyze_predictability(packets, kDevice, config);
+    config.legacy_keys = true;
+    auto legacy = analyze_predictability(packets, kDevice, config);
+    EXPECT_EQ(packed.predictable, legacy.predictable);
+    EXPECT_EQ(packed.total, legacy.total);
+    EXPECT_EQ(packed.predictable_count, legacy.predictable_count);
+    EXPECT_EQ(packed.buckets, legacy.buckets);
+  }
+}
+
 TEST(Predictability, FinishIsIdempotentAndResumable) {
   PredictabilityAnalyzer analyzer(kDevice);
   for (int i = 0; i < 3; ++i) analyzer.add(pkt(i * 30.0, 100));

@@ -118,6 +118,69 @@ TEST(RuleTable, BadBinThrows) {
   EXPECT_THROW(RuleTable(kDevice, config), LogicError);
 }
 
+// ---- hot path ----------------------------------------------------------------
+
+TEST(RuleTable, MatchAndLearnComputesOneKeyPerPacket) {
+  // Regression for the seed's double key computation: match_and_learn built
+  // the bucket key once for the table lookup and AGAIN for the banned check.
+  // The packed path must do exactly one per packet, on every code path —
+  // including the banned-check branch that caused the duplication.
+  RuleTable rules(kDevice);
+  rules.forbid_online(pkt(0));  // its own keygen; also forces the banned probe
+  std::size_t base = rules.keygen_count();
+  std::size_t packets = 0;
+  for (int i = 1; i < 40; ++i) {
+    rules.match_and_learn(pkt(i * 30.0));
+    ++packets;
+  }
+  for (int i = 0; i < 10; ++i) {
+    rules.learn(pkt(2000.0 + i * 7.0));
+    rules.match(pkt(2100.0 + i * 7.0));
+    packets += 2;
+  }
+  EXPECT_EQ(rules.keygen_count() - base, packets);
+}
+
+TEST(RuleTable, LegacyKeysBaselineKeepsSeedCost) {
+  // The legacy baseline deliberately reproduces the seed's duplicate key
+  // computation in match_and_learn's banned-check branch (cost fidelity for
+  // bench_hotpath --legacy-keys).
+  RuleTableConfig config;
+  config.legacy_keys = true;
+  RuleTable rules(kDevice, config);
+  rules.match_and_learn(pkt(0));    // no delta yet: one keygen
+  std::size_t base = rules.keygen_count();
+  rules.match_and_learn(pkt(30));   // miss past the floor: lookup + banned = 2
+  EXPECT_EQ(rules.keygen_count() - base, 2u);
+}
+
+TEST(RuleTable, LegacyKeysBehaviorMatchesPacked) {
+  net::DnsTable dns;
+  dns.add(kCloud, "api.example");
+  RuleTableConfig packed_config;
+  packed_config.dns = &dns;
+  RuleTableConfig legacy_config = packed_config;
+  legacy_config.legacy_keys = true;
+  RuleTable packed(kDevice, packed_config);
+  RuleTable legacy(kDevice, legacy_config);
+
+  auto drive = [](RuleTable& rules) {
+    std::vector<bool> verdicts;
+    for (int i = 0; i < 4; ++i) rules.learn(pkt(i * 30.0));
+    rules.forbid_online(pkt(0, 999));
+    for (int i = 0; i < 30; ++i) {
+      verdicts.push_back(rules.match_and_learn(pkt(200.0 + i * 30.0)));
+      verdicts.push_back(rules.match_and_learn(pkt(201.0 + i * 45.0, 480)));
+      verdicts.push_back(rules.match_and_learn(pkt(202.0 + i * 10.0, 999)));
+    }
+    return verdicts;
+  };
+  EXPECT_EQ(drive(packed), drive(legacy));
+  EXPECT_EQ(packed.rule_count(), legacy.rule_count());
+  EXPECT_EQ(packed.bucket_count(), legacy.bucket_count());
+  EXPECT_EQ(packed.forbidden_count(), legacy.forbidden_count());
+}
+
 // ---- DAG ---------------------------------------------------------------------
 
 TEST(DeviceDag, DirectionalEdges) {
@@ -151,6 +214,31 @@ TEST(DeviceDag, RejectsTransitiveCycle) {
   // Forward edges along the hierarchy remain fine.
   dag.add_edge(a, c);
   EXPECT_EQ(dag.edge_count(), 3u);
+}
+
+TEST(DeviceDag, DenseDiamondLadderStaysFast) {
+  // Regression for the exponential cycle check: reachable() used to be a
+  // recursive DFS with no visited set, so a ladder of N diamond layers
+  // (two parallel paths per layer) re-explored 2^N paths. 40 layers would
+  // hang for years; with the visited set it is instant.
+  DeviceDag dag;
+  auto node = [](std::uint32_t i) {
+    return net::Ipv4Addr(10, 1, static_cast<std::uint8_t>(i >> 8),
+                         static_cast<std::uint8_t>(i & 0xff));
+  };
+  constexpr std::uint32_t kLayers = 40;
+  // Layer i: anchor(3i) -> {mid 3i+1, mid 3i+2} -> anchor(3(i+1)).
+  for (std::uint32_t i = 0; i < kLayers; ++i) {
+    dag.add_edge(node(3 * i), node(3 * i + 1));
+    dag.add_edge(node(3 * i), node(3 * i + 2));
+    dag.add_edge(node(3 * i + 1), node(3 * (i + 1)));
+    dag.add_edge(node(3 * i + 2), node(3 * (i + 1)));
+  }
+  EXPECT_EQ(dag.edge_count(), 4u * kLayers);
+  // The cycle check must walk the whole ladder (and reject) quickly.
+  EXPECT_THROW(dag.add_edge(node(3 * kLayers), node(0)), LogicError);
+  // A legal long edge is accepted after traversing the dense middle.
+  dag.add_edge(node(0), node(3 * kLayers));
 }
 
 TEST(DeviceDag, AllowsIsDirectEdgeOnly) {
