@@ -1,0 +1,243 @@
+// Crash-recovery chaos matrix — what a shard crash costs, and what
+// snapshots + journaling buy back (DESIGN.md §11).
+//
+// Sweeps crash point x snapshot cadence x recovery mode over a supervised
+// fleet, for both fail-closed and grace degraded policies. Every shard
+// worker is crashed once mid-run (sim::ShardFaultPlan::crash_once_at) and
+// healed in place by its supervisor under one of three modes:
+//
+//   journal — warm restore from the latest snapshot + replay of the
+//             since-snapshot journal: lossless, the production default;
+//   lossy   — warm restore only (journal off): loses the items between the
+//             last snapshot and the crash — the "recovery gap";
+//   cold    — snapshots ignored (journal off): every home on the shard
+//             rebuilds from scratch, with bootstrap forced elapsed under
+//             fail-closed so the restart never re-opens the learning window.
+//
+// Per run we measure verdicts lost vs the uninterrupted baseline (final
+// decisions absent from the merged FleetReport), homes whose final report
+// diverges, the supervisor's recovery-gap counter, and snapshot activity.
+//
+// Checks: journal mode is lossless and divergence-free; lossy loses no more
+// than cold; and the headline robustness claim — under fail-closed, a warm
+// restart drops >= 90% fewer verdicts than a cold re-bootstrap.
+//
+// Every reported number is sim-derived (item counts, sim-time cadences), so
+// BENCH_recovery.json is byte-identical across runs of the same build.
+// Usage: bench_recovery [--quick]  (smaller fleet for the CI smoke).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/humanness.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "fleet/supervisor.hpp"
+#include "sim/faults.hpp"
+
+using namespace fiat;
+
+namespace {
+
+constexpr std::size_t kShards = 2;
+constexpr double kCrashFracs[] = {0.3, 0.7};
+constexpr double kCadences[] = {60.0, 240.0};
+
+struct Mode {
+  const char* name;
+  bool journal;
+  bool cold;
+};
+constexpr Mode kModes[] = {
+    {"journal", true, false},
+    {"lossy", false, false},
+    {"cold", false, true},
+};
+
+struct PolicyCase {
+  const char* name;
+  core::FailPolicy policy;
+};
+constexpr PolicyCase kPolicies[] = {
+    {"fail-closed", core::FailPolicy::kFailClosed},
+    {"grace", core::FailPolicy::kGrace},
+};
+
+struct RunOutcome {
+  std::size_t restarts = 0;
+  std::size_t verdicts = 0;        // allowed + dropped in the merged report
+  std::size_t verdicts_lost = 0;   // baseline verdicts - this run's verdicts
+  std::size_t divergent_homes = 0; // homes whose final report != baseline
+  std::uint64_t gap_items = 0;     // supervisor's recovery-gap counter
+  std::uint64_t snapshots = 0;
+  std::size_t snapshot_bytes = 0;  // bytes held across latest generations
+};
+
+std::size_t verdict_count(const fleet::FleetReport& report) {
+  return report.totals.packets_allowed + report.totals.packets_dropped;
+}
+
+std::vector<std::string> home_digests(const fleet::FleetReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.homes.size());
+  for (const auto& h : report.homes) out.push_back(h.report.render());
+  return out;
+}
+
+fleet::FleetReport run_engine(const fleet::FleetScenario& scenario,
+                              const core::HumannessVerifier& humanness,
+                              fleet::FleetConfig config,
+                              RunOutcome* outcome = nullptr) {
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  auto report = engine.report();
+  if (outcome) {
+    outcome->restarts = report.stats.restarts;
+    outcome->verdicts = verdict_count(report);
+    auto metrics = engine.merged_metrics();
+    if (const auto* c = metrics.find_counter("fleet.recovery_gap_items")) {
+      outcome->gap_items = c->value();
+    }
+    if (const auto* c = metrics.find_counter("fleet.snapshots_taken")) {
+      outcome->snapshots = c->value();
+    }
+    if (const auto* sup = engine.supervisor()) {
+      outcome->snapshot_bytes = sup->store().total_bytes();
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::print_header("bench_recovery",
+                      "crash-recovery chaos matrix (supervised fleet)");
+
+  fleet::FleetScenarioConfig scenario_config;
+  scenario_config.homes = quick ? 8 : 32;
+  scenario_config.devices_per_home = 2;
+  scenario_config.duration_days = quick ? 0.01 : 0.02;
+  auto humanness =
+      core::HumannessVerifier::train_synthetic(scenario_config.seed);
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const std::string& what) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what.c_str());
+    ok = ok && cond;
+  };
+
+  bench::Json rows = bench::Json::array();
+  for (const auto& pol : kPolicies) {
+    scenario_config.policy = pol.policy;
+    auto scenario = fleet::make_fleet_scenario(scenario_config);
+    std::printf("policy %s: %zu homes, %zu items\n", pol.name,
+                scenario.homes.size(), scenario.items.size());
+
+    fleet::FleetConfig base_config;
+    base_config.shards = kShards;
+    auto baseline = run_engine(scenario, humanness, base_config);
+    const std::size_t baseline_verdicts = verdict_count(baseline);
+    const auto baseline_digests = home_digests(baseline);
+
+    std::printf("  %-6s %-8s %8s %8s %9s %9s %10s %6s\n", "crash", "mode",
+                "cadence", "restarts", "verd-lost", "gap-items", "divergent",
+                "snaps");
+    for (double frac : kCrashFracs) {
+      // Crash each shard worker at the same fraction of its item stream.
+      auto crash_at = static_cast<std::uint64_t>(
+          frac * static_cast<double>(scenario.items.size()) /
+          static_cast<double>(kShards));
+      std::size_t journal_lost = 0, lossy_lost = 0, cold_lost = 0;
+      for (const auto& mode : kModes) {
+        // Cold ignores snapshots entirely, so only one cadence is run.
+        std::size_t cadence_count = mode.cold ? 1 : 2;
+        for (std::size_t ci = 0; ci < cadence_count; ++ci) {
+          double cadence = kCadences[ci];
+          fleet::FleetConfig config = base_config;
+          config.recovery.enabled = true;
+          config.recovery.snapshot_every = mode.cold ? 0.0 : cadence;
+          config.recovery.journal = mode.journal;
+          config.recovery.cold_restart = mode.cold;
+          config.recovery.fault = sim::ShardFaultPlan::crash_once_at(crash_at);
+
+          RunOutcome out;
+          auto report = run_engine(scenario, humanness, config, &out);
+          out.verdicts_lost =
+              baseline_verdicts > out.verdicts ? baseline_verdicts - out.verdicts
+                                               : 0;
+          auto digests = home_digests(report);
+          for (std::size_t h = 0; h < digests.size(); ++h) {
+            if (digests[h] != baseline_digests[h]) ++out.divergent_homes;
+          }
+          std::printf("  %-6.1f %-8s %8.0f %8zu %9zu %9llu %10zu %6llu\n",
+                      frac, mode.name, mode.cold ? 0.0 : cadence, out.restarts,
+                      out.verdicts_lost,
+                      static_cast<unsigned long long>(out.gap_items),
+                      out.divergent_homes,
+                      static_cast<unsigned long long>(out.snapshots));
+
+          if (mode.journal) journal_lost = out.verdicts_lost;
+          if (!mode.journal && !mode.cold && cadence == 60.0) {
+            lossy_lost = out.verdicts_lost;
+          }
+          if (mode.cold) cold_lost = out.verdicts_lost;
+
+          std::string tag = std::string(pol.name) + "/" + mode.name +
+                            "/crash=" + std::to_string(crash_at);
+          if (mode.journal) {
+            check(out.verdicts_lost == 0 && out.divergent_homes == 0,
+                  tag + ": journaled recovery is lossless");
+          }
+          rows.push(bench::Json::object()
+                        .put("policy", pol.name)
+                        .put("mode", mode.name)
+                        .put("crash_frac", frac)
+                        .put("crash_item", crash_at)
+                        .put("snapshot_every", mode.cold ? 0.0 : cadence)
+                        .put("restarts", out.restarts)
+                        .put("baseline_verdicts", baseline_verdicts)
+                        .put("verdicts_lost", out.verdicts_lost)
+                        .put("gap_items", out.gap_items)
+                        .put("divergent_homes", out.divergent_homes)
+                        .put("snapshots_taken", out.snapshots)
+                        .put("snapshot_bytes", out.snapshot_bytes));
+        }
+      }
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "%s/crash=%.1f: lossy gap (%zu) <= cold loss (%zu)",
+                    pol.name, frac, lossy_lost, cold_lost);
+      check(lossy_lost <= cold_lost, msg);
+      if (pol.policy == core::FailPolicy::kFailClosed) {
+        std::snprintf(msg, sizeof(msg),
+                      "%s/crash=%.1f: warm restart drops >=90%% fewer "
+                      "verdicts than cold re-bootstrap (%zu vs %zu)",
+                      pol.name, frac, journal_lost, cold_lost);
+        check(cold_lost > 0 && static_cast<double>(journal_lost) <=
+                                   0.1 * static_cast<double>(cold_lost),
+              msg);
+      }
+    }
+  }
+
+  bench::Json doc = bench::Json::object()
+                        .put("bench", "recovery")
+                        .put("homes", scenario_config.homes)
+                        .put("shards", kShards)
+                        .put("quick", quick)
+                        .put("runs", std::move(rows));
+  bench::write_bench_json("BENCH_recovery.json", doc);
+
+  if (!ok) {
+    std::printf("\nbench_recovery: FAILURES above\n");
+    return 1;
+  }
+  std::printf("\nbench_recovery: all checks passed\n");
+  return 0;
+}

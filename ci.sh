@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# Tier-1 CI: build + ctest normally (plus telemetry-export and hot-path
-# benchmark smoke runs), then under ASan+UBSan (covers the FlatMap /
-# DomainInterner / golden-equivalence "hotpath" suites along with everything
-# else), then the concurrency tests (fleet + transport + fleet telemetry
-# merge + hotpath golden) under TSan.
+# Tier-1 CI: build + ctest normally (plus telemetry-export, hot-path and
+# crash-recovery smoke runs), then under ASan+UBSan (covers the FlatMap /
+# DomainInterner / golden-equivalence "hotpath" suites and the "recovery"
+# snapshot/supervisor suites along with everything else), then the
+# concurrency- and recovery-labeled tests (fleet + transport + fleet
+# telemetry merge + hotpath golden + supervised-restart golden) under TSan.
 #
 #   ./ci.sh          all three legs
 #   ./ci.sh normal   plain build + tests + smoke runs only
@@ -51,6 +52,21 @@ hotpath_smoke() {
   echo "==> [normal] hotpath smoke ok"
 }
 
+# Recovery smoke: run the crash-recovery chaos bench in quick mode (its
+# lossless/90%-fewer-verdicts checks are enforced by the bench itself) and
+# validate the JSON artifact with the in-tree strict parser.
+recovery_smoke() {
+  dir="$1"
+  echo "==> [normal] recovery smoke"
+  smoke="$dir/recovery-smoke"
+  mkdir -p "$smoke"
+  bench_bin="$(pwd)/$dir/bench/bench_recovery"
+  validate_bin="$(pwd)/$dir/tools/fiat_json_validate"
+  (cd "$smoke" && "$bench_bin" --quick >/dev/null \
+    && "$validate_bin" BENCH_recovery.json)
+  echo "==> [normal] recovery smoke ok"
+}
+
 # Telemetry smoke: run the fleet CLI with every export flag and validate the
 # JSON artifacts with the in-tree strict parser (no python/jq dependency).
 telemetry_smoke() {
@@ -72,6 +88,7 @@ case "$LEG" in
     run_leg normal build ""
     telemetry_smoke build
     hotpath_smoke build
+    recovery_smoke build
     ;;
 esac
 
@@ -86,7 +103,7 @@ esac
 case "$LEG" in
   tsan|all)
     TSAN_OPTIONS="halt_on_error=1" \
-      run_leg tsan build-tsan "-L concurrency" -DFIAT_SANITIZE=thread
+      run_leg tsan build-tsan "-L concurrency|recovery" -DFIAT_SANITIZE=thread
     ;;
 esac
 

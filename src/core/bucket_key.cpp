@@ -1,6 +1,9 @@
 #include "core/bucket_key.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
 
 namespace fiat::core {
 
@@ -64,6 +67,54 @@ std::uint32_t DomainInterner::id_of(net::Ipv4Addr remote, const net::DnsTable* d
   std::uint32_t id = intern(name);
   by_ip_[remote.value()] = id;
   return id;
+}
+
+void DomainInterner::encode_state(util::ByteWriter& w) const {
+  // Names in id order: ids embedded in learned BucketKeys must map to the
+  // same strings after restore.
+  w.u32be(static_cast<std::uint32_t>(names_.size()));
+  for (const std::string& name : names_) {
+    w.u32be(static_cast<std::uint32_t>(name.size()));
+    w.raw(name);
+  }
+  w.u64be(dns_generation_);
+  // IP memo sorted by IP value (FlatMap iterates in insertion order, which
+  // is not canonical).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> memo;
+  memo.reserve(by_ip_.size());
+  for (const auto& [ip, id] : by_ip_) memo.emplace_back(ip, id);
+  std::sort(memo.begin(), memo.end());
+  w.u32be(static_cast<std::uint32_t>(memo.size()));
+  for (const auto& [ip, id] : memo) {
+    w.u32be(ip);
+    w.u32be(id);
+  }
+  w.u64be(lookups_);
+  w.u64be(resolves_);
+}
+
+void DomainInterner::decode_state(util::ByteReader& r) {
+  names_.clear();
+  by_name_.clear();
+  by_ip_.clear();
+  std::uint32_t name_count = r.u32be();
+  names_.reserve(name_count);
+  for (std::uint32_t i = 0; i < name_count; ++i) {
+    std::string name = r.str(r.u32be());
+    by_name_.emplace(name, i);
+    names_.push_back(std::move(name));
+  }
+  dns_generation_ = r.u64be();
+  std::uint32_t memo_count = r.u32be();
+  by_ip_.reserve(memo_count);
+  for (std::uint32_t i = 0; i < memo_count; ++i) {
+    std::uint32_t ip = r.u32be();
+    std::uint32_t id = r.u32be();
+    if (id >= names_.size()) throw ParseError("interner memo id out of range");
+    by_ip_[ip] = id;
+  }
+  lookups_ = r.u64be();
+  resolves_ = r.u64be();
 }
 
 BucketKey make_bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,

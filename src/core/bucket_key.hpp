@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/bucket.hpp"
+#include "util/bytes.hpp"
 #include "util/flat_map.hpp"
 
 namespace fiat::core {
@@ -43,6 +44,12 @@ struct BucketKey {
   std::uint64_t w1 = 0;
 
   bool operator==(const BucketKey&) const = default;
+  /// Lexicographic (w0, w1) order. Only used by the state codec, which must
+  /// serialize FlatMap contents in a canonical order independent of
+  /// insertion history so snapshot round-trips are byte-identical.
+  bool operator<(const BucketKey& o) const {
+    return w0 != o.w0 ? w0 < o.w0 : w1 < o.w1;
+  }
 };
 
 /// Transport codes fit the 2 key bits; the enum's wire values (0/6/17) do not.
@@ -73,6 +80,13 @@ class DomainInterner {
   /// vs. how many missed the memo and did a full DNS/reverse resolution.
   std::size_t lookups() const { return lookups_; }
   std::size_t resolves() const { return resolves_; }
+
+  /// State-codec hooks (state_codec.hpp): canonical serialization of the
+  /// full interner (names in id order, IP memo sorted by IP). Ids must
+  /// survive a snapshot→restore round trip because learned BucketKeys embed
+  /// them.
+  void encode_state(util::ByteWriter& w) const;
+  void decode_state(util::ByteReader& r);
 
  private:
   util::FlatMap<std::uint32_t, std::uint32_t> by_ip_;  // IP → id memo

@@ -9,6 +9,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -34,6 +35,13 @@ class EventGrouper {
   /// Peek at the currently-open event (empty if none).
   const std::vector<net::PacketRecord>& open_packets() const { return current_; }
   double gap_threshold() const { return gap_; }
+
+  /// State-codec hook (state_codec.hpp): reinstates the in-progress event
+  /// exactly as snapshotted, so a warm-restored proxy closes it at the same
+  /// packet the uninterrupted run would have.
+  void restore_open(std::vector<net::PacketRecord> packets) {
+    current_ = std::move(packets);
+  }
 
  private:
   double gap_;

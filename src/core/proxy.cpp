@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
+#include "core/state_codec.hpp"
 #include "util/error.hpp"
 
 namespace fiat::core {
@@ -104,7 +106,7 @@ void FiatProxy::add_dag_edge(net::Ipv4Addr src, net::Ipv4Addr dst) {
 }
 
 bool FiatProxy::in_bootstrap(double now) const {
-  return first_packet_ts_ >= 0 &&
+  return !bootstrap_forced_ && first_packet_ts_ >= 0 &&
          now - first_packet_ts_ < config_.bootstrap_duration;
 }
 
@@ -511,6 +513,227 @@ void FiatProxy::flush_events() {
       close_event(dev);
     }
   }
+}
+
+namespace {
+
+void write_counters(util::ByteWriter& w, const ProxyCounters& c) {
+  w.u64be(c.packets_allowed);
+  w.u64be(c.packets_dropped);
+  for (std::size_t n : c.by_disposition) w.u64be(n);
+  w.u64be(c.events_closed);
+}
+
+void read_counters(util::ByteReader& r, ProxyCounters& c) {
+  c.packets_allowed = r.u64be();
+  c.packets_dropped = r.u64be();
+  for (std::size_t& n : c.by_disposition) n = r.u64be();
+  c.events_closed = r.u64be();
+}
+
+void write_string(util::ByteWriter& w, const std::string& s) {
+  w.u32be(static_cast<std::uint32_t>(s.size()));
+  w.raw(s);
+}
+
+std::string read_string(util::ByteReader& r) { return r.str(r.u32be()); }
+
+}  // namespace
+
+void FiatProxy::encode_durable_state(util::ByteWriter& w) const {
+  // -- scalars --------------------------------------------------------------
+  w.f64be(first_packet_ts_);
+  w.u8(bootstrap_forced_ ? 1 : 0);
+  w.u32be(static_cast<std::uint32_t>(next_event_seq_));
+  write_counters(w, counters_);
+  w.u64be(alerts_);
+  w.u64be(proofs_accepted_);
+  w.u64be(proofs_bad_sig_);
+  w.u64be(proofs_nonhuman_);
+  w.u8(channel_ever_active_ ? 1 : 0);
+  w.u8(channel_forced_down_ ? 1 : 0);
+  w.f64be(last_channel_activity_);
+  w.u64be(proofs_late_);
+  w.u64be(proofs_duplicate_);
+  w.u64be(events_degraded_);
+  w.u64be(degraded_allows_);
+  w.u64be(violations_forgiven_);
+
+  // -- logs and proof freshness --------------------------------------------
+  w.u64be(log_.size());
+  for (const Decision& d : log_) {
+    w.f64be(d.ts);
+    write_string(w, d.device);
+    w.u8(d.verdict == Verdict::kDrop ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(d.why));
+    w.u32be(static_cast<std::uint32_t>(d.event_seq));
+  }
+  w.u64be(outcomes_.size());
+  for (const EventOutcome& o : outcomes_) {
+    write_string(w, o.device);
+    w.u32be(static_cast<std::uint32_t>(o.event_seq));
+    w.f64be(o.start);
+    w.u8(static_cast<std::uint8_t>(o.classified));
+    w.u8(o.treated_as_manual ? 1 : 0);
+    w.u8(o.human_validated ? 1 : 0);
+    w.u8(o.degraded ? 1 : 0);
+    w.u8(o.degraded_allowed ? 1 : 0);
+    w.u64be(o.packets_allowed);
+    w.u64be(o.packets_dropped);
+  }
+  w.u64be(proofs_.size());
+  for (const HumanProof& p : proofs_) {
+    w.f64be(p.time);
+    write_string(w, p.app_package);
+  }
+  w.u32be(static_cast<std::uint32_t>(last_proof_seq_.size()));
+  for (const auto& [client, seq] : last_proof_seq_) {  // std::map: sorted
+    write_string(w, client);
+    w.u64be(seq);
+  }
+
+  // -- DNS view -------------------------------------------------------------
+  dns_->encode_state(w);
+
+  // -- per-device state (std::map keyed by IP: already sorted) --------------
+  w.u32be(static_cast<std::uint32_t>(devices_.size()));
+  for (const auto& [ip, dev] : devices_) {
+    w.u32be(ip);
+    dev.rules.encode_state(w);
+    const auto& open = dev.grouper.open_packets();
+    w.u32be(static_cast<std::uint32_t>(open.size()));
+    for (const net::PacketRecord& pkt : open) write_packet_record(w, pkt);
+    w.u32be(static_cast<std::uint32_t>(dev.event_seq));
+    w.u64be(dev.event_packets);
+    w.u64be(dev.allowed);
+    w.u64be(dev.dropped);
+    w.f64be(dev.event_start);
+    w.f64be(dev.event_last);
+    w.u8(dev.classified ? 1 : 0);
+    w.u8(dev.classified ? static_cast<std::uint8_t>(*dev.classified) : 0);
+    w.u8(dev.human_validated ? 1 : 0);
+    w.u8(dev.degraded ? 1 : 0);
+    w.u8(dev.degraded_open ? 1 : 0);
+    w.u32be(static_cast<std::uint32_t>(dev.recent_violations.size()));
+    for (double t : dev.recent_violations) w.f64be(t);
+    w.f64be(dev.locked_until);
+    w.u8(dev.locked ? 1 : 0);
+  }
+}
+
+void FiatProxy::decode_durable_state(util::ByteReader& r) {
+  first_packet_ts_ = r.f64be();
+  bootstrap_forced_ = r.u8() != 0;
+  next_event_seq_ = static_cast<int>(r.u32be());
+  read_counters(r, counters_);
+  alerts_ = r.u64be();
+  proofs_accepted_ = r.u64be();
+  proofs_bad_sig_ = r.u64be();
+  proofs_nonhuman_ = r.u64be();
+  channel_ever_active_ = r.u8() != 0;
+  channel_forced_down_ = r.u8() != 0;
+  last_channel_activity_ = r.f64be();
+  proofs_late_ = r.u64be();
+  proofs_duplicate_ = r.u64be();
+  events_degraded_ = r.u64be();
+  degraded_allows_ = r.u64be();
+  violations_forgiven_ = r.u64be();
+
+  log_.clear();
+  std::uint64_t log_count = r.u64be();
+  log_.reserve(log_count);
+  for (std::uint64_t i = 0; i < log_count; ++i) {
+    Decision d;
+    d.ts = r.f64be();
+    d.device = read_string(r);
+    d.verdict = r.u8() != 0 ? Verdict::kDrop : Verdict::kAllow;
+    d.why = static_cast<Disposition>(r.u8());
+    d.event_seq = static_cast<int>(r.u32be());
+    log_.push_back(std::move(d));
+  }
+  outcomes_.clear();
+  std::uint64_t outcome_count = r.u64be();
+  outcomes_.reserve(outcome_count);
+  for (std::uint64_t i = 0; i < outcome_count; ++i) {
+    EventOutcome o;
+    o.device = read_string(r);
+    o.event_seq = static_cast<int>(r.u32be());
+    o.start = r.f64be();
+    o.classified = static_cast<gen::TrafficClass>(r.u8());
+    o.treated_as_manual = r.u8() != 0;
+    o.human_validated = r.u8() != 0;
+    o.degraded = r.u8() != 0;
+    o.degraded_allowed = r.u8() != 0;
+    o.packets_allowed = r.u64be();
+    o.packets_dropped = r.u64be();
+    outcomes_.push_back(std::move(o));
+  }
+  proofs_.clear();
+  std::uint64_t proof_count = r.u64be();
+  proofs_.reserve(proof_count);
+  for (std::uint64_t i = 0; i < proof_count; ++i) {
+    HumanProof p;
+    p.time = r.f64be();
+    p.app_package = read_string(r);
+    proofs_.push_back(std::move(p));
+  }
+  last_proof_seq_.clear();
+  std::uint32_t seq_count = r.u32be();
+  for (std::uint32_t i = 0; i < seq_count; ++i) {
+    std::string client = read_string(r);
+    last_proof_seq_[std::move(client)] = r.u64be();
+  }
+
+  dns_->decode_state(r);
+
+  std::uint32_t device_count = r.u32be();
+  if (device_count != devices_.size()) {
+    throw ParseError("proxy snapshot device count mismatch");
+  }
+  for (std::uint32_t i = 0; i < device_count; ++i) {
+    std::uint32_t ip = r.u32be();
+    auto it = devices_.find(ip);
+    if (it == devices_.end()) {
+      throw ParseError("proxy snapshot names unknown device IP");
+    }
+    DeviceState& dev = it->second;
+    dev.rules.decode_state(r);
+    std::uint32_t open_count = r.u32be();
+    std::vector<net::PacketRecord> open;
+    open.reserve(open_count);
+    for (std::uint32_t j = 0; j < open_count; ++j) {
+      open.push_back(read_packet_record(r));
+    }
+    dev.grouper.restore_open(std::move(open));
+    dev.event_seq = static_cast<int>(r.u32be());
+    dev.event_packets = r.u64be();
+    dev.allowed = r.u64be();
+    dev.dropped = r.u64be();
+    dev.event_start = r.f64be();
+    dev.event_last = r.f64be();
+    bool has_class = r.u8() != 0;
+    auto klass = static_cast<gen::TrafficClass>(r.u8());
+    dev.classified = has_class ? std::optional<gen::TrafficClass>(klass)
+                               : std::nullopt;
+    dev.human_validated = r.u8() != 0;
+    dev.degraded = r.u8() != 0;
+    dev.degraded_open = r.u8() != 0;
+    dev.recent_violations.clear();
+    std::uint32_t violation_count = r.u32be();
+    for (std::uint32_t j = 0; j < violation_count; ++j) {
+      dev.recent_violations.push_back(r.f64be());
+    }
+    dev.locked_until = r.f64be();
+    dev.locked = r.u8() != 0;
+  }
+}
+
+void FiatProxy::force_bootstrap_elapsed(double now) {
+  // A flag, not timestamp arithmetic: a restart *during* the bootstrap
+  // window (now < bootstrap_duration) could not otherwise express "window
+  // over" without going negative, which process() treats as "no packet yet".
+  bootstrap_forced_ = true;
+  if (first_packet_ts_ < 0) first_packet_ts_ = now;
 }
 
 }  // namespace fiat::core

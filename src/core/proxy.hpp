@@ -230,6 +230,26 @@ class FiatProxy {
   /// Closes any open events (end of trace) so their outcomes are recorded.
   void flush_events();
 
+  // ---- durable state (state_codec.hpp) -----------------------------------
+  /// Serializes everything a crash must not lose: learned rules (packed or
+  /// legacy form), the DNS view, per-device event/lockout state, proof
+  /// freshness, counters, the decision/outcome logs, and bootstrap progress.
+  /// Devices, phone pairings, classifiers, and DAG edges are NOT included —
+  /// they are configuration, rebuilt from the same spec that built this
+  /// proxy. Field order is canonical (sorted), so encode→decode→encode is
+  /// byte-identical.
+  void encode_durable_state(util::ByteWriter& w) const;
+  /// Restores a snapshot taken from a proxy built from the *same* spec.
+  /// Throws fiat::ParseError on malformed input or a device-set mismatch; on
+  /// throw the proxy state is unspecified — discard it and rebuild from the
+  /// spec (state_codec's cold-start fallback).
+  void decode_durable_state(util::ByteReader& r);
+  /// Marks the bootstrap window as already elapsed as of `now`. A cold
+  /// restart under fail-closed uses this: re-learning rules from attack-
+  /// reachable traffic would hand an attacker the 20-minute allow-all
+  /// window, so the restarted proxy starts strict instead.
+  void force_bootstrap_elapsed(double now);
+
   std::size_t rule_count() const;
   bool in_bootstrap(double now) const;
   bool device_locked(const std::string& name, double now) const;
@@ -298,6 +318,7 @@ class FiatProxy {
   std::unique_ptr<net::DnsTable> dns_ = std::make_unique<net::DnsTable>();
 
   double first_packet_ts_ = -1.0;
+  bool bootstrap_forced_ = false;  // force_bootstrap_elapsed() was called
   int next_event_seq_ = 0;
   ProxyCounters counters_;
   std::vector<Decision> log_;

@@ -1,6 +1,8 @@
 #include "core/rules.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
@@ -130,6 +132,132 @@ std::size_t RuleTable::rule_count() const {
 
 std::size_t RuleTable::bucket_count() const {
   return config_.legacy_keys ? legacy_buckets_.size() : buckets_.size();
+}
+
+namespace {
+
+// Bin sets travel as sign-preserving u64 bit patterns, smallest bin first.
+// FlatSet iterates in insertion order, so packed sets are sorted here;
+// std::set (legacy) is already ordered.
+void write_bins(util::ByteWriter& w, const util::FlatSet<std::int64_t>& bins) {
+  std::vector<std::int64_t> sorted;
+  sorted.reserve(bins.size());
+  for (std::int64_t bin : bins) sorted.push_back(bin);
+  std::sort(sorted.begin(), sorted.end());
+  w.u32be(static_cast<std::uint32_t>(sorted.size()));
+  for (std::int64_t bin : sorted) w.u64be(static_cast<std::uint64_t>(bin));
+}
+
+void write_bins(util::ByteWriter& w, const std::set<std::int64_t>& bins) {
+  w.u32be(static_cast<std::uint32_t>(bins.size()));
+  for (std::int64_t bin : bins) w.u64be(static_cast<std::uint64_t>(bin));
+}
+
+template <class Set>
+void read_bins(util::ByteReader& r, Set& bins) {
+  std::uint32_t count = r.u32be();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    bins.insert(static_cast<std::int64_t>(r.u64be()));
+  }
+}
+
+}  // namespace
+
+void RuleTable::encode_state(util::ByteWriter& w) const {
+  w.u8(config_.legacy_keys ? 1 : 0);
+  w.u64be(keygen_count_);
+  if (config_.legacy_keys) {
+    // std::map-free canonical order: collect and sort the node-based
+    // containers' keys (unordered_map iteration order is unspecified).
+    std::vector<const std::string*> keys;
+    keys.reserve(legacy_buckets_.size());
+    for (const auto& [key, bucket] : legacy_buckets_) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    w.u32be(static_cast<std::uint32_t>(keys.size()));
+    for (const std::string* key : keys) {
+      const LegacyBucketState& bucket = legacy_buckets_.at(*key);
+      w.u32be(static_cast<std::uint32_t>(key->size()));
+      w.raw(*key);
+      w.f64be(bucket.last_ts);
+      write_bins(w, bucket.seen_bins);
+      write_bins(w, bucket.matched_bins);
+    }
+    w.u32be(static_cast<std::uint32_t>(legacy_banned_.size()));
+    for (const std::string& key : legacy_banned_) {
+      w.u32be(static_cast<std::uint32_t>(key.size()));
+      w.raw(key);
+    }
+    return;
+  }
+  interner_.encode_state(w);
+  std::vector<std::pair<BucketKey, const BucketState*>> entries;
+  entries.reserve(buckets_.size());
+  for (const auto& [key, bucket] : buckets_) entries.emplace_back(key, &bucket);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u32be(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, bucket] : entries) {
+    w.u64be(key.w0);
+    w.u64be(key.w1);
+    w.f64be(bucket->last_ts);
+    write_bins(w, bucket->seen_bins);
+    write_bins(w, bucket->matched_bins);
+  }
+  std::vector<BucketKey> banned;
+  banned.reserve(banned_.size());
+  for (const BucketKey& key : banned_) banned.push_back(key);
+  std::sort(banned.begin(), banned.end());
+  w.u32be(static_cast<std::uint32_t>(banned.size()));
+  for (const BucketKey& key : banned) {
+    w.u64be(key.w0);
+    w.u64be(key.w1);
+  }
+}
+
+void RuleTable::decode_state(util::ByteReader& r) {
+  bool legacy = r.u8() != 0;
+  if (legacy != config_.legacy_keys) {
+    throw ParseError("rule table key-mode mismatch: snapshot is " +
+                     std::string(legacy ? "legacy" : "packed") +
+                     ", table configured " +
+                     std::string(config_.legacy_keys ? "legacy" : "packed"));
+  }
+  keygen_count_ = r.u64be();
+  buckets_.clear();
+  banned_.clear();
+  legacy_buckets_.clear();
+  legacy_banned_.clear();
+  if (legacy) {
+    std::uint32_t bucket_count = r.u32be();
+    for (std::uint32_t i = 0; i < bucket_count; ++i) {
+      std::string key = r.str(r.u32be());
+      LegacyBucketState& bucket = legacy_buckets_[std::move(key)];
+      bucket.last_ts = r.f64be();
+      read_bins(r, bucket.seen_bins);
+      read_bins(r, bucket.matched_bins);
+    }
+    std::uint32_t banned_count = r.u32be();
+    for (std::uint32_t i = 0; i < banned_count; ++i) {
+      legacy_banned_.insert(r.str(r.u32be()));
+    }
+    return;
+  }
+  interner_.decode_state(r);
+  std::uint32_t bucket_count = r.u32be();
+  buckets_.reserve(bucket_count);
+  for (std::uint32_t i = 0; i < bucket_count; ++i) {
+    BucketKey key{r.u64be(), r.u64be()};
+    BucketState& bucket = buckets_[key];
+    bucket.last_ts = r.f64be();
+    read_bins(r, bucket.seen_bins);
+    read_bins(r, bucket.matched_bins);
+  }
+  std::uint32_t banned_count = r.u32be();
+  banned_.reserve(banned_count);
+  for (std::uint32_t i = 0; i < banned_count; ++i) {
+    banned_.insert(BucketKey{r.u64be(), r.u64be()});
+  }
 }
 
 void DeviceDag::add_edge(net::Ipv4Addr src, net::Ipv4Addr dst) {

@@ -88,6 +88,14 @@ class RuleTable {
   /// path; the seed's match_and_learn computed two.
   std::size_t keygen_count() const { return keygen_count_; }
 
+  /// State-codec hooks (state_codec.hpp). Learned buckets, banned sets, and
+  /// the interner are serialized in a canonical sorted order (FlatMap/FlatSet
+  /// iterate in insertion order, which is not). decode_state throws
+  /// fiat::ParseError if the stream's legacy flag disagrees with this table's
+  /// config — packed and legacy state are not interchangeable.
+  void encode_state(util::ByteWriter& w) const;
+  void decode_state(util::ByteReader& r);
+
  private:
   struct BucketState {
     double last_ts = -1.0;

@@ -1,0 +1,154 @@
+#include "core/state_codec.hpp"
+
+#include <cstring>
+
+#include "core/proxy.hpp"
+#include "crypto/replay_cache.hpp"
+#include "crypto/sha256.hpp"
+#include "util/error.hpp"
+
+namespace fiat::core {
+
+const char* codec_status_name(CodecStatus s) {
+  switch (s) {
+    case CodecStatus::kOk: return "ok";
+    case CodecStatus::kBadMagic: return "bad-magic";
+    case CodecStatus::kVersionSkew: return "version-skew";
+    case CodecStatus::kTruncated: return "truncated";
+    case CodecStatus::kCorrupt: return "corrupt";
+    case CodecStatus::kWrongHome: return "wrong-home";
+    case CodecStatus::kBadPayload: return "bad-payload";
+  }
+  return "?";
+}
+
+util::Bytes seal_state(StateKind kind, std::uint32_t home,
+                       const util::Bytes& payload) {
+  util::ByteWriter w(kStateOverhead + payload.size());
+  w.u32be(kStateMagic);
+  w.u16be(kStateVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(0);  // flags, reserved
+  w.u32be(home);
+  w.u64be(payload.size());
+  w.raw(payload);
+  crypto::Digest256 digest = crypto::Sha256::hash(w.bytes());
+  w.raw(std::span<const std::uint8_t>(digest.data(), kStateChecksumSize));
+  return w.take();
+}
+
+OpenResult open_state(std::span<const std::uint8_t> blob, StateKind expect_kind,
+                      std::uint32_t expect_home) {
+  OpenResult out;
+  if (blob.size() < kStateOverhead) {
+    out.status = CodecStatus::kTruncated;
+    return out;
+  }
+  util::ByteReader r(blob);
+  if (r.u32be() != kStateMagic) {
+    out.status = CodecStatus::kBadMagic;
+    return out;
+  }
+  std::uint16_t version = r.u16be();
+  auto kind = static_cast<StateKind>(r.u8());
+  r.skip(1);  // flags
+  std::uint32_t home = r.u32be();
+  std::uint64_t payload_len = r.u64be();
+  if (blob.size() != kStateOverhead + payload_len) {
+    out.status = CodecStatus::kTruncated;
+    return out;
+  }
+  // Checksum before version: a future version may checksum the same way, and
+  // "skewed but intact" is a more actionable diagnosis than "corrupt".
+  crypto::Digest256 digest =
+      crypto::Sha256::hash(blob.first(blob.size() - kStateChecksumSize));
+  if (std::memcmp(digest.data(), blob.data() + blob.size() - kStateChecksumSize,
+                  kStateChecksumSize) != 0) {
+    out.status = CodecStatus::kCorrupt;
+    return out;
+  }
+  if (version != kStateVersion) {
+    out.status = CodecStatus::kVersionSkew;
+    return out;
+  }
+  if (kind != expect_kind) {
+    out.status = CodecStatus::kBadPayload;
+    return out;
+  }
+  if (expect_home != kAnyHome && home != expect_home) {
+    out.status = CodecStatus::kWrongHome;
+    return out;
+  }
+  out.status = CodecStatus::kOk;
+  out.payload = blob.subspan(kStateHeaderSize, payload_len);
+  return out;
+}
+
+util::Bytes encode_proxy_state(const FiatProxy& proxy, std::uint32_t home) {
+  util::ByteWriter w;
+  proxy.encode_durable_state(w);
+  return seal_state(StateKind::kProxy, home, w.bytes());
+}
+
+CodecStatus decode_proxy_state(FiatProxy& proxy,
+                               std::span<const std::uint8_t> blob,
+                               std::uint32_t home) {
+  OpenResult opened = open_state(blob, StateKind::kProxy, home);
+  if (opened.status != CodecStatus::kOk) return opened.status;
+  try {
+    util::ByteReader r(opened.payload);
+    proxy.decode_durable_state(r);
+    if (!r.done()) return CodecStatus::kBadPayload;
+  } catch (const ParseError&) {
+    return CodecStatus::kBadPayload;
+  }
+  return CodecStatus::kOk;
+}
+
+util::Bytes encode_replay_cache(const crypto::ReplayCache& cache) {
+  util::ByteWriter w;
+  cache.encode_state(w);
+  return seal_state(StateKind::kReplayCache, kAnyHome, w.bytes());
+}
+
+CodecStatus decode_replay_cache(crypto::ReplayCache& cache,
+                                std::span<const std::uint8_t> blob) {
+  OpenResult opened = open_state(blob, StateKind::kReplayCache, kAnyHome);
+  if (opened.status != CodecStatus::kOk) return opened.status;
+  try {
+    util::ByteReader r(opened.payload);
+    cache.decode_state(r);
+    if (!r.done()) return CodecStatus::kBadPayload;
+  } catch (const ParseError&) {
+    return CodecStatus::kBadPayload;
+  }
+  return CodecStatus::kOk;
+}
+
+void write_packet_record(util::ByteWriter& w, const net::PacketRecord& pkt) {
+  w.f64be(pkt.ts);
+  w.u32be(pkt.size);
+  w.u32be(pkt.src_ip.value());
+  w.u32be(pkt.dst_ip.value());
+  w.u16be(pkt.src_port);
+  w.u16be(pkt.dst_port);
+  w.u8(static_cast<std::uint8_t>(pkt.proto));
+  w.u8(pkt.tcp_flags);
+  w.u16be(pkt.tls_version);
+}
+
+net::PacketRecord read_packet_record(util::ByteReader& r) {
+  net::PacketRecord pkt;
+  pkt.ts = r.f64be();
+  pkt.size = r.u32be();
+  pkt.src_ip = net::Ipv4Addr(r.u32be());
+  pkt.dst_ip = net::Ipv4Addr(r.u32be());
+  pkt.src_port = r.u16be();
+  pkt.dst_port = r.u16be();
+  pkt.proto = static_cast<net::Transport>(r.u8());
+  pkt.tcp_flags = r.u8();
+  pkt.tls_version = r.u16be();
+  return pkt;
+}
+
+}  // namespace fiat::core

@@ -1,0 +1,111 @@
+// Versioned, checksummed serialization of FiatProxy durable state
+// (DESIGN.md §11).
+//
+// FIAT's proxy earns its rule table during a ~20-minute bootstrap; a crash
+// that loses it forces the fleet to choose between re-running bootstrap
+// fail-open (insecure) or fail-closed (20 minutes of lockouts). The state
+// codec makes that loss bounded: everything a proxy learned — rules (packed
+// or legacy key form), the DNS view and domain interner, per-device
+// event/lockout state, proof freshness, counters, the decision/outcome logs,
+// and bootstrap progress — round-trips through a self-validating envelope:
+//
+//   magic "FSNP" : u32be
+//   version      : u16be   (kStateVersion)
+//   kind         : u8      (StateKind)
+//   flags        : u8      (reserved, 0)
+//   home         : u32be   (owner home id; kAnyHome = unowned)
+//   payload_len  : u64be
+//   payload      : payload_len bytes
+//   checksum     : first 8 bytes of SHA-256 over everything above
+//
+// Hostile-bytes-from-disk threat model: open_state() never throws on bad
+// input — every malformed, corrupted, version-skewed, or misdirected blob
+// maps to a CodecStatus the caller turns into a cold start. Serialization is
+// canonical (sorted container order everywhere), so encode→decode→encode is
+// byte-identical — the property the snapshot round-trip tests pin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::crypto {
+class ReplayCache;
+}
+
+namespace fiat::core {
+
+class FiatProxy;
+
+inline constexpr std::uint32_t kStateMagic = 0x46534e50;  // "FSNP"
+inline constexpr std::uint16_t kStateVersion = 1;
+/// Envelope bytes before the payload (magic..payload_len).
+inline constexpr std::size_t kStateHeaderSize = 20;
+inline constexpr std::size_t kStateChecksumSize = 8;
+inline constexpr std::size_t kStateOverhead = kStateHeaderSize + kStateChecksumSize;
+/// `home` value for state not owned by a fleet home (e.g. a ReplayCache
+/// serialized outside the fleet runtime).
+inline constexpr std::uint32_t kAnyHome = 0xffffffffu;
+
+enum class StateKind : std::uint8_t {
+  kProxy = 1,        // FiatProxy durable state
+  kReplayCache = 2,  // crypto::ReplayCache window
+  kStoreFile = 3,    // reserved for on-disk snapshot-store containers
+};
+
+enum class CodecStatus : std::uint8_t {
+  kOk,
+  kBadMagic,     // not a state blob at all
+  kVersionSkew,  // valid blob from an incompatible codec version
+  kTruncated,    // shorter than its header claims (torn write)
+  kCorrupt,      // checksum mismatch (bit rot, partial overwrite)
+  kWrongHome,    // valid blob, but for a different home
+  kBadPayload,   // envelope fine, payload failed structural validation
+};
+
+const char* codec_status_name(CodecStatus s);
+
+/// Wraps `payload` in the checksummed envelope.
+util::Bytes seal_state(StateKind kind, std::uint32_t home,
+                       const util::Bytes& payload);
+
+struct OpenResult {
+  CodecStatus status = CodecStatus::kBadMagic;
+  /// Valid only when status == kOk; views into the input blob.
+  std::span<const std::uint8_t> payload;
+};
+
+/// Validates the envelope. Checks run in severity order — truncation, magic,
+/// length, checksum, version, kind, home — so the corruption matrix gets a
+/// precise diagnosis (a version-skewed blob with a *valid* checksum reports
+/// kVersionSkew, not kCorrupt). `expect_home == kAnyHome` accepts any owner.
+OpenResult open_state(std::span<const std::uint8_t> blob, StateKind expect_kind,
+                      std::uint32_t expect_home);
+
+// ---- typed wrappers ---------------------------------------------------------
+
+/// Snapshot of a proxy's durable state, sealed for `home`.
+util::Bytes encode_proxy_state(const FiatProxy& proxy, std::uint32_t home);
+
+/// Restores `proxy` (built from the same HomeSpec) from a sealed snapshot.
+/// On any non-kOk return the snapshot was REJECTED; the proxy may be
+/// partially mutated and must be discarded and rebuilt from its spec (the
+/// cold-start fallback). Never throws on malformed input.
+CodecStatus decode_proxy_state(FiatProxy& proxy,
+                               std::span<const std::uint8_t> blob,
+                               std::uint32_t home);
+
+util::Bytes encode_replay_cache(const crypto::ReplayCache& cache);
+CodecStatus decode_replay_cache(crypto::ReplayCache& cache,
+                                std::span<const std::uint8_t> blob);
+
+// ---- shared low-level helpers ----------------------------------------------
+
+/// Fixed 25-byte packet record codec shared by every durable structure that
+/// embeds packets (open event buffers).
+void write_packet_record(util::ByteWriter& w, const net::PacketRecord& pkt);
+net::PacketRecord read_packet_record(util::ByteReader& r);
+
+}  // namespace fiat::core

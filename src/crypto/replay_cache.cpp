@@ -31,4 +31,30 @@ void ReplayCache::expire(double now) {
   }
 }
 
+void ReplayCache::encode_state(util::ByteWriter& w) const {
+  w.f64be(window_);
+  w.u64be(max_entries_);
+  w.f64be(high_water_);
+  w.u64be(order_.size());
+  for (const auto& [time, nonce] : order_) {
+    w.f64be(time);
+    w.u64be(nonce);
+  }
+}
+
+void ReplayCache::decode_state(util::ByteReader& r) {
+  window_ = r.f64be();
+  max_entries_ = r.u64be();
+  high_water_ = r.f64be();
+  seen_.clear();
+  order_.clear();
+  std::uint64_t count = r.u64be();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double time = r.f64be();
+    std::uint64_t nonce = r.u64be();
+    order_.emplace_back(time, nonce);
+    seen_.insert(nonce);
+  }
+}
+
 }  // namespace fiat::crypto

@@ -11,6 +11,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "util/bytes.hpp"
+
 namespace fiat::crypto {
 
 class ReplayCache {
@@ -34,6 +36,12 @@ class ReplayCache {
   double window() const { return window_; }
   /// Newest (clamped) timestamp observed; entries expire relative to this.
   double high_water() const { return high_water_; }
+
+  /// State-codec hooks (core/state_codec.hpp): the deque is serialized in
+  /// accept order (its natural, canonical order — times are monotone by the
+  /// clamping invariant); the `seen_` index is rebuilt on decode.
+  void encode_state(util::ByteWriter& w) const;
+  void decode_state(util::ByteReader& r);
 
  private:
   double window_;

@@ -33,6 +33,11 @@ FleetEngine::FleetEngine(std::vector<HomeSpec> homes,
   for (const HomeSpec& spec : homes) ids.push_back(spec.id);
   partition_ = HomePartition::contiguous(ids, config_.shards);
 
+  if (config_.recovery.enabled) {
+    supervisor_ = std::make_unique<Supervisor>(config_.recovery);
+    shard_supervisors_.reserve(partition_.shard_count());
+  }
+
   // Build each shard's contiguous slice. Homes are constructed spec-by-spec
   // (independent of the slicing), so a home's initial proxy state never
   // depends on the shard count.
@@ -40,14 +45,23 @@ FleetEngine::FleetEngine(std::vector<HomeSpec> homes,
   std::size_t next = 0;
   for (std::size_t s = 0; s < partition_.shard_count(); ++s) {
     std::vector<Home> slice;
+    std::vector<HomeSpec> spec_slice;
     while (next < homes.size() && partition_.shard_of(homes[next].id) == s) {
       slice.emplace_back(homes[next], humanness);
+      if (supervisor_) spec_slice.push_back(homes[next]);
       ++next;
+    }
+    ShardSupervisor* shard_supervisor = nullptr;
+    if (supervisor_) {
+      shard_supervisors_.push_back(std::make_unique<ShardSupervisor>(
+          s, supervisor_.get(), std::move(spec_slice), humanness));
+      shard_supervisor = shard_supervisors_.back().get();
     }
     shards_.push_back(std::make_unique<Shard>(std::move(slice),
                                               config_.queue_capacity,
                                               config_.on_full,
-                                              config_.trace_capacity));
+                                              config_.trace_capacity,
+                                              shard_supervisor));
   }
   if (next != homes.size()) throw LogicError("FleetEngine: partition hole");
 
@@ -108,6 +122,8 @@ FleetStats FleetEngine::stats() const {
     out.shed += s.queue_shed;
     out.shed_on_close += s.queue_shed_on_close;
     out.discarded += s.discarded;
+    out.restarts += s.restarts;
+    out.quarantined += s.quarantined;
     out.shards.push_back(s);
   }
   return out;

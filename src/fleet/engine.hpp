@@ -33,6 +33,7 @@
 #include "fleet/router.hpp"
 #include "fleet/shard.hpp"
 #include "fleet/stats.hpp"
+#include "fleet/supervisor.hpp"
 
 namespace fiat::fleet {
 
@@ -45,6 +46,9 @@ struct FleetConfig {
   std::size_t ingest_batch = 128;
   /// Per-shard telemetry trace ring capacity (spans); 0 disables tracing.
   std::size_t trace_capacity = 8192;
+  /// Durability + crash supervision (fleet/supervisor.hpp). Disabled by
+  /// default: the unsupervised hot path is unchanged.
+  RecoveryConfig recovery;
 };
 
 /// Merged fleet-wide report: per-home security reports plus the aggregate
@@ -108,6 +112,10 @@ class FleetEngine {
   /// Direct access for tests (stopped engine only).
   Shard& shard(std::size_t i) { return *shards_[i]; }
 
+  /// The recovery ledger; nullptr unless config.recovery.enabled.
+  Supervisor* supervisor() { return supervisor_.get(); }
+  const Supervisor* supervisor() const { return supervisor_.get(); }
+
   /// All per-shard registries merged into one snapshot, plus engine-level
   /// ingest counters and the run's wall time. Requires a stopped engine.
   /// Domain::kSim entries in the snapshot are byte-identical across
@@ -123,6 +131,8 @@ class FleetEngine {
   FleetConfig config_;
   std::size_t home_count_ = 0;
   HomePartition partition_;
+  std::unique_ptr<Supervisor> supervisor_;  // before shards_: outlives them
+  std::vector<std::unique_ptr<ShardSupervisor>> shard_supervisors_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<IngestRouter> router_;
   bool started_ = false;

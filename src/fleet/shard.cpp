@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <chrono>
 
+#include "fleet/supervisor.hpp"
 #include "util/error.hpp"
 
 namespace fiat::fleet {
 
 Shard::Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy,
-             std::size_t trace_capacity)
+             std::size_t trace_capacity, ShardSupervisor* supervisor)
     : homes_(std::move(homes)),
       queue_(queue_capacity, policy),
-      sink_(trace_capacity) {
+      sink_(trace_capacity),
+      supervisor_(supervisor) {
   home_ids_.reserve(homes_.size());
   for (const Home& home : homes_) home_ids_.push_back(home.id());
   if (!std::is_sorted(home_ids_.begin(), home_ids_.end())) {
@@ -26,6 +28,7 @@ Shard::Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy pol
   tm_batch_items_ =
       &sink_.metrics.histogram("fleet.batch_items", telemetry::Domain::kWall);
   for (Home& home : homes_) home.proxy().set_telemetry(&sink_, home.id());
+  if (supervisor_) supervisor_->attach(&sink_);
 }
 
 Shard::~Shard() {
@@ -52,6 +55,28 @@ void Shard::stop(bool drain) {
   if (!drain) discard_.store(true, std::memory_order_relaxed);
   queue_.close();
   if (worker_.joinable()) worker_.join();
+  stopped_ = true;
+}
+
+void Shard::adopt_homes(std::vector<Home> homes) {
+  if (homes.size() != home_ids_.size()) {
+    throw LogicError("Shard: adopt_homes home-count mismatch");
+  }
+  for (std::size_t i = 0; i < homes.size(); ++i) {
+    if (homes[i].id() != home_ids_[i]) {
+      throw LogicError("Shard: adopt_homes home-id mismatch");
+    }
+  }
+  homes_ = std::move(homes);
+  for (Home& home : homes_) home.proxy().set_telemetry(&sink_, home.id());
+}
+
+void Shard::require_quiescent(const char* op) const {
+  if (started_ && !stopped_) {
+    throw LogicError(std::string("Shard: ") + op +
+                     " while the worker is running reads torn state; stop() "
+                     "the shard first");
+  }
 }
 
 void Shard::process(const FleetItem& item) {
@@ -81,7 +106,11 @@ void Shard::run() {
         ++discarded_;
         continue;
       }
-      process(item);
+      if (supervisor_) {
+        supervisor_->process(*this, item);
+      } else {
+        process(item);
+      }
     }
     busy_seconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -91,12 +120,17 @@ void Shard::run() {
 }
 
 ShardStats Shard::stats() const {
+  require_quiescent("stats()");
   ShardStats s;
   s.homes = homes_.size();
   s.packets = packets_;
   s.proofs = proofs_;
   s.discarded = discarded_;
   s.busy_seconds = busy_seconds_;
+  if (supervisor_) {
+    s.restarts = supervisor_->restarts();
+    s.quarantined = supervisor_->quarantined_count();
+  }
   auto q = queue_.stats();
   s.queue_pushed = q.pushed;
   s.queue_high_water = q.high_water;

@@ -21,13 +21,17 @@
 
 namespace fiat::fleet {
 
+class ShardSupervisor;
+
 class Shard {
  public:
   /// `homes` is this shard's contiguous slice of the fleet (sorted by id).
   /// `trace_capacity` bounds this shard's telemetry trace ring (0 disables
-  /// tracing).
+  /// tracing). `supervisor`, when set, wraps every item in the recovery path
+  /// (fleet/supervisor.hpp); it must outlive the shard.
   Shard(std::vector<Home> homes, std::size_t queue_capacity, FullPolicy policy,
-        std::size_t trace_capacity = 8192);
+        std::size_t trace_capacity = 8192,
+        ShardSupervisor* supervisor = nullptr);
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -49,16 +53,32 @@ class Shard {
   const std::vector<Home>& homes() const { return homes_; }
   Home* find_home(HomeId id);
 
-  /// Snapshot; includes queue stats. Only consistent after stop().
+  /// Replaces this shard's homes wholesale (supervisor restart path). Ids
+  /// must match the original slice; telemetry is re-wired to the shard's
+  /// sink. Worker-thread-only once started.
+  void adopt_homes(std::vector<Home> homes);
+
+  /// Snapshot; includes queue stats. Worker-owned counters are only
+  /// consistent after the join — calling this on a started-but-not-stopped
+  /// shard throws fiat::LogicError (it would read torn stats).
   ShardStats stats() const;
 
   /// This shard's thread-owned telemetry sink (its homes' proxies record
-  /// into it too). Written by the worker; only consistent after stop().
-  telemetry::Sink& telemetry() { return sink_; }
-  const telemetry::Sink& telemetry() const { return sink_; }
+  /// into it too). Written by the worker; same stopped-state rule as
+  /// stats().
+  telemetry::Sink& telemetry() {
+    require_quiescent("telemetry()");
+    return sink_;
+  }
+  const telemetry::Sink& telemetry() const {
+    require_quiescent("telemetry()");
+    return sink_;
+  }
 
  private:
   void run();
+  /// Throws unless the worker is not running (never started, or joined).
+  void require_quiescent(const char* op) const;
 
   std::vector<Home> homes_;
   std::vector<HomeId> home_ids_;  // sorted, parallel lookup for find_home
@@ -67,7 +87,9 @@ class Shard {
   telemetry::Histogram* tm_queue_wait_ = nullptr;  // kWall
   telemetry::Histogram* tm_batch_items_ = nullptr;  // kWall
   std::thread worker_;
+  ShardSupervisor* supervisor_ = nullptr;
   bool started_ = false;
+  bool stopped_ = false;  // worker joined; counters safe to read
   // Worker-owned counters: written only by the worker thread (or by the
   // owner before start / after join), read after join.
   std::size_t packets_ = 0;

@@ -1,0 +1,49 @@
+#include "fleet/snapshot_store.hpp"
+
+#include <utility>
+
+namespace fiat::fleet {
+
+std::uint64_t SnapshotStore::put(HomeId home, std::uint64_t ordinal,
+                                 double sim_ts, util::Bytes blob) {
+  // The record is assembled outside the map slot and moved in whole, so a
+  // concurrent latest() (which copies under the same mutex) can never observe
+  // a half-written generation.
+  Record next;
+  next.home = home;
+  next.ordinal = ordinal;
+  next.sim_ts = sim_ts;
+  next.blob = std::move(blob);
+  std::lock_guard<std::mutex> lock(mu_);
+  Record& slot = latest_[home];
+  next.generation = slot.generation + 1;
+  slot = std::move(next);
+  ++puts_;
+  return slot.generation;
+}
+
+std::optional<SnapshotStore::Record> SnapshotStore::latest(HomeId home) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latest_.find(home);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t SnapshotStore::home_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_.size();
+}
+
+std::size_t SnapshotStore::puts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return puts_;
+}
+
+std::size_t SnapshotStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [home, rec] : latest_) n += rec.blob.size();
+  return n;
+}
+
+}  // namespace fiat::fleet

@@ -1,0 +1,65 @@
+// Per-home snapshot store with atomic generation-swap semantics.
+//
+// Shard workers publish sealed state blobs (core/state_codec.hpp) here on a
+// sim-time cadence; the supervisor reads the latest generation back when it
+// warm-restores a restarted shard. The store keeps exactly one record per
+// home — the newest generation — and swaps it in atomically under the store
+// mutex: a reader either sees the complete old snapshot or the complete new
+// one, never a torn mix (the moral equivalent of write-to-temp + rename on a
+// real filesystem). Blobs are opaque bytes; validation happens at restore
+// time via open_state(), which is what lets a test inject corrupted blobs to
+// drive the cold-start fallback path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "fleet/home.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::fleet {
+
+class SnapshotStore {
+ public:
+  struct Record {
+    HomeId home = 0;
+    /// Monotone per home; bumped on every put.
+    std::uint64_t generation = 0;
+    /// Items of this home processed when the snapshot was taken (the journal
+    /// replay point).
+    std::uint64_t ordinal = 0;
+    /// Sim time of the item that triggered the snapshot.
+    double sim_ts = 0.0;
+    util::Bytes blob;
+  };
+
+  /// Publishes a new snapshot for `home`, replacing any previous generation
+  /// whole. Returns the new generation number.
+  std::uint64_t put(HomeId home, std::uint64_t ordinal, double sim_ts,
+                    util::Bytes blob);
+
+  /// Copy of the latest record for `home`, if any. A copy, not a reference:
+  /// the worker may swap in a newer generation while the caller reads.
+  std::optional<Record> latest(HomeId home) const;
+
+  /// Test/bench hook: identical to put(), spelled differently so corruption-
+  /// matrix tests that plant hostile bytes read as what they are.
+  std::uint64_t inject(HomeId home, std::uint64_t ordinal, double sim_ts,
+                       util::Bytes blob) {
+    return put(home, ordinal, sim_ts, std::move(blob));
+  }
+
+  std::size_t home_count() const;
+  std::size_t puts() const;
+  /// Bytes held across all current generations (superseded blobs are freed).
+  std::size_t total_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<HomeId, Record> latest_;
+  std::size_t puts_ = 0;
+};
+
+}  // namespace fiat::fleet

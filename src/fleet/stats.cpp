@@ -17,24 +17,27 @@ double FleetStats::utilization(std::size_t shard) const {
 std::string FleetStats::render() const {
   std::string out;
   char line[192];
-  std::snprintf(line, sizeof(line), "%-6s %6s %10s %8s %8s %9s %9s %10s %6s %8s\n",
+  std::snprintf(line, sizeof(line),
+                "%-6s %6s %10s %8s %8s %9s %9s %8s %5s %10s %6s %8s\n",
                 "shard", "homes", "packets", "proofs", "shed", "shed-cls",
-                "discard", "high-water", "util", "busy-s");
+                "discard", "restart", "quar", "high-water", "util", "busy-s");
   out += line;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
-    std::snprintf(line, sizeof(line),
-                  "%-6zu %6zu %10zu %8zu %8zu %9zu %9zu %10zu %5.0f%% %8.3f\n",
-                  i, s.homes, s.packets, s.proofs, s.queue_shed,
-                  s.queue_shed_on_close, s.discarded, s.queue_high_water,
-                  100.0 * utilization(i), s.busy_seconds);
+    std::snprintf(
+        line, sizeof(line),
+        "%-6zu %6zu %10zu %8zu %8zu %9zu %9zu %8zu %5zu %10zu %5.0f%% %8.3f\n",
+        i, s.homes, s.packets, s.proofs, s.queue_shed, s.queue_shed_on_close,
+        s.discarded, s.restarts, s.quarantined, s.queue_high_water,
+        100.0 * utilization(i), s.busy_seconds);
     out += line;
   }
   std::snprintf(line, sizeof(line),
                 "total: %zu homes, %zu/%zu packets, %zu/%zu proofs, "
-                "%zu shed, %zu shed-on-close, %zu discarded\n",
+                "%zu shed, %zu shed-on-close, %zu discarded, %zu restarts, "
+                "%zu quarantined\n",
                 homes, packets_out, packets_in, proofs_out, proofs_in, shed,
-                shed_on_close, discarded);
+                shed_on_close, discarded, restarts, quarantined);
   out += line;
   std::snprintf(line, sizeof(line), "wall %.3f s, aggregate %.0f items/s\n",
                 wall_seconds, throughput());

@@ -17,6 +17,8 @@ struct ShardStats {
   std::size_t packets = 0;        // packets processed
   std::size_t proofs = 0;         // auth datagrams processed
   std::size_t discarded = 0;      // popped but skipped by an abort (no-drain stop)
+  std::size_t restarts = 0;       // supervisor shard restarts (crash recoveries)
+  std::size_t quarantined = 0;    // poison items quarantined by the supervisor
   double busy_seconds = 0.0;      // wall time spent inside proxy calls
   // Queue view (from BoundedQueue::Stats).
   std::size_t queue_pushed = 0;
@@ -34,6 +36,8 @@ struct FleetStats {
   std::size_t shed = 0;           // rejected by full queues (kShed)
   std::size_t shed_on_close = 0;  // rejected because the engine was stopping
   std::size_t discarded = 0;      // accepted but dropped by an abort
+  std::size_t restarts = 0;       // supervisor shard restarts, fleet-wide
+  std::size_t quarantined = 0;    // quarantined poison items, fleet-wide
   double wall_seconds = 0.0;      // start() .. stop() wall time
   std::vector<ShardStats> shards;
 

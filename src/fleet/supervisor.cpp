@@ -1,0 +1,271 @@
+#include "fleet/supervisor.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/state_codec.hpp"
+#include "fleet/shard.hpp"
+
+namespace fiat::fleet {
+
+void Supervisor::note_restart(RestartRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  restarts_.push_back(std::move(rec));
+}
+
+void Supervisor::note_quarantine(QuarantinedItem item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantined_.push_back(std::move(item));
+}
+
+void Supervisor::note_resume(ResumePoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resume_points_.push_back(point);
+}
+
+std::vector<RestartRecord> Supervisor::restarts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restarts_;
+}
+
+std::vector<QuarantinedItem> Supervisor::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+std::vector<ResumePoint> Supervisor::resume_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resume_points_;
+}
+
+std::string Supervisor::render() const {
+  std::vector<RestartRecord> restarts;
+  std::vector<QuarantinedItem> quarantined;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    restarts = restarts_;
+    quarantined = quarantined_;
+  }
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "recovery: %zu shard restarts, %zu items quarantined; "
+                "snapshots: %zu homes, %zu puts, %zu bytes held\n",
+                restarts.size(), quarantined.size(), store_.home_count(),
+                store_.puts(), store_.total_bytes());
+  std::string out = line;
+  for (const QuarantinedItem& q : quarantined) {
+    std::snprintf(line, sizeof(line),
+                  "  quarantined: home %u item %llu at t=%.3f (%s)\n", q.home,
+                  static_cast<unsigned long long>(q.ordinal), q.ts,
+                  q.error.c_str());
+    out += line;
+  }
+  return out;
+}
+
+ShardSupervisor::ShardSupervisor(std::size_t shard_index, Supervisor* fleet,
+                                 std::vector<HomeSpec> specs,
+                                 core::HumannessVerifier humanness)
+    : shard_index_(shard_index),
+      fleet_(fleet),
+      specs_(std::move(specs)),
+      humanness_(std::move(humanness)),
+      injector_(fleet->config().fault) {}
+
+void ShardSupervisor::attach(telemetry::Sink* sink) {
+  sink_ = sink;
+  auto& m = sink->metrics;
+  tm_restarts_ = &m.counter("fleet.shard_restarts");
+  tm_quarantined_ = &m.counter("fleet.items_quarantined");
+  tm_snapshots_ = &m.counter("fleet.snapshots_taken");
+  tm_snapshots_rejected_ = &m.counter("fleet.snapshots_rejected");
+  tm_restores_warm_ = &m.counter("fleet.restores_warm");
+  tm_restores_cold_ = &m.counter("fleet.restores_cold");
+  tm_gap_items_ = &m.counter("fleet.recovery_gap_items");
+  tm_snapshot_bytes_ = &m.histogram("fleet.snapshot_bytes");
+  tm_snapshot_seconds_ =
+      &m.histogram("fleet.snapshot_seconds", telemetry::Domain::kWall);
+  tm_restore_seconds_ =
+      &m.histogram("fleet.restore_seconds", telemetry::Domain::kWall);
+}
+
+ShardSupervisor::HomeState& ShardSupervisor::state_of(HomeId home) {
+  return homes_[home];
+}
+
+void ShardSupervisor::apply_to_home(Home& home, const FleetItem& item) {
+  switch (item.kind) {
+    case FleetItem::Kind::kPacket:
+      home.proxy().process(item.pkt);
+      break;
+    case FleetItem::Kind::kProof:
+      home.proxy().on_auth_payload(item.client_id, item.payload, item.ts);
+      break;
+  }
+}
+
+void ShardSupervisor::process(Shard& shard, const FleetItem& item) {
+  // HomeState nodes live in a std::map: the reference stays valid across the
+  // restart path below, which inserts no new homes.
+  HomeState& st = state_of(item.home);
+  std::uint64_t ordinal = st.processed + 1;
+  ++shard_items_;
+  for (;;) {
+    try {
+      injector_.on_item(item.home, ordinal, shard_items_);
+      shard.process(item);
+      st.processed = ordinal;
+      // Journal AFTER success: replay can never re-execute a crash.
+      if (fleet_->config().journal) st.journal.emplace_back(ordinal, item);
+      maybe_snapshot(shard, item);
+      return;
+    } catch (const std::exception& e) {
+      // Attempts are keyed by (home, ordinal), not item identity: a lossy
+      // restore rewinds ordinals, and a poison ordinal must keep
+      // accumulating attempts across rewinds to converge on quarantine.
+      int attempts = ++attempts_[{item.home, ordinal}];
+      bool quarantine = attempts >= fleet_->config().max_attempts;
+      restart_shard(shard, item, ordinal, quarantine, e.what());
+      if (quarantine) {
+        // Consume the poison ordinal without applying (or journaling) the
+        // item, then move on instead of crash-looping.
+        st.processed = ordinal;
+        ++quarantined_;
+        if (tm_quarantined_) tm_quarantined_->inc();
+        fleet_->note_quarantine({item.home, ordinal, item.ts, e.what()});
+        return;
+      }
+      // Transient (or not-yet-exhausted) crash: retry the same item against
+      // the restored state.
+    }
+  }
+}
+
+void ShardSupervisor::maybe_snapshot(Shard& shard, const FleetItem& item) {
+  double every = fleet_->config().snapshot_every;
+  if (every <= 0.0) return;
+  HomeState& st = state_of(item.home);
+  if (item.ts - st.last_snapshot_ts < every) return;
+  Home* home = shard.find_home(item.home);
+  if (home) take_snapshot(*home, item.ts);
+}
+
+void ShardSupervisor::take_snapshot(Home& home, double sim_ts) {
+  auto t0 = std::chrono::steady_clock::now();
+  util::Bytes blob = core::encode_proxy_state(home.proxy(), home.id());
+  HomeState& st = state_of(home.id());
+  if (tm_snapshot_bytes_) {
+    tm_snapshot_bytes_->record(static_cast<double>(blob.size()));
+  }
+  fleet_->store().put(home.id(), st.processed, sim_ts, std::move(blob));
+  // The snapshot now covers everything the journal held.
+  st.journal.clear();
+  st.last_snapshot_ts = sim_ts;
+  ++snapshots_taken_;
+  if (tm_snapshots_) tm_snapshots_->inc();
+  if (tm_snapshot_seconds_) {
+    tm_snapshot_seconds_->record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  if (sink_ && sink_->trace.enabled()) {
+    telemetry::TraceSpan span;
+    span.name = "snapshot";
+    span.category = "fleet.recovery";
+    span.start = sim_ts;
+    span.home = home.id();
+    span.track = "supervisor";
+    sink_->trace.record(std::move(span));
+  }
+}
+
+void ShardSupervisor::restart_shard(Shard& shard, const FleetItem& crash_item,
+                                    std::uint64_t crash_ordinal,
+                                    bool quarantining,
+                                    const std::string& error) {
+  auto t0 = std::chrono::steady_clock::now();
+  ++restarts_;
+  if (tm_restarts_) tm_restarts_->inc();
+  const RecoveryConfig& cfg = fleet_->config();
+
+  std::vector<Home> rebuilt;
+  rebuilt.reserve(specs_.size());
+  for (const HomeSpec& spec : specs_) {
+    HomeState& st = state_of(spec.id);
+    std::uint64_t before = st.processed;
+    Home home(spec, humanness_);
+    bool warm = false;
+    std::uint64_t resume = 0;
+    if (!cfg.cold_restart) {
+      if (auto rec = fleet_->store().latest(spec.id)) {
+        core::CodecStatus status =
+            core::decode_proxy_state(home.proxy(), rec->blob, spec.id);
+        if (status == core::CodecStatus::kOk) {
+          warm = true;
+          resume = rec->ordinal;
+        } else {
+          // Rejected snapshot (corrupt / truncated / skewed / misdirected):
+          // the decode may have half-mutated the proxy, so rebuild once more
+          // and fall through to the cold path.
+          if (tm_snapshots_rejected_) tm_snapshots_rejected_->inc();
+          home = Home(spec, humanness_);
+        }
+      }
+    }
+    // Size the hole this restore leaves BEFORE deciding on bootstrap
+    // forcing: items processed before the crash that neither the snapshot
+    // nor the journal can reproduce (a crash before the first snapshot
+    // with journaling on is fully covered — ordinal 1 onward).
+    std::uint64_t journal_reach = resume;
+    std::uint64_t journal_holes = 0;
+    for (const auto& [ord, journaled] : st.journal) {
+      if (ord <= journal_reach) continue;
+      journal_holes += ord - journal_reach - 1;
+      journal_reach = ord;
+    }
+    std::uint64_t lost =
+        (before > journal_reach ? before - journal_reach : 0) + journal_holes;
+    if (!warm && lost > 0 &&
+        spec.proxy.degraded_policy == core::FailPolicy::kFailClosed) {
+      // Lossy restart under fail-closed: re-running bootstrap on attack-
+      // reachable traffic would re-open the 20-minute allow-all window, so
+      // the rebuilt proxy starts strict (the cost — transient lockouts — is
+      // exactly what bench_recovery quantifies). When the journal covers
+      // the full gap the replay reconstructs bootstrap state exactly, so
+      // forcing would needlessly diverge from the uninterrupted run.
+      home.proxy().force_bootstrap_elapsed(crash_item.ts);
+    }
+    for (const auto& [ord, journaled] : st.journal) {
+      if (ord <= resume) continue;
+      apply_to_home(home, journaled);
+      resume = ord;
+    }
+    if (tm_gap_items_ && lost > 0) tm_gap_items_->inc(lost);
+    if (auto* c = warm ? tm_restores_warm_ : tm_restores_cold_) c->inc();
+    fleet_->note_resume({shard_index_, spec.id, warm, resume, lost,
+                         home.proxy().decision_log().size()});
+    st.processed = resume;
+    rebuilt.push_back(std::move(home));
+  }
+  shard.adopt_homes(std::move(rebuilt));
+
+  if (tm_restore_seconds_) {
+    tm_restore_seconds_->record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  if (sink_ && sink_->trace.enabled()) {
+    telemetry::TraceSpan span;
+    span.name = quarantining ? "quarantine-restart" : "restart";
+    span.category = "fleet.recovery";
+    span.start = crash_item.ts;
+    span.home = crash_item.home;
+    span.track = "supervisor";
+    span.args = {{"error", error}};
+    sink_->trace.record(std::move(span));
+  }
+  fleet_->note_restart({shard_index_, crash_item.home, crash_ordinal,
+                        crash_item.ts, quarantining, error});
+}
+
+}  // namespace fiat::fleet

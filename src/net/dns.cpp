@@ -1,6 +1,8 @@
 #include "net/dns.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -158,6 +160,31 @@ std::optional<std::string> DnsTable::domain_of(Ipv4Addr addr) const {
   auto it = map_.find(addr);
   if (it == map_.end()) return std::nullopt;
   return it->second;
+}
+
+void DnsTable::encode_state(util::ByteWriter& w) const {
+  std::vector<std::pair<std::uint32_t, const std::string*>> entries;
+  entries.reserve(map_.size());
+  for (const auto& [ip, name] : map_) entries.emplace_back(ip.value(), &name);
+  std::sort(entries.begin(), entries.end());
+  w.u32be(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [ip, name] : entries) {
+    w.u32be(ip);
+    w.u32be(static_cast<std::uint32_t>(name->size()));
+    w.raw(*name);
+  }
+  w.u64be(generation_);
+}
+
+void DnsTable::decode_state(util::ByteReader& r) {
+  map_.clear();
+  std::uint32_t count = r.u32be();
+  map_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Ipv4Addr ip(r.u32be());
+    map_[ip] = r.str(r.u32be());
+  }
+  generation_ = r.u64be();
 }
 
 std::string ReverseResolver::resolve(Ipv4Addr addr) const {

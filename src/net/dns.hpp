@@ -76,6 +76,12 @@ class DnsTable {
   /// in-trace DNS responses while traffic flows.
   std::uint64_t generation() const { return generation_; }
 
+  /// State-codec hooks (core/state_codec.hpp): canonical serialization of the
+  /// learned table, sorted by IP so the byte stream is independent of
+  /// observation order within a snapshot round trip.
+  void encode_state(util::ByteWriter& w) const;
+  void decode_state(util::ByteReader& r);
+
  private:
   std::unordered_map<Ipv4Addr, std::string, Ipv4AddrHash> map_;
   std::uint64_t generation_ = 0;

@@ -95,7 +95,8 @@ std::size_t read_pcap(const std::string& path,
 
   std::size_t count = 0;
   std::uint8_t rec_hdr[16];
-  while (std::fread(rec_hdr, 1, 16, f) == 16) {
+  std::size_t hdr_read;
+  while ((hdr_read = std::fread(rec_hdr, 1, 16, f)) == 16) {
     util::ByteReader rr({rec_hdr, 16});
     std::uint32_t secs = rr.u32le();
     std::uint32_t usecs = rr.u32le();
@@ -118,6 +119,10 @@ std::size_t read_pcap(const std::string& path,
     sink(pkt);
     ++count;
   }
+  // A clean capture ends exactly on a record boundary. A partial record
+  // header means the file was cut mid-write (or crafted); silently treating
+  // it as EOF would hide data loss, so reject like any other truncation.
+  if (hdr_read != 0) throw ParseError("pcap: truncated record header");
   return count;
 }
 

@@ -112,4 +112,42 @@ void corrupt_bytes(std::vector<std::uint8_t>& data, Rng& rng) {
   }
 }
 
+ShardFaultPlan ShardFaultPlan::crash_once_at(std::uint64_t item) {
+  ShardFaultPlan plan;
+  plan.kind = Kind::kCrashOnce;
+  plan.at_item = item;
+  return plan;
+}
+
+ShardFaultPlan ShardFaultPlan::crash_home_at(std::uint32_t home,
+                                             std::uint64_t item) {
+  ShardFaultPlan plan = crash_once_at(item);
+  plan.per_home = true;
+  plan.home = home;
+  return plan;
+}
+
+ShardFaultPlan ShardFaultPlan::poison(std::uint32_t home, std::uint64_t item) {
+  ShardFaultPlan plan;
+  plan.kind = Kind::kPoison;
+  plan.at_item = item;
+  plan.per_home = true;
+  plan.home = home;
+  return plan;
+}
+
+void ShardFaultInjector::on_item(std::uint32_t home, std::uint64_t home_ordinal,
+                                 std::uint64_t shard_ordinal) {
+  if (!plan_.active()) return;
+  if (plan_.kind == ShardFaultPlan::Kind::kCrashOnce && latched_) return;
+  std::uint64_t ordinal = plan_.per_home ? home_ordinal : shard_ordinal;
+  if (plan_.per_home && home != plan_.home) return;
+  if (ordinal != plan_.at_item) return;
+  ++fired_;
+  if (plan_.kind == ShardFaultPlan::Kind::kCrashOnce) latched_ = true;
+  throw InjectedCrash("injected shard crash at item " +
+                      std::to_string(plan_.at_item) +
+                      (plan_.per_home ? " of home " + std::to_string(home) : ""));
+}
+
 }  // namespace fiat::sim

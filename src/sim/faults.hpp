@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -126,5 +128,72 @@ class FaultInjector {
 
 /// Flips 1-4 random bytes of `data` in place (no-op on empty payloads).
 void corrupt_bytes(std::vector<std::uint8_t>& data, Rng& rng);
+
+// ---- shard-abort faults -----------------------------------------------------
+//
+// Crash injection for the fleet runtime's supervision layer. Unlike the
+// datagram faults above, these are not probabilistic: a plan names the exact
+// item ordinal at which the worker throws, so a recovery scenario is
+// reproducible without an Rng and identical across shard counts (per-home
+// ordinals do not depend on how homes are packed onto shards).
+
+/// Thrown by ShardFaultInjector to simulate a shard worker crash (a proxy
+/// bug, a poisoned input, an OOM kill...). The supervisor treats any
+/// exception escaping item processing the same way; this type only exists so
+/// tests can tell injected crashes from real ones.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Declarative crash plan for one shard worker. Ordinals are 1-based counts
+/// of items entering processing; `per_home` counts only the target home's
+/// items (stable across shard counts), otherwise the shard-global item count
+/// is used.
+struct ShardFaultPlan {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kCrashOnce,  // throw once at the ordinal, then never again (transient)
+    kPoison,     // throw EVERY time the ordinal comes up (deterministic
+                 // poison item: retries re-crash until quarantined)
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint64_t at_item = 0;  // 1-based; 0 disables the plan
+  bool per_home = false;
+  std::uint32_t home = 0;  // target home when per_home
+
+  bool active() const { return kind != Kind::kNone && at_item > 0; }
+
+  static ShardFaultPlan none() { return {}; }
+  /// Transient crash at the shard-global Nth item.
+  static ShardFaultPlan crash_once_at(std::uint64_t item);
+  /// Transient crash at home `home`'s Nth item.
+  static ShardFaultPlan crash_home_at(std::uint32_t home, std::uint64_t item);
+  /// Deterministic poison: home `home`'s Nth item crashes on every attempt.
+  static ShardFaultPlan poison(std::uint32_t home, std::uint64_t item);
+};
+
+/// Per-shard mutable crash state. Owned by the shard's supervisor and — like
+/// every per-home structure — touched only by the worker thread. The
+/// kCrashOnce latch survives recovery: a restarted worker must not re-fire a
+/// transient crash even though lossy recovery can rewind item ordinals.
+class ShardFaultInjector {
+ public:
+  explicit ShardFaultInjector(ShardFaultPlan plan = {}) : plan_(plan) {}
+
+  /// Consulted once per item before processing; throws InjectedCrash when
+  /// the plan fires for (home, home_ordinal, shard_ordinal).
+  void on_item(std::uint32_t home, std::uint64_t home_ordinal,
+               std::uint64_t shard_ordinal);
+
+  const ShardFaultPlan& plan() const { return plan_; }
+  std::size_t fired() const { return fired_; }
+
+ private:
+  ShardFaultPlan plan_;
+  bool latched_ = false;  // kCrashOnce already fired
+  std::size_t fired_ = 0;
+};
 
 }  // namespace fiat::sim

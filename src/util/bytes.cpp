@@ -1,5 +1,7 @@
 #include "util/bytes.hpp"
 
+#include <bit>
+
 #include "util/error.hpp"
 
 namespace fiat::util {
@@ -37,6 +39,8 @@ void ByteWriter::u64le(std::uint64_t v) {
   u32le(static_cast<std::uint32_t>(v));
   u32le(static_cast<std::uint32_t>(v >> 32));
 }
+
+void ByteWriter::f64be(double v) { u64be(std::bit_cast<std::uint64_t>(v)); }
 
 void ByteWriter::raw(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
@@ -118,6 +122,8 @@ std::uint64_t ByteReader::u64le() {
   std::uint64_t hi = u32le();
   return (hi << 32) | lo;
 }
+
+double ByteReader::f64be() { return std::bit_cast<double>(u64be()); }
 
 std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
   require(n);

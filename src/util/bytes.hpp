@@ -28,6 +28,9 @@ class ByteWriter {
   void u16le(std::uint16_t v);
   void u32le(std::uint32_t v);
   void u64le(std::uint64_t v);
+  /// IEEE-754 double as its big-endian bit pattern: exact round-trips (state
+  /// snapshots must re-serialize byte-identically, so no decimal detour).
+  void f64be(double v);
   void raw(std::span<const std::uint8_t> data);
   void raw(std::string_view data);
   /// Appends `n` copies of `fill`.
@@ -58,6 +61,7 @@ class ByteReader {
   std::uint16_t u16le();
   std::uint32_t u32le();
   std::uint64_t u64le();
+  double f64be();
   /// Returns a view of the next `n` bytes and advances.
   std::span<const std::uint8_t> raw(std::size_t n);
   std::string str(std::size_t n);

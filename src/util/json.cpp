@@ -202,9 +202,10 @@ class JsonScanner {
   }
 
   bool object() {
+    if (++depth_ > kMaxDepth) return error_out("nesting depth limit exceeded");
     ++pos_;  // '{'
     skip_ws();
-    if (eat('}')) return true;
+    if (eat('}')) return --depth_, true;
     while (true) {
       skip_ws();
       if (pos_ >= text_.size() || text_[pos_] != '"') {
@@ -216,20 +217,21 @@ class JsonScanner {
       skip_ws();
       if (!value()) return false;
       skip_ws();
-      if (eat('}')) return true;
+      if (eat('}')) return --depth_, true;
       if (!eat(',')) return error_out("expected ',' or '}' in object");
     }
   }
 
   bool array() {
+    if (++depth_ > kMaxDepth) return error_out("nesting depth limit exceeded");
     ++pos_;  // '['
     skip_ws();
-    if (eat(']')) return true;
+    if (eat(']')) return --depth_, true;
     while (true) {
       skip_ws();
       if (!value()) return false;
       skip_ws();
-      if (eat(']')) return true;
+      if (eat(']')) return --depth_, true;
       if (!eat(',')) return error_out("expected ',' or ']' in array");
     }
   }
@@ -298,8 +300,14 @@ class JsonScanner {
     return true;
   }
 
+  /// Containers are parsed by recursion, so attacker-supplied input like
+  /// "[[[[..." converts directly into C++ stack frames. Cap the nesting well
+  /// below any real stack limit and reject, instead of overflowing.
+  static constexpr int kMaxDepth = 128;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string reason_;
 };
 

@@ -53,8 +53,10 @@ class Json {
 
 /// Strict validation of one complete JSON document (RFC 8259: one top-level
 /// value, no trailing content). On failure, `error` (when non-null) receives
-/// a byte offset + reason. No external dependencies — this is what the CI
-/// smoke validator and the telemetry export tests run on emitted files.
+/// a byte offset + reason. Container nesting deeper than 128 levels is
+/// rejected rather than recursed into (stack-overflow guard for untrusted
+/// input). No external dependencies — this is what the CI smoke validator
+/// and the telemetry export tests run on emitted files.
 bool json_valid(std::string_view text, std::string* error = nullptr);
 
 /// Writes `json.dump()` + trailing newline to `path`. Returns false when the

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/humanness.hpp"
@@ -93,6 +94,38 @@ TEST(BoundedQueue, PushBatchShedsTailUnderShed) {
   EXPECT_EQ(q.push_batch(batch), 3u);
   EXPECT_TRUE(batch.empty());
   EXPECT_EQ(q.stats().shed, 2u);
+}
+
+TEST(BoundedQueue, CloseRacingBlockedPushBatchReleasesProducer) {
+  // Regression companion to CloseReleasesBlockedProducer for the batch path:
+  // the producer is parked on not_full_ partway through a batch when close()
+  // lands. It must wake, count the unpushed tail as shed-on-close, and
+  // return the partial count — under TSan this also proves the closed-flag
+  // handoff is properly ordered. A hang trips the ctest TIMEOUT.
+  BoundedQueue<int> q(2, FullPolicy::kBlock);
+  std::vector<int> batch{0, 1, 2, 3, 4, 5, 6};
+  std::size_t accepted = batch.size() + 1;
+  std::thread producer([&] { accepted = q.push_batch(batch); });
+  // Let the producer fill the queue and block mid-batch.
+  while (q.stats().pushed < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+
+  EXPECT_LT(accepted, 7u);
+  auto stats = q.stats();
+  EXPECT_EQ(stats.pushed, accepted);
+  EXPECT_EQ(stats.shed_on_close, 7u - accepted);
+  // Drain semantics still hold for the accepted prefix.
+  std::vector<int> got;
+  while (q.pop_wait(got)) {
+  }
+  EXPECT_EQ(got.size(), accepted);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], static_cast<int>(i));
+  }
 }
 
 TEST(BoundedQueue, PushBatchLargerThanCapacityDoesNotDeadlock) {
@@ -323,8 +356,12 @@ TEST(FleetStats, RenderShowsShedOnCloseAndDiscardColumns) {
   s0.queue_shed = 5;
   s0.queue_shed_on_close = 7;
   s0.discarded = 19;
+  s0.restarts = 3;
+  s0.quarantined = 2;
   s0.queue_high_water = 11;
   s0.busy_seconds = 1.0;
+  stats.restarts = 3;
+  stats.quarantined = 2;
   stats.shards.push_back(s0);
   stats.shards.push_back(ShardStats{});
 
@@ -335,6 +372,10 @@ TEST(FleetStats, RenderShowsShedOnCloseAndDiscardColumns) {
   EXPECT_LT(table.find("shed "), table.find("shed-cls"));
   EXPECT_LT(table.find("shed-cls"), table.find("discard"));
   EXPECT_LT(table.find("discard"), table.find("high-water"));
+  // Supervisor columns sit between discard and high-water.
+  EXPECT_LT(table.find("discard"), table.find("restart"));
+  EXPECT_LT(table.find("restart"), table.find("quar"));
+  EXPECT_LT(table.find("quar"), table.find("high-water"));
   // Shard 0's row carries the values in column order.
   auto row = table.substr(table.find('\n') + 1);
   row = row.substr(0, row.find('\n'));
@@ -344,6 +385,8 @@ TEST(FleetStats, RenderShowsShedOnCloseAndDiscardColumns) {
   // Totals line keeps the aggregate accounting.
   EXPECT_NE(table.find("7 shed-on-close"), std::string::npos);
   EXPECT_NE(table.find("19 discarded"), std::string::npos);
+  EXPECT_NE(table.find("3 restarts"), std::string::npos);
+  EXPECT_NE(table.find("2 quarantined"), std::string::npos);
 }
 
 TEST(FleetEngine, AbortNeverDeadlocksAgainstFullPipeline) {
@@ -389,6 +432,33 @@ TEST(FleetEngine, StopIsIdempotentAndStatsRequireStop) {
   engine.drain();  // no-op
   engine.abort();  // no-op after drain
   EXPECT_TRUE(engine.stopped());
+}
+
+TEST(Shard, StatsAndTelemetryThrowWhileWorkerRuns) {
+  // Regression for the "only consistent after stop()" footgun: stats() and
+  // telemetry() on a started-but-not-stopped shard used to silently return
+  // torn, racy values. They now throw until the worker is joined.
+  auto scenario = make_fleet_scenario(small_scenario_config());
+  std::vector<Home> homes;
+  homes.emplace_back(scenario.homes[0], shared_humanness());
+  Shard shard(std::move(homes), /*queue_capacity=*/64, FullPolicy::kBlock);
+
+  // Quiescent before start: reads are safe and allowed.
+  EXPECT_EQ(shard.stats().packets, 0u);
+  shard.telemetry();
+
+  shard.start();
+  EXPECT_THROW(shard.stats(), LogicError);
+  EXPECT_THROW(shard.telemetry(), LogicError);
+  EXPECT_THROW(std::as_const(shard).telemetry(), LogicError);
+
+  for (const auto& item : scenario.items) {
+    if (item.home == scenario.homes[0].id) shard.queue().push(item);
+  }
+  shard.stop(/*drain=*/true);
+  // Joined: reads are consistent again.
+  EXPECT_GT(shard.stats().packets, 0u);
+  shard.telemetry();
 }
 
 TEST(FleetEngine, RejectsDuplicateHomeIdsAndZeroShards) {

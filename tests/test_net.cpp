@@ -2,7 +2,9 @@
 // pcap round-trips, DNS codec and tables.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 #include <filesystem>
 
 #include "net/checksum.hpp"
@@ -222,6 +224,28 @@ class PcapTest : public ::testing::Test {
                        ("fiat_test_" + std::to_string(::getpid()) + ".pcap"))
                           .string();
   void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<std::uint8_t> read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<std::uint8_t> out;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out.insert(out.end(), buf, buf + n);
+    }
+    std::fclose(f);
+    return out;
+  }
+
+  void write_file(const std::string& path, const std::vector<std::uint8_t>& data) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    // data() is null for an empty vector; fwrite's pointer is declared
+    // nonnull, so the zero-length truncation case must skip the call.
+    if (!data.empty()) std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+  }
 };
 
 TEST_F(PcapTest, WriteReadRoundTrip) {
@@ -298,6 +322,71 @@ TEST_F(PcapTest, NegativeTimestampRejected) {
   PcapWriter writer(path_);
   auto frame = build_frame(sample_spec(Transport::kTcp));
   EXPECT_THROW(writer.write(-1.0, frame), LogicError);
+}
+
+TEST_F(PcapTest, TruncatedRecordHeaderRejected) {
+  // A file cut mid-record-header used to read as a clean EOF, silently
+  // hiding the data loss. Every partial-header length (1..15 trailing
+  // bytes) must now be rejected as truncation.
+  {
+    PcapWriter writer(path_);
+    writer.write(1.0, build_frame(sample_spec(Transport::kTcp)));
+  }
+  std::vector<std::uint8_t> file = read_file(path_);
+  for (std::size_t extra = 1; extra < 16; ++extra) {
+    auto cut = file;
+    cut.insert(cut.end(), extra, 0x41);
+    write_file(path_, cut);
+    EXPECT_THROW(read_pcap(path_), ParseError) << extra << " trailing bytes";
+  }
+  // Sanity: the untouched file still parses, with the full record.
+  write_file(path_, file);
+  EXPECT_EQ(read_pcap(path_).size(), 1u);
+}
+
+TEST_F(PcapTest, OversizedCaplenRejected) {
+  // Craft a record header whose caplen claims ~4 GiB: the reader must refuse
+  // to allocate rather than trust it.
+  {
+    PcapWriter writer(path_);
+    writer.write(1.0, build_frame(sample_spec(Transport::kTcp)));
+  }
+  std::vector<std::uint8_t> file = read_file(path_);
+  auto patch_caplen = [&](std::uint32_t caplen) {
+    auto bad = file;
+    for (int i = 0; i < 4; ++i) {
+      bad[24 + 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(caplen >> (8 * i));  // u32le at offset 32
+    }
+    write_file(path_, bad);
+  };
+  patch_caplen(0xfffffff0u);
+  EXPECT_THROW(read_pcap(path_), ParseError);
+  // A merely-too-large claim (bigger than the bytes that follow) is a
+  // truncated record, not an EOF.
+  patch_caplen(64 * 1024);
+  EXPECT_THROW(read_pcap(path_), ParseError);
+}
+
+TEST_F(PcapTest, TruncationFuzzNeverCrashes) {
+  // Cut a two-record capture at every byte offset: each prefix either
+  // parses some whole records or throws ParseError — never crashes, never
+  // fabricates a packet.
+  {
+    PcapWriter writer(path_);
+    writer.write(1.0, build_frame(sample_spec(Transport::kTcp)));
+    writer.write(2.0, build_frame(sample_spec(Transport::kUdp)));
+  }
+  std::vector<std::uint8_t> file = read_file(path_);
+  for (std::size_t cut = 0; cut <= file.size(); ++cut) {
+    write_file(path_, {file.begin(), file.begin() + static_cast<long>(cut)});
+    try {
+      auto packets = read_pcap(path_);
+      EXPECT_LE(packets.size(), 2u) << "cut at " << cut;
+    } catch (const ParseError&) {
+      // expected for torn prefixes
+    }
+  }
 }
 
 // ---- DNS --------------------------------------------------------------------------

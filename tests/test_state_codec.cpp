@@ -1,0 +1,253 @@
+// Durable-state codec suite (DESIGN.md §11): canonical round-trip
+// byte-identity, mid-stream snapshot/restore equivalence, and the hostile
+// bytes-from-disk corruption matrix. These are the properties the fleet
+// supervisor's warm-restart path stands on, so they are pinned here against
+// a real learned proxy (scenario traffic through bootstrap and beyond), not
+// a toy fixture.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/proxy.hpp"
+#include "core/report.hpp"
+#include "core/state_codec.hpp"
+#include "crypto/replay_cache.hpp"
+#include "crypto/sha256.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "fleet/home.hpp"
+#include "util/bytes.hpp"
+
+using namespace fiat;
+
+namespace {
+
+struct Workload {
+  fleet::HomeSpec spec;
+  core::HumannessVerifier humanness;
+  std::vector<fleet::FleetItem> items;  // this home's stream, in order
+};
+
+Workload make_workload(bool legacy_keys) {
+  fleet::FleetScenarioConfig config;
+  config.homes = 3;
+  config.devices_per_home = 2;
+  config.duration_days = 0.015;  // ~21.6 min: leaves the 600 s bootstrap
+  config.legacy_keys = legacy_keys;
+  auto scenario = fleet::make_fleet_scenario(config);
+
+  Workload w{scenario.homes[1],
+             core::HumannessVerifier::train_synthetic(config.seed),
+             {}};
+  for (auto& item : scenario.items) {
+    if (item.home == w.spec.id) w.items.push_back(std::move(item));
+  }
+  EXPECT_GT(w.items.size(), 200u);
+  return w;
+}
+
+void apply(core::FiatProxy& proxy, const fleet::FleetItem& item) {
+  if (item.kind == fleet::FleetItem::Kind::kPacket) {
+    proxy.process(item.pkt);
+  } else {
+    proxy.on_auth_payload(item.client_id, item.payload, item.ts);
+  }
+}
+
+util::Bytes drive_and_encode(const Workload& w, std::size_t until) {
+  core::FiatProxy proxy = fleet::make_home_proxy(w.spec, w.humanness);
+  for (std::size_t i = 0; i < until; ++i) apply(proxy, w.items[i]);
+  return core::encode_proxy_state(proxy, w.spec.id);
+}
+
+class StateCodecRoundTrip : public ::testing::TestWithParam<bool> {};
+
+// encode -> decode into a fresh spec-built proxy -> encode again must be
+// byte-identical: decoding reconstructs every serialized structure exactly,
+// and serialization is canonical (container iteration order cannot leak in).
+TEST_P(StateCodecRoundTrip, EncodeDecodeEncodeIsByteIdentical) {
+  Workload w = make_workload(/*legacy_keys=*/GetParam());
+  auto blob = drive_and_encode(w, w.items.size());
+
+  core::FiatProxy restored = fleet::make_home_proxy(w.spec, w.humanness);
+  ASSERT_EQ(core::decode_proxy_state(restored, blob, w.spec.id),
+            core::CodecStatus::kOk);
+  auto blob2 = core::encode_proxy_state(restored, w.spec.id);
+  EXPECT_EQ(blob, blob2);
+}
+
+// Snapshot mid-stream, restore into a fresh proxy, replay the tail on both:
+// verdict log, counters, report, and re-encoded state must all agree. This
+// is exactly the supervisor's warm-restart path run by hand.
+TEST_P(StateCodecRoundTrip, MidStreamSplitIsEquivalent) {
+  Workload w = make_workload(/*legacy_keys=*/GetParam());
+  const std::size_t split = w.items.size() / 2;
+
+  core::FiatProxy uninterrupted = fleet::make_home_proxy(w.spec, w.humanness);
+  for (std::size_t i = 0; i < split; ++i) apply(uninterrupted, w.items[i]);
+  auto blob = core::encode_proxy_state(uninterrupted, w.spec.id);
+
+  core::FiatProxy restored = fleet::make_home_proxy(w.spec, w.humanness);
+  ASSERT_EQ(core::decode_proxy_state(restored, blob, w.spec.id),
+            core::CodecStatus::kOk);
+
+  for (std::size_t i = split; i < w.items.size(); ++i) {
+    apply(uninterrupted, w.items[i]);
+    apply(restored, w.items[i]);
+  }
+  uninterrupted.flush_events();
+  restored.flush_events();
+
+  EXPECT_EQ(core::encode_proxy_state(uninterrupted, w.spec.id),
+            core::encode_proxy_state(restored, w.spec.id));
+  ASSERT_EQ(uninterrupted.decision_log().size(), restored.decision_log().size());
+  EXPECT_EQ(core::build_security_report(uninterrupted).render(),
+            core::build_security_report(restored).render());
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, StateCodecRoundTrip, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "legacy" : "packed";
+                         });
+
+// A snapshot taken under one key mode must not silently restore into a
+// proxy running the other: the payload validator rejects it and the caller
+// cold-starts.
+TEST(StateCodec, KeyModeMismatchIsRejected) {
+  Workload legacy = make_workload(/*legacy_keys=*/true);
+  auto blob = drive_and_encode(legacy, legacy.items.size() / 2);
+
+  Workload packed = make_workload(/*legacy_keys=*/false);
+  ASSERT_EQ(legacy.spec.id, packed.spec.id);
+  core::FiatProxy proxy = fleet::make_home_proxy(packed.spec, packed.humanness);
+  EXPECT_EQ(core::decode_proxy_state(proxy, blob, packed.spec.id),
+            core::CodecStatus::kBadPayload);
+}
+
+TEST(StateCodec, ReplayCacheRoundTrip) {
+  crypto::ReplayCache cache(120.0, 64);
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    cache.check_and_insert(0x9e3779b97f4a7c15ull * n, 3.0 * static_cast<double>(n));
+  }
+  auto blob = core::encode_replay_cache(cache);
+
+  crypto::ReplayCache restored;
+  ASSERT_EQ(core::decode_replay_cache(restored, blob), core::CodecStatus::kOk);
+  EXPECT_EQ(core::encode_replay_cache(restored), blob);
+  EXPECT_EQ(restored.size(), cache.size());
+  // Replay protection carries across the restore: a nonce the old cache
+  // already saw is still a duplicate in the new one.
+  EXPECT_FALSE(restored.check_and_insert(0x9e3779b97f4a7c15ull * 40, 121.0));
+}
+
+TEST(StateCodec, PacketRecordCodecRoundTrips) {
+  net::PacketRecord pkt;
+  pkt.ts = 12345.6789;
+  pkt.size = 1337;
+  pkt.src_ip = net::Ipv4Addr::parse("192.168.1.23");
+  pkt.dst_ip = net::Ipv4Addr::parse("8.8.4.4");
+  pkt.src_port = 49152;
+  pkt.dst_port = 443;
+  pkt.proto = net::Transport::kTcp;
+  pkt.tcp_flags = 0x18;
+  pkt.tls_version = 0x0303;
+
+  util::ByteWriter w;
+  core::write_packet_record(w, pkt);
+  util::ByteReader r(w.bytes());
+  net::PacketRecord back = core::read_packet_record(r);
+  EXPECT_TRUE(r.done());
+
+  util::ByteWriter w2;
+  core::write_packet_record(w2, back);
+  EXPECT_EQ(w.bytes(), w2.bytes());
+}
+
+// ---- corruption matrix ------------------------------------------------------
+//
+// Every way a snapshot can rot on disk maps to a precise non-throwing
+// diagnosis, and decode_proxy_state never reports kOk for any of them.
+
+class StateCodecCorruption : public ::testing::Test {
+ protected:
+  core::CodecStatus decode_into_fresh(const util::Bytes& blob) {
+    core::FiatProxy proxy = fleet::make_home_proxy(w_.spec, w_.humanness);
+    return core::decode_proxy_state(proxy, blob, w_.spec.id);
+  }
+
+  Workload w_ = make_workload(/*legacy_keys=*/false);
+  util::Bytes blob_ = drive_and_encode(w_, w_.items.size() / 2);
+};
+
+TEST_F(StateCodecCorruption, BitFlipsAreCorrupt) {
+  // Flip one bit at a spread of offsets across header, payload and checksum.
+  for (std::size_t pos : {std::size_t{8}, blob_.size() / 3, blob_.size() / 2,
+                          blob_.size() - 3}) {
+    util::Bytes bad = blob_;
+    bad[pos] ^= 0x20;
+    auto status = decode_into_fresh(bad);
+    EXPECT_NE(status, core::CodecStatus::kOk) << "flip at " << pos;
+    EXPECT_EQ(status, core::CodecStatus::kCorrupt) << "flip at " << pos;
+  }
+}
+
+TEST_F(StateCodecCorruption, TruncationIsDetected) {
+  for (std::size_t keep : {std::size_t{0}, std::size_t{10},
+                           core::kStateHeaderSize, blob_.size() / 2,
+                           blob_.size() - 1}) {
+    util::Bytes bad(blob_.begin(), blob_.begin() + static_cast<long>(keep));
+    EXPECT_EQ(decode_into_fresh(bad), core::CodecStatus::kTruncated)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST_F(StateCodecCorruption, TrailingGarbageIsDetected) {
+  util::Bytes bad = blob_;
+  bad.push_back(0xab);
+  EXPECT_EQ(decode_into_fresh(bad), core::CodecStatus::kTruncated);
+}
+
+TEST_F(StateCodecCorruption, VersionSkewIsDetectedNotCorrupt) {
+  // Re-seal the same payload with a bumped version and a *valid* checksum:
+  // the diagnosis must be skew, not corruption.
+  std::span<const std::uint8_t> payload(
+      blob_.data() + core::kStateHeaderSize,
+      blob_.size() - core::kStateOverhead);
+  util::ByteWriter w;
+  w.u32be(core::kStateMagic);
+  w.u16be(core::kStateVersion + 1);
+  w.u8(static_cast<std::uint8_t>(core::StateKind::kProxy));
+  w.u8(0);
+  w.u32be(w_.spec.id);
+  w.u64be(payload.size());
+  w.raw(payload);
+  crypto::Digest256 digest = crypto::Sha256::hash(w.bytes());
+  w.raw(std::span<const std::uint8_t>(digest.data(), core::kStateChecksumSize));
+  EXPECT_EQ(decode_into_fresh(w.take()), core::CodecStatus::kVersionSkew);
+}
+
+TEST_F(StateCodecCorruption, WrongHomeIsRejected) {
+  core::FiatProxy proxy = fleet::make_home_proxy(w_.spec, w_.humanness);
+  EXPECT_EQ(core::decode_proxy_state(proxy, blob_, w_.spec.id + 1),
+            core::CodecStatus::kWrongHome);
+}
+
+TEST_F(StateCodecCorruption, KindMismatchIsRejected) {
+  crypto::ReplayCache cache;
+  EXPECT_EQ(core::decode_replay_cache(cache, blob_),
+            core::CodecStatus::kBadPayload);
+}
+
+TEST_F(StateCodecCorruption, GarbageIsBadMagic) {
+  util::Bytes garbage(256, 0x5a);
+  EXPECT_EQ(decode_into_fresh(garbage), core::CodecStatus::kBadMagic);
+}
+
+TEST_F(StateCodecCorruption, EmptyAndTinyBlobsAreTruncated) {
+  EXPECT_EQ(decode_into_fresh({}), core::CodecStatus::kTruncated);
+  util::Bytes tiny(core::kStateOverhead - 1, 0);
+  EXPECT_EQ(decode_into_fresh(tiny), core::CodecStatus::kTruncated);
+}
+
+}  // namespace

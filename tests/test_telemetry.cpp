@@ -262,6 +262,68 @@ TEST(JsonValidator, AcceptsAndRejects) {
   EXPECT_FALSE(util::json_valid(""));
 }
 
+TEST(JsonValidator, DeepNestingIsRejectedNotOverflowed) {
+  // "[[[[..." used to convert directly into parser stack frames; hostile
+  // input could overflow the stack. Depth is now capped at 128: one past the
+  // cap must fail with the depth diagnosis (not crash), the cap itself must
+  // still validate.
+  auto nested = [](std::size_t depth, char open, char close) {
+    std::string s(depth, open);
+    s.append(depth, close);
+    return s;
+  };
+  EXPECT_TRUE(util::json_valid(nested(128, '[', ']')));
+  std::string obj;
+  for (int i = 0; i < 128; ++i) obj += "{\"k\":";
+  obj += "1";
+  obj.append(128, '}');
+  EXPECT_TRUE(util::json_valid(obj));
+
+  std::string error;
+  EXPECT_FALSE(util::json_valid(nested(129, '[', ']'), &error));
+  EXPECT_NE(error.find("depth"), std::string::npos);
+  EXPECT_FALSE(util::json_valid(std::string(100000, '['), &error));
+  // Mixed and object nesting hit the same guard.
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += "{\"k\":[";
+  EXPECT_FALSE(util::json_valid(mixed, &error));
+  // Siblings don't accumulate depth: a wide-but-shallow document is fine.
+  std::string wide = "[";
+  for (int i = 0; i < 500; ++i) wide += "[1],";
+  wide += "[1]]";
+  EXPECT_TRUE(util::json_valid(wide));
+}
+
+TEST(JsonValidator, MalformedInputFuzzNeverCrashes) {
+  // Deterministic fuzz sweep: truncations, bit-flips and char swaps of a
+  // valid document, plus pathological fragments. The only contract is "false
+  // or true, never a crash/throw/overflow".
+  const std::string seed_doc =
+      "{\"homes\": [{\"id\": 1, \"ok\": true, \"v\": -2.5e-3}, null], "
+      "\"s\": \"\\u00e9\\\\n\", \"n\": 0}";
+  ASSERT_TRUE(util::json_valid(seed_doc));
+  for (std::size_t cut = 0; cut < seed_doc.size(); ++cut) {
+    util::json_valid(seed_doc.substr(0, cut));
+    util::json_valid(seed_doc.substr(cut));
+  }
+  std::uint64_t rng = 0x2545F4914F6CDD1Dull;
+  for (int trial = 0; trial < 2000; ++trial) {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    std::string doc = seed_doc;
+    doc[rng % doc.size()] =
+        static_cast<char>((rng >> 8) & 0xff);  // may be NUL / control / UTF-8
+    util::json_valid(doc);
+  }
+  for (const char* frag :
+       {"{", "[", "\"", "\\", "{\"", "[,", "{:1}", "[1,,2]", "tru", "nul",
+        "-", "+1", "1e", "1e+", ".5", "5.", "\"\\u12\"", "\"\\x\"",
+        "\x80\xff", "{\"a\"1}", "[\"\\ud800\"]"}) {
+    util::json_valid(frag);
+  }
+}
+
 TEST(Sink, BundlesRegistryAndTrace) {
   Sink sink(2);
   sink.metrics.counter("c").inc();

@@ -63,6 +63,8 @@ int usage() {
                "             [--capacity C] [--shed] [--no-proofs] [--report-homes H]\n"
                "             [--telemetry-json PATH] [--telemetry-prom PATH]\n"
                "             [--telemetry-wall] [--trace-json PATH] [--trace-capacity T]\n"
+               "             [--snapshot-every SIM_S] [--crash-at ITEM]\n"
+               "             [--crash-home HOME:ITEM]\n"
                "  fiat devices\n");
   return 2;
 }
@@ -210,6 +212,29 @@ int cmd_fleet(const util::Flags& flags) {
   fleet_config.trace_capacity =
       static_cast<std::size_t>(flags.number_or("trace-capacity", 8192.0));
 
+  // Recovery knobs (DESIGN.md §11). Any of the three switches the supervised
+  // item path on; without them the fleet runs the bare hot path.
+  if (flags.has("snapshot-every")) {
+    fleet_config.recovery.enabled = true;
+    fleet_config.recovery.snapshot_every = flags.number_or("snapshot-every", 300.0);
+  }
+  if (flags.has("crash-at")) {
+    fleet_config.recovery.enabled = true;
+    fleet_config.recovery.fault = sim::ShardFaultPlan::crash_once_at(
+        static_cast<std::uint64_t>(flags.number_or("crash-at", 0.0)));
+  }
+  if (auto spec = flags.get("crash-home")) {
+    auto colon = spec->find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--crash-home wants HOME:ITEM (e.g. 3:500)\n");
+      return 2;
+    }
+    fleet_config.recovery.enabled = true;
+    fleet_config.recovery.fault = sim::ShardFaultPlan::crash_home_at(
+        static_cast<fleet::HomeId>(std::stoul(spec->substr(0, colon))),
+        static_cast<std::uint64_t>(std::stoull(spec->substr(colon + 1))));
+  }
+
   std::printf("synthesizing %zu homes x %zu devices, %.2f days...\n",
               scenario_config.homes, scenario_config.devices_per_home,
               scenario_config.duration_days);
@@ -227,6 +252,9 @@ int cmd_fleet(const util::Flags& flags) {
   auto report = engine.report();
   auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
   std::fputs(report.render(max_homes).c_str(), stdout);
+  if (const auto* supervisor = engine.supervisor()) {
+    std::fputs(supervisor->render().c_str(), stdout);
+  }
 
   auto metrics = engine.merged_metrics();
   if (const auto* h = metrics.find_histogram("proxy.decision_latency_seconds")) {
