@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 CI: build + ctest normally (plus telemetry-export, hot-path and
-# crash-recovery smoke runs), then under ASan+UBSan (covers the FlatMap /
-# DomainInterner / golden-equivalence "hotpath" suites and the "recovery"
-# snapshot/supervisor suites along with everything else), then the
-# concurrency- and recovery-labeled tests (fleet + transport + fleet
-# telemetry merge + hotpath golden + supervised-restart golden) under TSan.
+# Tier-1 CI: build + ctest normally (plus telemetry-export, hot-path,
+# crash-recovery and cluster smoke runs), then under ASan+UBSan (covers the
+# FlatMap / DomainInterner / golden-equivalence "hotpath" suites and the
+# "recovery"/"cluster" snapshot/supervisor/migration suites along with
+# everything else), then the concurrency-, recovery- and cluster-labeled
+# tests (fleet + transport + fleet telemetry merge + hotpath golden +
+# supervised-restart golden + cluster migration/failover golden) under TSan.
 #
 #   ./ci.sh          all three legs
 #   ./ci.sh normal   plain build + tests + smoke runs only
@@ -67,6 +68,26 @@ recovery_smoke() {
   echo "==> [normal] recovery smoke ok"
 }
 
+# Cluster smoke: run the migration+failover matrix in quick mode TWICE (its
+# zero-lost-verdicts / warm-vs-cold gates are enforced by the bench itself),
+# require the two BENCH_cluster.json artifacts byte-identical (the cluster
+# control plane's determinism contract), and validate with the strict parser.
+cluster_smoke() {
+  dir="$1"
+  echo "==> [normal] cluster smoke"
+  bench_bin="$(pwd)/$dir/bench/bench_cluster"
+  validate_bin="$(pwd)/$dir/tools/fiat_json_validate"
+  for run in 1 2; do
+    smoke="$dir/cluster-smoke-$run"
+    mkdir -p "$smoke"
+    (cd "$smoke" && "$bench_bin" --quick >/dev/null)
+  done
+  cmp "$dir/cluster-smoke-1/BENCH_cluster.json" \
+      "$dir/cluster-smoke-2/BENCH_cluster.json"
+  "$validate_bin" "$dir/cluster-smoke-1/BENCH_cluster.json"
+  echo "==> [normal] cluster smoke ok"
+}
+
 # Telemetry smoke: run the fleet CLI with every export flag and validate the
 # JSON artifacts with the in-tree strict parser (no python/jq dependency).
 telemetry_smoke() {
@@ -89,6 +110,7 @@ case "$LEG" in
     telemetry_smoke build
     hotpath_smoke build
     recovery_smoke build
+    cluster_smoke build
     ;;
 esac
 
@@ -103,7 +125,7 @@ esac
 case "$LEG" in
   tsan|all)
     TSAN_OPTIONS="halt_on_error=1" \
-      run_leg tsan build-tsan "-L concurrency|recovery" -DFIAT_SANITIZE=thread
+      run_leg tsan build-tsan "-L concurrency|recovery|cluster" -DFIAT_SANITIZE=thread
     ;;
 esac
 

@@ -1,0 +1,158 @@
+#include "fleet/cli_options.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fiat::fleet {
+
+namespace {
+
+/// number_or() plus a positivity check, for counts that must be >= 1.
+std::size_t count_flag(const util::Flags& flags, const char* cmd,
+                       const std::string& name, double fallback) {
+  double v = flags.number_or(name, fallback);
+  if (v < 1.0) {
+    throw Error(std::string(cmd) + ": --" + name + " must be at least 1");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+double positive_interval(const util::Flags& flags, const char* cmd,
+                         const std::string& name, double fallback) {
+  double v = flags.number_or(name, fallback);
+  if (v <= 0.0) {
+    throw Error(std::string(cmd) + ": --" + name +
+                " must be a positive sim-second interval");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* cmd, const std::string& flag,
+                        const std::string& text) {
+  try {
+    std::size_t used = 0;
+    std::uint64_t v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    throw Error(std::string(cmd) + ": --" + flag + " wants a number, got '" +
+                text + "'");
+  }
+}
+
+}  // namespace
+
+FleetScenarioConfig parse_scenario_flags(const util::Flags& flags) {
+  FleetScenarioConfig config;
+  config.homes = count_flag(flags, "fleet", "homes", 100.0);
+  config.devices_per_home = count_flag(flags, "fleet", "devices", 2.0);
+  config.duration_days = flags.number_or("days", 0.03);
+  config.seed = static_cast<std::uint64_t>(
+      flags.number_or("seed", static_cast<double>(config.seed)));
+  config.with_proofs = !flags.has("no-proofs");
+  if (flags.has("zipf-skew")) {
+    config.zipf_skew = flags.number_or("zipf-skew", 0.0);
+    if (config.zipf_skew < 0.0) {
+      throw Error("fleet: --zipf-skew must be >= 0");
+    }
+    config.zipf_max_devices =
+        count_flag(flags, "fleet", "zipf-max-devices", 8.0);
+  }
+  return config;
+}
+
+FleetConfig parse_fleet_flags(const util::Flags& flags, std::size_t homes) {
+  FleetConfig config;
+  config.shards = count_flag(flags, "fleet", "shards", 2.0);
+  config.queue_capacity = count_flag(flags, "fleet", "capacity", 8192.0);
+  if (flags.has("shed")) config.on_full = FullPolicy::kShed;
+  config.trace_capacity =
+      static_cast<std::size_t>(flags.number_or("trace-capacity", 8192.0));
+
+  // Recovery knobs (DESIGN.md §11). Any of them switches the supervised item
+  // path on; without them the fleet runs the bare hot path.
+  if (flags.has("snapshot-every")) {
+    config.recovery.enabled = true;
+    config.recovery.snapshot_every =
+        positive_interval(flags, "fleet", "snapshot-every", 300.0);
+  }
+  if (flags.has("crash-at")) {
+    std::uint64_t item = static_cast<std::uint64_t>(
+        flags.number_or("crash-at", 0.0));
+    if (item < 1) {
+      throw Error("fleet: --crash-at wants a 1-based item ordinal");
+    }
+    config.recovery.enabled = true;
+    config.recovery.fault = sim::ShardFaultPlan::crash_once_at(item);
+  }
+  if (auto spec = flags.get("crash-home")) {
+    auto colon = spec->find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec->size()) {
+      throw Error("fleet: --crash-home wants HOME:ITEM (e.g. 3:500)");
+    }
+    std::uint64_t home =
+        parse_u64("fleet", "crash-home", spec->substr(0, colon));
+    std::uint64_t item =
+        parse_u64("fleet", "crash-home", spec->substr(colon + 1));
+    if (home >= homes) {
+      throw Error("fleet: --crash-home home " + std::to_string(home) +
+                  " out of range (fleet has " + std::to_string(homes) +
+                  " homes)");
+    }
+    if (item < 1) {
+      throw Error("fleet: --crash-home wants a 1-based item ordinal");
+    }
+    config.recovery.enabled = true;
+    config.recovery.fault = sim::ShardFaultPlan::crash_home_at(
+        static_cast<HomeId>(home), item);
+  }
+  return config;
+}
+
+ClusterConfig parse_cluster_flags(const util::Flags& flags) {
+  ClusterConfig config;
+  config.nodes = count_flag(flags, "cluster", "nodes", 4.0);
+  config.queue_capacity = count_flag(flags, "cluster", "capacity", 8192.0);
+  if (flags.has("shed")) config.on_full = FullPolicy::kShed;
+  if (flags.has("snapshot-every")) {
+    config.snapshot_every =
+        positive_interval(flags, "cluster", "snapshot-every", 300.0);
+  }
+  config.snapshot_retention = count_flag(flags, "cluster", "retention", 3.0);
+  config.journal = !flags.has("no-journal");
+  config.cold_failover = flags.has("cold-failover");
+
+  if (flags.has("kill-node") || flags.has("kill-at")) {
+    double at = flags.number_or("kill-at", 0.0);
+    if (at <= 0.0) {
+      throw Error("cluster: --kill-at wants a positive sim time");
+    }
+    std::uint64_t node = static_cast<std::uint64_t>(
+        flags.number_or("kill-node", 0.0));
+    if (node >= config.nodes) {
+      throw Error("cluster: --kill-node " + std::to_string(node) +
+                  " out of range (cluster has " +
+                  std::to_string(config.nodes) + " nodes)");
+    }
+    double detect = flags.number_or("detect-after", 0.0);
+    if (detect < 0.0) {
+      throw Error("cluster: --detect-after must be >= 0");
+    }
+    config.fault =
+        sim::NodeFaultPlan::kill_at(static_cast<NodeId>(node), at, detect);
+  }
+  if (flags.has("rebalance-every")) {
+    config.rebalance_every =
+        positive_interval(flags, "cluster", "rebalance-every", 0.0);
+    config.rebalance_top = count_flag(flags, "cluster", "rebalance-top", 1.0);
+    config.rebalance_ratio = flags.number_or("rebalance-ratio", 1.25);
+    if (config.rebalance_ratio < 1.0) {
+      throw Error("cluster: --rebalance-ratio must be >= 1");
+    }
+  }
+  return config;
+}
+
+}  // namespace fiat::fleet

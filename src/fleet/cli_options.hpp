@@ -1,0 +1,33 @@
+// Flag parsing + validation for the `fiat fleet` and `fiat cluster`
+// subcommands, factored out of tools/fiat_cli.cpp so the argv -> config
+// translation is testable through the same util::Flags path the binary uses.
+//
+// Contract: invalid input throws fiat::Error with a user-facing message
+// naming the flag and the constraint ("cluster: --snapshot-every must be a
+// positive sim-second interval"); the CLI's catch-all prints it and exits
+// non-zero. Validation happens here, at the boundary — the engines keep
+// their LogicError checks as invariants, not as a UX layer.
+#pragma once
+
+#include <cstddef>
+
+#include "fleet/cluster.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "util/flags.hpp"
+
+namespace fiat::fleet {
+
+/// Workload knobs shared by `fleet` and `cluster` (--homes, --devices,
+/// --days, --seed, --no-proofs, --zipf-skew, --zipf-max-devices).
+FleetScenarioConfig parse_scenario_flags(const util::Flags& flags);
+
+/// `fiat fleet` engine + recovery knobs. `homes` bounds --crash-home.
+FleetConfig parse_fleet_flags(const util::Flags& flags, std::size_t homes);
+
+/// `fiat cluster` control-plane knobs (--nodes, --kill-node/--kill-at/
+/// --detect-after, --rebalance-every, --retention, --no-journal,
+/// --cold-failover, ...).
+ClusterConfig parse_cluster_flags(const util::Flags& flags);
+
+}  // namespace fiat::fleet

@@ -1,6 +1,7 @@
 #include "fleet/fleet_testbed.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/auth_message.hpp"
 #include "crypto/keystore.hpp"
@@ -30,6 +31,12 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
   if (config.devices_per_home == 0 || config.devices_per_home > profiles.size()) {
     throw LogicError("make_fleet_scenario: devices_per_home must be 1..10");
   }
+  if (config.zipf_skew < 0.0 || config.zipf_max_devices == 0) {
+    throw LogicError(
+        "make_fleet_scenario: zipf_skew must be >= 0 and zipf_max_devices "
+        ">= 1");
+  }
+  std::size_t zipf_cap = std::min(config.zipf_max_devices, profiles.size());
 
   FleetScenario scenario;
   scenario.homes.reserve(config.homes);
@@ -65,7 +72,15 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
     // so sequence numbers must be issued in the order the phone sends.
     std::vector<std::pair<double, core::AuthMessage>> proofs;
 
-    for (std::size_t d = 0; d < config.devices_per_home; ++d) {
+    std::size_t home_devices = config.devices_per_home;
+    if (config.zipf_skew > 0.0) {
+      double raw = static_cast<double>(config.zipf_max_devices) /
+                   std::pow(static_cast<double>(h + 1), config.zipf_skew);
+      home_devices = std::clamp(
+          static_cast<std::size_t>(std::llround(raw)), std::size_t{1},
+          zipf_cap);
+    }
+    for (std::size_t d = 0; d < home_devices; ++d) {
       const gen::DeviceProfile& profile = profiles[(h + d) % profiles.size()];
       gen::LocationEnv env(kLocations[h % 4]);
       gen::TraceConfig trace_config;

@@ -40,6 +40,14 @@ struct FleetScenarioConfig {
   /// (RuleTableConfig::legacy_keys): the bench_hotpath baseline and the
   /// golden-equivalence suite's reference configuration.
   bool legacy_keys = false;
+  /// Zipf-skewed per-home load (the cluster rebalancer's workload): home h
+  /// gets round(zipf_max_devices / (h+1)^zipf_skew) devices, clamped to
+  /// [1, min(zipf_max_devices, 10)], instead of the flat devices_per_home.
+  /// Home 0 is the whale, the tail idles at 1 device. 0 = flat (default);
+  /// per-home traffic still depends only on the home id, so home #7 sends
+  /// identical traffic at any fleet size.
+  double zipf_skew = 0.0;
+  std::size_t zipf_max_devices = 8;
 };
 
 struct FleetScenario {

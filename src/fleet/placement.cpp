@@ -1,0 +1,74 @@
+#include "fleet/placement.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fiat::fleet {
+
+std::uint64_t rendezvous_score(NodeId node, HomeId home) {
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(node) << 32) | static_cast<std::uint64_t>(home);
+  // splitmix64 finalizer: full-avalanche, so per-home score order across
+  // nodes is effectively an independent random permutation.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+PlacementTable::PlacementTable(std::vector<NodeId> nodes) : alive_(std::move(nodes)) {
+  std::sort(alive_.begin(), alive_.end());
+  alive_.erase(std::unique(alive_.begin(), alive_.end()), alive_.end());
+  if (alive_.empty()) throw LogicError("PlacementTable: no nodes");
+}
+
+bool PlacementTable::alive(NodeId node) const {
+  return std::binary_search(alive_.begin(), alive_.end(), node);
+}
+
+NodeId PlacementTable::natural_owner(HomeId home) const {
+  if (alive_.empty()) throw LogicError("PlacementTable: no alive node for home");
+  NodeId best = alive_.front();
+  std::uint64_t best_score = rendezvous_score(best, home);
+  for (std::size_t i = 1; i < alive_.size(); ++i) {
+    std::uint64_t score = rendezvous_score(alive_[i], home);
+    // Strict '>' with ascending node order: ties (2^-64 events) break to the
+    // lowest node id, deterministically.
+    if (score > best_score) {
+      best = alive_[i];
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+NodeId PlacementTable::owner_of(HomeId home) const {
+  auto it = overrides_.find(home);
+  if (it != overrides_.end()) return it->second;
+  return natural_owner(home);
+}
+
+void PlacementTable::set_override(HomeId home, NodeId node) {
+  if (!alive(node)) throw LogicError("PlacementTable: override onto dead node");
+  overrides_[home] = node;
+}
+
+void PlacementTable::clear_override(HomeId home) { overrides_.erase(home); }
+
+void PlacementTable::remove_node(NodeId node) {
+  auto it = std::lower_bound(alive_.begin(), alive_.end(), node);
+  if (it == alive_.end() || *it != node) return;
+  alive_.erase(it);
+  for (auto o = overrides_.begin(); o != overrides_.end();) {
+    o = o->second == node ? overrides_.erase(o) : std::next(o);
+  }
+}
+
+void PlacementTable::add_node(NodeId node) {
+  auto it = std::lower_bound(alive_.begin(), alive_.end(), node);
+  if (it != alive_.end() && *it == node) return;
+  alive_.insert(it, node);
+}
+
+}  // namespace fiat::fleet

@@ -1,0 +1,66 @@
+// Home -> node placement for the cluster tier (DESIGN.md §12).
+//
+// Rendezvous (highest-random-weight) hashing: every (node, home) pair gets a
+// deterministic 64-bit score and a home lives on the alive node with the
+// highest score. The property that makes this the right tool for a fleet
+// control plane is *minimal disruption*: when a node dies, only the homes it
+// owned move (each to its next-highest scorer); when a node joins, only the
+// homes that score highest on the newcomer move. Everything else stays put,
+// which is exactly what keeps failover and scale-out from turning into a
+// fleet-wide state shuffle.
+//
+// On top of the pure hash the PlacementTable carries *overrides* — explicit
+// home pins written by live migration and the rebalancer. An override
+// survives unrelated node churn but is erased when its target node dies
+// (the home falls back to rendezvous among the survivors).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fleet/home.hpp"
+
+namespace fiat::fleet {
+
+using NodeId = std::uint32_t;
+
+/// Deterministic rendezvous score for one (node, home) pair: a splitmix64
+/// finalizer over the packed pair, so scores are stable across processes,
+/// platforms and runs.
+std::uint64_t rendezvous_score(NodeId node, HomeId home);
+
+class PlacementTable {
+ public:
+  PlacementTable() = default;
+  /// `nodes` are the initially-alive node ids (need not be contiguous).
+  explicit PlacementTable(std::vector<NodeId> nodes);
+
+  std::size_t alive_count() const { return alive_.size(); }
+  const std::vector<NodeId>& alive_nodes() const { return alive_; }
+  bool alive(NodeId node) const;
+
+  /// Pure rendezvous owner among the alive nodes (overrides ignored).
+  /// Throws when no node is alive.
+  NodeId natural_owner(HomeId home) const;
+  /// Effective owner: the override when one is pinned, else natural_owner().
+  NodeId owner_of(HomeId home) const;
+
+  /// Pins `home` onto `node` (migration / rebalancer). The pin holds until
+  /// cleared or until `node` is removed.
+  void set_override(HomeId home, NodeId node);
+  void clear_override(HomeId home);
+  std::size_t override_count() const { return overrides_.size(); }
+
+  /// Marks `node` dead: it stops owning homes and every override pinned to
+  /// it is erased (those homes fall back to rendezvous among survivors).
+  void remove_node(NodeId node);
+  /// (Re-)adds an alive node.
+  void add_node(NodeId node);
+
+ private:
+  std::vector<NodeId> alive_;  // sorted
+  std::map<HomeId, NodeId> overrides_;
+};
+
+}  // namespace fiat::fleet

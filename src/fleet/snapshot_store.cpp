@@ -4,6 +4,17 @@
 
 namespace fiat::fleet {
 
+SnapshotStore::SnapshotStore(std::size_t retention)
+    : retention_(retention == 0 ? 1 : retention) {}
+
+void SnapshotStore::set_retention(std::size_t retention) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retention_ = retention == 0 ? 1 : retention;
+  for (auto& [home, gens] : generations_) {
+    while (gens.size() > retention_) gens.pop_back();
+  }
+}
+
 std::uint64_t SnapshotStore::put(HomeId home, std::uint64_t ordinal,
                                  double sim_ts, util::Bytes blob) {
   // The record is assembled outside the map slot and moved in whole, so a
@@ -15,23 +26,31 @@ std::uint64_t SnapshotStore::put(HomeId home, std::uint64_t ordinal,
   next.sim_ts = sim_ts;
   next.blob = std::move(blob);
   std::lock_guard<std::mutex> lock(mu_);
-  Record& slot = latest_[home];
-  next.generation = slot.generation + 1;
-  slot = std::move(next);
+  std::deque<Record>& gens = generations_[home];
+  next.generation = gens.empty() ? 1 : gens.front().generation + 1;
+  gens.push_front(std::move(next));
+  while (gens.size() > retention_) gens.pop_back();
   ++puts_;
-  return slot.generation;
+  return gens.front().generation;
 }
 
 std::optional<SnapshotStore::Record> SnapshotStore::latest(HomeId home) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = latest_.find(home);
-  if (it == latest_.end()) return std::nullopt;
-  return it->second;
+  auto it = generations_.find(home);
+  if (it == generations_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::vector<SnapshotStore::Record> SnapshotStore::history(HomeId home) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = generations_.find(home);
+  if (it == generations_.end()) return {};
+  return {it->second.begin(), it->second.end()};
 }
 
 std::size_t SnapshotStore::home_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return latest_.size();
+  return generations_.size();
 }
 
 std::size_t SnapshotStore::puts() const {
@@ -42,7 +61,9 @@ std::size_t SnapshotStore::puts() const {
 std::size_t SnapshotStore::total_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& [home, rec] : latest_) n += rec.blob.size();
+  for (const auto& [home, gens] : generations_) {
+    for (const Record& rec : gens) n += rec.blob.size();
+  }
   return n;
 }
 

@@ -2,19 +2,24 @@
 //
 // Shard workers publish sealed state blobs (core/state_codec.hpp) here on a
 // sim-time cadence; the supervisor reads the latest generation back when it
-// warm-restores a restarted shard. The store keeps exactly one record per
-// home — the newest generation — and swaps it in atomically under the store
-// mutex: a reader either sees the complete old snapshot or the complete new
-// one, never a torn mix (the moral equivalent of write-to-temp + rename on a
-// real filesystem). Blobs are opaque bytes; validation happens at restore
-// time via open_state(), which is what lets a test inject corrupted blobs to
-// drive the cold-start fallback path.
+// warm-restores a restarted shard, and the cluster tier's failover path
+// walks generations newest-first so a corrupt newest snapshot falls back to
+// the previous one instead of forcing a cold start. The store keeps the last
+// `retention` generations per home (default 1 — the PR 5 behavior) and
+// evicts older ones on put, so arbitrarily long runs hold bounded memory.
+// Generations swap in atomically under the store mutex: a reader either sees
+// a complete old record or a complete new one, never a torn mix (the moral
+// equivalent of write-to-temp + rename on a real filesystem). Blobs are
+// opaque bytes; validation happens at restore time via open_state(), which
+// is what lets a test inject corrupted blobs to drive the fallback paths.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "fleet/home.hpp"
 #include "util/bytes.hpp"
@@ -35,14 +40,26 @@ class SnapshotStore {
     util::Bytes blob;
   };
 
-  /// Publishes a new snapshot for `home`, replacing any previous generation
-  /// whole. Returns the new generation number.
+  /// `retention` = generations kept per home (>= 1; 0 is clamped to 1).
+  explicit SnapshotStore(std::size_t retention = 1);
+
+  std::size_t retention() const { return retention_; }
+  /// Adjusts the per-home retention bound; shrinking evicts immediately.
+  void set_retention(std::size_t retention);
+
+  /// Publishes a new snapshot for `home` and evicts generations beyond the
+  /// retention bound. Returns the new generation number.
   std::uint64_t put(HomeId home, std::uint64_t ordinal, double sim_ts,
                     util::Bytes blob);
 
   /// Copy of the latest record for `home`, if any. A copy, not a reference:
   /// the worker may swap in a newer generation while the caller reads.
+  /// Unaffected by retention eviction — the newest generation always stays.
   std::optional<Record> latest(HomeId home) const;
+
+  /// Copies of every retained generation for `home`, newest first (the
+  /// fallback order a restore walks).
+  std::vector<Record> history(HomeId home) const;
 
   /// Test/bench hook: identical to put(), spelled differently so corruption-
   /// matrix tests that plant hostile bytes read as what they are.
@@ -53,12 +70,14 @@ class SnapshotStore {
 
   std::size_t home_count() const;
   std::size_t puts() const;
-  /// Bytes held across all current generations (superseded blobs are freed).
+  /// Bytes held across all retained generations (evicted blobs are freed).
   std::size_t total_bytes() const;
 
  private:
   mutable std::mutex mu_;
-  std::unordered_map<HomeId, Record> latest_;
+  std::size_t retention_ = 1;
+  /// Newest generation at the front.
+  std::unordered_map<HomeId, std::deque<Record>> generations_;
   std::size_t puts_ = 0;
 };
 

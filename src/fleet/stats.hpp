@@ -19,6 +19,8 @@ struct ShardStats {
   std::size_t discarded = 0;      // popped but skipped by an abort (no-drain stop)
   std::size_t restarts = 0;       // supervisor shard restarts (crash recoveries)
   std::size_t quarantined = 0;    // poison items quarantined by the supervisor
+  std::size_t migrations_in = 0;  // homes installed by live migration (cluster)
+  std::size_t migrations_out = 0;  // homes donated by live migration (cluster)
   double busy_seconds = 0.0;      // wall time spent inside proxy calls
   // Queue view (from BoundedQueue::Stats).
   std::size_t queue_pushed = 0;
@@ -38,7 +40,13 @@ struct FleetStats {
   std::size_t discarded = 0;      // accepted but dropped by an abort
   std::size_t restarts = 0;       // supervisor shard restarts, fleet-wide
   std::size_t quarantined = 0;    // quarantined poison items, fleet-wide
+  std::size_t migrations = 0;     // live migrations the cluster controller ran
+  std::size_t node_failovers = 0;  // whole-node failovers (node restarts)
+  double handoff_p95_seconds = 0.0;  // p95 migration handoff latency (wall)
   double wall_seconds = 0.0;      // start() .. stop() wall time
+  /// First column of render(): "shard" for FleetEngine, "node" for the
+  /// cluster tier.
+  std::string row_label = "shard";
   std::vector<ShardStats> shards;
 
   /// Aggregate packets+proofs processed per wall second.

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/state_codec.hpp"
+#include "fleet/migration.hpp"
 #include "fleet/shard.hpp"
 
 namespace fiat::fleet {
@@ -91,17 +92,6 @@ void ShardSupervisor::attach(telemetry::Sink* sink) {
 
 ShardSupervisor::HomeState& ShardSupervisor::state_of(HomeId home) {
   return homes_[home];
-}
-
-void ShardSupervisor::apply_to_home(Home& home, const FleetItem& item) {
-  switch (item.kind) {
-    case FleetItem::Kind::kPacket:
-      home.proxy().process(item.pkt);
-      break;
-    case FleetItem::Kind::kProof:
-      home.proxy().on_auth_payload(item.client_id, item.payload, item.ts);
-      break;
-  }
 }
 
 void ShardSupervisor::process(Shard& shard, const FleetItem& item) {
@@ -237,7 +227,7 @@ void ShardSupervisor::restart_shard(Shard& shard, const FleetItem& crash_item,
     }
     for (const auto& [ord, journaled] : st.journal) {
       if (ord <= resume) continue;
-      apply_to_home(home, journaled);
+      apply_item(home, journaled);
       resume = ord;
     }
     if (tm_gap_items_ && lost > 0) tm_gap_items_->inc(lost);

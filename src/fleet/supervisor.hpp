@@ -161,9 +161,6 @@ class ShardSupervisor {
   };
 
   HomeState& state_of(HomeId home);
-  /// Applies `item` to the home's proxy without touching shard counters
-  /// (shared by journal replay, which must not re-count).
-  static void apply_to_home(Home& home, const FleetItem& item);
   void take_snapshot(Home& home, double sim_ts);
   void maybe_snapshot(Shard& shard, const FleetItem& item);
   /// Rebuild + restore every home of this shard (see file comment).

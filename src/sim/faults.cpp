@@ -136,6 +136,15 @@ ShardFaultPlan ShardFaultPlan::poison(std::uint32_t home, std::uint64_t item) {
   return plan;
 }
 
+NodeFaultPlan NodeFaultPlan::kill_at(std::uint32_t node, double at_time,
+                                     double detect_after) {
+  NodeFaultPlan plan;
+  plan.node = node;
+  plan.at_time = at_time;
+  plan.detect_after = detect_after < 0.0 ? 0.0 : detect_after;
+  return plan;
+}
+
 void ShardFaultInjector::on_item(std::uint32_t home, std::uint64_t home_ordinal,
                                  std::uint64_t shard_ordinal) {
   if (!plan_.active()) return;

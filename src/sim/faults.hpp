@@ -174,6 +174,29 @@ struct ShardFaultPlan {
   static ShardFaultPlan poison(std::uint32_t home, std::uint64_t item);
 };
 
+// ---- whole-node faults ------------------------------------------------------
+//
+// Failure injection one level above the shard crashes: an entire proxy node
+// of the cluster tier (fleet/cluster.hpp) dies mid-trace. Like the shard
+// plans this is declarative and non-probabilistic — the kill is keyed to sim
+// time, so a failover scenario replays bit-for-bit regardless of thread
+// scheduling or node count.
+
+/// One scheduled node death. The control plane routes around the corpse only
+/// after `detect_after` sim seconds (failure detection + re-placement is not
+/// free); items addressed to the dead node's homes inside that window are
+/// lost, which is exactly the exposure bench_cluster measures.
+struct NodeFaultPlan {
+  std::uint32_t node = 0;
+  double at_time = 0.0;      // sim time of the kill; <= 0 disables the plan
+  double detect_after = 0.0; // sim seconds before failover re-placement
+
+  bool active() const { return at_time > 0.0; }
+
+  static NodeFaultPlan kill_at(std::uint32_t node, double at_time,
+                               double detect_after = 0.0);
+};
+
 /// Per-shard mutable crash state. Owned by the shard's supervisor and — like
 /// every per-home structure — touched only by the worker thread. The
 /// kCrashOnce latch survives recovery: a restarted worker must not re-fire a

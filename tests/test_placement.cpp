@@ -1,0 +1,140 @@
+// Property suite for the cluster tier's rendezvous placement (DESIGN.md
+// §12): determinism across processes and table instances, balance over a
+// large home population, and — the property the whole design leans on —
+// minimal disruption under node churn (only the changed node's homes move).
+// Plus the override (pin) semantics live migration and the rebalancer rely
+// on: pins survive unrelated churn and die with their target node.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fleet/placement.hpp"
+#include "util/error.hpp"
+
+using namespace fiat;
+using fleet::HomeId;
+using fleet::NodeId;
+using fleet::PlacementTable;
+
+namespace {
+
+std::vector<NodeId> node_range(std::size_t count) {
+  std::vector<NodeId> nodes;
+  for (std::size_t n = 0; n < count; ++n) nodes.push_back(static_cast<NodeId>(n));
+  return nodes;
+}
+
+TEST(Placement, ScoresAreDeterministic) {
+  for (NodeId n = 0; n < 8; ++n) {
+    for (HomeId h = 0; h < 64; ++h) {
+      EXPECT_EQ(fleet::rendezvous_score(n, h), fleet::rendezvous_score(n, h));
+    }
+  }
+  // Regression pin: scores must stay stable across releases, or every
+  // upgrade would reshuffle every deployed fleet. If this fails the hash
+  // changed — that is a migration event, not a refactor.
+  EXPECT_NE(fleet::rendezvous_score(0, 0), fleet::rendezvous_score(1, 0));
+  EXPECT_NE(fleet::rendezvous_score(0, 0), fleet::rendezvous_score(0, 1));
+}
+
+TEST(Placement, TwoTablesAgreeEverywhere) {
+  PlacementTable a(node_range(7));
+  PlacementTable b(node_range(7));
+  for (HomeId h = 0; h < 500; ++h) {
+    EXPECT_EQ(a.owner_of(h), b.owner_of(h)) << "home " << h;
+    EXPECT_EQ(a.owner_of(h), a.natural_owner(h)) << "home " << h;
+  }
+}
+
+// Balance over 1k homes for every cluster size bench_cluster sweeps: with a
+// 64-bit score per pair, expecting each node within 2x of the fair share is
+// conservative (observed spread is far tighter).
+TEST(Placement, BalancedAcrossFleetSizes) {
+  constexpr std::size_t kHomes = 1000;
+  for (std::size_t nodes = 4; nodes <= 16; ++nodes) {
+    PlacementTable table(node_range(nodes));
+    std::map<NodeId, std::size_t> owned;
+    for (HomeId h = 0; h < kHomes; ++h) ++owned[table.owner_of(h)];
+    const double fair = static_cast<double>(kHomes) / static_cast<double>(nodes);
+    EXPECT_EQ(owned.size(), nodes) << nodes << " nodes";
+    for (const auto& [node, count] : owned) {
+      EXPECT_GT(static_cast<double>(count), fair / 2.0)
+          << "node " << node << " of " << nodes;
+      EXPECT_LT(static_cast<double>(count), fair * 2.0)
+          << "node " << node << " of " << nodes;
+    }
+  }
+}
+
+// The load-bearing property: removing a node moves ONLY the homes it owned;
+// adding it back restores the original placement exactly.
+TEST(Placement, MinimalDisruptionUnderChurn) {
+  constexpr std::size_t kHomes = 1000;
+  constexpr NodeId kDying = 3;
+  PlacementTable table(node_range(8));
+
+  std::vector<NodeId> before;
+  for (HomeId h = 0; h < kHomes; ++h) before.push_back(table.owner_of(h));
+
+  table.remove_node(kDying);
+  std::size_t moved = 0;
+  for (HomeId h = 0; h < kHomes; ++h) {
+    NodeId now = table.owner_of(h);
+    if (before[h] == kDying) {
+      EXPECT_NE(now, kDying) << "home " << h;
+      ++moved;
+    } else {
+      EXPECT_EQ(now, before[h]) << "home " << h << " moved without cause";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+
+  table.add_node(kDying);
+  for (HomeId h = 0; h < kHomes; ++h) {
+    EXPECT_EQ(table.owner_of(h), before[h]) << "home " << h;
+  }
+}
+
+TEST(Placement, OverridePinsAndFallsBackWhenTargetDies) {
+  PlacementTable table(node_range(4));
+  const HomeId home = 42;
+  const NodeId natural = table.natural_owner(home);
+  const NodeId pin = (natural + 1) % 4;
+
+  table.set_override(home, pin);
+  EXPECT_EQ(table.owner_of(home), pin);
+  EXPECT_EQ(table.natural_owner(home), natural);  // pure hash unaffected
+  EXPECT_EQ(table.override_count(), 1u);
+
+  // Unrelated churn leaves the pin alone.
+  const NodeId bystander = (pin + 1) % 4 == natural ? (pin + 2) % 4 : (pin + 1) % 4;
+  table.remove_node(bystander);
+  EXPECT_EQ(table.owner_of(home), pin);
+  table.add_node(bystander);
+
+  // The pinned node dying erases the pin: back to rendezvous.
+  table.remove_node(pin);
+  EXPECT_EQ(table.override_count(), 0u);
+  EXPECT_NE(table.owner_of(home), pin);
+
+  table.add_node(pin);
+  EXPECT_EQ(table.owner_of(home), natural);
+
+  table.set_override(home, pin);
+  table.clear_override(home);
+  EXPECT_EQ(table.owner_of(home), natural);
+}
+
+TEST(Placement, GuardsRejectImpossibleStates) {
+  EXPECT_THROW(PlacementTable(std::vector<NodeId>{}), LogicError);
+
+  PlacementTable table(node_range(2));
+  EXPECT_THROW(table.set_override(1, 99), LogicError);  // pin to a dead node
+  table.remove_node(0);
+  table.remove_node(1);
+  EXPECT_THROW(table.natural_owner(0), LogicError);  // nobody left alive
+}
+
+}  // namespace

@@ -26,6 +26,13 @@
 //       metrics, which vary run to run). --trace-json writes Chrome
 //       trace-event JSON, loadable in Perfetto (ui.perfetto.dev).
 //
+//   fiat cluster [--nodes N] [--homes H] [--zipf-skew Z] [--kill-node K
+//                --kill-at T --detect-after W] [--rebalance-every T] ...
+//       Run the fleet on the multi-node cluster tier (DESIGN.md §12): live
+//       home migration, node-failure failover from the durable stores, and
+//       the load-aware rebalancer. Prints the merged report plus the
+//       control-plane summary.
+//
 //   fiat devices
 //       List the built-in device profiles and their properties.
 #include <algorithm>
@@ -38,6 +45,8 @@
 #include "core/model_registry.hpp"
 #include "core/mud.hpp"
 #include "core/predictability.hpp"
+#include "fleet/cli_options.hpp"
+#include "fleet/cluster.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/fleet_testbed.hpp"
 #include "gen/testbed.hpp"
@@ -65,6 +74,15 @@ int usage() {
                "             [--telemetry-wall] [--trace-json PATH] [--trace-capacity T]\n"
                "             [--snapshot-every SIM_S] [--crash-at ITEM]\n"
                "             [--crash-home HOME:ITEM]\n"
+               "  fiat cluster [--nodes N] [--homes H] [--devices D] [--days X] [--seed S]\n"
+               "               [--capacity C] [--shed] [--no-proofs] [--report-homes H]\n"
+               "               [--zipf-skew Z] [--zipf-max-devices M]\n"
+               "               [--snapshot-every SIM_S] [--retention K] [--no-journal]\n"
+               "               [--kill-node K --kill-at T] [--detect-after W]\n"
+               "               [--cold-failover] [--rebalance-every T]\n"
+               "               [--rebalance-top N] [--rebalance-ratio R]\n"
+               "               [--telemetry-json PATH] [--telemetry-prom PATH]\n"
+               "               [--telemetry-wall]\n"
                "  fiat devices\n");
   return 2;
 }
@@ -193,70 +211,17 @@ int cmd_registry(const util::Flags& flags) {
   return usage();
 }
 
-int cmd_fleet(const util::Flags& flags) {
-  fleet::FleetScenarioConfig scenario_config;
-  scenario_config.homes =
-      static_cast<std::size_t>(flags.number_or("homes", 100.0));
-  scenario_config.devices_per_home =
-      static_cast<std::size_t>(flags.number_or("devices", 2.0));
-  scenario_config.duration_days = flags.number_or("days", 0.03);
-  scenario_config.seed = static_cast<std::uint64_t>(
-      flags.number_or("seed", static_cast<double>(scenario_config.seed)));
-  scenario_config.with_proofs = !flags.has("no-proofs");
-
-  fleet::FleetConfig fleet_config;
-  fleet_config.shards = static_cast<std::size_t>(flags.number_or("shards", 2.0));
-  fleet_config.queue_capacity =
-      static_cast<std::size_t>(flags.number_or("capacity", 8192.0));
-  if (flags.has("shed")) fleet_config.on_full = fleet::FullPolicy::kShed;
-  fleet_config.trace_capacity =
-      static_cast<std::size_t>(flags.number_or("trace-capacity", 8192.0));
-
-  // Recovery knobs (DESIGN.md §11). Any of the three switches the supervised
-  // item path on; without them the fleet runs the bare hot path.
-  if (flags.has("snapshot-every")) {
-    fleet_config.recovery.enabled = true;
-    fleet_config.recovery.snapshot_every = flags.number_or("snapshot-every", 300.0);
-  }
-  if (flags.has("crash-at")) {
-    fleet_config.recovery.enabled = true;
-    fleet_config.recovery.fault = sim::ShardFaultPlan::crash_once_at(
-        static_cast<std::uint64_t>(flags.number_or("crash-at", 0.0)));
-  }
-  if (auto spec = flags.get("crash-home")) {
-    auto colon = spec->find(':');
-    if (colon == std::string::npos) {
-      std::fprintf(stderr, "--crash-home wants HOME:ITEM (e.g. 3:500)\n");
-      return 2;
-    }
-    fleet_config.recovery.enabled = true;
-    fleet_config.recovery.fault = sim::ShardFaultPlan::crash_home_at(
-        static_cast<fleet::HomeId>(std::stoul(spec->substr(0, colon))),
-        static_cast<std::uint64_t>(std::stoull(spec->substr(colon + 1))));
-  }
-
+fleet::FleetScenario synthesize(const fleet::FleetScenarioConfig& config) {
   std::printf("synthesizing %zu homes x %zu devices, %.2f days...\n",
-              scenario_config.homes, scenario_config.devices_per_home,
-              scenario_config.duration_days);
-  auto scenario = fleet::make_fleet_scenario(scenario_config);
+              config.homes, config.devices_per_home, config.duration_days);
+  auto scenario = fleet::make_fleet_scenario(config);
   std::printf("  %zu packets + %zu proofs across %zu homes\n",
               scenario.packet_count, scenario.proof_count,
               scenario.homes.size());
+  return scenario;
+}
 
-  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
-  fleet::FleetEngine engine(std::move(scenario.homes), humanness, fleet_config);
-  engine.start();
-  for (auto& item : scenario.items) engine.ingest(std::move(item));
-  engine.drain();
-
-  auto report = engine.report();
-  auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
-  std::fputs(report.render(max_homes).c_str(), stdout);
-  if (const auto* supervisor = engine.supervisor()) {
-    std::fputs(supervisor->render().c_str(), stdout);
-  }
-
-  auto metrics = engine.merged_metrics();
+void print_latency_summaries(const telemetry::MetricsRegistry& metrics) {
   if (const auto* h = metrics.find_histogram("proxy.decision_latency_seconds")) {
     std::printf(
         "decision latency (sim): n=%zu p50=%.6g p95=%.6g p99=%.6g s\n",
@@ -268,6 +233,10 @@ int cmd_fleet(const util::Flags& flags) {
                 static_cast<std::size_t>(h->count()), h->quantile(0.5),
                 h->quantile(0.95), h->quantile(0.99));
   }
+}
+
+int export_telemetry(const util::Flags& flags,
+                     const telemetry::MetricsRegistry& metrics) {
   bool include_wall = flags.has("telemetry-wall");
   if (auto path = flags.get("telemetry-json")) {
     if (!util::write_json_file(*path, telemetry::metrics_json(metrics, include_wall))) {
@@ -289,6 +258,30 @@ int cmd_fleet(const util::Flags& flags) {
     std::fclose(f);
     std::printf("prometheus text -> %s\n", path->c_str());
   }
+  return 0;
+}
+
+int cmd_fleet(const util::Flags& flags) {
+  auto scenario_config = fleet::parse_scenario_flags(flags);
+  auto fleet_config = fleet::parse_fleet_flags(flags, scenario_config.homes);
+  auto scenario = synthesize(scenario_config);
+
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
+  fleet::FleetEngine engine(std::move(scenario.homes), humanness, fleet_config);
+  engine.start();
+  for (auto& item : scenario.items) engine.ingest(std::move(item));
+  engine.drain();
+
+  auto report = engine.report();
+  auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
+  std::fputs(report.render(max_homes).c_str(), stdout);
+  if (const auto* supervisor = engine.supervisor()) {
+    std::fputs(supervisor->render().c_str(), stdout);
+  }
+
+  auto metrics = engine.merged_metrics();
+  print_latency_summaries(metrics);
+  if (int rc = export_telemetry(flags, metrics)) return rc;
   if (auto path = flags.get("trace-json")) {
     auto spans = engine.merged_trace();
     if (!util::write_json_file(*path, telemetry::chrome_trace_json(spans))) {
@@ -299,6 +292,28 @@ int cmd_fleet(const util::Flags& flags) {
                 spans.size(), path->c_str());
   }
   return 0;
+}
+
+int cmd_cluster(const util::Flags& flags) {
+  auto scenario_config = fleet::parse_scenario_flags(flags);
+  auto cluster_config = fleet::parse_cluster_flags(flags);
+  auto scenario = synthesize(scenario_config);
+
+  auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
+  fleet::ClusterEngine engine(std::move(scenario.homes), humanness,
+                              cluster_config);
+  engine.start();
+  for (auto& item : scenario.items) engine.ingest(std::move(item));
+  engine.drain();
+
+  auto report = engine.report();
+  auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
+  std::fputs(report.render(max_homes).c_str(), stdout);
+  std::fputs(engine.render_control_plane().c_str(), stdout);
+
+  auto metrics = engine.merged_metrics();
+  print_latency_summaries(metrics);
+  return export_telemetry(flags, metrics);
 }
 
 int cmd_devices() {
@@ -322,6 +337,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "registry") return cmd_registry(flags);
     if (command == "fleet") return cmd_fleet(flags);
+    if (command == "cluster") return cmd_cluster(flags);
     if (command == "devices") return cmd_devices();
     return usage();
   } catch (const fiat::Error& e) {
