@@ -1,28 +1,55 @@
-// Security evaluation beyond the paper's accuracy tables: launch the §5.1
-// threat model's attacks against a fully trained proxy and measure what
-// actually gets through.
+// Adversarial evaluation — §5.1 threat-model attacks against one trained
+// proxy, then labeled attack *campaigns* against whole fleets.
 //
-// Per (device, attack): the proxy bootstraps on legitimate traffic, the
-// classifier comes pre-trained (as in bench_table6), then the attack packets
-// are injected. We report the fraction of attack *commands* that completed
-// (every packet of the command exchange forwarded) and whether the
-// brute-force lockout engaged.
+// Part 1 (single device): per (device, attack) the proxy bootstraps on
+// legitimate traffic, the classifier comes pre-trained (the exact Table 6
+// pipeline, shared via bench::train_device_setup), then the attack packets
+// are injected and we report the fraction of attack commands that completed.
 //
-// Expected shape: account-compromise/LAN-injection/rule-mimicry blocked
-// (~0% completion, modulo classifier false negatives); brute force blocked
-// *and* locked out; piggyback succeeds (the §7 residual risk).
+// Part 2 (fleet campaigns): gen::AttackDirector composes per-home attack
+// waves — WiFinger-style bucket mimicry, padding evasion, stolen-proof
+// replay floods, Sybil homes — with a ground-truth core::AttackLabel on
+// every injected packet and proof. The campaign matrix runs the same
+// scenario across fail policies and runtimes (FleetEngine shards=1/4, the
+// cluster tier with a live migration mid-campaign, and a no-attack
+// baseline) and grades the merged AttackLedger against the scenario's
+// AttackTruth:
+//   * label coverage: every injected item was graded (ledger == truth);
+//   * per-class command recall, with floors (piggyback exempt — §7's
+//     residual risk rides genuine human interactions);
+//   * zero collateral lockouts for benign homes under the grace policy;
+//   * per-home reports byte-identical across shard counts and across one
+//     live migration (the determinism contract extends to labeled traffic);
+//   * benign homes byte-identical with the campaign on vs off (the director
+//     draws only from its own seed).
+//
+// Every number in BENCH_attack.json is sim-derived, so the file is
+// byte-identical across runs of the same build — CI runs it twice and cmps.
+// Usage: bench_attack_eval [--quick]  (smaller fleet for the CI smoke).
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/humanness.hpp"
 #include "core/proxy.hpp"
+#include "fleet/cluster.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "fleet/placement.hpp"
 #include "gen/attacks.hpp"
 #include "gen/sensors.hpp"
 
 using namespace fiat;
 
 namespace {
+
+// ---- part 1: single trained device vs scripted attacks ----------------------
 
 struct AttackOutcome {
   double completion_rate = 0.0;  // attack commands that executed
@@ -34,33 +61,18 @@ AttackOutcome run_attack(const gen::DeviceProfile& profile,
                          gen::AttackType type, std::uint64_t seed) {
   gen::LocationEnv env("US");
 
-  // Train + bootstrap exactly like the Table 6 pipeline.
-  gen::TraceConfig train_cfg;
-  train_cfg.duration_days = 10;
-  train_cfg.seed = seed;
-  train_cfg.manual_per_day_override = profile.simple_rule ? 4.0 : 8.0;
-  auto train = gen::generate_trace(profile, env, train_cfg);
-  auto classifier =
-      profile.simple_rule
-          ? core::ManualEventClassifier::simple_rule(profile.rule_packet_size)
-          : core::ManualEventClassifier::train(core::extract_labeled_events(train),
-                                               train.device_ip);
+  // Train + bootstrap exactly like the Table 6 pipeline (bench/common.cpp).
+  auto trained = bench::train_device_setup(profile, env, seed, /*train_days=*/10);
 
   core::ProxyConfig pconfig;
   core::FiatProxy proxy(pconfig, verifier);
-  core::ProxyDevice dev;
-  dev.name = profile.name;
-  dev.ip = train.device_ip;
-  dev.allowed_prefix = profile.simple_rule ? 0 : 4;
-  dev.classifier = classifier;
-  dev.app_package = "app." + profile.name;
-  proxy.add_device(dev);
-  proxy.dns() = train.dns;
+  proxy.add_device(trained.device);
+  proxy.dns() = trained.train.dns;
   std::vector<std::uint8_t> psk(32, 0x52);
   proxy.pair_phone("phone-1", psk);
 
   // Feed one legit day (covers bootstrap; proxy learns rules).
-  gen::TraceConfig legit_cfg = train_cfg;
+  gen::TraceConfig legit_cfg;
   legit_cfg.duration_days = 1;
   legit_cfg.seed = seed + 1;
   legit_cfg.manual_per_day_override = 0;  // quiet day: no legit manual noise
@@ -78,7 +90,8 @@ AttackOutcome run_attack(const gen::DeviceProfile& profile,
   attack.start = last_ts + 120.0;
   attack.attempts = type == gen::AttackType::kRuleMimicry ? 60 : 8;
   attack.spacing = type == gen::AttackType::kBruteForce ? 20.0 : 300.0;
-  auto packets = gen::generate_attack(profile, env, train.device_ip, attack, rng);
+  auto packets =
+      gen::generate_attack(profile, env, trained.device.ip, attack, rng);
 
   // Piggyback: a real user interaction supplies fresh proofs during the
   // whole window (the attacker synchronizes, §7).
@@ -90,7 +103,7 @@ AttackOutcome run_attack(const gen::DeviceProfile& profile,
     std::uint64_t seq = 1;
     for (const auto& pkt : packets) {
       core::AuthMessage msg;
-      msg.app_package = dev.app_package;
+      msg.app_package = trained.device.app_package;
       msg.capture_time = pkt.ts - 0.5;
       msg.features =
           gen::sensor_features(gen::generate_sensor_trace(rng, true, clean));
@@ -125,12 +138,7 @@ AttackOutcome run_attack(const gen::DeviceProfile& profile,
   return outcome;
 }
 
-}  // namespace
-
-int main() {
-  bench::print_header("bench_attack_eval", "§5.1 threat model (attack outcomes)");
-
-  auto verifier = core::HumannessVerifier::train_synthetic(888);
+void run_single_device_table(const core::HumannessVerifier& verifier) {
   const gen::AttackType attacks[] = {
       gen::AttackType::kAccountCompromise, gen::AttackType::kBruteForce,
       gen::AttackType::kLanInjection, gen::AttackType::kRuleMimicry,
@@ -146,14 +154,355 @@ int main() {
     for (auto type : attacks) {
       auto outcome = run_attack(profile, verifier, type, 4242);
       char cell[32];
-      std::snprintf(cell, sizeof(cell), "%.0f%%%s", 100.0 * outcome.completion_rate,
+      std::snprintf(cell, sizeof(cell), "%.0f%%%s",
+                    100.0 * outcome.completion_rate,
                     outcome.lockout ? " +lock" : "");
       std::printf(" %18s", cell);
     }
     std::printf("\n");
   }
-  std::printf("\n(%% of attack commands that completed; '+lock' = brute-force\n"
-              " lockout engaged. Piggyback succeeds by design — the paper's §7\n"
-              " residual risk: the attacker rides a genuine human interaction.)\n");
+  std::printf(
+      "\n(%% of attack commands that completed; '+lock' = brute-force\n"
+      " lockout engaged. Piggyback succeeds by design — the paper's §7\n"
+      " residual risk: the attacker rides a genuine human interaction.)\n");
+}
+
+// ---- part 2: fleet campaign matrix ------------------------------------------
+
+/// Per-class ground truth joined with the fleet's merged ledger.
+struct ClassGrade {
+  std::uint64_t commands = 0;   // truth: distinct command attempts
+  std::uint64_t blocked = 0;    // ledger: >= 1 payload packet dropped
+  std::uint64_t completed = 0;  // ledger: payload delivered intact
+  std::uint64_t packets = 0;    // ledger: labeled packets graded
+  std::uint64_t proofs = 0;     // ledger: labeled proofs graded
+
+  double recall() const {
+    return commands == 0
+               ? 1.0
+               : static_cast<double>(blocked) / static_cast<double>(commands);
+  }
+};
+
+struct CellResult {
+  std::string name;
+  fleet::FleetReport report;
+  /// One rendered SecurityReport per home, id-ordered: the byte-identity
+  /// digest (includes verdict counters, incidents, and the attack ledger).
+  std::vector<std::string> digests;
+  std::size_t collateral_lockouts = 0;  // benign homes with a locked device
+  bool all_processed = false;
+  std::map<int, ClassGrade> grades;  // keyed by gen::AttackType value
+};
+
+std::vector<std::string> home_digests(const fleet::FleetReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.homes.size());
+  for (const auto& h : report.homes) out.push_back(h.report.render());
+  return out;
+}
+
+CellResult grade_cell(std::string name, const fleet::FleetScenario& scenario,
+                      fleet::FleetReport report) {
+  CellResult cell;
+  cell.name = std::move(name);
+  cell.digests = home_digests(report);
+  cell.all_processed =
+      report.stats.packets_out == scenario.packet_count &&
+      report.stats.proofs_out == scenario.proof_count &&
+      report.stats.shed == 0 && report.stats.shed_on_close == 0 &&
+      report.stats.discarded == 0;
+
+  // Join the merged ledger against the truth, per class.
+  for (const auto& cmd : scenario.attack.commands) {
+    ++cell.grades[static_cast<int>(cmd.type)].commands;
+  }
+  const core::AttackLedger& ledger = report.attack;
+  for (std::size_t c = 0; c < ledger.by_class.size(); ++c) {
+    if (ledger.by_class[c].packets == 0 && ledger.by_class[c].proofs == 0)
+      continue;
+    ClassGrade& g = cell.grades[static_cast<int>(c)];
+    g.packets = ledger.by_class[c].packets;
+    g.proofs = ledger.by_class[c].proofs;
+  }
+  for (const auto& [cmd, st] : ledger.commands) {
+    ClassGrade& g = cell.grades[static_cast<int>(st.cls)];
+    if (st.payload_dropped > 0) {
+      ++g.blocked;
+    } else if (st.payload_seen > 0) {
+      ++g.completed;
+    }
+  }
+
+  // Collateral damage: a benign (not attacked, not Sybil) home whose device
+  // ended up locked out paid for someone else's campaign.
+  std::set<fleet::HomeId> adversarial(scenario.attack.attacked_homes.begin(),
+                                      scenario.attack.attacked_homes.end());
+  adversarial.insert(scenario.attack.sybil_homes.begin(),
+                     scenario.attack.sybil_homes.end());
+  for (const auto& h : report.homes) {
+    if (adversarial.contains(h.home)) continue;
+    if (h.report.devices_locked > 0) ++cell.collateral_lockouts;
+  }
+  cell.report = std::move(report);
+  return cell;
+}
+
+CellResult run_fleet_cell(std::string name,
+                          const fleet::FleetScenario& scenario,
+                          const core::HumannessVerifier& humanness,
+                          std::size_t shards) {
+  fleet::FleetConfig config;
+  config.shards = shards;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  return grade_cell(std::move(name), scenario, engine.report());
+}
+
+CellResult run_cluster_cell(std::string name,
+                            const fleet::FleetScenario& scenario,
+                            const core::HumannessVerifier& humanness,
+                            std::size_t nodes) {
+  fleet::ClusterConfig config;
+  config.nodes = nodes;
+  // One scripted live migration mid-campaign: the first attacked home moves
+  // nodes while its attacker is active, so the ledger must survive the
+  // snapshot + journal-replay handoff.
+  fleet::HomeId victim = scenario.attack.attacked_homes.empty()
+                             ? 0
+                             : scenario.attack.attacked_homes.front();
+  fleet::PlacementTable table([&] {
+    std::vector<fleet::NodeId> ids;
+    for (std::size_t n = 0; n < nodes; ++n)
+      ids.push_back(static_cast<fleet::NodeId>(n));
+    return ids;
+  }());
+  fleet::NodeId to = static_cast<fleet::NodeId>(
+      (table.owner_of(victim) + 1) % static_cast<fleet::NodeId>(nodes));
+  double t0 = scenario.items.front().ts;
+  double t1 = scenario.items.back().ts;
+  config.migrations.push_back({victim, to, t0 + 0.6 * (t1 - t0)});
+
+  fleet::ClusterEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  return grade_cell(std::move(name), scenario, engine.report());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::print_header("bench_attack_eval",
+                      "§5.1 threat model + labeled fleet campaigns");
+
+  auto verifier = core::HumannessVerifier::train_synthetic(888);
+
+  std::printf("\n== single trained device vs scripted attacks ==\n");
+  run_single_device_table(verifier);
+
+  // ---- the campaign scenario ------------------------------------------------
+  fleet::FleetScenarioConfig scenario_config;
+  scenario_config.homes = quick ? 12 : 24;
+  scenario_config.devices_per_home = 2;
+  scenario_config.duration_days = quick ? 0.03 : 0.04;
+  scenario_config.policy = core::FailPolicy::kGrace;
+  scenario_config.attack.coverage = 2.0 / 3.0;  // every roster class appears
+  scenario_config.attack.sybil_fraction = 0.25;
+  auto scenario = fleet::make_fleet_scenario(scenario_config);
+
+  auto no_attack_config = scenario_config;
+  no_attack_config.attack = gen::CampaignConfig{};
+  auto benign_scenario = fleet::make_fleet_scenario(no_attack_config);
+
+  auto fail_closed_config = scenario_config;
+  fail_closed_config.policy = core::FailPolicy::kFailClosed;
+  auto fail_closed_scenario = fleet::make_fleet_scenario(fail_closed_config);
+
+  auto humanness =
+      core::HumannessVerifier::train_synthetic(scenario_config.seed);
+
+  std::printf("\n== fleet campaign matrix ==\n");
+  std::printf(
+      "fleet: %zu benign + %zu sybil homes; campaign: %zu attacked homes, "
+      "%llu attack packets + %llu attack proofs, %zu commands\n",
+      scenario_config.homes, scenario.attack.sybil_homes.size(),
+      scenario.attack.attacked_homes.size(),
+      static_cast<unsigned long long>(scenario.attack.packets),
+      static_cast<unsigned long long>(scenario.attack.proofs),
+      scenario.attack.commands.size());
+
+  std::vector<CellResult> cells;
+  cells.push_back(
+      run_fleet_cell("grace/shards=1", scenario, humanness, 1));
+  cells.push_back(
+      run_fleet_cell("grace/shards=4", scenario, humanness, 4));
+  cells.push_back(run_fleet_cell("fail-closed/shards=1", fail_closed_scenario,
+                                 humanness, 1));
+  cells.push_back(
+      run_cluster_cell("grace/cluster=4+mig", scenario, humanness, 4));
+  cells.push_back(
+      run_fleet_cell("no-attack baseline", benign_scenario, humanness, 1));
+  const CellResult& primary = cells[0];
+
+  // Per-class table for the primary (grace, shards=1) cell.
+  std::printf("\nper-class grading (grace, shards=1)\n");
+  std::printf("  %-20s %8s %8s %8s %9s %8s %7s\n", "class", "packets",
+              "proofs", "cmds", "blocked", "compl", "recall");
+  for (const auto& [cls, g] : primary.grades) {
+    std::printf("  %-20s %8llu %8llu %8llu %9llu %8llu %6.0f%%\n",
+                gen::attack_name(static_cast<gen::AttackType>(cls)),
+                static_cast<unsigned long long>(g.packets),
+                static_cast<unsigned long long>(g.proofs),
+                static_cast<unsigned long long>(g.commands),
+                static_cast<unsigned long long>(g.blocked),
+                static_cast<unsigned long long>(g.completed),
+                100.0 * g.recall());
+  }
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const std::string& what) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what.c_str());
+    ok = ok && cond;
+  };
+
+  std::printf("\nchecks:\n");
+  for (const auto& cell : cells) {
+    check(cell.all_processed, cell.name + ": every item processed, zero shed");
+  }
+
+  // Label coverage: the merged ledger graded exactly what the director
+  // injected — nothing lost, nothing double-counted.
+  const core::AttackLedger& ledger = primary.report.attack;
+  check(ledger.injected() == scenario.attack.packets,
+        "label coverage: " + std::to_string(ledger.injected()) + "/" +
+            std::to_string(scenario.attack.packets) +
+            " injected packets graded");
+  check(ledger.proofs_injected() == scenario.attack.proofs,
+        "label coverage: " + std::to_string(ledger.proofs_injected()) + "/" +
+            std::to_string(scenario.attack.proofs) +
+            " injected proofs graded");
+  check(ledger.commands.size() == scenario.attack.commands.size(),
+        "label coverage: " + std::to_string(ledger.commands.size()) + "/" +
+            std::to_string(scenario.attack.commands.size()) +
+            " commands graded");
+
+  // Recall floors, per class. Piggyback is exempt (§7 residual risk); every
+  // other class must clear its floor on the primary cell.
+  const std::map<int, double> floors = {
+      {static_cast<int>(gen::AttackType::kAccountCompromise), 1.0},
+      {static_cast<int>(gen::AttackType::kBruteForce), 1.0},
+      {static_cast<int>(gen::AttackType::kLanInjection), 1.0},
+      {static_cast<int>(gen::AttackType::kRuleMimicry), 1.0},
+      {static_cast<int>(gen::AttackType::kBucketMimicry), 1.0},
+      {static_cast<int>(gen::AttackType::kPaddingEvasion), 1.0},
+      {static_cast<int>(gen::AttackType::kProofReplay), 1.0},
+      {static_cast<int>(gen::AttackType::kSybilHome), 0.9},
+  };
+  for (const auto& [cls, floor] : floors) {
+    auto it = primary.grades.find(cls);
+    if (it == primary.grades.end() || it->second.commands == 0) continue;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s recall %.0f%% (floor %.0f%%)",
+                  gen::attack_name(static_cast<gen::AttackType>(cls)),
+                  100.0 * it->second.recall(), 100.0 * floor);
+    check(it->second.recall() >= floor, buf);
+  }
+  // Stolen proofs must all bounce off the replay defense.
+  auto replay_idx = static_cast<std::size_t>(gen::AttackType::kProofReplay);
+  check(ledger.by_class[replay_idx].proofs_rejected ==
+            ledger.by_class[replay_idx].proofs,
+        "all replayed proofs rejected (" +
+            std::to_string(ledger.by_class[replay_idx].proofs_rejected) + "/" +
+            std::to_string(ledger.by_class[replay_idx].proofs) + ")");
+
+  // Collateral damage: under grace, no benign home pays for the campaign
+  // with a lockout.
+  check(primary.collateral_lockouts == 0,
+        "zero collateral lockouts for benign homes under grace (" +
+            std::to_string(primary.collateral_lockouts) + ")");
+
+  // Determinism: shards=4 and the migrated cluster run reproduce shards=1
+  // home-for-home, labels included.
+  check(cells[1].digests == primary.digests,
+        "per-home reports byte-identical: shards=4 vs shards=1");
+  check(cells[3].digests == primary.digests,
+        "per-home reports byte-identical: cluster + live migration vs "
+        "shards=1");
+
+  // Benign isolation: with the campaign off, every benign home's report is
+  // byte-identical to its report under attack-fleet synthesis (the director
+  // never touches benign streams). Only attacked/sybil homes may differ.
+  std::set<fleet::HomeId> adversarial(scenario.attack.attacked_homes.begin(),
+                                      scenario.attack.attacked_homes.end());
+  adversarial.insert(scenario.attack.sybil_homes.begin(),
+                     scenario.attack.sybil_homes.end());
+  std::size_t benign_divergent = 0;
+  const CellResult& baseline = cells[4];
+  for (std::size_t i = 0; i < baseline.report.homes.size(); ++i) {
+    fleet::HomeId id = baseline.report.homes[i].home;
+    if (adversarial.contains(id)) continue;
+    if (i >= primary.report.homes.size() ||
+        primary.report.homes[i].home != id ||
+        primary.digests[i] != baseline.digests[i]) {
+      ++benign_divergent;
+    }
+  }
+  check(benign_divergent == 0,
+        "benign homes byte-identical with campaign on vs off (" +
+            std::to_string(benign_divergent) + " divergent)");
+
+  // ---- BENCH_attack.json ----------------------------------------------------
+  bench::Json cell_rows = bench::Json::array();
+  for (const auto& cell : cells) {
+    bench::Json classes = bench::Json::array();
+    for (const auto& [cls, g] : cell.grades) {
+      classes.push(
+          bench::Json::object()
+              .put("class", gen::attack_name(static_cast<gen::AttackType>(cls)))
+              .put("packets", g.packets)
+              .put("proofs", g.proofs)
+              .put("commands", g.commands)
+              .put("blocked", g.blocked)
+              .put("completed", g.completed)
+              .put("recall", g.recall()));
+    }
+    cell_rows.push(bench::Json::object()
+                       .put("cell", cell.name)
+                       .put("all_processed", cell.all_processed)
+                       .put("collateral_lockouts", cell.collateral_lockouts)
+                       .put("attack_injected",
+                            cell.report.stats.attack_injected)
+                       .put("attack_blocked", cell.report.stats.attack_blocked)
+                       .put("attack_completed",
+                            cell.report.stats.attack_completed)
+                       .put("classes", std::move(classes)));
+  }
+  bench::Json doc =
+      bench::Json::object()
+          .put("bench", "attack_eval")
+          .put("homes", scenario_config.homes)
+          .put("sybil_homes", scenario.attack.sybil_homes.size())
+          .put("attacked_homes", scenario.attack.attacked_homes.size())
+          .put("attack_packets", scenario.attack.packets)
+          .put("attack_proofs", scenario.attack.proofs)
+          .put("attack_commands", scenario.attack.commands.size())
+          .put("label_coverage",
+               ledger.injected() == scenario.attack.packets &&
+                   ledger.proofs_injected() == scenario.attack.proofs)
+          .put("deterministic_shards", cells[1].digests == primary.digests)
+          .put("deterministic_migration", cells[3].digests == primary.digests)
+          .put("benign_isolated", benign_divergent == 0)
+          .put("cells", std::move(cell_rows));
+  bench::write_bench_json("BENCH_attack.json", doc);
+
+  if (!ok) {
+    std::printf("\nbench_attack_eval: FAILURES above\n");
+    return 1;
+  }
+  std::printf("\nbench_attack_eval: all checks passed\n");
   return 0;
 }

@@ -42,33 +42,19 @@ DeviceResult run_device(const gen::DeviceProfile& profile,
                         std::uint64_t seed) {
   gen::LocationEnv env("US");
 
-  gen::TraceConfig train_cfg;
-  train_cfg.duration_days = 14;
-  train_cfg.seed = seed;
-  train_cfg.manual_per_day_override = profile.simple_rule ? 4.0 : 8.0;
-  auto train = gen::generate_trace(profile, env, train_cfg);
+  // Train the classifier on a 14-day collection trace (bench/common.cpp).
+  auto trained = bench::train_device_setup(profile, env, seed, /*train_days=*/14);
 
-  gen::TraceConfig test_cfg = train_cfg;
+  gen::TraceConfig test_cfg;
   test_cfg.duration_days = 7;
   test_cfg.seed = seed + 9999;
   test_cfg.manual_per_day_override = 7.2;  // ~50 scripted ops per device
   auto test = gen::generate_trace(profile, env, test_cfg);
 
-  // Per-device classifier, as deployed (§6 footnote 2).
-  core::ManualEventClassifier classifier =
-      profile.simple_rule
-          ? core::ManualEventClassifier::simple_rule(profile.rule_packet_size)
-          : core::ManualEventClassifier::train(core::extract_labeled_events(train),
-                                               train.device_ip);
-
   core::ProxyConfig pconfig;
   core::FiatProxy proxy(pconfig, verifier);
-  core::ProxyDevice dev;
-  dev.name = profile.name;
-  dev.ip = test.device_ip;
-  dev.allowed_prefix = profile.simple_rule ? 0 : 4;  // classify at pkt 1 / pkt 5
-  dev.classifier = classifier;
-  dev.app_package = "app." + profile.name;
+  core::ProxyDevice dev = trained.device;
+  dev.ip = test.device_ip;  // the proxy watches the test trace
   proxy.add_device(dev);
   proxy.dns() = test.dns;
 

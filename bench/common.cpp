@@ -67,6 +67,29 @@ std::vector<core::LabeledEvent> events_of(const DeviceTrace& dt) {
   return core::extract_labeled_events(dt.trace);
 }
 
+TrainedDevice train_device_setup(const gen::DeviceProfile& profile,
+                                 const gen::LocationEnv& env,
+                                 std::uint64_t seed, double train_days) {
+  gen::TraceConfig train_cfg;
+  train_cfg.duration_days = train_days;
+  train_cfg.seed = seed;
+  train_cfg.manual_per_day_override = profile.simple_rule ? 4.0 : 8.0;
+  TrainedDevice out;
+  out.train = gen::generate_trace(profile, env, train_cfg);
+  out.device.name = profile.name;
+  out.device.ip = out.train.device_ip;
+  // Simple-rule devices classify at packet 1; ML devices wait out the
+  // 5-packet feature prefix.
+  out.device.allowed_prefix = profile.simple_rule ? 0 : 4;
+  out.device.classifier =
+      profile.simple_rule
+          ? core::ManualEventClassifier::simple_rule(profile.rule_packet_size)
+          : core::ManualEventClassifier::train(
+                core::extract_labeled_events(out.train), out.train.device_ip);
+  out.device.app_package = "app." + profile.name;
+  return out;
+}
+
 bool write_bench_json(const std::string& path, const Json& json) {
   if (!util::write_json_file(path, json)) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

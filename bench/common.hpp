@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/event_dataset.hpp"
+#include "core/proxy.hpp"
 #include "gen/testbed.hpp"
 #include "util/json.hpp"
 
@@ -35,6 +36,24 @@ std::vector<DeviceTrace> all_device_traces(double days = 14.0,
 
 /// Labeled events for a trace under the default (PortLess) configuration.
 std::vector<core::LabeledEvent> events_of(const DeviceTrace& dt);
+
+/// One device trained the way the paper deploys it: a collection trace, the
+/// per-device classifier (simple rule or BernoulliNB, §6 footnote 2), and
+/// the ready-to-add ProxyDevice. Shared by bench_table6 and
+/// bench_attack_eval so "trained exactly like the Table 6 pipeline" is the
+/// same code, not a copy.
+struct TrainedDevice {
+  gen::LabeledTrace train;  // the collection trace the classifier saw
+  core::ProxyDevice device;  // name/ip/prefix/classifier/app_package set
+};
+
+/// Trains `profile`'s classifier on a `train_days` trace (scripted manual
+/// rate: 4/day for simple-rule devices, 8/day for ML devices) and builds its
+/// ProxyDevice. device.ip is the training trace's — override it when the
+/// proxy will see a different test trace.
+TrainedDevice train_device_setup(const gen::DeviceProfile& profile,
+                                 const gen::LocationEnv& env,
+                                 std::uint64_t seed, double train_days);
 
 /// Prints a horizontal rule + title, so every bench's output is greppable.
 void print_header(const std::string& bench, const std::string& paper_ref);

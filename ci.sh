@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Tier-1 CI: build + ctest normally (plus telemetry-export, hot-path,
-# crash-recovery and cluster smoke runs), then under ASan+UBSan (covers the
-# FlatMap / DomainInterner / golden-equivalence "hotpath" suites and the
-# "recovery"/"cluster" snapshot/supervisor/migration suites along with
-# everything else), then the concurrency-, recovery- and cluster-labeled
-# tests (fleet + transport + fleet telemetry merge + hotpath golden +
-# supervised-restart golden + cluster migration/failover golden) under TSan.
+# crash-recovery, cluster and attack-campaign smoke runs), then under
+# ASan+UBSan (covers the FlatMap / DomainInterner / golden-equivalence
+# "hotpath" suites and the "recovery"/"cluster" snapshot/supervisor/migration
+# suites along with everything else), then the concurrency-, recovery-,
+# cluster- and attack-labeled tests (fleet + transport + fleet telemetry
+# merge + hotpath golden + supervised-restart golden + cluster
+# migration/failover golden + labeled-campaign golden) under TSan.
 #
 #   ./ci.sh          all three legs
 #   ./ci.sh normal   plain build + tests + smoke runs only
@@ -88,6 +89,27 @@ cluster_smoke() {
   echo "==> [normal] cluster smoke ok"
 }
 
+# Attack smoke: run the adversarial campaign matrix in quick mode TWICE (its
+# label-coverage / recall-floor / collateral gates are enforced by the bench
+# itself), require the two BENCH_attack.json artifacts byte-identical (the
+# determinism contract extends to labeled campaigns), and validate with the
+# strict parser.
+attack_smoke() {
+  dir="$1"
+  echo "==> [normal] attack smoke"
+  bench_bin="$(pwd)/$dir/bench/bench_attack_eval"
+  validate_bin="$(pwd)/$dir/tools/fiat_json_validate"
+  for run in 1 2; do
+    smoke="$dir/attack-smoke-$run"
+    mkdir -p "$smoke"
+    (cd "$smoke" && "$bench_bin" --quick >/dev/null)
+  done
+  cmp "$dir/attack-smoke-1/BENCH_attack.json" \
+      "$dir/attack-smoke-2/BENCH_attack.json"
+  "$validate_bin" "$dir/attack-smoke-1/BENCH_attack.json"
+  echo "==> [normal] attack smoke ok"
+}
+
 # Telemetry smoke: run the fleet CLI with every export flag and validate the
 # JSON artifacts with the in-tree strict parser (no python/jq dependency).
 telemetry_smoke() {
@@ -111,6 +133,7 @@ case "$LEG" in
     hotpath_smoke build
     recovery_smoke build
     cluster_smoke build
+    attack_smoke build
     ;;
 esac
 
@@ -125,7 +148,7 @@ esac
 case "$LEG" in
   tsan|all)
     TSAN_OPTIONS="halt_on_error=1" \
-      run_leg tsan build-tsan "-L concurrency|recovery|cluster" -DFIAT_SANITIZE=thread
+      run_leg tsan build-tsan "-L concurrency|recovery|cluster|attack" -DFIAT_SANITIZE=thread
     ;;
 esac
 

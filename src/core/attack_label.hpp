@@ -1,0 +1,119 @@
+// Ground-truth attack labels and the proxy-side attack ledger.
+//
+// The campaign composer (gen::AttackDirector) stamps every injected packet
+// and proof with an AttackLabel; the fleet plumbing carries the label
+// alongside the item through shards / supervisors / the cluster control
+// plane, and FiatProxy::process(pkt, label) tallies the proxy's *verdict*
+// against the label into an AttackLedger. Recall and collateral metrics then
+// come from joining the ledger against the scenario's AttackTruth — no
+// post-hoc packet matching, no heuristics: 100% of injected traffic is
+// labeled at generation time.
+//
+// Labels are inert for benign traffic (cls < 0): the unlabeled process()
+// overload forwards a default AttackLabel, and an all-benign run leaves the
+// ledger empty so reports and snapshots stay byte-identical to pre-campaign
+// builds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "gen/attack_types.hpp"
+
+namespace fiat::core {
+
+/// Ground-truth tag attached to one injected packet or proof delivery.
+struct AttackLabel {
+  /// Attack class (gen::AttackType) or -1 for benign traffic.
+  std::int16_t cls = -1;
+  /// Campaign-unique command id, or -1 when the packet is cover chaff /
+  /// ambient Sybil noise rather than part of a distinct command attempt.
+  std::int32_t cmd = -1;
+  /// True for the packets that carry the actual command payload — the ones
+  /// that must be DROPPED for the attack command to count as blocked.
+  bool payload = false;
+
+  bool benign() const { return cls < 0; }
+};
+
+/// Per-attack-class packet/proof tallies, as seen by one proxy.
+struct AttackClassTally {
+  std::uint64_t packets = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t proofs = 0;
+  std::uint64_t proofs_rejected = 0;
+};
+
+/// Per-command outcome: a command attempt is *blocked* iff at least one of
+/// its payload packets was dropped, *completed* iff payload packets were
+/// seen and none dropped.
+struct AttackCmdState {
+  std::int16_t cls = -1;
+  std::uint64_t payload_seen = 0;
+  std::uint64_t payload_dropped = 0;
+};
+
+/// The proxy's running account of labeled attack traffic and what happened
+/// to it. Owned by FiatProxy; aggregated across homes by the fleet layers.
+struct AttackLedger {
+  std::array<AttackClassTally, static_cast<std::size_t>(gen::kAttackTypeCount)>
+      by_class{};
+  /// Keyed by campaign command id (sorted: deterministic encode order).
+  std::map<std::int32_t, AttackCmdState> commands;
+
+  std::uint64_t injected() const {
+    std::uint64_t n = 0;
+    for (const auto& t : by_class) n += t.packets;
+    return n;
+  }
+  std::uint64_t dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& t : by_class) n += t.packets_dropped;
+    return n;
+  }
+  std::uint64_t proofs_injected() const {
+    std::uint64_t n = 0;
+    for (const auto& t : by_class) n += t.proofs;
+    return n;
+  }
+  std::uint64_t proofs_rejected() const {
+    std::uint64_t n = 0;
+    for (const auto& t : by_class) n += t.proofs_rejected;
+    return n;
+  }
+  std::uint64_t commands_blocked() const {
+    std::uint64_t n = 0;
+    for (const auto& [cmd, st] : commands) {
+      if (st.payload_dropped > 0) ++n;
+    }
+    return n;
+  }
+  std::uint64_t commands_completed() const {
+    std::uint64_t n = 0;
+    for (const auto& [cmd, st] : commands) {
+      if (st.payload_seen > 0 && st.payload_dropped == 0) ++n;
+    }
+    return n;
+  }
+  bool empty() const {
+    return commands.empty() && injected() == 0 && proofs_injected() == 0;
+  }
+
+  void merge(const AttackLedger& other) {
+    for (std::size_t i = 0; i < by_class.size(); ++i) {
+      by_class[i].packets += other.by_class[i].packets;
+      by_class[i].packets_dropped += other.by_class[i].packets_dropped;
+      by_class[i].proofs += other.by_class[i].proofs;
+      by_class[i].proofs_rejected += other.by_class[i].proofs_rejected;
+    }
+    for (const auto& [cmd, st] : other.commands) {
+      AttackCmdState& mine = commands[cmd];
+      mine.cls = st.cls;
+      mine.payload_seen += st.payload_seen;
+      mine.payload_dropped += st.payload_dropped;
+    }
+  }
+};
+
+}  // namespace fiat::core

@@ -43,6 +43,9 @@ class ManualEventClassifier {
   }
 
   bool uses_simple_rule() const { return rule_size_ != 0; }
+  /// The simple rule's notification size (0 in ML mode). The proxy's
+  /// chaff-prefix escalation keys on this signature.
+  std::uint32_t simple_rule_size() const { return rule_size_; }
   /// False for a default-constructed classifier (classify() would throw);
   /// the proxy treats such devices via its degraded-mode FailPolicy.
   bool trained() const { return rule_size_ != 0 || model_ != nullptr; }

@@ -282,6 +282,28 @@ void FiatProxy::close_event(DeviceState& dev) {
   dev.human_validated = false;
   dev.degraded = false;
   dev.degraded_open = false;
+  dev.event_costume = 0;
+  dev.escalated = false;
+}
+
+void FiatProxy::enter_manual_gate(DeviceState& dev, double now, bool degraded) {
+  dev.degraded = degraded;
+  if (degraded) ++events_degraded_;
+  // Under kGrace while degraded, a proof that went stale during the
+  // dark window keeps covering the device for `degraded_grace` extra
+  // seconds — the network ate the refresh, not the user.
+  double slack = (degraded && config_.degraded_policy == FailPolicy::kGrace)
+                     ? config_.degraded_grace
+                     : 0.0;
+  dev.human_validated = fresh_proof_for(dev, now, slack);
+  if (!dev.human_validated) {
+    if (degraded && config_.degraded_policy == FailPolicy::kFailOpen) {
+      dev.degraded_open = true;  // availability over security, by choice
+    } else {
+      ++alerts_;
+      count_violation(dev, now, degraded);
+    }
+  }
 }
 
 Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord& pkt) {
@@ -321,27 +343,58 @@ Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord
         for (const auto& event_pkt : seen.packets) {
           dev.rules.forbid_online(event_pkt);
         }
-      }
-    }
-    if (*dev.classified == gen::TrafficClass::kManual) {
-      dev.degraded = degraded;
-      if (degraded) ++events_degraded_;
-      // Under kGrace while degraded, a proof that went stale during the
-      // dark window keeps covering the device for `degraded_grace` extra
-      // seconds — the network ate the refresh, not the user.
-      double slack = (degraded && config_.degraded_policy == FailPolicy::kGrace)
-                         ? config_.degraded_grace
-                         : 0.0;
-      dev.human_validated = fresh_proof_for(dev, now, slack);
-      if (!dev.human_validated) {
-        if (degraded && config_.degraded_policy == FailPolicy::kFailOpen) {
-          dev.degraded_open = true;  // availability over security, by choice
-        } else {
-          ++alerts_;
-          count_violation(dev, now, degraded);
+      } else if (config_.mimicry_guard &&
+                 dev.event_costume >= config_.mimicry_min_costume &&
+                 static_cast<double>(dev.event_costume) >=
+                     config_.mimicry_costume_fraction *
+                         static_cast<double>(dev.event_packets)) {
+        // The event is mostly off-rhythm replays of the device's own
+        // predictable buckets — WiFinger-style mimicry cover, not a shape
+        // the classifier was trained to flag. Escalate to the humanness
+        // gate. (No forbid_online here: the mimicked buckets are the
+        // device's genuine signatures.)
+        dev.classified = gen::TrafficClass::kManual;
+        dev.escalated = true;
+        ++mimicry_escalations_;
+      } else if (config_.notification_escalation &&
+                 dev.config.classifier.simple_rule_size() > 0) {
+        // The first-packet rule saw chaff, but the command-notification
+        // packet may be hiding later in the prefix (or be this very
+        // packet, when the chaff exactly fills the allowed prefix).
+        for (const auto& event_pkt : seen.packets) {
+          if (event_pkt.dst_ip == dev.config.ip &&
+              event_pkt.size == dev.config.classifier.simple_rule_size()) {
+            dev.classified = gen::TrafficClass::kManual;
+            dev.escalated = true;
+            ++notification_escalations_;
+            // Same bar as the natural manual classification above: the
+            // event's buckets (the notification's especially) must never
+            // self-promote, or a patient attacker repeating the chaffed
+            // command on a schedule would whitelist the notification.
+            for (const auto& ban_pkt : seen.packets) {
+              dev.rules.forbid_online(ban_pkt);
+            }
+            break;
+          }
         }
       }
     }
+    if (*dev.classified == gen::TrafficClass::kManual) {
+      enter_manual_gate(dev, now, degraded);
+    }
+  } else if (config_.notification_escalation && !dev.escalated &&
+             *dev.classified != gen::TrafficClass::kManual &&
+             dev.config.classifier.simple_rule_size() > 0 &&
+             pkt.dst_ip == dev.config.ip &&
+             pkt.size == dev.config.classifier.simple_rule_size()) {
+    // A packet matching the device's command-notification signature arrived
+    // inside an event the first-packet classifier already waved through —
+    // the chaff-prefix evasion. Re-run the gate for the rest of the event.
+    dev.classified = gen::TrafficClass::kManual;
+    dev.escalated = true;
+    ++notification_escalations_;
+    dev.rules.forbid_online(pkt);  // the notification must never self-promote
+    enter_manual_gate(dev, now, proof_channel_dark(now));
   }
 
   // Phase 3: verdict by classification.
@@ -378,7 +431,7 @@ Verdict FiatProxy::decide_event_packet(DeviceState& dev, const net::PacketRecord
   return record(now, dev.config.name, v, why, dev.event_seq);
 }
 
-Verdict FiatProxy::process(const net::PacketRecord& pkt) {
+Verdict FiatProxy::process_packet(const net::PacketRecord& pkt) {
   double now = pkt.ts;
   if (first_packet_ts_ < 0) first_packet_ts_ = now;
 
@@ -413,11 +466,45 @@ Verdict FiatProxy::process(const net::PacketRecord& pkt) {
   if (hit) {
     return record(now, dev->config.name, Verdict::kAllow, Disposition::kRuleHit, -1);
   }
+  // A miss on a bucket that HAS earned allow rules is the mimicry-guard
+  // signal (off-rhythm replay of a predictable signature). Sample it before
+  // the grouper may close the previous event, apply it to the event this
+  // packet joins.
+  bool costume = dev->rules.last_miss_known_bucket();
 
   // Unpredictable: event grouping + classification gate.
   if (auto closed = dev->grouper.add(pkt)) close_event(*dev);
   dev->event_packets++;
+  if (costume) dev->event_costume++;
   return decide_event_packet(*dev, pkt);
+}
+
+Verdict FiatProxy::process(const net::PacketRecord& pkt) {
+  return process(pkt, AttackLabel{});
+}
+
+Verdict FiatProxy::process(const net::PacketRecord& pkt, const AttackLabel& label) {
+  Verdict v = process_packet(pkt);
+  if (!label.benign()) {
+    AttackClassTally& tally = ledger_.by_class[static_cast<std::size_t>(label.cls)];
+    ++tally.packets;
+    if (v == Verdict::kDrop) ++tally.packets_dropped;
+    if (label.cmd >= 0 && label.payload) {
+      AttackCmdState& cmd = ledger_.commands[label.cmd];
+      cmd.cls = label.cls;
+      ++cmd.payload_seen;
+      if (v == Verdict::kDrop) ++cmd.payload_dropped;
+    }
+  }
+  return v;
+}
+
+std::size_t FiatProxy::locked_device_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, dev] : devices_) {
+    if (dev.locked) ++n;
+  }
+  return n;
 }
 
 std::optional<AuthMessage> FiatProxy::on_auth_payload(
@@ -494,6 +581,18 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   proofs_.push_back(HumanProof{now, msg->app_package});
   if (config_.degraded_policy == FailPolicy::kGrace) {
     forgive_covered_violations(msg->app_package, msg->capture_time, now);
+  }
+  return msg;
+}
+
+std::optional<AuthMessage> FiatProxy::on_auth_payload(
+    const std::string& client_id, std::span<const std::uint8_t> payload,
+    double now, const AttackLabel& label) {
+  std::optional<AuthMessage> msg = on_auth_payload(client_id, payload, now);
+  if (!label.benign()) {
+    AttackClassTally& tally = ledger_.by_class[static_cast<std::size_t>(label.cls)];
+    ++tally.proofs;
+    if (!msg) ++tally.proofs_rejected;
   }
   return msg;
 }
@@ -618,6 +717,25 @@ void FiatProxy::encode_durable_state(util::ByteWriter& w) const {
     for (double t : dev.recent_violations) w.f64be(t);
     w.f64be(dev.locked_until);
     w.u8(dev.locked ? 1 : 0);
+    w.u64be(dev.event_costume);
+    w.u8(dev.escalated ? 1 : 0);
+  }
+
+  // -- attack ledger + guard escalations (state version 2) ------------------
+  w.u64be(mimicry_escalations_);
+  w.u64be(notification_escalations_);
+  for (const AttackClassTally& t : ledger_.by_class) {
+    w.u64be(t.packets);
+    w.u64be(t.packets_dropped);
+    w.u64be(t.proofs);
+    w.u64be(t.proofs_rejected);
+  }
+  w.u32be(static_cast<std::uint32_t>(ledger_.commands.size()));
+  for (const auto& [cmd, st] : ledger_.commands) {  // std::map: sorted
+    w.u32be(static_cast<std::uint32_t>(cmd));
+    w.u32be(static_cast<std::uint32_t>(st.cls));
+    w.u64be(st.payload_seen);
+    w.u64be(st.payload_dropped);
   }
 }
 
@@ -725,6 +843,27 @@ void FiatProxy::decode_durable_state(util::ByteReader& r) {
     }
     dev.locked_until = r.f64be();
     dev.locked = r.u8() != 0;
+    dev.event_costume = r.u64be();
+    dev.escalated = r.u8() != 0;
+  }
+
+  mimicry_escalations_ = r.u64be();
+  notification_escalations_ = r.u64be();
+  for (AttackClassTally& t : ledger_.by_class) {
+    t.packets = r.u64be();
+    t.packets_dropped = r.u64be();
+    t.proofs = r.u64be();
+    t.proofs_rejected = r.u64be();
+  }
+  ledger_.commands.clear();
+  std::uint32_t cmd_count = r.u32be();
+  for (std::uint32_t i = 0; i < cmd_count; ++i) {
+    auto cmd = static_cast<std::int32_t>(r.u32be());
+    AttackCmdState st;
+    st.cls = static_cast<std::int16_t>(r.u32be());
+    st.payload_seen = r.u64be();
+    st.payload_dropped = r.u64be();
+    ledger_.commands.emplace(cmd, st);
   }
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/attack_label.hpp"
 #include "core/auth_message.hpp"
 #include "core/events.hpp"
 #include "core/humanness.hpp"
@@ -101,6 +102,26 @@ struct ProxyConfig {
   /// The proof channel is considered dark when it was active before but has
   /// shown no traffic (not even rejected proofs) for this long.
   double channel_dark_after = 60.0;
+
+  // ---- mimicry / evasion hardening ---------------------------------------
+  /// WiFinger counter-measure: an unpredictable event whose packets are
+  /// mostly *known-bucket misses* (the 6-tuple matches a bucket that has
+  /// earned allow rules, but the inter-arrival bin is wrong) looks like
+  /// someone replaying the device's own predictable signatures off-rhythm.
+  /// If the classifier calls such an event non-manual, escalate it to the
+  /// humanness gate instead of waving the rest of the event through.
+  bool mimicry_guard = true;
+  /// Minimum known-bucket misses in the event before the guard can fire.
+  std::size_t mimicry_min_costume = 3;
+  /// ... and they must be at least this fraction of the event's packets.
+  double mimicry_costume_fraction = 0.6;
+  /// Chaff-prefix counter-measure for simple-rule devices: their classifier
+  /// keys on the FIRST packet only, so an attacker can open an event with
+  /// junk and slip the real command notification through mid-event. When a
+  /// packet matching the device's notification signature (inbound, exact
+  /// rule size) arrives inside an event already classified non-manual,
+  /// re-escalate the event to the humanness gate.
+  bool notification_escalation = true;
 };
 
 struct ProxyDevice {
@@ -195,6 +216,10 @@ class FiatProxy {
   // ---- data path ---------------------------------------------------------
   /// Processes one intercepted packet; `now` defaults to the packet time.
   Verdict process(const net::PacketRecord& pkt);
+  /// Same, with a ground-truth attack label (campaign replays). The verdict
+  /// is tallied into the attack ledger; a benign label is inert, so this is
+  /// byte-for-byte the unlabeled path for normal traffic.
+  Verdict process(const net::PacketRecord& pkt, const AttackLabel& label);
 
   /// Humanness proof arriving from the phone (QuicLite payload: u64 seq ||
   /// sealed auth message). Returns the validated message when the signature
@@ -202,6 +227,11 @@ class FiatProxy {
   std::optional<AuthMessage> on_auth_payload(const std::string& client_id,
                                              std::span<const std::uint8_t> payload,
                                              double now);
+  /// Labeled variant: attack proof deliveries (replay floods) are tallied
+  /// into the ledger's proof columns.
+  std::optional<AuthMessage> on_auth_payload(const std::string& client_id,
+                                             std::span<const std::uint8_t> payload,
+                                             double now, const AttackLabel& label);
 
   /// User manually re-enables a locked-out device (§5.4).
   void unlock_device(const std::string& name);
@@ -264,6 +294,14 @@ class FiatProxy {
   std::size_t degraded_allows() const { return degraded_allows_; }
   /// Would-be lockout violations forgiven by kGrace while degraded.
   std::size_t violations_forgiven() const { return violations_forgiven_; }
+  /// Ground-truth attack accounting (empty unless labeled traffic ran).
+  const AttackLedger& attack_ledger() const { return ledger_; }
+  /// Events the mimicry guard escalated to the humanness gate.
+  std::size_t mimicry_escalations() const { return mimicry_escalations_; }
+  /// Events re-escalated by the notification-signature check.
+  std::size_t notification_escalations() const { return notification_escalations_; }
+  /// Devices currently under brute-force lockout.
+  std::size_t locked_device_count() const;
 
  private:
   struct HumanProof {
@@ -286,6 +324,9 @@ class FiatProxy {
     bool human_validated = false;
     bool degraded = false;       // event decided while proxy degraded
     bool degraded_open = false;  // fail-open verdict for this event
+    // Mimicry bookkeeping for the open event.
+    std::size_t event_costume = 0;  // known-bucket misses (off-rhythm replays)
+    bool escalated = false;         // a guard re-routed this event to manual
     // Lockout bookkeeping.
     std::deque<double> recent_violations;
     double locked_until = -1.0;
@@ -296,7 +337,11 @@ class FiatProxy {
   };
 
   DeviceState* device_of(const net::PacketRecord& pkt);
+  Verdict process_packet(const net::PacketRecord& pkt);
   Verdict decide_event_packet(DeviceState& dev, const net::PacketRecord& pkt);
+  /// The manual-classification gate shared by genuine classifications and
+  /// guard escalations: degraded accounting, proof lookup, alert/violation.
+  void enter_manual_gate(DeviceState& dev, double now, bool degraded);
   void close_event(DeviceState& dev);
   bool fresh_proof_for(const DeviceState& dev, double now, double slack = 0.0) const;
   void count_violation(DeviceState& dev, double now, bool degraded);
@@ -339,6 +384,11 @@ class FiatProxy {
   std::size_t events_degraded_ = 0;
   std::size_t degraded_allows_ = 0;
   std::size_t violations_forgiven_ = 0;
+
+  // Attack accounting (ground-truth labels) + guard escalations.
+  AttackLedger ledger_;
+  std::size_t mimicry_escalations_ = 0;
+  std::size_t notification_escalations_ = 0;
 
   // Telemetry (optional; cached metric pointers, see set_telemetry()).
   telemetry::Sink* telemetry_ = nullptr;

@@ -16,6 +16,10 @@ SecurityReport build_security_report(const FiatProxy& proxy) {
   report.events_decided_degraded = proxy.events_decided_degraded();
   report.degraded_allows = proxy.degraded_allows();
   report.violations_forgiven = proxy.violations_forgiven();
+  report.devices_locked = proxy.locked_device_count();
+  report.attack = proxy.attack_ledger();
+  report.mimicry_escalations = proxy.mimicry_escalations();
+  report.notification_escalations = proxy.notification_escalations();
 
   std::map<std::string, DeviceReport> devices;
   for (const auto& decision : proxy.decision_log()) {
@@ -100,6 +104,38 @@ std::string SecurityReport::render() const {
                   dev.events_total, dev.events_manual_validated,
                   dev.events_manual_blocked, dev.events_non_manual);
     out += line;
+  }
+
+  // Campaign ground truth: only rendered when labeled attack traffic ran, so
+  // benign-only reports stay byte-identical to pre-campaign builds.
+  if (!attack.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "\nattack traffic (ground truth): %llu packets injected, "
+                  "%llu dropped; %llu proofs injected, %llu rejected\n",
+                  static_cast<unsigned long long>(attack.injected()),
+                  static_cast<unsigned long long>(attack.dropped()),
+                  static_cast<unsigned long long>(attack.proofs_injected()),
+                  static_cast<unsigned long long>(attack.proofs_rejected()));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "attack commands: %llu blocked, %llu completed; escalations: "
+                  "%zu mimicry, %zu notification; devices locked: %zu\n",
+                  static_cast<unsigned long long>(attack.commands_blocked()),
+                  static_cast<unsigned long long>(attack.commands_completed()),
+                  mimicry_escalations, notification_escalations, devices_locked);
+    out += line;
+    for (std::size_t i = 0; i < attack.by_class.size(); ++i) {
+      const AttackClassTally& t = attack.by_class[i];
+      if (t.packets == 0 && t.proofs == 0) continue;
+      std::snprintf(line, sizeof(line),
+                    "  %-18s %7llu pkts %7llu dropped %6llu proofs %6llu rejected\n",
+                    gen::attack_name(static_cast<gen::AttackType>(i)),
+                    static_cast<unsigned long long>(t.packets),
+                    static_cast<unsigned long long>(t.packets_dropped),
+                    static_cast<unsigned long long>(t.proofs),
+                    static_cast<unsigned long long>(t.proofs_rejected));
+      out += line;
+    }
   }
 
   out += "\nincidents";

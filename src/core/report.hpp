@@ -47,6 +47,12 @@ struct SecurityReport {
   std::size_t events_decided_degraded = 0;
   std::size_t degraded_allows = 0;
   std::size_t violations_forgiven = 0;
+  std::size_t devices_locked = 0;
+  // Ground-truth attack accounting (campaign replays only; all zero — and
+  // absent from render() — for purely benign traffic).
+  AttackLedger attack;
+  std::size_t mimicry_escalations = 0;
+  std::size_t notification_escalations = 0;
 
   /// Plain-text rendering (what the companion app would show).
   std::string render() const;

@@ -77,11 +77,15 @@ bool RuleTable::match(const net::PacketRecord& pkt) {
   if (config_.legacy_keys) {
     auto& bucket = legacy_buckets_[make_legacy_key(pkt)];
     std::int64_t bin = observe_bucket(bucket, pkt);
-    return bin >= 0 && bucket.matched_bins.contains(bin);
+    bool hit = bin >= 0 && bucket.matched_bins.contains(bin);
+    last_miss_known_bucket_ = !hit && !bucket.matched_bins.empty();
+    return hit;
   }
   auto& bucket = buckets_[make_key(pkt)];
   std::int64_t bin = observe_bucket(bucket, pkt);
-  return bin >= 0 && bucket.matched_bins.contains(bin);
+  bool hit = bin >= 0 && bucket.matched_bins.contains(bin);
+  last_miss_known_bucket_ = !hit && !bucket.matched_bins.empty();
+  return hit;
 }
 
 bool RuleTable::match_and_learn(const net::PacketRecord& pkt) {
@@ -91,8 +95,15 @@ bool RuleTable::match_and_learn(const net::PacketRecord& pkt) {
     // allocations stand in for the seed's per-insert cost.
     auto& bucket = legacy_buckets_[make_legacy_key(pkt)];
     std::int64_t bin = observe_bucket(bucket, pkt);
-    if (bin < 0) return false;
-    if (bucket.matched_bins.contains(bin)) return true;
+    if (bin < 0) {
+      last_miss_known_bucket_ = !bucket.matched_bins.empty();
+      return false;
+    }
+    if (bucket.matched_bins.contains(bin)) {
+      last_miss_known_bucket_ = false;
+      return true;
+    }
+    last_miss_known_bucket_ = !bucket.matched_bins.empty();
     if (static_cast<double>(bin) * config_.bin < config_.min_online_learn_interval) {
       return false;
     }
@@ -104,8 +115,17 @@ bool RuleTable::match_and_learn(const net::PacketRecord& pkt) {
   BucketKey key = make_key(pkt);
   auto& bucket = buckets_[key];
   std::int64_t bin = observe_bucket(bucket, pkt);
-  if (bin < 0) return false;
-  return match_and_learn_bins(bucket, bin, banned_.contains(key));
+  if (bin < 0) {
+    last_miss_known_bucket_ = !bucket.matched_bins.empty();
+    return false;
+  }
+  // Flag sampled BEFORE learn_bins may promote this very bin (the legacy
+  // branch reads it pre-learn too — golden equivalence requires identical
+  // observations on both key paths).
+  bool known = !bucket.matched_bins.empty();
+  bool hit = match_and_learn_bins(bucket, bin, banned_.contains(key));
+  last_miss_known_bucket_ = !hit && known;
+  return hit;
 }
 
 void RuleTable::forbid_online(const net::PacketRecord& pkt) {

@@ -88,6 +88,13 @@ class RuleTable {
   /// path; the seed's match_and_learn computed two.
   std::size_t keygen_count() const { return keygen_count_; }
 
+  /// True iff the most recent match()/match_and_learn() MISSED on a bucket
+  /// that already holds promoted rules — the packet's 6-tuple is one of the
+  /// device's predictable signatures, but it arrived off-rhythm. This is the
+  /// WiFinger mimicry tell the proxy's mimicry guard keys on: replayed
+  /// predictable buckets at the wrong inter-arrival bins.
+  bool last_miss_known_bucket() const { return last_miss_known_bucket_; }
+
   /// State-codec hooks (state_codec.hpp). Learned buckets, banned sets, and
   /// the interner are serialized in a canonical sorted order (FlatMap/FlatSet
   /// iterate in insertion order, which is not). decode_state throws
@@ -126,6 +133,7 @@ class RuleTable {
   RuleTableConfig config_;
   DomainInterner interner_;  // per-device, owns this table's domain ids
   std::size_t keygen_count_ = 0;
+  bool last_miss_known_bucket_ = false;  // see last_miss_known_bucket()
 
   util::FlatMap<BucketKey, BucketState> buckets_;
   util::FlatSet<BucketKey> banned_;  // excluded from online promotion

@@ -40,7 +40,9 @@ namespace fiat::core {
 class FiatProxy;
 
 inline constexpr std::uint32_t kStateMagic = 0x46534e50;  // "FSNP"
-inline constexpr std::uint16_t kStateVersion = 1;
+// v2: proxy durable state gained the attack ledger, guard-escalation
+// counters, and per-device mimicry bookkeeping (event_costume/escalated).
+inline constexpr std::uint16_t kStateVersion = 2;
 /// Envelope bytes before the payload (magic..payload_len).
 inline constexpr std::size_t kStateHeaderSize = 20;
 inline constexpr std::size_t kStateChecksumSize = 8;

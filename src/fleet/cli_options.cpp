@@ -59,6 +59,33 @@ FleetScenarioConfig parse_scenario_flags(const util::Flags& flags) {
     config.zipf_max_devices =
         count_flag(flags, "fleet", "zipf-max-devices", 8.0);
   }
+
+  // Campaign knobs (gen::AttackDirector). --attack-coverage or --sybil-frac
+  // arms the director; the rest refine it.
+  if (flags.has("attack-coverage")) {
+    config.attack.coverage = flags.number_or("attack-coverage", 0.0);
+    if (config.attack.coverage < 0.0 || config.attack.coverage > 1.0) {
+      throw Error("fleet: --attack-coverage must be in [0, 1]");
+    }
+  }
+  if (flags.has("sybil-frac")) {
+    config.attack.sybil_fraction = flags.number_or("sybil-frac", 0.0);
+    if (config.attack.sybil_fraction < 0.0) {
+      throw Error("fleet: --sybil-frac must be >= 0");
+    }
+  }
+  if (flags.has("attack-attempts")) {
+    config.attack.attempts =
+        static_cast<int>(count_flag(flags, "fleet", "attack-attempts", 4.0));
+  }
+  if (flags.has("attack-spacing")) {
+    config.attack.spacing =
+        positive_interval(flags, "fleet", "attack-spacing", 45.0);
+  }
+  if (flags.has("attack-seed")) {
+    config.attack.seed = static_cast<std::uint64_t>(
+        flags.number_or("attack-seed", static_cast<double>(config.attack.seed)));
+  }
   return config;
 }
 

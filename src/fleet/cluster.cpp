@@ -142,11 +142,12 @@ void ClusterNode::process_item(const FleetItem& item) {
   if (it == homes_.end()) return;  // routing bug; dropping beats crashing
   switch (item.kind) {
     case FleetItem::Kind::kPacket:
-      it->second.proxy().process(item.pkt);
+      it->second.proxy().process(item.pkt, item.attack);
       ++packets_;
       break;
     case FleetItem::Kind::kProof:
-      it->second.proxy().on_auth_payload(item.client_id, item.payload, item.ts);
+      it->second.proxy().on_auth_payload(item.client_id, item.payload, item.ts,
+                                         item.attack);
       ++proofs_;
       break;
   }
@@ -264,6 +265,11 @@ ShardStats ClusterNode::stats() const {
   s.queue_high_water = q.high_water;
   s.queue_shed = q.shed;
   s.queue_shed_on_close = q.shed_on_close;
+  core::AttackLedger ledger;
+  for (const auto& [id, home] : homes_) ledger.merge(home.proxy().attack_ledger());
+  s.attack_injected = ledger.injected() + ledger.proofs_injected();
+  s.attack_blocked = ledger.commands_blocked();
+  s.attack_completed = ledger.commands_completed();
   return s;
 }
 
@@ -617,13 +623,20 @@ FleetStats ClusterEngine::stats() const {
   out.wall_seconds = wall_seconds_;
   out.migrations = migrations_.size();
   out.node_failovers = failovers_.size();
-  for (const auto& node : nodes_) {
-    ShardStats s = node->stats();
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    ShardStats s = nodes_[n]->stats();
     out.packets_out += s.packets;
     out.proofs_out += s.proofs;
     out.shed += s.queue_shed;
     out.shed_on_close += s.queue_shed_on_close;
     out.discarded += s.discarded;
+    // A dead node's leftover home copies were re-placed elsewhere; counting
+    // their ledgers into the totals would double-grade the replayed items.
+    if (!node_dead_[n]) {
+      out.attack_injected += s.attack_injected;
+      out.attack_blocked += s.attack_blocked;
+      out.attack_completed += s.attack_completed;
+    }
     out.shards.push_back(s);
   }
   telemetry::MetricsRegistry merged;
@@ -650,6 +663,7 @@ FleetReport ClusterEngine::report() {
       entry.counters = home.proxy().counters();
       entry.report = core::build_security_report(home.proxy());
       out.totals += entry.counters;
+      out.attack.merge(entry.report.attack);
       if (!entry.report.incidents.empty()) ++out.homes_with_incidents;
       out.homes.push_back(std::move(entry));
     }

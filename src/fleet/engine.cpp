@@ -124,6 +124,9 @@ FleetStats FleetEngine::stats() const {
     out.discarded += s.discarded;
     out.restarts += s.restarts;
     out.quarantined += s.quarantined;
+    out.attack_injected += s.attack_injected;
+    out.attack_blocked += s.attack_blocked;
+    out.attack_completed += s.attack_completed;
     out.shards.push_back(s);
   }
   return out;
@@ -169,6 +172,7 @@ FleetReport FleetEngine::report() {
       entry.counters = home.proxy().counters();
       entry.report = core::build_security_report(home.proxy());
       out.totals += entry.counters;
+      out.attack.merge(entry.report.attack);
       if (!entry.report.incidents.empty()) ++out.homes_with_incidents;
       out.homes.push_back(std::move(entry));
     }
@@ -201,6 +205,18 @@ std::string FleetReport::render(std::size_t max_homes) const {
                 totals.events_decided_degraded, totals.degraded_allows,
                 totals.violations_forgiven);
   out += line;
+  if (!attack.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "attacks: %llu/%llu packets dropped, %llu/%llu proofs "
+                  "rejected, %llu commands blocked, %llu completed\n",
+                  static_cast<unsigned long long>(attack.dropped()),
+                  static_cast<unsigned long long>(attack.injected()),
+                  static_cast<unsigned long long>(attack.proofs_rejected()),
+                  static_cast<unsigned long long>(attack.proofs_injected()),
+                  static_cast<unsigned long long>(attack.commands_blocked()),
+                  static_cast<unsigned long long>(attack.commands_completed()));
+    out += line;
+  }
   out += "\n-- runtime --\n";
   out += stats.render();
 

@@ -62,6 +62,9 @@ struct FleetReport {
 
   std::vector<HomeEntry> homes;  // sorted by home id
   core::ProxyCounters totals;
+  /// Fleet-wide campaign grading: every home's AttackLedger merged. Empty
+  /// (and silent in render()) when no campaign ran.
+  core::AttackLedger attack;
   std::size_t homes_with_incidents = 0;
   FleetStats stats;
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <optional>
+#include <set>
 
 #include "core/auth_message.hpp"
 #include "crypto/keystore.hpp"
@@ -24,6 +27,14 @@ void stable_sort_by_ts(std::vector<FleetItem>& items) {
                    [](const FleetItem& a, const FleetItem& b) { return a.ts < b.ts; });
 }
 
+core::AttackLabel label_of(gen::AttackType type, std::int32_t cmd, bool payload) {
+  core::AttackLabel label;
+  label.cls = static_cast<std::int16_t>(type);
+  label.cmd = cmd;
+  label.payload = payload;
+  return label;
+}
+
 }  // namespace
 
 FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
@@ -40,6 +51,14 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
 
   FleetScenario scenario;
   scenario.homes.reserve(config.homes);
+
+  // Campaign composer (inert when disabled). Draws only from its own seed:
+  // benign homes' traffic is byte-identical with the campaign on or off.
+  std::optional<gen::AttackDirector> director;
+  if (config.attack.enabled()) {
+    director.emplace(config.attack, config.homes);
+  }
+  const double trace_duration = config.duration_days * 86400.0;
 
   sim::Rng base(config.seed);
   // One keystore stands in for all the phones' TEEs; each home gets its own
@@ -71,6 +90,11 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
     // time: the proxy treats a lower-than-high-water sequence as a replay,
     // so sequence numbers must be issued in the order the phone sends.
     std::vector<std::pair<double, core::AuthMessage>> proofs;
+    // Stolen-proof replay schedule (kProofReplay campaigns): delivery times
+    // at which the adversary re-sends the newest captured proof datagram.
+    std::vector<double> proof_replays;
+    std::optional<gen::AttackProfile> attack_profile =
+        director ? director->plan(home_id, trace_duration) : std::nullopt;
 
     std::size_t home_devices = config.devices_per_home;
     if (config.zipf_skew > 0.0) {
@@ -92,6 +116,9 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
       // activity window; open it up so manual events actually land.
       trace_config.active_day_start = 0.0;
       trace_config.active_day_end = 24 * 3600.0;
+      // Manual events open with the notification packet for every profile,
+      // so the fleet's notification-size stand-in classifier can see them.
+      trace_config.notification_manual = true;
       gen::LabeledTrace trace = gen::generate_trace(profile, env, trace_config);
 
       core::ProxyDevice device;
@@ -126,11 +153,39 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
           proofs.emplace_back(interaction.start - 0.1, std::move(msg));
         }
       }
+
+      // The campaign targets each attacked home's primary device, composing
+      // its wave from the device's own benign trace (WiFinger-style
+      // sniffing, piggyback synchronization).
+      if (attack_profile && d == 0) {
+        gen::AttackWave wave =
+            director->compose(home_id, *attack_profile, profile, env, trace);
+        scenario.attack.attacked_homes.push_back(home_id);
+        std::map<std::int32_t, std::uint64_t> payload_counts;
+        for (const gen::AttackPacket& ap : wave.packets) {
+          FleetItem item = FleetItem::packet(home_id, ap.pkt);
+          item.attack = label_of(attack_profile->type, ap.cmd, ap.payload);
+          home_items.push_back(std::move(item));
+          ++scenario.packet_count;
+          ++scenario.attack.packets;
+          ++scenario.attack
+            .packets_by_class[static_cast<std::size_t>(attack_profile->type)];
+          if (ap.payload && ap.cmd >= 0) ++payload_counts[ap.cmd];
+        }
+        for (const auto& [cmd, count] : payload_counts) {
+          scenario.attack.commands.push_back(
+              AttackCommandTruth{home_id, cmd, attack_profile->type, count});
+        }
+        proof_replays = wave.proof_replays;
+      }
     }
 
     std::stable_sort(proofs.begin(), proofs.end(),
                      [](const auto& a, const auto& b) { return a.first < b.first; });
     std::uint64_t proof_seq = 0;
+    // (delivery ts, payload) of every legit proof datagram, in send order —
+    // the adversary's capture log for replay floods.
+    std::vector<std::pair<double, std::vector<std::uint8_t>>> sent_payloads;
     for (auto& [delivery_ts, msg] : proofs) {
       ++proof_seq;
       auto sealed = core::seal_auth_message(phone_tee, phone_key, proof_seq, msg);
@@ -139,10 +194,103 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
       payload.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
       std::vector<std::uint8_t> bytes(payload.bytes().begin(),
                                       payload.bytes().end());
+      sent_payloads.emplace_back(delivery_ts, bytes);
       home_items.push_back(
           FleetItem::proof(home_id, delivery_ts, "phone", std::move(bytes)));
       ++scenario.proof_count;
     }
+    for (double replay_ts : proof_replays) {
+      // The newest datagram the adversary could have captured by replay
+      // time; with nothing captured yet they forge garbage (bad signature).
+      std::vector<std::uint8_t> bytes;
+      for (const auto& [sent_ts, payload] : sent_payloads) {
+        if (sent_ts > replay_ts) break;
+        bytes = payload;
+      }
+      if (bytes.empty()) bytes.assign(24, 0x5A);
+      FleetItem item =
+          FleetItem::proof(home_id, replay_ts, "phone", std::move(bytes));
+      item.attack = label_of(gen::AttackType::kProofReplay, -1, false);
+      home_items.push_back(std::move(item));
+      ++scenario.proof_count;
+      ++scenario.attack.proofs;
+    }
+
+    stable_sort_by_ts(home_items);
+    scenario.items.insert(scenario.items.end(),
+                          std::make_move_iterator(home_items.begin()),
+                          std::make_move_iterator(home_items.end()));
+    scenario.homes.push_back(std::move(spec));
+  }
+
+  // Sybil homes: attacker-controlled households appended after the benign
+  // fleet. Their traffic is plausible (same generator), but every packet is
+  // adversarial ground truth — and their manual events come with no phone
+  // and no proofs, so each one is a command the proxy must block.
+  std::size_t sybil_count = director ? director->sybil_home_count() : 0;
+  for (std::size_t s = 0; s < sybil_count; ++s) {
+    HomeId home_id = static_cast<HomeId>(config.homes + s);
+    sim::Rng home_rng = base.fork(home_id);
+
+    HomeSpec spec;
+    spec.id = home_id;
+    spec.proxy.bootstrap_duration = config.bootstrap_duration;
+    spec.proxy.degraded_policy = config.policy;
+    spec.proxy.rules.legacy_keys = config.legacy_keys;
+
+    const gen::DeviceProfile& profile = profiles[home_id % profiles.size()];
+    gen::LocationEnv env(kLocations[home_id % 4]);
+    gen::TraceConfig trace_config;
+    trace_config.duration_days = config.duration_days;
+    trace_config.seed = home_rng.fork(0).seed();
+    trace_config.device_index = 0;
+    trace_config.manual_per_day_override = config.manual_per_day;
+    trace_config.active_day_start = 0.0;
+    trace_config.active_day_end = 24 * 3600.0;
+    trace_config.notification_manual = true;
+    gen::LabeledTrace trace = gen::generate_trace(profile, env, trace_config);
+
+    core::ProxyDevice device;
+    device.name = profile.name;
+    device.ip = trace.device_ip;
+    device.allowed_prefix = profile.simple_rule ? 0 : 5;
+    device.classifier =
+        core::ManualEventClassifier::simple_rule(profile.rule_packet_size);
+    device.app_package = "app." + profile.name;
+    spec.devices.push_back(device);
+
+    // Manual events that land after bootstrap are the Sybil home's command
+    // attempts: no proof will ever cover them, so ground truth expects every
+    // one blocked. Earlier ones fall in the learning window (allowed by
+    // design) and stay plain labeled noise.
+    std::set<int> command_events;
+    for (const auto& interaction : trace.interactions) {
+      if (interaction.cls != gen::TrafficClass::kManual) continue;
+      if (interaction.start <= config.bootstrap_duration + 60.0) continue;
+      command_events.insert(interaction.event_id);
+    }
+    std::map<std::int32_t, std::uint64_t> payload_counts;
+    std::vector<FleetItem> home_items;
+    for (const auto& lp : trace.packets) {
+      FleetItem item = FleetItem::packet(home_id, lp.pkt);
+      bool payload = lp.label == gen::TrafficClass::kManual &&
+                     lp.event_id >= 0 && command_events.contains(lp.event_id);
+      std::int32_t cmd =
+          payload ? gen::AttackDirector::sybil_command_id(home_id, lp.event_id)
+                  : -1;
+      item.attack = label_of(gen::AttackType::kSybilHome, cmd, payload);
+      home_items.push_back(std::move(item));
+      ++scenario.packet_count;
+      ++scenario.attack.packets;
+      ++scenario.attack
+        .packets_by_class[static_cast<std::size_t>(gen::AttackType::kSybilHome)];
+      if (payload) ++payload_counts[cmd];
+    }
+    for (const auto& [cmd, count] : payload_counts) {
+      scenario.attack.commands.push_back(AttackCommandTruth{
+          home_id, cmd, gen::AttackType::kSybilHome, count});
+    }
+    scenario.attack.sybil_homes.push_back(home_id);
 
     stable_sort_by_ts(home_items);
     scenario.items.insert(scenario.items.end(),

@@ -8,6 +8,7 @@
 // same traffic whether the fleet has 800 or 8,000 homes.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/proxy.hpp"
 #include "fleet/home.hpp"
 #include "fleet/item.hpp"
+#include "gen/attack_director.hpp"
 
 namespace fiat::fleet {
 
@@ -48,6 +50,31 @@ struct FleetScenarioConfig {
   /// identical traffic at any fleet size.
   double zipf_skew = 0.0;
   std::size_t zipf_max_devices = 8;
+  /// Adversarial campaign riding the fleet (gen::AttackDirector). Disabled
+  /// by default; benign homes generate byte-identical traffic whether the
+  /// campaign is on or off (the director draws from its own seed only).
+  gen::CampaignConfig attack;
+};
+
+/// Ground truth for one injected command attempt.
+struct AttackCommandTruth {
+  HomeId home = 0;
+  std::int32_t cmd = -1;
+  gen::AttackType type = gen::AttackType::kAccountCompromise;
+  std::uint64_t payload_packets = 0;
+};
+
+/// The campaign's ground truth, accumulated at synthesis time. Benches join
+/// this against the fleet's aggregated AttackLedger: label coverage is 100%
+/// by construction when ledger totals equal these.
+struct AttackTruth {
+  std::uint64_t packets = 0;  // labeled attack packets injected
+  std::uint64_t proofs = 0;   // labeled attack proof deliveries
+  std::array<std::uint64_t, static_cast<std::size_t>(gen::kAttackTypeCount)>
+      packets_by_class{};
+  std::vector<AttackCommandTruth> commands;
+  std::vector<HomeId> attacked_homes;
+  std::vector<HomeId> sybil_homes;  // appended after the benign fleet
 };
 
 struct FleetScenario {
@@ -58,6 +85,7 @@ struct FleetScenario {
   std::vector<FleetItem> items;
   std::size_t packet_count = 0;
   std::size_t proof_count = 0;
+  AttackTruth attack;
 };
 
 FleetScenario make_fleet_scenario(const FleetScenarioConfig& config);

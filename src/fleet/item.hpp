@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/attack_label.hpp"
 #include "net/packet.hpp"
 
 namespace fiat::fleet {
@@ -22,6 +23,11 @@ struct FleetItem {
   // kProof: QuicLite payload (u64 seq || sealed auth message) from a phone.
   std::string client_id;
   std::vector<std::uint8_t> payload;
+
+  /// Ground-truth campaign label (benign by default; see attack_label.hpp).
+  /// Travels with the item through shards, supervisors, and the cluster
+  /// control plane so every injected packet/proof is graded at the proxy.
+  core::AttackLabel attack;
 
   static FleetItem packet(std::uint32_t home, const net::PacketRecord& pkt) {
     FleetItem item;

@@ -7,12 +7,15 @@
 namespace fiat::fleet {
 
 void apply_item(Home& home, const FleetItem& item) {
+  // Labeled overloads: a journal replay re-tallies the attack ledger exactly
+  // as live processing did (the snapshot carries the ledger up to its cut).
   switch (item.kind) {
     case FleetItem::Kind::kPacket:
-      home.proxy().process(item.pkt);
+      home.proxy().process(item.pkt, item.attack);
       break;
     case FleetItem::Kind::kProof:
-      home.proxy().on_auth_payload(item.client_id, item.payload, item.ts);
+      home.proxy().on_auth_payload(item.client_id, item.payload, item.ts,
+                                   item.attack);
       break;
   }
 }

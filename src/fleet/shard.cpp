@@ -84,11 +84,12 @@ void Shard::process(const FleetItem& item) {
   if (!home) return;  // router bug or stale id; dropping beats crashing a shard
   switch (item.kind) {
     case FleetItem::Kind::kPacket:
-      home->proxy().process(item.pkt);
+      home->proxy().process(item.pkt, item.attack);
       ++packets_;
       break;
     case FleetItem::Kind::kProof:
-      home->proxy().on_auth_payload(item.client_id, item.payload, item.ts);
+      home->proxy().on_auth_payload(item.client_id, item.payload, item.ts,
+                                    item.attack);
       ++proofs_;
       break;
   }
@@ -136,7 +137,18 @@ ShardStats Shard::stats() const {
   s.queue_high_water = q.high_water;
   s.queue_shed = q.shed;
   s.queue_shed_on_close = q.shed_on_close;
+  core::AttackLedger ledger = attack_ledger();
+  s.attack_injected = ledger.injected() + ledger.proofs_injected();
+  s.attack_blocked = ledger.commands_blocked();
+  s.attack_completed = ledger.commands_completed();
   return s;
+}
+
+core::AttackLedger Shard::attack_ledger() const {
+  require_quiescent("attack_ledger()");
+  core::AttackLedger ledger;
+  for (const Home& home : homes_) ledger.merge(home.proxy().attack_ledger());
+  return ledger;
 }
 
 }  // namespace fiat::fleet

@@ -63,6 +63,10 @@ class Shard {
   /// shard throws fiat::LogicError (it would read torn stats).
   ShardStats stats() const;
 
+  /// This shard's homes' attack ledgers merged (campaign grading). Same
+  /// stopped-state rule as stats().
+  core::AttackLedger attack_ledger() const;
+
   /// This shard's thread-owned telemetry sink (its homes' proxies record
   /// into it too). Written by the worker; same stopped-state rule as
   /// stats().

@@ -16,21 +16,23 @@ double FleetStats::utilization(std::size_t shard) const {
 
 std::string FleetStats::render() const {
   std::string out;
-  char line[224];
+  char line[320];
   std::snprintf(line, sizeof(line),
-                "%-6s %6s %10s %8s %8s %9s %9s %8s %5s %7s %8s %10s %6s %8s\n",
+                "%-6s %6s %10s %8s %8s %9s %9s %8s %5s %7s %8s %7s %8s %8s "
+                "%10s %6s %8s\n",
                 row_label.c_str(), "homes", "packets", "proofs", "shed",
                 "shed-cls", "discard", "restart", "quar", "mig-in", "mig-out",
-                "high-water", "util", "busy-s");
+                "atk-in", "atk-blk", "atk-cmp", "high-water", "util", "busy-s");
   out += line;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
     std::snprintf(line, sizeof(line),
                   "%-6zu %6zu %10zu %8zu %8zu %9zu %9zu %8zu %5zu %7zu %8zu "
-                  "%10zu %5.0f%% %8.3f\n",
+                  "%7zu %8zu %8zu %10zu %5.0f%% %8.3f\n",
                   i, s.homes, s.packets, s.proofs, s.queue_shed,
                   s.queue_shed_on_close, s.discarded, s.restarts,
                   s.quarantined, s.migrations_in, s.migrations_out,
+                  s.attack_injected, s.attack_blocked, s.attack_completed,
                   s.queue_high_water, 100.0 * utilization(i), s.busy_seconds);
     out += line;
   }
@@ -41,6 +43,14 @@ std::string FleetStats::render() const {
                 homes, packets_out, packets_in, proofs_out, proofs_in, shed,
                 shed_on_close, discarded, restarts, quarantined);
   out += line;
+  // The attack totals line only exists when a campaign ran.
+  if (attack_injected > 0 || attack_blocked > 0 || attack_completed > 0) {
+    std::snprintf(line, sizeof(line),
+                  "attacks: %zu injected, %zu commands blocked, %zu commands "
+                  "completed\n",
+                  attack_injected, attack_blocked, attack_completed);
+    out += line;
+  }
   // The cluster totals line only exists where a control plane does (or ran).
   if (row_label != "shard" || migrations > 0 || node_failovers > 0) {
     std::snprintf(line, sizeof(line),

@@ -21,6 +21,10 @@ struct ShardStats {
   std::size_t quarantined = 0;    // poison items quarantined by the supervisor
   std::size_t migrations_in = 0;  // homes installed by live migration (cluster)
   std::size_t migrations_out = 0;  // homes donated by live migration (cluster)
+  // Campaign grading (core::AttackLedger aggregated over this shard's homes).
+  std::size_t attack_injected = 0;   // labeled attack packets+proofs graded
+  std::size_t attack_blocked = 0;    // attack commands with payload dropped
+  std::size_t attack_completed = 0;  // attack commands fully delivered
   double busy_seconds = 0.0;      // wall time spent inside proxy calls
   // Queue view (from BoundedQueue::Stats).
   std::size_t queue_pushed = 0;
@@ -42,6 +46,9 @@ struct FleetStats {
   std::size_t quarantined = 0;    // quarantined poison items, fleet-wide
   std::size_t migrations = 0;     // live migrations the cluster controller ran
   std::size_t node_failovers = 0;  // whole-node failovers (node restarts)
+  std::size_t attack_injected = 0;   // fleet-wide labeled attack items graded
+  std::size_t attack_blocked = 0;    // fleet-wide attack commands blocked
+  std::size_t attack_completed = 0;  // fleet-wide attack commands completed
   double handoff_p95_seconds = 0.0;  // p95 migration handoff latency (wall)
   double wall_seconds = 0.0;      // start() .. stop() wall time
   /// First column of render(): "shard" for FleetEngine, "node" for the

@@ -1,0 +1,279 @@
+#include "gen/attack_director.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace fiat::gen {
+
+namespace {
+
+net::PacketRecord make_pkt(double ts, bool inbound, net::Ipv4Addr device,
+                           net::Ipv4Addr peer, std::uint16_t peer_port,
+                           std::uint16_t device_port, net::Transport proto,
+                           std::uint32_t size, std::uint16_t tls) {
+  net::PacketRecord p;
+  p.ts = ts;
+  p.size = std::clamp<std::uint32_t>(size, 60, 1500);
+  p.src_ip = inbound ? peer : device;
+  p.dst_ip = inbound ? device : peer;
+  p.src_port = inbound ? peer_port : device_port;
+  p.dst_port = inbound ? device_port : peer_port;
+  p.proto = proto;
+  p.tcp_flags = proto == net::Transport::kTcp
+                    ? (net::TcpFlags::kPsh | net::TcpFlags::kAck)
+                    : 0;
+  p.tls_version = proto == net::Transport::kTcp ? tls : 0;
+  return p;
+}
+
+net::Ipv4Addr cloud_peer(const DeviceProfile& profile, const LocationEnv& env) {
+  const std::string service = profile.event_services.empty()
+                                  ? "cloud.example"
+                                  : profile.event_services[0];
+  return env.ip_of(env.localize_domain(service), 1);
+}
+
+/// Appends one labeled command burst (every packet is payload).
+void labeled_burst(AttackWave& wave, const DeviceProfile& profile,
+                   net::Ipv4Addr device, net::Ipv4Addr peer, double start,
+                   sim::Rng& rng, std::int32_t cmd, double iat_scale = 1.0) {
+  std::vector<net::PacketRecord> burst;
+  append_command_burst(burst, profile, device, peer, start, rng, iat_scale);
+  for (const net::PacketRecord& pkt : burst) {
+    wave.packets.push_back(AttackPacket{pkt, cmd, /*payload=*/true});
+  }
+}
+
+}  // namespace
+
+AttackDirector::AttackDirector(CampaignConfig config, std::size_t benign_homes)
+    : config_(std::move(config)), benign_homes_(benign_homes) {
+  if (config_.coverage < 0.0 || config_.coverage > 1.0) {
+    throw LogicError("AttackDirector: coverage must be in [0, 1]");
+  }
+  if (config_.sybil_fraction < 0.0) {
+    throw LogicError("AttackDirector: sybil_fraction must be >= 0");
+  }
+  if (config_.attempts < 1) {
+    throw LogicError("AttackDirector: attempts must be >= 1");
+  }
+  roster_ = config_.roster;
+  if (roster_.empty()) {
+    roster_ = {AttackType::kAccountCompromise, AttackType::kBruteForce,
+               AttackType::kLanInjection,      AttackType::kRuleMimicry,
+               AttackType::kPiggyback,         AttackType::kBucketMimicry,
+               AttackType::kPaddingEvasion,    AttackType::kProofReplay};
+  }
+  for (AttackType t : roster_) {
+    if (t == AttackType::kSybilHome) {
+      throw LogicError(
+          "AttackDirector: kSybilHome is fleet-level (sybil_fraction), not a "
+          "per-home roster entry");
+    }
+  }
+  sybil_homes_ = static_cast<std::size_t>(
+      std::llround(config_.sybil_fraction * static_cast<double>(benign_homes)));
+}
+
+std::optional<AttackProfile> AttackDirector::plan(std::uint32_t home,
+                                                  double trace_duration) const {
+  if (config_.coverage <= 0.0 || home >= benign_homes_) return std::nullopt;
+  // Bresenham spread: home h is attacked iff the running total
+  // floor((h+1)*coverage) advances at h. Depends only on (h, coverage), so
+  // the attacked set is stable under fleet growth.
+  auto steps = [&](std::uint64_t h) {
+    return static_cast<std::uint64_t>(
+        std::floor(static_cast<double>(h) * config_.coverage + 1e-9));
+  };
+  if (steps(home + 1) <= steps(home)) return std::nullopt;
+  std::uint64_t attack_index = steps(home);
+  AttackProfile profile;
+  profile.type = roster_[attack_index % roster_.size()];
+  profile.attempts = config_.attempts;
+  profile.spacing = profile.type == AttackType::kBruteForce
+                        ? std::min(config_.spacing, 20.0)
+                        : config_.spacing;
+  profile.start = config_.start_frac * trace_duration;
+  return profile;
+}
+
+std::vector<SniffedBucket> AttackDirector::sniff_buckets(
+    const std::vector<LabeledPacket>& packets, net::Ipv4Addr device_ip,
+    std::size_t top) {
+  // (inbound, remote, remote_port, device_port, proto, size) -> count.
+  using Key = std::tuple<bool, std::uint32_t, std::uint16_t, std::uint16_t,
+                         std::uint8_t, std::uint32_t>;
+  std::map<Key, std::size_t> counts;
+  for (const LabeledPacket& lp : packets) {
+    const net::PacketRecord& pkt = lp.pkt;
+    bool inbound;
+    if (pkt.dst_ip == device_ip) {
+      inbound = true;
+    } else if (pkt.src_ip == device_ip) {
+      inbound = false;
+    } else {
+      continue;
+    }
+    net::Ipv4Addr remote = inbound ? pkt.src_ip : pkt.dst_ip;
+    std::uint16_t remote_port = inbound ? pkt.src_port : pkt.dst_port;
+    std::uint16_t device_port = inbound ? pkt.dst_port : pkt.src_port;
+    ++counts[Key{inbound, remote.value(), remote_port, device_port,
+                 static_cast<std::uint8_t>(pkt.proto), pkt.size}];
+  }
+  // Rank by count, ties broken by the (ordered) key — fully deterministic.
+  std::vector<std::pair<Key, std::size_t>> ranked(counts.begin(), counts.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<SniffedBucket> out;
+  for (const auto& [key, count] : ranked) {
+    if (out.size() >= top) break;
+    if (count < 3) break;  // not a recurring signature; nothing to mimic
+    SniffedBucket b;
+    b.inbound = std::get<0>(key);
+    b.remote = net::Ipv4Addr(std::get<1>(key));
+    b.remote_port = std::get<2>(key);
+    b.device_port = std::get<3>(key);
+    b.proto = static_cast<net::Transport>(std::get<4>(key));
+    b.size = std::get<5>(key);
+    out.push_back(b);
+  }
+  return out;
+}
+
+AttackWave AttackDirector::compose(std::uint32_t home,
+                                   const AttackProfile& profile,
+                                   const DeviceProfile& device,
+                                   const LocationEnv& env,
+                                   const LabeledTrace& trace) const {
+  AttackWave wave;
+  sim::Rng rng = sim::Rng(config_.seed).fork(home);
+  net::Ipv4Addr device_ip = trace.device_ip;
+  net::Ipv4Addr cloud = cloud_peer(device, env);
+
+  switch (profile.type) {
+    case AttackType::kAccountCompromise:
+    case AttackType::kBruteForce: {
+      double t = profile.start;
+      for (int k = 0; k < profile.attempts; ++k) {
+        labeled_burst(wave, device, device_ip, cloud, t, rng,
+                      command_id(home, k));
+        t += std::max(6.0, profile.spacing);
+      }
+      break;
+    }
+    case AttackType::kLanInjection: {
+      net::Ipv4Addr attacker = env.phone_ip();
+      double t = profile.start;
+      for (int k = 0; k < profile.attempts; ++k) {
+        labeled_burst(wave, device, device_ip, attacker, t, rng,
+                      command_id(home, k));
+        t += std::max(6.0, profile.spacing);
+      }
+      break;
+    }
+    case AttackType::kRuleMimicry: {
+      // Constant pace, byte-identical burst: bait for the online learner.
+      double t = profile.start;
+      for (int k = 0; k < profile.attempts; ++k) {
+        sim::Rng burst_rng(7);
+        labeled_burst(wave, device, device_ip, cloud, t, burst_rng,
+                      command_id(home, k));
+        t += 20.0;
+      }
+      break;
+    }
+    case AttackType::kPiggyback: {
+      // §7 residual: synchronize with real interactions, so a fresh proof
+      // covers the attacker's command too.
+      int k = 0;
+      for (const Interaction& interaction : trace.interactions) {
+        if (interaction.cls != TrafficClass::kManual) continue;
+        if (k >= profile.attempts) break;
+        labeled_burst(wave, device, device_ip, cloud, interaction.start + 0.8,
+                      rng, command_id(home, k));
+        ++k;
+      }
+      if (k == 0) {
+        // No interaction to ride — the attacker fires blind (and loses).
+        labeled_burst(wave, device, device_ip, cloud, profile.start, rng,
+                      command_id(home, 0));
+      }
+      break;
+    }
+    case AttackType::kBucketMimicry: {
+      // WiFinger mimicry: dress the event in the device's own predictable
+      // signatures (sniffed flow tuples), replayed off-rhythm as cover, then
+      // slip the real command in.
+      std::vector<SniffedBucket> buckets =
+          sniff_buckets(trace.packets, device_ip, 4);
+      double t = profile.start;
+      for (int k = 0; k < profile.attempts; ++k) {
+        double ct = t;
+        for (const SniffedBucket& b : buckets) {
+          for (int rep = 0; rep < 2; ++rep) {
+            wave.packets.push_back(AttackPacket{
+                make_pkt(ct, b.inbound, device_ip, b.remote, b.remote_port,
+                         b.device_port, b.proto, b.size, 0x0303),
+                -1, /*payload=*/false});
+            ct += 0.4;
+          }
+        }
+        labeled_burst(wave, device, device_ip, cloud, ct + 0.5, rng,
+                      command_id(home, k));
+        t += std::max(6.0, profile.spacing);
+      }
+      break;
+    }
+    case AttackType::kPaddingEvasion: {
+      // Pad the event's opening away from the manual signature (random-size
+      // chaff), then stretch the command's own rhythm 4x.
+      double t = profile.start;
+      for (int k = 0; k < profile.attempts; ++k) {
+        double ct = t;
+        for (int i = 0; i < 5; ++i) {
+          auto size = static_cast<std::uint32_t>(rng.uniform_int(100, 1200));
+          wave.packets.push_back(AttackPacket{
+              make_pkt(ct, i % 2 == 0, device_ip, cloud, 443,
+                       static_cast<std::uint16_t>(rng.uniform_int(32768, 60999)),
+                       net::Transport::kTcp, size, 0x0303),
+              -1, /*payload=*/false});
+          ct += 0.4;
+        }
+        labeled_burst(wave, device, device_ip, cloud, ct + 0.5, rng,
+                      command_id(home, k), /*iat_scale=*/4.0);
+        t += std::max(6.0, profile.spacing);
+      }
+      break;
+    }
+    case AttackType::kProofReplay: {
+      // Stolen-proof flood: replay captured proof datagrams, then issue the
+      // command hoping a replayed proof re-validates it.
+      double t = profile.start;
+      for (int k = 0; k < profile.attempts; ++k) {
+        wave.proof_replays.push_back(t);
+        wave.proof_replays.push_back(t + 0.4);
+        wave.proof_replays.push_back(t + 0.8);
+        labeled_burst(wave, device, device_ip, cloud, t + 1.2, rng,
+                      command_id(home, k));
+        t += std::max(6.0, profile.spacing);
+      }
+      break;
+    }
+    case AttackType::kSybilHome:
+      throw LogicError(
+          "AttackDirector::compose: kSybilHome homes are synthesized by the "
+          "fleet testbed, not composed as waves");
+  }
+
+  std::stable_sort(
+      wave.packets.begin(), wave.packets.end(),
+      [](const AttackPacket& a, const AttackPacket& b) { return a.pkt.ts < b.pkt.ts; });
+  std::sort(wave.proof_replays.begin(), wave.proof_replays.end());
+  return wave;
+}
+
+}  // namespace fiat::gen

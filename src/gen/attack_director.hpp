@@ -1,0 +1,135 @@
+// Campaign composer: fleet-scale, labeled attack scenarios.
+//
+// Where attacks.hpp scripts one adversary against one device, the
+// AttackDirector plans a *campaign* across a testbed fleet: which homes are
+// attacked, with which AttackType, and exactly which packets/proofs the
+// adversary injects — every one of them stamped with a ground-truth
+// core::AttackLabel so detection recall and collateral damage are measured
+// by construction, not by post-hoc matching.
+//
+// Design constraints the fleet determinism contract imposes:
+//  * The director draws randomness only from its own seed (forked per home),
+//    never from the scenario's per-home streams — a benign home's traffic is
+//    byte-identical with the campaign on or off.
+//  * Which homes are attacked depends only on (home id, coverage), not on
+//    fleet size or build order (Bresenham spread over home ids).
+//  * Composed waves depend only on the home's own trace, profile, and the
+//    campaign seed, so shards 1 vs 4 and migrated vs pinned runs replay the
+//    identical labeled stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gen/attacks.hpp"
+#include "gen/labels.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+
+namespace fiat::gen {
+
+/// Fleet-level campaign knobs (FleetScenarioConfig::attack).
+struct CampaignConfig {
+  /// Fraction of benign homes that get a per-device AttackProfile (0 = no
+  /// per-home attacks). Spread evenly over home ids.
+  double coverage = 0.0;
+  /// Attack classes assigned round-robin to attacked homes. Empty = every
+  /// non-Sybil type (Sybil homes are controlled by sybil_fraction instead).
+  std::vector<AttackType> roster;
+  /// Command attempts per attacked home.
+  int attempts = 4;
+  /// Seconds between attempts.
+  double spacing = 45.0;
+  /// Attack start, as a fraction of the trace duration (past bootstrap).
+  double start_frac = 0.55;
+  /// Attacker-controlled homes appended to the fleet, as a fraction of the
+  /// benign home count (kSybilHome traffic, labeled wholesale).
+  double sybil_fraction = 0.0;
+  /// Campaign RNG seed — independent of the scenario seed by design.
+  std::uint64_t seed = 0xF1A7;
+
+  bool enabled() const { return coverage > 0.0 || sybil_fraction > 0.0; }
+};
+
+/// The plan for one attacked home's primary device.
+struct AttackProfile {
+  AttackType type = AttackType::kAccountCompromise;
+  int attempts = 1;
+  double spacing = 45.0;
+  double start = 0.0;
+};
+
+/// One predictable signature sniffed from a device's benign traffic: the
+/// exact flow tuple a WiFinger-style observer would learn and replay.
+struct SniffedBucket {
+  net::Ipv4Addr remote;
+  std::uint16_t remote_port = 0;
+  std::uint16_t device_port = 0;
+  net::Transport proto = net::Transport::kTcp;
+  std::uint32_t size = 0;
+  bool inbound = false;
+};
+
+/// One labeled injected packet.
+struct AttackPacket {
+  net::PacketRecord pkt;
+  /// Campaign command id (>= 0 for command-payload packets), -1 for chaff.
+  std::int32_t cmd = -1;
+  /// True for packets that must be dropped for the command to be blocked.
+  bool payload = false;
+};
+
+/// Everything the adversary injects at one home: packets plus scheduled
+/// proof-replay deliveries (delivery time; the testbed clones the newest
+/// captured legit proof payload available at that time).
+struct AttackWave {
+  std::vector<AttackPacket> packets;
+  std::vector<double> proof_replays;
+};
+
+class AttackDirector {
+ public:
+  AttackDirector(CampaignConfig config, std::size_t benign_homes);
+
+  const CampaignConfig& config() const { return config_; }
+
+  /// The campaign plan for `home` (nullopt = home not attacked). Stable
+  /// under fleet growth: depends only on the home id and the config.
+  std::optional<AttackProfile> plan(std::uint32_t home,
+                                    double trace_duration) const;
+
+  /// Attacker-controlled homes to append after the benign fleet.
+  std::size_t sybil_home_count() const { return sybil_homes_; }
+
+  /// Ranks the device's benign flow signatures by packet count — the
+  /// adversary's passive-sniffing phase. `top` bounds the result.
+  static std::vector<SniffedBucket> sniff_buckets(
+      const std::vector<LabeledPacket>& packets, net::Ipv4Addr device_ip,
+      std::size_t top);
+
+  /// Composes the labeled wave for one attacked home's primary device.
+  /// `trace` is the device's benign trace (sniffing source + piggyback
+  /// synchronization); composition never mutates it.
+  AttackWave compose(std::uint32_t home, const AttackProfile& profile,
+                     const DeviceProfile& device, const LocationEnv& env,
+                     const LabeledTrace& trace) const;
+
+  /// Campaign-unique command id: attempt `k` against `home`.
+  static std::int32_t command_id(std::uint32_t home, int k) {
+    return static_cast<std::int32_t>(home) * 100000 + k;
+  }
+  /// Command-id block for Sybil homes' own manual events.
+  static std::int32_t sybil_command_id(std::uint32_t home, int event_id) {
+    return command_id(home, 1000 + event_id);
+  }
+
+ private:
+  CampaignConfig config_;
+  std::size_t benign_homes_ = 0;
+  std::size_t sybil_homes_ = 0;
+  std::vector<AttackType> roster_;
+};
+
+}  // namespace fiat::gen

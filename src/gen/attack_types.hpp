@@ -1,0 +1,42 @@
+// Attack taxonomy shared by the single-device generator (attacks.hpp), the
+// fleet-scale campaign composer (attack_director.hpp) and the proxy's
+// ground-truth attack ledger (core/attack_label.hpp).
+//
+// The first five types are the scripted single-device attacks of §5.1; the
+// last four are campaign-level modes the AttackDirector composes against
+// testbed fleets:
+//
+//  * kBucketMimicry — WiFinger-style: replay the device's own predictable
+//    bucket signatures (exact remote/port/proto/size tuples sniffed from its
+//    benign traffic) as cover chaff around a real command, hoping the event
+//    classifier reads the event as a predictable burst.
+//  * kPaddingEvasion — pad/stretch the command's sizes and inter-arrival
+//    times away from the learned manual signature so the classifier misses
+//    the manual shape.
+//  * kProofReplay — flood the proxy's auth channel with captured (stale or
+//    duplicate) humanness proofs while issuing commands, attacking
+//    ReplayCache and the proof-sequence high-water.
+//  * kSybilHome — attacker-controlled homes emitting plausible benign-shaped
+//    traffic to skew fleet-level statistics (no per-packet violation; graded
+//    on fleet accounting, not per-packet verdicts).
+#pragma once
+
+namespace fiat::gen {
+
+enum class AttackType {
+  kAccountCompromise,
+  kBruteForce,
+  kLanInjection,
+  kRuleMimicry,
+  kPiggyback,
+  kBucketMimicry,
+  kPaddingEvasion,
+  kProofReplay,
+  kSybilHome,
+};
+
+inline constexpr int kAttackTypeCount = 9;
+
+const char* attack_name(AttackType type);
+
+}  // namespace fiat::gen

@@ -14,6 +14,10 @@ const char* attack_name(AttackType type) {
     case AttackType::kLanInjection: return "lan-injection";
     case AttackType::kRuleMimicry: return "rule-mimicry";
     case AttackType::kPiggyback: return "piggyback";
+    case AttackType::kBucketMimicry: return "bucket-mimicry";
+    case AttackType::kPaddingEvasion: return "padding-evasion";
+    case AttackType::kProofReplay: return "proof-replay";
+    case AttackType::kSybilHome: return "sybil-home";
   }
   return "?";
 }
@@ -39,21 +43,26 @@ net::PacketRecord make_pkt(double ts, bool inbound, net::Ipv4Addr device,
   return p;
 }
 
-/// One command burst following the device's manual signature (the attacker
-/// drives the *real* cloud pipeline, so this is genuine command traffic).
-void command_burst(std::vector<net::PacketRecord>& out, const DeviceProfile& profile,
-                   net::Ipv4Addr device, net::Ipv4Addr peer, double start,
-                   sim::Rng& rng) {
+}  // namespace
+
+void append_command_burst(std::vector<net::PacketRecord>& out,
+                          const DeviceProfile& profile, net::Ipv4Addr device,
+                          net::Ipv4Addr peer, double start, sim::Rng& rng,
+                          double iat_scale) {
   const EventSignature& sig = profile.manual_sig;
   std::uint16_t device_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
   double t = start;
+  // A triggered command necessarily runs the device's own command protocol,
+  // which opens with the fixed-size notification push — the attacker cannot
+  // strip it without the device ignoring the command.
+  out.push_back(make_pkt(t, true, device, peer, 443, device_port,
+                         net::Transport::kTcp, profile.rule_packet_size, 0x0303));
   if (profile.simple_rule) {
-    out.push_back(make_pkt(t, true, device, peer, 443, device_port,
-                           net::Transport::kTcp, profile.rule_packet_size, 0x0303));
-    out.push_back(make_pkt(t + 0.08, false, device, peer, 443, device_port,
-                           net::Transport::kTcp, 66, 0x0303));
+    out.push_back(make_pkt(t + 0.08 * iat_scale, false, device, peer, 443,
+                           device_port, net::Transport::kTcp, 66, 0x0303));
     return;
   }
+  t += 0.08 * iat_scale;
   int n = static_cast<int>(rng.uniform_int(sig.min_packets, sig.max_packets));
   bool inbound = true;  // cloud-pushed command
   for (int i = 0; i < n; ++i) {
@@ -69,11 +78,12 @@ void command_burst(std::vector<net::PacketRecord>& out, const DeviceProfile& pro
     out.push_back(
         make_pkt(t, inbound, device, peer, 443, device_port, proto, size, tls));
     if (rng.chance(sig.alternate_prob)) inbound = !inbound;
-    t += sig.iat_mean * rng.uniform(0.4, 1.8);
+    // The device's command protocol keeps the exchange alive; an attacker
+    // stretching the rhythm past the keepalive would abort the command, so
+    // the inter-packet gap stays below the proxy's 5 s event-gap horizon.
+    t += std::min(sig.iat_mean * rng.uniform(0.4, 1.8) * iat_scale, 4.0);
   }
 }
-
-}  // namespace
 
 std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
                                                const LocationEnv& env,
@@ -93,7 +103,7 @@ std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
     case AttackType::kPiggyback: {
       double t = config.start;
       for (int attempt = 0; attempt < config.attempts; ++attempt) {
-        command_burst(out, profile, device_ip, cloud, t, rng);
+        append_command_burst(out, profile, device_ip, cloud, t, rng);
         t += std::max(6.0, config.spacing);  // > the 5 s gap: separate events
       }
       break;
@@ -103,7 +113,7 @@ std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
       net::Ipv4Addr attacker = env.phone_ip();
       double t = config.start;
       for (int attempt = 0; attempt < config.attempts; ++attempt) {
-        command_burst(out, profile, device_ip, attacker, t, rng);
+        append_command_burst(out, profile, device_ip, attacker, t, rng);
         t += std::max(6.0, config.spacing);
       }
       break;
@@ -112,16 +122,21 @@ std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
       // The patient attacker: issue the REAL command at an exactly constant
       // pace, hoping the online rule learner starts treating the command's
       // packets as a predictable flow and whitelists them.
-      sim::Rng fixed(7);  // identical burst shape every attempt
       double t = config.start;
       for (int attempt = 0; attempt < config.attempts; ++attempt) {
         sim::Rng burst_rng(7);  // reset: byte-identical command each time
-        command_burst(out, profile, device_ip, cloud, t, burst_rng);
+        append_command_burst(out, profile, device_ip, cloud, t, burst_rng);
         t += 20.0;  // constant spacing, well inside max_match_interval
       }
-      (void)fixed;
       break;
     }
+    case AttackType::kBucketMimicry:
+    case AttackType::kPaddingEvasion:
+    case AttackType::kProofReplay:
+    case AttackType::kSybilHome:
+      throw LogicError(std::string("generate_attack: ") +
+                       attack_name(config.type) +
+                       " is a campaign-level attack; use gen::AttackDirector");
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.ts < b.ts; });

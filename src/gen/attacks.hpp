@@ -17,24 +17,20 @@
 //    floor, see RuleTableConfig).
 //  * kPiggyback — §7's residual risk: the attack is synchronized with a real
 //    user interaction so a fresh humanness proof exists.
+//
+// The campaign-level types appended to AttackType (bucket mimicry, padding
+// evasion, proof replay, Sybil homes — see attack_types.hpp) are composed by
+// the fleet-scale AttackDirector (attack_director.hpp), not by this
+// single-device generator.
 #pragma once
 
+#include "gen/attack_types.hpp"
 #include "gen/device_profile.hpp"
 #include "gen/location.hpp"
 #include "net/packet.hpp"
 #include "sim/rng.hpp"
 
 namespace fiat::gen {
-
-enum class AttackType {
-  kAccountCompromise,
-  kBruteForce,
-  kLanInjection,
-  kRuleMimicry,
-  kPiggyback,
-};
-
-const char* attack_name(AttackType type);
 
 struct AttackConfig {
   AttackType type = AttackType::kAccountCompromise;
@@ -48,11 +44,23 @@ struct AttackConfig {
 /// Generates the attacker's packets against `device_ip`, imitating the
 /// device's own manual-command signature (the adversary controls the account
 /// and triggers real commands, so the traffic is genuine command traffic).
-/// Returned packets are time-sorted.
+/// Returned packets are time-sorted. Campaign-only types (kBucketMimicry and
+/// later) throw LogicError — use AttackDirector for those.
 std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
                                                const LocationEnv& env,
                                                net::Ipv4Addr device_ip,
                                                const AttackConfig& config,
                                                sim::Rng& rng);
+
+/// One command burst following the device's manual signature (the attacker
+/// drives the *real* cloud pipeline, so this is genuine command traffic).
+/// `iat_scale` stretches the burst's inter-arrival gaps (padding evasion
+/// uses > 1); sizes follow the signature unchanged. Exported so the
+/// AttackDirector composes campaign payloads from the same tested burst
+/// shape the single-device attacks use.
+void append_command_burst(std::vector<net::PacketRecord>& out,
+                          const DeviceProfile& profile, net::Ipv4Addr device,
+                          net::Ipv4Addr peer, double start, sim::Rng& rng,
+                          double iat_scale = 1.0);
 
 }  // namespace fiat::gen

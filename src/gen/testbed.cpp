@@ -211,6 +211,10 @@ struct Generator {
     double t = start;
 
     bool simple_manual = profile.simple_rule && cls == TrafficClass::kManual;
+    // Fleet stand-in mode: every profile's manual events open with the
+    // notification packet (the rest of the burst keeps its natural shape).
+    bool notify_first = (simple_manual || config.notification_manual) &&
+                        cls == TrafficClass::kManual;
     for (int i = 0; i < n; ++i) {
       net::Transport proto = sig.proto;
       if (rng.chance(sig.proto_noise)) {
@@ -218,7 +222,7 @@ struct Generator {
                                                 : net::Transport::kTcp;
       }
       std::uint32_t size;
-      if (simple_manual && i == 0) {
+      if (notify_first && i == 0) {
         // The fixed-size notification packet the visual rule keys on (§4).
         size = profile.rule_packet_size;
         inbound = true;

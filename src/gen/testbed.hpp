@@ -30,6 +30,13 @@ struct TraceConfig {
   /// routine timestamps are approximate (§3.1), so a fraction of events are
   /// effectively mislabeled. Scripted (ADB) collections set this to ~0.
   double label_confusion = 0.0;
+  /// Open every manual event with the profile's fixed-size notification
+  /// packet, even for non-simple-rule devices. The fleet testbed's stand-in
+  /// for per-device ML classifiers is the notification-size rule
+  /// (fleet_testbed.cpp); without the packet, those devices' command traffic
+  /// would be invisible to it. Off for the ML evaluation benches, which
+  /// need the natural lognormal shapes.
+  bool notification_manual = false;
 };
 
 /// Generates the full labeled trace (packets sorted by timestamp).

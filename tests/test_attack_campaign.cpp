@@ -1,0 +1,230 @@
+// Adversarial-campaign suite (DESIGN.md §13): the AttackDirector's
+// determinism contract, 100% label coverage of injected traffic, and the
+// extension of the fleet's byte-identity guarantee to labeled campaigns —
+// per-home reports and the merged AttackLedger must not change across shard
+// counts or a live migration mid-campaign. Runs under the TSan leg via the
+// concurrency label.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fleet/cluster.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "fleet/placement.hpp"
+#include "gen/attack_director.hpp"
+#include "util/error.hpp"
+
+using namespace fiat;
+
+namespace {
+
+fleet::FleetScenarioConfig campaign_config() {
+  fleet::FleetScenarioConfig config;
+  config.homes = 6;
+  config.devices_per_home = 2;
+  config.duration_days = 0.02;
+  config.policy = core::FailPolicy::kGrace;
+  config.attack.coverage = 0.5;
+  config.attack.sybil_fraction = 0.34;  // 2 sybil homes on a 6-home fleet
+  config.attack.attempts = 2;
+  return config;
+}
+
+core::HumannessVerifier verifier() {
+  return core::HumannessVerifier::train_synthetic(
+      fleet::FleetScenarioConfig{}.seed);
+}
+
+fleet::FleetReport run_fleet(const fleet::FleetScenario& scenario,
+                             std::size_t shards) {
+  auto humanness = verifier();
+  fleet::FleetConfig config;
+  config.shards = shards;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  return engine.report();
+}
+
+void expect_same_homes(const fleet::FleetReport& a,
+                       const fleet::FleetReport& b) {
+  ASSERT_EQ(a.homes.size(), b.homes.size());
+  for (std::size_t i = 0; i < a.homes.size(); ++i) {
+    SCOPED_TRACE("home " + std::to_string(a.homes[i].home));
+    EXPECT_EQ(a.homes[i].home, b.homes[i].home);
+    EXPECT_EQ(a.homes[i].report.render(), b.homes[i].report.render());
+  }
+}
+
+void expect_same_ledger(const core::AttackLedger& a,
+                        const core::AttackLedger& b) {
+  for (std::size_t c = 0; c < a.by_class.size(); ++c) {
+    SCOPED_TRACE("class " +
+                 std::string(gen::attack_name(static_cast<gen::AttackType>(c))));
+    EXPECT_EQ(a.by_class[c].packets, b.by_class[c].packets);
+    EXPECT_EQ(a.by_class[c].packets_dropped, b.by_class[c].packets_dropped);
+    EXPECT_EQ(a.by_class[c].proofs, b.by_class[c].proofs);
+    EXPECT_EQ(a.by_class[c].proofs_rejected, b.by_class[c].proofs_rejected);
+  }
+  ASSERT_EQ(a.commands.size(), b.commands.size());
+  for (const auto& [cmd, st] : a.commands) {
+    SCOPED_TRACE("cmd " + std::to_string(cmd));
+    auto it = b.commands.find(cmd);
+    ASSERT_NE(it, b.commands.end());
+    EXPECT_EQ(st.cls, it->second.cls);
+    EXPECT_EQ(st.payload_seen, it->second.payload_seen);
+    EXPECT_EQ(st.payload_dropped, it->second.payload_dropped);
+  }
+}
+
+}  // namespace
+
+TEST(AttackDirector, PlanDependsOnlyOnHomeIdAndCoverage) {
+  gen::CampaignConfig config;
+  config.coverage = 0.4;
+  gen::AttackDirector small(config, 10);
+  gen::AttackDirector large(config, 1000);
+
+  std::size_t attacked = 0;
+  for (std::uint32_t home = 0; home < 10; ++home) {
+    auto a = small.plan(home, 86400.0);
+    auto b = large.plan(home, 86400.0);
+    // Growing the fleet never re-plans an existing home.
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      ++attacked;
+      EXPECT_EQ(a->type, b->type);
+      EXPECT_EQ(a->attempts, b->attempts);
+      EXPECT_EQ(a->start, b->start);
+    }
+  }
+  // Bresenham spread: coverage 0.4 of 10 homes = exactly 4 attacked.
+  EXPECT_EQ(attacked, 4u);
+  // Homes outside the benign range are never planned.
+  EXPECT_FALSE(small.plan(10, 86400.0).has_value());
+}
+
+TEST(AttackDirector, SybilRosterEntryRejected) {
+  gen::CampaignConfig config;
+  config.coverage = 0.5;
+  config.roster = {gen::AttackType::kSybilHome};
+  EXPECT_THROW(gen::AttackDirector(config, 4), LogicError);
+}
+
+TEST(AttackDirector, ComposeIsDeterministic) {
+  fleet::FleetScenarioConfig config = campaign_config();
+  auto a = fleet::make_fleet_scenario(config);
+  auto b = fleet::make_fleet_scenario(config);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].ts, b.items[i].ts);
+    EXPECT_EQ(a.items[i].home, b.items[i].home);
+    EXPECT_EQ(a.items[i].attack.cls, b.items[i].attack.cls);
+    EXPECT_EQ(a.items[i].attack.cmd, b.items[i].attack.cmd);
+    EXPECT_EQ(a.items[i].attack.payload, b.items[i].attack.payload);
+  }
+}
+
+TEST(AttackCampaign, BenignHomeTrafficIsByteIdenticalWithCampaignOff) {
+  fleet::FleetScenarioConfig with = campaign_config();
+  fleet::FleetScenarioConfig without = with;
+  without.attack = gen::CampaignConfig{};
+  auto a = fleet::make_fleet_scenario(with);
+  auto b = fleet::make_fleet_scenario(without);
+
+  std::set<fleet::HomeId> adversarial(a.attack.attacked_homes.begin(),
+                                      a.attack.attacked_homes.end());
+  adversarial.insert(a.attack.sybil_homes.begin(), a.attack.sybil_homes.end());
+  ASSERT_FALSE(adversarial.empty());
+
+  auto benign_stream = [&](const fleet::FleetScenario& s) {
+    std::vector<const fleet::FleetItem*> out;
+    for (const auto& item : s.items) {
+      if (!adversarial.contains(item.home)) out.push_back(&item);
+    }
+    return out;
+  };
+  auto sa = benign_stream(a), sb = benign_stream(b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i]->ts, sb[i]->ts);
+    EXPECT_EQ(sa[i]->home, sb[i]->home);
+    EXPECT_EQ(sa[i]->kind, sb[i]->kind);
+  }
+}
+
+TEST(AttackCampaign, LabelCoverageIsComplete) {
+  auto scenario = fleet::make_fleet_scenario(campaign_config());
+  ASSERT_GT(scenario.attack.packets, 0u);
+  ASSERT_FALSE(scenario.attack.commands.empty());
+
+  auto report = run_fleet(scenario, 1);
+  const core::AttackLedger& ledger = report.attack;
+  // Every injected item reached a proxy and was graded: ledger == truth.
+  EXPECT_EQ(ledger.injected(), scenario.attack.packets);
+  EXPECT_EQ(ledger.proofs_injected(), scenario.attack.proofs);
+  for (std::size_t c = 0; c < ledger.by_class.size(); ++c) {
+    EXPECT_EQ(ledger.by_class[c].packets, scenario.attack.packets_by_class[c])
+        << gen::attack_name(static_cast<gen::AttackType>(c));
+  }
+  ASSERT_EQ(ledger.commands.size(), scenario.attack.commands.size());
+  for (const auto& truth : scenario.attack.commands) {
+    SCOPED_TRACE("cmd " + std::to_string(truth.cmd));
+    auto it = ledger.commands.find(truth.cmd);
+    ASSERT_NE(it, ledger.commands.end());
+    EXPECT_EQ(it->second.cls, static_cast<std::int16_t>(truth.type));
+    EXPECT_EQ(it->second.payload_seen, truth.payload_packets);
+  }
+  // Every command resolved to exactly one of blocked / completed.
+  EXPECT_EQ(ledger.commands_blocked() + ledger.commands_completed(),
+            ledger.commands.size());
+}
+
+TEST(AttackCampaign, ReportsAndLedgerByteIdenticalAcrossShards) {
+  auto scenario = fleet::make_fleet_scenario(campaign_config());
+  auto one = run_fleet(scenario, 1);
+  auto four = run_fleet(scenario, 4);
+  expect_same_homes(one, four);
+  expect_same_ledger(one.attack, four.attack);
+}
+
+TEST(AttackCampaign, ReportsAndLedgerByteIdenticalUnderLiveMigration) {
+  auto scenario = fleet::make_fleet_scenario(campaign_config());
+  auto baseline = run_fleet(scenario, 1);
+
+  fleet::ClusterConfig config;
+  config.nodes = 3;
+  config.snapshot_every = 120.0;
+  // Migrate the first attacked home off its rendezvous owner mid-campaign:
+  // the handoff replays labeled traffic through the journal, so the ledger
+  // must re-tally identically on the destination node.
+  ASSERT_FALSE(scenario.attack.attacked_homes.empty());
+  fleet::HomeId victim = scenario.attack.attacked_homes.front();
+  std::vector<fleet::NodeId> nodes;
+  for (std::size_t n = 0; n < config.nodes; ++n) {
+    nodes.push_back(static_cast<fleet::NodeId>(n));
+  }
+  fleet::PlacementTable table(nodes);
+  fleet::NodeId to =
+      static_cast<fleet::NodeId>((table.owner_of(victim) + 1) % config.nodes);
+  double mid = scenario.items[scenario.items.size() / 2].ts;
+  config.migrations.push_back({victim, to, mid});
+
+  auto humanness = verifier();
+  fleet::ClusterEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  auto migrated = engine.report();
+  ASSERT_EQ(engine.migrations().size(), 1u);
+
+  expect_same_homes(baseline, migrated);
+  expect_same_ledger(baseline.attack, migrated.attack);
+}

@@ -68,12 +68,46 @@ TEST(Attacks, BadConfigRejected) {
 
 TEST(Attacks, AttackNamesDistinct) {
   std::set<std::string> names;
-  for (auto type : {gen::AttackType::kAccountCompromise, gen::AttackType::kBruteForce,
-                    gen::AttackType::kLanInjection, gen::AttackType::kRuleMimicry,
-                    gen::AttackType::kPiggyback}) {
-    names.insert(gen::attack_name(type));
+  for (int c = 0; c < gen::kAttackTypeCount; ++c) {
+    names.insert(gen::attack_name(static_cast<gen::AttackType>(c)));
   }
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(gen::kAttackTypeCount));
+}
+
+TEST(Attacks, CampaignLevelTypesNeedTheDirector) {
+  // The single-device generator refuses the fleet-level classes: they need
+  // the director's sniffed buckets / captured proofs / appended homes.
+  sim::Rng rng(5);
+  for (auto type : {gen::AttackType::kBucketMimicry,
+                    gen::AttackType::kPaddingEvasion,
+                    gen::AttackType::kProofReplay, gen::AttackType::kSybilHome}) {
+    gen::AttackConfig config;
+    config.type = type;
+    EXPECT_THROW(gen::generate_attack(gen::profile_by_name("SP10"), kEnv,
+                                      kDevice, config, rng),
+                 LogicError)
+        << gen::attack_name(type);
+  }
+}
+
+TEST(Attacks, EveryCommandBurstLeadsWithTheNotification) {
+  // A triggered command runs the device's own command protocol, which opens
+  // with the fixed-size notification push — for ML-profile devices too. The
+  // escalation defences key on this invariant.
+  sim::Rng rng(6);
+  for (const char* name : {"SP10", "EchoDot4"}) {
+    const auto& profile = gen::profile_by_name(name);
+    std::vector<net::PacketRecord> burst;
+    gen::append_command_burst(burst, profile, kDevice, net::Ipv4Addr(52, 1, 1, 1),
+                              100.0, rng);
+    ASSERT_FALSE(burst.empty());
+    EXPECT_EQ(burst[0].size, profile.rule_packet_size) << name;
+    EXPECT_EQ(burst[0].dst_ip, kDevice) << name;
+    // The exchange never stretches past the proxy's 5 s event-gap horizon.
+    for (std::size_t i = 1; i < burst.size(); ++i) {
+      EXPECT_LT(burst[i].ts - burst[i - 1].ts, 5.0) << name;
+    }
+  }
 }
 
 // ---- the rule-mimicry defence at the proxy ------------------------------------
@@ -122,6 +156,100 @@ TEST(MimicryDefence, PatientAttackerNeverEarnsARule) {
     if (proxy.process(cmd) == core::Verdict::kDrop) ++dropped;
   }
   EXPECT_EQ(dropped, 40);
+}
+
+// ---- the chaff-prefix (notification escalation) defence -----------------------
+
+namespace {
+
+/// One chaffed command: `prefix` junk packets, then the 235 B notification,
+/// then the payload packet — all inside one event window.
+core::Verdict drive_chaffed_command(core::FiatProxy& proxy, double start,
+                                    int prefix,
+                                    std::uint32_t payload_size = 900) {
+  net::PacketRecord chaff;
+  chaff.src_ip = net::Ipv4Addr(52, 1, 1, 1);
+  chaff.dst_ip = kDevice;
+  chaff.src_port = 443;
+  chaff.dst_port = 50001;
+  chaff.proto = net::Transport::kTcp;
+  for (int i = 0; i < prefix; ++i) {
+    chaff.ts = start + 0.4 * i;
+    chaff.size = 300 + 17 * i;  // never the notification size
+    proxy.process(chaff);
+  }
+  net::PacketRecord notify = chaff;
+  notify.ts = start + 0.4 * prefix;
+  notify.size = 235;
+  proxy.process(notify);
+  net::PacketRecord payload = chaff;
+  payload.ts = notify.ts + 0.2;
+  payload.size = payload_size;
+  return proxy.process(payload);
+}
+
+core::FiatProxy make_gate_proxy(int allowed_prefix, std::uint64_t seed) {
+  core::ProxyConfig config;
+  config.bootstrap_duration = 50.0;
+  core::FiatProxy proxy(config,
+                        core::HumannessVerifier::train_synthetic(seed, 120));
+  core::ProxyDevice dev;
+  dev.name = "plug";
+  dev.ip = kDevice;
+  dev.allowed_prefix = allowed_prefix;
+  dev.classifier = core::ManualEventClassifier::simple_rule(235);
+  dev.app_package = "app.plug";
+  proxy.add_device(dev);
+  net::PacketRecord hb;
+  hb.size = 120;
+  hb.src_ip = kDevice;
+  hb.dst_ip = net::Ipv4Addr(52, 1, 1, 1);
+  hb.src_port = 50000;
+  hb.dst_port = 443;
+  hb.proto = net::Transport::kTcp;
+  for (double t = 0; t < 52; t += 10) {
+    hb.ts = t;
+    proxy.process(hb);
+  }
+  return proxy;
+}
+
+}  // namespace
+
+TEST(NotificationDefence, ChaffPrefixStillEscalatesToTheGate) {
+  // Padding evasion: the chaff exactly fills the allowed prefix, so the
+  // first-packet rule classifies on junk. The prefix scan must still find
+  // the notification and escalate the event to the (unvalidated) manual
+  // gate — the payload is dropped.
+  core::FiatProxy proxy = make_gate_proxy(/*allowed_prefix=*/5, 11);
+  EXPECT_EQ(drive_chaffed_command(proxy, 100.0, /*prefix=*/5),
+            core::Verdict::kDrop);
+  EXPECT_EQ(proxy.notification_escalations(), 1u);
+
+  // Shorter chaff: the notification arrives after classify-once already ran
+  // — the mid-event escalation path must catch it instead.
+  core::FiatProxy late = make_gate_proxy(/*allowed_prefix=*/2, 12);
+  EXPECT_EQ(drive_chaffed_command(late, 100.0, /*prefix=*/5),
+            core::Verdict::kDrop);
+  EXPECT_EQ(late.notification_escalations(), 1u);
+}
+
+TEST(NotificationDefence, EscalatedCommandNeverEarnsARule) {
+  // Regression: escalated events must ban their buckets from online
+  // promotion, or repeating the chaffed command on a constant schedule
+  // would whitelist the notification's own bucket after three sightings
+  // and attempt 4+ would sail through the rules stage.
+  core::FiatProxy proxy = make_gate_proxy(/*allowed_prefix=*/5, 13);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    proxy.unlock_device("plug");  // isolate rule learning from lockout
+    // Payload sizes vary per attempt (lognormal in the real attack); only
+    // the notification repeats — exactly the bucket the ban must cover.
+    EXPECT_EQ(drive_chaffed_command(proxy, 100.0 + 45.0 * attempt, 5,
+                                    880 + 13 * attempt),
+              core::Verdict::kDrop)
+        << "attempt " << attempt;
+  }
+  EXPECT_EQ(proxy.notification_escalations(), 8u);
 }
 
 TEST(MimicryDefence, LegitSlowFlowsStillEarnRulesOnline) {

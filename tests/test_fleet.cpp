@@ -389,6 +389,51 @@ TEST(FleetStats, RenderShowsShedOnCloseAndDiscardColumns) {
   EXPECT_NE(table.find("2 quarantined"), std::string::npos);
 }
 
+TEST(FleetStats, RenderShowsAttackColumns) {
+  // Regression: render() must surface the campaign ledger per shard —
+  // labeled attack packets seen (atk-in), payload packets dropped (atk-blk)
+  // and commands that slipped through intact (atk-cmp) — between the
+  // migration columns and high-water.
+  FleetStats stats;
+  stats.homes = 4;
+  stats.wall_seconds = 1.0;
+  ShardStats s0;
+  s0.homes = 2;
+  s0.packets = 50;
+  s0.migrations_out = 1;
+  s0.attack_injected = 41;
+  s0.attack_blocked = 23;
+  s0.attack_completed = 2;
+  stats.attack_injected = 41;
+  stats.attack_blocked = 23;
+  stats.attack_completed = 2;
+  stats.shards.push_back(s0);
+  stats.shards.push_back(ShardStats{});
+
+  std::string table = stats.render();
+  EXPECT_NE(table.find("atk-in"), std::string::npos);
+  EXPECT_NE(table.find("atk-blk"), std::string::npos);
+  EXPECT_NE(table.find("atk-cmp"), std::string::npos);
+  EXPECT_LT(table.find("mig-out"), table.find("atk-in"));
+  EXPECT_LT(table.find("atk-in"), table.find("atk-blk"));
+  EXPECT_LT(table.find("atk-blk"), table.find("atk-cmp"));
+  EXPECT_LT(table.find("atk-cmp"), table.find("high-water"));
+  // Shard 0's row carries the ledger values in column order.
+  auto row = table.substr(table.find('\n') + 1);
+  row = row.substr(0, row.find('\n'));
+  EXPECT_NE(row.find(" 41 "), std::string::npos);
+  EXPECT_NE(row.find(" 23 "), std::string::npos);
+  // The attack totals line exists exactly when a campaign ran.
+  EXPECT_NE(table.find("attacks: 41 injected, 23 commands blocked, "
+                       "2 commands completed"),
+            std::string::npos);
+  FleetStats quiet;
+  quiet.homes = 2;
+  quiet.wall_seconds = 1.0;
+  quiet.shards.push_back(ShardStats{});
+  EXPECT_EQ(quiet.render().find("attacks:"), std::string::npos);
+}
+
 TEST(FleetEngine, AbortNeverDeadlocksAgainstFullPipeline) {
   // Tiny queues + no consumer headroom: the producer may be mid-backpressure
   // when abort() closes the queues. The ctest TIMEOUT converts a hang here

@@ -141,6 +141,55 @@ TEST(StateCodec, ReplayCacheRoundTrip) {
   EXPECT_FALSE(restored.check_and_insert(0x9e3779b97f4a7c15ull * 40, 121.0));
 }
 
+TEST(StateCodec, RestoredReplayCacheCoversThePostRestoreWindow) {
+  // The crash-recovery gap must not open a replay hole (DESIGN.md §13): an
+  // adversary who captured a 0-RTT nonce just before the snapshot replays it
+  // right after the restore — inside the freshness window it must still be
+  // rejected, and only after the window ages it out does the nonce free up.
+  crypto::ReplayCache cache(120.0, 64);
+  EXPECT_TRUE(cache.check_and_insert(0xAAAA, 10.0));
+  EXPECT_TRUE(cache.check_and_insert(0xBBBB, 50.0));
+
+  auto blob = core::encode_replay_cache(cache);
+  crypto::ReplayCache restored;
+  ASSERT_EQ(core::decode_replay_cache(restored, blob), core::CodecStatus::kOk);
+
+  EXPECT_FALSE(restored.check_and_insert(0xAAAA, 60.0));
+  EXPECT_FALSE(restored.check_and_insert(0xBBBB, 169.0));  // 50 + 120 > 169
+  EXPECT_TRUE(restored.check_and_insert(0xCCCC, 60.0));    // fresh nonces pass
+  // Expiry semantics survive the restore too: past the window the old nonce
+  // is legitimately new again, exactly as in the uninterrupted cache.
+  EXPECT_TRUE(restored.check_and_insert(0xAAAA, 171.0));
+  EXPECT_TRUE(cache.check_and_insert(0xAAAA, 171.0));
+}
+
+TEST(StateCodec, ProofReplayAcrossRestoreIsRejected) {
+  // Fleet-level version of the same property: a stolen humanness proof
+  // replayed into the warm-restarted proxy must hit the restored per-client
+  // sequence high-water, not be re-admitted as fresh.
+  Workload w = make_workload(/*legacy_keys=*/false);
+  std::size_t last_proof = w.items.size();
+  for (std::size_t i = 0; i < w.items.size(); ++i) {
+    if (w.items[i].kind == fleet::FleetItem::Kind::kProof) last_proof = i;
+  }
+  ASSERT_LT(last_proof, w.items.size()) << "workload must carry proofs";
+
+  core::FiatProxy proxy = fleet::make_home_proxy(w.spec, w.humanness);
+  for (std::size_t i = 0; i <= last_proof; ++i) apply(proxy, w.items[i]);
+  auto blob = core::encode_proxy_state(proxy, w.spec.id);
+
+  core::FiatProxy restored = fleet::make_home_proxy(w.spec, w.humanness);
+  ASSERT_EQ(core::decode_proxy_state(restored, blob, w.spec.id),
+            core::CodecStatus::kOk);
+
+  const auto& stolen = w.items[last_proof];
+  std::size_t accepted = restored.proofs_accepted();
+  std::size_t duplicates = restored.proofs_duplicate();
+  restored.on_auth_payload(stolen.client_id, stolen.payload, stolen.ts + 30.0);
+  EXPECT_EQ(restored.proofs_accepted(), accepted);
+  EXPECT_EQ(restored.proofs_duplicate(), duplicates + 1);
+}
+
 TEST(StateCodec, PacketRecordCodecRoundTrips) {
   net::PacketRecord pkt;
   pkt.ts = 12345.6789;

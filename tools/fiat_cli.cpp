@@ -74,6 +74,9 @@ int usage() {
                "             [--telemetry-wall] [--trace-json PATH] [--trace-capacity T]\n"
                "             [--snapshot-every SIM_S] [--crash-at ITEM]\n"
                "             [--crash-home HOME:ITEM]\n"
+               "             [--attack-coverage F] [--sybil-frac F]\n"
+               "             [--attack-attempts N] [--attack-spacing S]\n"
+               "             [--attack-seed S]\n"
                "  fiat cluster [--nodes N] [--homes H] [--devices D] [--days X] [--seed S]\n"
                "               [--capacity C] [--shed] [--no-proofs] [--report-homes H]\n"
                "               [--zipf-skew Z] [--zipf-max-devices M]\n"
@@ -83,6 +86,9 @@ int usage() {
                "               [--rebalance-top N] [--rebalance-ratio R]\n"
                "               [--telemetry-json PATH] [--telemetry-prom PATH]\n"
                "               [--telemetry-wall]\n"
+               "               [--attack-coverage F] [--sybil-frac F]\n"
+               "               [--attack-attempts N] [--attack-spacing S]\n"
+               "               [--attack-seed S]\n"
                "  fiat devices\n");
   return 2;
 }
@@ -218,6 +224,16 @@ fleet::FleetScenario synthesize(const fleet::FleetScenarioConfig& config) {
   std::printf("  %zu packets + %zu proofs across %zu homes\n",
               scenario.packet_count, scenario.proof_count,
               scenario.homes.size());
+  if (config.attack.enabled()) {
+    std::printf(
+        "  campaign: %zu attacked homes, %zu sybil homes, %llu attack "
+        "packets + %llu attack proofs, %zu commands\n",
+        scenario.attack.attacked_homes.size(),
+        scenario.attack.sybil_homes.size(),
+        static_cast<unsigned long long>(scenario.attack.packets),
+        static_cast<unsigned long long>(scenario.attack.proofs),
+        scenario.attack.commands.size());
+  }
   return scenario;
 }
 
