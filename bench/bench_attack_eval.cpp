@@ -39,11 +39,14 @@
 #include "core/humanness.hpp"
 #include "core/proxy.hpp"
 #include "fleet/cluster.hpp"
+#include "fleet/correlator.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/fleet_testbed.hpp"
 #include "fleet/placement.hpp"
+#include "gen/attack_director.hpp"
 #include "gen/attacks.hpp"
 #include "gen/sensors.hpp"
+#include "telemetry/signals.hpp"
 
 using namespace fiat;
 
@@ -292,6 +295,117 @@ CellResult run_cluster_cell(std::string name,
   return grade_cell(std::move(name), scenario, engine.report());
 }
 
+// ---- part 3: fleet correlation observatory ----------------------------------
+//
+// Single-class campaigns at coverage 0.1 (attacked homes 9, 19, 29 — the
+// Bresenham spread puts them all on the same device profile, the shape a
+// coordinated campaign actually has), a Sybil-only fleet, and a no-attack
+// control, each run through engine → signals() → correlate(). The correlator
+// never reads AttackLabel ground truth (enforced at compile time); the labels
+// only grade its output here.
+
+/// One engine run's correlation observables.
+struct DetectionRun {
+  telemetry::SignalSet signals;
+  fleet::CorrelationReport corr;
+};
+
+DetectionRun run_detection_fleet(const fleet::FleetScenario& scenario,
+                                 const core::HumannessVerifier& humanness,
+                                 std::size_t shards) {
+  fleet::FleetConfig config;
+  config.shards = shards;
+  fleet::FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  DetectionRun run;
+  run.signals = engine.signals();
+  run.corr = fleet::correlate(run.signals);
+  return run;
+}
+
+DetectionRun run_detection_cluster(const fleet::FleetScenario& scenario,
+                                   const core::HumannessVerifier& humanness,
+                                   std::size_t nodes) {
+  fleet::ClusterConfig config;
+  config.nodes = nodes;
+  // Same scripted handoff as the part-2 cluster cell: the first attacked
+  // home migrates mid-campaign, so its signals must survive the snapshot +
+  // journal-replay path.
+  fleet::HomeId victim = scenario.attack.attacked_homes.empty()
+                             ? 0
+                             : scenario.attack.attacked_homes.front();
+  fleet::PlacementTable table([&] {
+    std::vector<fleet::NodeId> ids;
+    for (std::size_t n = 0; n < nodes; ++n)
+      ids.push_back(static_cast<fleet::NodeId>(n));
+    return ids;
+  }());
+  fleet::NodeId to = static_cast<fleet::NodeId>(
+      (table.owner_of(victim) + 1) % static_cast<fleet::NodeId>(nodes));
+  double t0 = scenario.items.front().ts;
+  double t1 = scenario.items.back().ts;
+  config.migrations.push_back({victim, to, t0 + 0.6 * (t1 - t0)});
+
+  fleet::ClusterEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  DetectionRun run;
+  run.signals = engine.signals();
+  run.corr = fleet::correlate(run.signals);
+  return run;
+}
+
+/// Flagged homes joined against the scenario's adversarial ground truth.
+struct DetectionGrade {
+  std::string name;
+  std::size_t adversarial = 0;     // truth: attacked + sybil homes
+  std::size_t flagged_true = 0;    // flagged ∩ adversarial
+  std::size_t benign_flagged = 0;  // flagged \ adversarial
+  bool deterministic_shards = false;
+  DetectionRun run;  // the shards=1 run (reference)
+
+  double recall() const {
+    return adversarial == 0 ? 1.0
+                            : static_cast<double>(flagged_true) /
+                                  static_cast<double>(adversarial);
+  }
+};
+
+DetectionGrade grade_detection(std::string name,
+                               const fleet::FleetScenario& scenario,
+                               DetectionRun reference,
+                               const DetectionRun& other) {
+  DetectionGrade grade;
+  grade.name = std::move(name);
+  std::set<std::uint32_t> truth(scenario.attack.attacked_homes.begin(),
+                                scenario.attack.attacked_homes.end());
+  truth.insert(scenario.attack.sybil_homes.begin(),
+               scenario.attack.sybil_homes.end());
+  grade.adversarial = truth.size();
+  for (std::uint32_t home : reference.corr.flagged_home_ids()) {
+    if (truth.contains(home)) {
+      ++grade.flagged_true;
+    } else {
+      ++grade.benign_flagged;
+    }
+  }
+  grade.deterministic_shards =
+      reference.signals.encode() == other.signals.encode() &&
+      reference.corr.render() == other.corr.render() &&
+      reference.corr.to_json().dump() == other.corr.to_json().dump();
+  grade.run = std::move(reference);
+  return grade;
+}
+
+util::Bytes encode_home_signals(const telemetry::HomeSignals& h) {
+  util::ByteWriter w;
+  h.encode(w);
+  return w.take();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -455,6 +569,121 @@ int main(int argc, char** argv) {
         "benign homes byte-identical with campaign on vs off (" +
             std::to_string(benign_divergent) + " divergent)");
 
+  // ---- part 3: correlation detection matrix ---------------------------------
+  // Cell scales are pinned (not --quick-scaled): the recall/false-positive
+  // gates below are statements about these exact deterministic scenarios.
+  // Mimicry and proof-replay detect within 0.05 days; the Sybil cohort needs
+  // enough manual activity that every attacker home issues unproofed
+  // commands, hence the longer day and the raised interaction rate.
+  std::printf("\n== fleet correlation observatory ==\n");
+
+  fleet::FleetScenarioConfig detect_base;
+  detect_base.homes = 30;
+  detect_base.devices_per_home = 2;
+  detect_base.duration_days = 0.05;
+  detect_base.seed = 7;
+
+  auto mimicry_config = detect_base;
+  mimicry_config.attack.coverage = 0.1;
+  mimicry_config.attack.roster = {gen::AttackType::kBucketMimicry};
+  auto flood_config = detect_base;
+  flood_config.attack.coverage = 0.1;
+  flood_config.attack.roster = {gen::AttackType::kProofReplay};
+  auto sybil_config = detect_base;
+  sybil_config.duration_days = 0.15;
+  sybil_config.manual_per_day = 96.0;
+  sybil_config.attack.sybil_fraction = 0.34;  // 10 attacker homes, 10 profiles
+  auto control_config = detect_base;
+
+  auto detect_humanness =
+      core::HumannessVerifier::train_synthetic(detect_base.seed);
+
+  std::vector<DetectionGrade> detections;
+  fleet::FleetScenario mimicry_scenario;
+  fleet::FleetScenario control_scenario;
+  struct DetectionSpec {
+    const char* name;
+    const fleet::FleetScenarioConfig* config;
+  };
+  for (const DetectionSpec& spec :
+       {DetectionSpec{"bucket-mimicry", &mimicry_config},
+        DetectionSpec{"proof-replay-flood", &flood_config},
+        DetectionSpec{"sybil-cohort", &sybil_config},
+        DetectionSpec{"no-attack control", &control_config}}) {
+    auto detect_scenario = fleet::make_fleet_scenario(*spec.config);
+    auto s1 = run_detection_fleet(detect_scenario, detect_humanness, 1);
+    auto s4 = run_detection_fleet(detect_scenario, detect_humanness, 4);
+    detections.push_back(
+        grade_detection(spec.name, detect_scenario, std::move(s1), s4));
+    if (spec.config == &mimicry_config) {
+      mimicry_scenario = std::move(detect_scenario);
+    } else if (spec.config == &control_config) {
+      control_scenario = std::move(detect_scenario);
+    }
+  }
+
+  std::printf("  %-20s %12s %8s %8s %7s %7s\n", "campaign", "adversarial",
+              "flagged", "benign", "recall", "shards");
+  for (const auto& d : detections) {
+    std::printf("  %-20s %12zu %8zu %8zu %6.0f%% %7s\n", d.name.c_str(),
+                d.adversarial, d.flagged_true, d.benign_flagged,
+                100.0 * d.recall(), d.deterministic_shards ? "=" : "DIFF");
+  }
+
+  std::printf("\ndetection checks:\n");
+  for (const auto& d : detections) {
+    if (d.adversarial > 0) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s: recall %.0f%% (floor 90%%)",
+                    d.name.c_str(), 100.0 * d.recall());
+      check(d.recall() >= 0.9, buf);
+    } else {
+      check(d.run.corr.flagged_homes() == 0,
+            d.name + ": zero homes flagged");
+    }
+    check(d.benign_flagged == 0,
+          d.name + ": zero benign homes flagged (" +
+              std::to_string(d.benign_flagged) + ")");
+    check(d.deterministic_shards,
+          d.name + ": signals + report byte-identical shards=4 vs shards=1");
+  }
+
+  // The mimicry campaign's signals also survive the cluster tier with a live
+  // mid-campaign migration of the first attacked home.
+  auto cluster_run = run_detection_cluster(mimicry_scenario, detect_humanness,
+                                           /*nodes=*/3);
+  const DetectionRun& mimicry_ref = detections[0].run;
+  check(cluster_run.signals.encode() == mimicry_ref.signals.encode() &&
+            cluster_run.corr.render() == mimicry_ref.corr.render(),
+        "bucket-mimicry: signals byte-identical across cluster + live "
+        "migration");
+
+  // Benign homes' fingerprints are byte-identical with the campaign on or
+  // off — the signal layer inherits the director's isolation contract.
+  std::set<fleet::HomeId> mimicry_adversarial(
+      mimicry_scenario.attack.attacked_homes.begin(),
+      mimicry_scenario.attack.attacked_homes.end());
+  std::size_t divergent_signals = 0;
+  const auto& campaign_homes = mimicry_ref.signals.homes();
+  const auto& control_homes = detections[3].run.signals.homes();
+  for (const auto& control_home : control_homes) {
+    if (mimicry_adversarial.contains(control_home.home)) continue;
+    const telemetry::HomeSignals* match = nullptr;
+    for (const auto& h : campaign_homes) {
+      if (h.home == control_home.home) {
+        match = &h;
+        break;
+      }
+    }
+    if (!match ||
+        encode_home_signals(*match) != encode_home_signals(control_home)) {
+      ++divergent_signals;
+    }
+  }
+  check(divergent_signals == 0,
+        "benign fingerprints byte-identical with campaign on vs off (" +
+            std::to_string(divergent_signals) + " divergent)");
+
   // ---- BENCH_attack.json ----------------------------------------------------
   bench::Json cell_rows = bench::Json::array();
   for (const auto& cell : cells) {
@@ -481,6 +710,24 @@ int main(int argc, char** argv) {
                             cell.report.stats.attack_completed)
                        .put("classes", std::move(classes)));
   }
+  bench::Json detection_rows = bench::Json::array();
+  for (const auto& d : detections) {
+    bench::Json reasons = bench::Json::object();
+    for (std::size_t r = 0; r < fleet::kFlagReasonCount; ++r) {
+      reasons.put(fleet::flag_reason_name(static_cast<fleet::FlagReason>(r)),
+                  d.run.corr.flagged_by_reason[r]);
+    }
+    detection_rows.push(bench::Json::object()
+                            .put("campaign", d.name)
+                            .put("homes_observed", d.run.corr.homes_observed)
+                            .put("adversarial", d.adversarial)
+                            .put("flagged_true", d.flagged_true)
+                            .put("benign_flagged", d.benign_flagged)
+                            .put("recall", d.recall())
+                            .put("deterministic_shards", d.deterministic_shards)
+                            .put("flagged_by_reason", std::move(reasons)));
+  }
+
   bench::Json doc =
       bench::Json::object()
           .put("bench", "attack_eval")
@@ -496,7 +743,15 @@ int main(int argc, char** argv) {
           .put("deterministic_shards", cells[1].digests == primary.digests)
           .put("deterministic_migration", cells[3].digests == primary.digests)
           .put("benign_isolated", benign_divergent == 0)
-          .put("cells", std::move(cell_rows));
+          .put("cells", std::move(cell_rows))
+          .put("detection",
+               bench::Json::object()
+                   .put("recall_floor", 0.9)
+                   .put("benign_signals_isolated", divergent_signals == 0)
+                   .put("deterministic_cluster_migration",
+                        cluster_run.signals.encode() ==
+                            mimicry_ref.signals.encode())
+                   .put("campaigns", std::move(detection_rows)));
   bench::write_bench_json("BENCH_attack.json", doc);
 
   if (!ok) {

@@ -1,12 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 CI: build + ctest normally (plus telemetry-export, hot-path,
-# crash-recovery, cluster and attack-campaign smoke runs), then under
-# ASan+UBSan (covers the FlatMap / DomainInterner / golden-equivalence
+# crash-recovery, cluster, attack-campaign and correlation smoke runs), then
+# under ASan+UBSan (covers the FlatMap / DomainInterner / golden-equivalence
 # "hotpath" suites and the "recovery"/"cluster" snapshot/supervisor/migration
 # suites along with everything else), then the concurrency-, recovery-,
-# cluster- and attack-labeled tests (fleet + transport + fleet telemetry
-# merge + hotpath golden + supervised-restart golden + cluster
-# migration/failover golden + labeled-campaign golden) under TSan.
+# cluster-, attack- and correlation-labeled tests (fleet + transport + fleet
+# telemetry merge + hotpath golden + supervised-restart golden + cluster
+# migration/failover golden + labeled-campaign golden + correlator
+# determinism) under TSan.
 #
 #   ./ci.sh          all three legs
 #   ./ci.sh normal   plain build + tests + smoke runs only
@@ -110,6 +111,30 @@ attack_smoke() {
   echo "==> [normal] attack smoke ok"
 }
 
+# Correlation smoke: run a single-class campaign through the fleet CLI with
+# the correlator on TWICE, require the two correlation reports byte-identical
+# (the observatory inherits the fleet determinism contract), and validate
+# them — plus the telemetry export carrying the rollups — with the strict
+# parser pinned to the current metrics schema version.
+correlation_smoke() {
+  dir="$1"
+  echo "==> [normal] correlation smoke"
+  for run in 1 2; do
+    smoke="$dir/correlation-smoke-$run"
+    mkdir -p "$smoke"
+    "$dir/tools/fiat" fleet --homes 30 --shards 4 --days 0.05 --seed 7 \
+      --attack-coverage 0.1 --attack-class bucket-mimicry \
+      --correlate --correlation-json "$smoke/corr.json" \
+      --telemetry-json "$smoke/metrics.json" >/dev/null
+  done
+  cmp "$dir/correlation-smoke-1/corr.json" \
+      "$dir/correlation-smoke-2/corr.json"
+  "$dir/tools/fiat_json_validate" "$dir/correlation-smoke-1/corr.json"
+  "$dir/tools/fiat_json_validate" --schema-version 1 \
+    "$dir/correlation-smoke-1/metrics.json"
+  echo "==> [normal] correlation smoke ok"
+}
+
 # Telemetry smoke: run the fleet CLI with every export flag and validate the
 # JSON artifacts with the in-tree strict parser (no python/jq dependency).
 telemetry_smoke() {
@@ -134,6 +159,7 @@ case "$LEG" in
     recovery_smoke build
     cluster_smoke build
     attack_smoke build
+    correlation_smoke build
     ;;
 esac
 
@@ -148,7 +174,7 @@ esac
 case "$LEG" in
   tsan|all)
     TSAN_OPTIONS="halt_on_error=1" \
-      run_leg tsan build-tsan "-L concurrency|recovery|cluster|attack" -DFIAT_SANITIZE=thread
+      run_leg tsan build-tsan "-L concurrency|recovery|cluster|attack|correlation" -DFIAT_SANITIZE=thread
     ;;
 esac
 

@@ -15,6 +15,14 @@
 // builds.
 #pragma once
 
+// The fleet correlator detects campaigns from behavioral signals alone; the
+// ground-truth labels in this header exist only to GRADE it. Its translation
+// unit defines FIAT_CORRELATOR_TU, so any include path that would leak labels
+// into the detector fails the build instead of quietly biasing the results.
+#ifdef FIAT_CORRELATOR_TU
+#error "correlator must not read AttackLabel ground truth"
+#endif
+
 #include <array>
 #include <cstdint>
 #include <map>

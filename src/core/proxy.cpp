@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/state_codec.hpp"
+#include "telemetry/signals.hpp"
 #include "util/error.hpp"
 
 namespace fiat::core {
@@ -274,6 +275,15 @@ void FiatProxy::close_event(DeviceState& dev) {
   outcomes_.push_back(std::move(outcome));
   ++counters_.events_closed;
 
+  // Escalated events feed the fleet correlator's signature sketch; events the
+  // guards never fired on contribute nothing (benign homes stay blank).
+  if (dev.escalated) {
+    for (std::uint64_t sig : dev.pending_costume_sigs) {
+      ++escalation_signatures_[sig];
+    }
+  }
+  dev.pending_costume_sigs.clear();
+
   dev.event_seq = -1;
   dev.event_packets = 0;
   dev.allowed = 0;
@@ -475,7 +485,16 @@ Verdict FiatProxy::process_packet(const net::PacketRecord& pkt) {
   // Unpredictable: event grouping + classification gate.
   if (auto closed = dev->grouper.add(pkt)) close_event(*dev);
   dev->event_packets++;
-  if (costume) dev->event_costume++;
+  if (costume) {
+    dev->event_costume++;
+    // Remember what the costume looked like: if a guard later escalates this
+    // event, these signatures become the home's contribution to the fleet
+    // correlator's shared-signature sketch. Only profile-stable fields go
+    // into the hash — remotes/ports are per-home RNG artifacts.
+    dev->pending_costume_sigs.push_back(telemetry::packet_signature(
+        pkt.dst_ip == dev->config.ip,
+        static_cast<std::uint8_t>(pkt.proto), pkt.size));
+  }
   return decide_event_packet(*dev, pkt);
 }
 
@@ -521,11 +540,13 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   auto key_it = phone_keys_.find(client_id);
   if (key_it == phone_keys_.end()) {
     ++proofs_bad_sig_;
+    ++proof_rejections_[client_id];
     proof_outcome("proxy.proofs_rejected_signature");
     return std::nullopt;
   }
   if (payload.size() < 8) {
     ++proofs_bad_sig_;
+    ++proof_rejections_[client_id];
     proof_outcome("proxy.proofs_rejected_signature");
     return std::nullopt;
   }
@@ -535,6 +556,7 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   auto msg = open_auth_message(keystore_, key_it->second, seq, sealed);
   if (!msg) {
     ++proofs_bad_sig_;
+    ++proof_rejections_[client_id];
     proof_outcome("proxy.proofs_rejected_signature");
     return std::nullopt;
   }
@@ -544,6 +566,7 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   auto [seq_it, first_contact] = last_proof_seq_.try_emplace(client_id, 0);
   if (!first_contact && seq <= seq_it->second) {
     ++proofs_duplicate_;
+    ++proof_rejections_[client_id];
     proof_outcome("proxy.proofs_duplicate");
     return std::nullopt;
   }
@@ -719,6 +742,8 @@ void FiatProxy::encode_durable_state(util::ByteWriter& w) const {
     w.u8(dev.locked ? 1 : 0);
     w.u64be(dev.event_costume);
     w.u8(dev.escalated ? 1 : 0);
+    w.u32be(static_cast<std::uint32_t>(dev.pending_costume_sigs.size()));
+    for (std::uint64_t sig : dev.pending_costume_sigs) w.u64be(sig);
   }
 
   // -- attack ledger + guard escalations (state version 2) ------------------
@@ -736,6 +761,18 @@ void FiatProxy::encode_durable_state(util::ByteWriter& w) const {
     w.u32be(static_cast<std::uint32_t>(st.cls));
     w.u64be(st.payload_seen);
     w.u64be(st.payload_dropped);
+  }
+
+  // -- fleet-correlation signals (state version 3) --------------------------
+  w.u32be(static_cast<std::uint32_t>(escalation_signatures_.size()));
+  for (const auto& [sig, count] : escalation_signatures_) {  // std::map: sorted
+    w.u64be(sig);
+    w.u64be(count);
+  }
+  w.u32be(static_cast<std::uint32_t>(proof_rejections_.size()));
+  for (const auto& [client, n] : proof_rejections_) {  // std::map: sorted
+    write_string(w, client);
+    w.u64be(n);
   }
 }
 
@@ -845,6 +882,12 @@ void FiatProxy::decode_durable_state(util::ByteReader& r) {
     dev.locked = r.u8() != 0;
     dev.event_costume = r.u64be();
     dev.escalated = r.u8() != 0;
+    dev.pending_costume_sigs.clear();
+    std::uint32_t sig_count = r.u32be();
+    dev.pending_costume_sigs.reserve(sig_count);
+    for (std::uint32_t j = 0; j < sig_count; ++j) {
+      dev.pending_costume_sigs.push_back(r.u64be());
+    }
   }
 
   mimicry_escalations_ = r.u64be();
@@ -864,6 +907,19 @@ void FiatProxy::decode_durable_state(util::ByteReader& r) {
     st.payload_seen = r.u64be();
     st.payload_dropped = r.u64be();
     ledger_.commands.emplace(cmd, st);
+  }
+
+  escalation_signatures_.clear();
+  std::uint32_t esc_count = r.u32be();
+  for (std::uint32_t i = 0; i < esc_count; ++i) {
+    std::uint64_t sig = r.u64be();
+    escalation_signatures_[sig] = r.u64be();
+  }
+  proof_rejections_.clear();
+  std::uint32_t rej_count = r.u32be();
+  for (std::uint32_t i = 0; i < rej_count; ++i) {
+    std::string client = read_string(r);
+    proof_rejections_[std::move(client)] = r.u64be();
   }
 }
 

@@ -303,6 +303,21 @@ class FiatProxy {
   /// Devices currently under brute-force lockout.
   std::size_t locked_device_count() const;
 
+  // ---- fleet-correlation signals (telemetry/signals.hpp) ------------------
+  /// signature → count of costume packets inside guard-escalated events: the
+  /// cross-home fingerprint a sniff-and-replay campaign leaves behind.
+  const std::map<std::uint64_t, std::uint64_t>& escalation_signatures() const {
+    return escalation_signatures_;
+  }
+  /// Per-client accepted-proof sequence high-water.
+  const std::map<std::string, std::uint64_t>& proof_seq_high_water() const {
+    return last_proof_seq_;
+  }
+  /// Per-client rejected proof payloads (duplicate + bad signature).
+  const std::map<std::string, std::uint64_t>& proof_rejections() const {
+    return proof_rejections_;
+  }
+
  private:
   struct HumanProof {
     double time = 0.0;
@@ -327,6 +342,10 @@ class FiatProxy {
     // Mimicry bookkeeping for the open event.
     std::size_t event_costume = 0;  // known-bucket misses (off-rhythm replays)
     bool escalated = false;         // a guard re-routed this event to manual
+    /// Signatures (telemetry::packet_signature) of the open event's costume
+    /// packets; committed into the home's escalation sketch at close iff a
+    /// guard escalated the event, discarded otherwise.
+    std::vector<std::uint64_t> pending_costume_sigs;
     // Lockout bookkeeping.
     std::deque<double> recent_violations;
     double locked_until = -1.0;
@@ -389,6 +408,10 @@ class FiatProxy {
   AttackLedger ledger_;
   std::size_t mimicry_escalations_ = 0;
   std::size_t notification_escalations_ = 0;
+
+  // Fleet-correlation signals (durable, state version 3).
+  std::map<std::uint64_t, std::uint64_t> escalation_signatures_;
+  std::map<std::string, std::uint64_t> proof_rejections_;  // per client
 
   // Telemetry (optional; cached metric pointers, see set_telemetry()).
   telemetry::Sink* telemetry_ = nullptr;

@@ -20,6 +20,7 @@ SecurityReport build_security_report(const FiatProxy& proxy) {
   report.attack = proxy.attack_ledger();
   report.mimicry_escalations = proxy.mimicry_escalations();
   report.notification_escalations = proxy.notification_escalations();
+  report.escalation_signatures = proxy.escalation_signatures().size();
 
   std::map<std::string, DeviceReport> devices;
   for (const auto& decision : proxy.decision_log()) {
@@ -103,6 +104,16 @@ std::string SecurityReport::render() const {
                   dev.device.c_str(), dev.packets_allowed, dev.packets_dropped,
                   dev.events_total, dev.events_manual_validated,
                   dev.events_manual_blocked, dev.events_non_manual);
+    out += line;
+  }
+
+  // Escalation sketch: only rendered when a guard committed signatures, so
+  // benign reports stay byte-identical to pre-correlation builds.
+  if (escalation_signatures > 0) {
+    std::snprintf(line, sizeof(line),
+                  "\nescalation sketch: %zu distinct costume signatures "
+                  "(fleet correlation input)\n",
+                  escalation_signatures);
     out += line;
   }
 

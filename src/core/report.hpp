@@ -53,6 +53,9 @@ struct SecurityReport {
   AttackLedger attack;
   std::size_t mimicry_escalations = 0;
   std::size_t notification_escalations = 0;
+  // Distinct costume signatures committed to the home's escalation sketch —
+  // this home's contribution to fleet-level correlation (telemetry/signals).
+  std::size_t escalation_signatures = 0;
 
   /// Plain-text rendering (what the companion app would show).
   std::string render() const;

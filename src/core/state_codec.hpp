@@ -42,7 +42,9 @@ class FiatProxy;
 inline constexpr std::uint32_t kStateMagic = 0x46534e50;  // "FSNP"
 // v2: proxy durable state gained the attack ledger, guard-escalation
 // counters, and per-device mimicry bookkeeping (event_costume/escalated).
-inline constexpr std::uint16_t kStateVersion = 2;
+// v3: fleet-correlation signals — per-device pending costume signatures,
+// the home's escalation-signature sketch, and per-client proof rejections.
+inline constexpr std::uint16_t kStateVersion = 3;
 /// Envelope bytes before the payload (magic..payload_len).
 inline constexpr std::size_t kStateHeaderSize = 20;
 inline constexpr std::size_t kStateChecksumSize = 8;

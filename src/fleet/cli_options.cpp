@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "gen/attacks.hpp"
 #include "util/error.hpp"
 
 namespace fiat::fleet {
@@ -51,6 +52,12 @@ FleetScenarioConfig parse_scenario_flags(const util::Flags& flags) {
   config.seed = static_cast<std::uint64_t>(
       flags.number_or("seed", static_cast<double>(config.seed)));
   config.with_proofs = !flags.has("no-proofs");
+  if (flags.has("manual-per-day")) {
+    config.manual_per_day = flags.number_or("manual-per-day", 24.0);
+    if (config.manual_per_day <= 0.0) {
+      throw Error("fleet: --manual-per-day must be a positive rate");
+    }
+  }
   if (flags.has("zipf-skew")) {
     config.zipf_skew = flags.number_or("zipf-skew", 0.0);
     if (config.zipf_skew < 0.0) {
@@ -85,6 +92,27 @@ FleetScenarioConfig parse_scenario_flags(const util::Flags& flags) {
   if (flags.has("attack-seed")) {
     config.attack.seed = static_cast<std::uint64_t>(
         flags.number_or("attack-seed", static_cast<double>(config.attack.seed)));
+  }
+  if (auto cls = flags.get("attack-class")) {
+    // Restrict the round-robin roster to one class — a single-class campaign,
+    // the shape the fleet correlator's detectors are graded against.
+    bool found = false;
+    for (int i = 0; i < gen::kAttackTypeCount; ++i) {
+      auto type = static_cast<gen::AttackType>(i);
+      if (*cls == gen::attack_name(type)) {
+        if (type == gen::AttackType::kSybilHome) {
+          throw Error(
+              "fleet: --attack-class sybil-home is driven by --sybil-frac, "
+              "not the per-home roster");
+        }
+        config.attack.roster = {type};
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw Error("fleet: --attack-class unknown class '" + *cls + "'");
+    }
   }
   return config;
 }
@@ -180,6 +208,62 @@ ClusterConfig parse_cluster_flags(const util::Flags& flags) {
     }
   }
   return config;
+}
+
+CorrelateOptions parse_correlate_flags(const util::Flags& flags,
+                                       const char* cmd) {
+  CorrelateOptions opts;
+  opts.enabled = flags.has("correlate");
+  if (auto path = flags.get("correlation-json")) {
+    if (!opts.enabled) {
+      throw Error(std::string(cmd) +
+                  ": --correlation-json requires --correlate");
+    }
+    if (path->empty()) {
+      throw Error(std::string(cmd) + ": --correlation-json wants a path");
+    }
+    opts.json_path = *path;
+  }
+  if (!opts.enabled) {
+    // Tuning flags without --correlate are silent dead weight; reject them
+    // so a typo'd invocation does not quietly skip the correlator.
+    for (const char* name : {"correlate-min-homes", "correlate-min-replays",
+                             "correlate-epsilon", "correlate-min-cohort"}) {
+      if (flags.has(name)) {
+        throw Error(std::string(cmd) + ": --" + name +
+                    " requires --correlate");
+      }
+    }
+    return opts;
+  }
+  if (flags.has("correlate-min-homes")) {
+    opts.config.min_actor_homes =
+        count_flag(flags, cmd, "correlate-min-homes", 3.0);
+    if (opts.config.min_actor_homes < 2) {
+      throw Error(std::string(cmd) +
+                  ": --correlate-min-homes must be at least 2 (a campaign "
+                  "spans homes)");
+    }
+  }
+  if (flags.has("correlate-min-replays")) {
+    opts.config.min_replays =
+        count_flag(flags, cmd, "correlate-min-replays", 3.0);
+  }
+  if (flags.has("correlate-epsilon")) {
+    opts.config.shape_epsilon = flags.number_or("correlate-epsilon", 0.25);
+    if (opts.config.shape_epsilon <= 0.0) {
+      throw Error(std::string(cmd) + ": --correlate-epsilon must be > 0");
+    }
+  }
+  if (flags.has("correlate-min-cohort")) {
+    opts.config.min_cohort =
+        count_flag(flags, cmd, "correlate-min-cohort", 3.0);
+    if (opts.config.min_cohort < 2) {
+      throw Error(std::string(cmd) +
+                  ": --correlate-min-cohort must be at least 2");
+    }
+  }
+  return opts;
 }
 
 }  // namespace fiat::fleet

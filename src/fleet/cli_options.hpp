@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "fleet/cluster.hpp"
+#include "fleet/correlator.hpp"
 #include "fleet/engine.hpp"
 #include "fleet/fleet_testbed.hpp"
 #include "util/flags.hpp"
@@ -29,5 +31,19 @@ FleetConfig parse_fleet_flags(const util::Flags& flags, std::size_t homes);
 /// --detect-after, --rebalance-every, --retention, --no-journal,
 /// --cold-failover, ...).
 ClusterConfig parse_cluster_flags(const util::Flags& flags);
+
+/// Correlation knobs shared by `fleet` and `cluster` (--correlate,
+/// --correlation-json, --correlate-min-homes, --correlate-min-replays,
+/// --correlate-epsilon, --correlate-min-cohort).
+struct CorrelateOptions {
+  bool enabled = false;
+  /// Non-empty: write CorrelationReport::to_json() here after the run.
+  std::string json_path;
+  CorrelatorConfig config;
+};
+
+/// `cmd` names the subcommand in error messages ("fleet" / "cluster").
+CorrelateOptions parse_correlate_flags(const util::Flags& flags,
+                                       const char* cmd);
 
 }  // namespace fiat::fleet

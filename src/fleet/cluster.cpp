@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/state_codec.hpp"
+#include "fleet/signal_probe.hpp"
 #include "util/error.hpp"
 
 namespace fiat::fleet {
@@ -271,6 +272,16 @@ ShardStats ClusterNode::stats() const {
   s.attack_blocked = ledger.commands_blocked();
   s.attack_completed = ledger.commands_completed();
   return s;
+}
+
+telemetry::SignalSet ClusterNode::signals() {
+  require_quiescent("signals()");
+  telemetry::SignalSet out;
+  for (auto& [id, home] : homes_) {
+    home.proxy().flush_events();  // idempotent alongside report()'s flush
+    out.add(derive_home_signals(id, home.proxy()));
+  }
+  return out;
 }
 
 // ---- ClusterEngine ----------------------------------------------------------
@@ -673,6 +684,33 @@ FleetReport ClusterEngine::report() {
               return a.home < b.home;
             });
   return out;
+}
+
+telemetry::SignalSet ClusterEngine::signals() {
+  require_stopped("signals()");
+  telemetry::SignalSet out;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    // A dead node's leftover home copies were re-placed; fingerprinting them
+    // would shadow the restored (authoritative) copies.
+    if (node_dead_[n]) continue;
+    out.merge_from(nodes_[n]->signals());
+  }
+  return out;
+}
+
+void ClusterEngine::annotate_stats(FleetStats& stats,
+                                   const CorrelationReport& report) const {
+  require_stopped("annotate_stats()");
+  for (std::size_t n = 0; n < nodes_.size() && n < stats.shards.size(); ++n) {
+    if (node_dead_[n]) continue;
+    for (const auto& [id, home] : nodes_[n]->homes()) {
+      if (report.flagged(id)) ++stats.shards[n].flagged;
+    }
+  }
+  stats.flagged_homes = report.flagged_homes();
+  stats.correlation_shared_signatures = report.shared_signatures;
+  stats.correlation_flood_sources = report.flood_sources;
+  stats.correlation_cohorts = report.cohorts;
 }
 
 telemetry::MetricsRegistry ClusterEngine::merged_metrics() const {

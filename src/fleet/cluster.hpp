@@ -157,6 +157,9 @@ class ClusterNode {
 
   std::map<HomeId, Home>& homes() { return homes_; }
   ShardStats stats() const;
+  /// This node's homes' correlation fingerprints (flushes open events).
+  /// Same stopped-state rule as stats().
+  telemetry::SignalSet signals();
   telemetry::Sink& telemetry();
   const telemetry::Sink& telemetry() const;
 
@@ -244,6 +247,14 @@ class ClusterEngine {
   /// Merged per-home report across the surviving nodes. Requires a stopped
   /// engine.
   FleetReport report();
+  /// Every surviving home's correlation fingerprint, merged in node order
+  /// (byte-identical regardless of placement, migrations, or failovers —
+  /// fingerprints derive from durable proxy state only). Requires a stopped
+  /// engine.
+  telemetry::SignalSet signals();
+  /// Marks correlator-flagged homes on the per-node rows and copies the
+  /// rollups into the totals. Requires a stopped engine.
+  void annotate_stats(FleetStats& stats, const CorrelationReport& report) const;
   /// All node registries + the controller registry merged in fixed order.
   telemetry::MetricsRegistry merged_metrics() const;
   /// Node trace spans merged in deterministic order.

@@ -1,0 +1,238 @@
+// Defining this before any include turns core/attack_label.hpp into a
+// compile error here: the detector must never see ground-truth labels.
+#define FIAT_CORRELATOR_TU 1
+
+#include "fleet/correlator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace fiat::fleet {
+
+const char* flag_reason_name(FlagReason r) {
+  switch (r) {
+    case FlagReason::kSharedSignatureReplay: return "shared-signature";
+    case FlagReason::kProofReplayFlood: return "proof-flood";
+    case FlagReason::kSybilCohort: return "sybil-cohort";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+CorrelationReport correlate(const telemetry::SignalSet& signals,
+                            const CorrelatorConfig& config) {
+  const auto& homes = signals.homes();  // sorted by home id
+  CorrelationReport out;
+  out.homes_observed = homes.size();
+
+  // ---- detector 1: shared sniffed signature -------------------------------
+  // A costume signature in the escalation sketches of >= M homes is one
+  // device fingerprint replayed fleet-wide; a lone home tripping its own
+  // guard never qualifies.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> sig_homes;
+  for (const auto& h : homes) {
+    for (const auto& sc : h.signature_sketch) {
+      if (sc.count >= config.min_shared_sig_count) {
+        sig_homes[sc.signature].push_back(h.home);
+      }
+    }
+  }
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::size_t>> sig_flagged;
+  for (const auto& [sig, members] : sig_homes) {
+    if (members.size() < config.min_actor_homes) continue;
+    ++out.shared_signatures;
+    for (std::uint32_t home : members) {
+      auto [it, fresh] = sig_flagged.try_emplace(home, sig, members.size());
+      if (!fresh) it->second.second = std::max(it->second.second, members.size());
+    }
+  }
+  for (const auto& [home, ev] : sig_flagged) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "escalation signature shared with %zu homes",
+                  ev.second - 1);
+    out.actors.push_back({home, FlagReason::kSharedSignatureReplay, ev.first,
+                          detail});
+  }
+
+  // ---- detector 2: proof-replay flood -------------------------------------
+  // >= M homes each rejecting >= R proofs from the same source: captured
+  // payloads sprayed across the fleet. Benign phones produce strictly
+  // increasing sequences, so their rejection counts stay at zero.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> source_homes;
+  for (const auto& h : homes) {
+    for (const auto& ps : h.proof_sources) {
+      if (ps.rejected >= config.min_replays) {
+        source_homes[ps.source].push_back(h.home);
+      }
+    }
+  }
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::size_t>> flood_flagged;
+  for (const auto& [source, members] : source_homes) {
+    if (members.size() < config.min_actor_homes) continue;
+    ++out.flood_sources;
+    for (std::uint32_t home : members) {
+      auto [it, fresh] = flood_flagged.try_emplace(home, source, members.size());
+      if (!fresh) it->second.second = std::max(it->second.second, members.size());
+    }
+  }
+  for (const auto& [home, ev] : flood_flagged) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "proof-replay flood source hitting %zu homes",
+                  ev.second);
+    out.actors.push_back({home, FlagReason::kProofReplayFlood, ev.first,
+                          detail});
+  }
+
+  // ---- detector 3: Sybil cohort -------------------------------------------
+  // Candidacy is the benign separator: a real home with a paired phone has
+  // proofs accepted (or at least proof-channel traffic); a fabricated one
+  // blocks manual commands forever and never produces a proof. Candidates
+  // are then clustered by traffic shape, greedily against the lowest-id
+  // seed (deterministic: candidates arrive sorted by home id).
+  std::vector<const telemetry::HomeSignals*> candidates;
+  for (const auto& h : homes) {
+    if (h.manual_blocked > 0 && h.proofs_accepted == 0 &&
+        h.proof_sources.empty()) {
+      candidates.push_back(&h);
+    }
+  }
+  struct Cohort {
+    const telemetry::HomeSignals* seed;
+    std::vector<std::uint32_t> members;
+  };
+  std::vector<Cohort> cohorts;
+  for (const auto* cand : candidates) {
+    Cohort* joined = nullptr;
+    for (auto& cohort : cohorts) {
+      if (telemetry::shape_distance(*cohort.seed, *cand) <=
+          config.shape_epsilon) {
+        joined = &cohort;
+        break;
+      }
+    }
+    if (joined) {
+      joined->members.push_back(cand->home);
+    } else {
+      cohorts.push_back({cand, {cand->home}});
+    }
+  }
+  for (const auto& cohort : cohorts) {
+    if (cohort.members.size() < config.min_cohort) continue;
+    ++out.cohorts;
+    for (std::uint32_t home : cohort.members) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "sybil cohort of %zu near-identical homes",
+                    cohort.members.size());
+      out.actors.push_back({home, FlagReason::kSybilCohort,
+                            cohort.seed->home, detail});
+    }
+  }
+
+  std::sort(out.actors.begin(), out.actors.end(),
+            [](const FlaggedActor& a, const FlaggedActor& b) {
+              if (a.home != b.home) return a.home < b.home;
+              if (a.reason != b.reason) return a.reason < b.reason;
+              return a.evidence < b.evidence;
+            });
+  for (const auto& actor : out.actors) {
+    ++out.flagged_by_reason[static_cast<std::size_t>(actor.reason)];
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> CorrelationReport::flagged_home_ids() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(actors.size());
+  for (const auto& actor : actors) ids.push_back(actor.home);
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());  // already sorted
+  return ids;
+}
+
+bool CorrelationReport::flagged(std::uint32_t home) const {
+  return std::any_of(actors.begin(), actors.end(),
+                     [&](const FlaggedActor& a) { return a.home == home; });
+}
+
+std::string CorrelationReport::render() const {
+  std::string out = "=== fleet correlation ===\n";
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%zu homes observed, %zu flagged (%zu shared-signature, "
+                "%zu proof-flood, %zu sybil-cohort)\n",
+                homes_observed, flagged_homes(),
+                flagged_by_reason[0], flagged_by_reason[1],
+                flagged_by_reason[2]);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "rollups: %zu shared signatures, %zu flood sources, "
+                "%zu sybil cohorts\n",
+                shared_signatures, flood_sources, cohorts);
+  out += line;
+  if (actors.empty()) {
+    out += "no campaign-level actors flagged\n";
+    return out;
+  }
+  for (const auto& actor : actors) {
+    std::snprintf(line, sizeof(line), "  home %-6u %-16s %s  %s\n",
+                  actor.home, flag_reason_name(actor.reason),
+                  hex64(actor.evidence).c_str(), actor.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+util::Json CorrelationReport::to_json() const {
+  auto by_reason = util::Json::object();
+  for (std::size_t i = 0; i < kFlagReasonCount; ++i) {
+    by_reason.put(flag_reason_name(static_cast<FlagReason>(i)),
+                  flagged_by_reason[i]);
+  }
+  auto rollups = util::Json::object()
+                     .put("shared_signatures", shared_signatures)
+                     .put("flood_sources", flood_sources)
+                     .put("cohorts", cohorts);
+  auto actor_array = util::Json::array();
+  for (const auto& actor : actors) {
+    actor_array.push(util::Json::object()
+                         .put("home", static_cast<std::size_t>(actor.home))
+                         .put("reason", flag_reason_name(actor.reason))
+                         .put("evidence", hex64(actor.evidence))
+                         .put("detail", actor.detail));
+  }
+  return util::Json::object()
+      .put("schema_version", static_cast<std::size_t>(1))
+      .put("homes_observed", homes_observed)
+      .put("flagged_homes", flagged_homes())
+      .put("flagged_by_reason", std::move(by_reason))
+      .put("rollups", std::move(rollups))
+      .put("actors", std::move(actor_array));
+}
+
+void CorrelationReport::rollups_into(telemetry::MetricsRegistry& m) const {
+  m.counter("correlation.homes_observed").inc(homes_observed);
+  m.counter("correlation.flagged_homes").inc(flagged_homes());
+  for (std::size_t i = 0; i < kFlagReasonCount; ++i) {
+    m.counter(std::string("correlation.flagged.") +
+              flag_reason_name(static_cast<FlagReason>(i)))
+        .inc(flagged_by_reason[i]);
+  }
+  m.counter("correlation.shared_signatures").inc(shared_signatures);
+  m.counter("correlation.flood_sources").inc(flood_sources);
+  m.counter("correlation.cohorts").inc(cohorts);
+}
+
+}  // namespace fiat::fleet

@@ -1,0 +1,100 @@
+// Fleet correlation observatory (DESIGN.md §14): detects campaign-level
+// actors no single home can see, from behavioral signals alone.
+//
+// Input is a telemetry::SignalSet — per-home fingerprints derived from
+// durable proxy state (fleet/signal_probe.hpp). Three detectors:
+//
+//   shared-signature  the same costume signature shows up in the escalation
+//                     sketches of >= M homes: one sniffed device signature
+//                     replayed across the fleet (bucket mimicry at scale);
+//   proof-flood       >= M homes each rejected >= R proofs from the same
+//                     source: a proof-replay flood reusing captured payloads;
+//   sybil-cohort      >= C homes that block manual traffic, never had a
+//                     proof accepted, and show near-identical traffic shape:
+//                     fabricated homes padding fleet accounting.
+//
+// The correlator is deterministic (sorted inputs, fixed iteration order) and
+// NEVER reads attack ground truth: its .cpp defines FIAT_CORRELATOR_TU, which
+// turns any include of core/attack_label.hpp into a compile error. Labels
+// grade the detector (bench_attack_eval part 3); they must not feed it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/signals.hpp"
+#include "util/json.hpp"
+
+namespace fiat::fleet {
+
+enum class FlagReason : std::uint8_t {
+  kSharedSignatureReplay = 0,
+  kProofReplayFlood = 1,
+  kSybilCohort = 2,
+};
+inline constexpr std::size_t kFlagReasonCount = 3;
+
+const char* flag_reason_name(FlagReason r);
+
+struct CorrelatorConfig {
+  /// M: minimum homes sharing a signature / flood source before flagging.
+  std::size_t min_actor_homes = 3;
+  /// A sketch entry participates once its per-home count reaches this.
+  /// Benign escalations replay universal signatures (ACK / DNS sizes) a
+  /// couple of times; a mimicry campaign replays each sniffed bucket twice
+  /// per attempt, so >= 4 means >= 2 escalated attempts — empirically a
+  /// clean margin over the benign ceiling.
+  std::uint64_t min_shared_sig_count = 4;
+  /// R: per-home rejected proofs from one source before it reads as a flood.
+  std::uint64_t min_replays = 3;
+  /// Max shape distance (telemetry::shape_distance) to a cohort's seed.
+  double shape_epsilon = 0.25;
+  /// C: minimum Sybil-cohort size before its members are flagged.
+  std::size_t min_cohort = 3;
+};
+
+/// One (home, reason) flag. `evidence` is the shared signature, the flood
+/// source, or the cohort seed home — whatever ties this home to its peers.
+struct FlaggedActor {
+  std::uint32_t home = 0;
+  FlagReason reason = FlagReason::kSharedSignatureReplay;
+  std::uint64_t evidence = 0;
+  std::string detail;
+};
+
+struct CorrelationReport {
+  std::size_t homes_observed = 0;
+  /// Sorted by (home, reason, evidence); one entry per (home, reason).
+  std::vector<FlaggedActor> actors;
+  std::array<std::size_t, kFlagReasonCount> flagged_by_reason{};
+  // Fleet-health rollups.
+  std::size_t shared_signatures = 0;  // distinct signatures seen at >= M homes
+  std::size_t flood_sources = 0;      // distinct sources flooding >= M homes
+  std::size_t cohorts = 0;            // Sybil cohorts of size >= C
+
+  /// Distinct flagged home ids, sorted.
+  std::vector<std::uint32_t> flagged_home_ids() const;
+  std::size_t flagged_homes() const { return flagged_home_ids().size(); }
+  bool flagged(std::uint32_t home) const;
+  bool empty() const { return actors.empty(); }
+
+  /// Human-readable summary (CLI).
+  std::string render() const;
+  /// Deterministic JSON (64-bit evidence rendered as hex strings — they must
+  /// not round-trip through doubles).
+  util::Json to_json() const;
+  /// Folds the rollups into a registry as Domain::kSim counters, so the
+  /// existing Prometheus/JSON exporters carry them with no new plumbing.
+  void rollups_into(telemetry::MetricsRegistry& m) const;
+};
+
+/// Runs all three detectors over the merged fingerprints. Pure function of
+/// (signals, config): byte-identical output for byte-identical input.
+CorrelationReport correlate(const telemetry::SignalSet& signals,
+                            const CorrelatorConfig& config = {});
+
+}  // namespace fiat::fleet

@@ -159,6 +159,25 @@ std::vector<telemetry::TraceSpan> FleetEngine::merged_trace() const {
   return telemetry::merge_ordered(buffers);
 }
 
+telemetry::SignalSet FleetEngine::signals() {
+  require_stopped("signals()");
+  telemetry::SignalSet out;
+  for (auto& shard : shards_) out.merge_from(shard->signals());
+  return out;
+}
+
+void FleetEngine::annotate_stats(FleetStats& stats,
+                                 const CorrelationReport& report) const {
+  for (std::uint32_t home : report.flagged_home_ids()) {
+    std::size_t shard = partition_.shard_of(home);
+    if (shard < stats.shards.size()) ++stats.shards[shard].flagged;
+    ++stats.flagged_homes;
+  }
+  stats.correlation_shared_signatures = report.shared_signatures;
+  stats.correlation_flood_sources = report.flood_sources;
+  stats.correlation_cohorts = report.cohorts;
+}
+
 FleetReport FleetEngine::report() {
   require_stopped("report()");
   FleetReport out;

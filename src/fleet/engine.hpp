@@ -29,6 +29,7 @@
 
 #include "core/humanness.hpp"
 #include "core/report.hpp"
+#include "fleet/correlator.hpp"
 #include "fleet/home.hpp"
 #include "fleet/router.hpp"
 #include "fleet/shard.hpp"
@@ -111,6 +112,16 @@ class FleetEngine {
   /// Flushes open events on every home proxy and builds the merged report.
   /// Requires a stopped engine.
   FleetReport report();
+
+  /// Every home's correlation fingerprint, merged in shard order (the
+  /// SignalSet keeps itself sorted by home id, so the order is cosmetic —
+  /// the result is byte-identical for any shard count). Requires a stopped
+  /// engine.
+  telemetry::SignalSet signals();
+  /// Marks correlator-flagged homes on the per-shard rows and copies the
+  /// rollups into the totals (FleetStats::render's `flagged` column and
+  /// `correlation:` line).
+  void annotate_stats(FleetStats& stats, const CorrelationReport& report) const;
 
   /// Direct access for tests (stopped engine only).
   Shard& shard(std::size_t i) { return *shards_[i]; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "fleet/signal_probe.hpp"
 #include "fleet/supervisor.hpp"
 #include "util/error.hpp"
 
@@ -149,6 +150,16 @@ core::AttackLedger Shard::attack_ledger() const {
   core::AttackLedger ledger;
   for (const Home& home : homes_) ledger.merge(home.proxy().attack_ledger());
   return ledger;
+}
+
+telemetry::SignalSet Shard::signals() {
+  require_quiescent("signals()");
+  telemetry::SignalSet out;
+  for (Home& home : homes_) {
+    home.proxy().flush_events();  // idempotent alongside report()'s flush
+    out.add(derive_home_signals(home.id(), home.proxy()));
+  }
+  return out;
 }
 
 }  // namespace fiat::fleet

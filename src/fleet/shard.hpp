@@ -17,6 +17,7 @@
 #include "fleet/home.hpp"
 #include "fleet/item.hpp"
 #include "fleet/stats.hpp"
+#include "telemetry/signals.hpp"
 #include "telemetry/sink.hpp"
 
 namespace fiat::fleet {
@@ -66,6 +67,12 @@ class Shard {
   /// This shard's homes' attack ledgers merged (campaign grading). Same
   /// stopped-state rule as stats().
   core::AttackLedger attack_ledger() const;
+
+  /// This shard's homes' correlation fingerprints (fleet/signal_probe.hpp),
+  /// sorted by home id. Flushes open events first so an escalated event in
+  /// flight has committed its costume signatures. Same stopped-state rule as
+  /// stats().
+  telemetry::SignalSet signals();
 
   /// This shard's thread-owned telemetry sink (its homes' proxies record
   /// into it too). Written by the worker; same stopped-state rule as

@@ -1,0 +1,83 @@
+#include "fleet/signal_probe.hpp"
+
+#include <algorithm>
+
+namespace fiat::fleet {
+
+telemetry::HomeSignals derive_home_signals(HomeId id,
+                                           const core::FiatProxy& proxy,
+                                           std::size_t top_k) {
+  using core::Disposition;
+  telemetry::HomeSignals out;
+  out.home = id;
+
+  core::ProxyCounters c = proxy.counters();
+  auto by = [&](Disposition d) {
+    return static_cast<std::uint64_t>(
+        c.by_disposition[static_cast<std::size_t>(d)]);
+  };
+  out.packets_allowed = c.packets_allowed;
+  out.packets_dropped = c.packets_dropped;
+  out.events_closed = c.events_closed;
+  out.manual_blocked = by(Disposition::kManualUnvalidated);
+  out.proofs_accepted = c.proofs_accepted;
+  out.proofs_rejected = c.proofs_rejected_signature + c.proofs_duplicate;
+  out.mimicry_escalations = proxy.mimicry_escalations();
+  out.notification_escalations = proxy.notification_escalations();
+  out.alerts = c.alerts;
+
+  // Escalation sketch: top-K by count, re-sorted by signature (canonical).
+  std::vector<telemetry::SignatureCount> counts;
+  counts.reserve(proxy.escalation_signatures().size());
+  for (const auto& [sig, n] : proxy.escalation_signatures()) {
+    counts.push_back({sig, n});
+  }
+  out.signature_sketch = telemetry::top_k_sketch(counts, top_k);
+
+  // Proof sources: union of the accepted high-water map and the rejection
+  // map (a flood source may never have a proof accepted).
+  const auto& high = proxy.proof_seq_high_water();
+  const auto& rej = proxy.proof_rejections();
+  for (const auto& [client, seq] : high) {
+    telemetry::ProofSource src;
+    src.source = telemetry::source_signature(client);
+    src.high_water = seq;
+    auto it = rej.find(client);
+    src.rejected = it == rej.end() ? 0 : it->second;
+    out.proof_sources.push_back(src);
+  }
+  for (const auto& [client, n] : rej) {
+    if (high.contains(client)) continue;  // already merged above
+    telemetry::ProofSource src;
+    src.source = telemetry::source_signature(client);
+    src.rejected = n;
+    out.proof_sources.push_back(src);
+  }
+  std::sort(out.proof_sources.begin(), out.proof_sources.end(),
+            [](const telemetry::ProofSource& a, const telemetry::ProofSource& b) {
+              return a.source < b.source;
+            });
+
+  // Traffic shape: decision-mix fractions over all verdicts.
+  double total =
+      static_cast<double>(c.packets_allowed + c.packets_dropped);
+  if (total > 0.0) {
+    auto frac = [&](Disposition d) {
+      return static_cast<double>(by(d)) / total;
+    };
+    out.shape[telemetry::kShapeRuleHit] = frac(Disposition::kRuleHit);
+    out.shape[telemetry::kShapeBootstrap] = frac(Disposition::kBootstrap);
+    out.shape[telemetry::kShapeEventPrefix] = frac(Disposition::kEventPrefix);
+    out.shape[telemetry::kShapeNonManual] = frac(Disposition::kNonManual);
+    out.shape[telemetry::kShapeManualUnvalidated] =
+        frac(Disposition::kManualUnvalidated);
+    out.shape[telemetry::kShapeLockout] = frac(Disposition::kLockout);
+    out.shape[telemetry::kShapeDropRate] =
+        static_cast<double>(c.packets_dropped) / total;
+    out.shape[telemetry::kShapeEventRate] =
+        static_cast<double>(c.events_closed) / total;
+  }
+  return out;
+}
+
+}  // namespace fiat::fleet

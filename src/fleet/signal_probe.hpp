@@ -1,0 +1,29 @@
+// The one translation unit allowed to look at both sides: derives a home's
+// telemetry::HomeSignals fingerprint from its FiatProxy durable state.
+//
+// Everything in the fingerprint is a pure function of state the codec
+// already persists (counters, escalation sketch, proof bookkeeping), so the
+// signals inherit the proven byte-identity guarantees: shards=K equals
+// shards=1, and a home migrated or failed-over mid-campaign produces the
+// same fingerprint as one that never moved. The correlator itself never
+// includes this header — it consumes HomeSignals only.
+#pragma once
+
+#include <cstddef>
+
+#include "core/proxy.hpp"
+#include "fleet/home.hpp"
+#include "telemetry/signals.hpp"
+
+namespace fiat::fleet {
+
+/// Sketch entries kept per home (top-K by count; see telemetry::top_k_sketch).
+inline constexpr std::size_t kSignalsTopK = 8;
+
+/// Builds the fingerprint. Call proxy.flush_events() first (Shard::signals()
+/// does) so an open escalated event has committed its costume signatures.
+telemetry::HomeSignals derive_home_signals(HomeId id,
+                                           const core::FiatProxy& proxy,
+                                           std::size_t top_k = kSignalsTopK);
+
+}  // namespace fiat::fleet

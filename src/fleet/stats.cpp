@@ -19,21 +19,23 @@ std::string FleetStats::render() const {
   char line[320];
   std::snprintf(line, sizeof(line),
                 "%-6s %6s %10s %8s %8s %9s %9s %8s %5s %7s %8s %7s %8s %8s "
-                "%10s %6s %8s\n",
+                "%8s %10s %6s %8s\n",
                 row_label.c_str(), "homes", "packets", "proofs", "shed",
                 "shed-cls", "discard", "restart", "quar", "mig-in", "mig-out",
-                "atk-in", "atk-blk", "atk-cmp", "high-water", "util", "busy-s");
+                "atk-in", "atk-blk", "atk-cmp", "flagged", "high-water",
+                "util", "busy-s");
   out += line;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
     std::snprintf(line, sizeof(line),
                   "%-6zu %6zu %10zu %8zu %8zu %9zu %9zu %8zu %5zu %7zu %8zu "
-                  "%7zu %8zu %8zu %10zu %5.0f%% %8.3f\n",
+                  "%7zu %8zu %8zu %8zu %10zu %5.0f%% %8.3f\n",
                   i, s.homes, s.packets, s.proofs, s.queue_shed,
                   s.queue_shed_on_close, s.discarded, s.restarts,
                   s.quarantined, s.migrations_in, s.migrations_out,
                   s.attack_injected, s.attack_blocked, s.attack_completed,
-                  s.queue_high_water, 100.0 * utilization(i), s.busy_seconds);
+                  s.flagged, s.queue_high_water, 100.0 * utilization(i),
+                  s.busy_seconds);
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -49,6 +51,17 @@ std::string FleetStats::render() const {
                   "attacks: %zu injected, %zu commands blocked, %zu commands "
                   "completed\n",
                   attack_injected, attack_blocked, attack_completed);
+    out += line;
+  }
+  // The correlation totals line only exists when the correlator ran AND
+  // found something (annotate_stats leaves an all-benign run untouched).
+  if (flagged_homes > 0 || correlation_shared_signatures > 0 ||
+      correlation_flood_sources > 0 || correlation_cohorts > 0) {
+    std::snprintf(line, sizeof(line),
+                  "correlation: %zu homes flagged, %zu shared signatures, "
+                  "%zu flood sources, %zu sybil cohorts\n",
+                  flagged_homes, correlation_shared_signatures,
+                  correlation_flood_sources, correlation_cohorts);
     out += line;
   }
   // The cluster totals line only exists where a control plane does (or ran).

@@ -25,6 +25,7 @@ struct ShardStats {
   std::size_t attack_injected = 0;   // labeled attack packets+proofs graded
   std::size_t attack_blocked = 0;    // attack commands with payload dropped
   std::size_t attack_completed = 0;  // attack commands fully delivered
+  std::size_t flagged = 0;        // homes flagged by the fleet correlator
   double busy_seconds = 0.0;      // wall time spent inside proxy calls
   // Queue view (from BoundedQueue::Stats).
   std::size_t queue_pushed = 0;
@@ -49,6 +50,11 @@ struct FleetStats {
   std::size_t attack_injected = 0;   // fleet-wide labeled attack items graded
   std::size_t attack_blocked = 0;    // fleet-wide attack commands blocked
   std::size_t attack_completed = 0;  // fleet-wide attack commands completed
+  // Correlation annotations (FleetEngine/ClusterEngine::annotate_stats).
+  std::size_t flagged_homes = 0;     // distinct homes the correlator flagged
+  std::size_t correlation_shared_signatures = 0;
+  std::size_t correlation_flood_sources = 0;
+  std::size_t correlation_cohorts = 0;
   double handoff_p95_seconds = 0.0;  // p95 migration handoff latency (wall)
   double wall_seconds = 0.0;      // start() .. stop() wall time
   /// First column of render(): "shard" for FleetEngine, "node" for the

@@ -86,6 +86,7 @@ util::Json metrics_json(const MetricsRegistry& registry, bool include_wall) {
   }
 
   return util::Json::object()
+      .put("schema_version", kMetricsSchemaVersion)
       .put("counters", std::move(counters))
       .put("gauges", std::move(gauges))
       .put("histograms", std::move(histograms));

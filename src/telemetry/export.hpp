@@ -19,6 +19,12 @@
 
 namespace fiat::telemetry {
 
+/// Top-level `schema_version` emitted by metrics_json(). Bump when the
+/// document shape changes so downstream consumers of `--telemetry-json` /
+/// BENCH snapshots can detect skew (fiat_json_validate --schema-version
+/// checks it).
+inline constexpr std::size_t kMetricsSchemaVersion = 1;
+
 util::Json metrics_json(const MetricsRegistry& registry, bool include_wall);
 
 std::string prometheus_text(const MetricsRegistry& registry, bool include_wall);

@@ -1,0 +1,108 @@
+#include "telemetry/signals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fiat::telemetry {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t packet_signature(bool inbound, std::uint8_t proto,
+                               std::uint32_t size) {
+  std::uint64_t key = (static_cast<std::uint64_t>(inbound ? 1 : 0) << 40) |
+                      (static_cast<std::uint64_t>(proto) << 32) |
+                      static_cast<std::uint64_t>(size);
+  return splitmix64(key);
+}
+
+std::uint64_t source_signature(std::string_view client_id) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (unsigned char c : client_id) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  // A final mix so near-identical ids don't land in adjacent buckets.
+  return splitmix64(h);
+}
+
+void HomeSignals::encode(util::ByteWriter& w) const {
+  w.u32be(home);
+  w.u64be(packets_allowed);
+  w.u64be(packets_dropped);
+  w.u64be(events_closed);
+  w.u64be(manual_blocked);
+  w.u64be(proofs_accepted);
+  w.u64be(proofs_rejected);
+  w.u64be(mimicry_escalations);
+  w.u64be(notification_escalations);
+  w.u64be(alerts);
+  w.u32be(static_cast<std::uint32_t>(signature_sketch.size()));
+  for (const auto& sc : signature_sketch) {
+    w.u64be(sc.signature);
+    w.u64be(sc.count);
+  }
+  w.u32be(static_cast<std::uint32_t>(proof_sources.size()));
+  for (const auto& ps : proof_sources) {
+    w.u64be(ps.source);
+    w.u64be(ps.high_water);
+    w.u64be(ps.rejected);
+  }
+  for (double d : shape) w.f64be(d);
+}
+
+double shape_distance(const HomeSignals& a, const HomeSignals& b) {
+  double d = 0.0;
+  for (std::size_t i : {kShapeNonManual, kShapeManualUnvalidated,
+                        kShapeEventRate}) {
+    d += std::abs(a.shape[i] - b.shape[i]);
+  }
+  return d;
+}
+
+std::vector<SignatureCount> top_k_sketch(
+    const std::vector<SignatureCount>& counts, std::size_t k) {
+  std::vector<SignatureCount> out = counts;
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.signature < b.signature;
+  });
+  if (out.size() > k) out.resize(k);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.signature < b.signature;
+  });
+  return out;
+}
+
+void SignalSet::add(HomeSignals s) {
+  auto it = std::lower_bound(
+      homes_.begin(), homes_.end(), s.home,
+      [](const HomeSignals& h, std::uint32_t id) { return h.home < id; });
+  if (it != homes_.end() && it->home == s.home) {
+    *it = std::move(s);
+  } else {
+    homes_.insert(it, std::move(s));
+  }
+}
+
+void SignalSet::merge_from(const SignalSet& other) {
+  for (const auto& h : other.homes_) add(h);
+}
+
+util::Bytes SignalSet::encode() const {
+  util::ByteWriter w;
+  w.u32be(kSignalsVersion);
+  w.u32be(static_cast<std::uint32_t>(homes_.size()));
+  for (const auto& h : homes_) h.encode(w);
+  return w.take();
+}
+
+}  // namespace fiat::telemetry

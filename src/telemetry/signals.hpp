@@ -1,0 +1,140 @@
+// Per-home behavioral signals: the compact, mergeable fingerprints the fleet
+// correlator consumes (DESIGN.md §14).
+//
+// A HomeSignals is a pure function of one home's proxy durable state — no
+// wall-clock, no RNG, no cross-home input — so the fleet-level SignalSet
+// inherits the determinism contract the shard/cluster reports already prove:
+// shards=K merges byte-identical to shards=1, and signals survive live
+// migration and node failover unchanged. This header deliberately depends on
+// util + std only (NOT on core): the correlator includes it without ever
+// seeing proxy internals or AttackLabel ground truth.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace fiat::telemetry {
+
+/// Current signal-catalog version; bump when HomeSignals gains/changes fields
+/// so downstream consumers of encoded SignalSets can detect skew.
+inline constexpr std::uint32_t kSignalsVersion = 1;
+
+/// Deterministic 64-bit signature of a packet's *profile-stable* fields.
+/// Remote addresses and ports are per-home RNG artifacts, so a cross-home
+/// sniff-and-replay campaign only collides on (direction, proto, size) — the
+/// tuple the attacker actually copies. splitmix64-style finalizer: cheap,
+/// stateless, and identical on every platform.
+std::uint64_t packet_signature(bool inbound, std::uint8_t proto,
+                               std::uint32_t size);
+
+/// Deterministic 64-bit signature of a proof source (client id). FNV-1a over
+/// the bytes: stable across runs, never exposes the raw id in exports.
+std::uint64_t source_signature(std::string_view client_id);
+
+/// One entry of a home's escalation-signature sketch.
+struct SignatureCount {
+  std::uint64_t signature = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const SignatureCount&, const SignatureCount&) = default;
+};
+
+/// Per-source proof bookkeeping: the sequence high-water the proxy accepted
+/// from this source and how many payloads it rejected (duplicate or bad sig).
+struct ProofSource {
+  std::uint64_t source = 0;      // source_signature(client_id)
+  std::uint64_t high_water = 0;  // highest accepted proof sequence
+  std::uint64_t rejected = 0;    // duplicate + bad-signature payloads
+
+  friend bool operator==(const ProofSource&, const ProofSource&) = default;
+};
+
+/// Dimensions of the traffic-shape vector (fractions/rates in [0, ~1]).
+inline constexpr std::size_t kShapeDims = 8;
+enum ShapeDim : std::size_t {
+  kShapeRuleHit = 0,          // rule-hit fraction of allowed packets
+  kShapeBootstrap = 1,        // bootstrap-allowed fraction
+  kShapeEventPrefix = 2,      // event-prefix fraction
+  kShapeNonManual = 3,        // classified-non-manual fraction
+  kShapeManualUnvalidated = 4,  // manual-without-proof fraction
+  kShapeLockout = 5,          // lockout-drop fraction
+  kShapeDropRate = 6,         // dropped / (allowed + dropped)
+  kShapeEventRate = 7,        // events closed per packet seen
+};
+
+/// One home's behavioral fingerprint. All fields derive from durable proxy
+/// state; encode() is canonical (sorted vectors, fixed field order) so two
+/// equal fingerprints serialize byte-identically.
+struct HomeSignals {
+  std::uint32_t home = 0;
+
+  // Counters (verbatim from ProxyCounters / escalation bookkeeping).
+  std::uint64_t packets_allowed = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t events_closed = 0;
+  std::uint64_t manual_blocked = 0;  // manual-classified, no valid proof
+  std::uint64_t proofs_accepted = 0;
+  std::uint64_t proofs_rejected = 0;  // duplicate + bad signature
+  std::uint64_t mimicry_escalations = 0;
+  std::uint64_t notification_escalations = 0;
+  std::uint64_t alerts = 0;
+
+  /// Top-K escalation-signature sketch: signatures of costume packets inside
+  /// events the mimicry/notification guards escalated, sorted by signature.
+  std::vector<SignatureCount> signature_sketch;
+
+  /// Per-source proof bookkeeping, sorted by source signature.
+  std::vector<ProofSource> proof_sources;
+
+  /// Traffic-shape vector (see ShapeDim).
+  std::array<double, kShapeDims> shape{};
+
+  void encode(util::ByteWriter& w) const;
+
+  friend bool operator==(const HomeSignals&, const HomeSignals&) = default;
+};
+
+/// L1 distance between two shape vectors restricted to the
+/// enforcement-independent dimensions: decision mix (kShapeNonManual,
+/// kShapeManualUnvalidated) and activity rate (kShapeEventRate). Lockout and
+/// drop-rate dims are deliberately excluded — they measure how early the
+/// proxy clamped down, not how the traffic behaved, and two clones of the
+/// same bot can land on opposite sides of the lockout threshold.
+double shape_distance(const HomeSignals& a, const HomeSignals& b);
+
+/// Trims a (signature → count) accumulation to its top-K entries by
+/// (count desc, signature asc), returned re-sorted by signature so the sketch
+/// stays canonical regardless of selection order.
+std::vector<SignatureCount> top_k_sketch(
+    const std::vector<SignatureCount>& counts, std::size_t k);
+
+/// An ordered, mergeable set of per-home fingerprints. Kept sorted by home id
+/// so merge order (shard 0..N-1, node 0..N-1) never affects the result — the
+/// same contract the telemetry sinks and fleet reports follow.
+class SignalSet {
+ public:
+  /// Inserts (or replaces) the entry for `s.home`.
+  void add(HomeSignals s);
+
+  /// Folds `other` in; duplicate home ids take the incoming entry (a home
+  /// lives on exactly one shard/node, so duplicates only occur in tests).
+  void merge_from(const SignalSet& other);
+
+  const std::vector<HomeSignals>& homes() const { return homes_; }
+  std::size_t size() const { return homes_.size(); }
+  bool empty() const { return homes_.empty(); }
+
+  /// Canonical serialization: version header then each home's encode() in
+  /// home-id order. Byte-identity of two SignalSets ⇔ equal fingerprints.
+  util::Bytes encode() const;
+
+ private:
+  std::vector<HomeSignals> homes_;  // sorted by home id
+};
+
+}  // namespace fiat::telemetry

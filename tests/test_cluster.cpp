@@ -525,6 +525,87 @@ TEST(CliOptions, FleetFlagsRejectInvalidInput) {
   EXPECT_DOUBLE_EQ(config.recovery.snapshot_every, 120.0);
 }
 
+TEST(CliOptions, CorrelateFlagsRoundTrip) {
+  auto opts = parse_correlate_flags(parse({"--correlate"}), "fleet");
+  EXPECT_TRUE(opts.enabled);
+  EXPECT_TRUE(opts.json_path.empty());
+  // Defaults survive when no tuning flags are given.
+  EXPECT_EQ(opts.config.min_actor_homes, CorrelatorConfig{}.min_actor_homes);
+
+  opts = parse_correlate_flags(
+      parse({"--correlate", "--correlation-json", "corr.json",
+             "--correlate-min-homes", "4", "--correlate-min-replays", "5",
+             "--correlate-epsilon", "0.5", "--correlate-min-cohort", "2"}),
+      "cluster");
+  EXPECT_TRUE(opts.enabled);
+  EXPECT_EQ(opts.json_path, "corr.json");
+  EXPECT_EQ(opts.config.min_actor_homes, 4u);
+  EXPECT_EQ(opts.config.min_replays, 5u);
+  EXPECT_DOUBLE_EQ(opts.config.shape_epsilon, 0.5);
+  EXPECT_EQ(opts.config.min_cohort, 2u);
+
+  // No --correlate at all: disabled, nothing else parsed.
+  opts = parse_correlate_flags(parse({"--homes", "30"}), "fleet");
+  EXPECT_FALSE(opts.enabled);
+}
+
+TEST(CliOptions, CorrelateFlagsRejectInvalidInput) {
+  // Every correlation flag is dead weight without --correlate; reject so a
+  // typo'd invocation does not quietly skip the correlator.
+  EXPECT_THROW(parse_correlate_flags(parse({"--correlation-json", "x.json"}),
+                                     "fleet"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(parse({"--correlate-min-homes", "4"}),
+                                     "fleet"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(parse({"--correlate-min-replays", "5"}),
+                                     "cluster"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(parse({"--correlate-epsilon", "0.5"}),
+                                     "fleet"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(parse({"--correlate-min-cohort", "2"}),
+                                     "cluster"),
+               Error);
+  // Bad values with --correlate armed.
+  EXPECT_THROW(parse_correlate_flags(
+                   parse({"--correlate", "--correlation-json", ""}), "fleet"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(
+                   parse({"--correlate", "--correlate-min-homes", "1"}),
+                   "fleet"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(
+                   parse({"--correlate", "--correlate-min-replays", "0"}),
+                   "fleet"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(
+                   parse({"--correlate", "--correlate-epsilon", "0"}),
+                   "fleet"),
+               Error);
+  EXPECT_THROW(parse_correlate_flags(
+                   parse({"--correlate", "--correlate-min-cohort", "1"}),
+                   "fleet"),
+               Error);
+}
+
+TEST(CliOptions, ScenarioFlagsValidateAttackClassAndManualRate) {
+  auto config = parse_scenario_flags(
+      parse({"--attack-coverage", "0.1", "--attack-class", "bucket-mimicry",
+             "--manual-per-day", "96"}));
+  ASSERT_EQ(config.attack.roster.size(), 1u);
+  EXPECT_EQ(config.attack.roster[0], gen::AttackType::kBucketMimicry);
+  EXPECT_DOUBLE_EQ(config.manual_per_day, 96.0);
+
+  EXPECT_THROW(parse_scenario_flags(parse({"--attack-class", "no-such"})),
+               Error);
+  // Sybil homes are fabricated via --sybil-frac, not the per-home roster.
+  EXPECT_THROW(parse_scenario_flags(parse({"--attack-class", "sybil-home"})),
+               Error);
+  EXPECT_THROW(parse_scenario_flags(parse({"--manual-per-day", "0"})), Error);
+  EXPECT_THROW(parse_scenario_flags(parse({"--manual-per-day", "-3"})), Error);
+}
+
 TEST(CliOptions, ScenarioFlagsValidateZipf) {
   EXPECT_THROW(parse_scenario_flags(parse({"--homes", "0"})), Error);
   EXPECT_THROW(parse_scenario_flags(parse({"--zipf-skew", "1.2",

@@ -1,0 +1,330 @@
+// Fleet correlation observatory tests (DESIGN.md §14): unit behavior of the
+// three detectors over hand-built SignalSets, plus the determinism contract
+// on synthesized fleets — signals and CorrelationReports are byte-identical
+// across shard counts and across a live migration mid-campaign, and benign
+// homes' fingerprints don't move when a campaign runs elsewhere. The
+// correlator never sees ground truth; these tests join its output against
+// AttackTruth the same way bench_attack_eval part 3 does.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/humanness.hpp"
+#include "fleet/cluster.hpp"
+#include "fleet/correlator.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "fleet/placement.hpp"
+#include "gen/attack_director.hpp"
+#include "telemetry/signals.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::fleet {
+namespace {
+
+// ---- correlate() unit behavior ---------------------------------------------
+
+telemetry::HomeSignals benign_home(std::uint32_t id) {
+  telemetry::HomeSignals h;
+  h.home = id;
+  h.packets_allowed = 1000;
+  h.events_closed = 40;
+  h.proofs_accepted = 5;
+  h.shape[telemetry::kShapeNonManual] = 0.6;
+  h.shape[telemetry::kShapeEventRate] = 0.04;
+  return h;
+}
+
+TEST(Correlator, EmptyAndBenignSetsProduceNoFlags) {
+  telemetry::SignalSet empty;
+  auto report = correlate(empty);
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.homes_observed, 0u);
+  EXPECT_EQ(report.flagged_homes(), 0u);
+
+  telemetry::SignalSet benign;
+  for (std::uint32_t id = 0; id < 8; ++id) benign.add(benign_home(id));
+  report = correlate(benign);
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.homes_observed, 8u);
+  EXPECT_EQ(report.shared_signatures, 0u);
+  EXPECT_EQ(report.flood_sources, 0u);
+  EXPECT_EQ(report.cohorts, 0u);
+}
+
+TEST(Correlator, SharedSignatureNeedsBothHomeAndCountThresholds) {
+  CorrelatorConfig config;  // min_actor_homes=3, min_shared_sig_count=4
+  constexpr std::uint64_t kSig = 0xdeadbeefcafef00dull;
+
+  auto with_sketch = [&](std::uint32_t id, std::uint64_t count) {
+    auto h = benign_home(id);
+    h.signature_sketch.push_back({kSig, count});
+    return h;
+  };
+
+  // Three homes share the signature but one sits below the count floor:
+  // only two homes participate, so nothing is flagged.
+  telemetry::SignalSet set;
+  set.add(with_sketch(0, 6));
+  set.add(with_sketch(1, 6));
+  set.add(with_sketch(2, 3));  // below min_shared_sig_count
+  set.add(benign_home(3));
+  auto report = correlate(set, config);
+  EXPECT_TRUE(report.empty());
+
+  // Lift home 2 over the floor: all three are flagged with the signature
+  // as evidence, and the rollup counts one shared signature.
+  set.add(with_sketch(2, 4));  // add() replaces the existing entry
+  report = correlate(set, config);
+  EXPECT_EQ(report.flagged_home_ids(), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(report.shared_signatures, 1u);
+  EXPECT_EQ(report.flagged_by_reason[static_cast<std::size_t>(
+                FlagReason::kSharedSignatureReplay)],
+            3u);
+  for (const auto& actor : report.actors) {
+    EXPECT_EQ(actor.reason, FlagReason::kSharedSignatureReplay);
+    EXPECT_EQ(actor.evidence, kSig);
+  }
+  EXPECT_TRUE(report.flagged(1));
+  EXPECT_FALSE(report.flagged(3));
+}
+
+TEST(Correlator, ProofFloodNeedsPerHomeReplayFloor) {
+  CorrelatorConfig config;  // min_actor_homes=3, min_replays=3
+  constexpr std::uint64_t kSource = 0x1234567890abcdefull;
+
+  auto with_rejections = [&](std::uint32_t id, std::uint64_t rejected) {
+    auto h = benign_home(id);
+    h.proofs_rejected = rejected;
+    h.proof_sources.push_back({kSource, /*high_water=*/0, rejected});
+    return h;
+  };
+
+  telemetry::SignalSet set;
+  set.add(with_rejections(0, 5));
+  set.add(with_rejections(1, 3));
+  set.add(with_rejections(2, 2));  // below min_replays
+  EXPECT_TRUE(correlate(set, config).empty());
+
+  set.add(with_rejections(2, 3));
+  auto report = correlate(set, config);
+  EXPECT_EQ(report.flagged_home_ids(), (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(report.flood_sources, 1u);
+  EXPECT_EQ(report.flagged_by_reason[static_cast<std::size_t>(
+                FlagReason::kProofReplayFlood)],
+            3u);
+  for (const auto& actor : report.actors) {
+    EXPECT_EQ(actor.evidence, kSource);
+  }
+}
+
+TEST(Correlator, SybilCohortNeedsSizeAndShapeProximity) {
+  CorrelatorConfig config;  // min_cohort=3, shape_epsilon=0.25
+  auto sybil = [&](std::uint32_t id, double non_manual) {
+    telemetry::HomeSignals h;
+    h.home = id;
+    h.packets_allowed = 200;
+    h.manual_blocked = 4;  // blocks manual traffic...
+    h.proofs_accepted = 0;  // ...with no proof ever accepted
+    h.shape[telemetry::kShapeNonManual] = non_manual;
+    h.shape[telemetry::kShapeManualUnvalidated] = 0.02;
+    h.shape[telemetry::kShapeEventRate] = 0.05;
+    return h;
+  };
+
+  // Two near-identical candidates: below min_cohort, nothing flagged.
+  telemetry::SignalSet set;
+  set.add(sybil(10, 0.50));
+  set.add(sybil(11, 0.51));
+  set.add(benign_home(0));
+  EXPECT_TRUE(correlate(set, config).empty());
+
+  // A third clone completes the cohort; a fourth candidate far outside
+  // shape_epsilon stays unflagged, as does a benign home whose proofs were
+  // accepted (not a Sybil candidate at all, whatever its shape).
+  set.add(sybil(12, 0.52));
+  set.add(sybil(13, 0.95));  // distance ~0.45 from the seed
+  auto report = correlate(set, config);
+  EXPECT_EQ(report.flagged_home_ids(),
+            (std::vector<std::uint32_t>{10, 11, 12}));
+  EXPECT_EQ(report.cohorts, 1u);
+  for (const auto& actor : report.actors) {
+    EXPECT_EQ(actor.reason, FlagReason::kSybilCohort);
+    EXPECT_EQ(actor.evidence, 10u);  // cohort seed = lowest home id
+  }
+}
+
+TEST(Correlator, ReportSerializationIsDeterministic) {
+  telemetry::SignalSet set;
+  constexpr std::uint64_t kSig = 0x42ull;
+  for (std::uint32_t id = 0; id < 4; ++id) {
+    auto h = benign_home(id);
+    h.signature_sketch.push_back({kSig, 9});
+    set.add(h);
+  }
+  auto a = correlate(set);
+  auto b = correlate(set);
+  EXPECT_EQ(a.render(), b.render());
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  // Evidence must surface as hex text, not a double-rounded number.
+  EXPECT_NE(a.to_json().dump().find("0x"), std::string::npos);
+}
+
+// ---- synthesized-fleet determinism + detection -----------------------------
+
+struct SignalRun {
+  telemetry::SignalSet signals;
+  CorrelationReport corr;
+};
+
+SignalRun run_fleet(const FleetScenario& scenario,
+              const core::HumannessVerifier& humanness, std::size_t shards) {
+  FleetConfig config;
+  config.shards = shards;
+  FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  SignalRun run;
+  run.signals = engine.signals();
+  run.corr = correlate(run.signals);
+  return run;
+}
+
+SignalRun run_cluster_with_migration(const FleetScenario& scenario,
+                               const core::HumannessVerifier& humanness,
+                               std::size_t nodes) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  HomeId victim = scenario.attack.attacked_homes.empty()
+                      ? 0
+                      : scenario.attack.attacked_homes.front();
+  PlacementTable table([&] {
+    std::vector<NodeId> ids;
+    for (std::size_t n = 0; n < nodes; ++n)
+      ids.push_back(static_cast<NodeId>(n));
+    return ids;
+  }());
+  NodeId to = static_cast<NodeId>((table.owner_of(victim) + 1) %
+                                  static_cast<NodeId>(nodes));
+  double t0 = scenario.items.front().ts;
+  double t1 = scenario.items.back().ts;
+  config.migrations.push_back({victim, to, t0 + 0.6 * (t1 - t0)});
+
+  ClusterEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  SignalRun run;
+  run.signals = engine.signals();
+  run.corr = correlate(run.signals);
+  return run;
+}
+
+FleetScenarioConfig campaign_config() {
+  FleetScenarioConfig config;
+  config.homes = 30;
+  config.devices_per_home = 2;
+  config.duration_days = 0.05;
+  config.seed = 7;
+  config.attack.coverage = 0.1;  // Bresenham spread: homes 9, 19, 29
+  config.attack.roster = {gen::AttackType::kBucketMimicry};
+  return config;
+}
+
+TEST(CorrelatorFleet, SignalsAndReportByteIdenticalAcrossShardCounts) {
+  auto scenario = make_fleet_scenario(campaign_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(7);
+  SignalRun one = run_fleet(scenario, humanness, 1);
+  SignalRun four = run_fleet(scenario, humanness, 4);
+  EXPECT_EQ(one.signals.encode(), four.signals.encode());
+  EXPECT_EQ(one.corr.render(), four.corr.render());
+  EXPECT_EQ(one.corr.to_json().dump(), four.corr.to_json().dump());
+}
+
+TEST(CorrelatorFleet, SignalsSurviveLiveMigrationMidCampaign) {
+  auto scenario = make_fleet_scenario(campaign_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(7);
+  SignalRun reference = run_fleet(scenario, humanness, 1);
+  SignalRun cluster = run_cluster_with_migration(scenario, humanness, 3);
+  EXPECT_EQ(reference.signals.encode(), cluster.signals.encode());
+  EXPECT_EQ(reference.corr.to_json().dump(), cluster.corr.to_json().dump());
+}
+
+TEST(CorrelatorFleet, DetectsCampaignHomesAndOnlyThose) {
+  auto scenario = make_fleet_scenario(campaign_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(7);
+  SignalRun run = run_fleet(scenario, humanness, 2);
+
+  std::set<std::uint32_t> truth(scenario.attack.attacked_homes.begin(),
+                                scenario.attack.attacked_homes.end());
+  ASSERT_EQ(truth.size(), 3u);
+  auto flagged = run.corr.flagged_home_ids();
+  EXPECT_EQ(std::vector<std::uint32_t>(truth.begin(), truth.end()), flagged);
+  EXPECT_GE(run.corr.flagged_by_reason[static_cast<std::size_t>(
+                FlagReason::kSharedSignatureReplay)],
+            3u);
+}
+
+TEST(CorrelatorFleet, NoAttackControlStaysUnflagged) {
+  auto config = campaign_config();
+  config.attack = gen::CampaignConfig{};  // campaign off
+  auto scenario = make_fleet_scenario(config);
+  auto humanness = core::HumannessVerifier::train_synthetic(7);
+  SignalRun run = run_fleet(scenario, humanness, 2);
+  EXPECT_TRUE(run.corr.empty());
+  EXPECT_EQ(run.corr.homes_observed, 30u);
+}
+
+TEST(CorrelatorFleet, BenignFingerprintsUnchangedByCampaign) {
+  auto with_attack = make_fleet_scenario(campaign_config());
+  auto config = campaign_config();
+  config.attack = gen::CampaignConfig{};
+  auto without = make_fleet_scenario(config);
+  auto humanness = core::HumannessVerifier::train_synthetic(7);
+
+  SignalRun on = run_fleet(with_attack, humanness, 2);
+  SignalRun off = run_fleet(without, humanness, 2);
+  std::set<std::uint32_t> truth(with_attack.attack.attacked_homes.begin(),
+                                with_attack.attack.attacked_homes.end());
+  ASSERT_EQ(on.signals.size(), off.signals.size());
+  for (std::size_t i = 0; i < on.signals.homes().size(); ++i) {
+    const auto& a = on.signals.homes()[i];
+    const auto& b = off.signals.homes()[i];
+    ASSERT_EQ(a.home, b.home);
+    if (truth.count(a.home)) continue;  // attacked homes legitimately differ
+    util::ByteWriter wa, wb;
+    a.encode(wa);
+    b.encode(wb);
+    EXPECT_EQ(wa.take(), wb.take()) << "benign home " << a.home
+                                    << " diverged under the campaign";
+  }
+}
+
+TEST(CorrelatorFleet, AnnotateStatsMarksFlaggedHomesAndTotals) {
+  auto scenario = make_fleet_scenario(campaign_config());
+  auto humanness = core::HumannessVerifier::train_synthetic(7);
+  FleetConfig config;
+  config.shards = 2;
+  FleetEngine engine(scenario.homes, humanness, config);
+  engine.start();
+  for (const auto& item : scenario.items) engine.ingest(item);
+  engine.drain();
+  auto report = engine.report();
+  auto signals = engine.signals();
+  auto corr = correlate(signals);
+  ASSERT_FALSE(corr.empty());
+  engine.annotate_stats(report.stats, corr);
+
+  EXPECT_EQ(report.stats.flagged_homes, corr.flagged_homes());
+  std::size_t per_shard = 0;
+  for (const auto& shard : report.stats.shards) per_shard += shard.flagged;
+  EXPECT_EQ(per_shard, corr.flagged_homes());
+  std::string table = report.stats.render();
+  EXPECT_NE(table.find("correlation:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fiat::fleet

@@ -434,6 +434,47 @@ TEST(FleetStats, RenderShowsAttackColumns) {
   EXPECT_EQ(quiet.render().find("attacks:"), std::string::npos);
 }
 
+TEST(FleetStats, RenderShowsFlaggedColumnAndCorrelationLine) {
+  // Regression: render() must surface the correlator's verdicts — a per-shard
+  // `flagged` column between the attack ledger and high-water, and a
+  // `correlation:` totals line that exists exactly when the correlator
+  // flagged something (annotate_stats leaves all-benign runs untouched).
+  FleetStats stats;
+  stats.homes = 4;
+  stats.wall_seconds = 1.0;
+  ShardStats s0;
+  s0.homes = 2;
+  s0.packets = 50;
+  s0.flagged = 17;
+  stats.flagged_homes = 17;
+  stats.correlation_shared_signatures = 2;
+  stats.correlation_flood_sources = 1;
+  stats.correlation_cohorts = 3;
+  stats.shards.push_back(s0);
+  stats.shards.push_back(ShardStats{});
+
+  std::string table = stats.render();
+  EXPECT_NE(table.find("flagged"), std::string::npos);
+  EXPECT_LT(table.find("atk-cmp"), table.find("flagged"));
+  EXPECT_LT(table.find("flagged"), table.find("high-water"));
+  // Shard 0's row carries its flagged-home count.
+  auto row = table.substr(table.find('\n') + 1);
+  row = row.substr(0, row.find('\n'));
+  EXPECT_NE(row.find(" 17 "), std::string::npos);
+  // The correlation totals line carries all four rollups.
+  EXPECT_NE(table.find("correlation: 17 homes flagged, 2 shared signatures, "
+                       "1 flood sources, 3 sybil cohorts"),
+            std::string::npos);
+  // A run where the correlator stayed quiet renders no correlation line
+  // (the column is always present; the totals line is evidence-gated).
+  FleetStats quiet;
+  quiet.homes = 2;
+  quiet.wall_seconds = 1.0;
+  quiet.shards.push_back(ShardStats{});
+  EXPECT_EQ(quiet.render().find("correlation:"), std::string::npos);
+  EXPECT_NE(quiet.render().find("flagged"), std::string::npos);
+}
+
 TEST(FleetEngine, AbortNeverDeadlocksAgainstFullPipeline) {
   // Tiny queues + no consumer headroom: the producer may be mid-backpressure
   // when abort() closes the queues. The ctest TIMEOUT converts a hang here

@@ -222,6 +222,23 @@ TEST(Exporters, MetricsJsonHonoursTheWallDomainFilter) {
   EXPECT_NE(full.find("\"p95\""), std::string::npos);
 }
 
+TEST(Exporters, MetricsJsonLeadsWithSchemaVersion) {
+  // Consumers key on the top-level schema_version (and fiat_json_validate
+  // --schema-version pins it in CI); it must be present in both forms and
+  // match the compiled-in constant.
+  MetricsRegistry reg;
+  reg.counter("sim.count").inc(1);
+  std::string want = "\"schema_version\": " +
+                     std::to_string(kMetricsSchemaVersion);
+  for (bool include_wall : {false, true}) {
+    auto json = metrics_json(reg, include_wall).dump();
+    EXPECT_NE(json.find(want), std::string::npos) << json;
+  }
+  // An empty registry still carries the version stamp.
+  MetricsRegistry empty;
+  EXPECT_NE(metrics_json(empty, false).dump().find(want), std::string::npos);
+}
+
 TEST(Exporters, PrometheusTextShape) {
   MetricsRegistry reg;
   reg.counter("proxy.packets_allowed").inc(5);

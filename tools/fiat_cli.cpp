@@ -25,6 +25,10 @@
 //       under a fixed seed; add --telemetry-wall to include host wall-clock
 //       metrics, which vary run to run). --trace-json writes Chrome
 //       trace-event JSON, loadable in Perfetto (ui.perfetto.dev).
+//       --correlate runs the fleet correlation observatory (DESIGN.md §14)
+//       over the per-home behavioral signals and prints flagged
+//       campaign-level actors; --correlation-json writes the deterministic
+//       CorrelationReport document.
 //
 //   fiat cluster [--nodes N] [--homes H] [--zipf-skew Z] [--kill-node K
 //                --kill-at T --detect-after W] [--rebalance-every T] ...
@@ -76,7 +80,10 @@ int usage() {
                "             [--crash-home HOME:ITEM]\n"
                "             [--attack-coverage F] [--sybil-frac F]\n"
                "             [--attack-attempts N] [--attack-spacing S]\n"
-               "             [--attack-seed S]\n"
+               "             [--attack-seed S] [--attack-class NAME]\n"
+               "             [--correlate] [--correlation-json PATH]\n"
+               "             [--correlate-min-homes M] [--correlate-min-replays R]\n"
+               "             [--correlate-epsilon E] [--correlate-min-cohort C]\n"
                "  fiat cluster [--nodes N] [--homes H] [--devices D] [--days X] [--seed S]\n"
                "               [--capacity C] [--shed] [--no-proofs] [--report-homes H]\n"
                "               [--zipf-skew Z] [--zipf-max-devices M]\n"
@@ -88,7 +95,10 @@ int usage() {
                "               [--telemetry-wall]\n"
                "               [--attack-coverage F] [--sybil-frac F]\n"
                "               [--attack-attempts N] [--attack-spacing S]\n"
-               "               [--attack-seed S]\n"
+               "               [--attack-seed S] [--attack-class NAME]\n"
+               "               [--correlate] [--correlation-json PATH]\n"
+               "               [--correlate-min-homes M] [--correlate-min-replays R]\n"
+               "               [--correlate-epsilon E] [--correlate-min-cohort C]\n"
                "  fiat devices\n");
   return 2;
 }
@@ -277,9 +287,25 @@ int export_telemetry(const util::Flags& flags,
   return 0;
 }
 
+/// Shared tail of `fleet` / `cluster` --correlate handling: print the
+/// correlation report and, when requested, write the JSON document.
+int emit_correlation(const fleet::CorrelateOptions& opts,
+                     const fleet::CorrelationReport& correlation) {
+  std::fputs(correlation.render().c_str(), stdout);
+  if (opts.json_path.empty()) return 0;
+  if (!util::write_json_file(opts.json_path, correlation.to_json())) {
+    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+    return 1;
+  }
+  std::printf("correlation report (%zu homes flagged) -> %s\n",
+              correlation.flagged_homes(), opts.json_path.c_str());
+  return 0;
+}
+
 int cmd_fleet(const util::Flags& flags) {
   auto scenario_config = fleet::parse_scenario_flags(flags);
   auto fleet_config = fleet::parse_fleet_flags(flags, scenario_config.homes);
+  auto correlate_opts = fleet::parse_correlate_flags(flags, "fleet");
   auto scenario = synthesize(scenario_config);
 
   auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
@@ -289,13 +315,22 @@ int cmd_fleet(const util::Flags& flags) {
   engine.drain();
 
   auto report = engine.report();
+  fleet::CorrelationReport correlation;
+  if (correlate_opts.enabled) {
+    correlation = fleet::correlate(engine.signals(), correlate_opts.config);
+    engine.annotate_stats(report.stats, correlation);
+  }
   auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
   std::fputs(report.render(max_homes).c_str(), stdout);
   if (const auto* supervisor = engine.supervisor()) {
     std::fputs(supervisor->render().c_str(), stdout);
   }
+  if (correlate_opts.enabled) {
+    if (int rc = emit_correlation(correlate_opts, correlation)) return rc;
+  }
 
   auto metrics = engine.merged_metrics();
+  if (correlate_opts.enabled) correlation.rollups_into(metrics);
   print_latency_summaries(metrics);
   if (int rc = export_telemetry(flags, metrics)) return rc;
   if (auto path = flags.get("trace-json")) {
@@ -313,6 +348,7 @@ int cmd_fleet(const util::Flags& flags) {
 int cmd_cluster(const util::Flags& flags) {
   auto scenario_config = fleet::parse_scenario_flags(flags);
   auto cluster_config = fleet::parse_cluster_flags(flags);
+  auto correlate_opts = fleet::parse_correlate_flags(flags, "cluster");
   auto scenario = synthesize(scenario_config);
 
   auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
@@ -323,11 +359,20 @@ int cmd_cluster(const util::Flags& flags) {
   engine.drain();
 
   auto report = engine.report();
+  fleet::CorrelationReport correlation;
+  if (correlate_opts.enabled) {
+    correlation = fleet::correlate(engine.signals(), correlate_opts.config);
+    engine.annotate_stats(report.stats, correlation);
+  }
   auto max_homes = static_cast<std::size_t>(flags.number_or("report-homes", 8.0));
   std::fputs(report.render(max_homes).c_str(), stdout);
   std::fputs(engine.render_control_plane().c_str(), stdout);
+  if (correlate_opts.enabled) {
+    if (int rc = emit_correlation(correlate_opts, correlation)) return rc;
+  }
 
   auto metrics = engine.merged_metrics();
+  if (correlate_opts.enabled) correlation.rollups_into(metrics);
   print_latency_summaries(metrics);
   return export_telemetry(flags, metrics);
 }

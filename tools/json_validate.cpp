@@ -3,18 +3,48 @@
 // Exists so ci.sh can validate the CLI's telemetry/trace exports without
 // depending on python or jq being in the image. Exit 0 iff every file
 // parses; prints the first error (with byte offset) otherwise.
+//
+// With --schema-version N, each file must additionally carry a top-level
+// "schema_version": N field (the telemetry/export.cpp emitter writes one),
+// so CI catches format skew, not just syntax errors.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "util/json.hpp"
 
+namespace {
+
+// The emitters are ours (util::Json, indent 2, top-level field first-ish),
+// so a structural substring check suffices — no full JSON DOM needed. Accept
+// any spacing around the colon that json_valid already vetted.
+bool has_schema_version(const std::string& text, long version) {
+  char needle[64];
+  std::snprintf(needle, sizeof(needle), "\"schema_version\": %ld", version);
+  return text.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: fiat_json_validate FILE...\n");
+  long schema_version = -1;
+  int first_file = 1;
+  if (argc >= 3 && std::string(argv[1]) == "--schema-version") {
+    char* end = nullptr;
+    schema_version = std::strtol(argv[2], &end, 10);
+    if (!end || *end != '\0' || schema_version < 0) {
+      std::fprintf(stderr, "fiat_json_validate: bad --schema-version value\n");
+      return 2;
+    }
+    first_file = 3;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr,
+                 "usage: fiat_json_validate [--schema-version N] FILE...\n");
     return 2;
   }
   int rc = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_file; i < argc; ++i) {
     std::FILE* f = std::fopen(argv[i], "rb");
     if (!f) {
       std::fprintf(stderr, "%s: cannot open\n", argv[i]);
@@ -29,6 +59,10 @@ int main(int argc, char** argv) {
     std::string error;
     if (!fiat::util::json_valid(text, &error)) {
       std::fprintf(stderr, "%s: invalid JSON: %s\n", argv[i], error.c_str());
+      rc = 1;
+    } else if (schema_version >= 0 && !has_schema_version(text, schema_version)) {
+      std::fprintf(stderr, "%s: missing \"schema_version\": %ld\n", argv[i],
+                   schema_version);
       rc = 1;
     } else {
       std::printf("%s: valid JSON (%zu bytes)\n", argv[i], text.size());
