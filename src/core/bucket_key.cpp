@@ -117,26 +117,44 @@ void DomainInterner::decode_state(util::ByteReader& r) {
   resolves_ = r.u64be();
 }
 
-BucketKey make_bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,
-                          FlowMode mode, const net::DnsTable* dns,
-                          const net::ReverseResolver* reverse,
-                          DomainInterner& interner) {
+const std::uint32_t* DomainInterner::peek_id(net::Ipv4Addr remote,
+                                             const net::DnsTable* dns) const {
+  // A generation mismatch means id_of() would reset the memo first — the
+  // memoized id (if any) is not what the scalar path would use.
+  if (dns && dns->generation() != dns_generation_) return nullptr;
+  return by_ip_.find(remote.value());
+}
+
+BucketKey pack_classic_key(const net::PacketRecord& pkt,
+                           std::uint32_t saturated_size) {
   BucketKey key;
-  if (mode == FlowMode::kClassic) {
-    key.w0 = (static_cast<std::uint64_t>(pkt.src_ip.value()) << 32) |
-             pkt.dst_ip.value();
-    key.w1 = (static_cast<std::uint64_t>(pkt.src_port) << 48) |
-             (static_cast<std::uint64_t>(pkt.dst_port) << 32) |
-             (transport_code(pkt.proto) << kClassicProtoShift) |
-             std::min(pkt.size, kClassicSizeMax);
-    return key;
-  }
+  key.w0 = (static_cast<std::uint64_t>(pkt.src_ip.value()) << 32) |
+           pkt.dst_ip.value();
+  key.w1 = (static_cast<std::uint64_t>(pkt.src_port) << 48) |
+           (static_cast<std::uint64_t>(pkt.dst_port) << 32) |
+           (transport_code(pkt.proto) << kClassicProtoShift) | saturated_size;
+  return key;
+}
+
+BucketKey pack_portless_key(const net::PacketRecord& pkt,
+                            net::Ipv4Addr device, std::uint32_t domain_id) {
+  BucketKey key;
   bool outbound = pkt.outbound_from(device);
-  std::uint32_t domain_id = interner.id_of(pkt.remote_of(device), dns, reverse);
   key.w0 = (static_cast<std::uint64_t>(outbound) << kPortLessDirShift) |
            (transport_code(pkt.proto) << kPortLessProtoShift) | domain_id;
   key.w1 = pkt.size;
   return key;
+}
+
+BucketKey make_bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,
+                          FlowMode mode, const net::DnsTable* dns,
+                          const net::ReverseResolver* reverse,
+                          DomainInterner& interner) {
+  if (mode == FlowMode::kClassic) {
+    return pack_classic_key(pkt, std::min(pkt.size, kClassicSizeMax));
+  }
+  std::uint32_t domain_id = interner.id_of(pkt.remote_of(device), dns, reverse);
+  return pack_portless_key(pkt, device, domain_id);
 }
 
 std::string bucket_key_string(const BucketKey& key, FlowMode mode,

@@ -81,6 +81,19 @@ class DomainInterner {
   std::size_t lookups() const { return lookups_; }
   std::size_t resolves() const { return resolves_; }
 
+  /// Memo-only lookup for the batch pipeline's pure phase: the id for
+  /// `remote` iff the memo is current for `dns`'s generation and already
+  /// holds this IP. Never mutates — no counters, no resolution, no memo
+  /// reset. nullptr means the caller must take the mutating id_of() path.
+  const std::uint32_t* peek_id(net::Ipv4Addr remote,
+                               const net::DnsTable* dns) const;
+
+  /// Counter mirror for batch resolution: a prepared key built from
+  /// peek_id() that actually gets consumed must bump lookups_ exactly as
+  /// the scalar id_of() memo hit would have, or serialized interner state
+  /// diverges between the batch and scalar paths.
+  void count_lookup() { ++lookups_; }
+
   /// State-codec hooks (state_codec.hpp): canonical serialization of the
   /// full interner (names in id order, IP memo sorted by IP). Ids must
   /// survive a snapshot→restore round trip because learned BucketKeys embed
@@ -103,6 +116,20 @@ BucketKey make_bucket_key(const net::PacketRecord& pkt, net::Ipv4Addr device,
                           FlowMode mode, const net::DnsTable* dns,
                           const net::ReverseResolver* reverse,
                           DomainInterner& interner);
+
+// Batch-pipeline packers (DESIGN.md §15): pure bit packing with the
+// mutating/saturating parts hoisted out, so a whole batch can be key-packed
+// in a tight loop (sizes saturated en masse via simd::saturate_sizes,
+// domain ids peeked via DomainInterner::peek_id). Bit layouts are identical
+// to make_bucket_key.
+
+/// `saturated_size` must be min(pkt.size, kClassicSizeMax).
+BucketKey pack_classic_key(const net::PacketRecord& pkt,
+                           std::uint32_t saturated_size);
+
+/// `domain_id` must be what id_of(pkt.remote_of(device), ...) returns.
+BucketKey pack_portless_key(const net::PacketRecord& pkt,
+                            net::Ipv4Addr device, std::uint32_t domain_id);
 
 /// Reconstructs the exact legacy string form of a packed key (for report /
 /// telemetry boundaries, which stay byte-identical to the string-key

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "core/simd.hpp"
 #include "core/state_codec.hpp"
 #include "telemetry/signals.hpp"
 #include "util/error.hpp"
@@ -57,6 +58,7 @@ ProxyCounters& ProxyCounters::operator+=(const ProxyCounters& o) {
 FiatProxy::FiatProxy(ProxyConfig config, HumannessVerifier humanness)
     : config_(config), humanness_(std::move(humanness)) {
   if (!config_.rules.dns) config_.rules.dns = dns_.get();
+  simd_ready_ = config_.simd && simd::available();
 }
 
 void FiatProxy::set_telemetry(telemetry::Sink* sink, std::uint32_t home) {
@@ -68,6 +70,7 @@ void FiatProxy::set_telemetry(telemetry::Sink* sink, std::uint32_t home) {
   tm_latency_by_why_.fill(nullptr);
   tm_event_duration_ = nullptr;
   tm_proof_age_ = nullptr;
+  tm_batch_fallbacks_ = nullptr;
   if (!sink) return;
   auto& m = sink->metrics;
   tm_allowed_ = &m.counter("proxy.packets_allowed");
@@ -88,6 +91,10 @@ void FiatProxy::set_telemetry(telemetry::Sink* sink, std::uint32_t home) {
   }
   tm_event_duration_ = &m.histogram("proxy.event_duration_seconds");
   tm_proof_age_ = &m.histogram("proxy.proof_age_seconds");
+  // Sim-domain: the fallback count is a pure function of the traffic (see
+  // batch_scalar_fallbacks()), so it belongs in deterministic snapshots.
+  // Scalar-only runs export it as 0.
+  tm_batch_fallbacks_ = &m.counter("proxy.batch.scalar_fallbacks");
 }
 
 void FiatProxy::add_device(ProxyDevice device) {
@@ -95,6 +102,9 @@ void FiatProxy::add_device(ProxyDevice device) {
   if (devices_.contains(key)) throw LogicError("FiatProxy: duplicate device IP");
   devices_.emplace(key,
                    DeviceState(std::move(device), config_.rules, config_.event_gap));
+  device_index_.clear();
+  device_index_.reserve(devices_.size());
+  for (auto& [ip, dev] : devices_) device_index_.emplace_back(ip, &dev);
 }
 
 void FiatProxy::pair_phone(const std::string& client_id,
@@ -128,33 +138,52 @@ std::size_t FiatProxy::rule_count() const {
 }
 
 FiatProxy::DeviceState* FiatProxy::device_of(const net::PacketRecord& pkt) {
-  auto it = devices_.find(pkt.src_ip.value());
-  if (it != devices_.end()) return &it->second;
-  it = devices_.find(pkt.dst_ip.value());
-  if (it != devices_.end()) return &it->second;
+  // Same src-then-dst preference as the original two map descents, over the
+  // flat mirror: homes hold a handful of devices, so two linear sweeps of a
+  // cached vector win on every packet.
+  std::uint32_t src = pkt.src_ip.value();
+  for (auto& [ip, dev] : device_index_) {
+    if (ip == src) return dev;
+  }
+  std::uint32_t dst = pkt.dst_ip.value();
+  for (auto& [ip, dev] : device_index_) {
+    if (ip == dst) return dev;
+  }
   return nullptr;
 }
 
 Verdict FiatProxy::record(double ts, const std::string& device, Verdict v,
                           Disposition why, int event_seq) {
-  if (v == Verdict::kAllow) {
-    ++counters_.packets_allowed;
+  if (batch_tally_active_) {
+    // Mid-batch: four scattered read-modify-writes collapse into a hot
+    // scratch struct, flushed once per batch (see process_batch).
+    BatchScratch::Tally& t = scratch_.tally;
+    ++(v == Verdict::kAllow ? t.allowed : t.dropped);
+    ++t.by_disposition[static_cast<std::size_t>(why)];
   } else {
-    ++counters_.packets_dropped;
+    if (v == Verdict::kAllow) {
+      ++counters_.packets_allowed;
+    } else {
+      ++counters_.packets_dropped;
+    }
+    ++counters_.by_disposition[static_cast<std::size_t>(why)];
+    if (telemetry_) {
+      (v == Verdict::kAllow ? tm_allowed_ : tm_dropped_)->inc();
+      tm_disposition_[static_cast<std::size_t>(why)]->inc();
+    }
   }
-  ++counters_.by_disposition[static_cast<std::size_t>(why)];
-  log_.push_back(Decision{ts, device, v, why, event_seq});
+  log_.emplace_back(ts, device, v, why, event_seq);
   if (telemetry_) {
-    (v == Verdict::kAllow ? tm_allowed_ : tm_dropped_)->inc();
-    tm_disposition_[static_cast<std::size_t>(why)]->inc();
-    if (telemetry_->trace.enabled()) {
-      telemetry::TraceSpan span;
-      span.name = disposition_name(why);
-      span.category = "proxy.decision";
-      span.start = ts;
-      span.home = telemetry_home_;
-      span.track = device.empty() ? "non-iot" : device;
-      telemetry_->trace.record(std::move(span));
+    if (telemetry::TraceSpan* span = telemetry_->trace.begin_span()) {
+      span->name = disposition_name(why);
+      span->category = "proxy.decision";
+      span->start = ts;
+      span->home = telemetry_home_;
+      if (device.empty()) {
+        span->track = "non-iot";
+      } else {
+        span->track = device;  // assign reuses the recycled slot's capacity
+      }
     }
   }
   return v;
@@ -504,18 +533,231 @@ Verdict FiatProxy::process(const net::PacketRecord& pkt) {
 
 Verdict FiatProxy::process(const net::PacketRecord& pkt, const AttackLabel& label) {
   Verdict v = process_packet(pkt);
-  if (!label.benign()) {
-    AttackClassTally& tally = ledger_.by_class[static_cast<std::size_t>(label.cls)];
-    ++tally.packets;
-    if (v == Verdict::kDrop) ++tally.packets_dropped;
-    if (label.cmd >= 0 && label.payload) {
-      AttackCmdState& cmd = ledger_.commands[label.cmd];
-      cmd.cls = label.cls;
-      ++cmd.payload_seen;
-      if (v == Verdict::kDrop) ++cmd.payload_dropped;
+  tally_attack(label, v);
+  return v;
+}
+
+void FiatProxy::tally_attack(const AttackLabel& label, Verdict v) {
+  if (label.benign()) return;
+  AttackClassTally& tally = ledger_.by_class[static_cast<std::size_t>(label.cls)];
+  ++tally.packets;
+  if (v == Verdict::kDrop) ++tally.packets_dropped;
+  if (label.cmd >= 0 && label.payload) {
+    AttackCmdState& cmd = ledger_.commands[label.cmd];
+    cmd.cls = label.cls;
+    ++cmd.payload_seen;
+    if (v == Verdict::kDrop) ++cmd.payload_dropped;
+  }
+}
+
+void FiatProxy::count_batch_fallback() {
+  ++batch_fallbacks_;
+  if (batch_tally_active_) {
+    ++scratch_.tally.fallbacks;
+  } else if (tm_batch_fallbacks_) {
+    tm_batch_fallbacks_->inc();
+  }
+}
+
+Verdict FiatProxy::process_batch_lane(const net::PacketRecord& pkt,
+                                      DeviceState& dev, bool prepared,
+                                      const BucketKey& key, std::uint64_t hash,
+                                      RuleTable::BucketState* bucket,
+                                      std::uint64_t snap) {
+  // process_packet() from the lockout check on: device and DAG were ruled
+  // out in the pure phase (neither changes while traffic flows), and the key
+  // work is already done for prepared lanes.
+  double now = pkt.ts;
+  if (first_packet_ts_ < 0) first_packet_ts_ = now;
+
+  if (dev.locked) {
+    if (config_.auto_unlock && now >= dev.locked_until) {
+      dev.locked = false;
+      dev.recent_violations.clear();
+    } else {
+      count_batch_fallback();
+      return record(now, dev.config.name, Verdict::kDrop, Disposition::kLockout,
+                    dev.event_seq);
     }
   }
-  return v;
+
+  if (in_bootstrap(now)) {
+    if (prepared) {
+      dev.rules.learn_prepared(pkt, key, hash, bucket, snap);
+    } else {
+      dev.rules.learn(pkt);
+    }
+    return record(now, dev.config.name, Verdict::kAllow, Disposition::kBootstrap, -1);
+  }
+
+  bool hit;
+  if (prepared) {
+    hit = config_.continue_learning
+              ? dev.rules.match_and_learn_prepared(pkt, key, hash, bucket, snap)
+              : dev.rules.match_prepared(pkt, key, hash, bucket, snap);
+  } else {
+    hit = config_.continue_learning ? dev.rules.match_and_learn(pkt)
+                                    : dev.rules.match(pkt);
+  }
+  if (hit) {
+    return record(now, dev.config.name, Verdict::kAllow, Disposition::kRuleHit, -1);
+  }
+
+  // Event path: the minority of packets, through the same machinery as the
+  // scalar pipeline (see process_packet for the commentary).
+  count_batch_fallback();
+  bool costume = dev.rules.last_miss_known_bucket();
+  if (auto closed = dev.grouper.add(pkt)) close_event(dev);
+  dev.event_packets++;
+  if (costume) {
+    dev.event_costume++;
+    dev.pending_costume_sigs.push_back(telemetry::packet_signature(
+        pkt.dst_ip == dev.config.ip,
+        static_cast<std::uint8_t>(pkt.proto), pkt.size));
+  }
+  return decide_event_packet(dev, pkt);
+}
+
+void FiatProxy::process_batch(std::span<const net::PacketRecord> pkts,
+                              std::span<const AttackLabel> labels) {
+  if (!labels.empty() && labels.size() != pkts.size()) {
+    throw LogicError("FiatProxy::process_batch: labels/packets size mismatch");
+  }
+  const std::size_t n = pkts.size();
+  if (n == 0) return;
+
+  // Grow-only scratch: the phases below write every slot they later read
+  // (stale bytes behind non-prepared lanes are never dereferenced), so a
+  // steady-state batch touches no allocator and clears nothing.
+  BatchScratch& s = scratch_;
+  if (s.lane.size() < n) {
+    s.lane.resize(n);
+    s.dev.resize(n);
+    s.sizes.resize(n);
+    s.keys.resize(n);
+    s.hashes.resize(n);
+    s.buckets.resize(n);
+    s.snaps.resize(n);
+  }
+
+  const bool use_simd = simd_ready_;
+
+  // Phase A: pure classification — no proxy state changes. Saturate all
+  // classic sizes in one sweep, then assign each packet a lane. peek_key
+  // reads only the interner memo; mid-batch id_of() calls (kLaneResolve
+  // lanes) can add memo entries but never change or drop one (the DNS
+  // generation cannot move while we drain a batch), so keys peeked here stay
+  // what the scalar path would compute at resolve time.
+  for (std::size_t i = 0; i < n; ++i) s.sizes[i] = pkts[i].size;
+  simd::saturate_sizes(s.sizes.data(), s.sizes.data(), n, kClassicSizeMax,
+                       use_simd);
+  const bool have_dag = dag_.edge_count() > 0;
+  std::size_t prepared_lanes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::PacketRecord& pkt = pkts[i];
+    std::uint8_t lane = kLaneScalar;  // non-IoT, DAG edge, legacy keys
+    DeviceState* dev = device_of(pkt);
+    if (dev && !(have_dag && dag_.allows(pkt.src_ip, pkt.dst_ip)) &&
+        !dev->rules.config().legacy_keys) {
+      s.dev[i] = dev;
+      if (dev->rules.peek_key(pkt, s.sizes[i], s.keys[i])) {
+        lane = kLanePrepared;
+        ++prepared_lanes;
+      } else {
+        lane = kLaneResolve;
+      }
+    }
+    s.lane[i] = lane;
+  }
+
+  // Phase A2 + B only exist for prepared lanes: bulk-hash the key array,
+  // gather prepared lanes per device (each device owns its own rule table),
+  // and bulk-probe with prefetch.
+  if (prepared_lanes > 0) {
+    simd::hash_keys(s.keys.data(), s.hashes.data(), n, use_simd);
+    std::size_t groups_used = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s.lane[i] != kLanePrepared) continue;
+      BatchScratch::DevGroup* group = nullptr;
+      for (std::size_t g = 0; g < groups_used; ++g) {
+        if (s.groups[g].dev == s.dev[i]) {
+          group = &s.groups[g];
+          break;
+        }
+      }
+      if (!group) {
+        if (groups_used == s.groups.size()) s.groups.emplace_back();
+        group = &s.groups[groups_used++];
+        group->dev = s.dev[i];
+        group->idx.clear();
+      }
+      group->idx.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t g = 0; g < groups_used; ++g) {
+      BatchScratch::DevGroup& group = s.groups[g];
+      const std::size_t count = group.idx.size();
+      if (s.gkeys.size() < count) {
+        s.gkeys.resize(count);
+        s.ghashes.resize(count);
+        s.gbuckets.resize(count);
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        s.gkeys[j] = s.keys[group.idx[j]];
+        s.ghashes[j] = s.hashes[group.idx[j]];
+      }
+      std::uint64_t snap = group.dev->rules.probe_batch(
+          s.gkeys.data(), s.ghashes.data(), s.gbuckets.data(), count);
+      for (std::size_t j = 0; j < count; ++j) {
+        s.buckets[group.idx[j]] = s.gbuckets[j];
+        s.snaps[group.idx[j]] = snap;
+      }
+      group.dev = nullptr;  // release the slot; idx keeps its capacity
+    }
+  }
+
+  // Phase C: resolve in arrival order. Every state mutation happens here, in
+  // exactly the order the scalar loop would make it. Counter bumps are
+  // deferred into scratch_.tally for the duration (the flush below restores
+  // the exact scalar values before anything outside this call can look).
+  s.tally = BatchScratch::Tally{};
+  batch_tally_active_ = true;
+  try {
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::PacketRecord& pkt = pkts[i];
+      Verdict v;
+      if (s.lane[i] == kLaneScalar) {
+        count_batch_fallback();
+        v = process_packet(pkt);
+      } else {
+        v = process_batch_lane(pkt, *s.dev[i], s.lane[i] == kLanePrepared,
+                               s.keys[i], s.hashes[i], s.buckets[i],
+                               s.snaps[i]);
+      }
+      if (!labels.empty()) tally_attack(labels[i], v);
+    }
+  } catch (...) {
+    // A throwing packet invalidates the proxy (recovery rebuilds it from a
+    // snapshot); just make sure the deferral flag cannot leak into a later
+    // scalar call.
+    batch_tally_active_ = false;
+    throw;
+  }
+  batch_tally_active_ = false;
+  counters_.packets_allowed += s.tally.allowed;
+  counters_.packets_dropped += s.tally.dropped;
+  for (std::size_t d = 0; d < kDispositionCount; ++d) {
+    counters_.by_disposition[d] += s.tally.by_disposition[d];
+  }
+  if (telemetry_) {
+    tm_allowed_->inc(s.tally.allowed);
+    tm_dropped_->inc(s.tally.dropped);
+    for (std::size_t d = 0; d < kDispositionCount; ++d) {
+      if (s.tally.by_disposition[d]) {
+        tm_disposition_[d]->inc(s.tally.by_disposition[d]);
+      }
+    }
+    if (s.tally.fallbacks) tm_batch_fallbacks_->inc(s.tally.fallbacks);
+  }
 }
 
 std::size_t FiatProxy::locked_device_count() const {

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -122,6 +124,15 @@ struct ProxyConfig {
   /// rule size) arrives inside an event already classified non-manual,
   /// re-escalate the event to the humanness gate.
   bool notification_escalation = true;
+
+  // ---- batch pipeline (DESIGN.md §15) ------------------------------------
+  /// Use the SIMD kernels (core/simd.hpp) for batched key hashing and size
+  /// saturation inside process_batch(). The kernels replicate the scalar
+  /// math bit for bit, so this is a pure performance knob — verdicts,
+  /// telemetry, and serialized state are identical either way. Resolved
+  /// from the CLI's --simd on|off|auto; ignored when the build carries no
+  /// vector ISA (simd::available() is false).
+  bool simd = true;
 };
 
 struct ProxyDevice {
@@ -232,6 +243,25 @@ class FiatProxy {
   std::optional<AuthMessage> on_auth_payload(const std::string& client_id,
                                              std::span<const std::uint8_t> payload,
                                              double now, const AttackLabel& label);
+
+  /// Batched data path (DESIGN.md §15): byte-identical to calling process()
+  /// per packet in order — same verdicts, decision log, counters, ledger,
+  /// signals, telemetry, and serialized state — but amortizes the per-packet
+  /// work: the whole batch is key-packed into a reusable SoA scratch, keys
+  /// are hashed in bulk (core/simd.hpp), and the rule tables are probed with
+  /// software prefetch before packets are resolved one by one. Packets that
+  /// fall outside the fast path (non-IoT, DAG edges, legacy tables, lockout
+  /// drops, event-forming misses) take the scalar leg and are counted in
+  /// batch_scalar_fallbacks(). `labels` is either empty (all benign) or
+  /// exactly pkts.size() ground-truth labels.
+  void process_batch(std::span<const net::PacketRecord> pkts,
+                     std::span<const AttackLabel> labels = {});
+
+  /// Packets process_batch() routed through the scalar leg (see above).
+  /// Sim-deterministic: a pure function of the traffic, independent of how
+  /// the stream was segmented into batches. Mirrored into the sim-domain
+  /// "proxy.batch.scalar_fallbacks" counter when telemetry is attached.
+  std::size_t batch_scalar_fallbacks() const { return batch_fallbacks_; }
 
   /// User manually re-enables a locked-out device (§5.4).
   void unlock_device(const std::string& name);
@@ -355,8 +385,63 @@ class FiatProxy {
         : config(std::move(cfg)), rules(config.ip, rules_cfg), grouper(gap) {}
   };
 
+  /// Per-packet lane assignment inside process_batch (BatchScratch::lane).
+  enum : std::uint8_t {
+    kLaneScalar = 0,   // full process_packet(): non-IoT, DAG edge, legacy keys
+    kLanePrepared = 1, // key packed + hashed + bucket probed up front
+    kLaneResolve = 2,  // device eligible but key not peekable (interner miss)
+  };
+
+  /// Reusable SoA scratch for process_batch: parallel per-packet arrays,
+  /// grown on demand and never shrunk, so steady-state batches allocate
+  /// nothing. Not part of durable state.
+  struct BatchScratch {
+    std::vector<std::uint8_t> lane;
+    std::vector<DeviceState*> dev;
+    std::vector<std::uint32_t> sizes;  // saturated classic sizes
+    std::vector<BucketKey> keys;
+    std::vector<std::uint64_t> hashes;
+    std::vector<RuleTable::BucketState*> buckets;
+    std::vector<std::uint64_t> snaps;  // bucket-table mutation snapshots
+    /// Per-device gather lists for the probe phase (probe_batch is a
+    /// RuleTable op, and each device owns its own table). Grow-only: slots
+    /// are reused across batches to keep the idx capacity.
+    struct DevGroup {
+      DeviceState* dev = nullptr;
+      std::vector<std::uint32_t> idx;  // packet indices, arrival order
+    };
+    std::vector<DevGroup> groups;
+    std::vector<BucketKey> gkeys;          // gathered keys, one device
+    std::vector<std::uint64_t> ghashes;    // gathered hashes
+    std::vector<RuleTable::BucketState*> gbuckets;
+    /// Deferred counter bumps for the in-flight batch. While a batch drains,
+    /// record() and count_batch_fallback() accumulate here instead of
+    /// touching counters_/the telemetry registry per packet; the deltas are
+    /// flushed before process_batch returns, so anything that observes the
+    /// proxy between batches sees exactly the scalar values. The decision
+    /// log entry and trace span are NOT deferred — their per-packet order is
+    /// part of the byte-identity contract.
+    struct Tally {
+      std::uint64_t allowed = 0;
+      std::uint64_t dropped = 0;
+      std::array<std::uint64_t, kDispositionCount> by_disposition{};
+      std::uint64_t fallbacks = 0;
+    };
+    Tally tally;
+  };
+
   DeviceState* device_of(const net::PacketRecord& pkt);
   Verdict process_packet(const net::PacketRecord& pkt);
+  /// Resolves one eligible (kLanePrepared/kLaneResolve) packet in arrival
+  /// order: the lockout/bootstrap/match state machine of process_packet with
+  /// the key work already done.
+  Verdict process_batch_lane(const net::PacketRecord& pkt, DeviceState& dev,
+                             bool prepared, const BucketKey& key,
+                             std::uint64_t hash, RuleTable::BucketState* bucket,
+                             std::uint64_t snap);
+  /// Ledger tally shared by process(pkt, label) and process_batch.
+  void tally_attack(const AttackLabel& label, Verdict v);
+  void count_batch_fallback();
   Verdict decide_event_packet(DeviceState& dev, const net::PacketRecord& pkt);
   /// The manual-classification gate shared by genuine classifications and
   /// guard escalations: degraded accounting, proof lookup, alert/violation.
@@ -376,6 +461,11 @@ class FiatProxy {
   crypto::KeyStore keystore_;  // the proxy's SGX-style enclave store
   std::map<std::string, crypto::KeyHandle> phone_keys_;
   std::map<std::uint32_t, DeviceState> devices_;  // by device IP
+  /// Flat (ip, state) mirror of devices_ for the hot path: homes have a
+  /// handful of devices, so a linear scan beats two map descents per packet.
+  /// Map nodes are stable, so the pointers survive proxy moves; rebuilt by
+  /// add_device and never changed while traffic flows.
+  std::vector<std::pair<std::uint32_t, DeviceState*>> device_index_;
   DeviceDag dag_;
   // unique_ptr: rule tables capture a pointer to this table, which must
   // survive a move of the proxy (see the move-constructor comment).
@@ -409,6 +499,16 @@ class FiatProxy {
   std::size_t mimicry_escalations_ = 0;
   std::size_t notification_escalations_ = 0;
 
+  // Batch pipeline (not durable: a restore replays through either path).
+  BatchScratch scratch_;
+  std::size_t batch_fallbacks_ = 0;
+  /// config_.simd && simd::available(), resolved once at construction so
+  /// process_batch pays no per-call dispatch query.
+  bool simd_ready_ = false;
+  /// True only while process_batch drains; routes record()'s counter bumps
+  /// into scratch_.tally.
+  bool batch_tally_active_ = false;
+
   // Fleet-correlation signals (durable, state version 3).
   std::map<std::uint64_t, std::uint64_t> escalation_signatures_;
   std::map<std::string, std::uint64_t> proof_rejections_;  // per client
@@ -423,6 +523,7 @@ class FiatProxy {
   std::array<telemetry::Histogram*, kDispositionCount> tm_latency_by_why_{};
   telemetry::Histogram* tm_event_duration_ = nullptr;
   telemetry::Histogram* tm_proof_age_ = nullptr;
+  telemetry::Counter* tm_batch_fallbacks_ = nullptr;
 };
 
 }  // namespace fiat::core

@@ -128,6 +128,82 @@ bool RuleTable::match_and_learn(const net::PacketRecord& pkt) {
   return hit;
 }
 
+bool RuleTable::peek_key(const net::PacketRecord& pkt,
+                         std::uint32_t saturated_size, BucketKey& out) const {
+  if (config_.legacy_keys) return false;
+  if (config_.mode == FlowMode::kClassic) {
+    out = pack_classic_key(pkt, saturated_size);
+    return true;
+  }
+  const std::uint32_t* id =
+      interner_.peek_id(pkt.remote_of(device_), config_.dns);
+  if (!id) return false;
+  out = pack_portless_key(pkt, device_, *id);
+  return true;
+}
+
+std::uint64_t RuleTable::probe_batch(const BucketKey* keys,
+                                     const std::uint64_t* hashes,
+                                     BucketState** out, std::size_t n) {
+  buckets_.probe_batch(keys, hashes, out, n);
+  return buckets_.mutations();
+}
+
+void RuleTable::count_prepared_key() {
+  // A prepared key replaces exactly one make_key() call; PortLess keys only
+  // peek successfully on an interner memo hit, which the scalar id_of()
+  // would have counted as a lookup (and nothing else).
+  ++keygen_count_;
+  if (config_.mode == FlowMode::kPortLess) interner_.count_lookup();
+}
+
+RuleTable::BucketState* RuleTable::resolve_bucket(const BucketKey& key,
+                                                  std::uint64_t hash,
+                                                  BucketState* cached,
+                                                  std::uint64_t snapshot) {
+  if (cached && buckets_.mutations() == snapshot) return cached;
+  return buckets_.try_emplace_hashed(key, hash).first;
+}
+
+void RuleTable::learn_prepared(const net::PacketRecord& pkt,
+                               const BucketKey& key, std::uint64_t hash,
+                               BucketState* cached, std::uint64_t snapshot) {
+  count_prepared_key();
+  BucketState& bucket = *resolve_bucket(key, hash, cached, snapshot);
+  std::int64_t bin = observe_bucket(bucket, pkt);
+  if (bin >= 0) learn_bins(bucket, bin);
+}
+
+bool RuleTable::match_prepared(const net::PacketRecord& pkt,
+                               const BucketKey& key, std::uint64_t hash,
+                               BucketState* cached, std::uint64_t snapshot) {
+  count_prepared_key();
+  BucketState& bucket = *resolve_bucket(key, hash, cached, snapshot);
+  std::int64_t bin = observe_bucket(bucket, pkt);
+  bool hit = bin >= 0 && bucket.matched_bins.contains(bin);
+  last_miss_known_bucket_ = !hit && !bucket.matched_bins.empty();
+  return hit;
+}
+
+bool RuleTable::match_and_learn_prepared(const net::PacketRecord& pkt,
+                                         const BucketKey& key,
+                                         std::uint64_t hash,
+                                         BucketState* cached,
+                                         std::uint64_t snapshot) {
+  count_prepared_key();
+  BucketState& bucket = *resolve_bucket(key, hash, cached, snapshot);
+  std::int64_t bin = observe_bucket(bucket, pkt);
+  if (bin < 0) {
+    last_miss_known_bucket_ = !bucket.matched_bins.empty();
+    return false;
+  }
+  bool known = !bucket.matched_bins.empty();
+  bool hit =
+      match_and_learn_bins(bucket, bin, banned_.contains_hashed(key, hash));
+  last_miss_known_bucket_ = !hit && known;
+  return hit;
+}
+
 void RuleTable::forbid_online(const net::PacketRecord& pkt) {
   if (config_.legacy_keys) {
     legacy_banned_.insert(make_legacy_key(pkt));

@@ -55,6 +55,14 @@ class RuleTable {
  public:
   explicit RuleTable(net::Ipv4Addr device, RuleTableConfig config = {});
 
+  /// Per-bucket timing/rule state. Public only so the batch pipeline can
+  /// hold probe_batch() result pointers; treat as opaque outside this class.
+  struct BucketState {
+    double last_ts = -1.0;
+    util::FlatSet<std::int64_t> seen_bins;     // observed once
+    util::FlatSet<std::int64_t> matched_bins;  // observed twice => rule
+  };
+
   /// Learning-phase ingestion: observes the packet, updating bucket state
   /// and promoting inter-arrival bins seen twice into rules.
   void learn(const net::PacketRecord& pkt);
@@ -103,12 +111,54 @@ class RuleTable {
   void encode_state(util::ByteWriter& w) const;
   void decode_state(util::ByteReader& r);
 
+  // ---- batch pipeline (DESIGN.md §15) --------------------------------------
+  //
+  // FiatProxy::process_batch peeks keys in a pure phase, hashes them in bulk
+  // (core/simd.hpp), probes the bucket table with software prefetch, then
+  // resolves each packet in arrival order through the *_prepared ops. The
+  // prepared ops mirror the scalar ops' counter increments exactly
+  // (keygen_count_, interner lookups), so serialized table state is
+  // byte-identical whichever path processed a packet.
+
+  const RuleTableConfig& config() const { return config_; }
+
+  /// Pure packed-key computation — no counters, no interner mutation.
+  /// `saturated_size` must be min(pkt.size, kClassicSizeMax) (batched via
+  /// simd::saturate_sizes). Classic keys always pack; PortLess only on a
+  /// current-generation interner memo hit; legacy tables never. False means
+  /// the caller must use the scalar ops, whose make_key() resolves (and
+  /// counts) for real.
+  bool peek_key(const net::PacketRecord& pkt, std::uint32_t saturated_size,
+                BucketKey& out) const;
+
+  /// Bulk probe of the packed bucket table: out[i] = current BucketState
+  /// for keys[i], nullptr when the bucket does not exist yet. Returns the
+  /// table's mutation counter at probe time; any later learn/match that
+  /// creates a bucket invalidates every pointer (the prepared ops
+  /// re-resolve via the cached hash when they see a newer counter).
+  std::uint64_t probe_batch(const BucketKey* keys, const std::uint64_t* hashes,
+                            BucketState** out, std::size_t n);
+
+  /// Prefetches the lines a prepared op for `hash` touches first.
+  void prefetch(std::uint64_t hash) const {
+    buckets_.prefetch(hash);
+    banned_.prefetch(hash);
+  }
+
+  // Scalar ops with the key work hoisted out: (key, hash) from peek_key +
+  // simd::hash_keys, (cached, snapshot) from probe_batch (cached may be
+  // nullptr — absent at probe time — or stale; both re-resolve).
+  void learn_prepared(const net::PacketRecord& pkt, const BucketKey& key,
+                      std::uint64_t hash, BucketState* cached,
+                      std::uint64_t snapshot);
+  bool match_prepared(const net::PacketRecord& pkt, const BucketKey& key,
+                      std::uint64_t hash, BucketState* cached,
+                      std::uint64_t snapshot);
+  bool match_and_learn_prepared(const net::PacketRecord& pkt,
+                                const BucketKey& key, std::uint64_t hash,
+                                BucketState* cached, std::uint64_t snapshot);
+
  private:
-  struct BucketState {
-    double last_ts = -1.0;
-    util::FlatSet<std::int64_t> seen_bins;     // observed once
-    util::FlatSet<std::int64_t> matched_bins;  // observed twice => rule
-  };
   /// Seed containers, kept for the legacy_keys baseline: one node
   /// allocation per insert, string hashing per lookup.
   struct LegacyBucketState {
@@ -128,6 +178,14 @@ class RuleTable {
 
   BucketKey make_key(const net::PacketRecord& pkt);
   std::string make_legacy_key(const net::PacketRecord& pkt);
+
+  /// Counter mirror of the make_key() a prepared op replaces.
+  void count_prepared_key();
+  /// The bucket a prepared op should mutate: the probe_batch pointer when
+  /// still valid, else insert-or-find via the cached hash (the scalar
+  /// `buckets_[key]` idiom).
+  BucketState* resolve_bucket(const BucketKey& key, std::uint64_t hash,
+                              BucketState* cached, std::uint64_t snapshot);
 
   net::Ipv4Addr device_;
   RuleTableConfig config_;

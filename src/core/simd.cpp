@@ -1,0 +1,187 @@
+#include "core/simd.hpp"
+
+#include <algorithm>
+
+#include "util/flat_map.hpp"
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#define FIAT_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+#define FIAT_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace fiat::core::simd {
+
+namespace {
+
+std::uint64_t hash_one(const BucketKey& key) {
+  return util::flat_mix64(key.w0 ^ util::flat_mix64(key.w1));
+}
+
+void hash_scalar(const BucketKey* keys, std::uint64_t* hashes, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) hashes[i] = hash_one(keys[i]);
+}
+
+void saturate_scalar(const std::uint32_t* sizes, std::uint32_t* out,
+                     std::size_t n, std::uint32_t cap) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::min(sizes[i], cap);
+}
+
+#if defined(FIAT_SIMD_SSE2)
+
+// 64x64->64 low multiply, two lanes. SSE2 has only the 32x32->64 widening
+// multiply (_mm_mul_epu32 on the even 32-bit lanes), so compose the low 64
+// bits from three partial products: lo(a)*lo(b) + ((hi(a)*lo(b) +
+// lo(a)*hi(b)) << 32). The discarded hi(a)*hi(b) term only feeds bits >= 64.
+inline __m128i mul64_lo(__m128i a, __m128i b) {
+  __m128i a_hi = _mm_srli_epi64(a, 32);
+  __m128i b_hi = _mm_srli_epi64(b, 32);
+  __m128i lo = _mm_mul_epu32(a, b);
+  __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(a_hi, b), _mm_mul_epu32(a, b_hi));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+// splitmix64 finalizer (util::flat_mix64), two lanes at a time.
+inline __m128i mix64(__m128i x) {
+  x = _mm_add_epi64(x, _mm_set1_epi64x(0x9e3779b97f4a7c15LL));
+  x = mul64_lo(_mm_xor_si128(x, _mm_srli_epi64(x, 30)),
+               _mm_set1_epi64x(0xbf58476d1ce4e5b9LL));
+  x = mul64_lo(_mm_xor_si128(x, _mm_srli_epi64(x, 27)),
+               _mm_set1_epi64x(0x94d049bb133111ebLL));
+  return _mm_xor_si128(x, _mm_srli_epi64(x, 31));
+}
+
+void hash_simd(const BucketKey* keys, std::uint64_t* hashes, std::size_t n) {
+  static_assert(sizeof(BucketKey) == 16, "SoA gather below assumes {w0,w1}");
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Two keys = four contiguous u64: [w0 w1 | w0' w1']. Unpack into a w0
+    // lane pair and a w1 lane pair.
+    __m128i k0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    __m128i k1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i + 1));
+    __m128i w0 = _mm_unpacklo_epi64(k0, k1);
+    __m128i w1 = _mm_unpackhi_epi64(k0, k1);
+    __m128i h = mix64(_mm_xor_si128(w0, mix64(w1)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hashes + i), h);
+  }
+  for (; i < n; ++i) hashes[i] = hash_one(keys[i]);
+}
+
+void saturate_simd(const std::uint32_t* sizes, std::uint32_t* out,
+                   std::size_t n, std::uint32_t cap) {
+  // SSE2 lacks an unsigned 32-bit min; sizes and the cap are far below 2^31
+  // in practice, but stay exact anyway by biasing into signed range.
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i capv = _mm_set1_epi32(static_cast<int>(cap ^ 0x80000000u));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sizes + i));
+    __m128i vb = _mm_xor_si128(v, bias);
+    __m128i gt = _mm_cmpgt_epi32(vb, capv);
+    __m128i capped = _mm_set1_epi32(static_cast<int>(cap));
+    __m128i r = _mm_or_si128(_mm_and_si128(gt, capped),
+                             _mm_andnot_si128(gt, v));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), r);
+  }
+  for (; i < n; ++i) out[i] = std::min(sizes[i], cap);
+}
+
+#elif defined(FIAT_SIMD_NEON)
+
+inline uint64x2_t mul64_lo(uint64x2_t a, uint64x2_t b) {
+  uint32x2_t a_lo = vmovn_u64(a);
+  uint32x2_t b_lo = vmovn_u64(b);
+  uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  uint64x2_t lo = vmull_u32(a_lo, b_lo);
+  uint64x2_t cross = vmlal_u32(vmull_u32(a_hi, b_lo), a_lo, b_hi);
+  return vaddq_u64(lo, vshlq_n_u64(cross, 32));
+}
+
+inline uint64x2_t mix64(uint64x2_t x) {
+  x = vaddq_u64(x, vdupq_n_u64(0x9e3779b97f4a7c15ULL));
+  x = mul64_lo(veorq_u64(x, vshrq_n_u64(x, 30)),
+               vdupq_n_u64(0xbf58476d1ce4e5b9ULL));
+  x = mul64_lo(veorq_u64(x, vshrq_n_u64(x, 27)),
+               vdupq_n_u64(0x94d049bb133111ebULL));
+  return veorq_u64(x, vshrq_n_u64(x, 31));
+}
+
+void hash_simd(const BucketKey* keys, std::uint64_t* hashes, std::size_t n) {
+  static_assert(sizeof(BucketKey) == 16, "SoA gather below assumes {w0,w1}");
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t k0 = vld1q_u64(reinterpret_cast<const std::uint64_t*>(keys + i));
+    uint64x2_t k1 =
+        vld1q_u64(reinterpret_cast<const std::uint64_t*>(keys + i + 1));
+    uint64x2_t w0 = vtrn1q_u64(k0, k1);
+    uint64x2_t w1 = vtrn2q_u64(k0, k1);
+    uint64x2_t h = mix64(veorq_u64(w0, mix64(w1)));
+    vst1q_u64(hashes + i, h);
+  }
+  for (; i < n; ++i) hashes[i] = hash_one(keys[i]);
+}
+
+void saturate_simd(const std::uint32_t* sizes, std::uint32_t* out,
+                   std::size_t n, std::uint32_t cap) {
+  uint32x4_t capv = vdupq_n_u32(cap);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_u32(out + i, vminq_u32(vld1q_u32(sizes + i), capv));
+  }
+  for (; i < n; ++i) out[i] = std::min(sizes[i], cap);
+}
+
+#endif
+
+}  // namespace
+
+bool available() {
+#if defined(FIAT_SIMD_SSE2) || defined(FIAT_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* isa_name() {
+#if defined(FIAT_SIMD_SSE2)
+  return "sse2";
+#elif defined(FIAT_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+void hash_keys(const BucketKey* keys, std::uint64_t* hashes, std::size_t n,
+               bool use_simd) {
+#if defined(FIAT_SIMD_SSE2) || defined(FIAT_SIMD_NEON)
+  if (use_simd) {
+    hash_simd(keys, hashes, n);
+    return;
+  }
+#else
+  (void)use_simd;
+#endif
+  hash_scalar(keys, hashes, n);
+}
+
+void saturate_sizes(const std::uint32_t* sizes, std::uint32_t* out,
+                    std::size_t n, std::uint32_t cap, bool use_simd) {
+#if defined(FIAT_SIMD_SSE2) || defined(FIAT_SIMD_NEON)
+  if (use_simd) {
+    saturate_simd(sizes, out, n, cap);
+    return;
+  }
+#else
+  (void)use_simd;
+#endif
+  saturate_scalar(sizes, out, n, cap);
+}
+
+}  // namespace fiat::core::simd

@@ -1,0 +1,43 @@
+// SIMD kernels for the batch decision pipeline (DESIGN.md §15).
+//
+// The batch hot path hashes every packet's BucketKey and saturates every
+// classic-key size before probing the rule tables. Both loops are pure bit
+// math over independent lanes, so they vectorize trivially: SSE2 on x86-64
+// (baseline, no runtime CPUID needed), NEON on aarch64, and a scalar loop
+// everywhere else. The kernels are bit-exact replicas of the scalar code —
+// util::flat_mix64 and std::min against kClassicSizeMax — so the `--simd`
+// flag is a pure performance knob: verdicts, reports, telemetry, and
+// serialized state are byte-identical with SIMD on or off.
+//
+// Dispatch is runtime-per-call (a bool), not per-build: one binary carries
+// both legs and the golden tests diff them against each other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/bucket_key.hpp"
+
+namespace fiat::core::simd {
+
+/// True when this build carries a vector leg (SSE2 or NEON); false means
+/// hash_keys/saturate_sizes always take the scalar loop and `--simd on`
+/// is rejected at flag validation.
+bool available();
+
+/// "sse2", "neon", or "scalar" — surfaced in bench JSON and --help text.
+const char* isa_name();
+
+/// hashes[i] = FlatHash<BucketKey>{}(keys[i]) for i in [0, n): the same
+/// flat_mix64(w0 ^ flat_mix64(w1)) the tables compute one key at a time.
+/// `use_simd` selects the vector leg when available() (callers pass the
+/// resolved --simd flag); results are identical either way.
+void hash_keys(const BucketKey* keys, std::uint64_t* hashes, std::size_t n,
+               bool use_simd);
+
+/// out[i] = min(sizes[i], cap) — the classic-key size saturation
+/// (kClassicSizeMax) applied across a whole batch before key packing.
+void saturate_sizes(const std::uint32_t* sizes, std::uint32_t* out,
+                    std::size_t n, std::uint32_t cap, bool use_simd);
+
+}  // namespace fiat::core::simd

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "core/simd.hpp"
 #include "gen/attacks.hpp"
 #include "util/error.hpp"
 
@@ -67,6 +68,26 @@ FleetScenarioConfig parse_scenario_flags(const util::Flags& flags) {
         count_flag(flags, "fleet", "zipf-max-devices", 8.0);
   }
 
+  // SIMD dispatch for the batch pipeline (core/simd.hpp). "auto" (default)
+  // uses the vector kernels when the build has them; "on" demands them so a
+  // perf run cannot silently measure the scalar fallback; "off" forces
+  // scalar. Results are bit-identical in every mode.
+  if (auto simd = flags.get("simd")) {
+    if (*simd == "on") {
+      if (!core::simd::available()) {
+        throw Error(std::string("fleet: --simd on requires a vector ISA; "
+                                "this build has none (use off or auto)"));
+      }
+      config.simd = true;
+    } else if (*simd == "off") {
+      config.simd = false;
+    } else if (*simd == "auto") {
+      config.simd = core::simd::available();
+    } else {
+      throw Error("fleet: --simd wants on, off, or auto, got '" + *simd + "'");
+    }
+  }
+
   // Campaign knobs (gen::AttackDirector). --attack-coverage or --sybil-frac
   // arms the director; the rest refine it.
   if (flags.has("attack-coverage")) {
@@ -124,6 +145,10 @@ FleetConfig parse_fleet_flags(const util::Flags& flags, std::size_t homes) {
   if (flags.has("shed")) config.on_full = FullPolicy::kShed;
   config.trace_capacity =
       static_cast<std::size_t>(flags.number_or("trace-capacity", 8192.0));
+  // Batch pipeline master switch (DESIGN.md §15); per-home results are
+  // byte-identical either way, so this exists for A/B runs and the golden
+  // matrix's scalar reference engine.
+  config.batch = !flags.has("no-batch");
 
   // Recovery knobs (DESIGN.md §11). Any of them switches the supervised item
   // path on; without them the fleet runs the bare hot path.

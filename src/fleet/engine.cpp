@@ -62,6 +62,7 @@ FleetEngine::FleetEngine(std::vector<HomeSpec> homes,
                                               config_.on_full,
                                               config_.trace_capacity,
                                               shard_supervisor));
+    shards_.back()->set_batch(config_.batch);
   }
   if (next != homes.size()) throw LogicError("FleetEngine: partition hole");
 

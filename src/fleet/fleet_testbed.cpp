@@ -79,6 +79,7 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
     spec.proxy.bootstrap_duration = config.bootstrap_duration;
     spec.proxy.degraded_policy = config.policy;
     spec.proxy.rules.legacy_keys = config.legacy_keys;
+    spec.proxy.simd = config.simd;
 
     std::vector<std::uint8_t> psk(32);
     home_rng.fill_bytes(psk);
@@ -237,6 +238,7 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
     spec.proxy.bootstrap_duration = config.bootstrap_duration;
     spec.proxy.degraded_policy = config.policy;
     spec.proxy.rules.legacy_keys = config.legacy_keys;
+    spec.proxy.simd = config.simd;
 
     const gen::DeviceProfile& profile = profiles[home_id % profiles.size()];
     gen::LocationEnv env(kLocations[home_id % 4]);

@@ -42,6 +42,10 @@ struct FleetScenarioConfig {
   /// (RuleTableConfig::legacy_keys): the bench_hotpath baseline and the
   /// golden-equivalence suite's reference configuration.
   bool legacy_keys = false;
+  /// ProxyConfig::simd for every home (the CLI's --simd on|off|auto, with
+  /// "on" validated against simd::available() at parse time). Pure perf
+  /// knob — results are bit-identical either way.
+  bool simd = true;
   /// Zipf-skewed per-home load (the cluster rebalancer's workload): home h
   /// gets round(zipf_max_devices / (h+1)^zipf_skew) devices, clamped to
   /// [1, min(zipf_max_devices, 10)], instead of the flat devices_per_home.

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -49,6 +50,17 @@ class Shard {
   /// Worker-side processing of one item; public so a shards=1 caller (or a
   /// test) can run the identical code path synchronously.
   void process(const FleetItem& item);
+
+  /// Worker-side batched processing (DESIGN.md §15): groups the slice per
+  /// home (per-home arrival order preserved — homes are independent, so
+  /// cross-home reordering is unobservable), hands each home's contiguous
+  /// packet runs to FiatProxy::process_batch, and processes proofs scalar
+  /// between runs. Byte-identical bookkeeping to calling process() per item.
+  void process_batch(std::span<const FleetItem> items);
+
+  /// Engine knob (--no-batch): when false the worker loop processes drained
+  /// batches item by item through the scalar path. Set before start().
+  void set_batch(bool enabled) { batch_enabled_ = enabled; }
 
   std::vector<Home>& homes() { return homes_; }
   const std::vector<Home>& homes() const { return homes_; }
@@ -99,6 +111,16 @@ class Shard {
   telemetry::Histogram* tm_batch_items_ = nullptr;  // kWall
   std::thread worker_;
   ShardSupervisor* supervisor_ = nullptr;
+  bool batch_enabled_ = true;
+  // Reusable batch scratch (worker-owned). Groups are grow-only so the
+  // per-home index vectors keep their capacity across batches.
+  struct HomeGroup {
+    HomeId home = 0;
+    std::vector<std::uint32_t> idx;
+  };
+  std::vector<HomeGroup> batch_groups_;
+  std::vector<net::PacketRecord> batch_pkts_;
+  std::vector<core::AttackLabel> batch_labels_;
   bool started_ = false;
   bool stopped_ = false;  // worker joined; counters safe to read
   // Worker-owned counters: written only by the worker thread (or by the

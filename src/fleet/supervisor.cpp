@@ -131,6 +131,46 @@ void ShardSupervisor::process(Shard& shard, const FleetItem& item) {
   }
 }
 
+void ShardSupervisor::process_batch(Shard& shard,
+                                    std::span<const FleetItem> items) {
+  if (fault_active()) {
+    // Defensive: the shard should not route batches here with a live fault
+    // plan, but if it does, fall back to the exact per-item bracket.
+    for (const FleetItem& item : items) process(shard, item);
+    return;
+  }
+  const double every = fleet_->config().snapshot_every;
+  const bool journal = fleet_->config().journal;
+  std::size_t begin = 0;
+  while (begin < items.size()) {
+    // Segment ends at the first item that will trigger a snapshot for its
+    // home. No snapshot can happen before the boundary, so last_snapshot_ts
+    // is frozen during the scan and the cut lands exactly where the
+    // per-item loop would have called take_snapshot.
+    std::size_t end = items.size();
+    if (every > 0.0) {
+      for (std::size_t j = begin; j < end; ++j) {
+        if (items[j].ts - state_of(items[j].home).last_snapshot_ts >= every) {
+          end = j + 1;
+          break;
+        }
+      }
+    }
+    std::span<const FleetItem> seg = items.subspan(begin, end - begin);
+    shard.process_batch(seg);
+    for (const FleetItem& item : seg) {
+      HomeState& st = state_of(item.home);
+      ++st.processed;
+      ++shard_items_;
+      if (journal) st.journal.emplace_back(st.processed, item);
+    }
+    // No-op unless the boundary item actually triggered (a batch can also
+    // end because the queue drained).
+    maybe_snapshot(shard, items[end - 1]);
+    begin = end;
+  }
+}
+
 void ShardSupervisor::maybe_snapshot(Shard& shard, const FleetItem& item) {
   double every = fleet_->config().snapshot_every;
   if (every <= 0.0) return;

@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -147,6 +148,21 @@ class ShardSupervisor {
   /// The supervised item path (worker thread only): crash injection, retry/
   /// restart/quarantine, journaling, snapshot cadence.
   void process(Shard& shard, const FleetItem& item);
+
+  /// Supervised batch path (DESIGN.md §15), used by Shard::run only when
+  /// fault_active() is false: splits the batch into segments that end at the
+  /// first item whose home hits its snapshot cadence (cadence state is
+  /// frozen inside a segment, so the cut points are exactly where the
+  /// per-item loop would snapshot), hands each segment to
+  /// Shard::process_batch, then replays the per-item bookkeeping (ordinals,
+  /// journal) and snapshots at the boundary. Byte-identical to process()
+  /// per item. Organic (non-injected) exceptions propagate instead of
+  /// triggering a restart — the same behavior as an unsupervised shard.
+  void process_batch(Shard& shard, std::span<const FleetItem> items);
+
+  /// True when the configured fault plan can still inject a crash; batching
+  /// must stay per-item so the crash/retry bracket wraps the exact item.
+  bool fault_active() const { return injector_.plan().active(); }
 
   // ---- post-stop introspection -------------------------------------------
   std::size_t restarts() const { return restarts_; }

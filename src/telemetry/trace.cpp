@@ -18,6 +18,27 @@ void TraceBuffer::record(TraceSpan span) {
   ++dropped_;
 }
 
+TraceSpan* TraceBuffer::begin_span() {
+  if (capacity_ == 0) return nullptr;
+  TraceSpan* slot;
+  if (ring_.size() < capacity_) {
+    slot = &ring_.emplace_back();
+  } else {
+    slot = &ring_[next_];
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+    slot->name = "";
+    slot->category = "";
+    slot->start = 0.0;
+    slot->duration = 0.0;
+    slot->home = 0;
+    slot->track.clear();
+    slot->args.clear();
+  }
+  slot->seq = seq_++;
+  return slot;
+}
+
 std::vector<TraceSpan> TraceBuffer::ordered() const {
   std::vector<TraceSpan> out;
   out.reserve(ring_.size());

@@ -53,6 +53,15 @@ class TraceBuffer {
 
   void record(TraceSpan span);
 
+  /// Hot-path variant of record(): hands out the ring slot the span should
+  /// be written into, seq already assigned and any recycled slot wiped back
+  /// to defaults (track/args keep their capacity, so steady-state recording
+  /// never allocates). Returns nullptr when the buffer is disabled. The
+  /// per-packet decision path records millions of spans; building a
+  /// temporary TraceSpan and moving it through record() costs more than the
+  /// span's whole payload.
+  TraceSpan* begin_span();
+
   /// Copies the retained spans oldest-to-newest.
   std::vector<TraceSpan> ordered() const;
 

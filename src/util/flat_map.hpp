@@ -73,7 +73,14 @@ class FlatTable {
     hashes_.clear();
     dist_.clear();
     size_ = 0;
+    ++mutations_;
   }
+
+  /// Monotonic count of mutations that may have moved entries (inserts,
+  /// erases, clears, rehashes). The batch pipeline snapshots this around a
+  /// probe_batch() and re-resolves any cached pointer whose snapshot went
+  /// stale instead of pessimistically re-probing everything.
+  std::uint64_t mutations() const { return mutations_; }
 
   /// Pre-sizes the table for at least `n` entries without rehashing later.
   void reserve(std::size_t n) {
@@ -92,10 +99,40 @@ class FlatTable {
   }
   bool contains(const Key& key) const { return find(key) != nullptr; }
 
+  /// find() with a caller-supplied hash (must equal Hash{}(key)): the batch
+  /// pipeline hashes all keys up front (possibly SIMD) and reuses each hash
+  /// across the bucket and ban tables.
+  Entry* find_hashed(const Key& key, std::uint64_t hash) {
+    if (size_ == 0) return nullptr;
+    return find_slot(key, hash);
+  }
+  const Entry* find_hashed(const Key& key, std::uint64_t hash) const {
+    return const_cast<FlatTable*>(this)->find_hashed(key, hash);
+  }
+
+  /// Prefetches the cache lines a find for `hash` touches first (home slot's
+  /// dist/hash/entry). Pure; harmless on an empty table.
+  void prefetch(std::uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (slots_.empty()) return;
+    std::size_t i = static_cast<std::size_t>(hash) & (slots_.size() - 1);
+    __builtin_prefetch(&dist_[i], 0, 1);
+    __builtin_prefetch(&hashes_[i], 0, 1);
+    __builtin_prefetch(&slots_[i], 0, 1);
+#else
+    (void)hash;
+#endif
+  }
+
   /// Inserts `entry` unless its key is present. Returns {slot, inserted}.
   /// The returned pointer is invalidated by any later mutation.
   std::pair<Entry*, bool> insert(Entry entry) {
     std::uint64_t hash = Hash{}(KeyOf{}(entry));
+    return insert_hashed(std::move(entry), hash);
+  }
+
+  /// insert() with a caller-supplied hash (must equal Hash{}(key)).
+  std::pair<Entry*, bool> insert_hashed(Entry entry, std::uint64_t hash) {
     if (size_ != 0) {
       if (Entry* hit = find_slot(KeyOf{}(entry), hash)) return {hit, false};
     }
@@ -107,6 +144,7 @@ class FlatTable {
     // an extra probe per insert, paid only on the rare bucket-creation path.
     Key key = KeyOf{}(entry);
     place(std::move(entry), hash);
+    ++mutations_;
     return {find_slot(key, hash), true};
   }
 
@@ -136,6 +174,7 @@ class FlatTable {
     dist_[i] = 0;
     slots_[i] = Entry{};
     --size_;
+    ++mutations_;
     return true;
   }
 
@@ -230,6 +269,7 @@ class FlatTable {
   }
 
   void rehash(std::size_t new_capacity) {
+    ++mutations_;  // every entry may move (covers reserve() too)
     std::vector<Entry> old_slots = std::move(slots_);
     std::vector<std::uint64_t> old_hashes = std::move(hashes_);
     std::vector<std::uint8_t> old_dist = std::move(dist_);
@@ -246,6 +286,7 @@ class FlatTable {
   std::vector<std::uint64_t> hashes_;  // cached full hash per occupied slot
   std::vector<std::uint8_t> dist_;     // 0 = empty, else probe distance + 1
   std::size_t size_ = 0;
+  std::uint64_t mutations_ = 0;
 };
 
 struct IdentityKeyOf {
@@ -296,9 +337,55 @@ class FlatMap {
   }
   bool contains(const Key& key) const { return table_.contains(key); }
 
+  /// What Hash{} would say — batch callers hash once and reuse the value
+  /// for find_hashed/try_emplace_hashed/prefetch across several tables.
+  static std::uint64_t hash_key(const Key& key) { return Hash{}(key); }
+
+  T* find_hashed(const Key& key, std::uint64_t hash) {
+    auto* entry = table_.find_hashed(key, hash);
+    return entry ? &entry->second : nullptr;
+  }
+  const T* find_hashed(const Key& key, std::uint64_t hash) const {
+    auto* entry = table_.find_hashed(key, hash);
+    return entry ? &entry->second : nullptr;
+  }
+
+  /// See FlatTable::prefetch.
+  void prefetch(std::uint64_t hash) const { table_.prefetch(hash); }
+
+  /// See FlatTable::mutations.
+  std::uint64_t mutations() const { return table_.mutations(); }
+
+  /// Bulk lookup for the batch hot path: out[i] = find(keys[i]) at call
+  /// time, with hashes[i] == hash_key(keys[i]) computed up front (possibly
+  /// SIMD). Prefetches each probe's home slot a fixed window ahead so
+  /// independent lookups overlap their cache misses instead of serializing
+  /// them. Duplicate keys within one batch resolve to the same slot; every
+  /// returned pointer obeys the usual invalidation contract at once (any
+  /// later insert/erase invalidates all of them — watch mutations()).
+  void probe_batch(const Key* keys, const std::uint64_t* hashes, T** out,
+                   std::size_t n) {
+    constexpr std::size_t kWindow = 8;
+    std::size_t warm = n < kWindow ? n : kWindow;
+    for (std::size_t i = 0; i < warm; ++i) table_.prefetch(hashes[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kWindow < n) table_.prefetch(hashes[i + kWindow]);
+      auto* entry = table_.find_hashed(keys[i], hashes[i]);
+      out[i] = entry ? &entry->second : nullptr;
+    }
+  }
+
   /// Returns {value pointer, inserted}.
   std::pair<T*, bool> try_emplace(const Key& key, T value = T{}) {
     auto [entry, inserted] = table_.insert(value_type{key, std::move(value)});
+    return {&entry->second, inserted};
+  }
+
+  /// try_emplace() with a caller-supplied hash (must equal hash_key(key)).
+  std::pair<T*, bool> try_emplace_hashed(const Key& key, std::uint64_t hash,
+                                         T value = T{}) {
+    auto [entry, inserted] =
+        table_.insert_hashed(value_type{key, std::move(value)}, hash);
     return {&entry->second, inserted};
   }
 
@@ -329,6 +416,20 @@ class FlatSet {
   bool insert(const Key& key) { return table_.insert(Key{key}).second; }
   bool contains(const Key& key) const { return table_.contains(key); }
   bool erase(const Key& key) { return table_.erase(key); }
+
+  /// What Hash{} would say (see FlatMap::hash_key).
+  static std::uint64_t hash_key(const Key& key) { return Hash{}(key); }
+
+  /// contains() with a caller-supplied hash (must equal hash_key(key)).
+  bool contains_hashed(const Key& key, std::uint64_t hash) const {
+    return table_.find_hashed(key, hash) != nullptr;
+  }
+
+  /// See FlatTable::prefetch.
+  void prefetch(std::uint64_t hash) const { table_.prefetch(hash); }
+
+  /// See FlatTable::mutations.
+  std::uint64_t mutations() const { return table_.mutations(); }
 
   auto begin() const { return table_.begin(); }
   auto end() const { return table_.end(); }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/simd.hpp"
 #include "core/state_codec.hpp"
 #include "fleet/cli_options.hpp"
 #include "fleet/cluster.hpp"
@@ -523,6 +524,27 @@ TEST(CliOptions, FleetFlagsRejectInvalidInput) {
                                          "--snapshot-every", "120"}), 8);
   EXPECT_TRUE(config.recovery.enabled);
   EXPECT_DOUBLE_EQ(config.recovery.snapshot_every, 120.0);
+}
+
+TEST(CliOptions, BatchAndSimdFlags) {
+  // Batch pipeline defaults on; --no-batch forces the per-item scalar loop.
+  EXPECT_TRUE(parse_fleet_flags(parse({}), 8).batch);
+  EXPECT_FALSE(parse_fleet_flags(parse({"--no-batch"}), 8).batch);
+
+  // --simd: off always parses; auto tracks what the build provides; on is
+  // validated against the ISA at parse time, so a perf run can never
+  // silently measure the scalar fallback.
+  EXPECT_FALSE(parse_scenario_flags(parse({"--simd", "off"})).simd);
+  EXPECT_EQ(parse_scenario_flags(parse({"--simd", "auto"})).simd,
+            core::simd::available());
+  if (core::simd::available()) {
+    EXPECT_TRUE(parse_scenario_flags(parse({"--simd", "on"})).simd);
+  } else {
+    EXPECT_THROW(parse_scenario_flags(parse({"--simd", "on"})), Error);
+  }
+  // Unknown values are a parse error, not a silent default.
+  EXPECT_THROW(parse_scenario_flags(parse({"--simd", "fast"})), Error);
+  EXPECT_THROW(parse_scenario_flags(parse({"--simd", "ON"})), Error);
 }
 
 TEST(CliOptions, CorrelateFlagsRoundTrip) {

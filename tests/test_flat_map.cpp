@@ -186,6 +186,42 @@ TEST(FlatSet, RandomizedDifferentialAgainstStdSet) {
   EXPECT_EQ(flat_keys, ref_keys);
 }
 
+TEST(FlatMap, ProbeBatchMatchesScalarFind) {
+  // probe_batch (prefetch window + caller-supplied hashes) must resolve to
+  // exactly what per-key find() returns: hits to the same value slot,
+  // misses to nullptr — including keys absent from the table and the same
+  // key appearing several times in one batch.
+  sim::Rng rng(0x9a7cb);
+  util::FlatMap<std::uint64_t, std::uint64_t> map;
+  for (int round = 0; round < 40; ++round) {
+    // Mutate between batches so the probes run at many sizes/load factors.
+    for (int i = 0; i < 64; ++i) {
+      auto key = static_cast<std::uint64_t>(rng.uniform_int(0, 1000));
+      if (rng.uniform_int(0, 4) == 0) {
+        map.erase(key);
+      } else {
+        map[key] = rng.next();
+      }
+    }
+    std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 96));
+    std::vector<std::uint64_t> keys(n), hashes(n);
+    std::vector<std::uint64_t*> out(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      // ~half the draws land outside the inserted range (guaranteed misses),
+      // and small ranges make duplicate keys within one batch common.
+      keys[i] = static_cast<std::uint64_t>(rng.uniform_int(0, 2000));
+      hashes[i] = decltype(map)::hash_key(keys[i]);
+    }
+    std::uint64_t gen = map.mutations();
+    map.probe_batch(keys.data(), hashes.data(), out.data(), n);
+    EXPECT_EQ(map.mutations(), gen) << "probe_batch must not mutate";
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t* scalar = map.find(keys[i]);
+      ASSERT_EQ(out[i], scalar) << "key " << keys[i] << " batch/scalar split";
+    }
+  }
+}
+
 TEST(FlatMap, RandomizedDifferentialAgainstUnorderedMap) {
   sim::Rng rng(0xbeef);
   util::FlatMap<std::uint64_t, std::uint64_t> flat;

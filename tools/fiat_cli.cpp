@@ -19,8 +19,13 @@
 //              [--capacity C] [--shed] [--no-proofs] [--report-homes H]
 //              [--telemetry-json PATH] [--telemetry-prom PATH]
 //              [--telemetry-wall] [--trace-json PATH] [--trace-capacity T]
+//              [--no-batch] [--simd on|off|auto]
 //       Synthesize an N-home fleet, run it through the sharded FleetEngine,
 //       and print the merged security report plus runtime counters.
+//       Shards drain their queues through the batch pipeline (DESIGN.md
+//       §15) by default; --no-batch forces the per-item scalar loop and
+//       --simd controls the vector kernels — results are byte-identical in
+//       every combination.
 //       --telemetry-json writes the merged metrics snapshot (deterministic
 //       under a fixed seed; add --telemetry-wall to include host wall-clock
 //       metrics, which vary run to run). --trace-json writes Chrome
@@ -78,6 +83,7 @@ int usage() {
                "             [--telemetry-wall] [--trace-json PATH] [--trace-capacity T]\n"
                "             [--snapshot-every SIM_S] [--crash-at ITEM]\n"
                "             [--crash-home HOME:ITEM]\n"
+               "             [--no-batch] [--simd on|off|auto]\n"
                "             [--attack-coverage F] [--sybil-frac F]\n"
                "             [--attack-attempts N] [--attack-spacing S]\n"
                "             [--attack-seed S] [--attack-class NAME]\n"
