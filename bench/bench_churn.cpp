@@ -1,0 +1,385 @@
+// Credential-lifecycle churn matrix — what onboarding, rotation, and
+// revocation cost under fleet load, crashes, and migration (DESIGN.md §16).
+//
+// One churn-heavy scenario (enrolling homes, rotation cadence, mid-trace
+// revocations with stolen-phone probe traffic) driven through four engines:
+//
+//   shards=1   — the scalar reference run; per-home lifecycle gates are
+//                measured here (registry + proxy state is identical in every
+//                other leg by the byte-identity gates below).
+//   shards=4   — same fleet re-partitioned.
+//   supervised — shards=2 with snapshots + journal, crashing the first
+//                revoked home's shard shortly AFTER its revoke command, so
+//                the restart must re-apply the revocation from the fleet
+//                ledger (a crash can never resurrect a revoked credential).
+//   cluster    — 4 nodes, live-migrating the first revoked home across
+//                nodes after its revocation; the migration restore path
+//                carries the revocation with it.
+//
+// Gates:
+//   * zero benign lockouts — every benign proof in the churn ground truth is
+//     accepted; enrolling, rotating, and revoked homes alike never reject a
+//     legitimate proof (signature, humanness, late, duplicate, lifecycle).
+//   * bounded revocation latency — per revoked home, probes sealed with the
+//     stolen credential verify only inside the revocation window; the first
+//     lifecycle reject lands within one probe step of effective_ts, and
+//     accepts at/after effective_ts are ZERO.
+//   * ledger joins — the merged AttackLedger's revoked-credential row equals
+//     the synthesis ground truth, and FleetStats' lifecycle totals equal the
+//     scheduled enrollments / rotations / revocations in every leg.
+//   * byte-identity — all four legs render byte-identical per-home reports.
+//
+// Every reported number is sim-derived, so BENCH_churn.json is
+// byte-identical across runs of the same build — CI runs it twice and cmps.
+// Usage: bench_churn [--quick]  (smaller fleet for the CI smoke).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/humanness.hpp"
+#include "fleet/cluster.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "gen/attacks.hpp"
+#include "sim/faults.hpp"
+
+using namespace fiat;
+
+namespace {
+
+std::vector<std::string> home_digests(const fleet::FleetReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.homes.size());
+  for (const auto& h : report.homes) out.push_back(h.report.render());
+  return out;
+}
+
+std::size_t verdict_count(const fleet::FleetReport& report) {
+  return report.totals.packets_allowed + report.totals.packets_dropped;
+}
+
+const fleet::FleetReport::HomeEntry* find_entry(
+    const fleet::FleetReport& report, fleet::HomeId id) {
+  for (const auto& h : report.homes) {
+    if (h.home == id) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::print_header("bench_churn",
+                      "enrollment / rotation / revocation under churn "
+                      "(lifecycle tier, DESIGN.md §16)");
+
+  fleet::FleetScenarioConfig scenario_config;
+  scenario_config.homes = quick ? 16 : 40;
+  scenario_config.duration_days = quick ? 0.02 : 0.03;
+  scenario_config.churn.join_fraction = 0.35;
+  scenario_config.churn.rotate_every = quick ? 400.0 : 500.0;
+  scenario_config.churn.revoke_fraction = 0.3;
+  scenario_config.churn.revoke_at_frac = 0.6;
+  scenario_config.churn.revocation_window = 45.0;
+  auto scenario = fleet::make_fleet_scenario(scenario_config);
+  const auto& truth = scenario.churn;
+  auto humanness =
+      core::HumannessVerifier::train_synthetic(scenario_config.seed);
+
+  std::size_t revoked_homes = 0, enrolling_homes = 0, rotating_homes = 0;
+  for (const auto& ht : truth.homes) {
+    if (ht.revoked) ++revoked_homes;
+    if (ht.enrolls) ++enrolling_homes;
+    if (ht.rotations > 0) ++rotating_homes;
+  }
+  std::printf(
+      "fleet: %zu homes, %zu items (%zu lifecycle); churn: %zu enrolling, "
+      "%zu rotating, %zu revoked homes, window %.0f s\n",
+      scenario.homes.size(), scenario.items.size(), scenario.lifecycle_count,
+      enrolling_homes, rotating_homes, revoked_homes,
+      truth.revocation_window);
+
+  bool ok = true;
+  auto check = [&ok](bool cond, const std::string& what) {
+    std::printf("  [%s] %s\n", cond ? "ok" : "FAIL", what.c_str());
+    ok = ok && cond;
+  };
+  check(revoked_homes >= 1 && enrolling_homes >= 1 && rotating_homes >= 1,
+        "scenario exercises all three lifecycle paths");
+
+  // The first revoked home anchors the crash and migration legs: both fire
+  // shortly after its revoke command, forcing restore paths to re-apply it.
+  fleet::HomeId anchor = 0;
+  double anchor_revoke_ts = 0.0;
+  for (const auto& ht : truth.homes) {
+    if (ht.revoked) {
+      anchor = ht.home;
+      anchor_revoke_ts = ht.revoke_ts;
+      break;
+    }
+  }
+  // 1-based ordinal of the anchor home's revoke item, plus a couple of
+  // probes — the crash point for the supervised leg.
+  std::uint64_t anchor_ordinal = 0, crash_ordinal = 0;
+  for (const auto& item : scenario.items) {
+    if (item.home != anchor) continue;
+    ++anchor_ordinal;
+    if (item.kind == fleet::FleetItem::Kind::kLifecycle &&
+        item.lifecycle_cmd.op == crypto::LifecycleCommand::Op::kRevoke) {
+      crash_ordinal = anchor_ordinal + 2;
+      break;
+    }
+  }
+  check(crash_ordinal > 0, "anchor home's revoke command located in stream");
+
+  // ---- baseline: shards=1 ---------------------------------------------------
+  fleet::FleetConfig base_config;
+  base_config.shards = 1;
+  fleet::FleetEngine baseline(scenario.homes, humanness, base_config);
+  baseline.start();
+  for (const auto& item : scenario.items) baseline.ingest(item);
+  baseline.drain();
+  auto base_report = baseline.report();
+  const auto base_digests = home_digests(base_report);
+  const std::size_t base_verdicts = verdict_count(base_report);
+
+  // ---- per-home lifecycle gates (measured on the baseline) ------------------
+  std::printf("\nper-home lifecycle gates (window %.0f s, probe step %.2f s)\n",
+              truth.revocation_window, truth.revocation_window / 8.0);
+  std::uint64_t total_probes = 0, total_in_window = 0, total_accepted = 0;
+  std::uint64_t total_benign = 0;
+  double max_latency = 0.0;
+  bool lockout_free = true, window_tight = true, latency_bounded = true;
+  const double probe_step = truth.revocation_window / 8.0;
+  for (const auto& ht : truth.homes) {
+    const auto* entry = find_entry(base_report, ht.home);
+    if (entry == nullptr) {
+      check(false, "churn home missing from report");
+      continue;
+    }
+    const auto& c = entry->counters;
+    total_benign += ht.benign_proofs;
+    // Benign lockouts: the only rejects a churn home may have are the
+    // labeled probes dying on the lifecycle path. Every non-lifecycle
+    // reject lane must be empty, and accepted = benign + in-window probes.
+    if (c.proofs_rejected_signature != 0 || c.proofs_rejected_nonhuman != 0 ||
+        c.proofs_late != 0 || c.proofs_duplicate != 0) {
+      lockout_free = false;
+    }
+    std::uint64_t accepted_probes =
+        c.proofs_accepted > ht.benign_proofs
+            ? c.proofs_accepted - ht.benign_proofs
+            : 0;
+    if (c.proofs_accepted < ht.benign_proofs) lockout_free = false;
+    if (!ht.revoked) {
+      if (accepted_probes != 0) lockout_free = false;
+      continue;
+    }
+    total_probes += ht.probes;
+    total_in_window += ht.probes_in_window;
+    total_accepted += accepted_probes;
+    // Zero post-window accepts: every probe before effective_ts verifies
+    // (that exposure IS the window), every probe at/after it dies.
+    if (accepted_probes != ht.probes_in_window) window_tight = false;
+    // Measured propagation latency: sim time from the revoke command to the
+    // first lifecycle-rejected probe. Probes step window/8 apart, so the
+    // bound is one step past the window.
+    auto& proxy =
+        baseline.shard(baseline.shard_of(ht.home)).find_home(ht.home)->proxy();
+    auto it = proxy.first_lifecycle_reject_ts().find("phone");
+    if (it == proxy.first_lifecycle_reject_ts().end()) {
+      latency_bounded = false;
+      continue;
+    }
+    double latency = it->second - ht.revoke_ts;
+    if (latency > max_latency) max_latency = latency;
+    if (it->second < ht.effective_ts ||
+        latency > truth.revocation_window + probe_step) {
+      latency_bounded = false;
+    }
+  }
+  check(lockout_free,
+        "zero benign lockouts: no churn home rejected a legitimate proof");
+  {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "zero post-window accepts: %llu/%llu probes verified, all "
+                  "inside the revocation window",
+                  static_cast<unsigned long long>(total_accepted),
+                  static_cast<unsigned long long>(total_probes));
+    check(window_tight && total_probes > total_in_window, msg);
+    std::snprintf(msg, sizeof(msg),
+                  "revocation latency bounded: max %.2f s <= window %.0f s + "
+                  "probe step %.2f s",
+                  max_latency, truth.revocation_window, probe_step);
+    check(latency_bounded && max_latency > 0.0, msg);
+  }
+  // Fleet-wide ledger join: the revoked-credential row is exactly the probe
+  // ground truth, and lifecycle rejects account for every dead probe.
+  {
+    const auto& row = base_report.attack.by_class[static_cast<std::size_t>(
+        gen::AttackType::kRevokedCredential)];
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "attack ledger joins truth: %llu probes, %llu rejected",
+                  static_cast<unsigned long long>(row.proofs),
+                  static_cast<unsigned long long>(row.proofs_rejected));
+    check(row.proofs == total_probes &&
+              row.proofs_rejected == total_probes - total_accepted,
+          msg);
+    std::snprintf(
+        msg, sizeof(msg),
+        "lifecycle rejects account for every dead probe (%zu == %llu)",
+        base_report.stats.lifecycle_rejected_proofs,
+        static_cast<unsigned long long>(total_probes - total_accepted));
+    check(base_report.stats.lifecycle_rejected_proofs ==
+              total_probes - total_accepted,
+          msg);
+  }
+
+  // ---- the engine matrix: every leg must match the baseline byte-for-byte --
+  struct Leg {
+    const char* mode;
+    std::size_t divergent = 0;
+    std::size_t verdicts = 0;
+    fleet::FleetStats stats;
+    std::size_t migrations = 0;
+    std::uint64_t restarts = 0;
+  };
+  std::vector<Leg> legs;
+  auto grade = [&](const char* mode, const fleet::FleetReport& report,
+                   fleet::FleetStats stats) -> Leg& {
+    Leg leg;
+    leg.mode = mode;
+    leg.verdicts = verdict_count(report);
+    auto digests = home_digests(report);
+    for (std::size_t h = 0; h < digests.size(); ++h) {
+      if (digests[h] != base_digests[h]) ++leg.divergent;
+    }
+    leg.stats = std::move(stats);
+    legs.push_back(std::move(leg));
+    return legs.back();
+  };
+  grade("shards1", base_report, baseline.stats());
+
+  {
+    fleet::FleetConfig config;
+    config.shards = 4;
+    fleet::FleetEngine engine(scenario.homes, humanness, config);
+    engine.start();
+    for (const auto& item : scenario.items) engine.ingest(item);
+    engine.drain();
+    auto report = engine.report();
+    grade("shards4", report, engine.stats());
+  }
+  {
+    // Crash the anchor home's shard two items after its revoke command: the
+    // restart replays the journal AND re-applies the fleet revocation
+    // ledger, so the revoked credential stays dead through the crash.
+    fleet::FleetConfig config;
+    config.shards = 2;
+    config.recovery.enabled = true;
+    config.recovery.snapshot_every = 120.0;
+    config.recovery.fault = sim::ShardFaultPlan::crash_home_at(
+        anchor, crash_ordinal);
+    fleet::FleetEngine engine(scenario.homes, humanness, config);
+    engine.start();
+    for (const auto& item : scenario.items) engine.ingest(item);
+    engine.drain();
+    auto report = engine.report();
+    auto& leg = grade("supervised", report, engine.stats());
+    for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+      leg.restarts += engine.stats().shards[s].restarts;
+    }
+    check(leg.restarts >= 1, "supervised leg actually crashed and restarted");
+  }
+  {
+    // Live-migrate the anchor home right after its revocation: the restore
+    // on the destination node re-applies the fleet revocation ledger.
+    fleet::ClusterConfig config;
+    config.nodes = 4;
+    config.snapshot_every = 120.0;
+    config.migrations.push_back(
+        {anchor, static_cast<fleet::NodeId>(1),
+         anchor_revoke_ts + truth.revocation_window / 2.0});
+    config.migrations.push_back(
+        {anchor, static_cast<fleet::NodeId>(2),
+         anchor_revoke_ts + 2.0 * truth.revocation_window});
+    fleet::ClusterEngine engine(scenario.homes, humanness, config);
+    engine.start();
+    for (const auto& item : scenario.items) engine.ingest(item);
+    engine.drain();
+    auto report = engine.report();
+    auto& leg = grade("cluster", report, engine.stats());
+    leg.migrations = engine.migrations().size();
+    check(leg.migrations >= 2, "cluster leg migrated the revoked home");
+  }
+
+  std::printf("\nengine matrix (vs shards=1 baseline)\n");
+  std::printf("  %-10s %9s %9s %7s %7s %7s %9s\n", "mode", "verdicts",
+              "divergent", "enroll", "rotate", "revoke", "lc-rejects");
+  for (const auto& leg : legs) {
+    std::printf("  %-10s %9zu %9zu %7zu %7zu %7zu %9zu\n", leg.mode,
+                leg.verdicts, leg.divergent, leg.stats.lifecycle_enrolled,
+                leg.stats.lifecycle_rotated, leg.stats.lifecycle_revoked,
+                leg.stats.lifecycle_rejected_proofs);
+  }
+  for (const auto& leg : legs) {
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "%s: byte-identical per-home reports, zero verdicts lost",
+                  leg.mode);
+    check(leg.divergent == 0 && leg.verdicts == base_verdicts, msg);
+    std::snprintf(msg, sizeof(msg),
+                  "%s: lifecycle totals match ground truth (%llu enroll, "
+                  "%llu rotate, %llu revoke)",
+                  leg.mode, static_cast<unsigned long long>(truth.enrollments),
+                  static_cast<unsigned long long>(truth.rotations),
+                  static_cast<unsigned long long>(truth.revocations));
+    check(leg.stats.lifecycle_enrolled == truth.enrollments &&
+              leg.stats.lifecycle_rotated == truth.rotations &&
+              leg.stats.lifecycle_revoked == truth.revocations,
+          msg);
+  }
+
+  bench::Json rows = bench::Json::array();
+  for (const auto& leg : legs) {
+    rows.push(bench::Json::object()
+                  .put("mode", leg.mode)
+                  .put("verdicts", leg.verdicts)
+                  .put("divergent_homes", leg.divergent)
+                  .put("enrolled", leg.stats.lifecycle_enrolled)
+                  .put("rotated", leg.stats.lifecycle_rotated)
+                  .put("revoked", leg.stats.lifecycle_revoked)
+                  .put("lifecycle_rejects",
+                       leg.stats.lifecycle_rejected_proofs)
+                  .put("migrations", leg.migrations)
+                  .put("restarts", leg.restarts));
+  }
+  bench::Json doc =
+      bench::Json::object()
+          .put("bench", "churn")
+          .put("homes", scenario_config.homes)
+          .put("revocation_window", truth.revocation_window)
+          .put("quick", quick)
+          .put("enrolling_homes", enrolling_homes)
+          .put("rotating_homes", rotating_homes)
+          .put("revoked_homes", revoked_homes)
+          .put("benign_proofs", total_benign)
+          .put("probes", total_probes)
+          .put("probes_in_window", total_in_window)
+          .put("probes_accepted", total_accepted)
+          .put("max_revocation_latency_s", max_latency)
+          .put("runs", std::move(rows));
+  bench::write_bench_json("BENCH_churn.json", doc);
+
+  if (!ok) {
+    std::printf("\nbench_churn: FAILURES above\n");
+    return 1;
+  }
+  std::printf("\nbench_churn: all checks passed\n");
+  return 0;
+}

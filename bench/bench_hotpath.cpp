@@ -198,6 +198,8 @@ ProxyResult run_proxy_leg(const fleet::FleetScenario& scenario,
         } else {
           ++dropped;
         }
+      } else if (item.kind == fleet::FleetItem::Kind::kLifecycle) {
+        proxy.on_lifecycle(item.client_id, item.lifecycle_cmd, item.ts);
       } else {
         proxy.on_auth_payload(item.client_id, item.payload, item.ts);
       }
@@ -262,6 +264,9 @@ ProxyResult run_batch_leg(const fleet::FleetScenario& scenario,
           if (item.kind == fleet::FleetItem::Kind::kPacket) {
             pkts.push_back(item.pkt);
             labels.push_back(item.attack);
+          } else if (item.kind == fleet::FleetItem::Kind::kLifecycle) {
+            flush();
+            proxy.on_lifecycle(item.client_id, item.lifecycle_cmd, item.ts);
           } else {
             flush();
             proxy.on_auth_payload(item.client_id, item.payload, item.ts);

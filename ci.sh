@@ -117,6 +117,27 @@ attack_smoke() {
   echo "==> [normal] attack smoke ok"
 }
 
+# Churn smoke: run the credential-lifecycle matrix in quick mode TWICE (its
+# zero-lockout / bounded-revocation-latency / byte-identity gates are
+# enforced by the bench itself), require the two BENCH_churn.json artifacts
+# byte-identical (lifecycle inherits the fleet determinism contract), and
+# validate with the strict parser.
+churn_smoke() {
+  dir="$1"
+  echo "==> [normal] churn smoke"
+  bench_bin="$(pwd)/$dir/bench/bench_churn"
+  validate_bin="$(pwd)/$dir/tools/fiat_json_validate"
+  for run in 1 2; do
+    smoke="$dir/churn-smoke-$run"
+    mkdir -p "$smoke"
+    (cd "$smoke" && "$bench_bin" --quick >/dev/null)
+  done
+  cmp "$dir/churn-smoke-1/BENCH_churn.json" \
+      "$dir/churn-smoke-2/BENCH_churn.json"
+  "$validate_bin" "$dir/churn-smoke-1/BENCH_churn.json"
+  echo "==> [normal] churn smoke ok"
+}
+
 # Correlation smoke: run a single-class campaign through the fleet CLI with
 # the correlator on TWICE, require the two correlation reports byte-identical
 # (the observatory inherits the fleet determinism contract), and validate
@@ -165,6 +186,7 @@ case "$LEG" in
     recovery_smoke build
     cluster_smoke build
     attack_smoke build
+    churn_smoke build
     correlation_smoke build
     ;;
 esac
@@ -180,7 +202,7 @@ esac
 case "$LEG" in
   tsan|all)
     TSAN_OPTIONS="halt_on_error=1" \
-      run_leg tsan build-tsan "-L concurrency|recovery|cluster|attack|correlation" -DFIAT_SANITIZE=thread
+      run_leg tsan build-tsan "-L concurrency|recovery|cluster|attack|correlation|lifecycle" -DFIAT_SANITIZE=thread
     ;;
 esac
 

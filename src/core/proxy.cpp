@@ -56,7 +56,8 @@ ProxyCounters& ProxyCounters::operator+=(const ProxyCounters& o) {
 }
 
 FiatProxy::FiatProxy(ProxyConfig config, HumannessVerifier humanness)
-    : config_(config), humanness_(std::move(humanness)) {
+    : config_(config), humanness_(std::move(humanness)),
+      credentials_(config.lifecycle) {
   if (!config_.rules.dns) config_.rules.dns = dns_.get();
   simd_ready_ = config_.simd && simd::available();
 }
@@ -109,7 +110,27 @@ void FiatProxy::add_device(ProxyDevice device) {
 
 void FiatProxy::pair_phone(const std::string& client_id,
                            std::span<const std::uint8_t> psk) {
-  phone_keys_[client_id] = keystore_.import_key(psk, "phone:" + client_id);
+  credentials_.install_static(keystore_, client_id, psk);
+}
+
+void FiatProxy::register_enrollable(const std::string& client_id,
+                                    std::span<const std::uint8_t> setup_code) {
+  credentials_.register_setup_code(client_id, setup_code);
+}
+
+crypto::CredentialRegistry::ApplyResult FiatProxy::on_lifecycle(
+    const std::string& client_id, const crypto::LifecycleCommand& cmd,
+    double now) {
+  auto result = credentials_.apply(keystore_, client_id, cmd, now);
+  // Lifecycle ops are rare (orders of magnitude below packets), so their
+  // telemetry goes through the registry by name like proof outcomes do.
+  if (telemetry_) {
+    telemetry_->metrics
+        .counter(std::string("proxy.lifecycle.") +
+                 crypto::lifecycle_op_name(cmd.op))
+        .inc();
+  }
+  return result;
 }
 
 void FiatProxy::add_dag_edge(net::Ipv4Addr src, net::Ipv4Addr dst) {
@@ -779,11 +800,23 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   auto proof_outcome = [&](const char* name) {
     if (telemetry_) telemetry_->metrics.counter(name).inc();
   };
-  auto key_it = phone_keys_.find(client_id);
-  if (key_it == phone_keys_.end()) {
+  if (!credentials_.known_client(client_id)) {
     ++proofs_bad_sig_;
     ++proof_rejections_[client_id];
     proof_outcome("proxy.proofs_rejected_signature");
+    return std::nullopt;
+  }
+  // A *known* pairing whose lifecycle state forbids use right now: revoked,
+  // expired, or enrollment not yet complete. Counted apart from signature
+  // failures — the delta between a revocation's effective time and the first
+  // entry in first_lifecycle_reject_ts_ is the observed revocation latency.
+  std::vector<crypto::KeyHandle> handles =
+      credentials_.usable_handles(client_id, now);
+  if (handles.empty()) {
+    ++proofs_lifecycle_;
+    ++proof_rejections_[client_id];
+    first_lifecycle_reject_ts_.try_emplace(client_id, now);
+    proof_outcome("proxy.proofs_rejected_lifecycle");
     return std::nullopt;
   }
   if (payload.size() < 8) {
@@ -795,7 +828,13 @@ std::optional<AuthMessage> FiatProxy::on_auth_payload(
   util::ByteReader r(payload);
   std::uint64_t seq = r.u64be();
   auto sealed = r.raw(r.remaining());
-  auto msg = open_auth_message(keystore_, key_it->second, seq, sealed);
+  // Newest generation first; during a rotation-overlap window the retiring
+  // key still verifies, so a proof sealed just before the rotation passes.
+  std::optional<AuthMessage> msg;
+  for (crypto::KeyHandle handle : handles) {
+    msg = open_auth_message(keystore_, handle, seq, sealed);
+    if (msg) break;
+  }
   if (!msg) {
     ++proofs_bad_sig_;
     ++proof_rejections_[client_id];
@@ -1016,6 +1055,18 @@ void FiatProxy::encode_durable_state(util::ByteWriter& w) const {
     write_string(w, client);
     w.u64be(n);
   }
+
+  // -- credential lifecycle (state version 4) -------------------------------
+  // The registry serializes its own maps (sorted) including pending
+  // enrollments: a crash between EnrollBegin and EnrollComplete restores the
+  // issued challenge, so the journaled EnrollComplete still verifies.
+  credentials_.encode(w);
+  w.u64be(proofs_lifecycle_);
+  w.u32be(static_cast<std::uint32_t>(first_lifecycle_reject_ts_.size()));
+  for (const auto& [client, ts] : first_lifecycle_reject_ts_) {  // sorted
+    write_string(w, client);
+    w.f64be(ts);
+  }
 }
 
 void FiatProxy::decode_durable_state(util::ByteReader& r) {
@@ -1162,6 +1213,17 @@ void FiatProxy::decode_durable_state(util::ByteReader& r) {
   for (std::uint32_t i = 0; i < rej_count; ++i) {
     std::string client = read_string(r);
     proof_rejections_[std::move(client)] = r.u64be();
+  }
+
+  // Re-imports live credential material into the keystore; the handles the
+  // spec-built proxy installed are superseded (never reachable again).
+  credentials_.decode(r, keystore_);
+  proofs_lifecycle_ = r.u64be();
+  first_lifecycle_reject_ts_.clear();
+  std::uint32_t lc_count = r.u32be();
+  for (std::uint32_t i = 0; i < lc_count; ++i) {
+    std::string client = read_string(r);
+    first_lifecycle_reject_ts_[std::move(client)] = r.f64be();
   }
 }
 

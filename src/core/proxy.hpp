@@ -35,6 +35,7 @@
 #include "core/manual_classifier.hpp"
 #include "core/rules.hpp"
 #include "crypto/keystore.hpp"
+#include "crypto/lifecycle.hpp"
 #include "telemetry/sink.hpp"
 
 namespace fiat::core {
@@ -133,6 +134,11 @@ struct ProxyConfig {
   /// from the CLI's --simd on|off|auto; ignored when the build carries no
   /// vector ISA (simd::available() is false).
   bool simd = true;
+
+  // ---- credential lifecycle (crypto/lifecycle.hpp, DESIGN.md §16) --------
+  /// Rotation overlap / enrollment TTL / credential expiry for the proxy's
+  /// credential registry.
+  crypto::LifecycleConfig lifecycle;
 };
 
 struct ProxyDevice {
@@ -209,8 +215,14 @@ class FiatProxy {
 
   // ---- setup -------------------------------------------------------------
   void add_device(ProxyDevice device);
-  /// Pairs a phone: imports the shared key into the proxy's TEE keystore.
+  /// Pairs a phone statically (the seed path): installs a generation-0
+  /// credential whose key goes straight into the proxy's TEE keystore.
   void pair_phone(const std::string& client_id, std::span<const std::uint8_t> psk);
+  /// Registers the out-of-band setup code for a phone that will enroll via
+  /// the lifecycle protocol instead of being pre-provisioned. No proof from
+  /// this client verifies until enrollment completes.
+  void register_enrollable(const std::string& client_id,
+                           std::span<const std::uint8_t> setup_code);
   void add_dag_edge(net::Ipv4Addr src, net::Ipv4Addr dst);
   /// The proxy's passive DNS view (fed by observed DNS responses; rules use
   /// it for the PortLess bucket keys).
@@ -243,6 +255,15 @@ class FiatProxy {
   std::optional<AuthMessage> on_auth_payload(const std::string& client_id,
                                              std::span<const std::uint8_t> payload,
                                              double now, const AttackLabel& label);
+
+  /// Applies one credential-lifecycle command (enroll begin/complete,
+  /// rotate, revoke) at sim time `now`. Fleet items of Kind::kLifecycle land
+  /// here; the QUIC enrollment session (fleet/enrollment.hpp) produces the
+  /// enroll commands from datagrams. Idempotent for revocations, so restores
+  /// can re-drive the fleet revocation ledger without perturbing state.
+  crypto::CredentialRegistry::ApplyResult on_lifecycle(
+      const std::string& client_id, const crypto::LifecycleCommand& cmd,
+      double now);
 
   /// Batched data path (DESIGN.md §15): byte-identical to calling process()
   /// per packet in order — same verdicts, decision log, counters, ledger,
@@ -324,6 +345,17 @@ class FiatProxy {
   std::size_t degraded_allows() const { return degraded_allows_; }
   /// Would-be lockout violations forgiven by kGrace while degraded.
   std::size_t violations_forgiven() const { return violations_forgiven_; }
+  /// Proofs rejected because the client's credentials were revoked, expired
+  /// or not yet enrolled (distinct from signature failures: the pairing is
+  /// *known*, its lifecycle state just forbids use).
+  std::size_t proofs_rejected_lifecycle() const { return proofs_lifecycle_; }
+  /// Per-client sim time of the FIRST lifecycle-rejected proof — with the
+  /// revocation's effective time this measures observed revocation latency.
+  const std::map<std::string, double>& first_lifecycle_reject_ts() const {
+    return first_lifecycle_reject_ts_;
+  }
+  /// The credential registry (enrollment/rotation/revocation bookkeeping).
+  const crypto::CredentialRegistry& credentials() const { return credentials_; }
   /// Ground-truth attack accounting (empty unless labeled traffic ran).
   const AttackLedger& attack_ledger() const { return ledger_; }
   /// Events the mimicry guard escalated to the humanness gate.
@@ -459,7 +491,10 @@ class FiatProxy {
   ProxyConfig config_;
   HumannessVerifier humanness_;
   crypto::KeyStore keystore_;  // the proxy's SGX-style enclave store
-  std::map<std::string, crypto::KeyHandle> phone_keys_;
+  /// Phone pairings with their full lifecycle (generations, pending
+  /// enrollments); replaces the old flat client -> handle map. Durable
+  /// (state version 4).
+  crypto::CredentialRegistry credentials_;
   std::map<std::uint32_t, DeviceState> devices_;  // by device IP
   /// Flat (ip, state) mirror of devices_ for the hot path: homes have a
   /// handful of devices, so a linear scan beats two map descents per packet.
@@ -512,6 +547,10 @@ class FiatProxy {
   // Fleet-correlation signals (durable, state version 3).
   std::map<std::uint64_t, std::uint64_t> escalation_signatures_;
   std::map<std::string, std::uint64_t> proof_rejections_;  // per client
+
+  // Credential-lifecycle rejections (durable, state version 4).
+  std::size_t proofs_lifecycle_ = 0;
+  std::map<std::string, double> first_lifecycle_reject_ts_;  // per client
 
   // Telemetry (optional; cached metric pointers, see set_telemetry()).
   telemetry::Sink* telemetry_ = nullptr;

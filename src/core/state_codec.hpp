@@ -44,7 +44,10 @@ inline constexpr std::uint32_t kStateMagic = 0x46534e50;  // "FSNP"
 // counters, and per-device mimicry bookkeeping (event_costume/escalated).
 // v3: fleet-correlation signals — per-device pending costume signatures,
 // the home's escalation-signature sketch, and per-client proof rejections.
-inline constexpr std::uint16_t kStateVersion = 3;
+// v4: credential lifecycle — the per-client credential registry
+// (generations, pending enrollments, revocations), lifecycle-rejection
+// counters, and the widened AttackLedger (kRevokedCredential class).
+inline constexpr std::uint16_t kStateVersion = 4;
 /// Envelope bytes before the payload (magic..payload_len).
 inline constexpr std::size_t kStateHeaderSize = 20;
 inline constexpr std::size_t kStateChecksumSize = 8;

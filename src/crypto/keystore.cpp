@@ -1,10 +1,15 @@
 #include "crypto/keystore.hpp"
 
+#include <algorithm>
+
 #include "crypto/hkdf.hpp"
 #include "crypto/hmac.hpp"
 #include "util/error.hpp"
 
 namespace fiat::crypto {
+
+KeyStore::KeyStore(std::size_t audit_capacity)
+    : audit_capacity_(audit_capacity == 0 ? 1 : audit_capacity) {}
 
 KeyHandle KeyStore::import_key(std::span<const std::uint8_t> material,
                                std::string label) {
@@ -31,19 +36,33 @@ const KeyStore::Entry& KeyStore::entry(KeyHandle handle) const {
   return it->second;
 }
 
-void KeyStore::audit(KeyHandle handle, std::string op, bool success) {
+const KeyStore::Entry& KeyStore::usable_entry(KeyHandle handle) const {
+  const Entry& e = entry(handle);
+  if (e.revoked) {
+    // A denied access is exactly what a tamper-evident log exists to show.
+    audit(handle, "denied", false);
+    throw CryptoError("KeyStore: key revoked: " + e.label);
+  }
+  return e;
+}
+
+void KeyStore::audit(KeyHandle handle, std::string op, bool success) const {
+  if (audit_.size() >= audit_capacity_) {
+    audit_.pop_front();
+    ++audit_dropped_;
+  }
   audit_.push_back(AuditEntry{handle, std::move(op), success});
 }
 
 Digest256 KeyStore::sign(KeyHandle handle, std::span<const std::uint8_t> data) {
-  const auto& e = entry(handle);
+  const auto& e = usable_entry(handle);
   audit(handle, "sign", true);
   return hmac_sha256(e.material, data);
 }
 
 bool KeyStore::verify(KeyHandle handle, std::span<const std::uint8_t> data,
                       std::span<const std::uint8_t> signature) {
-  const auto& e = entry(handle);
+  const auto& e = usable_entry(handle);
   Digest256 expect = hmac_sha256(e.material, data);
   bool ok = constant_time_equal(signature, expect);
   audit(handle, "verify", ok);
@@ -53,7 +72,7 @@ bool KeyStore::verify(KeyHandle handle, std::span<const std::uint8_t> data,
 std::vector<std::uint8_t> KeyStore::seal(KeyHandle handle, std::uint64_t seq,
                                          std::span<const std::uint8_t> aad,
                                          std::span<const std::uint8_t> plaintext) {
-  const auto& e = entry(handle);
+  const auto& e = usable_entry(handle);
   Aead aead(e.material);
   audit(handle, "seal", true);
   return aead.seal(Aead::nonce_from_seq(seq), aad, plaintext);
@@ -62,7 +81,7 @@ std::vector<std::uint8_t> KeyStore::seal(KeyHandle handle, std::uint64_t seq,
 std::optional<std::vector<std::uint8_t>> KeyStore::open(
     KeyHandle handle, std::uint64_t seq, std::span<const std::uint8_t> aad,
     std::span<const std::uint8_t> sealed) {
-  const auto& e = entry(handle);
+  const auto& e = usable_entry(handle);
   Aead aead(e.material);
   auto out = aead.open(Aead::nonce_from_seq(seq), aad, sealed);
   audit(handle, "open", out.has_value());
@@ -83,6 +102,25 @@ std::optional<std::string> KeyStore::label(KeyHandle handle) const {
   auto it = keys_.find(handle);
   if (it == keys_.end()) return std::nullopt;
   return it->second.label;
+}
+
+void KeyStore::revoke_key(KeyHandle handle) {
+  auto it = keys_.find(handle);
+  if (it == keys_.end()) throw CryptoError("KeyStore: unknown key handle");
+  if (it->second.revoked) {
+    audit(handle, "revoke", false);
+    throw CryptoError("KeyStore: key already revoked: " + it->second.label);
+  }
+  it->second.revoked = true;
+  // The material is gone for good: a warm restore re-imports only what the
+  // durable lifecycle state says is still live.
+  std::fill(it->second.material.begin(), it->second.material.end(),
+            std::uint8_t{0});
+  audit(handle, "revoke", true);
+}
+
+bool KeyStore::is_revoked(KeyHandle handle) const {
+  return entry(handle).revoked;
 }
 
 }  // namespace fiat::crypto

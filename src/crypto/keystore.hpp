@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <span>
@@ -27,9 +28,15 @@ class KeyStore {
  public:
   struct AuditEntry {
     KeyHandle handle;
-    std::string operation;  // "generate", "import", "sign", "verify", "seal", "open"
+    std::string operation;  // "generate", "import", "sign", "verify", "seal",
+                            // "open", "revoke", "denied" (use after revoke)
     bool success;
   };
+
+  /// `audit_capacity` bounds the audit log (a TEE has finite tamper-evident
+  /// storage); once full, the oldest entries are dropped and counted.
+  /// 0 is clamped to 1.
+  explicit KeyStore(std::size_t audit_capacity = kDefaultAuditCapacity);
 
   /// Imports 32 bytes of key material; returns an opaque handle.
   KeyHandle import_key(std::span<const std::uint8_t> material, std::string label);
@@ -60,20 +67,36 @@ class KeyStore {
   /// Label lookup (labels are not secret).
   std::optional<std::string> label(KeyHandle handle) const;
 
-  const std::vector<AuditEntry>& audit_log() const { return audit_; }
+  /// Marks the handle unusable: any later sign/verify/seal/open throws.
+  /// Unknown handles and double-revokes throw (the lifecycle layer must
+  /// never lose track of which credentials it already tore down).
+  void revoke_key(KeyHandle handle);
+  bool is_revoked(KeyHandle handle) const;
+
+  const std::deque<AuditEntry>& audit_log() const { return audit_; }
+  /// Entries evicted from the front of the audit ring since construction.
+  std::size_t audit_dropped() const { return audit_dropped_; }
+  std::size_t audit_capacity() const { return audit_capacity_; }
   std::size_t key_count() const { return keys_.size(); }
+
+  static constexpr std::size_t kDefaultAuditCapacity = 4096;
 
  private:
   struct Entry {
     std::vector<std::uint8_t> material;
     std::string label;
+    bool revoked = false;
   };
   const Entry& entry(KeyHandle handle) const;
-  void audit(KeyHandle handle, std::string op, bool success);
+  const Entry& usable_entry(KeyHandle handle) const;
+  void audit(KeyHandle handle, std::string op, bool success) const;
 
   std::map<KeyHandle, Entry> keys_;
   KeyHandle next_handle_ = 1;
-  std::vector<AuditEntry> audit_;
+  std::size_t audit_capacity_ = kDefaultAuditCapacity;
+  // Mutable: denied accesses on revoked keys are audited from const paths.
+  mutable std::deque<AuditEntry> audit_;
+  mutable std::size_t audit_dropped_ = 0;
 };
 
 }  // namespace fiat::crypto

@@ -1,0 +1,378 @@
+#include "crypto/lifecycle.hpp"
+
+#include <algorithm>
+
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "util/error.hpp"
+
+namespace fiat::crypto {
+
+namespace {
+
+std::array<std::uint8_t, 32> to_key(const Digest256& d) {
+  std::array<std::uint8_t, 32> out{};
+  std::copy(d.begin(), d.end(), out.begin());
+  return out;
+}
+
+std::array<std::uint8_t, 32> to_key(const std::vector<std::uint8_t>& v) {
+  std::array<std::uint8_t, 32> out{};
+  std::copy_n(v.begin(), 32, out.begin());
+  return out;
+}
+
+void append_u32be(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+void write_str(util::ByteWriter& w, const std::string& s) {
+  w.u32be(static_cast<std::uint32_t>(s.size()));
+  w.raw(s);
+}
+
+std::string read_str(util::ByteReader& r) {
+  std::uint32_t n = r.u32be();
+  return r.str(n);
+}
+
+}  // namespace
+
+const char* credential_status_name(CredentialStatus status) {
+  switch (status) {
+    case CredentialStatus::kActive: return "active";
+    case CredentialStatus::kRetiring: return "retiring";
+    case CredentialStatus::kRevoked: return "revoked";
+  }
+  return "?";
+}
+
+const char* lifecycle_op_name(LifecycleCommand::Op op) {
+  switch (op) {
+    case LifecycleCommand::Op::kEnrollBegin: return "enroll-begin";
+    case LifecycleCommand::Op::kEnrollComplete: return "enroll-complete";
+    case LifecycleCommand::Op::kRotate: return "rotate";
+    case LifecycleCommand::Op::kRevoke: return "revoke";
+  }
+  return "?";
+}
+
+std::array<std::uint8_t, 32> derive_enroll_challenge(
+    std::span<const std::uint8_t> setup_code, const std::string& client_id,
+    const std::string& temp_id) {
+  std::vector<std::uint8_t> msg;
+  const std::string_view domain = "fiat enroll challenge";
+  msg.insert(msg.end(), domain.begin(), domain.end());
+  append_u32be(msg, static_cast<std::uint32_t>(client_id.size()));
+  msg.insert(msg.end(), client_id.begin(), client_id.end());
+  msg.insert(msg.end(), temp_id.begin(), temp_id.end());
+  return to_key(hmac_sha256(setup_code, msg));
+}
+
+std::array<std::uint8_t, 32> derive_enroll_proof(
+    std::span<const std::uint8_t> setup_code,
+    std::span<const std::uint8_t> challenge) {
+  std::vector<std::uint8_t> msg;
+  const std::string_view domain = "fiat enroll proof";
+  msg.insert(msg.end(), domain.begin(), domain.end());
+  msg.insert(msg.end(), challenge.begin(), challenge.end());
+  return to_key(hmac_sha256(setup_code, msg));
+}
+
+std::array<std::uint8_t, 32> derive_credential_key(
+    std::span<const std::uint8_t> setup_code,
+    std::span<const std::uint8_t> challenge, std::uint32_t generation) {
+  std::string info = "fiat credential g" + std::to_string(generation);
+  return to_key(hkdf(challenge, setup_code, info, 32));
+}
+
+std::array<std::uint8_t, 32> derive_rotation_key(
+    std::span<const std::uint8_t> current_key, std::uint32_t new_generation) {
+  std::string info = "fiat rotation g" + std::to_string(new_generation);
+  return to_key(hkdf({}, current_key, info, 32));
+}
+
+std::array<std::uint8_t, 32> derive_rotation_proof(
+    std::span<const std::uint8_t> current_key, std::uint32_t new_generation) {
+  std::vector<std::uint8_t> msg;
+  const std::string_view domain = "fiat rotate proof";
+  msg.insert(msg.end(), domain.begin(), domain.end());
+  append_u32be(msg, new_generation);
+  return to_key(hmac_sha256(current_key, msg));
+}
+
+// ---- CredentialRegistry ---------------------------------------------------
+
+void CredentialRegistry::install_static(KeyStore& keystore,
+                                        const std::string& client_id,
+                                        std::span<const std::uint8_t> psk) {
+  if (psk.size() != 32) throw CryptoError("lifecycle: setup/psk must be 32 bytes");
+  ClientState& st = credentials_[client_id];
+  if (!st.generations.empty())
+    throw CryptoError("lifecycle: client already has credentials: " + client_id);
+  CredentialRecord rec;
+  rec.generation = 0;
+  rec.status = CredentialStatus::kActive;
+  std::copy(psk.begin(), psk.end(), rec.material.begin());
+  rec.handle = keystore.import_key(psk, "phone:" + client_id);
+  st.generations.push_back(rec);
+}
+
+void CredentialRegistry::register_setup_code(
+    const std::string& client_id, std::span<const std::uint8_t> setup_code) {
+  if (setup_code.size() != 32)
+    throw CryptoError("lifecycle: setup/psk must be 32 bytes");
+  ClientState& st = credentials_[client_id];
+  std::copy(setup_code.begin(), setup_code.end(), st.setup_code.begin());
+  st.has_setup_code = true;
+}
+
+CredentialRegistry::ApplyResult CredentialRegistry::reject() {
+  ++commands_rejected_;
+  return ApplyResult::kRejected;
+}
+
+CredentialRegistry::ApplyResult CredentialRegistry::apply(
+    KeyStore& keystore, const std::string& client_id,
+    const LifecycleCommand& cmd, double now) {
+  switch (cmd.op) {
+    case LifecycleCommand::Op::kEnrollBegin:
+      return enroll_begin(client_id, cmd, now);
+    case LifecycleCommand::Op::kEnrollComplete:
+      return enroll_complete(keystore, client_id, cmd, now);
+    case LifecycleCommand::Op::kRotate:
+      return rotate(keystore, client_id, cmd, now);
+    case LifecycleCommand::Op::kRevoke:
+      return revoke(client_id, cmd);
+  }
+  return reject();
+}
+
+CredentialRegistry::ApplyResult CredentialRegistry::enroll_begin(
+    const std::string& client_id, const LifecycleCommand& cmd, double now) {
+  auto it = credentials_.find(client_id);
+  if (it == credentials_.end() || !it->second.has_setup_code) return reject();
+  if (!it->second.generations.empty()) return reject();  // already enrolled
+  // Re-begin replaces the pending challenge (idempotent for journal replay:
+  // the same temp_id at the same time re-derives the same challenge).
+  PendingEnrollment pending;
+  pending.temp_id = cmd.temp_id;
+  pending.challenge =
+      derive_enroll_challenge(it->second.setup_code, client_id, cmd.temp_id);
+  pending.begun_at = now;
+  auto [pit, inserted] = pending_.insert_or_assign(client_id, std::move(pending));
+  (void)pit;
+  if (inserted) ++enrollments_started_;
+  return ApplyResult::kEnrollStarted;
+}
+
+CredentialRegistry::ApplyResult CredentialRegistry::enroll_complete(
+    KeyStore& keystore, const std::string& client_id,
+    const LifecycleCommand& cmd, double now) {
+  auto cit = credentials_.find(client_id);
+  auto pit = pending_.find(client_id);
+  if (cit == credentials_.end() || pit == pending_.end()) return reject();
+  const PendingEnrollment& pending = pit->second;
+  if (config_.enrollment_ttl > 0.0 &&
+      now > pending.begun_at + config_.enrollment_ttl) {
+    // Stale challenge: roll the half-open enrollment back cleanly.
+    pending_.erase(pit);
+    return reject();
+  }
+  auto expect = derive_enroll_proof(cit->second.setup_code, pending.challenge);
+  if (!constant_time_equal(cmd.proof, expect)) return reject();
+  CredentialRecord rec;
+  rec.generation = 0;
+  rec.status = CredentialStatus::kActive;
+  rec.enrolled_at = now;
+  rec.material =
+      derive_credential_key(cit->second.setup_code, pending.challenge, 0);
+  rec.handle = keystore.import_key(rec.material, "phone:" + client_id);
+  cit->second.generations.push_back(rec);
+  pending_.erase(pit);
+  ++enrollments_completed_;
+  return ApplyResult::kEnrolled;
+}
+
+CredentialRegistry::ApplyResult CredentialRegistry::rotate(
+    KeyStore& keystore, const std::string& client_id,
+    const LifecycleCommand& cmd, double now) {
+  auto cit = credentials_.find(client_id);
+  if (cit == credentials_.end() || cit->second.generations.empty())
+    return reject();
+  CredentialRecord& current = cit->second.generations.back();
+  if (current.status != CredentialStatus::kActive) return reject();
+  std::uint32_t next_gen = current.generation + 1;
+  auto expect = derive_rotation_proof(current.material, next_gen);
+  if (!constant_time_equal(cmd.proof, expect)) return reject();
+  CredentialRecord rec;
+  rec.generation = next_gen;
+  rec.status = CredentialStatus::kActive;
+  rec.enrolled_at = now;
+  rec.material = derive_rotation_key(current.material, next_gen);
+  rec.handle = keystore.import_key(
+      rec.material, "phone:" + client_id + ":g" + std::to_string(next_gen));
+  current.status = CredentialStatus::kRetiring;
+  current.retire_at = now + config_.rotation_overlap;
+  cit->second.generations.push_back(rec);
+  ++rotations_completed_;
+  return ApplyResult::kRotated;
+}
+
+CredentialRegistry::ApplyResult CredentialRegistry::revoke(
+    const std::string& client_id, const LifecycleCommand& cmd) {
+  auto cit = credentials_.find(client_id);
+  if (cit == credentials_.end()) return reject();
+  bool changed = false;
+  for (CredentialRecord& rec : cit->second.generations) {
+    if (rec.status == CredentialStatus::kRevoked) continue;
+    rec.status = CredentialStatus::kRevoked;
+    rec.revoked_at = cmd.effective_ts;
+    changed = true;
+  }
+  // Abandon any half-open enrollment too: a revoked client cannot finish.
+  changed |= pending_.erase(client_id) > 0;
+  if (!changed) return ApplyResult::kNoop;  // idempotent re-apply
+  ++revocations_applied_;
+  return ApplyResult::kRevoked;
+}
+
+std::vector<KeyHandle> CredentialRegistry::usable_handles(
+    const std::string& client_id, double now) const {
+  std::vector<KeyHandle> out;
+  auto cit = credentials_.find(client_id);
+  if (cit == credentials_.end()) return out;
+  for (auto it = cit->second.generations.rbegin();
+       it != cit->second.generations.rend(); ++it) {
+    const CredentialRecord& rec = *it;
+    switch (rec.status) {
+      case CredentialStatus::kActive:
+        break;
+      case CredentialStatus::kRetiring:
+        if (now > rec.retire_at) continue;
+        break;
+      case CredentialStatus::kRevoked:
+        if (now >= rec.revoked_at) continue;
+        break;
+    }
+    if (config_.credential_ttl > 0.0 &&
+        now > rec.enrolled_at + config_.credential_ttl)
+      continue;  // expired (evaluative only; nothing mutates)
+    out.push_back(rec.handle);
+  }
+  return out;
+}
+
+bool CredentialRegistry::known_client(const std::string& client_id) const {
+  return credentials_.count(client_id) > 0;
+}
+
+bool CredentialRegistry::has_credentials(const std::string& client_id) const {
+  auto cit = credentials_.find(client_id);
+  return cit != credentials_.end() && !cit->second.generations.empty();
+}
+
+std::optional<double> CredentialRegistry::revoked_since(
+    const std::string& client_id) const {
+  auto cit = credentials_.find(client_id);
+  if (cit == credentials_.end() || cit->second.generations.empty())
+    return std::nullopt;
+  double latest = 0.0;
+  for (const CredentialRecord& rec : cit->second.generations) {
+    if (rec.status != CredentialStatus::kRevoked) return std::nullopt;
+    latest = std::max(latest, rec.revoked_at);
+  }
+  return latest;
+}
+
+// ---- durable serialization ------------------------------------------------
+
+void CredentialRegistry::encode(util::ByteWriter& w) const {
+  w.u32be(static_cast<std::uint32_t>(credentials_.size()));
+  for (const auto& [client, st] : credentials_) {
+    write_str(w, client);
+    w.u8(st.has_setup_code ? 1 : 0);
+    if (st.has_setup_code) w.raw(st.setup_code);
+    w.u32be(static_cast<std::uint32_t>(st.generations.size()));
+    for (const CredentialRecord& rec : st.generations) {
+      w.u32be(rec.generation);
+      w.u8(static_cast<std::uint8_t>(rec.status));
+      w.f64be(rec.enrolled_at);
+      w.f64be(rec.retire_at);
+      w.f64be(rec.revoked_at);
+      w.raw(rec.material);
+    }
+  }
+  w.u32be(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [client, pending] : pending_) {
+    write_str(w, client);
+    write_str(w, pending.temp_id);
+    w.raw(pending.challenge);
+    w.f64be(pending.begun_at);
+  }
+  w.u64be(enrollments_started_);
+  w.u64be(enrollments_completed_);
+  w.u64be(rotations_completed_);
+  w.u64be(revocations_applied_);
+  w.u64be(commands_rejected_);
+}
+
+void CredentialRegistry::decode(util::ByteReader& r, KeyStore& keystore) {
+  credentials_.clear();
+  pending_.clear();
+  std::uint32_t clients = r.u32be();
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    std::string client = read_str(r);
+    ClientState st;
+    st.has_setup_code = r.u8() != 0;
+    if (st.has_setup_code) {
+      auto raw = r.raw(32);
+      std::copy(raw.begin(), raw.end(), st.setup_code.begin());
+    }
+    std::uint32_t gens = r.u32be();
+    for (std::uint32_t g = 0; g < gens; ++g) {
+      CredentialRecord rec;
+      rec.generation = r.u32be();
+      std::uint8_t status = r.u8();
+      if (status < 1 || status > 3)
+        throw ParseError("lifecycle: bad credential status");
+      rec.status = static_cast<CredentialStatus>(status);
+      rec.enrolled_at = r.f64be();
+      rec.retire_at = r.f64be();
+      rec.revoked_at = r.f64be();
+      auto raw = r.raw(32);
+      std::copy(raw.begin(), raw.end(), rec.material.begin());
+      // Import even revoked records: inside the bounded revocation window
+      // (now < revoked_at) the credential still verifies, and a restore that
+      // lands in that window must behave byte-identically to the uncrashed
+      // run. usable_handles() is the gate that kills it at effective time.
+      rec.handle = keystore.import_key(
+          rec.material,
+          rec.generation == 0
+              ? "phone:" + client
+              : "phone:" + client + ":g" + std::to_string(rec.generation));
+      st.generations.push_back(rec);
+    }
+    credentials_.emplace(std::move(client), std::move(st));
+  }
+  std::uint32_t pendings = r.u32be();
+  for (std::uint32_t i = 0; i < pendings; ++i) {
+    std::string client = read_str(r);
+    PendingEnrollment pending;
+    pending.temp_id = read_str(r);
+    auto raw = r.raw(32);
+    std::copy(raw.begin(), raw.end(), pending.challenge.begin());
+    pending.begun_at = r.f64be();
+    pending_.emplace(std::move(client), std::move(pending));
+  }
+  enrollments_started_ = r.u64be();
+  enrollments_completed_ = r.u64be();
+  rotations_completed_ = r.u64be();
+  revocations_applied_ = r.u64be();
+  commands_rejected_ = r.u64be();
+}
+
+}  // namespace fiat::crypto

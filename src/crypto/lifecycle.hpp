@@ -1,0 +1,222 @@
+// Credential lifecycle for phone/proxy pairings (PION-style onboarding).
+//
+// The seed fleet was static: every pairing key existed from t=0, imported
+// straight into the KeyStore. This module adds the missing trust lifecycle
+// the ROADMAP names — enrollment (temporary identity -> challenge/response
+// against the home authenticator -> credential issuance), rotation (an
+// overlap window where the old and new credential both verify, then the old
+// one retires), revocation (all generations stop verifying at a bounded
+// effective time) and expiry (credentials age out after a TTL).
+//
+// Everything is deterministic: the challenge, the enrollment proof and every
+// credential key are HKDF/HMAC derivations from the out-of-band setup code
+// (the QR-code secret of the paper's pairing UX), so the phone side and the
+// proxy side independently derive identical key material and **no key bytes
+// ever cross the wire**. That is also what makes the whole registry durable:
+// the proxy's sealed state snapshot (core/state_codec.hpp, the stand-in for
+// TEE-sealed storage) carries the registry, and a warm restore re-imports
+// the material into a fresh KeyStore and resumes mid-enrollment sessions
+// from the journal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/keystore.hpp"
+#include "util/bytes.hpp"
+
+namespace fiat::crypto {
+
+enum class CredentialStatus : std::uint8_t {
+  kActive = 1,    // verifies proofs
+  kRetiring = 2,  // rotation overlap: verifies until retire_at
+  kRevoked = 3,   // never verifies once now >= revoked_at
+};
+
+const char* credential_status_name(CredentialStatus status);
+
+/// Tuning knobs for the proxy-side registry (part of ProxyConfig).
+struct LifecycleConfig {
+  /// Seconds after a rotation during which the previous generation still
+  /// verifies (a proof sealed with the old key just before the rotation must
+  /// not lock the user out).
+  double rotation_overlap = 30.0;
+  /// Seconds a pending enrollment (challenge issued, proof not yet seen)
+  /// stays answerable before it must be restarted.
+  double enrollment_ttl = 600.0;
+  /// Seconds a credential verifies after issuance; 0 = never expires.
+  double credential_ttl = 0.0;
+
+  bool operator==(const LifecycleConfig&) const = default;
+};
+
+/// One credential generation for one client. `material` is the durable
+/// truth; `handle` is the runtime KeyStore import and is rebuilt on restore.
+struct CredentialRecord {
+  std::uint32_t generation = 0;
+  CredentialStatus status = CredentialStatus::kActive;
+  double enrolled_at = 0.0;
+  double retire_at = 0.0;   // kRetiring: last instant this key verifies
+  double revoked_at = 0.0;  // kRevoked: first instant this key is dead
+  std::array<std::uint8_t, 32> material{};
+  KeyHandle handle = 0;  // runtime-only; not serialized
+};
+
+/// Challenge issued, proof not yet verified. Durable so a crash between
+/// EnrollBegin and EnrollComplete resumes instead of half-enrolling.
+struct PendingEnrollment {
+  std::string temp_id;
+  std::array<std::uint8_t, 32> challenge{};
+  double begun_at = 0.0;
+};
+
+/// The lifecycle operations a proxy accepts (fleet items of Kind::kLifecycle
+/// carry one of these; the QUIC enrollment session in fleet/enrollment.hpp
+/// produces the first two from datagrams).
+struct LifecycleCommand {
+  enum class Op : std::uint8_t {
+    kEnrollBegin = 1,    // temp_id announces itself; proxy issues challenge
+    kEnrollComplete = 2, // proof answers the challenge; credential issued
+    kRotate = 3,         // proof under the current key; next generation
+    kRevoke = 4,         // tear down every generation at effective_ts
+  };
+
+  Op op = Op::kEnrollBegin;
+  std::string temp_id;               // kEnrollBegin
+  std::vector<std::uint8_t> proof;   // kEnrollComplete / kRotate
+  double effective_ts = 0.0;         // kRevoke: when proofs must stop passing
+
+  bool operator==(const LifecycleCommand&) const = default;
+};
+
+const char* lifecycle_op_name(LifecycleCommand::Op op);
+
+// ---- deterministic derivations (phone side and proxy side run the same
+// ---- code; nothing below ever appears on the wire except the proofs) ------
+
+/// challenge = HMAC(setup_code, "fiat enroll challenge" || client || temp).
+std::array<std::uint8_t, 32> derive_enroll_challenge(
+    std::span<const std::uint8_t> setup_code, const std::string& client_id,
+    const std::string& temp_id);
+
+/// proof = HMAC(setup_code, "fiat enroll proof" || challenge).
+std::array<std::uint8_t, 32> derive_enroll_proof(
+    std::span<const std::uint8_t> setup_code,
+    std::span<const std::uint8_t> challenge);
+
+/// Generation-g credential key: HKDF(salt=challenge, ikm=setup_code).
+std::array<std::uint8_t, 32> derive_credential_key(
+    std::span<const std::uint8_t> setup_code,
+    std::span<const std::uint8_t> challenge, std::uint32_t generation);
+
+/// Next-generation key ratcheted from the current one (no wire bytes).
+std::array<std::uint8_t, 32> derive_rotation_key(
+    std::span<const std::uint8_t> current_key, std::uint32_t new_generation);
+
+/// proof = HMAC(current_key, "fiat rotate proof" || new_generation).
+std::array<std::uint8_t, 32> derive_rotation_proof(
+    std::span<const std::uint8_t> current_key, std::uint32_t new_generation);
+
+/// Per-client lifecycle bookkeeping for one home proxy. Owns no crypto —
+/// key material lives in the registry records and is imported into the
+/// proxy's KeyStore so verification still runs behind the TEE boundary.
+///
+/// Determinism contract: every mutation is keyed off the driving item's sim
+/// timestamp (never wall time), all maps are ordered, and apply() is
+/// idempotent for revocations — re-applying a revocation that durable state
+/// already carries is a no-op, which is what lets a restore re-drive the
+/// fleet-wide revocation ledger without perturbing byte-identity.
+class CredentialRegistry {
+ public:
+  /// Outcome of apply(); the proxy turns these into counters.
+  enum class ApplyResult : std::uint8_t {
+    kEnrollStarted,
+    kEnrolled,
+    kRotated,
+    kRevoked,
+    kNoop,      // idempotent re-apply (e.g. revoke of an already-revoked client)
+    kRejected,  // bad proof / unknown client / expired pending enrollment
+  };
+
+  explicit CredentialRegistry(LifecycleConfig config = {}) : config_(config) {}
+
+  const LifecycleConfig& config() const { return config_; }
+
+  /// Statically installs a generation-0 credential (the seed path:
+  /// HomeSpec phones pre-provisioned at t=0). Material is imported into
+  /// `keystore` immediately.
+  void install_static(KeyStore& keystore, const std::string& client_id,
+                      std::span<const std::uint8_t> psk);
+
+  /// Registers the out-of-band setup code for a client that will enroll
+  /// later (the QR-code scan of the pairing UX). No credential exists yet.
+  void register_setup_code(const std::string& client_id,
+                           std::span<const std::uint8_t> setup_code);
+
+  /// Applies one lifecycle command at sim time `now`. Issues/retires/revokes
+  /// credentials in the registry and (de)installs keys in `keystore`.
+  ApplyResult apply(KeyStore& keystore, const std::string& client_id,
+                    const LifecycleCommand& cmd, double now);
+
+  /// Key handles that verify a proof from `client_id` at time `now`, newest
+  /// generation first (rotation overlap = two handles). Empty when the
+  /// client is unknown, not yet enrolled, revoked or expired. Purely
+  /// evaluative: never mutates, so calling it cannot perturb the encoded
+  /// state (batch vs scalar segmentation invariance).
+  std::vector<KeyHandle> usable_handles(const std::string& client_id,
+                                        double now) const;
+
+  bool known_client(const std::string& client_id) const;
+  /// True when the client has at least one generation (enrolled or static).
+  bool has_credentials(const std::string& client_id) const;
+  /// First instant at which every generation of the client is dead, if the
+  /// client was revoked (max over revoked_at).
+  std::optional<double> revoked_since(const std::string& client_id) const;
+
+  std::size_t enrollments_started() const { return enrollments_started_; }
+  std::size_t enrollments_completed() const { return enrollments_completed_; }
+  std::size_t rotations_completed() const { return rotations_completed_; }
+  std::size_t revocations_applied() const { return revocations_applied_; }
+  std::size_t commands_rejected() const { return commands_rejected_; }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t client_count() const { return credentials_.size(); }
+
+  /// Serialization into the durable-state envelope (core/state_codec.hpp
+  /// version >= 4). encode() writes only durable fields; decode() rebuilds
+  /// the registry and re-imports live material into `keystore` so handles
+  /// are valid again. Throws fiat::ParseError on malformed input.
+  void encode(util::ByteWriter& w) const;
+  void decode(util::ByteReader& r, KeyStore& keystore);
+
+ private:
+  struct ClientState {
+    std::array<std::uint8_t, 32> setup_code{};
+    bool has_setup_code = false;
+    std::vector<CredentialRecord> generations;  // ascending by generation
+  };
+
+  ApplyResult enroll_begin(const std::string& client_id,
+                           const LifecycleCommand& cmd, double now);
+  ApplyResult enroll_complete(KeyStore& keystore, const std::string& client_id,
+                              const LifecycleCommand& cmd, double now);
+  ApplyResult rotate(KeyStore& keystore, const std::string& client_id,
+                     const LifecycleCommand& cmd, double now);
+  ApplyResult revoke(const std::string& client_id, const LifecycleCommand& cmd);
+  ApplyResult reject();
+
+  LifecycleConfig config_;
+  std::map<std::string, ClientState> credentials_;
+  std::map<std::string, PendingEnrollment> pending_;
+  std::size_t enrollments_started_ = 0;
+  std::size_t enrollments_completed_ = 0;
+  std::size_t rotations_completed_ = 0;
+  std::size_t revocations_applied_ = 0;
+  std::size_t commands_rejected_ = 0;
+};
+
+}  // namespace fiat::crypto

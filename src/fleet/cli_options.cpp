@@ -126,6 +126,11 @@ FleetScenarioConfig parse_scenario_flags(const util::Flags& flags) {
               "fleet: --attack-class sybil-home is driven by --sybil-frac, "
               "not the per-home roster");
         }
+        if (type == gen::AttackType::kRevokedCredential) {
+          throw Error(
+              "fleet: --attack-class revoked-credential is driven by "
+              "--churn-revoke, not the per-home roster");
+        }
         config.attack.roster = {type};
         found = true;
         break;
@@ -289,6 +294,52 @@ CorrelateOptions parse_correlate_flags(const util::Flags& flags,
     }
   }
   return opts;
+}
+
+FleetScenarioConfig::ChurnConfig parse_churn_flags(const util::Flags& flags,
+                                                   const char* cmd) {
+  FleetScenarioConfig::ChurnConfig churn;
+  if (flags.has("churn-join")) {
+    churn.join_fraction = flags.number_or("churn-join", 0.0);
+    if (churn.join_fraction < 0.0 || churn.join_fraction > 1.0) {
+      throw Error(std::string(cmd) + ": --churn-join must be in [0, 1]");
+    }
+  }
+  if (flags.has("churn-rotate-every")) {
+    churn.rotate_every =
+        positive_interval(flags, cmd, "churn-rotate-every", 0.0);
+  }
+  if (flags.has("churn-revoke")) {
+    churn.revoke_fraction = flags.number_or("churn-revoke", 0.0);
+    if (churn.revoke_fraction < 0.0 || churn.revoke_fraction > 1.0) {
+      throw Error(std::string(cmd) + ": --churn-revoke must be in [0, 1]");
+    }
+  }
+  if (!flags.has("churn-revoke")) {
+    // Schedule tuners without the revoke knob are silent dead weight; reject
+    // them so a typo'd invocation does not quietly run without revocations
+    // (same contract as the --correlate tuning flags).
+    for (const char* name : {"churn-revoke-at", "churn-window"}) {
+      if (flags.has(name)) {
+        throw Error(std::string(cmd) + ": --" + name +
+                    " requires --churn-revoke");
+      }
+    }
+    return churn;
+  }
+  if (flags.has("churn-revoke-at")) {
+    churn.revoke_at_frac = flags.number_or("churn-revoke-at", 0.6);
+    if (churn.revoke_at_frac <= 0.0 || churn.revoke_at_frac >= 1.0) {
+      throw Error(std::string(cmd) +
+                  ": --churn-revoke-at must be in (0, 1) — a mid-trace "
+                  "fraction");
+    }
+  }
+  if (flags.has("churn-window")) {
+    churn.revocation_window =
+        positive_interval(flags, cmd, "churn-window", 30.0);
+  }
+  return churn;
 }
 
 }  // namespace fiat::fleet

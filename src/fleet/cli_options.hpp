@@ -46,4 +46,13 @@ struct CorrelateOptions {
 CorrelateOptions parse_correlate_flags(const util::Flags& flags,
                                        const char* cmd);
 
+/// Credential-lifecycle churn knobs shared by `fleet` and `cluster`
+/// (--churn-join, --churn-rotate-every, --churn-revoke, --churn-revoke-at,
+/// --churn-window). Any of the first three arms churn; the last two tune the
+/// revocation schedule and are rejected without --churn-revoke, mirroring
+/// the --correlate tuning-flag contract. `cmd` names the subcommand in error
+/// messages.
+FleetScenarioConfig::ChurnConfig parse_churn_flags(const util::Flags& flags,
+                                                   const char* cmd);
+
 }  // namespace fiat::fleet

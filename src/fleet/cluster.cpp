@@ -20,13 +20,15 @@ constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
 ClusterNode::ClusterNode(NodeId id, const ClusterConfig& config,
                          const std::vector<HomeSpec>& specs,
                          const core::HumannessVerifier& humanness,
-                         SnapshotStore& snapshots, JournalStore& journal)
+                         SnapshotStore& snapshots, JournalStore& journal,
+                         const RevocationLedger& revocations)
     : id_(id),
       config_(config),
       specs_(specs),
       humanness_(humanness),
       snapshots_(snapshots),
       journal_(journal),
+      revocations_(revocations),
       queue_(config.queue_capacity, config.on_full),
       sink_(config.trace_capacity) {
   // Wired before the thread exists; worker-owned afterwards (Shard's rule).
@@ -151,6 +153,11 @@ void ClusterNode::process_item(const FleetItem& item) {
                                          item.attack);
       ++proofs_;
       break;
+    case FleetItem::Kind::kLifecycle:
+      it->second.proxy().on_lifecycle(item.client_id, item.lifecycle_cmd,
+                                      item.ts);
+      ++lifecycle_ops_;
+      break;
   }
   ProcState& st = proc_[item.home];
   ++st.processed;
@@ -229,6 +236,7 @@ void ClusterNode::do_install(NodeMsg& msg) {
   opts.use_journal = config_.journal;
   opts.expected_ordinal = cut.ordinal;
   opts.now = cut.sim_ts;
+  opts.revocations = &revocations_;
   RestoreOutcome out;
   Home home = restore_into_node(spec, opts, out);
   tm_handoff_seconds_->record(msg.handoff->age_seconds());
@@ -245,6 +253,9 @@ void ClusterNode::do_restore(NodeMsg& msg) {
   opts.use_journal = config_.journal && !config_.cold_failover;
   opts.expected_ordinal = msg.expected_ordinal;
   opts.now = msg.now;
+  // Even a cold failover must remember revocations — the whole point of the
+  // fleet-wide ledger is that no restore path can resurrect a revoked key.
+  opts.revocations = &revocations_;
   RestoreOutcome out;
   Home home = restore_into_node(spec, opts, out);
   proc_[msg.home] = ProcState{out.resume_ordinal, msg.now};
@@ -271,7 +282,22 @@ ShardStats ClusterNode::stats() const {
   s.attack_injected = ledger.injected() + ledger.proofs_injected();
   s.attack_blocked = ledger.commands_blocked();
   s.attack_completed = ledger.commands_completed();
+  for (const auto& [id, home] : homes_) {
+    const crypto::CredentialRegistry& creds = home.proxy().credentials();
+    s.enrolled += creds.enrollments_completed();
+    s.rotated += creds.rotations_completed();
+    s.revoked += creds.revocations_applied();
+  }
   return s;
+}
+
+std::size_t ClusterNode::lifecycle_rejected_proofs() const {
+  require_quiescent("lifecycle_rejected_proofs()");
+  std::size_t n = 0;
+  for (const auto& [id, home] : homes_) {
+    n += home.proxy().proofs_rejected_lifecycle();
+  }
+  return n;
 }
 
 telemetry::SignalSet ClusterNode::signals() {
@@ -330,7 +356,7 @@ ClusterEngine::ClusterEngine(std::vector<HomeSpec> homes,
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(std::make_unique<ClusterNode>(
         static_cast<NodeId>(i), config_, specs_, humanness_, snapshots_,
-        journal_));
+        journal_, revocations_));
   }
   // Homes are constructed spec-by-spec in id order, so a home's initial
   // state never depends on the node count.
@@ -565,6 +591,14 @@ bool ClusterEngine::ingest(FleetItem item) {
   } else {
     ++offered_proofs_;
   }
+  // Record revocations BEFORE routing (and before the black-hole check): a
+  // revocation addressed to a dead node must still take fleet-wide effect —
+  // the failover restore re-applies it from this ledger.
+  if (item.kind == FleetItem::Kind::kLifecycle &&
+      item.lifecycle_cmd.op == crypto::LifecycleCommand::Op::kRevoke) {
+    revocations_.record(item.home, item.client_id,
+                        item.lifecycle_cmd.effective_ts);
+  }
   on_time(item.ts);
   std::size_t idx = index_of(item.home);
   if (idx == kNpos) return false;
@@ -647,6 +681,10 @@ FleetStats ClusterEngine::stats() const {
       out.attack_injected += s.attack_injected;
       out.attack_blocked += s.attack_blocked;
       out.attack_completed += s.attack_completed;
+      out.lifecycle_enrolled += s.enrolled;
+      out.lifecycle_rotated += s.rotated;
+      out.lifecycle_revoked += s.revoked;
+      out.lifecycle_rejected_proofs += nodes_[n]->lifecycle_rejected_proofs();
     }
     out.shards.push_back(s);
   }

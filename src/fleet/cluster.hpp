@@ -137,7 +137,8 @@ class ClusterNode {
   ClusterNode(NodeId id, const ClusterConfig& config,
               const std::vector<HomeSpec>& specs,
               const core::HumannessVerifier& humanness,
-              SnapshotStore& snapshots, JournalStore& journal);
+              SnapshotStore& snapshots, JournalStore& journal,
+              const RevocationLedger& revocations);
   ~ClusterNode();
 
   ClusterNode(const ClusterNode&) = delete;
@@ -157,6 +158,10 @@ class ClusterNode {
 
   std::map<HomeId, Home>& homes() { return homes_; }
   ShardStats stats() const;
+  /// Proofs this node's homes rejected for lifecycle reasons (revoked /
+  /// expired / not-yet-enrolled credentials). Same stopped-state rule as
+  /// stats().
+  std::size_t lifecycle_rejected_proofs() const;
   /// This node's homes' correlation fingerprints (flushes open events).
   /// Same stopped-state rule as stats().
   telemetry::SignalSet signals();
@@ -188,6 +193,7 @@ class ClusterNode {
   const core::HumannessVerifier& humanness_;
   SnapshotStore& snapshots_;
   JournalStore& journal_;
+  const RevocationLedger& revocations_;
 
   std::map<HomeId, Home> homes_;
   std::map<HomeId, ProcState> proc_;
@@ -201,6 +207,7 @@ class ClusterNode {
   // Worker-owned counters (read after join).
   std::size_t packets_ = 0;
   std::size_t proofs_ = 0;
+  std::size_t lifecycle_ops_ = 0;
   std::size_t discarded_ = 0;
   std::size_t migrations_in_ = 0;
   std::size_t migrations_out_ = 0;
@@ -267,6 +274,9 @@ class ClusterEngine {
   SnapshotStore& snapshots() { return snapshots_; }
   JournalStore& journal() { return journal_; }
   ClusterNode& node(std::size_t i) { return *nodes_[i]; }
+  /// Fleet-wide revocation ledger (populated at ingest; re-applied by every
+  /// restore, install and failover re-placement).
+  const RevocationLedger& revocations() const { return revocations_; }
 
   /// One-paragraph control-plane summary for the CLI.
   std::string render_control_plane() const;
@@ -287,6 +297,7 @@ class ClusterEngine {
   std::vector<HomeId> home_ids_;  // parallel to specs_
   SnapshotStore snapshots_;
   JournalStore journal_;
+  RevocationLedger revocations_;  // before nodes_: they hold references
   PlacementTable placement_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   std::vector<bool> node_dead_;

@@ -34,6 +34,9 @@ FleetEngine::FleetEngine(std::vector<HomeSpec> homes,
   partition_ = HomePartition::contiguous(ids, config_.shards);
 
   if (config_.recovery.enabled) {
+    // Restarts re-apply revocations from the engine-owned ledger; the caller
+    // cannot point the supervisor anywhere else.
+    config_.recovery.revocations = &revocations_;
     supervisor_ = std::make_unique<Supervisor>(config_.recovery);
     shard_supervisors_.reserve(partition_.shard_count());
   }
@@ -128,7 +131,13 @@ FleetStats FleetEngine::stats() const {
     out.attack_injected += s.attack_injected;
     out.attack_blocked += s.attack_blocked;
     out.attack_completed += s.attack_completed;
+    out.lifecycle_enrolled += s.enrolled;
+    out.lifecycle_rotated += s.rotated;
+    out.lifecycle_revoked += s.revoked;
     out.shards.push_back(s);
+  }
+  for (const auto& shard : shards_) {
+    out.lifecycle_rejected_proofs += shard->lifecycle_rejected_proofs();
   }
   return out;
 }

@@ -30,6 +30,7 @@
 #include "core/humanness.hpp"
 #include "core/report.hpp"
 #include "fleet/correlator.hpp"
+#include "fleet/enrollment.hpp"
 #include "fleet/home.hpp"
 #include "fleet/router.hpp"
 #include "fleet/shard.hpp"
@@ -91,7 +92,17 @@ class FleetEngine {
   void start();
 
   // ---- ingestion front-end (single producer; see class comment) ----------
-  bool ingest(FleetItem item) { return router_->ingest(std::move(item)); }
+  bool ingest(FleetItem item) {
+    // Revocations are recorded in the fleet-wide ledger BEFORE routing: even
+    // if the item is shed, crashes mid-process, or its journal entry is
+    // later lost, restores re-apply it (the "never forgotten" guarantee).
+    if (item.kind == FleetItem::Kind::kLifecycle &&
+        item.lifecycle_cmd.op == crypto::LifecycleCommand::Op::kRevoke) {
+      revocations_.record(item.home, item.client_id,
+                          item.lifecycle_cmd.effective_ts);
+    }
+    return router_->ingest(std::move(item));
+  }
   bool ingest_packet(HomeId home, const net::PacketRecord& pkt) {
     return ingest(FleetItem::packet(home, pkt));
   }
@@ -99,6 +110,11 @@ class FleetEngine {
                     std::vector<std::uint8_t> payload) {
     return ingest(
         FleetItem::proof(home, now, std::move(client_id), std::move(payload)));
+  }
+  bool ingest_lifecycle(HomeId home, double now, std::string client_id,
+                        crypto::LifecycleCommand cmd) {
+    return ingest(
+        FleetItem::lifecycle(home, now, std::move(client_id), std::move(cmd)));
   }
 
   /// Graceful stop: flush the router, close the queues, process every
@@ -134,6 +150,10 @@ class FleetEngine {
   Supervisor* supervisor() { return supervisor_.get(); }
   const Supervisor* supervisor() const { return supervisor_.get(); }
 
+  /// Fleet-wide revocation ledger (populated at ingest; re-applied by
+  /// supervised restarts).
+  const RevocationLedger& revocations() const { return revocations_; }
+
   /// All per-shard registries merged into one snapshot, plus engine-level
   /// ingest counters and the run's wall time. Requires a stopped engine.
   /// Domain::kSim entries in the snapshot are byte-identical across
@@ -149,6 +169,7 @@ class FleetEngine {
   FleetConfig config_;
   std::size_t home_count_ = 0;
   HomePartition partition_;
+  RevocationLedger revocations_;  // before shards_: restarts read it
   std::unique_ptr<Supervisor> supervisor_;  // before shards_: outlives them
   std::vector<std::unique_ptr<ShardSupervisor>> shard_supervisors_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,195 @@
+#include "fleet/enrollment.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace fiat::fleet {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x45484c4f;  // "EHLO"
+constexpr std::uint32_t kProofMagic = 0x45505246;  // "EPRF"
+
+}  // namespace
+
+// ---- RevocationLedger -----------------------------------------------------
+
+void RevocationLedger::record(HomeId home, const std::string& client_id,
+                              double effective_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      revocations_.try_emplace({home, client_id}, effective_ts);
+  if (!inserted) it->second = std::min(it->second, effective_ts);
+}
+
+std::vector<RevocationLedger::Entry> RevocationLedger::for_home(
+    HomeId home) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  // std::map order: (home, client) pairs sorted, so the slice is sorted too.
+  for (auto it = revocations_.lower_bound({home, std::string()});
+       it != revocations_.end() && it->first.first == home; ++it) {
+    out.push_back(Entry{it->first.second, it->second});
+  }
+  return out;
+}
+
+std::size_t RevocationLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return revocations_.size();
+}
+
+// ---- EnrollmentAuthenticator ----------------------------------------------
+
+EnrollmentAuthenticator::EnrollmentAuthenticator(
+    transport::Network& network, transport::EndpointId id,
+    SetupCodeFn setup_code_of, std::span<const std::uint8_t> ticket_key_entropy,
+    CommandFn on_command)
+    : server_(network, std::move(id), std::move(setup_code_of),
+              ticket_key_entropy),
+      on_command_(std::move(on_command)) {
+  server_.set_on_message([this](const transport::QuicDelivery& delivery) {
+    auto cmd = parse_payload(delivery.data);
+    if (!cmd) {
+      ++malformed_;
+      return;
+    }
+    ++commands_;
+    if (on_command_) on_command_(delivery.client_id, *cmd, delivery.receive_time);
+  });
+}
+
+util::Bytes EnrollmentAuthenticator::encode_hello(const std::string& temp_id) {
+  util::ByteWriter w;
+  w.u32be(kHelloMagic);
+  w.u32be(static_cast<std::uint32_t>(temp_id.size()));
+  w.raw(temp_id);
+  return w.take();
+}
+
+util::Bytes EnrollmentAuthenticator::encode_proof(
+    std::span<const std::uint8_t> proof) {
+  util::ByteWriter w;
+  w.u32be(kProofMagic);
+  w.u32be(static_cast<std::uint32_t>(proof.size()));
+  w.raw(proof);
+  return w.take();
+}
+
+std::optional<crypto::LifecycleCommand> EnrollmentAuthenticator::parse_payload(
+    std::span<const std::uint8_t> payload) {
+  try {
+    util::ByteReader r(payload);
+    std::uint32_t magic = r.u32be();
+    std::uint32_t len = r.u32be();
+    if (len > r.remaining()) return std::nullopt;
+    crypto::LifecycleCommand cmd;
+    if (magic == kHelloMagic) {
+      cmd.op = crypto::LifecycleCommand::Op::kEnrollBegin;
+      cmd.temp_id = r.str(len);
+    } else if (magic == kProofMagic) {
+      if (len != 32) return std::nullopt;
+      cmd.op = crypto::LifecycleCommand::Op::kEnrollComplete;
+      auto raw = r.raw(len);
+      cmd.proof.assign(raw.begin(), raw.end());
+    } else {
+      return std::nullopt;
+    }
+    if (!r.done()) return std::nullopt;
+    return cmd;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+// ---- EnrollmentSession ----------------------------------------------------
+
+EnrollmentSession::EnrollmentSession(
+    transport::Network& network, transport::EndpointId id,
+    transport::EndpointId authenticator, std::string client_id,
+    std::string temp_id, std::span<const std::uint8_t> setup_code,
+    sim::Rng& rng, Config config)
+    : network_(network),
+      client_id_(std::move(client_id)),
+      temp_id_(std::move(temp_id)),
+      setup_code_(setup_code.begin(), setup_code.end()),
+      client_(network, std::move(id), std::move(authenticator), client_id_,
+              setup_code, rng, config.retry),
+      config_(config) {}
+
+EnrollmentSession::EnrollmentSession(
+    transport::Network& network, transport::EndpointId id,
+    transport::EndpointId authenticator, std::string client_id,
+    std::string temp_id, std::span<const std::uint8_t> setup_code,
+    sim::Rng& rng)
+    : EnrollmentSession(network, std::move(id), std::move(authenticator),
+                        std::move(client_id), std::move(temp_id), setup_code,
+                        rng, Config{}) {}
+
+void EnrollmentSession::start(DoneFn on_done, GaveUpFn on_gave_up) {
+  if (started_) throw LogicError("EnrollmentSession: started twice");
+  started_ = true;
+  on_done_ = std::move(on_done);
+  on_gave_up_ = std::move(on_gave_up);
+  backoff_ = config_.retry_backoff;
+  attempt();
+}
+
+void EnrollmentSession::attempt() {
+  if (enrolled_ || gave_up_) return;
+  ++attempts_;
+  if (!client_.connected()) {
+    client_.connect([this](double) { send_hello(); },
+                    [this] { schedule_retry(); });
+  } else if (!hello_acked_) {
+    send_hello();
+  } else {
+    send_proof();
+  }
+}
+
+void EnrollmentSession::send_hello() {
+  client_.send(EnrollmentAuthenticator::encode_hello(temp_id_),
+               [this](double) {
+                 // The authenticator has the EHLO: its challenge now exists
+                 // (and is durable on its side). Answer it.
+                 hello_acked_ = true;
+                 send_proof();
+               },
+               [this] { schedule_retry(); });
+}
+
+void EnrollmentSession::send_proof() {
+  // Both sides derive the challenge independently from the setup code — the
+  // EHLO ack is the only signal needed before answering.
+  auto challenge =
+      crypto::derive_enroll_challenge(setup_code_, client_id_, temp_id_);
+  auto proof = crypto::derive_enroll_proof(setup_code_, challenge);
+  client_.send(EnrollmentAuthenticator::encode_proof(proof),
+               // QuicClient acks report *elapsed* RTT; the done time the
+               // caller wants is the absolute sim time the ack landed.
+               [this, challenge](double) {
+                 if (enrolled_) return;
+                 enrolled_ = true;
+                 auto key =
+                     crypto::derive_credential_key(setup_code_, challenge, 0);
+                 credential_key_.assign(key.begin(), key.end());
+                 if (on_done_) on_done_(network_.scheduler().now(), credential_key_);
+               },
+               [this] { schedule_retry(); });
+}
+
+void EnrollmentSession::schedule_retry() {
+  if (enrolled_ || gave_up_) return;
+  if (config_.max_attempts > 0 && attempts_ >= config_.max_attempts) {
+    gave_up_ = true;
+    if (on_gave_up_) on_gave_up_();
+    return;
+  }
+  double delay = backoff_;
+  backoff_ = std::min(backoff_ * 2.0, config_.retry_backoff_max);
+  network_.scheduler().after(delay, [this] { attempt(); });
+}
+
+}  // namespace fiat::fleet

@@ -1,0 +1,159 @@
+// PION-style onboarding over the QuicLite transport, plus the fleet-wide
+// revocation ledger (DESIGN.md §16).
+//
+// Roles, mirroring the PION spec the ROADMAP names:
+//   * EnrollmentAuthenticator — home-side. Sits behind a QuicServer keyed by
+//     the out-of-band setup code (the QR-code secret doubles as the QUIC
+//     PSK for the enrollment session) and translates EHLO/EPRF datagrams
+//     into crypto::LifecycleCommands for the home's proxy.
+//   * EnrollmentSession — phone-side temporary identity. Connects, announces
+//     itself (EHLO temp_id), derives the challenge locally from the setup
+//     code (both sides derive it — no server->client data channel needed),
+//     answers with the proof (EPRF), and on the final ack derives the same
+//     credential key the proxy issued. Every step retries with capped
+//     exponential backoff, so loss bursts and blackouts delay enrollment
+//     instead of wedging it.
+//   * RevocationLedger — append-only fleet-wide record of revocations,
+//     written at the single-producer ingest points (FleetEngine /
+//     ClusterEngine) and re-applied after journal replay on restore, so a
+//     revocation is never forgotten even when the journal lost items.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/lifecycle.hpp"
+#include "fleet/home.hpp"
+#include "transport/quic_lite.hpp"
+
+namespace fiat::fleet {
+
+/// Fleet-wide, append-only revocation record. Thread-safe: the engine's
+/// ingest front-end records while shard workers run; restores read after the
+/// workers quiesce. Keeps the EARLIEST effective time per (home, client) —
+/// re-recording is idempotent, so replays and restores cannot move a
+/// revocation later.
+class RevocationLedger {
+ public:
+  struct Entry {
+    std::string client_id;
+    double effective_ts = 0.0;
+  };
+
+  void record(HomeId home, const std::string& client_id, double effective_ts);
+  /// All revocations for `home`, sorted by client id.
+  std::vector<Entry> for_home(HomeId home) const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<HomeId, std::string>, double> revocations_;
+};
+
+/// Home-side enrollment endpoint: QuicServer (keyed by setup codes) whose
+/// application messages are parsed into lifecycle commands and handed to
+/// `on_command` — typically FiatProxy::on_lifecycle for a standalone home,
+/// or FleetEngine::ingest of a Kind::kLifecycle item in fleet runs.
+class EnrollmentAuthenticator {
+ public:
+  using SetupCodeFn = std::function<std::optional<std::vector<std::uint8_t>>(
+      const std::string& client_id)>;
+  using CommandFn = std::function<void(const std::string& client_id,
+                                       const crypto::LifecycleCommand& cmd,
+                                       double now)>;
+
+  EnrollmentAuthenticator(transport::Network& network,
+                          transport::EndpointId id, SetupCodeFn setup_code_of,
+                          std::span<const std::uint8_t> ticket_key_entropy,
+                          CommandFn on_command);
+
+  std::size_t commands_delivered() const { return commands_; }
+  std::size_t malformed_datagrams() const { return malformed_; }
+  const transport::QuicServer& server() const { return server_; }
+
+  // ---- wire format (application payloads inside QuicLite) -----------------
+  static util::Bytes encode_hello(const std::string& temp_id);
+  static util::Bytes encode_proof(std::span<const std::uint8_t> proof);
+  /// nullopt on malformed payloads (never throws: hostile bytes threat model).
+  static std::optional<crypto::LifecycleCommand> parse_payload(
+      std::span<const std::uint8_t> payload);
+
+ private:
+  transport::QuicServer server_;
+  CommandFn on_command_;
+  std::size_t commands_ = 0;
+  std::size_t malformed_ = 0;
+};
+
+/// Phone-side enrollment state machine. Construct once, call start(); the
+/// object must stay at a stable address until done (callbacks capture this).
+class EnrollmentSession {
+ public:
+  struct Config {
+    transport::QuicRetryConfig retry;  // per-datagram QUIC retry policy
+    double retry_backoff = 2.0;        // session-level backoff after a failure
+    double retry_backoff_max = 60.0;
+    /// Session-level attempts before giving up; 0 = retry forever (the
+    /// default: an unplugged-router blackout must delay enrollment, not
+    /// cancel it).
+    std::size_t max_attempts = 0;
+  };
+
+  /// Called once enrollment completes: `credential_key` is the phone's copy
+  /// of the issued generation-0 credential (derived, never transmitted).
+  using DoneFn = std::function<void(double done_time,
+                                    std::span<const std::uint8_t> credential_key)>;
+  using GaveUpFn = std::function<void()>;
+
+  EnrollmentSession(transport::Network& network, transport::EndpointId id,
+                    transport::EndpointId authenticator, std::string client_id,
+                    std::string temp_id,
+                    std::span<const std::uint8_t> setup_code, sim::Rng& rng,
+                    Config config);
+  /// Default-config convenience overload (out-of-line: Config's member
+  /// initializers need the complete type).
+  EnrollmentSession(transport::Network& network, transport::EndpointId id,
+                    transport::EndpointId authenticator, std::string client_id,
+                    std::string temp_id,
+                    std::span<const std::uint8_t> setup_code, sim::Rng& rng);
+
+  void start(DoneFn on_done, GaveUpFn on_gave_up = nullptr);
+
+  bool enrolled() const { return enrolled_; }
+  bool gave_up() const { return gave_up_; }
+  std::size_t attempts() const { return attempts_; }
+  /// Valid once enrolled(): the derived generation-0 credential key.
+  std::span<const std::uint8_t> credential_key() const {
+    return credential_key_;
+  }
+
+ private:
+  void attempt();
+  void send_hello();
+  void send_proof();
+  void schedule_retry();
+
+  transport::Network& network_;
+  std::string client_id_;
+  std::string temp_id_;
+  std::vector<std::uint8_t> setup_code_;
+  transport::QuicClient client_;
+  Config config_;
+  DoneFn on_done_;
+  GaveUpFn on_gave_up_;
+  bool started_ = false;
+  bool hello_acked_ = false;
+  bool enrolled_ = false;
+  bool gave_up_ = false;
+  std::size_t attempts_ = 0;
+  double backoff_ = 0.0;
+  std::vector<std::uint8_t> credential_key_;
+};
+
+}  // namespace fiat::fleet

@@ -47,6 +47,21 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
         "make_fleet_scenario: zipf_skew must be >= 0 and zipf_max_devices "
         ">= 1");
   }
+  const auto& churn = config.churn;
+  if (churn.join_fraction < 0.0 || churn.join_fraction > 1.0 ||
+      churn.revoke_fraction < 0.0 || churn.revoke_fraction > 1.0 ||
+      churn.rotate_every < 0.0) {
+    throw LogicError(
+        "make_fleet_scenario: churn fractions must be in [0, 1] and the "
+        "rotation cadence >= 0");
+  }
+  if (churn.enabled() &&
+      (churn.revocation_window <= 0.0 || churn.revoke_at_frac <= 0.0 ||
+       churn.revoke_at_frac >= 1.0)) {
+    throw LogicError(
+        "make_fleet_scenario: revocation_window must be > 0 and "
+        "revoke_at_frac inside (0, 1)");
+  }
   std::size_t zipf_cap = std::min(config.zipf_max_devices, profiles.size());
 
   FleetScenario scenario;
@@ -83,10 +98,124 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
 
     std::vector<std::uint8_t> psk(32);
     home_rng.fill_bytes(psk);
-    spec.phones.push_back({"phone", psk});
-    crypto::KeyHandle phone_key = phone_tee.import_key(psk, "fleet-phone");
+
+    // ---- credential churn plan (dedicated sub-stream: benign traffic is
+    // ---- byte-identical with churn on or off) ------------------------------
+    sim::Rng churn_rng = home_rng.fork(9000);
+    ChurnHomeTruth churn_truth;
+    churn_truth.home = home_id;
+    double enroll_begin_ts = -1.0;
+    double enroll_done_ts = -1.0;  // < 0: pre-paired from t=0
+    double revoke_ts = -1.0;
+    double revoke_effective_ts = -1.0;
+    std::vector<double> rotation_times;
+    if (churn.enabled()) {
+      // Fixed draw order: flipping one churn knob never reshuffles the
+      // others' per-home assignments.
+      double u_join = churn_rng.uniform();
+      double u_phase = churn_rng.uniform();
+      double u_revoke = churn_rng.uniform();
+      churn_truth.enrolls = u_join < churn.join_fraction;
+      churn_truth.revoked = u_revoke < churn.revoke_fraction;
+      if (churn_truth.enrolls) {
+        // Mid-bootstrap join: pre-enroll manual events fall inside the
+        // learning window, so a late phone never locks its owner out.
+        enroll_begin_ts = config.bootstrap_duration * (0.2 + 0.5 * u_phase);
+        enroll_done_ts = enroll_begin_ts + 1.0;
+      }
+      if (churn_truth.revoked) {
+        revoke_ts = churn.revoke_at_frac * trace_duration;
+        revoke_effective_ts = revoke_ts + churn.revocation_window;
+        churn_truth.revoke_ts = revoke_ts;
+        churn_truth.effective_ts = revoke_effective_ts;
+      }
+      if (churn.rotate_every > 0.0) {
+        double start =
+            std::max(config.bootstrap_duration, enroll_done_ts) +
+            churn.rotate_every;
+        for (double t = start; t < trace_duration; t += churn.rotate_every) {
+          if (revoke_ts >= 0.0 && t >= revoke_ts) break;
+          rotation_times.push_back(t);
+        }
+        churn_truth.rotations = rotation_times.size();
+      }
+    }
+    spec.phones.push_back({"phone", psk, churn_truth.enrolls});
 
     std::vector<FleetItem> home_items;
+
+    // Phone-side key schedule: which credential the phone seals with, by
+    // send time. Mirrors the proxy-side derivations exactly — no key bytes
+    // ever ride an item.
+    struct KeyGen {
+      double from_ts;  // active for sends strictly after this time
+      crypto::KeyHandle handle;
+    };
+    const std::string temp_id = "temp:" + std::to_string(home_id);
+    std::vector<KeyGen> key_schedule;
+    std::vector<std::uint8_t> current_key;
+    if (churn_truth.enrolls) {
+      auto challenge = crypto::derive_enroll_challenge(psk, "phone", temp_id);
+      auto proof = crypto::derive_enroll_proof(psk, challenge);
+      auto key0 = crypto::derive_credential_key(psk, challenge, 0);
+      current_key.assign(key0.begin(), key0.end());
+      key_schedule.push_back(
+          {enroll_done_ts, phone_tee.import_key(current_key, "fleet-phone")});
+      crypto::LifecycleCommand begin;
+      begin.op = crypto::LifecycleCommand::Op::kEnrollBegin;
+      begin.temp_id = temp_id;
+      home_items.push_back(
+          FleetItem::lifecycle(home_id, enroll_begin_ts, "phone", begin));
+      crypto::LifecycleCommand done;
+      done.op = crypto::LifecycleCommand::Op::kEnrollComplete;
+      done.proof.assign(proof.begin(), proof.end());
+      home_items.push_back(
+          FleetItem::lifecycle(home_id, enroll_done_ts, "phone", done));
+      scenario.lifecycle_count += 2;
+      scenario.churn.lifecycle_commands += 2;
+      ++scenario.churn.enrollments;
+    } else {
+      current_key = psk;
+      key_schedule.push_back({0.0, phone_tee.import_key(psk, "fleet-phone")});
+    }
+    for (std::size_t k = 0; k < rotation_times.size(); ++k) {
+      std::uint32_t new_gen = static_cast<std::uint32_t>(k + 1);
+      auto proof = crypto::derive_rotation_proof(current_key, new_gen);
+      auto next = crypto::derive_rotation_key(current_key, new_gen);
+      current_key.assign(next.begin(), next.end());
+      key_schedule.push_back(
+          {rotation_times[k],
+           phone_tee.import_key(current_key, "fleet-phone-rot")});
+      crypto::LifecycleCommand rotate;
+      rotate.op = crypto::LifecycleCommand::Op::kRotate;
+      rotate.proof.assign(proof.begin(), proof.end());
+      home_items.push_back(
+          FleetItem::lifecycle(home_id, rotation_times[k], "phone", rotate));
+      ++scenario.lifecycle_count;
+      ++scenario.churn.lifecycle_commands;
+      ++scenario.churn.rotations;
+    }
+    if (churn_truth.revoked) {
+      crypto::LifecycleCommand revoke;
+      revoke.op = crypto::LifecycleCommand::Op::kRevoke;
+      revoke.effective_ts = revoke_effective_ts;
+      home_items.push_back(
+          FleetItem::lifecycle(home_id, revoke_ts, "phone", revoke));
+      ++scenario.lifecycle_count;
+      ++scenario.churn.lifecycle_commands;
+      ++scenario.churn.revocations;
+    }
+    // The key the phone seals with at send time `ts`: the newest generation
+    // whose rotation strictly precedes the send. A proof at exactly the
+    // rotation instant uses the retiring key — the registry's overlap window
+    // keeps it verifiable.
+    auto key_at = [&key_schedule](double ts) {
+      crypto::KeyHandle key = key_schedule.front().handle;
+      for (const KeyGen& kg : key_schedule) {
+        if (kg.from_ts < ts) key = kg.handle;
+      }
+      return key;
+    };
     // Proofs are collected first and sealed only after sorting by delivery
     // time: the proxy treats a lower-than-high-water sequence as a replay,
     // so sequence numbers must be issued in the order the phone sends.
@@ -188,8 +317,14 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
     // the adversary's capture log for replay floods.
     std::vector<std::pair<double, std::vector<std::uint8_t>>> sent_payloads;
     for (auto& [delivery_ts, msg] : proofs) {
+      // A phone that has not enrolled yet (or was revoked and taken from its
+      // owner) sends nothing; the sequence counter only advances on real
+      // sends.
+      if (enroll_done_ts >= 0.0 && delivery_ts <= enroll_done_ts) continue;
+      if (revoke_ts >= 0.0 && delivery_ts >= revoke_ts) continue;
       ++proof_seq;
-      auto sealed = core::seal_auth_message(phone_tee, phone_key, proof_seq, msg);
+      auto sealed = core::seal_auth_message(phone_tee, key_at(delivery_ts),
+                                            proof_seq, msg);
       util::ByteWriter payload;
       payload.u64be(proof_seq);
       payload.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
@@ -199,6 +334,43 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
       home_items.push_back(
           FleetItem::proof(home_id, delivery_ts, "phone", std::move(bytes)));
       ++scenario.proof_count;
+      ++churn_truth.benign_proofs;
+    }
+
+    // Revoked-credential probes: the stolen phone keeps signing fresh,
+    // humanness-passing proofs with the real credential. Accepts inside the
+    // revocation window are the measured propagation latency; at/after
+    // effective_ts every probe must die on the lifecycle-reject path.
+    if (churn_truth.revoked) {
+      sim::Rng probe_rng = churn_rng.fork(1);
+      const std::string probe_app =
+          "app." + std::string(profiles[h % profiles.size()].name);
+      double step = churn.revocation_window / 8.0;
+      double probe_end = std::min(
+          trace_duration, revoke_effective_ts + 2.0 * churn.revocation_window);
+      for (double t = revoke_ts + step; t < probe_end; t += step) {
+        core::AuthMessage msg;
+        msg.app_package = probe_app;
+        msg.capture_time = t - 0.3;
+        msg.features = gen::sensor_features(
+            gen::generate_sensor_trace(probe_rng, /*human=*/true, clean_sensors));
+        ++proof_seq;
+        auto sealed =
+            core::seal_auth_message(phone_tee, key_at(t), proof_seq, msg);
+        util::ByteWriter payload;
+        payload.u64be(proof_seq);
+        payload.raw(std::span<const std::uint8_t>(sealed.data(), sealed.size()));
+        std::vector<std::uint8_t> bytes(payload.bytes().begin(),
+                                        payload.bytes().end());
+        FleetItem item = FleetItem::proof(home_id, t, "phone", std::move(bytes));
+        item.attack =
+            label_of(gen::AttackType::kRevokedCredential, -1, false);
+        home_items.push_back(std::move(item));
+        ++scenario.proof_count;
+        ++scenario.attack.proofs;
+        ++churn_truth.probes;
+        if (t < revoke_effective_ts) ++churn_truth.probes_in_window;
+      }
     }
     for (double replay_ts : proof_replays) {
       // The newest datagram the adversary could have captured by replay
@@ -217,12 +389,18 @@ FleetScenario make_fleet_scenario(const FleetScenarioConfig& config) {
       ++scenario.attack.proofs;
     }
 
+    if (churn.enabled() && (churn_truth.enrolls || churn_truth.rotations > 0 ||
+                            churn_truth.revoked)) {
+      scenario.churn.homes.push_back(churn_truth);
+    }
+
     stable_sort_by_ts(home_items);
     scenario.items.insert(scenario.items.end(),
                           std::make_move_iterator(home_items.begin()),
                           std::make_move_iterator(home_items.end()));
     scenario.homes.push_back(std::move(spec));
   }
+  scenario.churn.revocation_window = churn.revocation_window;
 
   // Sybil homes: attacker-controlled households appended after the benign
   // fleet. Their traffic is plausible (same generator), but every packet is

@@ -58,6 +58,34 @@ struct FleetScenarioConfig {
   /// by default; benign homes generate byte-identical traffic whether the
   /// campaign is on or off (the director draws from its own seed only).
   gen::CampaignConfig attack;
+
+  /// Credential-lifecycle churn riding the fleet (DESIGN.md §16). All draws
+  /// come from a dedicated per-home sub-stream (home_rng.fork(9000)), so
+  /// benign packet traffic is byte-identical with churn on or off.
+  struct ChurnConfig {
+    /// Fraction of homes whose phone is NOT pre-provisioned: it enrolls
+    /// mid-bootstrap via EnrollBegin/EnrollComplete lifecycle items.
+    double join_fraction = 0.0;
+    /// Sim-seconds between credential rotations per home; 0 disables.
+    /// Rotations start after the bootstrap window.
+    double rotate_every = 0.0;
+    /// Fraction of homes whose phone is revoked mid-trace (stolen phone:
+    /// benign proofs stop, labeled attacker probes continue).
+    double revoke_fraction = 0.0;
+    /// Revocation point as a fraction of the trace duration.
+    double revoke_at_frac = 0.6;
+    /// Propagation bound: the revoke command lands at revoke_ts but takes
+    /// effect at revoke_ts + revocation_window. Probes inside the window may
+    /// still verify (that exposure is the measured revocation latency);
+    /// post-window accepts must be zero.
+    double revocation_window = 30.0;
+
+    bool enabled() const {
+      return join_fraction > 0.0 || rotate_every > 0.0 ||
+             revoke_fraction > 0.0;
+    }
+  };
+  ChurnConfig churn;
 };
 
 /// Ground truth for one injected command attempt.
@@ -81,6 +109,32 @@ struct AttackTruth {
   std::vector<HomeId> sybil_homes;  // appended after the benign fleet
 };
 
+/// Ground truth for one churn-affected home, accumulated at synthesis time.
+/// bench_churn joins this against the per-home proxy counters: zero benign
+/// lockouts means every benign proof listed here was accepted, and bounded
+/// revocation latency means no probe at/after effective_ts ever verified.
+struct ChurnHomeTruth {
+  HomeId home = 0;
+  bool enrolls = false;       // phone joined via enrollment (not pre-paired)
+  std::size_t rotations = 0;  // rotation commands scheduled
+  bool revoked = false;
+  double revoke_ts = 0.0;     // when the revoke command lands
+  double effective_ts = 0.0;  // revoke_ts + revocation_window
+  std::uint64_t benign_proofs = 0;      // sent with the then-current credential
+  std::uint64_t probes = 0;             // kRevokedCredential labeled proofs
+  std::uint64_t probes_in_window = 0;   // delivered before effective_ts
+};
+
+/// Fleet-wide churn ground truth.
+struct ChurnTruth {
+  std::vector<ChurnHomeTruth> homes;  // churn-affected homes only, by id
+  std::uint64_t lifecycle_commands = 0;  // enroll/rotate/revoke items
+  std::uint64_t enrollments = 0;
+  std::uint64_t rotations = 0;
+  std::uint64_t revocations = 0;
+  double revocation_window = 0.0;
+};
+
 struct FleetScenario {
   std::vector<HomeSpec> homes;
   /// Merged stream, sorted by timestamp; ties keep per-home relative order,
@@ -89,7 +143,9 @@ struct FleetScenario {
   std::vector<FleetItem> items;
   std::size_t packet_count = 0;
   std::size_t proof_count = 0;
+  std::size_t lifecycle_count = 0;
   AttackTruth attack;
+  ChurnTruth churn;
 };
 
 FleetScenario make_fleet_scenario(const FleetScenarioConfig& config);

@@ -6,7 +6,13 @@ core::FiatProxy make_home_proxy(const HomeSpec& spec,
                                 const core::HumannessVerifier& humanness) {
   core::FiatProxy proxy(spec.proxy, humanness);
   for (const auto& dev : spec.devices) proxy.add_device(dev);
-  for (const auto& phone : spec.phones) proxy.pair_phone(phone.client_id, phone.psk);
+  for (const auto& phone : spec.phones) {
+    if (phone.enroll) {
+      proxy.register_enrollable(phone.client_id, phone.psk);
+    } else {
+      proxy.pair_phone(phone.client_id, phone.psk);
+    }
+  }
   for (const auto& [src, dst] : spec.dag_edges) proxy.add_dag_edge(src, dst);
   return proxy;
 }

@@ -27,7 +27,13 @@ struct HomeSpec {
   std::vector<core::ProxyDevice> devices;
   struct Phone {
     std::string client_id;
+    /// Static pairing key (enroll == false) or out-of-band setup code the
+    /// lifecycle enrollment derives the credential from (enroll == true).
     std::vector<std::uint8_t> psk;
+    /// When true the phone is NOT pre-provisioned: make_home_proxy registers
+    /// `psk` as the setup code and no proof verifies until an EnrollBegin/
+    /// EnrollComplete pair lands (crypto/lifecycle.hpp).
+    bool enroll = false;
   };
   std::vector<Phone> phones;
   std::vector<std::pair<net::Ipv4Addr, net::Ipv4Addr>> dag_edges;

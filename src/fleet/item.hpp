@@ -1,5 +1,6 @@
 // The unit of work flowing through the fleet pipeline: one intercepted
-// packet or one humanness-proof datagram, addressed to a home.
+// packet, one humanness-proof datagram, or one credential-lifecycle command,
+// addressed to a home.
 #pragma once
 
 #include <cstdint>
@@ -7,22 +8,29 @@
 #include <vector>
 
 #include "core/attack_label.hpp"
+#include "crypto/lifecycle.hpp"
 #include "net/packet.hpp"
 
 namespace fiat::fleet {
 
 struct FleetItem {
-  enum class Kind : std::uint8_t { kPacket, kProof };
+  enum class Kind : std::uint8_t { kPacket, kProof, kLifecycle };
 
   std::uint32_t home = 0;
   Kind kind = Kind::kPacket;
-  double ts = 0.0;  // packet timestamp / proof delivery time
+  double ts = 0.0;  // packet timestamp / proof delivery / lifecycle effect time
 
   net::PacketRecord pkt;  // kPacket
 
   // kProof: QuicLite payload (u64 seq || sealed auth message) from a phone.
+  // kLifecycle: client_id addresses the pairing the command mutates.
   std::string client_id;
   std::vector<std::uint8_t> payload;
+
+  // kLifecycle: enroll/rotate/revoke command (crypto/lifecycle.hpp). Rides
+  // the same ordered per-home stream as proofs, so replays through the
+  // journal and the cluster handoff restore lifecycle state losslessly.
+  crypto::LifecycleCommand lifecycle_cmd;
 
   /// Ground-truth campaign label (benign by default; see attack_label.hpp).
   /// Travels with the item through shards, supervisors, and the cluster
@@ -46,6 +54,18 @@ struct FleetItem {
     item.ts = now;
     item.client_id = std::move(client_id);
     item.payload = std::move(payload);
+    return item;
+  }
+
+  static FleetItem lifecycle(std::uint32_t home, double now,
+                             std::string client_id,
+                             crypto::LifecycleCommand cmd) {
+    FleetItem item;
+    item.home = home;
+    item.kind = Kind::kLifecycle;
+    item.ts = now;
+    item.client_id = std::move(client_id);
+    item.lifecycle_cmd = std::move(cmd);
     return item;
   }
 };

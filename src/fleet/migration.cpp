@@ -17,6 +17,9 @@ void apply_item(Home& home, const FleetItem& item) {
       home.proxy().on_auth_payload(item.client_id, item.payload, item.ts,
                                    item.attack);
       break;
+    case FleetItem::Kind::kLifecycle:
+      home.proxy().on_lifecycle(item.client_id, item.lifecycle_cmd, item.ts);
+      break;
   }
 }
 
@@ -143,6 +146,20 @@ RestoreOutcome restore_home(Home& home, const HomeSpec& spec,
   }
 
   for (const auto& [ord, item] : tail) apply_item(home, item);
+
+  if (opts.revocations != nullptr) {
+    // Re-drive every recorded revocation. CredentialRegistry::apply(kRevoke)
+    // is idempotent (kNoop when the client is already fully revoked), so a
+    // journal-covered revocation replays harmlessly while a lost one is
+    // restored here.
+    for (const RevocationLedger::Entry& rev :
+         opts.revocations->for_home(spec.id)) {
+      crypto::LifecycleCommand cmd;
+      cmd.op = crypto::LifecycleCommand::Op::kRevoke;
+      cmd.effective_ts = rev.effective_ts;
+      home.proxy().on_lifecycle(rev.client_id, cmd, opts.now);
+    }
+  }
   out.resume_ordinal = reach;
   return out;
 }

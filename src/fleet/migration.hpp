@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/humanness.hpp"
+#include "fleet/enrollment.hpp"
 #include "fleet/home.hpp"
 #include "fleet/item.hpp"
 #include "fleet/snapshot_store.hpp"
@@ -113,6 +114,12 @@ struct RestoreOptions {
   std::uint64_t expected_ordinal = 0;
   /// Sim time of the restore (bootstrap-forcing anchor).
   double now = 0.0;
+  /// When set, every revocation recorded for this home is re-applied after
+  /// the journal replay (idempotent kRevoke commands). This is the
+  /// "revocation is never forgotten" guarantee: even when the snapshot
+  /// predates a revocation AND the journal lost the revoke item, the ledger
+  /// restores it.
+  const RevocationLedger* revocations = nullptr;
 };
 
 struct RestoreOutcome {

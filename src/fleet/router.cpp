@@ -54,6 +54,8 @@ IngestRouter::~IngestRouter() { flush(); }
 bool IngestRouter::ingest(FleetItem item) {
   std::size_t shard = partition_.shard_of(item.home);
   if (shard >= shards_.size()) return false;
+  // Lifecycle commands ride the proof lane in the offered counters: both are
+  // rare control-plane datagrams next to the packet firehose.
   if (item.kind == FleetItem::Kind::kPacket) {
     ++packets_offered_;
   } else {

@@ -93,6 +93,10 @@ void Shard::process(const FleetItem& item) {
                                     item.attack);
       ++proofs_;
       break;
+    case FleetItem::Kind::kLifecycle:
+      home->proxy().on_lifecycle(item.client_id, item.lifecycle_cmd, item.ts);
+      ++lifecycle_ops_;
+      break;
   }
 }
 
@@ -134,12 +138,17 @@ void Shard::process_batch(std::span<const FleetItem> items) {
         batch_pkts_.push_back(item.pkt);
         batch_labels_.push_back(item.attack);
         ++packets_;
-      } else {
+      } else if (item.kind == FleetItem::Kind::kProof) {
         // Proofs interact with every open event, so they fence packet runs.
         flush();
         proxy.on_auth_payload(item.client_id, item.payload, item.ts,
                               item.attack);
         ++proofs_;
+      } else {
+        // Lifecycle commands change which keys verify, so they fence too.
+        flush();
+        proxy.on_lifecycle(item.client_id, item.lifecycle_cmd, item.ts);
+        ++lifecycle_ops_;
       }
     }
     flush();
@@ -205,7 +214,20 @@ ShardStats Shard::stats() const {
   s.attack_injected = ledger.injected() + ledger.proofs_injected();
   s.attack_blocked = ledger.commands_blocked();
   s.attack_completed = ledger.commands_completed();
+  for (const Home& home : homes_) {
+    const crypto::CredentialRegistry& creds = home.proxy().credentials();
+    s.enrolled += creds.enrollments_completed();
+    s.rotated += creds.rotations_completed();
+    s.revoked += creds.revocations_applied();
+  }
   return s;
+}
+
+std::size_t Shard::lifecycle_rejected_proofs() const {
+  require_quiescent("lifecycle_rejected_proofs()");
+  std::size_t n = 0;
+  for (const Home& home : homes_) n += home.proxy().proofs_rejected_lifecycle();
+  return n;
 }
 
 core::AttackLedger Shard::attack_ledger() const {

@@ -80,6 +80,11 @@ class Shard {
   /// stopped-state rule as stats().
   core::AttackLedger attack_ledger() const;
 
+  /// Proofs this shard's homes rejected for lifecycle reasons (revoked /
+  /// expired / not-yet-enrolled credentials). Same stopped-state rule as
+  /// stats().
+  std::size_t lifecycle_rejected_proofs() const;
+
   /// This shard's homes' correlation fingerprints (fleet/signal_probe.hpp),
   /// sorted by home id. Flushes open events first so an escalated event in
   /// flight has committed its costume signatures. Same stopped-state rule as
@@ -127,6 +132,7 @@ class Shard {
   // owner before start / after join), read after join.
   std::size_t packets_ = 0;
   std::size_t proofs_ = 0;
+  std::size_t lifecycle_ops_ = 0;
   std::size_t discarded_ = 0;
   double busy_seconds_ = 0.0;
   // Set (under the queue's closed flag ordering) before a no-drain stop.

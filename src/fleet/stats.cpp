@@ -16,26 +16,26 @@ double FleetStats::utilization(std::size_t shard) const {
 
 std::string FleetStats::render() const {
   std::string out;
-  char line[320];
+  char line[384];
   std::snprintf(line, sizeof(line),
                 "%-6s %6s %10s %8s %8s %9s %9s %8s %5s %7s %8s %7s %8s %8s "
-                "%8s %10s %6s %8s\n",
+                "%8s %6s %6s %6s %10s %6s %8s\n",
                 row_label.c_str(), "homes", "packets", "proofs", "shed",
                 "shed-cls", "discard", "restart", "quar", "mig-in", "mig-out",
-                "atk-in", "atk-blk", "atk-cmp", "flagged", "high-water",
-                "util", "busy-s");
+                "atk-in", "atk-blk", "atk-cmp", "flagged", "enroll", "rotate",
+                "revoke", "high-water", "util", "busy-s");
   out += line;
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
     std::snprintf(line, sizeof(line),
                   "%-6zu %6zu %10zu %8zu %8zu %9zu %9zu %8zu %5zu %7zu %8zu "
-                  "%7zu %8zu %8zu %8zu %10zu %5.0f%% %8.3f\n",
+                  "%7zu %8zu %8zu %8zu %6zu %6zu %6zu %10zu %5.0f%% %8.3f\n",
                   i, s.homes, s.packets, s.proofs, s.queue_shed,
                   s.queue_shed_on_close, s.discarded, s.restarts,
                   s.quarantined, s.migrations_in, s.migrations_out,
                   s.attack_injected, s.attack_blocked, s.attack_completed,
-                  s.flagged, s.queue_high_water, 100.0 * utilization(i),
-                  s.busy_seconds);
+                  s.flagged, s.enrolled, s.rotated, s.revoked,
+                  s.queue_high_water, 100.0 * utilization(i), s.busy_seconds);
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -62,6 +62,17 @@ std::string FleetStats::render() const {
                   "%zu flood sources, %zu sybil cohorts\n",
                   flagged_homes, correlation_shared_signatures,
                   correlation_flood_sources, correlation_cohorts);
+    out += line;
+  }
+  // The lifecycle totals line only exists when credentials actually moved
+  // (an all-static fleet renders exactly as it did before the lifecycle tier).
+  if (lifecycle_enrolled > 0 || lifecycle_rotated > 0 ||
+      lifecycle_revoked > 0 || lifecycle_rejected_proofs > 0) {
+    std::snprintf(line, sizeof(line),
+                  "lifecycle: %zu enrolled, %zu rotated, %zu revoked, "
+                  "%zu proofs rejected\n",
+                  lifecycle_enrolled, lifecycle_rotated, lifecycle_revoked,
+                  lifecycle_rejected_proofs);
     out += line;
   }
   // The cluster totals line only exists where a control plane does (or ran).

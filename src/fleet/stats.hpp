@@ -26,6 +26,11 @@ struct ShardStats {
   std::size_t attack_blocked = 0;    // attack commands with payload dropped
   std::size_t attack_completed = 0;  // attack commands fully delivered
   std::size_t flagged = 0;        // homes flagged by the fleet correlator
+  // Credential lifecycle (CredentialRegistry aggregated over this shard's
+  // homes).
+  std::size_t enrolled = 0;       // enrollments completed
+  std::size_t rotated = 0;        // rotations completed
+  std::size_t revoked = 0;        // clients revoked
   double busy_seconds = 0.0;      // wall time spent inside proxy calls
   // Queue view (from BoundedQueue::Stats).
   std::size_t queue_pushed = 0;
@@ -55,6 +60,12 @@ struct FleetStats {
   std::size_t correlation_shared_signatures = 0;
   std::size_t correlation_flood_sources = 0;
   std::size_t correlation_cohorts = 0;
+  // Credential lifecycle, fleet-wide (sums of the per-shard columns plus the
+  // lifecycle commands workers processed and proofs lifecycle-rejected).
+  std::size_t lifecycle_enrolled = 0;
+  std::size_t lifecycle_rotated = 0;
+  std::size_t lifecycle_revoked = 0;
+  std::size_t lifecycle_rejected_proofs = 0;
   double handoff_p95_seconds = 0.0;  // p95 migration handoff latency (wall)
   double wall_seconds = 0.0;      // start() .. stop() wall time
   /// First column of render(): "shard" for FleetEngine, "node" for the

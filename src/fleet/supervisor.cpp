@@ -270,6 +270,19 @@ void ShardSupervisor::restart_shard(Shard& shard, const FleetItem& crash_item,
       apply_item(home, journaled);
       resume = ord;
     }
+    if (cfg.revocations != nullptr) {
+      // Revocation is never forgotten: re-drive every ledger-recorded
+      // revocation for this home after the replay. Idempotent (kNoop when
+      // the journal already covered it); decisive when the revoke item fell
+      // in a recovery gap.
+      for (const RevocationLedger::Entry& rev :
+           cfg.revocations->for_home(spec.id)) {
+        crypto::LifecycleCommand cmd;
+        cmd.op = crypto::LifecycleCommand::Op::kRevoke;
+        cmd.effective_ts = rev.effective_ts;
+        home.proxy().on_lifecycle(rev.client_id, cmd, crash_item.ts);
+      }
+    }
     if (tm_gap_items_ && lost > 0) tm_gap_items_->inc(lost);
     if (auto* c = warm ? tm_restores_warm_ : tm_restores_cold_) c->inc();
     fleet_->note_resume({shard_index_, spec.id, warm, resume, lost,

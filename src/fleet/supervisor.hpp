@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/humanness.hpp"
+#include "fleet/enrollment.hpp"
 #include "fleet/home.hpp"
 #include "fleet/item.hpp"
 #include "fleet/snapshot_store.hpp"
@@ -70,6 +71,11 @@ struct RecoveryConfig {
   /// Crash injection, applied to every shard (per-home plans only fire on
   /// the shard owning that home; shard-global ordinals fire per shard).
   sim::ShardFaultPlan fault;
+  /// Fleet-wide revocation ledger (owned by the engine). When set, every
+  /// restart re-applies the recorded revocations after the journal replay,
+  /// so a crash can never resurrect a revoked credential even when the
+  /// revoke item itself fell in a recovery gap.
+  const RevocationLedger* revocations = nullptr;
 };
 
 struct RestartRecord {

@@ -74,6 +74,11 @@ AttackDirector::AttackDirector(CampaignConfig config, std::size_t benign_homes)
           "AttackDirector: kSybilHome is fleet-level (sybil_fraction), not a "
           "per-home roster entry");
     }
+    if (t == AttackType::kRevokedCredential) {
+      throw LogicError(
+          "AttackDirector: kRevokedCredential is driven by the churn "
+          "scenario (revoke fraction), not a per-home roster entry");
+    }
   }
   sybil_homes_ = static_cast<std::size_t>(
       std::llround(config_.sybil_fraction * static_cast<double>(benign_homes)));
@@ -267,6 +272,10 @@ AttackWave AttackDirector::compose(std::uint32_t home,
       throw LogicError(
           "AttackDirector::compose: kSybilHome homes are synthesized by the "
           "fleet testbed, not composed as waves");
+    case AttackType::kRevokedCredential:
+      throw LogicError(
+          "AttackDirector::compose: kRevokedCredential traffic is "
+          "synthesized by the churn scenario, not composed as waves");
   }
 
   std::stable_sort(

@@ -19,6 +19,10 @@
 //  * kSybilHome — attacker-controlled homes emitting plausible benign-shaped
 //    traffic to skew fleet-level statistics (no per-packet violation; graded
 //    on fleet accounting, not per-packet verdicts).
+//  * kRevokedCredential — a phone whose pairing was revoked keeps using its
+//    stolen credential: proofs sealed with the dead key plus the commands
+//    they try to cover. Synthesized by the churn scenario
+//    (fleet/fleet_testbed.hpp), not composed as director waves.
 #pragma once
 
 namespace fiat::gen {
@@ -33,9 +37,10 @@ enum class AttackType {
   kPaddingEvasion,
   kProofReplay,
   kSybilHome,
+  kRevokedCredential,
 };
 
-inline constexpr int kAttackTypeCount = 9;
+inline constexpr int kAttackTypeCount = 10;
 
 const char* attack_name(AttackType type);
 

@@ -18,6 +18,7 @@ const char* attack_name(AttackType type) {
     case AttackType::kPaddingEvasion: return "padding-evasion";
     case AttackType::kProofReplay: return "proof-replay";
     case AttackType::kSybilHome: return "sybil-home";
+    case AttackType::kRevokedCredential: return "revoked-credential";
   }
   return "?";
 }
@@ -134,6 +135,7 @@ std::vector<net::PacketRecord> generate_attack(const DeviceProfile& profile,
     case AttackType::kPaddingEvasion:
     case AttackType::kProofReplay:
     case AttackType::kSybilHome:
+    case AttackType::kRevokedCredential:
       throw LogicError(std::string("generate_attack: ") +
                        attack_name(config.type) +
                        " is a campaign-level attack; use gen::AttackDirector");

@@ -611,6 +611,69 @@ TEST(CliOptions, CorrelateFlagsRejectInvalidInput) {
                Error);
 }
 
+TEST(CliOptions, ChurnFlagsRoundTrip) {
+  // No churn flags at all: disabled, synthesis byte-identical to pre-churn.
+  auto churn = parse_churn_flags(parse({"--homes", "30"}), "fleet");
+  EXPECT_FALSE(churn.enabled());
+
+  // Any one arming flag enables churn; the rest keep their defaults.
+  churn = parse_churn_flags(parse({"--churn-join", "0.25"}), "fleet");
+  EXPECT_TRUE(churn.enabled());
+  EXPECT_DOUBLE_EQ(churn.join_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(churn.rotate_every, 0.0);
+  EXPECT_DOUBLE_EQ(churn.revoke_fraction, 0.0);
+
+  churn = parse_churn_flags(
+      parse({"--churn-join", "0.4", "--churn-rotate-every", "600",
+             "--churn-revoke", "0.2", "--churn-revoke-at", "0.7",
+             "--churn-window", "45"}),
+      "cluster");
+  EXPECT_TRUE(churn.enabled());
+  EXPECT_DOUBLE_EQ(churn.join_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(churn.rotate_every, 600.0);
+  EXPECT_DOUBLE_EQ(churn.revoke_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(churn.revoke_at_frac, 0.7);
+  EXPECT_DOUBLE_EQ(churn.revocation_window, 45.0);
+}
+
+TEST(CliOptions, ChurnFlagsRejectInvalidInput) {
+  // Fractions must stay in [0, 1]; the revocation point must be mid-trace.
+  EXPECT_THROW(parse_churn_flags(parse({"--churn-join", "1.5"}), "fleet"),
+               Error);
+  EXPECT_THROW(parse_churn_flags(parse({"--churn-join", "-0.1"}), "fleet"),
+               Error);
+  EXPECT_THROW(parse_churn_flags(parse({"--churn-revoke", "2"}), "cluster"),
+               Error);
+  EXPECT_THROW(parse_churn_flags(parse({"--churn-rotate-every", "0"}),
+                                 "fleet"),
+               Error);
+  EXPECT_THROW(
+      parse_churn_flags(
+          parse({"--churn-revoke", "0.2", "--churn-revoke-at", "0"}), "fleet"),
+      Error);
+  EXPECT_THROW(
+      parse_churn_flags(
+          parse({"--churn-revoke", "0.2", "--churn-revoke-at", "1"}), "fleet"),
+      Error);
+  EXPECT_THROW(
+      parse_churn_flags(
+          parse({"--churn-revoke", "0.2", "--churn-window", "0"}), "cluster"),
+      Error);
+  // Revocation tuning flags are dead weight without --churn-revoke; reject
+  // so a typo'd invocation does not quietly skip the revocation leg
+  // (mirrors the --correlate tuning-flag contract).
+  EXPECT_THROW(parse_churn_flags(parse({"--churn-revoke-at", "0.7"}), "fleet"),
+               Error);
+  EXPECT_THROW(parse_churn_flags(parse({"--churn-window", "45"}), "cluster"),
+               Error);
+  // The arming flags alone are fine in any combination.
+  EXPECT_TRUE(
+      parse_churn_flags(parse({"--churn-rotate-every", "300"}), "fleet")
+          .enabled());
+  EXPECT_TRUE(parse_churn_flags(parse({"--churn-revoke", "0.1"}), "cluster")
+                  .enabled());
+}
+
 TEST(CliOptions, ScenarioFlagsValidateAttackClassAndManualRate) {
   auto config = parse_scenario_flags(
       parse({"--attack-coverage", "0.1", "--attack-class", "bucket-mimicry",

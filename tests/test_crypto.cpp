@@ -341,6 +341,64 @@ TEST(KeyStore, LabelsAreRetrievable) {
   EXPECT_EQ(store.key_count(), 1u);
 }
 
+TEST(KeyStore, AuditRingDropsOldestAtCapacity) {
+  // A TEE has finite tamper-evident storage: the ring keeps the newest
+  // entries, drops from the front, and counts what it evicted.
+  KeyStore store(/*audit_capacity=*/4);
+  std::vector<std::uint8_t> material(32, 2);
+  auto handle = store.import_key(material, "ring");
+  std::vector<std::uint8_t> data{9};
+  for (int i = 0; i < 6; ++i) store.sign(handle, data);
+  EXPECT_EQ(store.audit_log().size(), 4u);
+  EXPECT_EQ(store.audit_dropped(), 3u);  // import + first two signs
+  for (const auto& entry : store.audit_log()) {
+    EXPECT_EQ(entry.operation, "sign");  // oldest survivors are all signs
+  }
+  EXPECT_EQ(store.audit_capacity(), 4u);
+}
+
+TEST(KeyStore, AuditCapacityZeroClampsToOne) {
+  KeyStore store(0);
+  EXPECT_EQ(store.audit_capacity(), 1u);
+  std::vector<std::uint8_t> material(32, 3);
+  auto handle = store.import_key(material, "tiny");
+  store.sign(handle, material);
+  EXPECT_EQ(store.audit_log().size(), 1u);
+  EXPECT_EQ(store.audit_dropped(), 1u);
+}
+
+TEST(KeyStore, RevokeErrorPaths) {
+  KeyStore store;
+  std::vector<std::uint8_t> material(32, 4);
+  auto handle = store.import_key(material, "doomed");
+  EXPECT_THROW(store.revoke_key(999), CryptoError);  // unknown handle
+  store.revoke_key(handle);
+  EXPECT_TRUE(store.is_revoked(handle));
+  EXPECT_THROW(store.revoke_key(handle), CryptoError);  // double revoke
+}
+
+TEST(KeyStore, UseAfterRevokeThrowsEveryOperation) {
+  KeyStore store;
+  std::vector<std::uint8_t> material(32, 5);
+  auto handle = store.import_key(material, "revoked");
+  std::vector<std::uint8_t> data{1, 2};
+  auto sig = store.sign(handle, data);
+  auto sealed = store.seal(handle, 1, data, data);
+  store.revoke_key(handle);
+  EXPECT_THROW(store.sign(handle, data), CryptoError);
+  EXPECT_THROW(store.verify(handle, data, sig), CryptoError);
+  EXPECT_THROW(store.seal(handle, 1, data, data), CryptoError);
+  EXPECT_THROW(store.open(handle, 1, data, sealed), CryptoError);
+  // The handle is still *known* — label survives for audit display — and the
+  // failed attempts land in the audit log as unsuccessful accesses.
+  EXPECT_EQ(store.label(handle).value(), "revoked");
+  bool saw_failed_access = false;
+  for (const auto& entry : store.audit_log()) {
+    if (!entry.success && entry.handle == handle) saw_failed_access = true;
+  }
+  EXPECT_TRUE(saw_failed_access);
+}
+
 // ---- ReplayCache ------------------------------------------------------------------
 
 TEST(ReplayCache, BlocksReplaysInsideWindow) {

@@ -475,6 +475,56 @@ TEST(FleetStats, RenderShowsFlaggedColumnAndCorrelationLine) {
   EXPECT_NE(quiet.render().find("flagged"), std::string::npos);
 }
 
+TEST(FleetStats, RenderShowsLifecycleColumnsAndTotalsLine) {
+  // Regression: render() must surface the credential lifecycle per shard —
+  // enrollments completed (enroll), rotations (rotate) and revoked clients
+  // (revoke), between the correlator's flagged column and high-water — plus
+  // a `lifecycle:` totals line that exists exactly when credentials moved
+  // (an all-static fleet renders exactly as it did before the lifecycle
+  // tier).
+  FleetStats stats;
+  stats.homes = 4;
+  stats.wall_seconds = 1.0;
+  ShardStats s0;
+  s0.homes = 2;
+  s0.packets = 50;
+  s0.enrolled = 13;
+  s0.rotated = 29;
+  s0.revoked = 7;
+  stats.lifecycle_enrolled = 13;
+  stats.lifecycle_rotated = 29;
+  stats.lifecycle_revoked = 7;
+  stats.lifecycle_rejected_proofs = 31;
+  stats.shards.push_back(s0);
+  stats.shards.push_back(ShardStats{});
+
+  std::string table = stats.render();
+  EXPECT_NE(table.find("enroll"), std::string::npos);
+  EXPECT_NE(table.find("rotate"), std::string::npos);
+  EXPECT_NE(table.find("revoke"), std::string::npos);
+  EXPECT_LT(table.find("flagged"), table.find("enroll"));
+  EXPECT_LT(table.find("enroll"), table.find("rotate"));
+  EXPECT_LT(table.find("rotate"), table.find("revoke"));
+  EXPECT_LT(table.find("revoke"), table.find("high-water"));
+  // Shard 0's row carries the lifecycle values in column order.
+  auto row = table.substr(table.find('\n') + 1);
+  row = row.substr(0, row.find('\n'));
+  EXPECT_NE(row.find(" 13 "), std::string::npos);
+  EXPECT_NE(row.find(" 29 "), std::string::npos);
+  EXPECT_NE(row.find(" 7 "), std::string::npos);
+  // The totals line carries all four rollups.
+  EXPECT_NE(table.find("lifecycle: 13 enrolled, 29 rotated, 7 revoked, "
+                       "31 proofs rejected"),
+            std::string::npos);
+  // A churn-free fleet renders no lifecycle line (columns always present).
+  FleetStats quiet;
+  quiet.homes = 2;
+  quiet.wall_seconds = 1.0;
+  quiet.shards.push_back(ShardStats{});
+  EXPECT_EQ(quiet.render().find("lifecycle:"), std::string::npos);
+  EXPECT_NE(quiet.render().find("enroll"), std::string::npos);
+}
+
 TEST(FleetEngine, AbortNeverDeadlocksAgainstFullPipeline) {
   // Tiny queues + no consumer headroom: the producer may be mid-backpressure
   // when abort() closes the queues. The ctest TIMEOUT converts a hang here

@@ -1,0 +1,521 @@
+// Credential lifecycle suite (DESIGN.md §16): the deterministic derivation
+// chain, the CredentialRegistry state machine (enrollment, rotation overlap,
+// revocation, expiry, idempotent re-application), onboarding over the
+// QuicLite transport under loss and blackouts, the fleet-wide revocation
+// ledger, and crash/restore persistence of revocations at fleet scale.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/humanness.hpp"
+#include "crypto/keystore.hpp"
+#include "crypto/lifecycle.hpp"
+#include "fleet/engine.hpp"
+#include "fleet/enrollment.hpp"
+#include "fleet/fleet_testbed.hpp"
+#include "sim/faults.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "transport/network.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+using namespace fiat;
+using crypto::CredentialRegistry;
+using crypto::LifecycleCommand;
+using ApplyResult = CredentialRegistry::ApplyResult;
+
+namespace {
+
+std::vector<std::uint8_t> setup_code(std::uint8_t fill = 0x5a) {
+  return std::vector<std::uint8_t>(32, fill);
+}
+
+LifecycleCommand enroll_begin(const std::string& temp_id) {
+  LifecycleCommand cmd;
+  cmd.op = LifecycleCommand::Op::kEnrollBegin;
+  cmd.temp_id = temp_id;
+  return cmd;
+}
+
+LifecycleCommand enroll_complete(std::span<const std::uint8_t> proof) {
+  LifecycleCommand cmd;
+  cmd.op = LifecycleCommand::Op::kEnrollComplete;
+  cmd.proof.assign(proof.begin(), proof.end());
+  return cmd;
+}
+
+LifecycleCommand rotate_cmd(std::span<const std::uint8_t> proof) {
+  LifecycleCommand cmd;
+  cmd.op = LifecycleCommand::Op::kRotate;
+  cmd.proof.assign(proof.begin(), proof.end());
+  return cmd;
+}
+
+LifecycleCommand revoke_cmd(double effective_ts) {
+  LifecycleCommand cmd;
+  cmd.op = LifecycleCommand::Op::kRevoke;
+  cmd.effective_ts = effective_ts;
+  return cmd;
+}
+
+/// Enrolls "phone" the way the QUIC session would: begin at t=10, complete
+/// with the derived proof at t=11. Returns the phone-side credential key.
+std::vector<std::uint8_t> enroll_phone(CredentialRegistry& reg,
+                                       crypto::KeyStore& ks,
+                                       const std::vector<std::uint8_t>& code) {
+  reg.register_setup_code("phone", code);
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_begin("temp:1"), 10.0),
+            ApplyResult::kEnrollStarted);
+  auto challenge = crypto::derive_enroll_challenge(code, "phone", "temp:1");
+  auto proof = crypto::derive_enroll_proof(code, challenge);
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_complete(proof), 11.0),
+            ApplyResult::kEnrolled);
+  auto key = crypto::derive_credential_key(code, challenge, 0);
+  return {key.begin(), key.end()};
+}
+
+// ---- derivations ------------------------------------------------------------
+
+TEST(LifecycleDerivations, DeterministicAndDomainSeparated) {
+  auto code = setup_code();
+  auto c1 = crypto::derive_enroll_challenge(code, "phone", "temp:1");
+  auto c2 = crypto::derive_enroll_challenge(code, "phone", "temp:1");
+  EXPECT_EQ(c1, c2);
+  // Every input perturbs the challenge.
+  EXPECT_NE(c1, crypto::derive_enroll_challenge(code, "phone2", "temp:1"));
+  EXPECT_NE(c1, crypto::derive_enroll_challenge(code, "phone", "temp:2"));
+  EXPECT_NE(c1, crypto::derive_enroll_challenge(setup_code(0x11), "phone",
+                                                "temp:1"));
+  // Proof, credential keys and rotation material are all distinct values.
+  auto proof = crypto::derive_enroll_proof(code, c1);
+  auto k0 = crypto::derive_credential_key(code, c1, 0);
+  auto k1 = crypto::derive_credential_key(code, c1, 1);
+  EXPECT_NE(k0, k1);
+  EXPECT_NE(std::vector<std::uint8_t>(proof.begin(), proof.end()),
+            std::vector<std::uint8_t>(k0.begin(), k0.end()));
+  auto r1 = crypto::derive_rotation_key(k0, 1);
+  auto r2 = crypto::derive_rotation_key(k0, 2);
+  EXPECT_NE(r1, r2);
+  EXPECT_NE(crypto::derive_rotation_proof(k0, 1),
+            crypto::derive_rotation_proof(k0, 2));
+}
+
+// ---- registry state machine -------------------------------------------------
+
+TEST(CredentialRegistry, EnrollmentIssuesUsableCredential) {
+  CredentialRegistry reg;
+  crypto::KeyStore ks;
+  auto code = setup_code();
+  EXPECT_FALSE(reg.known_client("phone"));
+  enroll_phone(reg, ks, code);
+  EXPECT_TRUE(reg.known_client("phone"));
+  EXPECT_TRUE(reg.has_credentials("phone"));
+  EXPECT_EQ(reg.usable_handles("phone", 20.0).size(), 1u);
+  EXPECT_EQ(reg.enrollments_started(), 1u);
+  EXPECT_EQ(reg.enrollments_completed(), 1u);
+  EXPECT_EQ(reg.pending_count(), 0u);
+}
+
+TEST(CredentialRegistry, WrongProofAndUnknownClientRejected) {
+  CredentialRegistry reg;
+  crypto::KeyStore ks;
+  // No setup code registered: the announcement itself is rejected.
+  EXPECT_EQ(reg.apply(ks, "stranger", enroll_begin("temp:9"), 1.0),
+            ApplyResult::kRejected);
+  reg.register_setup_code("phone", setup_code());
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_begin("temp:1"), 1.0),
+            ApplyResult::kEnrollStarted);
+  std::vector<std::uint8_t> garbage(32, 0xee);
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_complete(garbage), 2.0),
+            ApplyResult::kRejected);
+  EXPECT_TRUE(reg.usable_handles("phone", 2.0).empty());
+  EXPECT_GE(reg.commands_rejected(), 2u);
+}
+
+TEST(CredentialRegistry, ExpiredPendingEnrollmentMustRestart) {
+  crypto::LifecycleConfig config;
+  config.enrollment_ttl = 100.0;
+  CredentialRegistry reg(config);
+  crypto::KeyStore ks;
+  auto code = setup_code();
+  reg.register_setup_code("phone", code);
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_begin("temp:1"), 10.0),
+            ApplyResult::kEnrollStarted);
+  auto challenge = crypto::derive_enroll_challenge(code, "phone", "temp:1");
+  auto proof = crypto::derive_enroll_proof(code, challenge);
+  // The proof arrives after the pending window: rejected, and re-beginning
+  // the enrollment works (crash-mid-enrollment recovers by retrying).
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_complete(proof), 200.0),
+            ApplyResult::kRejected);
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_begin("temp:1"), 201.0),
+            ApplyResult::kEnrollStarted);
+  EXPECT_EQ(reg.apply(ks, "phone", enroll_complete(proof), 202.0),
+            ApplyResult::kEnrolled);
+}
+
+TEST(CredentialRegistry, RotationOverlapThenRetire) {
+  crypto::LifecycleConfig config;
+  config.rotation_overlap = 30.0;
+  CredentialRegistry reg(config);
+  crypto::KeyStore ks;
+  auto key0 = enroll_phone(reg, ks, setup_code());
+
+  auto proof = crypto::derive_rotation_proof(key0, 1);
+  EXPECT_EQ(reg.apply(ks, "phone", rotate_cmd(proof), 100.0),
+            ApplyResult::kRotated);
+  EXPECT_EQ(reg.rotations_completed(), 1u);
+  // Overlap window: both generations verify, newest first.
+  auto during = reg.usable_handles("phone", 120.0);
+  ASSERT_EQ(during.size(), 2u);
+  // After retire_at only the new generation survives.
+  EXPECT_EQ(reg.usable_handles("phone", 131.0).size(), 1u);
+  EXPECT_EQ(reg.usable_handles("phone", 131.0)[0], during[0]);
+}
+
+TEST(CredentialRegistry, RotationWithWrongProofRejected) {
+  CredentialRegistry reg;
+  crypto::KeyStore ks;
+  auto key0 = enroll_phone(reg, ks, setup_code());
+  // Proof computed for the wrong target generation does not rotate.
+  auto wrong = crypto::derive_rotation_proof(key0, 7);
+  EXPECT_EQ(reg.apply(ks, "phone", rotate_cmd(wrong), 100.0),
+            ApplyResult::kRejected);
+  EXPECT_EQ(reg.rotations_completed(), 0u);
+  EXPECT_EQ(reg.usable_handles("phone", 100.0).size(), 1u);
+}
+
+TEST(CredentialRegistry, RevocationIsBoundedAndIdempotent) {
+  CredentialRegistry reg;
+  crypto::KeyStore ks;
+  enroll_phone(reg, ks, setup_code());
+  EXPECT_EQ(reg.apply(ks, "phone", revoke_cmd(500.0), 480.0),
+            ApplyResult::kRevoked);
+  // Bounded window: the credential still verifies before effective_ts and
+  // never at/after it.
+  EXPECT_EQ(reg.usable_handles("phone", 499.0).size(), 1u);
+  EXPECT_TRUE(reg.usable_handles("phone", 500.0).empty());
+  EXPECT_TRUE(reg.usable_handles("phone", 5000.0).empty());
+  EXPECT_EQ(reg.revoked_since("phone"), std::optional<double>(500.0));
+
+  // Idempotent re-apply (the restore path re-drives the fleet ledger): no
+  // counter movement, no state change.
+  auto before = reg.revocations_applied();
+  EXPECT_EQ(reg.apply(ks, "phone", revoke_cmd(500.0), 481.0),
+            ApplyResult::kNoop);
+  EXPECT_EQ(reg.revocations_applied(), before);
+}
+
+TEST(CredentialRegistry, RevokeCoversEveryGeneration) {
+  CredentialRegistry reg;
+  crypto::KeyStore ks;
+  auto key0 = enroll_phone(reg, ks, setup_code());
+  auto proof = crypto::derive_rotation_proof(key0, 1);
+  ASSERT_EQ(reg.apply(ks, "phone", rotate_cmd(proof), 100.0),
+            ApplyResult::kRotated);
+  ASSERT_EQ(reg.usable_handles("phone", 110.0).size(), 2u);  // overlap
+  EXPECT_EQ(reg.apply(ks, "phone", revoke_cmd(120.0), 115.0),
+            ApplyResult::kRevoked);
+  EXPECT_TRUE(reg.usable_handles("phone", 120.0).empty());
+  // Rotating after revocation is refused: the ratchet is dead.
+  auto key1 = crypto::derive_rotation_key(key0, 1);
+  auto proof2 = crypto::derive_rotation_proof(key1, 2);
+  EXPECT_EQ(reg.apply(ks, "phone", rotate_cmd(proof2), 130.0),
+            ApplyResult::kRejected);
+}
+
+TEST(CredentialRegistry, StaticInstallAndExpiry) {
+  crypto::LifecycleConfig config;
+  config.credential_ttl = 1000.0;
+  CredentialRegistry reg(config);
+  crypto::KeyStore ks;
+  std::vector<std::uint8_t> psk(32, 0x42);
+  reg.install_static(ks, "phone", psk);
+  EXPECT_EQ(reg.usable_handles("phone", 999.0).size(), 1u);
+  EXPECT_TRUE(reg.usable_handles("phone", 1001.0).empty());  // aged out
+}
+
+TEST(CredentialRegistry, EncodeDecodeKeepsRevocationAndByteIdentity) {
+  CredentialRegistry reg;
+  crypto::KeyStore ks;
+  auto key0 = enroll_phone(reg, ks, setup_code());
+  auto proof = crypto::derive_rotation_proof(key0, 1);
+  ASSERT_EQ(reg.apply(ks, "phone", rotate_cmd(proof), 100.0),
+            ApplyResult::kRotated);
+  ASSERT_EQ(reg.apply(ks, "phone", revoke_cmd(300.0), 200.0),
+            ApplyResult::kRevoked);
+
+  util::ByteWriter w;
+  reg.encode(w);
+  util::Bytes blob(w.bytes().begin(), w.bytes().end());
+
+  CredentialRegistry restored;
+  crypto::KeyStore fresh;
+  util::ByteReader r(blob);
+  restored.decode(r, fresh);
+  EXPECT_TRUE(r.done());
+  // Re-encode is byte-identical and the revocation survived the restore.
+  util::ByteWriter w2;
+  restored.encode(w2);
+  EXPECT_EQ(util::Bytes(w2.bytes().begin(), w2.bytes().end()), blob);
+  EXPECT_TRUE(restored.usable_handles("phone", 300.0).empty());
+  EXPECT_EQ(restored.revoked_since("phone"), std::optional<double>(300.0));
+}
+
+// ---- revocation ledger ------------------------------------------------------
+
+TEST(RevocationLedger, KeepsEarliestEffectiveTime) {
+  fleet::RevocationLedger ledger;
+  ledger.record(3, "phone", 500.0);
+  ledger.record(3, "phone", 400.0);  // re-record earlier: wins
+  ledger.record(3, "phone", 600.0);  // later: ignored
+  ledger.record(3, "tablet", 100.0);
+  ledger.record(7, "phone", 900.0);
+  EXPECT_EQ(ledger.size(), 3u);
+  auto entries = ledger.for_home(3);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].client_id, "phone");  // sorted by client id
+  EXPECT_EQ(entries[0].effective_ts, 400.0);
+  EXPECT_EQ(entries[1].client_id, "tablet");
+  EXPECT_TRUE(ledger.for_home(99).empty());
+}
+
+// ---- enrollment over QuicLite ----------------------------------------------
+
+struct EnrollHarness {
+  sim::Scheduler scheduler;
+  sim::Rng rng{7};
+  transport::Network net{scheduler, rng};
+  std::vector<std::uint8_t> code = setup_code(0x33);
+  CredentialRegistry registry;
+  crypto::KeyStore keystore;
+  fleet::EnrollmentAuthenticator authenticator;
+
+  explicit EnrollHarness(transport::PathProfile path)
+      : authenticator(
+            net, "home",
+            [this](const std::string& id)
+                -> std::optional<std::vector<std::uint8_t>> {
+              if (id == "phone") return code;
+              return std::nullopt;
+            },
+            std::span<const std::uint8_t>(code.data(), code.size()),
+            [this](const std::string& id, const crypto::LifecycleCommand& cmd,
+                   double now) { registry.apply(keystore, id, cmd, now); }) {
+    registry.register_setup_code("phone", code);
+    net.set_path("phone", "home", path);
+    net.set_path("home", "phone", path);
+  }
+};
+
+TEST(Enrollment, CleanPathIssuesMatchingCredential) {
+  EnrollHarness h(transport::PathProfile::lan());
+  fleet::EnrollmentSession session(h.net, "phone", "home", "phone", "temp:1",
+                                   h.code, h.rng);
+  double done_time = -1.0;
+  session.start([&](double t, std::span<const std::uint8_t>) { done_time = t; });
+  h.scheduler.run();
+  ASSERT_TRUE(session.enrolled());
+  EXPECT_GT(done_time, 0.0);
+  EXPECT_EQ(h.registry.enrollments_completed(), 1u);
+  ASSERT_EQ(h.registry.usable_handles("phone", done_time + 1.0).size(), 1u);
+  // Both sides derived the same generation-0 key, independently: a message
+  // signed by the phone's copy verifies under the proxy-side handle.
+  auto phone_key = session.credential_key();
+  crypto::KeyStore phone_tee;
+  auto phone_handle = phone_tee.import_key(phone_key, "phone-side");
+  std::vector<std::uint8_t> msg{'h', 'i'};
+  auto sig = phone_tee.sign(phone_handle, msg);
+  auto proxy_handle =
+      h.registry.usable_handles("phone", done_time + 1.0)[0];
+  EXPECT_TRUE(h.keystore.verify(proxy_handle, msg, sig));
+}
+
+TEST(Enrollment, LossyPathRetriesUntilEnrolled) {
+  transport::PathProfile lossy = transport::PathProfile::lan();
+  lossy.loss_rate = 0.3;
+  EnrollHarness h(lossy);
+  fleet::EnrollmentSession session(h.net, "phone", "home", "phone", "temp:1",
+                                   h.code, h.rng);
+  session.start([](double, std::span<const std::uint8_t>) {});
+  h.scheduler.run();
+  EXPECT_TRUE(session.enrolled());
+  EXPECT_FALSE(session.gave_up());
+  EXPECT_EQ(h.registry.enrollments_completed(), 1u);
+}
+
+TEST(Enrollment, BlackoutDelaysButNeverWedges) {
+  EnrollHarness h(transport::PathProfile::lan());
+  // Both directions dark for the first 120 s: every early attempt dies, the
+  // session must back off and land after the lights come back.
+  auto dark = sim::FaultPlan::periodic_blackout(0.0, 1e9, 120.0, 1e9);
+  h.net.set_fault_plan("phone", "home", dark);
+  h.net.set_fault_plan("home", "phone", dark);
+  fleet::EnrollmentSession session(h.net, "phone", "home", "phone", "temp:1",
+                                   h.code, h.rng);
+  double done_time = -1.0;
+  session.start([&](double t, std::span<const std::uint8_t>) { done_time = t; });
+  h.scheduler.run();
+  ASSERT_TRUE(session.enrolled());
+  EXPECT_GT(session.attempts(), 1u);
+  EXPECT_GT(done_time, 120.0);  // enrollment completed after the blackout
+  EXPECT_EQ(h.registry.enrollments_completed(), 1u);
+}
+
+TEST(Enrollment, BoundedAttemptsGiveUpCleanly) {
+  transport::PathProfile dead = transport::PathProfile::lan();
+  dead.loss_rate = 1.0;
+  EnrollHarness h(dead);
+  fleet::EnrollmentSession::Config config;
+  config.max_attempts = 3;
+  config.retry.max_retransmits = 0;  // one QUIC-level send per attempt
+  fleet::EnrollmentSession session(h.net, "phone", "home", "phone", "temp:1",
+                                   h.code, h.rng, config);
+  bool gave_up = false;
+  session.start([](double, std::span<const std::uint8_t>) {},
+                [&] { gave_up = true; });
+  h.scheduler.run();
+  EXPECT_FALSE(session.enrolled());
+  EXPECT_TRUE(session.gave_up());
+  EXPECT_TRUE(gave_up);
+  EXPECT_EQ(session.attempts(), 3u);
+}
+
+TEST(Enrollment, MalformedDatagramsAreCountedNotFatal) {
+  using Auth = fleet::EnrollmentAuthenticator;
+  EXPECT_FALSE(Auth::parse_payload(std::vector<std::uint8_t>{}).has_value());
+  EXPECT_FALSE(
+      Auth::parse_payload(std::vector<std::uint8_t>(3, 0x45)).has_value());
+  auto hello = Auth::encode_hello("temp:1");
+  auto cmd = Auth::parse_payload(hello);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->op, crypto::LifecycleCommand::Op::kEnrollBegin);
+  EXPECT_EQ(cmd->temp_id, "temp:1");
+  // Truncated and garbage-extended variants of a valid payload all fail.
+  util::Bytes truncated(hello.begin(), hello.end() - 2);
+  EXPECT_FALSE(Auth::parse_payload(truncated).has_value());
+  util::Bytes extended = hello;
+  extended.push_back(0x00);
+  EXPECT_FALSE(Auth::parse_payload(extended).has_value());
+}
+
+// ---- fleet-scale churn: crash + revocation persistence ----------------------
+
+fleet::FleetScenarioConfig churn_scenario_config() {
+  fleet::FleetScenarioConfig config;
+  config.homes = 8;
+  config.devices_per_home = 2;
+  config.duration_days = 0.015;
+  config.churn.join_fraction = 0.4;
+  config.churn.rotate_every = 300.0;
+  config.churn.revoke_fraction = 0.4;
+  config.churn.revocation_window = 30.0;
+  return config;
+}
+
+TEST(FleetChurn, BenignTrafficIsByteIdenticalWithChurnOnOrOff) {
+  auto with = churn_scenario_config();
+  auto without = churn_scenario_config();
+  without.churn = {};
+  auto churned = fleet::make_fleet_scenario(with);
+  auto plain = fleet::make_fleet_scenario(without);
+  // Strip lifecycle items and labeled probes: what remains (benign packets
+  // and proofs) must be identical item-for-item.
+  auto benign_only = [](const fleet::FleetScenario& s) {
+    std::vector<const fleet::FleetItem*> out;
+    for (const auto& item : s.items) {
+      if (item.kind == fleet::FleetItem::Kind::kLifecycle) continue;
+      if (!item.attack.benign()) continue;
+      out.push_back(&item);
+    }
+    return out;
+  };
+  auto a = benign_only(churned);
+  auto b = benign_only(plain);
+  // Churn suppresses some benign proofs (pre-enrollment / post-revocation
+  // sends never happen), so compare the packet lanes, which must be equal.
+  std::size_t a_packets = 0, b_packets = 0;
+  for (const auto* item : a) {
+    if (item->kind == fleet::FleetItem::Kind::kPacket) ++a_packets;
+  }
+  for (const auto* item : b) {
+    if (item->kind == fleet::FleetItem::Kind::kPacket) ++b_packets;
+  }
+  EXPECT_EQ(a_packets, b_packets);
+  EXPECT_EQ(churned.packet_count, plain.packet_count);
+}
+
+TEST(FleetChurn, DeterministicAcrossShardCounts) {
+  auto config = churn_scenario_config();
+  auto scenario = fleet::make_fleet_scenario(config);
+  auto humanness = core::HumannessVerifier::train_synthetic(config.seed);
+
+  auto run = [&](std::size_t shards) {
+    fleet::FleetConfig fc;
+    fc.shards = shards;
+    fleet::FleetEngine engine(scenario.homes, humanness, fc);
+    engine.start();
+    for (const auto& item : scenario.items) engine.ingest(item);
+    engine.drain();
+    auto report = engine.report();
+    std::vector<std::string> digests;
+    for (const auto& h : report.homes) digests.push_back(h.report.render());
+    return digests;
+  };
+  EXPECT_EQ(run(1), run(3));
+}
+
+TEST(FleetChurn, CrashAfterRevokeNeverResurrectsTheCredential) {
+  auto config = churn_scenario_config();
+  auto scenario = fleet::make_fleet_scenario(config);
+  auto humanness = core::HumannessVerifier::train_synthetic(config.seed);
+  ASSERT_GT(scenario.churn.revocations, 0u);
+
+  // Find the first revoked home and the ordinal of its revoke item.
+  fleet::HomeId victim = 0;
+  for (const auto& ht : scenario.churn.homes) {
+    if (ht.revoked) {
+      victim = ht.home;
+      break;
+    }
+  }
+  std::uint64_t ordinal = 0, crash_at = 0;
+  for (const auto& item : scenario.items) {
+    if (item.home != victim) continue;
+    ++ordinal;
+    if (item.kind == fleet::FleetItem::Kind::kLifecycle &&
+        item.lifecycle_cmd.op == crypto::LifecycleCommand::Op::kRevoke) {
+      crash_at = ordinal + 1;  // crash on the next item for this home
+      break;
+    }
+  }
+  ASSERT_GT(crash_at, 0u);
+
+  auto run = [&](bool crash) {
+    fleet::FleetConfig fc;
+    fc.shards = 2;
+    fc.recovery.enabled = true;
+    fc.recovery.snapshot_every = 120.0;
+    if (crash) {
+      fc.recovery.fault = sim::ShardFaultPlan::crash_home_at(victim, crash_at);
+    }
+    fleet::FleetEngine engine(scenario.homes, humanness, fc);
+    engine.start();
+    for (const auto& item : scenario.items) engine.ingest(item);
+    engine.drain();
+    auto report = engine.report();
+    EXPECT_EQ(engine.revocations().size(), scenario.churn.revocations);
+    std::vector<std::string> digests;
+    for (const auto& h : report.homes) digests.push_back(h.report.render());
+    return digests;
+  };
+  // The crash lands right after the revocation; the warm restart re-applies
+  // the fleet revocation ledger, so the report — including every rejected
+  // post-revocation probe — is byte-identical to the uncrashed run.
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace

@@ -13,8 +13,10 @@
 #include "core/proxy.hpp"
 #include "core/report.hpp"
 #include "core/state_codec.hpp"
+#include "crypto/lifecycle.hpp"
 #include "crypto/replay_cache.hpp"
 #include "crypto/sha256.hpp"
+#include "fleet/enrollment.hpp"
 #include "fleet/fleet_testbed.hpp"
 #include "fleet/home.hpp"
 #include "util/bytes.hpp"
@@ -50,6 +52,8 @@ Workload make_workload(bool legacy_keys) {
 void apply(core::FiatProxy& proxy, const fleet::FleetItem& item) {
   if (item.kind == fleet::FleetItem::Kind::kPacket) {
     proxy.process(item.pkt);
+  } else if (item.kind == fleet::FleetItem::Kind::kLifecycle) {
+    proxy.on_lifecycle(item.client_id, item.lifecycle_cmd, item.ts);
   } else {
     proxy.on_auth_payload(item.client_id, item.payload, item.ts);
   }
@@ -211,6 +215,165 @@ TEST(StateCodec, PacketRecordCodecRoundTrips) {
   util::ByteWriter w2;
   core::write_packet_record(w2, back);
   EXPECT_EQ(w.bytes(), w2.bytes());
+}
+
+// ---- lifecycle state through the codec (DESIGN.md §16) ----------------------
+
+/// A churn workload focused on one revoked home: enrollment, rotations, a
+/// mid-trace revocation, and labeled stolen-credential probes afterwards.
+struct ChurnWorkload {
+  Workload w;
+  fleet::ChurnHomeTruth truth;
+};
+
+ChurnWorkload make_churn_workload() {
+  fleet::FleetScenarioConfig config;
+  config.homes = 6;
+  config.devices_per_home = 2;
+  config.duration_days = 0.015;
+  config.churn.join_fraction = 0.4;
+  config.churn.rotate_every = 300.0;
+  config.churn.revoke_fraction = 0.5;
+  config.churn.revocation_window = 30.0;
+  auto scenario = fleet::make_fleet_scenario(config);
+
+  const fleet::ChurnHomeTruth* revoked = nullptr;
+  for (const auto& ht : scenario.churn.homes) {
+    if (ht.revoked) {
+      revoked = &ht;
+      break;
+    }
+  }
+  EXPECT_NE(revoked, nullptr) << "churn scenario must revoke a home";
+
+  fleet::HomeSpec spec;
+  for (const auto& s : scenario.homes) {
+    if (s.id == revoked->home) spec = s;
+  }
+  ChurnWorkload cw{
+      Workload{std::move(spec),
+               core::HumannessVerifier::train_synthetic(config.seed),
+               {}},
+      *revoked};
+  for (auto& item : scenario.items) {
+    if (item.home == revoked->home) cw.w.items.push_back(std::move(item));
+  }
+  EXPECT_GT(cw.w.items.size(), 100u);
+  return cw;
+}
+
+// Version-4 blobs carry the credential registry: a full churn history
+// (enroll/rotate/revoke + rejected probes) must round-trip byte-identically.
+TEST(StateCodecLifecycle, ChurnedProxyRoundTripIsByteIdentical) {
+  ChurnWorkload cw = make_churn_workload();
+  auto blob = drive_and_encode(cw.w, cw.w.items.size());
+
+  core::FiatProxy restored = fleet::make_home_proxy(cw.w.spec, cw.w.humanness);
+  ASSERT_EQ(core::decode_proxy_state(restored, blob, cw.w.spec.id),
+            core::CodecStatus::kOk);
+  EXPECT_EQ(core::encode_proxy_state(restored, cw.w.spec.id), blob);
+}
+
+// Snapshot immediately after the revoke command lands (inside the bounded
+// revocation window), restore, replay the probe tail on both: the restored
+// proxy must grade every probe exactly like the uninterrupted one — accepts
+// only inside the window, lifecycle rejects after, byte-identical state.
+TEST(StateCodecLifecycle, SplitAfterRevokeKeepsTheCredentialDead) {
+  ChurnWorkload cw = make_churn_workload();
+  std::size_t split = 0;
+  for (std::size_t i = 0; i < cw.w.items.size(); ++i) {
+    const auto& item = cw.w.items[i];
+    if (item.kind == fleet::FleetItem::Kind::kLifecycle &&
+        item.lifecycle_cmd.op == crypto::LifecycleCommand::Op::kRevoke) {
+      split = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(split, 0u) << "revoke item missing from the stream";
+
+  core::FiatProxy uninterrupted = fleet::make_home_proxy(cw.w.spec, cw.w.humanness);
+  for (std::size_t i = 0; i < split; ++i) apply(uninterrupted, cw.w.items[i]);
+  auto blob = core::encode_proxy_state(uninterrupted, cw.w.spec.id);
+
+  core::FiatProxy restored = fleet::make_home_proxy(cw.w.spec, cw.w.humanness);
+  ASSERT_EQ(core::decode_proxy_state(restored, blob, cw.w.spec.id),
+            core::CodecStatus::kOk);
+  for (std::size_t i = split; i < cw.w.items.size(); ++i) {
+    apply(uninterrupted, cw.w.items[i]);
+    apply(restored, cw.w.items[i]);
+  }
+  uninterrupted.flush_events();
+  restored.flush_events();
+
+  EXPECT_GT(restored.proofs_rejected_lifecycle(), 0u);
+  EXPECT_EQ(restored.proofs_rejected_lifecycle(),
+            uninterrupted.proofs_rejected_lifecycle());
+  EXPECT_EQ(restored.proofs_accepted(), uninterrupted.proofs_accepted());
+  EXPECT_EQ(core::encode_proxy_state(uninterrupted, cw.w.spec.id),
+            core::encode_proxy_state(restored, cw.w.spec.id));
+}
+
+// The corruption matrix on a lifecycle-carrying blob: every damaged form is
+// diagnosed (never kOk), and the cold-start fallback plus the fleet
+// revocation ledger re-drive still rejects a stolen-credential probe — a
+// rotten snapshot must never resurrect a revoked key.
+TEST(StateCodecLifecycle, CorruptSnapshotColdFallbackNeverAcceptsRevokedKey) {
+  ChurnWorkload cw = make_churn_workload();
+  auto blob = drive_and_encode(cw.w, cw.w.items.size());
+
+  auto decode_status = [&](const util::Bytes& bad) {
+    core::FiatProxy proxy = fleet::make_home_proxy(cw.w.spec, cw.w.humanness);
+    return core::decode_proxy_state(proxy, bad, cw.w.spec.id);
+  };
+  util::Bytes flipped = blob;
+  flipped[blob.size() / 2] ^= 0x01;
+  EXPECT_EQ(decode_status(flipped), core::CodecStatus::kCorrupt);
+  util::Bytes truncated(blob.begin(), blob.begin() + static_cast<long>(blob.size() / 2));
+  EXPECT_EQ(decode_status(truncated), core::CodecStatus::kTruncated);
+  {
+    // Version skew with a valid checksum: diagnosed as skew, still not kOk.
+    std::span<const std::uint8_t> payload(blob.data() + core::kStateHeaderSize,
+                                          blob.size() - core::kStateOverhead);
+    util::ByteWriter w;
+    w.u32be(core::kStateMagic);
+    w.u16be(core::kStateVersion + 1);
+    w.u8(static_cast<std::uint8_t>(core::StateKind::kProxy));
+    w.u8(0);
+    w.u32be(cw.w.spec.id);
+    w.u64be(payload.size());
+    w.raw(payload);
+    crypto::Digest256 digest = crypto::Sha256::hash(w.bytes());
+    w.raw(std::span<const std::uint8_t>(digest.data(), core::kStateChecksumSize));
+    EXPECT_EQ(decode_status(w.take()), core::CodecStatus::kVersionSkew);
+  }
+
+  // Cold fallback: fresh proxy from the spec, then the supervisor re-drives
+  // the fleet RevocationLedger (the never-forgotten record) before traffic.
+  fleet::RevocationLedger ledger;
+  ledger.record(cw.truth.home, "phone", cw.truth.effective_ts);
+  core::FiatProxy cold = fleet::make_home_proxy(cw.w.spec, cw.w.humanness);
+  for (const auto& entry : ledger.for_home(cw.truth.home)) {
+    crypto::LifecycleCommand revoke;
+    revoke.op = crypto::LifecycleCommand::Op::kRevoke;
+    revoke.effective_ts = entry.effective_ts;
+    cold.on_lifecycle(entry.client_id, revoke, entry.effective_ts);
+  }
+
+  // Replay a labeled stolen-credential probe from at/after the effective
+  // time: the cold proxy must reject it on the lifecycle lane.
+  const fleet::FleetItem* probe = nullptr;
+  for (const auto& item : cw.w.items) {
+    if (item.kind == fleet::FleetItem::Kind::kProof && !item.attack.benign() &&
+        item.ts >= cw.truth.effective_ts) {
+      probe = &item;
+      break;
+    }
+  }
+  ASSERT_NE(probe, nullptr) << "no post-effective probe in the stream";
+  std::size_t accepted = cold.proofs_accepted();
+  cold.on_auth_payload(probe->client_id, probe->payload, probe->ts);
+  EXPECT_EQ(cold.proofs_accepted(), accepted);
+  EXPECT_EQ(cold.proofs_rejected_lifecycle(), 1u);
 }
 
 // ---- corruption matrix ------------------------------------------------------

@@ -90,6 +90,9 @@ int usage() {
                "             [--correlate] [--correlation-json PATH]\n"
                "             [--correlate-min-homes M] [--correlate-min-replays R]\n"
                "             [--correlate-epsilon E] [--correlate-min-cohort C]\n"
+               "             [--churn-join F] [--churn-rotate-every SIM_S]\n"
+               "             [--churn-revoke F] [--churn-revoke-at F]\n"
+               "             [--churn-window SIM_S]\n"
                "  fiat cluster [--nodes N] [--homes H] [--devices D] [--days X] [--seed S]\n"
                "               [--capacity C] [--shed] [--no-proofs] [--report-homes H]\n"
                "               [--zipf-skew Z] [--zipf-max-devices M]\n"
@@ -105,6 +108,9 @@ int usage() {
                "               [--correlate] [--correlation-json PATH]\n"
                "               [--correlate-min-homes M] [--correlate-min-replays R]\n"
                "               [--correlate-epsilon E] [--correlate-min-cohort C]\n"
+               "               [--churn-join F] [--churn-rotate-every SIM_S]\n"
+               "               [--churn-revoke F] [--churn-revoke-at F]\n"
+               "               [--churn-window SIM_S]\n"
                "  fiat devices\n");
   return 2;
 }
@@ -250,6 +256,17 @@ fleet::FleetScenario synthesize(const fleet::FleetScenarioConfig& config) {
         static_cast<unsigned long long>(scenario.attack.proofs),
         scenario.attack.commands.size());
   }
+  if (config.churn.enabled()) {
+    std::printf(
+        "  churn: %zu affected homes, %llu lifecycle commands "
+        "(%llu enroll, %llu rotate, %llu revoke), window %.0fs\n",
+        scenario.churn.homes.size(),
+        static_cast<unsigned long long>(scenario.churn.lifecycle_commands),
+        static_cast<unsigned long long>(scenario.churn.enrollments),
+        static_cast<unsigned long long>(scenario.churn.rotations),
+        static_cast<unsigned long long>(scenario.churn.revocations),
+        scenario.churn.revocation_window);
+  }
   return scenario;
 }
 
@@ -312,6 +329,7 @@ int cmd_fleet(const util::Flags& flags) {
   auto scenario_config = fleet::parse_scenario_flags(flags);
   auto fleet_config = fleet::parse_fleet_flags(flags, scenario_config.homes);
   auto correlate_opts = fleet::parse_correlate_flags(flags, "fleet");
+  scenario_config.churn = fleet::parse_churn_flags(flags, "fleet");
   auto scenario = synthesize(scenario_config);
 
   auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
@@ -355,6 +373,7 @@ int cmd_cluster(const util::Flags& flags) {
   auto scenario_config = fleet::parse_scenario_flags(flags);
   auto cluster_config = fleet::parse_cluster_flags(flags);
   auto correlate_opts = fleet::parse_correlate_flags(flags, "cluster");
+  scenario_config.churn = fleet::parse_churn_flags(flags, "cluster");
   auto scenario = synthesize(scenario_config);
 
   auto humanness = core::HumannessVerifier::train_synthetic(scenario_config.seed);
